@@ -1,0 +1,105 @@
+//! Micro-benchmarks of the core adaptive algorithms: the per-poll cost of
+//! LIMD, the value-domain adaptive TTR, and the mutual coordinators.
+//! These are the operations a proxy performs on every refresh, so their
+//! cost bounds proxy throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use mutcon_core::adaptive_ttr::AdaptiveTtrConfig;
+use mutcon_core::limd::{Limd, LimdConfig, PollResult};
+use mutcon_core::mutual::temporal::{MtCoordinator, MtPolicy};
+use mutcon_core::mutual::value::{PairMember, PartitionedConfig, VirtualObjectConfig};
+use mutcon_core::functions::ValueFunction;
+use mutcon_core::object::ObjectId;
+use mutcon_core::time::{Duration, Timestamp};
+use mutcon_core::value::Value;
+
+fn bench_limd(c: &mut Criterion) {
+    let config = LimdConfig::builder(Duration::from_mins(10)).build().unwrap();
+    c.bench_function("limd/on_poll_unchanged", |b| {
+        let mut limd = Limd::new(config);
+        let mut now = Timestamp::ZERO;
+        b.iter(|| {
+            now += limd.current_ttr();
+            black_box(limd.on_poll(now, &PollResult::NotModified))
+        });
+    });
+    c.bench_function("limd/on_poll_modified", |b| {
+        let mut limd = Limd::new(config);
+        let mut now = Timestamp::ZERO;
+        b.iter(|| {
+            now += limd.current_ttr();
+            let result = PollResult::modified(now - Duration::from_mins(3));
+            black_box(limd.on_poll(now, &result))
+        });
+    });
+}
+
+fn bench_adaptive_ttr(c: &mut Criterion) {
+    let config = AdaptiveTtrConfig::builder(Value::new(0.5)).build().unwrap();
+    c.bench_function("adaptive_ttr/on_poll", |b| {
+        let mut state = config.into_state();
+        let mut now = Timestamp::ZERO;
+        let mut v = 100.0;
+        b.iter(|| {
+            now += Duration::from_secs(10);
+            v += 0.01;
+            black_box(state.on_poll(now, Value::new(v)))
+        });
+    });
+}
+
+fn bench_mt_coordinator(c: &mut Criterion) {
+    // A 16-object group: each poll consults every other member.
+    let members: Vec<ObjectId> = (0..16).map(|i| ObjectId::new(format!("obj/{i}"))).collect();
+    c.bench_function("mt_coordinator/on_poll_modified_16", |b| {
+        let mut mt = MtCoordinator::new(
+            Duration::from_mins(5),
+            MtPolicy::TriggeredPolls,
+            members.clone(),
+        );
+        let mut now = Timestamp::ZERO;
+        b.iter(|| {
+            now += Duration::from_mins(1);
+            black_box(mt.on_poll(&members[0], now, &PollResult::modified(now)))
+        });
+    });
+}
+
+fn bench_mv_policies(c: &mut Criterion) {
+    c.bench_function("mv_virtual/on_poll", |b| {
+        let mut policy = VirtualObjectConfig::builder(ValueFunction::Difference, Value::new(0.6))
+            .build()
+            .unwrap()
+            .into_policy();
+        let mut now = Timestamp::ZERO;
+        let mut v = 160.0;
+        b.iter(|| {
+            now += Duration::from_secs(10);
+            v += 0.01;
+            black_box(policy.on_poll(now, Value::new(v), Value::new(36.0)))
+        });
+    });
+    c.bench_function("mv_partitioned/on_poll", |b| {
+        let mut policy = PartitionedConfig::builder(ValueFunction::Difference, Value::new(0.6))
+            .build()
+            .unwrap()
+            .into_policy();
+        let mut now = Timestamp::ZERO;
+        let mut v = 160.0;
+        b.iter(|| {
+            now += Duration::from_secs(10);
+            v += 0.01;
+            black_box(policy.on_poll(PairMember::A, now, Value::new(v)))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_limd,
+    bench_adaptive_ttr,
+    bench_mt_coordinator,
+    bench_mv_policies
+);
+criterion_main!(benches);

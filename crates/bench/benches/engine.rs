@@ -1,0 +1,82 @@
+//! Micro-benchmarks of the simulation substrate: event-queue throughput
+//! and the seeded distributions behind the workload generators.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use mutcon_core::time::{Duration, Timestamp};
+use mutcon_sim::queue::EventQueue;
+use mutcon_sim::rng::SimRng;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("queue/schedule_pop_1k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            for i in 0..1_000u64 {
+                // Scatter times to exercise heap reordering.
+                q.schedule_at(Timestamp::from_millis((i * 7919) % 100_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            black_box(acc)
+        });
+    });
+    c.bench_function("queue/interleaved_reschedule", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u32> = EventQueue::new();
+            q.schedule_at(Timestamp::ZERO, 0);
+            let mut n = 0u32;
+            // Pop-then-schedule pattern: the proxy driver's steady state.
+            while n < 1_000 {
+                let (_, _e) = q.pop().unwrap();
+                n += 1;
+                q.schedule_after(Duration::from_millis(10), n);
+            }
+            // Drain the last event.
+            black_box(q.pop())
+        });
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("rng/exponential", |b| {
+        let mut rng = SimRng::seed_from_u64(7);
+        b.iter(|| black_box(rng.exponential(26.0)));
+    });
+    c.bench_function("rng/normal", |b| {
+        let mut rng = SimRng::seed_from_u64(7);
+        b.iter(|| black_box(rng.normal(0.0, 1.0)));
+    });
+    c.bench_function("rng/poisson_small_lambda", |b| {
+        let mut rng = SimRng::seed_from_u64(7);
+        b.iter(|| black_box(rng.poisson(3.5)));
+    });
+}
+
+fn bench_generators(c: &mut Criterion) {
+    use mutcon_traces::generator::{NewsTraceBuilder, StockTraceBuilder};
+    c.bench_function("generator/news_113_updates", |b| {
+        b.iter(|| {
+            black_box(
+                NewsTraceBuilder::new("bench", Duration::from_hours(49), 113)
+                    .seed(1)
+                    .build()
+                    .unwrap(),
+            )
+        });
+    });
+    c.bench_function("generator/stock_653_ticks", |b| {
+        b.iter(|| {
+            black_box(
+                StockTraceBuilder::new("bench", Duration::from_hours(3), 653, 35.8, 36.5)
+                    .seed(1)
+                    .build()
+                    .unwrap(),
+            )
+        });
+    });
+}
+
+criterion_group!(benches, bench_event_queue, bench_rng, bench_generators);
+criterion_main!(benches);

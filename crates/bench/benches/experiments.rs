@@ -1,0 +1,148 @@
+//! One Criterion benchmark per paper experiment, on scaled-down traces so
+//! `cargo bench` exercises every figure's full code path in seconds.
+//! The full-size runs (identical code, catalog traces, paper parameter
+//! grids) live in the `repro` binary.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use mutcon_core::time::{Duration, Timestamp};
+use mutcon_core::value::Value;
+use mutcon_proxy::experiment::{
+    heuristic_timeline, individual_temporal_sweep, mutual_temporal_sweep, mutual_value_sweep,
+    ttr_timeline, value_timeline, Fig3Config, Fig7Config,
+};
+use mutcon_traces::generator::{NewsTraceBuilder, StockTraceBuilder};
+use mutcon_traces::stats::summarize;
+use mutcon_traces::UpdateTrace;
+
+fn news(name: &str, updates: usize, seed: u64) -> UpdateTrace {
+    NewsTraceBuilder::new(name, Duration::from_hours(12), updates)
+        .seed(seed)
+        .build()
+        .expect("bench trace parameters are valid")
+}
+
+fn stock(name: &str, updates: usize, lo: f64, hi: f64, seed: u64) -> UpdateTrace {
+    StockTraceBuilder::new(name, Duration::from_mins(45), updates, lo, hi)
+        .seed(seed)
+        .build()
+        .expect("bench trace parameters are valid")
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let trace = news("t2", 60, 1);
+    c.bench_function("exp/table2_summaries", |b| {
+        b.iter(|| black_box(summarize(&trace)));
+    });
+    let stock_trace = stock("t3", 150, 35.8, 36.5, 2);
+    c.bench_function("exp/table3_summaries", |b| {
+        b.iter(|| black_box(summarize(&stock_trace)));
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let trace = news("fig3", 60, 3);
+    let deltas = [Duration::from_mins(5), Duration::from_mins(30)];
+    c.bench_function("exp/fig3_sweep", |b| {
+        b.iter(|| {
+            black_box(individual_temporal_sweep(
+                &trace,
+                &deltas,
+                &Fig3Config::default(),
+            ))
+        });
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let trace = news("fig4", 60, 4);
+    c.bench_function("exp/fig4_timeline", |b| {
+        b.iter(|| {
+            black_box(ttr_timeline(
+                &trace,
+                Duration::from_mins(10),
+                Duration::from_hours(2),
+                &Fig3Config::default(),
+            ))
+        });
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let a = news("fig5a", 60, 5);
+    let b_trace = news("fig5b", 40, 6);
+    let deltas = [Duration::from_mins(5)];
+    c.bench_function("exp/fig5_sweep", |b| {
+        b.iter(|| {
+            black_box(mutual_temporal_sweep(
+                &a,
+                &b_trace,
+                Duration::from_mins(10),
+                &deltas,
+                &Fig3Config::default(),
+            ))
+        });
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let a = news("fig6a", 80, 7);
+    let b_trace = news("fig6b", 30, 8);
+    c.bench_function("exp/fig6_timeline", |b| {
+        b.iter(|| {
+            black_box(heuristic_timeline(
+                &a,
+                &b_trace,
+                Duration::from_mins(10),
+                Duration::from_mins(5),
+                Duration::from_hours(2),
+                &Fig3Config::default(),
+            ))
+        });
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let a = stock("fig7a", 300, 160.2, 171.2, 9);
+    let b_trace = stock("fig7b", 100, 35.8, 36.5, 10);
+    let deltas = [Value::new(0.6), Value::new(2.0)];
+    c.bench_function("exp/fig7_sweep", |b| {
+        b.iter(|| {
+            black_box(mutual_value_sweep(
+                &a,
+                &b_trace,
+                &deltas,
+                &Fig7Config::default(),
+            ))
+        });
+    });
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let a = stock("fig8a", 300, 160.2, 171.2, 11);
+    let b_trace = stock("fig8b", 100, 35.8, 36.5, 12);
+    c.bench_function("exp/fig8_timeline", |b| {
+        b.iter(|| {
+            black_box(value_timeline(
+                &a,
+                &b_trace,
+                Value::new(0.6),
+                Timestamp::from_secs(300),
+                Timestamp::from_secs(1_500),
+                &Fig7Config::default(),
+            ))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_tables,
+    bench_fig3,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7,
+    bench_fig8
+);
+criterion_main!(benches);

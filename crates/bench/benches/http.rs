@@ -1,0 +1,52 @@
+//! Micro-benchmarks of the HTTP substrate: message parse/serialize and
+//! HTTP-date handling — the per-request overhead of the live proxy.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use mutcon_core::time::Timestamp;
+use mutcon_http::date::{format_http_date, parse_http_date};
+use mutcon_http::message::{Request, Response};
+use mutcon_http::parse::{parse_request, parse_response};
+
+fn bench_messages(c: &mut Criterion) {
+    let request_wire = Request::get("/news/story.html")
+        .host("origin.example:8080")
+        .if_modified_since(Timestamp::from_secs(784_111_777))
+        .header("x-last-modified-ms", "784111777123")
+        .build()
+        .to_bytes();
+    c.bench_function("http/parse_request", |b| {
+        b.iter(|| black_box(parse_request(&request_wire).unwrap().unwrap()));
+    });
+
+    let response_wire = Response::ok()
+        .last_modified(Timestamp::from_secs(784_111_777))
+        .header("x-object-version", "42")
+        .header("x-modification-history", "1000, 2000, 3000, 4000")
+        .body(vec![0u8; 512])
+        .build()
+        .to_bytes();
+    c.bench_function("http/parse_response_512b", |b| {
+        b.iter(|| black_box(parse_response(&response_wire).unwrap().unwrap()));
+    });
+
+    let response = Response::ok()
+        .last_modified(Timestamp::from_secs(784_111_777))
+        .body(vec![0u8; 512])
+        .build();
+    c.bench_function("http/serialize_response_512b", |b| {
+        b.iter(|| black_box(response.to_bytes()));
+    });
+}
+
+fn bench_dates(c: &mut Criterion) {
+    c.bench_function("http/format_date", |b| {
+        b.iter(|| black_box(format_http_date(Timestamp::from_secs(784_111_777))));
+    });
+    c.bench_function("http/parse_date", |b| {
+        b.iter(|| black_box(parse_http_date("Sun, 06 Nov 1994 08:49:37 GMT").unwrap()));
+    });
+}
+
+criterion_group!(benches, bench_messages, bench_dates);
+criterion_main!(benches);

@@ -1,0 +1,212 @@
+//! `repro` — regenerate every table and figure of the ICDCS'01 paper.
+//!
+//! ```text
+//! repro table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|ablation|all
+//! ```
+//!
+//! Output is plain text, one section per experiment, matching the layout
+//! recorded in `EXPERIMENTS.md`.
+
+use std::time::Instant;
+
+use mutcon_bench::{
+    fig3_deltas, fig4_window, fig5_deltas, fig7_deltas, fig8_delta, fig8_window, fixed_delta,
+    paper_fig3_config, paper_fig7_config, FIG3_TRACE, FIG5_PAIR, FIG6_PAIR, VALUE_PAIR,
+};
+use mutcon_core::time::Timestamp;
+use mutcon_proxy::experiment::{
+    heuristic_timeline, individual_temporal_sweep, mutual_temporal_sweep, mutual_value_sweep,
+    ttr_timeline, value_timeline,
+};
+use mutcon_proxy::report;
+use mutcon_traces::stats::summarize;
+use mutcon_traces::NamedTrace;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    let started = Instant::now();
+    let known: &[(&str, fn())] = &[
+        ("table1", table1),
+        ("table2", table2),
+        ("table3", table3),
+        ("fig3", fig3),
+        ("fig4", fig4),
+        ("fig5", fig5),
+        ("fig6", fig6),
+        ("fig7", fig7),
+        ("fig8", fig8),
+        ("ablation", ablation),
+    ];
+    match arg.as_str() {
+        "all" => {
+            for (name, run) in known {
+                println!("==== {name} ====");
+                run();
+                println!();
+            }
+        }
+        other => match known.iter().find(|(name, _)| *name == other) {
+            Some((_, run)) => run(),
+            None => {
+                eprintln!(
+                    "unknown experiment {other:?}; expected one of: all, {}",
+                    known
+                        .iter()
+                        .map(|(n, _)| *n)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                std::process::exit(2);
+            }
+        },
+    }
+    eprintln!("[repro] completed in {:.2?}", started.elapsed());
+}
+
+/// Table 1 is the taxonomy of consistency semantics — definitional, so it
+/// is rendered from the library's own types.
+fn table1() {
+    use mutcon_core::semantics::Semantics;
+    use mutcon_core::time::Duration;
+    use mutcon_core::value::Value;
+    println!("Table 1 — taxonomy of cache consistency semantics");
+    println!("{:<10} {:<10} {:<12} example", "Semantics", "Domain", "Type");
+    for s in [
+        Semantics::DeltaT(Duration::from_mins(5)),
+        Semantics::MutualT(Duration::from_mins(5)),
+        Semantics::DeltaV(Value::new(2.5)),
+        Semantics::MutualV(Value::new(2.5)),
+    ] {
+        let example = match s {
+            Semantics::DeltaT(_) => "object a is always within 5 time units of its server copy",
+            Semantics::MutualT(_) => "objects a and b are never out-of-sync by more than 5 units",
+            Semantics::DeltaV(_) => "value of a is within 2.5 of its server copy",
+            Semantics::MutualV(_) => "difference of a and b is within 2.5 of the server difference",
+            _ => unreachable!(),
+        };
+        println!("{:<10} {:<10?} {:<12?} {example}", s.to_string(), s.domain(), s.scope());
+    }
+}
+
+fn table2() {
+    let summaries: Vec<_> = NamedTrace::TEMPORAL
+        .iter()
+        .map(|t| summarize(&t.generate()))
+        .collect();
+    print!("{}", report::table2(&summaries));
+}
+
+fn table3() {
+    let summaries: Vec<_> = NamedTrace::VALUE
+        .iter()
+        .map(|t| summarize(&t.generate()))
+        .collect();
+    print!("{}", report::table3(&summaries));
+}
+
+fn fig3() {
+    let trace = FIG3_TRACE.generate();
+    let rows = individual_temporal_sweep(&trace, &fig3_deltas(), &paper_fig3_config());
+    print!("{}", report::fig3(&trace, &rows));
+}
+
+fn fig4() {
+    let trace = FIG3_TRACE.generate();
+    let out = ttr_timeline(&trace, fixed_delta(), fig4_window(), &paper_fig3_config());
+    print!("{}", report::fig4(&out));
+}
+
+fn fig5() {
+    let (a, b) = FIG5_PAIR;
+    let rows = mutual_temporal_sweep(
+        &a.generate(),
+        &b.generate(),
+        fixed_delta(),
+        &fig5_deltas(),
+        &paper_fig3_config(),
+    );
+    print!("{}", report::fig5(&rows));
+}
+
+fn fig6() {
+    let (a, b) = FIG6_PAIR;
+    let out = heuristic_timeline(
+        &a.generate(),
+        &b.generate(),
+        fixed_delta(),
+        Duration::from_mins(5),
+        fig4_window(),
+        &paper_fig3_config(),
+    );
+    print!("{}", report::fig6(&out));
+}
+use mutcon_core::time::Duration;
+
+fn fig7() {
+    let (a, b) = VALUE_PAIR;
+    let rows = mutual_value_sweep(
+        &a.generate(),
+        &b.generate(),
+        &fig7_deltas(),
+        &paper_fig7_config(),
+    );
+    print!("{}", report::fig7(&rows));
+}
+
+fn fig8() {
+    let (a, b) = VALUE_PAIR;
+    let (from, to) = fig8_window();
+    let out = value_timeline(
+        &a.generate(),
+        &b.generate(),
+        fig8_delta(),
+        Timestamp::ZERO + from,
+        Timestamp::ZERO + to,
+        &paper_fig7_config(),
+    );
+    print!("{}", report::fig8(&out, 40));
+}
+
+/// Ablations of the design choices DESIGN.md §7 calls out.
+fn ablation() {
+    use mutcon_proxy::ablation as ab;
+    let cnn = FIG3_TRACE.generate();
+    print!(
+        "{}",
+        ab::render(
+            "Ablation A — LIMD aggressiveness (CNN/FN, Δ = 10 min)",
+            &ab::limd_aggressiveness(&cnn, fixed_delta()),
+        )
+    );
+    println!();
+    print!(
+        "{}",
+        ab::render(
+            "Ablation B — violation detection (Guardian, Δ = 10 min)",
+            &ab::violation_detection(&NamedTrace::Guardian.generate(), fixed_delta()),
+        )
+    );
+    println!();
+    let (a, b) = FIG5_PAIR;
+    print!(
+        "{}",
+        ab::render(
+            "Ablation C — heuristic rate threshold (CNN/FN + NYT/AP, δ = 5 min)",
+            &ab::heuristic_threshold(
+                &a.generate(),
+                &b.generate(),
+                fixed_delta(),
+                Duration::from_mins(5),
+            ),
+        )
+    );
+    println!();
+    let (ya, att) = VALUE_PAIR;
+    print!(
+        "{}",
+        ab::render(
+            "Ablation D — Equation 10 α-blend (Yahoo + AT&T, δ = $0.6)",
+            &ab::alpha_blend(&ya.generate(), &att.generate(), fig8_delta()),
+        )
+    );
+}

@@ -1,0 +1,316 @@
+//! Groups of related objects (§5.2).
+//!
+//! Mutual consistency is defined over *groups* of related objects — a news
+//! story and its embedded images, a set of stock quotes being compared.
+//! Relationships can be specified by the user or deduced syntactically
+//! (the `mutcon-depgraph` crate parses HTML for embedded links); either
+//! way they end up in a [`GroupRegistry`] that the mutual-consistency
+//! coordinators query for "which objects are related to the one I just
+//! observed changing?".
+//!
+//! ```
+//! use mutcon_core::group::{GroupRegistry, ObjectGroup};
+//! use mutcon_core::object::ObjectId;
+//!
+//! # fn main() -> Result<(), mutcon_core::error::ConfigError> {
+//! let mut registry = GroupRegistry::new();
+//! registry.add(ObjectGroup::new(
+//!     "breaking-news",
+//!     [ObjectId::new("story.html"), ObjectId::new("photo.jpg")],
+//! )?);
+//! let story = ObjectId::new("story.html");
+//! let related: Vec<_> = registry.related(&story).collect();
+//! assert_eq!(related, vec![&ObjectId::new("photo.jpg")]);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ConfigError;
+use crate::object::ObjectId;
+
+/// Identifier of a group of related objects.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct GroupId(String);
+
+impl GroupId {
+    /// Creates a group id.
+    pub fn new(id: impl Into<String>) -> Self {
+        GroupId(id.into())
+    }
+
+    /// The id text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for GroupId {
+    fn from(s: &str) -> Self {
+        GroupId::new(s)
+    }
+}
+
+/// A set of mutually related objects.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectGroup {
+    id: GroupId,
+    members: BTreeSet<ObjectId>,
+}
+
+impl ObjectGroup {
+    /// Creates a group from its members.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::GroupTooSmall`] unless at least two
+    /// *distinct* members are supplied.
+    pub fn new(
+        id: impl Into<GroupId>,
+        members: impl IntoIterator<Item = ObjectId>,
+    ) -> Result<Self, ConfigError> {
+        let members: BTreeSet<ObjectId> = members.into_iter().collect();
+        if members.len() < 2 {
+            return Err(ConfigError::GroupTooSmall { len: members.len() });
+        }
+        Ok(ObjectGroup {
+            id: id.into(),
+            members,
+        })
+    }
+
+    /// The group id.
+    pub fn id(&self) -> &GroupId {
+        &self.id
+    }
+
+    /// The members, in sorted order.
+    pub fn members(&self) -> impl Iterator<Item = &ObjectId> + '_ {
+        self.members.iter()
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Always `false` (groups have ≥ 2 members), provided for the
+    /// conventional `len`/`is_empty` pairing.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether `id` belongs to this group.
+    pub fn contains(&self, id: &ObjectId) -> bool {
+        self.members.contains(id)
+    }
+}
+
+impl From<String> for GroupId {
+    fn from(s: String) -> Self {
+        GroupId(s)
+    }
+}
+
+/// All known groups, indexed for "related objects" queries.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GroupRegistry {
+    groups: BTreeMap<GroupId, ObjectGroup>,
+    /// Object → groups containing it.
+    membership: BTreeMap<ObjectId, BTreeSet<GroupId>>,
+}
+
+impl GroupRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        GroupRegistry::default()
+    }
+
+    /// Adds (or replaces) a group.
+    pub fn add(&mut self, group: ObjectGroup) {
+        if let Some(old) = self.groups.remove(group.id()) {
+            for m in old.members() {
+                if let Some(set) = self.membership.get_mut(m) {
+                    set.remove(old.id());
+                    if set.is_empty() {
+                        self.membership.remove(m);
+                    }
+                }
+            }
+        }
+        for m in group.members() {
+            self.membership
+                .entry(m.clone())
+                .or_default()
+                .insert(group.id().clone());
+        }
+        self.groups.insert(group.id().clone(), group);
+    }
+
+    /// Removes a group by id, returning it if present.
+    pub fn remove(&mut self, id: &GroupId) -> Option<ObjectGroup> {
+        let group = self.groups.remove(id)?;
+        for m in group.members() {
+            if let Some(set) = self.membership.get_mut(m) {
+                set.remove(id);
+                if set.is_empty() {
+                    self.membership.remove(m);
+                }
+            }
+        }
+        Some(group)
+    }
+
+    /// Looks up a group.
+    pub fn get(&self, id: &GroupId) -> Option<&ObjectGroup> {
+        self.groups.get(id)
+    }
+
+    /// Iterates over all groups.
+    pub fn iter(&self) -> impl Iterator<Item = &ObjectGroup> + '_ {
+        self.groups.values()
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether the registry holds no groups.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Groups containing `object`.
+    pub fn groups_of<'a>(&'a self, object: &ObjectId) -> impl Iterator<Item = &'a ObjectGroup> + 'a {
+        self.membership
+            .get(object)
+            .into_iter()
+            .flat_map(|ids| ids.iter())
+            .filter_map(|id| self.groups.get(id))
+    }
+
+    /// All objects related to `object` through any group, excluding
+    /// `object` itself, without duplicates.
+    pub fn related<'a>(&'a self, object: &'a ObjectId) -> impl Iterator<Item = &'a ObjectId> + 'a {
+        let mut seen: BTreeSet<&ObjectId> = BTreeSet::new();
+        seen.insert(object);
+        self.groups_of(object)
+            .flat_map(|g| g.members())
+            .filter(move |m| seen.insert(m))
+    }
+}
+
+impl FromIterator<ObjectGroup> for GroupRegistry {
+    fn from_iter<I: IntoIterator<Item = ObjectGroup>>(iter: I) -> Self {
+        let mut registry = GroupRegistry::new();
+        for g in iter {
+            registry.add(g);
+        }
+        registry
+    }
+}
+
+impl Extend<ObjectGroup> for GroupRegistry {
+    fn extend<I: IntoIterator<Item = ObjectGroup>>(&mut self, iter: I) {
+        for g in iter {
+            self.add(g);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oid(s: &str) -> ObjectId {
+        ObjectId::new(s)
+    }
+
+    #[test]
+    fn group_needs_two_distinct_members() {
+        assert!(matches!(
+            ObjectGroup::new("g", [oid("a")]),
+            Err(ConfigError::GroupTooSmall { len: 1 })
+        ));
+        assert!(matches!(
+            ObjectGroup::new("g", [oid("a"), oid("a")]),
+            Err(ConfigError::GroupTooSmall { len: 1 })
+        ));
+        let g = ObjectGroup::new("g", [oid("a"), oid("b")]).unwrap();
+        assert_eq!(g.len(), 2);
+        assert!(!g.is_empty());
+        assert!(g.contains(&oid("a")));
+        assert!(!g.contains(&oid("c")));
+        assert_eq!(g.id().as_str(), "g");
+    }
+
+    #[test]
+    fn related_spans_multiple_groups() {
+        let mut reg = GroupRegistry::new();
+        reg.add(ObjectGroup::new("news", [oid("story"), oid("img")]).unwrap());
+        reg.add(ObjectGroup::new("scores", [oid("story"), oid("total")]).unwrap());
+        let related: Vec<_> = reg.related(&oid("story")).cloned().collect();
+        assert_eq!(related, vec![oid("img"), oid("total")]);
+        assert_eq!(reg.groups_of(&oid("story")).count(), 2);
+        assert_eq!(reg.groups_of(&oid("img")).count(), 1);
+        assert_eq!(reg.related(&oid("unknown")).count(), 0);
+    }
+
+    #[test]
+    fn related_deduplicates() {
+        let mut reg = GroupRegistry::new();
+        reg.add(ObjectGroup::new("g1", [oid("a"), oid("b")]).unwrap());
+        reg.add(ObjectGroup::new("g2", [oid("a"), oid("b"), oid("c")]).unwrap());
+        let related: Vec<_> = reg.related(&oid("a")).cloned().collect();
+        assert_eq!(related, vec![oid("b"), oid("c")]);
+    }
+
+    #[test]
+    fn replacing_a_group_updates_membership() {
+        let mut reg = GroupRegistry::new();
+        reg.add(ObjectGroup::new("g", [oid("a"), oid("b")]).unwrap());
+        reg.add(ObjectGroup::new("g", [oid("a"), oid("c")]).unwrap());
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.related(&oid("b")).count(), 0);
+        let related: Vec<_> = reg.related(&oid("a")).cloned().collect();
+        assert_eq!(related, vec![oid("c")]);
+    }
+
+    #[test]
+    fn remove_cleans_up() {
+        let mut reg = GroupRegistry::new();
+        reg.add(ObjectGroup::new("g", [oid("a"), oid("b")]).unwrap());
+        let g = reg.remove(&GroupId::new("g")).unwrap();
+        assert_eq!(g.len(), 2);
+        assert!(reg.is_empty());
+        assert_eq!(reg.related(&oid("a")).count(), 0);
+        assert!(reg.remove(&GroupId::new("g")).is_none());
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let reg: GroupRegistry = [
+            ObjectGroup::new("g1", [oid("a"), oid("b")]).unwrap(),
+            ObjectGroup::new("g2", [oid("c"), oid("d")]).unwrap(),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(reg.len(), 2);
+        let mut reg = reg;
+        reg.extend([ObjectGroup::new("g3", [oid("e"), oid("f")]).unwrap()]);
+        assert_eq!(reg.iter().count(), 3);
+        assert!(reg.get(&GroupId::new("g3")).is_some());
+    }
+}

@@ -1,0 +1,15 @@
+//! Mutual-consistency coordination across groups of related objects.
+//!
+//! The paper keeps a clean separation between *individual* consistency
+//! (Δt/Δv, one object versus its server copy) and *mutual* consistency
+//! (Mt/Mv, related objects versus one another): any individual mechanism
+//! can be augmented with a mutual coordinator. This module provides the
+//! coordinators:
+//!
+//! * [`temporal`] — Mt-consistency over LIMD (§3.2): triggered polls and
+//!   the update-rate heuristic.
+//! * [`value`] — Mv-consistency over adaptive TTR (§4.2): the
+//!   virtual-object approach and the partitioned-tolerance approach.
+
+pub mod temporal;
+pub mod value;

@@ -1,0 +1,219 @@
+//! Deduction of related-object groups from document content (§5.2).
+//!
+//! [`GroupDeducer`] consumes `(object id, HTML)` pairs, extracts each
+//! document's *embedded* references with [`crate::html`], resolves them
+//! against the document's path, and accumulates a
+//! [`DependencyGraph`] — from which it derives the [`GroupRegistry`] the
+//! mutual-consistency coordinators need. Semantic relationships
+//! (domain-specific, e.g. "these two tickers are compared") are added
+//! explicitly with [`GroupDeducer::relate`].
+
+use mutcon_core::group::GroupRegistry;
+use mutcon_core::object::ObjectId;
+
+use crate::graph::{DependencyGraph, Grouping};
+use crate::html::{extract_links, LinkKind};
+
+/// Resolves an href found in `base` to an absolute-ish object id.
+///
+/// Object ids in this workspace are URL *paths* (`/news/story.html`). The
+/// resolver handles absolute paths, scheme-qualified URLs (kept verbatim),
+/// `./`-, `../`- and bare-relative references, and strips fragments and
+/// query strings (two URLs differing only in fragment are the same cached
+/// object).
+pub fn resolve_reference(base: &str, href: &str) -> String {
+    // Strip fragment/query.
+    let href = href.split(['#', '?']).next().unwrap_or("");
+    if href.is_empty() {
+        return strip_trailing_slash(base).to_owned();
+    }
+    if href.contains("://") || href.starts_with('/') {
+        return href.to_owned();
+    }
+    // Relative: resolve against the base's directory.
+    let dir_end = base.rfind('/').map_or(0, |i| i + 1);
+    let mut segments: Vec<&str> = base[..dir_end].split('/').filter(|s| !s.is_empty()).collect();
+    for seg in href.split('/') {
+        match seg {
+            "" | "." => {}
+            ".." => {
+                segments.pop();
+            }
+            s => segments.push(s),
+        }
+    }
+    let absolute_base = base.starts_with('/');
+    let joined = segments.join("/");
+    if absolute_base {
+        format!("/{joined}")
+    } else {
+        joined
+    }
+}
+
+fn strip_trailing_slash(s: &str) -> &str {
+    s.strip_suffix('/').unwrap_or(s)
+}
+
+/// Accumulates documents and explicit relations into a dependence graph.
+#[derive(Debug, Clone, Default)]
+pub struct GroupDeducer {
+    graph: DependencyGraph,
+    include_anchors: bool,
+}
+
+impl GroupDeducer {
+    /// Creates a deducer that groups documents with their *embedded*
+    /// objects only (images, scripts, stylesheets, frames, media).
+    pub fn new() -> Self {
+        GroupDeducer::default()
+    }
+
+    /// Also treats navigation anchors (`<a href>`) as relationships.
+    /// Off by default: a link to another page rarely implies the pages
+    /// must be mutually consistent.
+    pub fn include_anchors(mut self, yes: bool) -> Self {
+        self.include_anchors = yes;
+        self
+    }
+
+    /// Parses `html` as the content of object `id` and records an edge to
+    /// every embedded reference. Returns how many references were added.
+    pub fn add_document(&mut self, id: ObjectId, html: &str) -> usize {
+        self.graph.add_node(id.clone());
+        let mut added = 0;
+        for link in extract_links(html) {
+            if link.kind == LinkKind::Anchor && !self.include_anchors {
+                continue;
+            }
+            let target = resolve_reference(id.as_str(), &link.url);
+            if target == id.as_str() {
+                continue;
+            }
+            self.graph.add_dependency(id.clone(), ObjectId::new(target));
+            added += 1;
+        }
+        added
+    }
+
+    /// Records an explicit (semantic) relationship between two objects.
+    pub fn relate(&mut self, a: ObjectId, b: ObjectId) {
+        self.graph.add_dependency(a, b);
+    }
+
+    /// The accumulated graph.
+    pub fn graph(&self) -> &DependencyGraph {
+        &self.graph
+    }
+
+    /// Builds the registry with per-page embedding groups (the default
+    /// grouping for news-page workloads).
+    pub fn into_registry(self) -> GroupRegistry {
+        self.graph
+            .to_registry(Grouping::Embedding)
+            .expect("embedding grouping is infallible")
+    }
+
+    /// Builds the registry from weakly connected components.
+    pub fn into_component_registry(self) -> GroupRegistry {
+        self.graph
+            .to_registry(Grouping::Component)
+            .expect("component grouping is infallible")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oid(s: &str) -> ObjectId {
+        ObjectId::new(s)
+    }
+
+    #[test]
+    fn resolve_absolute_and_scheme() {
+        assert_eq!(resolve_reference("/a/b.html", "/img/x.png"), "/img/x.png");
+        assert_eq!(
+            resolve_reference("/a/b.html", "http://cdn/pic.gif"),
+            "http://cdn/pic.gif"
+        );
+    }
+
+    #[test]
+    fn resolve_relative() {
+        assert_eq!(resolve_reference("/a/b.html", "x.png"), "/a/x.png");
+        assert_eq!(resolve_reference("/a/b.html", "./x.png"), "/a/x.png");
+        assert_eq!(resolve_reference("/a/b/c.html", "../x.png"), "/a/x.png");
+        assert_eq!(resolve_reference("/a/b.html", "../../x.png"), "/x.png");
+        assert_eq!(resolve_reference("top.html", "x.png"), "x.png");
+        assert_eq!(resolve_reference("/a/", "x.png"), "/a/x.png");
+    }
+
+    #[test]
+    fn resolve_strips_fragment_and_query() {
+        assert_eq!(resolve_reference("/a/b.html", "x.png#frag"), "/a/x.png");
+        assert_eq!(resolve_reference("/a/b.html", "x.png?v=2"), "/a/x.png");
+        assert_eq!(resolve_reference("/a/b.html", "#top"), "/a/b.html");
+    }
+
+    #[test]
+    fn deduces_embedding_group() {
+        let mut d = GroupDeducer::new();
+        let n = d.add_document(
+            oid("/news/story.html"),
+            r#"<img src="photo.jpg"><script src="/js/app.js"></script><a href="/other.html">x</a>"#,
+        );
+        assert_eq!(n, 2); // anchor excluded
+        let g = d.graph();
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.contains(&oid("/news/photo.jpg")));
+        assert!(g.contains(&oid("/js/app.js")));
+        assert!(!g.contains(&oid("/other.html")));
+
+        let registry = d.into_registry();
+        assert_eq!(registry.len(), 1);
+        let story = oid("/news/story.html");
+        assert_eq!(registry.related(&story).count(), 2);
+    }
+
+    #[test]
+    fn anchors_included_on_request() {
+        let mut d = GroupDeducer::new().include_anchors(true);
+        d.add_document(oid("/index.html"), r#"<a href="/page.html">go</a>"#);
+        assert!(d.graph().contains(&oid("/page.html")));
+    }
+
+    #[test]
+    fn self_references_skipped() {
+        let mut d = GroupDeducer::new();
+        let n = d.add_document(oid("/a.html"), r##"<a href="#top"></a><img src="a.html">"##);
+        // The fragment resolves to the page itself; img to the same path.
+        assert_eq!(n, 0);
+        assert_eq!(d.graph().edge_count(), 0);
+    }
+
+    #[test]
+    fn semantic_relations() {
+        let mut d = GroupDeducer::new();
+        d.relate(oid("stock/T"), oid("stock/YHOO"));
+        let registry = d.into_component_registry();
+        assert_eq!(registry.len(), 1);
+        let t = oid("stock/T");
+        assert_eq!(
+            registry.related(&t).cloned().collect::<Vec<_>>(),
+            vec![oid("stock/YHOO")]
+        );
+    }
+
+    #[test]
+    fn multiple_documents_share_objects() {
+        let mut d = GroupDeducer::new();
+        d.add_document(oid("/a.html"), r#"<img src="/shared.png">"#);
+        d.add_document(oid("/b.html"), r#"<img src="/shared.png">"#);
+        let registry = d.into_component_registry();
+        // a, b, shared form one component.
+        assert_eq!(registry.len(), 1);
+        let shared = oid("/shared.png");
+        assert_eq!(registry.related(&shared).count(), 2);
+    }
+}

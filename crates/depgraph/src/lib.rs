@@ -1,0 +1,50 @@
+//! # mutcon-depgraph — determining groups of related objects
+//!
+//! Mutual consistency presumes the proxy *knows* which objects are related
+//! (§5.2). Relationships come from two sources:
+//!
+//! * **Syntactic** — an HTML page embeds images, stylesheets and scripts;
+//!   the page and its embedded objects form a natural group (the
+//!   breaking-news-story example of §1). [`html`] implements a small
+//!   HTML tokenizer that extracts those references and [`deduce`] resolves
+//!   them into graph edges.
+//! * **Semantic** — domain knowledge ("these two stock quotes are being
+//!   compared") supplied explicitly by users; callers add those edges to
+//!   the [`graph::DependencyGraph`] directly.
+//!
+//! Either way the result is a dependence graph in the style of Iyengar &
+//! Challenger's Data Update Propagation (the paper's reference \[12\]),
+//! from which [`graph::DependencyGraph::embedding_groups`] and
+//! [`graph::DependencyGraph::component_groups`] derive the
+//! [`ObjectGroup`]s that the mutual-consistency coordinators consume. The
+//! graph alone maintains nothing — as §5.2 notes, it must be *combined*
+//! with the mutual-consistency algorithms of `mutcon-core`.
+//!
+//! ```
+//! use mutcon_depgraph::deduce::GroupDeducer;
+//! use mutcon_core::object::ObjectId;
+//!
+//! let mut deducer = GroupDeducer::new();
+//! deducer.add_document(
+//!     ObjectId::new("/news/story.html"),
+//!     r#"<html><body><img src="photo.jpg"><script src="/js/app.js"></script></body></html>"#,
+//! );
+//! let registry = deducer.into_registry();
+//! let story = ObjectId::new("/news/story.html");
+//! let related: Vec<_> = registry.related(&story).collect();
+//! assert_eq!(related.len(), 2); // photo.jpg and app.js
+//! ```
+//!
+//! [`ObjectGroup`]: mutcon_core::group::ObjectGroup
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod deduce;
+pub mod graph;
+pub mod html;
+
+pub use deduce::GroupDeducer;
+pub use graph::DependencyGraph;
+pub use html::{extract_links, ExtractedLink, LinkKind};

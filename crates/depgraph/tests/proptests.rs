@@ -1,0 +1,93 @@
+//! Property-based tests: the HTML extractor never panics, reference
+//! resolution is idempotent, and graph groupings are structurally sound.
+
+use proptest::prelude::*;
+
+use mutcon_core::object::ObjectId;
+use mutcon_depgraph::deduce::{resolve_reference, GroupDeducer};
+use mutcon_depgraph::graph::DependencyGraph;
+use mutcon_depgraph::html::extract_links;
+
+proptest! {
+    /// The tokenizer survives arbitrary text, including pathological tag
+    /// soup.
+    #[test]
+    fn extractor_never_panics(html in "\\PC{0,600}") {
+        let _ = extract_links(&html);
+    }
+
+    /// The tokenizer survives arbitrary *tag-dense* input too.
+    #[test]
+    fn extractor_never_panics_on_tag_soup(
+        parts in prop::collection::vec("<[a-z]{1,6}( [a-z]{1,4}=\"?[a-z./]{0,10}\"?)?>?", 0..40),
+    ) {
+        let html: String = parts.concat();
+        let links = extract_links(&html);
+        // No link may be empty: extraction trims and filters.
+        for l in links {
+            prop_assert!(!l.url.trim().is_empty());
+        }
+    }
+
+    /// Resolution produces stable ids: resolving an already-resolved
+    /// reference against the same base is a no-op.
+    #[test]
+    fn resolution_is_idempotent(
+        base in "/[a-z]{1,8}(/[a-z]{1,8}){0,3}\\.html",
+        href in "[a-z]{1,8}(/[a-z]{1,8}){0,2}\\.(png|css|js)",
+    ) {
+        let once = resolve_reference(&base, &href);
+        // An absolute path resolves to itself from any base.
+        prop_assert_eq!(resolve_reference(&base, &once), once.clone());
+        prop_assert!(once.starts_with('/'));
+    }
+
+    /// Random graphs: every embedding group contains its page; component
+    /// groups partition the non-isolated nodes.
+    #[test]
+    fn grouping_structure(edges in prop::collection::vec((0u8..20, 0u8..20), 1..60)) {
+        let mut g = DependencyGraph::new();
+        for (a, b) in &edges {
+            g.add_dependency(ObjectId::new(format!("n{a}")), ObjectId::new(format!("n{b}")));
+        }
+        for group in g.embedding_groups() {
+            let page = group
+                .id()
+                .as_str()
+                .strip_prefix("embed:")
+                .expect("embedding group ids are prefixed");
+            prop_assert!(group.contains(&ObjectId::new(page)));
+            prop_assert!(group.len() >= 2);
+        }
+        // Component groups are disjoint.
+        let components = g.component_groups();
+        let mut seen = std::collections::BTreeSet::new();
+        for group in &components {
+            for m in group.members() {
+                prop_assert!(seen.insert(m.clone()), "object {m} in two components");
+            }
+        }
+    }
+
+    /// Deduced registries relate a page to exactly its embedded objects.
+    #[test]
+    fn deduction_matches_extraction(
+        images in prop::collection::btree_set("[a-z]{1,8}\\.png", 1..8),
+    ) {
+        let html: String = images
+            .iter()
+            .map(|i| format!("<img src=\"{i}\">"))
+            .collect();
+        let page = ObjectId::new("/dir/page.html");
+        let mut d = GroupDeducer::new();
+        let n = d.add_document(page.clone(), &html);
+        prop_assert_eq!(n, images.len());
+        let registry = d.into_registry();
+        let related: Vec<_> = registry.related(&page).cloned().collect();
+        prop_assert_eq!(related.len(), images.len());
+        for img in &images {
+            let expected = ObjectId::new(format!("/dir/{img}"));
+            prop_assert!(related.contains(&expected));
+        }
+    }
+}

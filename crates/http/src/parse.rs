@@ -1,0 +1,356 @@
+//! Incremental parsing of HTTP/1.1 messages from raw bytes.
+//!
+//! Both parsers follow the same contract: given a buffer that may hold a
+//! partial message, they return
+//!
+//! * `Ok(Some((message, consumed)))` — a complete message was parsed from
+//!   the first `consumed` bytes (a connection loop drains those bytes and
+//!   tries again for pipelined messages),
+//! * `Ok(None)` — the buffer holds a valid prefix; read more bytes,
+//! * `Err(ParseError)` — the bytes can never become a valid message.
+//!
+//! Bodies are delimited by `Content-Length` only (the consistency protocol
+//! never needs chunked transfer), and an absent `Content-Length` means an
+//! empty body — all messages the workspace exchanges are self-delimiting,
+//! keeping connections reusable.
+
+use std::fmt;
+
+use bytes::Bytes;
+
+use crate::headers::{HeaderMap, HeaderName};
+use crate::message::{Request, Response};
+use crate::types::{HttpVersion, Method, StatusCode};
+
+/// Maximum accepted header-section size; guards against unbounded buffering.
+pub const MAX_HEAD_BYTES: usize = 64 * 1024;
+/// Maximum accepted body size.
+pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+
+/// Error returned when bytes cannot form a valid HTTP message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseError {
+    /// The request/status line is malformed.
+    InvalidStartLine,
+    /// A header line is malformed.
+    InvalidHeader,
+    /// The HTTP version is unsupported.
+    InvalidVersion,
+    /// The status code is not a number in `100..=599`.
+    InvalidStatus,
+    /// `Content-Length` is not a valid number.
+    InvalidContentLength,
+    /// The header section exceeds [`MAX_HEAD_BYTES`].
+    HeadTooLarge,
+    /// The declared body exceeds [`MAX_BODY_BYTES`].
+    BodyTooLarge,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ParseError::InvalidStartLine => "invalid start line",
+            ParseError::InvalidHeader => "invalid header line",
+            ParseError::InvalidVersion => "unsupported HTTP version",
+            ParseError::InvalidStatus => "invalid status code",
+            ParseError::InvalidContentLength => "invalid content-length",
+            ParseError::HeadTooLarge => "header section too large",
+            ParseError::BodyTooLarge => "body too large",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Locates the end of the header section (the `\r\n\r\n`), returning the
+/// offset just past it.
+fn find_head_end(buf: &[u8]) -> Result<Option<usize>, ParseError> {
+    match buf.windows(4).position(|w| w == b"\r\n\r\n") {
+        Some(pos) => {
+            if pos + 4 > MAX_HEAD_BYTES {
+                Err(ParseError::HeadTooLarge)
+            } else {
+                Ok(Some(pos + 4))
+            }
+        }
+        None => {
+            if buf.len() > MAX_HEAD_BYTES {
+                Err(ParseError::HeadTooLarge)
+            } else {
+                Ok(None)
+            }
+        }
+    }
+}
+
+/// Parses the header block (everything between the start line and the
+/// blank line).
+fn parse_headers(block: &str) -> Result<HeaderMap, ParseError> {
+    let mut headers = HeaderMap::new();
+    for line in block.split("\r\n").filter(|l| !l.is_empty()) {
+        let (name, value) = line.split_once(':').ok_or(ParseError::InvalidHeader)?;
+        let name = HeaderName::new(name).map_err(|_| ParseError::InvalidHeader)?;
+        headers.append_name(name, value.trim().to_owned());
+    }
+    Ok(headers)
+}
+
+fn body_length(headers: &HeaderMap) -> Result<usize, ParseError> {
+    match headers.get(HeaderName::CONTENT_LENGTH) {
+        None => Ok(0),
+        Some(v) => {
+            let len: usize = v.trim().parse().map_err(|_| ParseError::InvalidContentLength)?;
+            if len > MAX_BODY_BYTES {
+                Err(ParseError::BodyTooLarge)
+            } else {
+                Ok(len)
+            }
+        }
+    }
+}
+
+/// Attempts to parse one [`Request`] from the front of `buf`.
+///
+/// # Errors
+///
+/// See [`ParseError`]; `Ok(None)` means "incomplete, read more".
+pub fn parse_request(buf: &[u8]) -> Result<Option<(Request, usize)>, ParseError> {
+    let Some(head_end) = find_head_end(buf)? else {
+        return Ok(None);
+    };
+    let head =
+        std::str::from_utf8(&buf[..head_end - 4]).map_err(|_| ParseError::InvalidHeader)?;
+    let (start_line, header_block) = head.split_once("\r\n").unwrap_or((head, ""));
+
+    let mut parts = start_line.split(' ');
+    let method: Method = parts
+        .next()
+        .ok_or(ParseError::InvalidStartLine)?
+        .parse()
+        .map_err(|_| ParseError::InvalidStartLine)?;
+    let target = parts.next().ok_or(ParseError::InvalidStartLine)?;
+    if target.is_empty() || target.contains(|c: char| c.is_ascii_whitespace()) {
+        return Err(ParseError::InvalidStartLine);
+    }
+    let version: HttpVersion = parts
+        .next()
+        .ok_or(ParseError::InvalidStartLine)?
+        .parse()
+        .map_err(|_| ParseError::InvalidVersion)?;
+    if parts.next().is_some() {
+        return Err(ParseError::InvalidStartLine);
+    }
+
+    let headers = parse_headers(header_block)?;
+    let body_len = body_length(&headers)?;
+    let total = head_end + body_len;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let body = Bytes::copy_from_slice(&buf[head_end..total]);
+    Ok(Some((
+        Request::from_parts(method, target.to_owned(), version, headers, body),
+        total,
+    )))
+}
+
+/// Attempts to parse one [`Response`] from the front of `buf`.
+///
+/// # Errors
+///
+/// See [`ParseError`]; `Ok(None)` means "incomplete, read more".
+pub fn parse_response(buf: &[u8]) -> Result<Option<(Response, usize)>, ParseError> {
+    let Some(head_end) = find_head_end(buf)? else {
+        return Ok(None);
+    };
+    let head =
+        std::str::from_utf8(&buf[..head_end - 4]).map_err(|_| ParseError::InvalidHeader)?;
+    let (start_line, header_block) = head.split_once("\r\n").unwrap_or((head, ""));
+
+    // "HTTP/1.1 200 OK" — the reason phrase may contain spaces or be absent.
+    let mut parts = start_line.splitn(3, ' ');
+    let version: HttpVersion = parts
+        .next()
+        .ok_or(ParseError::InvalidStartLine)?
+        .parse()
+        .map_err(|_| ParseError::InvalidVersion)?;
+    let code: u16 = parts
+        .next()
+        .ok_or(ParseError::InvalidStartLine)?
+        .parse()
+        .map_err(|_| ParseError::InvalidStatus)?;
+    let status = StatusCode::new(code).ok_or(ParseError::InvalidStatus)?;
+
+    let headers = parse_headers(header_block)?;
+    let body_len = body_length(&headers)?;
+    let total = head_end + body_len;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let body = Bytes::copy_from_slice(&buf[head_end..total]);
+    Ok(Some((
+        Response::from_parts(version, status, headers, body),
+        total,
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_request() {
+        let wire = b"GET /x HTTP/1.1\r\n\r\n";
+        let (req, n) = parse_request(wire).unwrap().unwrap();
+        assert_eq!(n, wire.len());
+        assert_eq!(req.method(), &Method::Get);
+        assert_eq!(req.target(), "/x");
+        assert!(req.headers().is_empty());
+    }
+
+    #[test]
+    fn parses_request_with_headers_and_body() {
+        let wire = b"PUT /obj HTTP/1.1\r\nHost: h\r\nContent-Length: 5\r\n\r\nhello";
+        let (req, n) = parse_request(wire).unwrap().unwrap();
+        assert_eq!(n, wire.len());
+        assert_eq!(req.method(), &Method::Put);
+        assert_eq!(req.headers().get("host"), Some("h"));
+        assert_eq!(&req.body()[..], b"hello");
+    }
+
+    #[test]
+    fn incomplete_head_returns_none() {
+        assert_eq!(parse_request(b"GET / HT").unwrap(), None);
+        assert_eq!(parse_request(b"GET / HTTP/1.1\r\nHost: h\r\n").unwrap(), None);
+    }
+
+    #[test]
+    fn incomplete_body_returns_none() {
+        let wire = b"PUT /o HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
+        assert_eq!(parse_request(wire).unwrap(), None);
+    }
+
+    #[test]
+    fn pipelined_requests_consume_exactly_one() {
+        let one = b"GET /a HTTP/1.1\r\n\r\n";
+        let mut wire = one.to_vec();
+        wire.extend_from_slice(b"GET /b HTTP/1.1\r\n\r\n");
+        let (req, n) = parse_request(&wire).unwrap().unwrap();
+        assert_eq!(req.target(), "/a");
+        assert_eq!(n, one.len());
+        let (req2, _) = parse_request(&wire[n..]).unwrap().unwrap();
+        assert_eq!(req2.target(), "/b");
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let req = Request::get("/news")
+            .host("example.org")
+            .header("X-Thing", "a b c")
+            .body(&b"xyz"[..])
+            .build();
+        let wire = req.to_bytes();
+        let (parsed, n) = parse_request(&wire).unwrap().unwrap();
+        assert_eq!(n, wire.len());
+        assert_eq!(parsed.target(), req.target());
+        assert_eq!(parsed.headers().get("x-thing"), Some("a b c"));
+        assert_eq!(parsed.body(), req.body());
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert_eq!(
+            parse_request(b"GET\r\n\r\n").unwrap_err(),
+            ParseError::InvalidStartLine
+        );
+        assert_eq!(
+            parse_request(b"GET / HTTP/1.1 extra\r\n\r\n").unwrap_err(),
+            ParseError::InvalidStartLine
+        );
+        assert_eq!(
+            parse_request(b"GET / HTTP/9.9\r\n\r\n").unwrap_err(),
+            ParseError::InvalidVersion
+        );
+        assert_eq!(
+            parse_request(b"GET / HTTP/1.1\r\nno-colon\r\n\r\n").unwrap_err(),
+            ParseError::InvalidHeader
+        );
+        assert_eq!(
+            parse_request(b"GET / HTTP/1.1\r\nContent-Length: abc\r\n\r\n").unwrap_err(),
+            ParseError::InvalidContentLength
+        );
+    }
+
+    #[test]
+    fn rejects_oversized_head_and_body() {
+        let mut huge = b"GET / HTTP/1.1\r\n".to_vec();
+        huge.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES + 10));
+        assert_eq!(parse_request(&huge).unwrap_err(), ParseError::HeadTooLarge);
+
+        let wire = format!(
+            "PUT /o HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert_eq!(
+            parse_request(wire.as_bytes()).unwrap_err(),
+            ParseError::BodyTooLarge
+        );
+    }
+
+    #[test]
+    fn parses_minimal_response() {
+        let wire = b"HTTP/1.1 304 Not Modified\r\n\r\n";
+        let (resp, n) = parse_response(wire).unwrap().unwrap();
+        assert_eq!(n, wire.len());
+        assert_eq!(resp.status(), StatusCode::NOT_MODIFIED);
+        assert!(resp.body().is_empty());
+    }
+
+    #[test]
+    fn parses_response_without_reason_phrase_gracefully() {
+        // splitn(3) tolerates a missing reason phrase.
+        let wire = b"HTTP/1.1 200\r\ncontent-length: 2\r\n\r\nok";
+        let (resp, _) = parse_response(wire).unwrap().unwrap();
+        assert_eq!(resp.status(), StatusCode::OK);
+        assert_eq!(&resp.body()[..], b"ok");
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let resp = Response::ok()
+            .last_modified(mutcon_core::time::Timestamp::from_secs(784_111_777))
+            .header("Cache-Control", "max-age=0, delta=600000")
+            .body(&b"payload"[..])
+            .build();
+        let wire = resp.to_bytes();
+        let (parsed, n) = parse_response(&wire).unwrap().unwrap();
+        assert_eq!(n, wire.len());
+        assert_eq!(parsed.status(), StatusCode::OK);
+        assert_eq!(parsed.last_modified(), resp.last_modified());
+        assert_eq!(parsed.body(), resp.body());
+    }
+
+    #[test]
+    fn rejects_malformed_responses() {
+        assert_eq!(
+            parse_response(b"HTTP/1.1 9999 Bad\r\n\r\n").unwrap_err(),
+            ParseError::InvalidStatus
+        );
+        assert_eq!(
+            parse_response(b"HTTP/1.1 abc OK\r\n\r\n").unwrap_err(),
+            ParseError::InvalidStatus
+        );
+        assert_eq!(
+            parse_response(b"HTTQ/1.1 200 OK\r\n\r\n").unwrap_err(),
+            ParseError::InvalidVersion
+        );
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert_eq!(ParseError::InvalidHeader.to_string(), "invalid header line");
+        assert!(!ParseError::BodyTooLarge.to_string().is_empty());
+    }
+}

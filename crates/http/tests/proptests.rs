@@ -1,0 +1,116 @@
+//! Property-based tests: the HTTP wire format round-trips and the parser
+//! never panics on arbitrary bytes.
+
+use proptest::prelude::*;
+
+use mutcon_core::time::Timestamp;
+use mutcon_http::date::{format_http_date, parse_http_date};
+use mutcon_http::extensions::{decode_modification_history, encode_modification_history};
+use mutcon_http::message::{Request, Response};
+use mutcon_http::parse::{parse_request, parse_response};
+use mutcon_http::types::{Method, StatusCode};
+
+/// RFC 7230 token characters for header names.
+fn header_name_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-zA-Z][a-zA-Z0-9-]{0,20}")
+        .expect("valid regex strategy")
+}
+
+/// Header values: printable, no CR/LF, trimmed (serialization adds the
+/// delimiters back, parsing trims).
+fn header_value_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~&&[^\r\n]]{0,40}")
+        .expect("valid regex strategy")
+        .prop_map(|s| s.trim().to_owned())
+}
+
+fn target_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("/[a-zA-Z0-9_./-]{0,40}").expect("valid regex strategy")
+}
+
+proptest! {
+    /// serialize ∘ parse = identity for requests.
+    #[test]
+    fn request_round_trips(
+        target in target_strategy(),
+        headers in prop::collection::vec(
+            (header_name_strategy(), header_value_strategy()), 0..8),
+        body in prop::collection::vec(any::<u8>(), 0..256),
+        method_idx in 0usize..4,
+    ) {
+        let method = [Method::Get, Method::Head, Method::Post, Method::Put]
+            [method_idx].clone();
+        let mut builder = Request::builder(method.clone(), target.clone());
+        for (name, value) in &headers {
+            // `header` replaces; duplicates collapse, which is fine for
+            // round-trip comparison through the map API.
+            builder = builder.header(name, value.clone());
+        }
+        let request = builder.body(body.clone()).build();
+        let wire = request.to_bytes();
+        let (parsed, consumed) = parse_request(&wire)
+            .expect("self-produced bytes parse")
+            .expect("complete message");
+        prop_assert_eq!(consumed, wire.len());
+        prop_assert_eq!(parsed.method(), &method);
+        prop_assert_eq!(parsed.target(), target.as_str());
+        prop_assert_eq!(parsed.body().as_ref(), body.as_slice());
+        for (name, value) in &headers {
+            prop_assert_eq!(parsed.headers().get(name), Some(value.as_str()));
+        }
+    }
+
+    /// serialize ∘ parse = identity for responses.
+    #[test]
+    fn response_round_trips(
+        code in 100u16..600,
+        headers in prop::collection::vec(
+            (header_name_strategy(), header_value_strategy()), 0..8),
+        body in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let status = StatusCode::new(code).expect("in range");
+        let mut builder = Response::builder(status);
+        for (name, value) in &headers {
+            builder = builder.header(name, value.clone());
+        }
+        let response = builder.body(body.clone()).build();
+        let wire = response.to_bytes();
+        let (parsed, consumed) = parse_response(&wire)
+            .expect("self-produced bytes parse")
+            .expect("complete message");
+        prop_assert_eq!(consumed, wire.len());
+        prop_assert_eq!(parsed.status(), status);
+        prop_assert_eq!(parsed.body().as_ref(), body.as_slice());
+    }
+
+    /// The parsers never panic, whatever bytes arrive.
+    #[test]
+    fn parsers_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = parse_request(&bytes);
+        let _ = parse_response(&bytes);
+    }
+
+    /// HTTP-dates round-trip at second precision for any plausible epoch
+    /// second (1970 through ~2318).
+    #[test]
+    fn http_dates_round_trip(secs in 0u64..11_000_000_000u64) {
+        let t = Timestamp::from_secs(secs);
+        let text = format_http_date(t);
+        prop_assert_eq!(parse_http_date(&text).expect("own output parses"), t);
+    }
+
+    /// The date parser never panics on arbitrary short strings.
+    #[test]
+    fn date_parser_never_panics(s in "\\PC{0,40}") {
+        let _ = parse_http_date(&s);
+    }
+
+    /// Modification histories round-trip.
+    #[test]
+    fn history_round_trips(stamps in prop::collection::vec(0u64..u64::MAX / 2, 0..20)) {
+        let history: Vec<Timestamp> =
+            stamps.iter().copied().map(Timestamp::from_millis).collect();
+        let encoded = encode_modification_history(&history);
+        prop_assert_eq!(decode_modification_history(&encoded), Some(history));
+    }
+}

@@ -1,0 +1,200 @@
+//! A minimal blocking HTTP client.
+//!
+//! One connection per request (`Connection: close` semantics) — exactly
+//! what a 2001-era proxy's refresher would do, and simple enough to be
+//! obviously correct. Timeouts guard every socket operation so a stalled
+//! origin cannot wedge the refresher thread.
+
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration as StdDuration;
+
+use bytes::BytesMut;
+
+use mutcon_core::time::Timestamp;
+use mutcon_http::headers::HeaderName;
+use mutcon_http::message::{Request, Response};
+
+use crate::wire::{read_response, write_request};
+
+/// Extension header carrying millisecond-precise modification times (the
+/// IMF-fixdate in `Last-Modified` only resolves seconds, too coarse for
+/// compressed trace replay).
+pub const X_LAST_MODIFIED_MS: &str = "x-last-modified-ms";
+
+/// A blocking HTTP client with per-operation timeouts.
+#[derive(Debug, Clone)]
+pub struct HttpClient {
+    timeout: StdDuration,
+}
+
+impl Default for HttpClient {
+    fn default() -> Self {
+        HttpClient {
+            timeout: StdDuration::from_secs(5),
+        }
+    }
+}
+
+impl HttpClient {
+    /// Creates a client with the default 5-second timeout.
+    pub fn new() -> Self {
+        HttpClient::default()
+    }
+
+    /// Overrides the connect/read/write timeout.
+    pub fn with_timeout(timeout: StdDuration) -> Self {
+        HttpClient { timeout }
+    }
+
+    /// Sends `request` to `addr` and reads the response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/read/write failures and malformed responses.
+    pub fn send(&self, addr: SocketAddr, request: &Request) -> io::Result<Response> {
+        let mut stream = TcpStream::connect_timeout(&addr, self.timeout)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        write_request(&mut stream, request)?;
+        let mut buf = BytesMut::new();
+        read_response(&mut stream, &mut buf)
+    }
+
+    /// Convenience `GET`, optionally conditional on a millisecond
+    /// validator (sent both as `If-Modified-Since` and as the
+    /// millisecond-precise extension header).
+    ///
+    /// # Errors
+    ///
+    /// See [`HttpClient::send`].
+    pub fn get(
+        &self,
+        addr: SocketAddr,
+        path: &str,
+        validator_ms: Option<Timestamp>,
+    ) -> io::Result<Response> {
+        let mut builder = Request::get(path).host(addr.to_string());
+        if let Some(v) = validator_ms {
+            builder = builder
+                .if_modified_since(v)
+                .header(X_LAST_MODIFIED_MS, v.as_millis().to_string());
+        }
+        self.send(addr, &builder.build())
+    }
+}
+
+/// Reads the millisecond-precise modification time from a response,
+/// falling back to `Last-Modified` when the extension is absent.
+pub fn last_modified_ms(response: &Response) -> Option<Timestamp> {
+    if let Some(v) = response.headers().get(X_LAST_MODIFIED_MS) {
+        if let Ok(ms) = v.trim().parse::<u64>() {
+            return Some(Timestamp::from_millis(ms));
+        }
+    }
+    response.last_modified()
+}
+
+/// Reads the millisecond validator from a request (the extension header,
+/// falling back to `If-Modified-Since`).
+pub fn validator_ms(request: &Request) -> Option<Timestamp> {
+    if let Some(v) = request.headers().get(X_LAST_MODIFIED_MS) {
+        if let Ok(ms) = v.trim().parse::<u64>() {
+            return Some(Timestamp::from_millis(ms));
+        }
+    }
+    mutcon_http::conditional::if_modified_since(request)
+}
+
+/// Reads the `x-object-value` header (value-bearing objects).
+pub fn object_value(response: &Response) -> Option<f64> {
+    response
+        .headers()
+        .get(HeaderName::X_OBJECT_VALUE)?
+        .trim()
+        .parse()
+        .ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mutcon_http::types::StatusCode;
+    use std::io::{Read, Write};
+    use std::net::TcpListener;
+
+    /// A one-shot server answering a canned response.
+    fn one_shot_server(response: Vec<u8>) -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 4096];
+            let _ = stream.read(&mut buf);
+            stream.write_all(&response).unwrap();
+        });
+        addr
+    }
+
+    #[test]
+    fn get_round_trip() {
+        let canned = Response::ok()
+            .header(X_LAST_MODIFIED_MS, "123456")
+            .body(&b"hello"[..])
+            .build()
+            .to_bytes();
+        let addr = one_shot_server(canned);
+        let client = HttpClient::new();
+        let resp = client
+            .get(addr, "/x", Some(Timestamp::from_millis(1_000)))
+            .unwrap();
+        assert_eq!(resp.status(), StatusCode::OK);
+        assert_eq!(&resp.body()[..], b"hello");
+        assert_eq!(last_modified_ms(&resp), Some(Timestamp::from_millis(123_456)));
+    }
+
+    #[test]
+    fn connect_failure_surfaces() {
+        // A port nobody listens on (bind, learn the port, drop).
+        let addr = TcpListener::bind("127.0.0.1:0")
+            .unwrap()
+            .local_addr()
+            .unwrap();
+        let client = HttpClient::with_timeout(StdDuration::from_millis(300));
+        assert!(client.get(addr, "/x", None).is_err());
+    }
+
+    #[test]
+    fn header_fallbacks() {
+        // Extension absent → fall back to Last-Modified (second-precise).
+        let resp = Response::ok()
+            .last_modified(Timestamp::from_secs(784_111_777))
+            .build();
+        assert_eq!(last_modified_ms(&resp), Some(Timestamp::from_secs(784_111_777)));
+        // Garbage extension → fall back too.
+        let resp = Response::ok()
+            .header(X_LAST_MODIFIED_MS, "junk")
+            .last_modified(Timestamp::from_secs(1_000))
+            .build();
+        assert_eq!(last_modified_ms(&resp), Some(Timestamp::from_secs(1_000)));
+        // Value header.
+        let resp = Response::ok()
+            .header(HeaderName::X_OBJECT_VALUE, "36.25")
+            .build();
+        assert_eq!(object_value(&resp), Some(36.25));
+        assert_eq!(object_value(&Response::ok().build()), None);
+    }
+
+    #[test]
+    fn request_validator_parsing() {
+        let req = Request::get("/x")
+            .header(X_LAST_MODIFIED_MS, "999")
+            .build();
+        assert_eq!(validator_ms(&req), Some(Timestamp::from_millis(999)));
+        let req = Request::get("/x")
+            .if_modified_since(Timestamp::from_secs(5))
+            .build();
+        assert_eq!(validator_ms(&req), Some(Timestamp::from_secs(5)));
+        assert_eq!(validator_ms(&Request::get("/x").build()), None);
+    }
+}

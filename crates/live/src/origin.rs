@@ -1,0 +1,432 @@
+//! The live origin server: replays an [`UpdateTrace`] in wall-clock time
+//! over real TCP.
+//!
+//! Trace time 0 is anchored to the server's start instant; every
+//! `Last-Modified` (and the millisecond-precise `x-last-modified-ms`
+//! extension) is reported in absolute Unix-epoch milliseconds, so the
+//! proxy and origin share one timeline without clock negotiation.
+//!
+//! Fault injection ([`LiveOrigin::set_fault`]) lets tests exercise the
+//! proxy's resilience: connections can be dropped on accept or stalled
+//! before the response.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use bytes::BytesMut;
+use mutcon_core::time::Timestamp;
+use mutcon_http::extensions::set_modification_history;
+use mutcon_http::headers::HeaderName;
+use mutcon_http::message::{Request, Response};
+use mutcon_http::types::{Method, StatusCode};
+use mutcon_traces::UpdateTrace;
+
+use crate::client::X_LAST_MODIFIED_MS;
+use crate::threadpool::ThreadPool;
+use crate::wire::{read_request, write_response};
+
+/// Injectable failure modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Behave normally.
+    None,
+    /// Accept and immediately drop every connection.
+    DropConnections,
+    /// Stall ~300 ms before each response (exceeds aggressive client
+    /// timeouts).
+    Stall,
+}
+
+impl Fault {
+    fn from_u8(v: u8) -> Fault {
+        match v {
+            1 => Fault::DropConnections,
+            2 => Fault::Stall,
+            _ => Fault::None,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            Fault::None => 0,
+            Fault::DropConnections => 1,
+            Fault::Stall => 2,
+        }
+    }
+}
+
+/// Builder for [`LiveOrigin`].
+#[derive(Debug, Default)]
+pub struct LiveOriginBuilder {
+    objects: Vec<(String, UpdateTrace)>,
+    history: bool,
+    workers: usize,
+}
+
+impl LiveOriginBuilder {
+    /// Hosts `trace` at `path`.
+    pub fn object(mut self, path: impl Into<String>, trace: UpdateTrace) -> Self {
+        self.objects.push((path.into(), trace));
+        self
+    }
+
+    /// Enables the §5.1 modification-history extension header.
+    pub fn with_history(mut self, yes: bool) -> Self {
+        self.history = yes;
+        self
+    }
+
+    /// Sets the worker-pool size (default 4).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Binds a localhost listener on an ephemeral port and starts serving.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn start(self) -> io::Result<LiveOrigin> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            objects: self.objects.into_iter().collect(),
+            epoch_unix_ms: unix_now_ms(),
+            epoch: Instant::now(),
+            history: self.history,
+            fault: AtomicU8::new(Fault::None.as_u8()),
+            requests: AtomicU64::new(0),
+        });
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let pool = ThreadPool::new(if self.workers == 0 { 4 } else { self.workers });
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept = std::thread::Builder::new()
+            .name("mutcon-live-origin-accept".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if accept_shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    match Fault::from_u8(accept_shared.fault.load(Ordering::SeqCst)) {
+                        Fault::DropConnections => drop(stream),
+                        fault => {
+                            let shared = Arc::clone(&accept_shared);
+                            pool.execute(move || handle_connection(stream, &shared, fault));
+                        }
+                    }
+                }
+                // Dropping the pool here joins the workers.
+            })
+            .expect("spawning the accept thread");
+
+        Ok(LiveOrigin {
+            addr,
+            shared,
+            shutdown,
+            accept: Some(accept),
+        })
+    }
+}
+
+struct Shared {
+    objects: HashMap<String, UpdateTrace>,
+    /// Unix-epoch milliseconds corresponding to trace time 0.
+    epoch_unix_ms: u64,
+    epoch: Instant,
+    history: bool,
+    fault: AtomicU8,
+    requests: AtomicU64,
+}
+
+/// A running origin server; shuts down (and joins its threads) on drop.
+pub struct LiveOrigin {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl LiveOrigin {
+    /// Starts building an origin.
+    pub fn builder() -> LiveOriginBuilder {
+        LiveOriginBuilder::default()
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests served so far.
+    pub fn request_count(&self) -> u64 {
+        self.shared.requests.load(Ordering::SeqCst)
+    }
+
+    /// Unix-epoch milliseconds of trace time 0 (for converting reported
+    /// stamps back to trace time in tests).
+    pub fn epoch_unix_ms(&self) -> u64 {
+        self.shared.epoch_unix_ms
+    }
+
+    /// Injects (or clears) a fault.
+    pub fn set_fault(&self, fault: Fault) {
+        self.shared.fault.store(fault.as_u8(), Ordering::SeqCst);
+    }
+}
+
+impl Drop for LiveOrigin {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for LiveOrigin {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveOrigin")
+            .field("addr", &self.addr)
+            .field("objects", &self.shared.objects.len())
+            .finish()
+    }
+}
+
+fn unix_now_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .expect("system clock before the Unix epoch")
+        .as_millis() as u64
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Shared, fault: Fault) {
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(std::time::Duration::from_secs(10)));
+    let mut buf = BytesMut::new();
+    // Keep-alive loop: serve requests until the peer closes.
+    while let Ok(Some(request)) = read_request(&mut stream, &mut buf) {
+        if fault == Fault::Stall {
+            std::thread::sleep(std::time::Duration::from_millis(300));
+        }
+        shared.requests.fetch_add(1, Ordering::SeqCst);
+        let response = respond(shared, &request);
+        if write_response(&mut stream, &response).is_err() {
+            break;
+        }
+    }
+}
+
+fn respond(shared: &Shared, request: &Request) -> Response {
+    if request.method() != &Method::Get {
+        return Response::builder(StatusCode::METHOD_NOT_ALLOWED).build();
+    }
+    if request.target() == "/__health" {
+        return Response::ok().body(&b"ok\n"[..]).build();
+    }
+    let Some(trace) = shared.objects.get(request.target()) else {
+        return Response::builder(StatusCode::NOT_FOUND).build();
+    };
+
+    // Current trace time.
+    let elapsed_ms = shared.epoch.elapsed().as_millis() as u64;
+    let now_rel = Timestamp::from_millis(elapsed_ms.min(trace.end().as_millis()));
+    let Some(version_index) = trace.version_index_at(now_rel.max(trace.start())) else {
+        return Response::builder(StatusCode::NOT_FOUND).build();
+    };
+    let event = &trace.events()[version_index];
+    let event_abs = Timestamp::from_millis(shared.epoch_unix_ms + event.at.as_millis());
+
+    // Conditional handling on the absolute millisecond timeline.
+    let validator = crate::client::validator_ms(request);
+    if let Some(v) = validator {
+        if event_abs <= v {
+            return Response::not_modified()
+                .header(X_LAST_MODIFIED_MS, event_abs.as_millis().to_string())
+                .build();
+        }
+    }
+
+    let body = match event.value {
+        Some(value) => format!(
+            "object={} version={} value={}\n",
+            request.target(),
+            version_index,
+            value.as_f64()
+        ),
+        None => format!("object={} version={}\n", request.target(), version_index),
+    };
+    let mut builder = Response::ok()
+        .last_modified(event_abs)
+        .header(X_LAST_MODIFIED_MS, event_abs.as_millis().to_string())
+        .header(HeaderName::X_OBJECT_VERSION, version_index.to_string())
+        .header(HeaderName::CONTENT_TYPE, "text/plain");
+    if let Some(value) = event.value {
+        builder = builder.header(HeaderName::X_OBJECT_VALUE, value.as_f64().to_string());
+    }
+    let mut response = builder.body(body.into_bytes()).build();
+
+    if shared.history {
+        let since_rel = validator
+            .map(|v| Timestamp::from_millis(v.as_millis().saturating_sub(shared.epoch_unix_ms)))
+            .unwrap_or(Timestamp::ZERO);
+        let history: Vec<Timestamp> = trace
+            .events_between(since_rel, now_rel)
+            .iter()
+            .map(|e| Timestamp::from_millis(shared.epoch_unix_ms + e.at.as_millis()))
+            .collect();
+        set_modification_history(response.headers_mut(), &history);
+    }
+    response
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{last_modified_ms, object_value, HttpClient};
+    use mutcon_core::value::Value;
+    use mutcon_traces::UpdateEvent;
+
+    fn fast_trace() -> UpdateTrace {
+        // Updates every 50 ms for 10 s.
+        let mut events = vec![UpdateEvent::valued(Timestamp::ZERO, Value::new(1.0))];
+        for i in 1..200u64 {
+            events.push(UpdateEvent::valued(
+                Timestamp::from_millis(i * 50),
+                Value::new(1.0 + i as f64),
+            ));
+        }
+        UpdateTrace::new(
+            "fast",
+            Timestamp::ZERO,
+            Timestamp::from_millis(10_000),
+            events,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn serves_health_and_404() {
+        let origin = LiveOrigin::builder()
+            .object("/obj", fast_trace())
+            .start()
+            .unwrap();
+        let client = HttpClient::new();
+        let resp = client.get(origin.local_addr(), "/__health", None).unwrap();
+        assert_eq!(resp.status(), StatusCode::OK);
+        let resp = client.get(origin.local_addr(), "/missing", None).unwrap();
+        assert_eq!(resp.status(), StatusCode::NOT_FOUND);
+        assert!(origin.request_count() >= 2);
+    }
+
+    #[test]
+    fn serves_object_with_metadata() {
+        let origin = LiveOrigin::builder()
+            .object("/obj", fast_trace())
+            .start()
+            .unwrap();
+        let client = HttpClient::new();
+        let resp = client.get(origin.local_addr(), "/obj", None).unwrap();
+        assert_eq!(resp.status(), StatusCode::OK);
+        let lm = last_modified_ms(&resp).expect("stamped");
+        assert!(lm.as_millis() >= origin.epoch_unix_ms());
+        assert!(object_value(&resp).is_some());
+        assert!(std::str::from_utf8(resp.body()).unwrap().contains("/obj"));
+    }
+
+    #[test]
+    fn conditional_requests_get_304_then_200() {
+        let origin = LiveOrigin::builder()
+            .object("/obj", fast_trace())
+            .start()
+            .unwrap();
+        let client = HttpClient::new();
+        let first = client.get(origin.local_addr(), "/obj", None).unwrap();
+        let lm = last_modified_ms(&first).unwrap();
+        // Immediately revalidating may race a 50 ms update; ask with the
+        // freshly returned validator and accept 304 or a *newer* 200.
+        let second = client.get(origin.local_addr(), "/obj", Some(lm)).unwrap();
+        if second.status() == StatusCode::OK {
+            assert!(last_modified_ms(&second).unwrap() > lm);
+        } else {
+            assert_eq!(second.status(), StatusCode::NOT_MODIFIED);
+        }
+        // After waiting past several updates, a conditional GET must be 200.
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        let third = client.get(origin.local_addr(), "/obj", Some(lm)).unwrap();
+        assert_eq!(third.status(), StatusCode::OK);
+        assert!(last_modified_ms(&third).unwrap() > lm);
+    }
+
+    #[test]
+    fn history_extension_reports_missed_updates() {
+        let origin = LiveOrigin::builder()
+            .object("/obj", fast_trace())
+            .with_history(true)
+            .start()
+            .unwrap();
+        let client = HttpClient::new();
+        let first = client.get(origin.local_addr(), "/obj", None).unwrap();
+        let lm = last_modified_ms(&first).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        let later = client.get(origin.local_addr(), "/obj", Some(lm)).unwrap();
+        assert_eq!(later.status(), StatusCode::OK);
+        let history =
+            mutcon_http::extensions::modification_history(later.headers()).expect("history");
+        assert!(history.len() >= 2, "expected several missed updates");
+        assert!(history.iter().all(|&t| t > lm));
+    }
+
+    #[test]
+    fn static_object_stays_not_modified() {
+        let trace = UpdateTrace::new(
+            "static",
+            Timestamp::ZERO,
+            Timestamp::from_millis(60_000),
+            vec![UpdateEvent::temporal(Timestamp::ZERO)],
+        )
+        .unwrap();
+        let origin = LiveOrigin::builder().object("/s", trace).start().unwrap();
+        let client = HttpClient::new();
+        let first = client.get(origin.local_addr(), "/s", None).unwrap();
+        let lm = last_modified_ms(&first).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        let again = client.get(origin.local_addr(), "/s", Some(lm)).unwrap();
+        assert_eq!(again.status(), StatusCode::NOT_MODIFIED);
+    }
+
+    #[test]
+    fn fault_injection_drops_connections() {
+        let origin = LiveOrigin::builder()
+            .object("/obj", fast_trace())
+            .start()
+            .unwrap();
+        origin.set_fault(Fault::DropConnections);
+        let client = HttpClient::with_timeout(std::time::Duration::from_millis(500));
+        assert!(client.get(origin.local_addr(), "/obj", None).is_err());
+        origin.set_fault(Fault::None);
+        assert!(client.get(origin.local_addr(), "/obj", None).is_ok());
+    }
+
+    #[test]
+    fn put_is_rejected() {
+        let origin = LiveOrigin::builder()
+            .object("/obj", fast_trace())
+            .start()
+            .unwrap();
+        let client = HttpClient::new();
+        let req = Request::builder(Method::Put, "/obj").build();
+        let resp = client.send(origin.local_addr(), &req).unwrap();
+        assert_eq!(resp.status(), StatusCode::METHOD_NOT_ALLOWED);
+    }
+}

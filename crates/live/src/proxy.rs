@@ -1,0 +1,439 @@
+//! The live caching proxy daemon.
+//!
+//! Serves client `GET`s from its cache while a background *refresher*
+//! thread keeps configured objects Δt-consistent with the origin by
+//! LIMD-scheduled `If-Modified-Since` polls — and, when a group rule is
+//! set, Mt-consistent with one another via triggered polls, exactly as in
+//! the simulator. One binary-ready struct, ephemeral ports, clean
+//! shutdown on drop: the "implement it in a real proxy" future work of
+//! §7, in miniature.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration as StdDuration, Instant, SystemTime, UNIX_EPOCH};
+
+use bytes::{Bytes, BytesMut};
+use parking_lot::RwLock;
+
+use mutcon_core::limd::{Limd, LimdConfig, PollResult};
+use mutcon_core::mutual::temporal::{MtCoordinator, MtPolicy};
+use mutcon_core::object::ObjectId;
+use mutcon_core::time::{Duration, Timestamp};
+use mutcon_http::headers::HeaderName;
+use mutcon_http::message::{Request, Response};
+use mutcon_http::types::{Method, StatusCode};
+
+use crate::client::{last_modified_ms, object_value, HttpClient, X_LAST_MODIFIED_MS};
+use crate::threadpool::ThreadPool;
+use crate::wire::{read_request, write_response};
+
+/// Consistency requirements for one cached object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefreshRule {
+    /// Object path at the origin (and at this proxy).
+    pub path: String,
+    /// The Δt tolerance.
+    pub delta: Duration,
+    /// Upper TTR bound (defaults to 64·Δ).
+    pub ttr_max: Duration,
+}
+
+impl RefreshRule {
+    /// A rule with the default TTR ceiling.
+    pub fn new(path: impl Into<String>, delta: Duration) -> Self {
+        RefreshRule {
+            path: path.into(),
+            delta,
+            ttr_max: delta * 64,
+        }
+    }
+
+    /// Overrides the TTR ceiling.
+    pub fn ttr_max(mut self, ttr_max: Duration) -> Self {
+        self.ttr_max = ttr_max;
+        self
+    }
+}
+
+/// Mutual-consistency requirements across all rule paths.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupRule {
+    /// The Mt tolerance δ.
+    pub delta: Duration,
+    /// Triggered polls or the rate heuristic.
+    pub policy: MtPolicy,
+}
+
+/// Proxy configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProxyConfig {
+    /// Where the origin listens.
+    pub origin_addr: SocketAddr,
+    /// Objects to keep fresh.
+    pub rules: Vec<RefreshRule>,
+    /// Optional Mt coordination across all rule paths.
+    pub group: Option<GroupRule>,
+}
+
+/// A snapshot of the proxy's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProxyStats {
+    /// Refresher polls sent to the origin.
+    pub polls: u64,
+    /// Polls initiated by the mutual-consistency coordinator.
+    pub triggered: u64,
+    /// Polls that brought back a fresh copy.
+    pub refreshes: u64,
+    /// Client requests served from cache.
+    pub hits: u64,
+    /// Client requests that had to fetch from the origin.
+    pub misses: u64,
+    /// Failed origin polls (timeouts, resets).
+    pub errors: u64,
+}
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    body: Bytes,
+    last_modified: Timestamp,
+    value: Option<f64>,
+    version: Option<String>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    polls: AtomicU64,
+    triggered: AtomicU64,
+    refreshes: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    errors: AtomicU64,
+}
+
+struct Shared {
+    origin: SocketAddr,
+    cache: RwLock<HashMap<String, CacheEntry>>,
+    counters: Counters,
+    client: HttpClient,
+}
+
+/// The running proxy; shuts down (and joins its threads) on drop.
+pub struct LiveProxy {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl LiveProxy {
+    /// Binds a localhost listener on an ephemeral port and starts the
+    /// accept loop and the background refresher.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; returns [`io::ErrorKind::InvalidInput`]
+    /// for invalid rules (zero Δ).
+    pub fn start(config: ProxyConfig) -> io::Result<LiveProxy> {
+        for rule in &config.rules {
+            if rule.delta.is_zero() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("rule for {} has zero delta", rule.path),
+                ));
+            }
+        }
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            origin: config.origin_addr,
+            cache: RwLock::new(HashMap::new()),
+            counters: Counters::default(),
+            client: HttpClient::with_timeout(StdDuration::from_secs(2)),
+        });
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut threads = Vec::new();
+
+        // Accept loop.
+        {
+            let shared = Arc::clone(&shared);
+            let shutdown = Arc::clone(&shutdown);
+            let pool = ThreadPool::new(4);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("mutcon-live-proxy-accept".into())
+                    .spawn(move || {
+                        for conn in listener.incoming() {
+                            if shutdown.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            let Ok(stream) = conn else { continue };
+                            let shared = Arc::clone(&shared);
+                            pool.execute(move || handle_client(stream, &shared));
+                        }
+                    })
+                    .expect("spawning the proxy accept thread"),
+            );
+        }
+
+        // Refresher.
+        if !config.rules.is_empty() {
+            let shared = Arc::clone(&shared);
+            let shutdown = Arc::clone(&shutdown);
+            let rules = config.rules.clone();
+            let group = config.group;
+            threads.push(
+                std::thread::Builder::new()
+                    .name("mutcon-live-proxy-refresher".into())
+                    .spawn(move || refresher(&shared, &shutdown, &rules, group))
+                    .expect("spawning the refresher thread"),
+            );
+        }
+
+        Ok(LiveProxy {
+            addr,
+            shared,
+            shutdown,
+            threads,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A snapshot of the counters.
+    pub fn stats(&self) -> ProxyStats {
+        let c = &self.shared.counters;
+        ProxyStats {
+            polls: c.polls.load(Ordering::SeqCst),
+            triggered: c.triggered.load(Ordering::SeqCst),
+            refreshes: c.refreshes.load(Ordering::SeqCst),
+            hits: c.hits.load(Ordering::SeqCst),
+            misses: c.misses.load(Ordering::SeqCst),
+            errors: c.errors.load(Ordering::SeqCst),
+        }
+    }
+}
+
+impl Drop for LiveProxy {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for LiveProxy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveProxy")
+            .field("addr", &self.addr)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+fn unix_now() -> Timestamp {
+    Timestamp::from_millis(
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .expect("system clock before the Unix epoch")
+            .as_millis() as u64,
+    )
+}
+
+fn std_duration(d: Duration) -> StdDuration {
+    StdDuration::from_millis(d.as_millis())
+}
+
+/// Stores a 200 response in the cache; returns its modification time.
+fn store_response(shared: &Shared, path: &str, response: &Response) -> Option<Timestamp> {
+    let lm = last_modified_ms(response)?;
+    let entry = CacheEntry {
+        body: response.body().clone(),
+        last_modified: lm,
+        value: object_value(response),
+        version: response
+            .headers()
+            .get(HeaderName::X_OBJECT_VERSION)
+            .map(str::to_owned),
+    };
+    shared.cache.write().insert(path.to_owned(), entry);
+    shared.counters.refreshes.fetch_add(1, Ordering::SeqCst);
+    Some(lm)
+}
+
+/// One refresher poll. Returns the poll result for the adaptation layers,
+/// or `None` on a network error.
+fn poll_origin(shared: &Shared, path: &str) -> Option<PollResult> {
+    let validator = shared.cache.read().get(path).map(|e| e.last_modified);
+    shared.counters.polls.fetch_add(1, Ordering::SeqCst);
+    match shared.client.get(shared.origin, path, validator) {
+        Ok(response) if response.status() == StatusCode::NOT_MODIFIED => {
+            Some(PollResult::NotModified)
+        }
+        Ok(response) if response.status() == StatusCode::OK => {
+            let lm = store_response(shared, path, &response)?;
+            let history = mutcon_http::extensions::modification_history(response.headers());
+            Some(PollResult::Modified {
+                last_modified: lm,
+                history,
+            })
+        }
+        Ok(_) | Err(_) => {
+            shared.counters.errors.fetch_add(1, Ordering::SeqCst);
+            None
+        }
+    }
+}
+
+fn refresher(
+    shared: &Shared,
+    shutdown: &AtomicBool,
+    rules: &[RefreshRule],
+    group: Option<GroupRule>,
+) {
+    let mut limds: HashMap<String, Limd> = rules
+        .iter()
+        .map(|r| {
+            let config = LimdConfig::builder(r.delta)
+                .ttr_max(r.ttr_max.max(r.delta))
+                .build()
+                .expect("rule validated at startup");
+            (r.path.clone(), Limd::new(config))
+        })
+        .collect();
+    let mut due: HashMap<String, Instant> = rules
+        .iter()
+        .map(|r| (r.path.clone(), Instant::now()))
+        .collect();
+    let mut coordinator = group.map(|g| {
+        MtCoordinator::new(
+            g.delta,
+            g.policy,
+            rules.iter().map(|r| ObjectId::new(&r.path)),
+        )
+    });
+
+    while !shutdown.load(Ordering::SeqCst) {
+        let Some((path, at)) = due
+            .iter()
+            .min_by_key(|(_, at)| **at)
+            .map(|(p, at)| (p.clone(), *at))
+        else {
+            return;
+        };
+        let now = Instant::now();
+        if at > now {
+            // Sleep in short slices so shutdown stays responsive.
+            std::thread::sleep((at - now).min(StdDuration::from_millis(20)));
+            continue;
+        }
+
+        let now_ts = unix_now();
+        match poll_origin(shared, &path) {
+            Some(result) => {
+                let limd = limds.get_mut(&path).expect("rule path");
+                let decision = limd.on_poll(now_ts, &result);
+                due.insert(path.clone(), Instant::now() + std_duration(decision.ttr));
+                if let Some(coord) = coordinator.as_mut() {
+                    let id = ObjectId::new(&path);
+                    let triggers = coord.on_poll(&id, now_ts, &result);
+                    coord.record_scheduled_poll(&id, now_ts + decision.ttr);
+                    for target in triggers {
+                        shared.counters.triggered.fetch_add(1, Ordering::SeqCst);
+                        // Triggered polls are additional: refresh the
+                        // cache and tell the coordinator, but leave the
+                        // target's LIMD schedule alone.
+                        if let Some(result) = poll_origin(shared, target.as_str()) {
+                            coord.on_poll(&target, unix_now(), &result);
+                        }
+                    }
+                }
+            }
+            None => {
+                // Back off briefly on errors; the rule's Δ governs how
+                // aggressive a retry is sensible.
+                let retry = std_duration(
+                    limds[&path].config().delta().min(Duration::from_millis(200)),
+                );
+                due.insert(path.clone(), Instant::now() + retry.max(StdDuration::from_millis(20)));
+            }
+        }
+    }
+}
+
+fn handle_client(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(StdDuration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(StdDuration::from_secs(10)));
+    let mut buf = BytesMut::new();
+    while let Ok(Some(request)) = read_request(&mut stream, &mut buf) {
+        let response = respond(shared, &request);
+        if write_response(&mut stream, &response).is_err() {
+            break;
+        }
+    }
+}
+
+fn respond(shared: &Shared, request: &Request) -> Response {
+    if request.method() != &Method::Get {
+        return Response::builder(StatusCode::METHOD_NOT_ALLOWED).build();
+    }
+    let path = request.target();
+    if path == "/__stats" {
+        let c = &shared.counters;
+        let body = format!(
+            "polls={}\ntriggered={}\nrefreshes={}\nhits={}\nmisses={}\nerrors={}\n",
+            c.polls.load(Ordering::SeqCst),
+            c.triggered.load(Ordering::SeqCst),
+            c.refreshes.load(Ordering::SeqCst),
+            c.hits.load(Ordering::SeqCst),
+            c.misses.load(Ordering::SeqCst),
+            c.errors.load(Ordering::SeqCst),
+        );
+        return Response::ok().body(body.into_bytes()).build();
+    }
+
+    // Cache hit?
+    if let Some(entry) = shared.cache.read().get(path).cloned() {
+        shared.counters.hits.fetch_add(1, Ordering::SeqCst);
+        return entry_response(&entry, true);
+    }
+
+    // Miss: fetch from the origin, cache, serve.
+    shared.counters.misses.fetch_add(1, Ordering::SeqCst);
+    match shared.client.get(shared.origin, path, None) {
+        Ok(response) if response.status() == StatusCode::OK => {
+            store_response(shared, path, &response);
+            match shared.cache.read().get(path).cloned() {
+                Some(entry) => entry_response(&entry, false),
+                // Origin 200 without a modification stamp: pass through.
+                None => response,
+            }
+        }
+        Ok(response) => response, // 404 etc. pass through
+        Err(_) => Response::builder(StatusCode::INTERNAL_SERVER_ERROR)
+            .body(&b"origin unreachable\n"[..])
+            .build(),
+    }
+}
+
+fn entry_response(entry: &CacheEntry, hit: bool) -> Response {
+    let mut builder = Response::ok()
+        .last_modified(entry.last_modified)
+        .header(X_LAST_MODIFIED_MS, entry.last_modified.as_millis().to_string())
+        .header("x-cache", if hit { "hit" } else { "miss" });
+    if let Some(v) = entry.value {
+        builder = builder.header(HeaderName::X_OBJECT_VALUE, v.to_string());
+    }
+    if let Some(version) = &entry.version {
+        builder = builder.header(HeaderName::X_OBJECT_VERSION, version.clone());
+    }
+    builder.body(entry.body.clone()).build()
+}

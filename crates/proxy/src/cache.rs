@@ -1,0 +1,215 @@
+//! The proxy's object cache.
+//!
+//! The paper's simulation assumes "an infinitely large cache" (§6.1.1), so
+//! this store never evicts; it exists to hold each object's current copy
+//! (version stamp, value, fetch time) and to answer the cache-hit path.
+//! An optional capacity bound with LRU eviction is provided for
+//! experiments beyond the paper.
+
+use std::collections::HashMap;
+
+use mutcon_core::object::{ObjectId, VersionStamp};
+use mutcon_core::time::Timestamp;
+use mutcon_core::value::Value;
+
+/// One cached copy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CachedEntry {
+    /// The copy's version stamp (version number + creation time, i.e. its
+    /// `Last-Modified`).
+    pub stamp: VersionStamp,
+    /// The copy's value, for value-bearing objects.
+    pub value: Option<Value>,
+    /// When the proxy fetched this copy.
+    pub fetched_at: Timestamp,
+    /// Last access (hit or refresh), for LRU.
+    last_used: Timestamp,
+}
+
+/// The proxy cache: unbounded by default (the paper's model), optionally
+/// capacity-limited with LRU eviction.
+#[derive(Debug, Clone, Default)]
+pub struct ProxyCache {
+    entries: HashMap<ObjectId, CachedEntry>,
+    capacity: Option<usize>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ProxyCache {
+    /// An unbounded cache (the paper's assumption).
+    pub fn unbounded() -> Self {
+        ProxyCache::default()
+    }
+
+    /// A cache holding at most `capacity` objects, evicting the least
+    /// recently used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        ProxyCache {
+            capacity: Some(capacity),
+            ..Default::default()
+        }
+    }
+
+    /// Number of cached objects.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Cache hits served so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Looks up an object for a client request at `now`, counting
+    /// hit/miss statistics and refreshing LRU recency.
+    pub fn lookup(&mut self, id: &ObjectId, now: Timestamp) -> Option<&CachedEntry> {
+        match self.entries.get_mut(id) {
+            Some(entry) => {
+                entry.last_used = now;
+                self.hits += 1;
+                Some(&*entry)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Peeks without touching statistics or recency (used by the
+    /// consistency machinery, which is not a client access).
+    pub fn peek(&self, id: &ObjectId) -> Option<&CachedEntry> {
+        self.entries.get(id)
+    }
+
+    /// Stores (or replaces) the copy fetched at `now`. Evicts the LRU
+    /// entry first when a capacity bound is set and would be exceeded.
+    pub fn store(
+        &mut self,
+        id: ObjectId,
+        stamp: VersionStamp,
+        value: Option<Value>,
+        now: Timestamp,
+    ) {
+        if let Some(cap) = self.capacity {
+            if !self.entries.contains_key(&id) && self.entries.len() >= cap {
+                if let Some(victim) = self
+                    .entries
+                    .iter()
+                    .min_by_key(|(oid, e)| (e.last_used, (*oid).clone()))
+                    .map(|(oid, _)| oid.clone())
+                {
+                    self.entries.remove(&victim);
+                }
+            }
+        }
+        self.entries.insert(
+            id,
+            CachedEntry {
+                stamp,
+                value,
+                fetched_at: now,
+                last_used: now,
+            },
+        );
+    }
+
+    /// Drops an entry (used by failure-injection tests).
+    pub fn evict(&mut self, id: &ObjectId) -> Option<CachedEntry> {
+        self.entries.remove(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mutcon_core::object::Version;
+
+    fn oid(s: &str) -> ObjectId {
+        ObjectId::new(s)
+    }
+
+    fn stamp(v: u64, secs: u64) -> VersionStamp {
+        VersionStamp::new(Version::from_raw(v), Timestamp::from_secs(secs))
+    }
+
+    #[test]
+    fn store_and_lookup() {
+        let mut c = ProxyCache::unbounded();
+        assert!(c.is_empty());
+        assert!(c.lookup(&oid("a"), Timestamp::from_secs(1)).is_none());
+        assert_eq!(c.misses(), 1);
+
+        c.store(oid("a"), stamp(0, 0), Some(Value::new(1.5)), Timestamp::from_secs(2));
+        let entry = c.lookup(&oid("a"), Timestamp::from_secs(3)).unwrap();
+        assert_eq!(entry.stamp, stamp(0, 0));
+        assert_eq!(entry.value, Some(Value::new(1.5)));
+        assert_eq!(entry.fetched_at, Timestamp::from_secs(2));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn refresh_replaces() {
+        let mut c = ProxyCache::unbounded();
+        c.store(oid("a"), stamp(0, 0), None, Timestamp::from_secs(1));
+        c.store(oid("a"), stamp(1, 10), None, Timestamp::from_secs(20));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.peek(&oid("a")).unwrap().stamp, stamp(1, 10));
+    }
+
+    #[test]
+    fn peek_does_not_count() {
+        let mut c = ProxyCache::unbounded();
+        c.store(oid("a"), stamp(0, 0), None, Timestamp::from_secs(1));
+        let _ = c.peek(&oid("a"));
+        let _ = c.peek(&oid("b"));
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 0);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut c = ProxyCache::with_capacity(2);
+        c.store(oid("a"), stamp(0, 0), None, Timestamp::from_secs(1));
+        c.store(oid("b"), stamp(0, 0), None, Timestamp::from_secs(2));
+        // Touch a so b becomes LRU.
+        c.lookup(&oid("a"), Timestamp::from_secs(3));
+        c.store(oid("c"), stamp(0, 0), None, Timestamp::from_secs(4));
+        assert_eq!(c.len(), 2);
+        assert!(c.peek(&oid("a")).is_some());
+        assert!(c.peek(&oid("b")).is_none());
+        assert!(c.peek(&oid("c")).is_some());
+    }
+
+    #[test]
+    fn evict_returns_entry() {
+        let mut c = ProxyCache::unbounded();
+        c.store(oid("a"), stamp(0, 0), None, Timestamp::from_secs(1));
+        assert!(c.evict(&oid("a")).is_some());
+        assert!(c.evict(&oid("a")).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = ProxyCache::with_capacity(0);
+    }
+}

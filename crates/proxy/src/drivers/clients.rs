@@ -1,0 +1,303 @@
+//! Client request workloads against the proxy cache.
+//!
+//! The paper's simulator models "a proxy cache that receives requests
+//! from several clients" (§6.1.1): hits are served from the cache, misses
+//! fetch from the server. The consistency experiments themselves only
+//! need the refresher side, but the client path matters for the
+//! motivation (response-time savings come from hits) and for validating
+//! that the refresher actually keeps what clients read fresh.
+//!
+//! [`run_client_workload`] replays a Poisson stream of client requests
+//! over a set of cached objects (Zipf-ish popularity), serving them from
+//! a [`ProxyCache`] maintained by the temporal driver's poll log, and
+//! reports hit ratios plus the *staleness seen by clients* — the
+//! user-visible face of Δt-consistency.
+
+use std::collections::BTreeMap;
+
+use mutcon_core::object::{ObjectId, Version, VersionStamp};
+use mutcon_core::time::{Duration, Timestamp};
+use mutcon_sim::queue::EventQueue;
+use mutcon_sim::rng::SimRng;
+
+use crate::cache::ProxyCache;
+use crate::log::{PollLog, PollOutcome};
+use crate::origin::OriginServer;
+
+/// Configuration of a client request stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientWorkload {
+    /// Mean time between client requests (exponential gaps).
+    pub mean_gap: Duration,
+    /// Zipf-style skew: weight of object `k` (1-based popularity rank) is
+    /// `1 / k^skew`. Zero means uniform.
+    pub skew: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// End of the request stream.
+    pub until: Timestamp,
+}
+
+/// What the clients experienced.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ClientStats {
+    /// Requests served from cache.
+    pub hits: u64,
+    /// Requests that had to fetch from the origin (first access).
+    pub misses: u64,
+    /// Total staleness across hit responses (how far behind the origin
+    /// the served copies were).
+    pub total_staleness: Duration,
+    /// The single worst staleness served.
+    pub worst_staleness: Duration,
+}
+
+impl ClientStats {
+    /// Hit ratio in `[0, 1]` (1.0 when there were no requests).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Mean staleness of hit responses.
+    pub fn mean_staleness(&self) -> Duration {
+        if self.hits == 0 {
+            Duration::ZERO
+        } else {
+            self.total_staleness / self.hits
+        }
+    }
+}
+
+/// Replays a client request stream against a cache maintained by the
+/// given poll logs (as produced by
+/// [`run_temporal`](crate::drivers::run_temporal)).
+///
+/// The cache contents at any instant are derived from each object's poll
+/// log: the copy a client sees is the version fetched by the most recent
+/// refresh. Staleness is measured against the origin's ground truth.
+///
+/// # Panics
+///
+/// Panics if an object in `logs` is not hosted by the origin.
+pub fn run_client_workload(
+    origin: &OriginServer,
+    logs: &BTreeMap<ObjectId, PollLog>,
+    workload: &ClientWorkload,
+) -> ClientStats {
+    let objects: Vec<&ObjectId> = logs.keys().collect();
+    assert!(!objects.is_empty(), "client workload needs at least one object");
+
+    // Popularity weights: rank 1 is the most popular.
+    let weights: Vec<f64> = (1..=objects.len())
+        .map(|k| 1.0 / (k as f64).powf(workload.skew.max(0.0)))
+        .collect();
+    let total_weight: f64 = weights.iter().sum();
+
+    // Pre-compute each object's refresh timeline for O(log n) lookups.
+    let timelines: BTreeMap<&ObjectId, Vec<(Timestamp, usize)>> = logs
+        .iter()
+        .map(|(id, log)| (id, log.refresh_timeline().collect()))
+        .collect();
+
+    let mut rng = SimRng::seed_from_u64(workload.seed);
+    let mut cache = ProxyCache::unbounded();
+    let mut stats = ClientStats::default();
+
+    // A queue keeps the request stream in the same deterministic
+    // framework as every other driver.
+    let mut queue: EventQueue<()> = EventQueue::new();
+    let first_gap = Duration::from_secs_f64(rng.exponential(workload.mean_gap.as_secs_f64()));
+    queue.schedule_at(Timestamp::ZERO + first_gap, ());
+
+    while let Some(at) = queue.peek_time() {
+        if at > workload.until {
+            break;
+        }
+        let (now, ()) = queue.pop().expect("peeked event exists");
+
+        // Pick an object by popularity.
+        let mut target = rng.uniform() * total_weight;
+        let mut chosen = objects[objects.len() - 1];
+        for (obj, w) in objects.iter().zip(&weights) {
+            if target < *w {
+                chosen = obj;
+                break;
+            }
+            target -= w;
+        }
+
+        // The copy the refresher has most recently installed.
+        let timeline = &timelines[chosen];
+        let held = match timeline.binary_search_by(|(t, _)| t.cmp(&now)) {
+            Ok(i) => Some(timeline[i]),
+            Err(0) => None,
+            Err(i) => Some(timeline[i - 1]),
+        };
+
+        match held {
+            Some((_, version_index)) => {
+                let trace = origin.trace(chosen).expect("object hosted");
+                let event = trace.events()[version_index];
+                if cache.lookup(chosen, now).is_none() {
+                    // First client touch of an already-refreshed object:
+                    // count the install, then serve the hit path next time.
+                    cache.store(
+                        (*chosen).clone(),
+                        VersionStamp::new(Version::from_raw(version_index as u64), event.at),
+                        event.value,
+                        now,
+                    );
+                    stats.misses += 1;
+                } else {
+                    stats.hits += 1;
+                    // Staleness: how long ago did the origin move past the
+                    // served version?
+                    let staleness = match trace.events().get(version_index + 1) {
+                        Some(next) if next.at <= now => now.since(next.at),
+                        _ => Duration::ZERO,
+                    };
+                    stats.total_staleness = stats.total_staleness.saturating_add(staleness);
+                    stats.worst_staleness = stats.worst_staleness.max(staleness);
+                }
+            }
+            None => {
+                // Nothing fetched yet: a genuine miss to the origin.
+                stats.misses += 1;
+            }
+        }
+
+        let gap = Duration::from_secs_f64(rng.exponential(workload.mean_gap.as_secs_f64()));
+        queue.schedule_after(gap.max(Duration::from_millis(1)), ());
+    }
+    stats
+}
+
+/// Derives the proxy-cache view at `at` from a poll log (exposed for
+/// tests and tooling): the version index most recently refreshed.
+pub fn cached_version_at(log: &PollLog, at: Timestamp) -> Option<usize> {
+    log.records()
+        .iter()
+        .take_while(|r| r.at <= at)
+        .filter_map(|r| match r.outcome {
+            PollOutcome::Refreshed { version_index } => Some(version_index),
+            PollOutcome::NotModified => None,
+        })
+        .last()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drivers::{run_temporal, TemporalPolicy, TemporalSimConfig};
+    use mutcon_core::limd::LimdConfig;
+    use mutcon_traces::generator::NewsTraceBuilder;
+
+    fn setup(delta_min: u64) -> (OriginServer, BTreeMap<ObjectId, PollLog>, Timestamp) {
+        let mut origin = OriginServer::new();
+        let mut ids = Vec::new();
+        for (i, name) in ["a", "b", "c"].iter().enumerate() {
+            let id = ObjectId::new(*name);
+            let trace = NewsTraceBuilder::new(*name, Duration::from_hours(6), 30 + i * 10)
+                .seed(500 + i as u64)
+                .build()
+                .unwrap();
+            origin.host(id.clone(), trace);
+            ids.push(id);
+        }
+        let until = Timestamp::ZERO + Duration::from_hours(6);
+        let out = run_temporal(
+            &origin,
+            &ids,
+            &TemporalSimConfig {
+                policy: TemporalPolicy::Limd(
+                    LimdConfig::builder(Duration::from_mins(delta_min))
+                        .build()
+                        .unwrap(),
+                ),
+                mutual: None,
+                until,
+            },
+        );
+        (origin, out.logs, until)
+    }
+
+    fn workload(until: Timestamp) -> ClientWorkload {
+        ClientWorkload {
+            mean_gap: Duration::from_secs(30),
+            skew: 1.0,
+            seed: 7,
+            until,
+        }
+    }
+
+    #[test]
+    fn mostly_hits_once_warm() {
+        let (origin, logs, until) = setup(10);
+        let stats = run_client_workload(&origin, &logs, &workload(until));
+        assert!(stats.hits > 100, "expected many hits, got {}", stats.hits);
+        // One miss per object at most (first touch), since the refresher
+        // keeps everything cached from t=0.
+        assert!(stats.misses <= 3, "unexpected misses: {}", stats.misses);
+        assert!(stats.hit_ratio() > 0.95);
+    }
+
+    #[test]
+    fn tighter_delta_means_fresher_responses() {
+        let (origin, logs_tight, until) = setup(2);
+        let tight = run_client_workload(&origin, &logs_tight, &workload(until));
+        let (origin_loose, logs_loose, _) = setup(40);
+        let loose = run_client_workload(&origin_loose, &logs_loose, &workload(until));
+        assert!(
+            tight.mean_staleness() <= loose.mean_staleness(),
+            "Δ=2min staleness {} should not exceed Δ=40min staleness {}",
+            tight.mean_staleness(),
+            loose.mean_staleness()
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (origin, logs, until) = setup(10);
+        let a = run_client_workload(&origin, &logs, &workload(until));
+        let b = run_client_workload(&origin, &logs, &workload(until));
+        assert_eq!(a, b);
+        let mut other = workload(until);
+        other.seed = 8;
+        let c = run_client_workload(&origin, &logs, &other);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn cached_version_lookup() {
+        let (_, logs, until) = setup(10);
+        let log = logs.values().next().unwrap();
+        // Before the first poll nothing is cached.
+        assert_eq!(cached_version_at(log, Timestamp::ZERO - Duration::ZERO), Some(0));
+        // At the end, some version is cached and indices never decrease.
+        let mut prev = 0;
+        for r in log.records() {
+            if let Some(v) = cached_version_at(log, r.at) {
+                assert!(v >= prev);
+                prev = v;
+            }
+        }
+        assert!(cached_version_at(log, until).is_some());
+    }
+
+    #[test]
+    fn stats_helpers() {
+        let mut s = ClientStats::default();
+        assert_eq!(s.hit_ratio(), 1.0);
+        assert_eq!(s.mean_staleness(), Duration::ZERO);
+        s.hits = 3;
+        s.misses = 1;
+        s.total_staleness = Duration::from_secs(9);
+        assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
+        assert_eq!(s.mean_staleness(), Duration::from_secs(3));
+    }
+}

@@ -1,0 +1,179 @@
+//! Server-push consistency — the road not taken (§2, footnote 1).
+//!
+//! The paper restricts itself to proxy-side polling and notes that
+//! "server-based approaches … in such approaches, the server pushes
+//! relevant changes to the proxy (e.g., only those updates that are
+//! necessary to maintain the Δ-bound)" are possible but out of scope.
+//! This module implements that ideal server-push as an *extension
+//! baseline*, so the polling algorithms can be compared against the
+//! message-count lower bound an omniscient server achieves:
+//!
+//! * **Δt-push** — the server sends one message per update when the
+//!   proxy's copy would otherwise exceed Δ; updates superseded within Δ
+//!   are coalesced (the push can wait up to Δ after the first missed
+//!   update, forwarding only the newest version).
+//! * **Mt-push** — pushing each update the moment it happens trivially
+//!   keeps every pair mutually consistent; its cost is simply one message
+//!   per update.
+//!
+//! Both produce [`PollLog`]s, so the existing ground-truth metrics apply
+//! unchanged.
+
+use mutcon_core::time::{Duration, Timestamp};
+use mutcon_traces::UpdateTrace;
+
+use crate::log::{PollLog, PollOutcome, PollRecord};
+
+/// Simulates ideal server push for Δt-consistency over one object.
+///
+/// The server watches its own updates and sends the proxy a fresh copy at
+/// the last possible moment: Δ after the first update the proxy has not
+/// seen (coalescing any updates in between). The initial copy is pushed
+/// at the trace start. Returns the proxy-side log (every record is a
+/// pushed refresh).
+pub fn push_delta_t(trace: &UpdateTrace, delta: Duration, until: Timestamp) -> PollLog {
+    let mut log = PollLog::new();
+    log.push(PollRecord {
+        at: trace.events()[0].at.min(until),
+        outcome: PollOutcome::Refreshed { version_index: 0 },
+        triggered: false,
+    });
+    let mut held = 0usize;
+    // Walk from each held version to the first update it misses.
+    while let Some(first_missed) = trace.events().get(held + 1) {
+        // The guarantee breaks Δ after that update (Equation 2's bound is
+        // strict), so the push lands one tick before the deadline.
+        let push_at = first_missed.at + delta - Duration::from_millis(1);
+        if push_at > until {
+            break;
+        }
+        // Coalesce: ship the newest version that exists at push time.
+        let newest = trace
+            .version_index_at(push_at)
+            .expect("push time is after the first event");
+        log.push(PollRecord {
+            at: push_at,
+            outcome: PollOutcome::Refreshed { version_index: newest },
+            triggered: false,
+        });
+        held = newest;
+    }
+    log
+}
+
+/// Simulates eager per-update push (one message per server update), the
+/// strategy that makes mutual consistency trivial. Returns the proxy-side
+/// log.
+pub fn push_every_update(trace: &UpdateTrace, until: Timestamp) -> PollLog {
+    let mut log = PollLog::new();
+    for (i, e) in trace.events().iter().enumerate() {
+        if e.at > until {
+            break;
+        }
+        log.push(PollRecord {
+            at: e.at,
+            outcome: PollOutcome::Refreshed { version_index: i },
+            triggered: false,
+        });
+    }
+    log
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+    use mutcon_core::time::Duration;
+    use mutcon_traces::generator::NewsTraceBuilder;
+    use mutcon_traces::UpdateEvent;
+
+    fn secs(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    fn trace(updates: &[u64]) -> UpdateTrace {
+        let mut events = vec![UpdateEvent::temporal(secs(0))];
+        events.extend(updates.iter().map(|&s| UpdateEvent::temporal(secs(s))));
+        UpdateTrace::new("t", secs(0), secs(1_000), events).unwrap()
+    }
+
+    #[test]
+    fn push_delta_t_is_perfect_and_minimal() {
+        let t = trace(&[100, 300, 700]);
+        let delta = Duration::from_secs(60);
+        let log = push_delta_t(&t, delta, t.end());
+        // One initial push + one per (non-coalesced) update.
+        assert_eq!(log.poll_count(), 4);
+        let stats = metrics::individual_temporal(&t, &log, delta, t.end());
+        assert_eq!(stats.violations(), 0);
+        assert_eq!(stats.out_of_sync(), Duration::ZERO);
+        assert_eq!(stats.fidelity_by_time(), 1.0);
+    }
+
+    #[test]
+    fn push_coalesces_rapid_updates() {
+        // Three updates within one Δ window collapse into one push of the
+        // newest version.
+        let t = trace(&[100, 110, 120, 500]);
+        let delta = Duration::from_secs(60);
+        let log = push_delta_t(&t, delta, t.end());
+        // initial + coalesced(100..120) + 500.
+        assert_eq!(log.poll_count(), 3);
+        // The coalesced push ships version 3 (the 120 s update) just
+        // before the 160 s deadline.
+        let records = log.records();
+        assert_eq!(records[1].at, secs(160) - Duration::from_millis(1));
+        assert_eq!(records[1].outcome, PollOutcome::Refreshed { version_index: 3 });
+        // Still perfect.
+        let stats = metrics::individual_temporal(&t, &log, delta, t.end());
+        assert_eq!(stats.out_of_sync(), Duration::ZERO);
+    }
+
+    #[test]
+    fn push_every_update_gives_mutual_fidelity_one() {
+        let a = trace(&[100, 450]);
+        let b = trace(&[220, 300, 890]);
+        let la = push_every_update(&a, a.end());
+        let lb = push_every_update(&b, b.end());
+        assert_eq!(la.poll_count(), 3);
+        assert_eq!(lb.poll_count(), 4);
+        let stats =
+            metrics::mutual_temporal(&a, &la, &b, &lb, Duration::ZERO, secs(1_000));
+        assert_eq!(stats.fidelity_by_violations(), 1.0);
+        assert_eq!(stats.out_of_sync(), Duration::ZERO);
+    }
+
+    #[test]
+    fn push_messages_lower_bound_polls() {
+        // On a realistic workload, ideal push uses (far) fewer messages
+        // than the every-Δ baseline needs polls, while matching its
+        // perfect fidelity — quantifying what footnote 1 gives up by
+        // staying proxy-based.
+        let t = NewsTraceBuilder::new("n", Duration::from_hours(24), 60)
+            .seed(3)
+            .build()
+            .unwrap();
+        let delta = Duration::from_mins(5);
+        let push = push_delta_t(&t, delta, t.end());
+        let baseline_polls = t.duration().as_millis() / delta.as_millis() + 1;
+        assert!(
+            push.poll_count() < baseline_polls / 3,
+            "push {} vs baseline {}",
+            push.poll_count(),
+            baseline_polls
+        );
+        let stats = metrics::individual_temporal(&t, &push, delta, t.end());
+        assert_eq!(stats.out_of_sync(), Duration::ZERO);
+    }
+
+    #[test]
+    fn push_respects_window_end() {
+        let t = trace(&[100, 900]);
+        let log = push_delta_t(&t, Duration::from_secs(60), secs(500));
+        for r in log.records() {
+            assert!(r.at <= secs(500));
+        }
+        let log = push_every_update(&t, secs(500));
+        assert_eq!(log.poll_count(), 2); // initial + the 100 s update
+    }
+}

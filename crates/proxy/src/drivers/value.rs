@@ -1,0 +1,292 @@
+//! The value-domain simulation driver (§4, §6.2.3).
+//!
+//! Three modes:
+//!
+//! * [`run_value_individual`] — one object under the §4.1 adaptive TTR
+//!   (Δv-consistency).
+//! * [`run_value_pair`] with [`ValuePairPolicy::Virtual`] — the pair is
+//!   polled *together* on one schedule derived from the rate of change of
+//!   `f` (Equations 11–12); each pair poll issues two HTTP requests.
+//! * [`run_value_pair`] with [`ValuePairPolicy::Partitioned`] — δ is split
+//!   into per-object tolerances and each object polls independently.
+
+use mutcon_core::adaptive_ttr::{AdaptiveTtr, AdaptiveTtrConfig};
+use mutcon_core::mutual::value::{
+    PairMember, PartitionedConfig, PartitionedPolicy, VirtualObjectConfig, VirtualObjectPolicy,
+};
+use mutcon_core::object::ObjectId;
+use mutcon_core::time::Timestamp;
+use mutcon_core::value::Value;
+use mutcon_sim::queue::EventQueue;
+
+use crate::log::{PollLog, PollOutcome, PollRecord};
+use crate::origin::OriginServer;
+
+/// Which Mv approach drives the pair.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValuePairPolicy {
+    /// Track `f(a, b)` as a virtual object (§4.2, Equations 11–12).
+    Virtual(VirtualObjectConfig),
+    /// Split δ into per-object tolerances (§4.2, partitioned approach).
+    Partitioned(PartitionedConfig),
+}
+
+/// Output of a pair run.
+#[derive(Debug, Clone, Default)]
+pub struct ValuePairOutput {
+    /// Poll log of the first object.
+    pub log_a: PollLog,
+    /// Poll log of the second object.
+    pub log_b: PollLog,
+    /// Violations the *policy itself* detected (its internal feedback
+    /// signal — ground-truth violations come from `metrics`).
+    pub detected_violations: u64,
+}
+
+impl ValuePairOutput {
+    /// Total polls (HTTP requests) across both objects.
+    pub fn total_polls(&self) -> u64 {
+        self.log_a.poll_count() + self.log_b.poll_count()
+    }
+}
+
+fn poll_value(
+    origin: &OriginServer,
+    id: &ObjectId,
+    now: Timestamp,
+    validator: &mut Option<Timestamp>,
+    log: &mut PollLog,
+) -> Value {
+    let resp = origin
+        .poll(id, now, *validator)
+        .expect("object hosted by origin for the whole window");
+    let outcome = if resp.not_modified {
+        PollOutcome::NotModified
+    } else {
+        *validator = Some(resp.last_modified);
+        PollOutcome::Refreshed {
+            version_index: resp.version_index,
+        }
+    };
+    log.push(PollRecord {
+        at: now,
+        outcome,
+        triggered: false,
+    });
+    resp.value
+        .expect("value-domain driver requires valued traces")
+}
+
+/// Runs one object under the §4.1 adaptive TTR until `until`; returns its
+/// poll log.
+///
+/// # Panics
+///
+/// Panics if the object is not hosted or its trace is not valued.
+pub fn run_value_individual(
+    origin: &OriginServer,
+    id: &ObjectId,
+    config: AdaptiveTtrConfig,
+    until: Timestamp,
+) -> PollLog {
+    let mut log = PollLog::new();
+    let mut ttr = AdaptiveTtr::new(config);
+    let mut validator = None;
+    let mut now = Timestamp::ZERO;
+    loop {
+        let value = poll_value(origin, id, now, &mut validator, &mut log);
+        let next = ttr.on_poll(now, value);
+        now += next;
+        if now > until {
+            break;
+        }
+    }
+    log
+}
+
+/// Runs a pair of valued objects under an Mv policy until `until`.
+///
+/// # Panics
+///
+/// Panics if either object is not hosted or its trace is not valued.
+pub fn run_value_pair(
+    origin: &OriginServer,
+    a: &ObjectId,
+    b: &ObjectId,
+    policy: &ValuePairPolicy,
+    until: Timestamp,
+) -> ValuePairOutput {
+    match policy {
+        ValuePairPolicy::Virtual(cfg) => run_virtual(origin, a, b, cfg.into_policy(), until),
+        ValuePairPolicy::Partitioned(cfg) => {
+            run_partitioned(origin, a, b, cfg.into_policy(), until)
+        }
+    }
+}
+
+fn run_virtual(
+    origin: &OriginServer,
+    a: &ObjectId,
+    b: &ObjectId,
+    mut policy: VirtualObjectPolicy,
+    until: Timestamp,
+) -> ValuePairOutput {
+    let mut out = ValuePairOutput::default();
+    let mut validator_a = None;
+    let mut validator_b = None;
+    let mut now = Timestamp::ZERO;
+    loop {
+        let va = poll_value(origin, a, now, &mut validator_a, &mut out.log_a);
+        let vb = poll_value(origin, b, now, &mut validator_b, &mut out.log_b);
+        let decision = policy.on_poll(now, va, vb);
+        if decision.violated {
+            out.detected_violations += 1;
+        }
+        now += decision.ttr;
+        if now > until {
+            break;
+        }
+    }
+    out
+}
+
+fn run_partitioned(
+    origin: &OriginServer,
+    a: &ObjectId,
+    b: &ObjectId,
+    mut policy: PartitionedPolicy,
+    until: Timestamp,
+) -> ValuePairOutput {
+    let mut out = ValuePairOutput::default();
+    let mut validator_a = None;
+    let mut validator_b = None;
+    let mut queue: EventQueue<PairMember> = EventQueue::new();
+    queue.schedule_at(Timestamp::ZERO, PairMember::A);
+    queue.schedule_at(Timestamp::ZERO, PairMember::B);
+    while let Some(at) = queue.peek_time() {
+        if at > until {
+            break;
+        }
+        let (now, member) = queue.pop().expect("peeked event exists");
+        let (id, validator, log) = match member {
+            PairMember::A => (a, &mut validator_a, &mut out.log_a),
+            PairMember::B => (b, &mut validator_b, &mut out.log_b),
+        };
+        let value = poll_value(origin, id, now, validator, log);
+        let ttr = policy.on_poll(member, now, value);
+        let next = now + ttr;
+        if next <= until {
+            queue.schedule_at(next, member);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mutcon_core::functions::ValueFunction;
+    use mutcon_core::time::Duration;
+    use mutcon_traces::NamedTrace;
+
+    fn stock_origin() -> (OriginServer, ObjectId, ObjectId) {
+        let mut origin = OriginServer::new();
+        let att = ObjectId::new("stock/T");
+        let yahoo = ObjectId::new("stock/YHOO");
+        origin.host(att.clone(), NamedTrace::Att.generate());
+        origin.host(yahoo.clone(), NamedTrace::Yahoo.generate());
+        (origin, att, yahoo)
+    }
+
+    fn until() -> Timestamp {
+        Timestamp::ZERO + NamedTrace::Att.duration()
+    }
+
+    #[test]
+    fn individual_adaptive_ttr_polls_less_than_minimum_rate() {
+        let (origin, att, _) = stock_origin();
+        let config = AdaptiveTtrConfig::builder(Value::new(0.25))
+            .ttr_bounds(Duration::from_secs(5), Duration::from_mins(10))
+            .build()
+            .unwrap();
+        let log = run_value_individual(&origin, &att, config, until());
+        assert!(log.poll_count() > 2);
+        // Upper bound: polling every ttr_min for 3 h = 2160 polls.
+        assert!(log.poll_count() <= 2_161);
+        // Polls stay inside the window.
+        assert!(log.records().last().unwrap().at <= until());
+    }
+
+    #[test]
+    fn virtual_pair_polls_in_lockstep() {
+        let (origin, att, yahoo) = stock_origin();
+        let cfg = VirtualObjectConfig::builder(ValueFunction::Difference, Value::new(1.0))
+            .ttr_bounds(Duration::from_secs(10), Duration::from_mins(10))
+            .build()
+            .unwrap();
+        let out = run_value_pair(&origin, &att, &yahoo, &ValuePairPolicy::Virtual(cfg), until());
+        // Lockstep: equal counts, identical instants.
+        assert_eq!(out.log_a.poll_count(), out.log_b.poll_count());
+        for (ra, rb) in out.log_a.records().iter().zip(out.log_b.records()) {
+            assert_eq!(ra.at, rb.at);
+        }
+        assert_eq!(out.total_polls(), 2 * out.log_a.poll_count());
+    }
+
+    #[test]
+    fn partitioned_pair_polls_independently() {
+        let (origin, att, yahoo) = stock_origin();
+        let cfg = PartitionedConfig::builder(ValueFunction::Difference, Value::new(1.0))
+            .ttr_bounds(Duration::from_secs(10), Duration::from_mins(10))
+            .build()
+            .unwrap();
+        let out = run_value_pair(
+            &origin,
+            &att,
+            &yahoo,
+            &ValuePairPolicy::Partitioned(cfg),
+            until(),
+        );
+        assert!(out.log_a.poll_count() > 2);
+        assert!(out.log_b.poll_count() > 2);
+        // Yahoo moves much more than AT&T; its schedule should be denser.
+        assert!(
+            out.log_b.poll_count() > out.log_a.poll_count(),
+            "yahoo {} vs att {}",
+            out.log_b.poll_count(),
+            out.log_a.poll_count()
+        );
+    }
+
+    #[test]
+    fn tighter_delta_means_more_polls() {
+        let (origin, att, yahoo) = stock_origin();
+        let mk = |delta: f64| {
+            let cfg = VirtualObjectConfig::builder(ValueFunction::Difference, Value::new(delta))
+                .ttr_bounds(Duration::from_secs(5), Duration::from_mins(10))
+                .build()
+                .unwrap();
+            run_value_pair(&origin, &att, &yahoo, &ValuePairPolicy::Virtual(cfg), until())
+                .total_polls()
+        };
+        let tight = mk(0.25);
+        let loose = mk(5.0);
+        assert!(
+            tight > loose,
+            "tight δ should poll more: {tight} vs {loose}"
+        );
+    }
+
+    #[test]
+    fn virtual_detects_some_violations_under_tight_delta() {
+        let (origin, att, yahoo) = stock_origin();
+        let cfg = VirtualObjectConfig::builder(ValueFunction::Difference, Value::new(0.25))
+            .ttr_bounds(Duration::from_secs(30), Duration::from_mins(10))
+            .build()
+            .unwrap();
+        let out = run_value_pair(&origin, &att, &yahoo, &ValuePairPolicy::Virtual(cfg), until());
+        // With a tight tolerance and a floor on the TTR, some drift slips
+        // through — that is exactly what θ reacts to.
+        assert!(out.detected_violations > 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests of the full simulation pipeline: random workloads
+//! through the drivers and the ground-truth metrics.
+
+use proptest::prelude::*;
+
+use mutcon_core::limd::LimdConfig;
+use mutcon_core::mutual::temporal::MtPolicy;
+use mutcon_core::object::ObjectId;
+use mutcon_core::time::Duration;
+use mutcon_proxy::drivers::{run_temporal, MutualSetup, TemporalPolicy, TemporalSimConfig};
+use mutcon_proxy::metrics;
+use mutcon_proxy::origin::OriginServer;
+use mutcon_traces::generator::NewsTraceBuilder;
+use mutcon_traces::UpdateTrace;
+
+fn random_trace(name: &str, seed: u64, updates: usize) -> UpdateTrace {
+    NewsTraceBuilder::new(name, Duration::from_hours(8), updates)
+        .seed(seed)
+        .build()
+        .expect("valid generator parameters")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// LIMD on a random workload: fidelities in range, out-of-sync time
+    /// bounded by the window, polls bounded by the every-ttr_min maximum,
+    /// and the whole pipeline deterministic.
+    #[test]
+    fn limd_pipeline_invariants(
+        seed in any::<u64>(),
+        updates in 0usize..150,
+        delta_min in 1u64..40,
+    ) {
+        let trace = random_trace("obj", seed, updates);
+        let id = ObjectId::new("obj");
+        let mut origin = OriginServer::new();
+        origin.host(id.clone(), trace.clone());
+        let delta = Duration::from_mins(delta_min);
+        let config = TemporalSimConfig {
+            policy: TemporalPolicy::Limd(
+                LimdConfig::builder(delta)
+                    .ttr_max(Duration::from_mins(60).max(delta))
+                    .build()
+                    .expect("valid LIMD parameters"),
+            ),
+            mutual: None,
+            until: trace.end(),
+        };
+        let out = run_temporal(&origin, std::slice::from_ref(&id), &config);
+        let log = &out.logs[&id];
+        // Poll budget: one initial poll plus at most one per ttr_min.
+        let max_polls = 2 + trace.duration().as_millis() / delta.as_millis();
+        prop_assert!(log.poll_count() <= max_polls);
+        // Poll log is time-ordered within the window.
+        for r in log.records() {
+            prop_assert!(r.at <= trace.end());
+        }
+        let stats = metrics::individual_temporal(&trace, log, delta, trace.end());
+        prop_assert!((0.0..=1.0).contains(&stats.fidelity_by_violations()));
+        prop_assert!((0.0..=1.0).contains(&stats.fidelity_by_time()));
+        prop_assert!(stats.out_of_sync() <= stats.observed());
+        prop_assert!(stats.violations() <= stats.polls());
+        // Determinism.
+        let again = run_temporal(&origin, std::slice::from_ref(&id), &config);
+        prop_assert_eq!(&again.logs[&id], log);
+    }
+
+    /// The paper's headline property: LIMD + triggered polls delivers
+    /// perfect Mt fidelity on ANY pair of workloads and any δ.
+    #[test]
+    fn triggered_polls_always_perfect_fidelity(
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+        updates_a in 1usize..120,
+        updates_b in 1usize..120,
+        mutual_delta_min in 0u64..30,
+    ) {
+        let trace_a = random_trace("a", seed_a, updates_a);
+        let trace_b = random_trace("b", seed_b, updates_b);
+        let ids = [ObjectId::new("a"), ObjectId::new("b")];
+        let mut origin = OriginServer::new();
+        origin.host(ids[0].clone(), trace_a.clone());
+        origin.host(ids[1].clone(), trace_b.clone());
+        let until = trace_a.end().min(trace_b.end());
+        let mutual_delta = Duration::from_mins(mutual_delta_min);
+
+        let out = run_temporal(
+            &origin,
+            &ids,
+            &TemporalSimConfig {
+                policy: TemporalPolicy::Limd(
+                    LimdConfig::builder(Duration::from_mins(10))
+                        .ttr_max(Duration::from_mins(60))
+                        .build()
+                        .expect("valid LIMD parameters"),
+                ),
+                mutual: Some(MutualSetup {
+                    delta: mutual_delta,
+                    policy: MtPolicy::TriggeredPolls,
+                }),
+                until,
+            },
+        );
+        let stats = metrics::mutual_temporal(
+            &trace_a, &out.logs[&ids[0]], &trace_b, &out.logs[&ids[1]],
+            mutual_delta, until,
+        );
+        prop_assert_eq!(
+            stats.violations(), 0,
+            "triggered polls let {} violations through (δ = {})",
+            stats.violations(), mutual_delta
+        );
+        prop_assert_eq!(stats.fidelity_by_violations(), 1.0);
+    }
+
+    /// The every-Δ baseline never misses by more than rounding: its
+    /// ground-truth violation fidelity is 1 on any workload.
+    #[test]
+    fn periodic_baseline_is_perfect(
+        seed in any::<u64>(),
+        updates in 0usize..150,
+        delta_min in 1u64..30,
+    ) {
+        let trace = random_trace("obj", seed, updates);
+        let id = ObjectId::new("obj");
+        let mut origin = OriginServer::new();
+        origin.host(id.clone(), trace.clone());
+        let delta = Duration::from_mins(delta_min);
+        let out = run_temporal(
+            &origin,
+            std::slice::from_ref(&id),
+            &TemporalSimConfig {
+                policy: TemporalPolicy::Periodic(delta),
+                mutual: None,
+                until: trace.end(),
+            },
+        );
+        let stats = metrics::individual_temporal(&trace, &out.logs[&id], delta, trace.end());
+        prop_assert_eq!(stats.violations(), 0);
+        prop_assert_eq!(stats.out_of_sync(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,348 @@
+//! The discrete-event queue and virtual clock.
+//!
+//! [`EventQueue`] is a time-ordered priority queue. Popping an event
+//! advances the virtual clock to the event's scheduled time; scheduling in
+//! the past is rejected. Events scheduled for the same instant are
+//! delivered in scheduling (FIFO) order, which — together with seeded
+//! randomness — makes every simulation in this workspace bit-for-bit
+//! reproducible.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+use std::fmt;
+
+use mutcon_core::time::{Duration, Timestamp};
+
+/// Handle to a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+struct Scheduled<E> {
+    at: Timestamp,
+    seq: u64,
+    event: E,
+}
+
+// Order: earliest time first; FIFO among equal times. (Reversed because
+// BinaryHeap is a max-heap.)
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+/// A deterministic discrete-event queue with a virtual clock.
+///
+/// `E` is the caller's event payload type; the queue imposes no trait
+/// bounds on it beyond what the caller's own usage requires.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    now: Timestamp,
+    executed: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`Timestamp::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            now: Timestamp::ZERO,
+            executed: 0,
+        }
+    }
+
+    /// The current virtual time: the timestamp of the most recently popped
+    /// event (or zero before any pop).
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// Number of events delivered so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events currently pending (cancelled events may still be
+    /// counted until their scheduled time passes).
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current virtual time — an event
+    /// in the past can never be delivered and indicates a logic error in
+    /// the caller.
+    pub fn schedule_at(&mut self, at: Timestamp, event: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at} < now {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+        EventId(seq)
+    }
+
+    /// Schedules `event` to fire `delay` after the current virtual time.
+    pub fn schedule_after(&mut self, delay: Duration, event: E) -> EventId {
+        self.schedule_at(self.now.saturating_add(delay), event)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event
+    /// was still pending. Cancellation is lazy: the entry is dropped when
+    /// its time comes up.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        // Only mark events that are plausibly still queued; popping clears
+        // the mark, so double-cancel reports false via the insert result.
+        if self.heap.iter().any(|s| s.seq == id.0) {
+            self.cancelled.insert(id.0)
+        } else {
+            false
+        }
+    }
+
+    /// Time of the next pending event, without popping it.
+    pub fn peek_time(&mut self) -> Option<Timestamp> {
+        self.skim_cancelled();
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Delivers the next event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<(Timestamp, E)> {
+        self.skim_cancelled();
+        let s = self.heap.pop()?;
+        debug_assert!(s.at >= self.now, "event queue went back in time");
+        self.now = s.at;
+        self.executed += 1;
+        Some((s.at, s.event))
+    }
+
+    /// Drops cancelled entries sitting at the head of the heap.
+    fn skim_cancelled(&mut self) {
+        while let Some(head) = self.heap.peek() {
+            if self.cancelled.remove(&head.seq) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Runs `handler` for every event up to and including time `until`.
+    ///
+    /// The handler receives the queue itself (to schedule follow-up
+    /// events), the event time, and the event. Events scheduled beyond
+    /// `until` stay pending. Returns the number of events delivered.
+    pub fn run_until(
+        &mut self,
+        until: Timestamp,
+        mut handler: impl FnMut(&mut EventQueue<E>, Timestamp, E),
+    ) -> u64 {
+        let mut delivered = 0;
+        while let Some(at) = self.peek_time() {
+            if at > until {
+                break;
+            }
+            let (at, event) = self.pop().expect("peeked event vanished");
+            handler(self, at, event);
+            delivered += 1;
+        }
+        // The clock reaches `until` even if no event sat exactly there.
+        if self.now < until {
+            self.now = until;
+        }
+        delivered
+    }
+
+    /// Runs `handler` until the queue drains completely. Returns the
+    /// number of events delivered.
+    ///
+    /// The caller is responsible for termination: a handler that always
+    /// schedules follow-up events loops forever.
+    pub fn run_to_completion(
+        &mut self,
+        mut handler: impl FnMut(&mut EventQueue<E>, Timestamp, E),
+    ) -> u64 {
+        let mut delivered = 0;
+        while let Some((at, event)) = self.pop() {
+            handler(self, at, event);
+            delivered += 1;
+        }
+        delivered
+    }
+}
+
+impl<E> fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("now", &self.now)
+            .field("pending", &self.len())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(secs(3), 'c');
+        q.schedule_at(secs(1), 'a');
+        q.schedule_at(secs(2), 'b');
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(
+            order,
+            vec![(secs(1), 'a'), (secs(2), 'b'), (secs(3), 'c')]
+        );
+        assert_eq!(q.executed(), 3);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule_at(secs(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), Timestamp::ZERO);
+        q.schedule_at(secs(7), ());
+        q.pop();
+        assert_eq!(q.now(), secs(7));
+        // schedule_after is relative to the advanced clock.
+        q.schedule_after(Duration::from_secs(3), ());
+        assert_eq!(q.pop(), Some((secs(10), ())));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.schedule_at(secs(5), ());
+        q.pop();
+        q.schedule_at(secs(1), ());
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(secs(1), 'a');
+        let b = q.schedule_at(secs(2), 'b');
+        assert_eq!(q.len(), 2);
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel must report false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((secs(2), 'b')));
+        assert!(!q.cancel(b), "cancel after delivery must report false");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn peek_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(secs(1), 'a');
+        q.schedule_at(secs(2), 'b');
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(secs(2)));
+    }
+
+    #[test]
+    fn run_until_stops_at_boundary() {
+        let mut q = EventQueue::new();
+        for s in 1..=5 {
+            q.schedule_at(secs(s), s);
+        }
+        let mut seen = Vec::new();
+        let n = q.run_until(secs(3), |_, _, e| seen.push(e));
+        assert_eq!(n, 3);
+        assert_eq!(seen, vec![1, 2, 3]);
+        assert_eq!(q.now(), secs(3));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn run_until_advances_clock_without_events() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        let n = q.run_until(secs(100), |_, _, _| {});
+        assert_eq!(n, 0);
+        assert_eq!(q.now(), secs(100));
+    }
+
+    #[test]
+    fn handler_can_schedule_follow_ups() {
+        let mut q = EventQueue::new();
+        q.schedule_at(secs(1), 1u32);
+        let mut seen = Vec::new();
+        q.run_to_completion(|q, _, e| {
+            seen.push(e);
+            if e < 4 {
+                q.schedule_after(Duration::from_secs(1), e + 1);
+            }
+        });
+        assert_eq!(seen, vec![1, 2, 3, 4]);
+        assert_eq!(q.now(), secs(4));
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let q: EventQueue<()> = EventQueue::new();
+        assert!(format!("{q:?}").contains("EventQueue"));
+    }
+}

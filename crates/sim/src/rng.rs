@@ -1,0 +1,271 @@
+//! Seeded randomness for reproducible simulations.
+//!
+//! Every stochastic component in the workspace draws from a [`SimRng`]
+//! created from an explicit `u64` seed, so a given (seed, configuration)
+//! pair always produces the same trace, the same poll sequence and the
+//! same experiment numbers.
+//!
+//! Beyond uniform variates (delegated to [`rand`]'s `StdRng`), this module
+//! implements the distributions the workload generators need —
+//! exponential inter-arrival gaps, Box–Muller normals and Knuth Poisson
+//! counts — so no additional distribution crate is required.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A seeded random number generator with the distributions used by the
+/// trace generators.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+    /// Cached second output of the Box–Muller transform.
+    spare_normal: Option<f64>,
+}
+
+impl SimRng {
+    /// Creates a generator from an explicit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+            spare_normal: None,
+        }
+    }
+
+    /// Derives an independent child generator; handy for giving each
+    /// simulated object its own stream without cross-contamination.
+    pub fn fork(&mut self, stream: u64) -> SimRng {
+        // Mix the stream id into fresh entropy from this generator.
+        let seed = self.inner.next_u64() ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SimRng::seed_from_u64(seed)
+    }
+
+    /// A uniform variate in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// A uniform variate in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// A uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// `true` with probability `p` (clamped into `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p.clamp(0.0, 1.0)
+    }
+
+    /// An exponential variate with the given mean (inverse-CDF method).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive and finite.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(
+            mean > 0.0 && mean.is_finite(),
+            "exponential mean must be positive and finite, got {mean}"
+        );
+        // 1 − U ∈ (0, 1] avoids ln(0).
+        -mean * (1.0 - self.uniform()).ln()
+    }
+
+    /// A normal variate via the Box–Muller transform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative or not finite.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(
+            std_dev >= 0.0 && std_dev.is_finite(),
+            "normal std_dev must be non-negative and finite, got {std_dev}"
+        );
+        let z = match self.spare_normal.take() {
+            Some(z) => z,
+            None => {
+                let u1 = (1.0 - self.uniform()).max(f64::MIN_POSITIVE);
+                let u2 = self.uniform();
+                let r = (-2.0 * u1.ln()).sqrt();
+                let theta = 2.0 * std::f64::consts::PI * u2;
+                self.spare_normal = Some(r * theta.sin());
+                r * theta.cos()
+            }
+        };
+        mean + std_dev * z
+    }
+
+    /// A Poisson count with the given rate (Knuth's method; intended for
+    /// the modest λ of the workload generators).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is negative or not finite.
+    pub fn poisson(&mut self, lambda: f64) -> u64 {
+        assert!(
+            lambda >= 0.0 && lambda.is_finite(),
+            "poisson lambda must be non-negative and finite, got {lambda}"
+        );
+        if lambda == 0.0 {
+            return 0;
+        }
+        // For large λ, fall back to a normal approximation to avoid the
+        // O(λ) loop and underflow of exp(−λ).
+        if lambda > 500.0 {
+            let sample = self.normal(lambda, lambda.sqrt());
+            return sample.max(0.0).round() as u64;
+        }
+        let limit = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= self.uniform();
+            if p <= limit {
+                return k;
+            }
+            k += 1;
+        }
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "cannot pick from an empty slice");
+        &items[self.uniform_u64(0, items.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(7);
+        let mut b = SimRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.uniform() == b.uniform()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_independent() {
+        let mut parent1 = SimRng::seed_from_u64(42);
+        let mut parent2 = SimRng::seed_from_u64(42);
+        let mut c1 = parent1.fork(1);
+        let mut c2 = parent2.fork(1);
+        assert_eq!(c1.uniform().to_bits(), c2.uniform().to_bits());
+        let mut other = parent1.fork(2);
+        assert_ne!(c1.uniform().to_bits(), other.uniform().to_bits());
+    }
+
+    #[test]
+    fn uniform_range_bounds() {
+        let mut rng = SimRng::seed_from_u64(3);
+        for _ in 0..1_000 {
+            let v = rng.uniform_range(2.0, 5.0);
+            assert!((2.0..5.0).contains(&v));
+            let i = rng.uniform_u64(10, 20);
+            assert!((10..20).contains(&i));
+        }
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = SimRng::seed_from_u64(11);
+        let n = 20_000;
+        let mean = 42.0;
+        let sum: f64 = (0..n).map(|_| rng.exponential(mean)).sum();
+        let observed = sum / n as f64;
+        assert!(
+            (observed - mean).abs() < mean * 0.05,
+            "observed mean {observed}, expected ≈ {mean}"
+        );
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut rng = SimRng::seed_from_u64(13);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn poisson_mean_is_close() {
+        let mut rng = SimRng::seed_from_u64(17);
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| rng.poisson(3.5)).sum();
+        let observed = sum as f64 / n as f64;
+        assert!((observed - 3.5).abs() < 0.1, "observed {observed}");
+        assert_eq!(rng.poisson(0.0), 0);
+    }
+
+    #[test]
+    fn poisson_large_lambda_uses_normal_approx() {
+        let mut rng = SimRng::seed_from_u64(19);
+        let sample = rng.poisson(10_000.0);
+        assert!((9_000..11_000).contains(&sample), "sample {sample}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from_u64(23);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-5.0));
+        assert!(rng.chance(5.0));
+    }
+
+    #[test]
+    fn pick_covers_all_elements() {
+        let mut rng = SimRng::seed_from_u64(29);
+        let items = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[*rng.pick(&items) as usize - 1] = true;
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn pick_panics_on_empty() {
+        let mut rng = SimRng::seed_from_u64(31);
+        let empty: [u8; 0] = [];
+        let _ = rng.pick(&empty);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponential mean")]
+    fn exponential_rejects_bad_mean() {
+        let mut rng = SimRng::seed_from_u64(37);
+        let _ = rng.exponential(0.0);
+    }
+}

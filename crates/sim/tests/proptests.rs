@@ -1,0 +1,82 @@
+//! Property-based tests of the event queue's ordering guarantees.
+
+use proptest::prelude::*;
+
+use mutcon_core::time::Timestamp;
+use mutcon_sim::queue::EventQueue;
+
+proptest! {
+    /// Events always come out in non-decreasing time order, FIFO within
+    /// an instant, regardless of the scheduling order.
+    #[test]
+    fn delivery_is_time_ordered(times in prop::collection::vec(0u64..10_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(Timestamp::from_millis(t), i);
+        }
+        let mut prev_time = Timestamp::ZERO;
+        let mut seen_at_time: Vec<usize> = Vec::new();
+        let mut last_time = None;
+        while let Some((at, idx)) = q.pop() {
+            prop_assert!(at >= prev_time);
+            // FIFO within an instant: indices increase.
+            if last_time == Some(at) {
+                prop_assert!(seen_at_time.last().is_none_or(|&p| p < idx));
+                seen_at_time.push(idx);
+            } else {
+                seen_at_time.clear();
+                seen_at_time.push(idx);
+            }
+            last_time = Some(at);
+            prev_time = at;
+            prop_assert_eq!(at, Timestamp::from_millis(times[idx]));
+        }
+        prop_assert_eq!(q.executed(), times.len() as u64);
+    }
+
+    /// Cancellation removes exactly the cancelled events.
+    #[test]
+    fn cancellation_is_precise(
+        times in prop::collection::vec(0u64..10_000, 1..100),
+        cancel_mask in prop::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| q.schedule_at(Timestamp::from_millis(t), i))
+            .collect();
+        let mut expected: Vec<usize> = Vec::new();
+        for (i, id) in ids.iter().enumerate() {
+            if *cancel_mask.get(i).unwrap_or(&false) {
+                prop_assert!(q.cancel(*id));
+            } else {
+                expected.push(i);
+            }
+        }
+        let mut delivered: Vec<usize> = Vec::new();
+        while let Some((_, idx)) = q.pop() {
+            delivered.push(idx);
+        }
+        delivered.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(delivered, expected);
+    }
+
+    /// run_until delivers exactly the events at or before the horizon.
+    #[test]
+    fn run_until_respects_horizon(
+        times in prop::collection::vec(0u64..10_000, 1..100),
+        horizon in 0u64..12_000,
+    ) {
+        let mut q = EventQueue::new();
+        for &t in &times {
+            q.schedule_at(Timestamp::from_millis(t), t);
+        }
+        let mut seen = Vec::new();
+        q.run_until(Timestamp::from_millis(horizon), |_, _, t| seen.push(t));
+        let expected = times.iter().filter(|&&t| t <= horizon).count();
+        prop_assert_eq!(seen.len(), expected);
+        prop_assert!(q.now() >= Timestamp::from_millis(horizon.min(10_000)));
+    }
+}

@@ -1,0 +1,223 @@
+//! The named workloads of the paper's evaluation (Tables 2 and 3).
+//!
+//! Each [`NamedTrace`] pins a generator configuration — duration, update
+//! count, diurnal phase or price band, and a fixed seed — calibrated to
+//! the published characteristics:
+//!
+//! | Trace (Table 2)     | Window                       | Updates | Mean gap |
+//! |---------------------|------------------------------|---------|----------|
+//! | CNN Financial News  | Aug 7 13:04 – Aug 9 14:34    | 113     | 26 min   |
+//! | NY Times (AP)       | Aug 7 14:07 – Aug 9 11:25    | 233     | 11.6 min |
+//! | NY Times (Reuters)  | Aug 7 14:12 – Aug 9 11:25    | 133     | 20.3 min |
+//! | Guardian            | Aug 6 13:40 – Aug 9 15:32    | 902     | 4.9 min  |
+//!
+//! | Trace (Table 3) | Window          | Updates | Band            |
+//! |-----------------|-----------------|---------|-----------------|
+//! | AT&T            | 3 h (afternoon) | 653     | \$35.8 – \$36.5 |
+//! | Yahoo           | 3 h (afternoon) | 2204    | \$160.2–\$171.2 |
+//!
+//! Windows are expressed as lengths (the absolute dates only matter for
+//! the diurnal phase, captured by the start hour).
+
+use mutcon_core::time::Duration;
+use mutcon_core::value::Value;
+
+use crate::generator::{NewsTraceBuilder, StockTraceBuilder};
+use crate::model::UpdateTrace;
+
+/// A workload from the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NamedTrace {
+    /// CNN Financial News Briefs (Table 2, row 1).
+    CnnFn,
+    /// NY Times Breaking News, AP feed (Table 2, row 2).
+    NytAp,
+    /// NY Times Breaking News, Reuters feed (Table 2, row 3).
+    NytReuters,
+    /// Guardian Breaking News (Table 2, row 4).
+    Guardian,
+    /// AT&T stock quotes (Table 3, row 1).
+    Att,
+    /// Yahoo stock quotes (Table 3, row 2).
+    Yahoo,
+}
+
+impl NamedTrace {
+    /// All Table 2 (temporal) workloads, in table order.
+    pub const TEMPORAL: [NamedTrace; 4] = [
+        NamedTrace::CnnFn,
+        NamedTrace::NytAp,
+        NamedTrace::NytReuters,
+        NamedTrace::Guardian,
+    ];
+
+    /// All Table 3 (value) workloads, in table order.
+    pub const VALUE: [NamedTrace; 2] = [NamedTrace::Att, NamedTrace::Yahoo];
+
+    /// The trace's display name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            NamedTrace::CnnFn => "CNN/FN",
+            NamedTrace::NytAp => "NYTimes/AP",
+            NamedTrace::NytReuters => "NYTimes/Reuters",
+            NamedTrace::Guardian => "Guardian",
+            NamedTrace::Att => "AT&T",
+            NamedTrace::Yahoo => "Yahoo",
+        }
+    }
+
+    /// Window length.
+    pub fn duration(self) -> Duration {
+        match self {
+            // Aug 7 13:04 → Aug 9 14:34 = 49 h 30 min.
+            NamedTrace::CnnFn => Duration::from_mins(49 * 60 + 30),
+            // Aug 7 14:07 → Aug 9 11:25 = 45 h 18 min.
+            NamedTrace::NytAp => Duration::from_mins(45 * 60 + 18),
+            // Aug 7 14:12 → Aug 9 11:25 = 45 h 13 min.
+            NamedTrace::NytReuters => Duration::from_mins(45 * 60 + 13),
+            // Aug 6 13:40 → Aug 9 15:32 = 73 h 52 min.
+            NamedTrace::Guardian => Duration::from_mins(73 * 60 + 52),
+            NamedTrace::Att | NamedTrace::Yahoo => Duration::from_hours(3),
+        }
+    }
+
+    /// Number of updates reported in the tables.
+    pub fn update_count(self) -> usize {
+        match self {
+            NamedTrace::CnnFn => 113,
+            NamedTrace::NytAp => 233,
+            NamedTrace::NytReuters => 133,
+            NamedTrace::Guardian => 902,
+            NamedTrace::Att => 653,
+            NamedTrace::Yahoo => 2204,
+        }
+    }
+
+    /// Price band, for the Table 3 workloads.
+    pub fn value_band(self) -> Option<(Value, Value)> {
+        match self {
+            NamedTrace::Att => Some((Value::new(35.8), Value::new(36.5))),
+            NamedTrace::Yahoo => Some((Value::new(160.2), Value::new(171.2))),
+            _ => None,
+        }
+    }
+
+    /// Wall-clock hour at which the collection window opened (sets the
+    /// diurnal phase for the news workloads).
+    pub fn start_hour(self) -> f64 {
+        match self {
+            NamedTrace::CnnFn => 13.07,      // 13:04
+            NamedTrace::NytAp => 14.12,      // 14:07
+            NamedTrace::NytReuters => 14.2,  // 14:12
+            NamedTrace::Guardian => 13.67,   // 13:40
+            NamedTrace::Att => 13.83,        // 13:50
+            NamedTrace::Yahoo => 13.5,       // 13:30
+        }
+    }
+
+    /// The fixed seed that pins this workload's realization.
+    pub fn seed(self) -> u64 {
+        match self {
+            NamedTrace::CnnFn => 0x1CDC_5001,
+            NamedTrace::NytAp => 0x1CDC_5002,
+            NamedTrace::NytReuters => 0x1CDC_5003,
+            NamedTrace::Guardian => 0x1CDC_5004,
+            NamedTrace::Att => 0x1CDC_5005,
+            NamedTrace::Yahoo => 0x1CDC_5006,
+        }
+    }
+
+    /// Generates the pinned realization of this workload.
+    pub fn generate(self) -> UpdateTrace {
+        self.generate_with_seed(self.seed())
+    }
+
+    /// Generates a differently seeded realization (for robustness runs
+    /// across multiple synthetic "collections").
+    pub fn generate_with_seed(self, seed: u64) -> UpdateTrace {
+        match self {
+            NamedTrace::CnnFn | NamedTrace::NytAp | NamedTrace::NytReuters
+            | NamedTrace::Guardian => {
+                NewsTraceBuilder::new(self.name(), self.duration(), self.update_count())
+                    .start_hour(self.start_hour())
+                    .seed(seed)
+                    .build()
+                    .expect("catalog news parameters are valid")
+            }
+            NamedTrace::Att | NamedTrace::Yahoo => {
+                let (lo, hi) = self.value_band().expect("value workload");
+                StockTraceBuilder::new(
+                    self.name(),
+                    self.duration(),
+                    self.update_count(),
+                    lo.as_f64(),
+                    hi.as_f64(),
+                )
+                .seed(seed)
+                .build()
+                .expect("catalog stock parameters are valid")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn temporal_traces_match_table_2() {
+        // (trace, expected mean gap in minutes from Table 2)
+        let expected = [
+            (NamedTrace::CnnFn, 26.0),
+            (NamedTrace::NytAp, 11.6),
+            (NamedTrace::NytReuters, 20.3),
+            (NamedTrace::Guardian, 4.9),
+        ];
+        for (nt, gap_min) in expected {
+            let t = nt.generate();
+            assert_eq!(t.update_count(), nt.update_count(), "{}", nt.name());
+            assert_eq!(t.duration(), nt.duration());
+            assert!(!t.is_valued());
+            // duration / updates ≈ the table's average update frequency.
+            let avg = t.duration().as_mins_f64() / t.update_count() as f64;
+            assert!(
+                (avg - gap_min).abs() / gap_min < 0.1,
+                "{}: mean gap {avg:.1} min, table says {gap_min}",
+                nt.name()
+            );
+        }
+    }
+
+    #[test]
+    fn value_traces_match_table_3() {
+        for nt in NamedTrace::VALUE {
+            let t = nt.generate();
+            assert_eq!(t.update_count(), nt.update_count());
+            let (lo_band, hi_band) = nt.value_band().unwrap();
+            let (lo, hi) = t.value_range().unwrap();
+            assert!(lo >= lo_band && hi <= hi_band, "{}", nt.name());
+        }
+        assert_eq!(NamedTrace::CnnFn.value_band(), None);
+    }
+
+    #[test]
+    fn generation_is_pinned() {
+        let a = NamedTrace::NytAp.generate();
+        let b = NamedTrace::NytAp.generate();
+        assert_eq!(a, b);
+        let c = NamedTrace::NytAp.generate_with_seed(99);
+        assert_ne!(a, c);
+        assert_eq!(c.update_count(), a.update_count());
+    }
+
+    #[test]
+    fn names_and_groups() {
+        assert_eq!(NamedTrace::TEMPORAL.len(), 4);
+        assert_eq!(NamedTrace::VALUE.len(), 2);
+        for nt in NamedTrace::TEMPORAL.iter().chain(&NamedTrace::VALUE) {
+            assert!(!nt.name().is_empty());
+            assert!(nt.seed() != 0);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Synthetic workload generators.
+//!
+//! Both generators produce an exact, caller-chosen number of updates (so
+//! Table 2/3 statistics reproduce precisely) while drawing the update
+//! *placement* and *values* from seeded randomness:
+//!
+//! * [`news`] — update instants from a non-homogeneous Poisson process
+//!   shaped by a diurnal activity profile (news rooms go quiet at night —
+//!   the structure visible in Figure 4(a)).
+//! * [`stock`] — update instants at jittered quasi-regular ticks, values
+//!   from a mean-reverting bounded random walk (prices wander but stay in
+//!   a band, giving the temporal locality the adaptive TTR exploits).
+
+pub mod news;
+pub mod stock;
+
+pub use news::{DiurnalProfile, NewsTraceBuilder};
+pub use stock::StockTraceBuilder;

@@ -1,0 +1,365 @@
+//! News-page update generator: a non-homogeneous Poisson process shaped by
+//! a diurnal activity profile.
+//!
+//! Figure 4(a) of the paper shows the defining structure of news-update
+//! traces: bursts of updates during the day and hours of total silence
+//! every night. The generator reproduces it by drawing a caller-chosen
+//! *exact* number of update instants from the normalized intensity
+//! `λ(t) ∝ activity(hour-of-day(t))` — exact counts keep the Table 2
+//! statistics on the nose, while the per-instant placement remains
+//! random (seeded).
+
+use mutcon_core::time::{Duration, Timestamp};
+use mutcon_sim::rng::SimRng;
+
+use crate::model::{TraceError, UpdateEvent, UpdateTrace};
+
+/// Relative newsroom activity for each hour of the day (0–23).
+///
+/// Values are relative weights (they need not sum to anything); hours with
+/// weight zero never receive updates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiurnalProfile {
+    weights: [f64; 24],
+}
+
+impl DiurnalProfile {
+    /// A flat profile: updates uniformly likely at any hour.
+    pub fn flat() -> Self {
+        DiurnalProfile { weights: [1.0; 24] }
+    }
+
+    /// A newsroom profile: silent in the small hours (02:00–05:59), a
+    /// morning ramp, a midday/afternoon peak and a gradual evening
+    /// decline — the shape visible in Figure 4(a).
+    pub fn newsroom() -> Self {
+        let mut weights = [0.0f64; 24];
+        let shape: [(usize, f64); 24] = [
+            (0, 0.3),
+            (1, 0.1),
+            (2, 0.0),
+            (3, 0.0),
+            (4, 0.0),
+            (5, 0.0),
+            (6, 0.2),
+            (7, 0.5),
+            (8, 0.9),
+            (9, 1.2),
+            (10, 1.4),
+            (11, 1.5),
+            (12, 1.5),
+            (13, 1.6),
+            (14, 1.6),
+            (15, 1.5),
+            (16, 1.4),
+            (17, 1.3),
+            (18, 1.1),
+            (19, 1.0),
+            (20, 0.9),
+            (21, 0.8),
+            (22, 0.6),
+            (23, 0.4),
+        ];
+        for (h, w) in shape {
+            weights[h] = w;
+        }
+        DiurnalProfile { weights }
+    }
+
+    /// Builds a profile from explicit per-hour weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` if any weight is negative/non-finite or all weights
+    /// are zero.
+    pub fn from_weights(weights: [f64; 24]) -> Option<Self> {
+        if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return None;
+        }
+        if weights.iter().sum::<f64>() <= 0.0 {
+            return None;
+        }
+        Some(DiurnalProfile { weights })
+    }
+
+    /// The weight for a given hour (0–23).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hour >= 24`.
+    pub fn weight(&self, hour: usize) -> f64 {
+        self.weights[hour]
+    }
+}
+
+/// Builder for a news-style (temporal) update trace.
+#[derive(Debug, Clone)]
+pub struct NewsTraceBuilder {
+    name: String,
+    duration: Duration,
+    updates: usize,
+    start_hour: f64,
+    profile: DiurnalProfile,
+    seed: u64,
+}
+
+impl NewsTraceBuilder {
+    /// Starts building a trace with the given name, window length, and
+    /// exact update count (events beyond the initial version).
+    pub fn new(name: impl Into<String>, duration: Duration, updates: usize) -> Self {
+        NewsTraceBuilder {
+            name: name.into(),
+            duration,
+            updates,
+            start_hour: 13.0, // the paper's collections began early afternoon
+            profile: DiurnalProfile::newsroom(),
+            seed: 0,
+        }
+    }
+
+    /// Wall-clock hour of day (0–24) at which the trace window opens;
+    /// determines where the diurnal quiet periods fall.
+    pub fn start_hour(mut self, hour: f64) -> Self {
+        self.start_hour = hour.rem_euclid(24.0);
+        self
+    }
+
+    /// Sets the diurnal profile.
+    pub fn profile(mut self, profile: DiurnalProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the trace: an initial version at the window start plus
+    /// exactly `updates` diurnally placed update events.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError`] if the window cannot hold the requested
+    /// number of distinct millisecond instants.
+    pub fn build(self) -> Result<UpdateTrace, TraceError> {
+        let mut rng = SimRng::seed_from_u64(self.seed);
+        let start = Timestamp::ZERO;
+        let end = start + self.duration;
+
+        // Piecewise-constant intensity over hour-aligned segments,
+        // beginning mid-hour if start_hour is fractional.
+        let segments = hour_segments(self.start_hour, self.duration, &self.profile);
+        let total_weight: f64 = segments.iter().map(|s| s.weight()).sum();
+        // All-zero windows (short trace inside the quiet hours) fall back
+        // to uniform placement rather than failing.
+        let uniform = total_weight <= 0.0;
+
+        let mut instants: Vec<u64> = (0..self.updates)
+            .map(|_| {
+                if uniform {
+                    rng.uniform_u64(1, self.duration.as_millis().max(2))
+                } else {
+                    sample_from_segments(&segments, total_weight, &mut rng)
+                }
+            })
+            .collect();
+        instants.sort_unstable();
+        // Enforce strict monotonicity at millisecond resolution; an update
+        // at the very start would collide with the initial version.
+        let mut prev = 0u64;
+        for t in &mut instants {
+            if *t <= prev {
+                *t = prev + 1;
+            }
+            prev = *t;
+        }
+        if prev > self.duration.as_millis() {
+            return Err(TraceError::OutOfRange {
+                index: self.updates,
+            });
+        }
+
+        let mut events = Vec::with_capacity(self.updates + 1);
+        events.push(UpdateEvent::temporal(start));
+        events.extend(
+            instants
+                .into_iter()
+                .map(|ms| UpdateEvent::temporal(start + Duration::from_millis(ms))),
+        );
+        UpdateTrace::new(self.name, start, end, events)
+    }
+}
+
+/// One hour-aligned stretch of the window with a constant intensity.
+#[derive(Debug, Clone, Copy)]
+struct Segment {
+    /// Offset of the segment start within the window, ms.
+    offset_ms: u64,
+    /// Segment length, ms.
+    len_ms: u64,
+    /// Profile weight (per-ms intensity, unnormalized).
+    rate: f64,
+}
+
+impl Segment {
+    fn weight(&self) -> f64 {
+        self.rate * self.len_ms as f64
+    }
+}
+
+fn hour_segments(start_hour: f64, duration: Duration, profile: &DiurnalProfile) -> Vec<Segment> {
+    const HOUR_MS: u64 = 3_600_000;
+    let mut segments = Vec::new();
+    let mut offset = 0u64;
+    let total = duration.as_millis();
+    // Absolute ms position on the wall clock, so hour boundaries align.
+    let mut wall_ms = (start_hour * HOUR_MS as f64).round() as u64;
+    while offset < total {
+        let hour = (wall_ms / HOUR_MS) % 24;
+        let until_next_hour = HOUR_MS - (wall_ms % HOUR_MS);
+        let len = until_next_hour.min(total - offset);
+        segments.push(Segment {
+            offset_ms: offset,
+            len_ms: len,
+            rate: profile.weight(hour as usize),
+        });
+        offset += len;
+        wall_ms += len;
+    }
+    segments
+}
+
+fn sample_from_segments(segments: &[Segment], total_weight: f64, rng: &mut SimRng) -> u64 {
+    let mut target = rng.uniform() * total_weight;
+    for seg in segments {
+        let w = seg.weight();
+        if target < w || std::ptr::eq(seg, segments.last().expect("non-empty")) {
+            if w <= 0.0 {
+                // Degenerate final segment: place at its start.
+                return seg.offset_ms;
+            }
+            let frac = (target / w).clamp(0.0, 1.0 - f64::EPSILON);
+            return seg.offset_ms + (frac * seg.len_ms as f64) as u64;
+        }
+        target -= w;
+    }
+    unreachable!("sampling always terminates at the last segment");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_update_count_and_window() {
+        let trace = NewsTraceBuilder::new("test", Duration::from_hours(48), 113)
+            .seed(7)
+            .build()
+            .unwrap();
+        assert_eq!(trace.update_count(), 113);
+        assert_eq!(trace.duration(), Duration::from_hours(48));
+        assert_eq!(trace.events()[0].at, Timestamp::ZERO);
+        assert!(!trace.is_valued());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = NewsTraceBuilder::new("t", Duration::from_hours(24), 50)
+            .seed(1)
+            .build()
+            .unwrap();
+        let b = NewsTraceBuilder::new("t", Duration::from_hours(24), 50)
+            .seed(1)
+            .build()
+            .unwrap();
+        let c = NewsTraceBuilder::new("t", Duration::from_hours(24), 50)
+            .seed(2)
+            .build()
+            .unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn quiet_hours_stay_quiet() {
+        // Window starts at 13:00; hours 02:00–05:59 have zero weight.
+        let trace = NewsTraceBuilder::new("t", Duration::from_hours(48), 500)
+            .start_hour(13.0)
+            .seed(3)
+            .build()
+            .unwrap();
+        for e in &trace.events()[1..] {
+            let wall_hour = ((13.0 + e.at.as_millis() as f64 / 3_600_000.0) % 24.0) as u32;
+            assert!(
+                !(2..6).contains(&wall_hour),
+                "update at quiet hour {wall_hour} ({})",
+                e.at
+            );
+        }
+    }
+
+    #[test]
+    fn flat_profile_spreads_updates() {
+        let trace = NewsTraceBuilder::new("t", Duration::from_hours(10), 1_000)
+            .profile(DiurnalProfile::flat())
+            .seed(5)
+            .build()
+            .unwrap();
+        // Count per 1-hour bucket; flat placement keeps buckets within a
+        // loose band around 100.
+        let mut buckets = [0u32; 10];
+        for e in &trace.events()[1..] {
+            buckets[(e.at.as_millis() / 3_600_000) as usize] += 1;
+        }
+        for (i, b) in buckets.iter().enumerate() {
+            assert!((50..200).contains(b), "bucket {i} has {b} updates");
+        }
+    }
+
+    #[test]
+    fn zero_weight_window_falls_back_to_uniform() {
+        // 2-hour window starting 03:00: entirely inside the quiet period.
+        let trace = NewsTraceBuilder::new("t", Duration::from_hours(2), 10)
+            .start_hour(3.0)
+            .seed(9)
+            .build()
+            .unwrap();
+        assert_eq!(trace.update_count(), 10);
+    }
+
+    #[test]
+    fn events_strictly_increase() {
+        let trace = NewsTraceBuilder::new("t", Duration::from_secs(10), 500)
+            .profile(DiurnalProfile::flat())
+            .seed(11)
+            .build()
+            .unwrap();
+        for w in trace.events().windows(2) {
+            assert!(w[1].at > w[0].at);
+        }
+    }
+
+    #[test]
+    fn profile_validation() {
+        assert!(DiurnalProfile::from_weights([0.0; 24]).is_none());
+        let mut bad = [1.0; 24];
+        bad[3] = -1.0;
+        assert!(DiurnalProfile::from_weights(bad).is_none());
+        bad[3] = f64::NAN;
+        assert!(DiurnalProfile::from_weights(bad).is_none());
+        assert!(DiurnalProfile::from_weights([1.0; 24]).is_some());
+        assert_eq!(DiurnalProfile::newsroom().weight(3), 0.0);
+        assert!(DiurnalProfile::newsroom().weight(13) > 1.0);
+    }
+
+    #[test]
+    fn overfull_window_errors() {
+        // 5 ms window cannot hold 100 distinct update instants.
+        let result = NewsTraceBuilder::new("t", Duration::from_millis(5), 100)
+            .profile(DiurnalProfile::flat())
+            .build();
+        assert!(result.is_err());
+    }
+}

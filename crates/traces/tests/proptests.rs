@@ -1,0 +1,157 @@
+//! Property-based tests of the trace model, generators, codecs and
+//! transforms.
+
+use proptest::prelude::*;
+
+use mutcon_core::time::{Duration, Timestamp};
+use mutcon_traces::generator::{DiurnalProfile, NewsTraceBuilder, StockTraceBuilder};
+use mutcon_traces::io::{from_tsv, to_tsv};
+use mutcon_traces::stats::updates_per_window;
+use mutcon_traces::transform::{scale_time, shift, window};
+
+proptest! {
+    /// News generation hits the exact update count with strictly
+    /// increasing events inside the window, for any seed/size/phase.
+    #[test]
+    fn news_generator_invariants(
+        seed in any::<u64>(),
+        updates in 0usize..300,
+        hours in 1u64..100,
+        start_hour in 0.0f64..24.0,
+    ) {
+        let trace = NewsTraceBuilder::new("prop", Duration::from_hours(hours), updates)
+            .start_hour(start_hour)
+            .seed(seed)
+            .build()
+            .expect("hour-scale windows always fit");
+        prop_assert_eq!(trace.update_count(), updates);
+        prop_assert_eq!(trace.events()[0].at, Timestamp::ZERO);
+        for w in trace.events().windows(2) {
+            prop_assert!(w[1].at > w[0].at);
+        }
+        prop_assert!(trace.events().last().expect("non-empty").at <= trace.end());
+        // Windowed counts partition the updates.
+        let total: u32 = updates_per_window(&trace, Duration::from_hours(2))
+            .iter()
+            .map(|w| w.count)
+            .sum();
+        prop_assert_eq!(total as usize, updates);
+    }
+
+    /// Stock generation stays inside the price band with the exact count.
+    #[test]
+    fn stock_generator_invariants(
+        seed in any::<u64>(),
+        updates in 1usize..500,
+        mins in 10u64..300,
+        lo in 1.0f64..200.0,
+        width in 0.5f64..50.0,
+    ) {
+        let hi = lo + width;
+        let trace = StockTraceBuilder::new("prop", Duration::from_mins(mins), updates, lo, hi)
+            .seed(seed)
+            .build()
+            .expect("minute-scale windows always fit");
+        prop_assert_eq!(trace.update_count(), updates);
+        prop_assert!(trace.is_valued());
+        let (min_v, max_v) = trace.value_range().expect("valued");
+        prop_assert!(min_v.as_f64() >= lo - 1e-9);
+        prop_assert!(max_v.as_f64() <= hi + 1e-9);
+    }
+
+    /// TSV encoding is lossless for generated traces.
+    #[test]
+    fn tsv_round_trips(seed in any::<u64>(), updates in 0usize..100) {
+        let trace = StockTraceBuilder::new(
+            "codec", Duration::from_mins(30), updates.max(1), 30.0, 40.0)
+            .seed(seed)
+            .build()
+            .expect("valid parameters");
+        let decoded = from_tsv(&to_tsv(&trace)).expect("own output decodes");
+        prop_assert_eq!(decoded, trace);
+    }
+
+    /// Scaling preserves event count and order; shifting preserves gaps.
+    #[test]
+    fn transforms_preserve_structure(
+        seed in any::<u64>(),
+        updates in 1usize..80,
+        factor in 0.01f64..10.0,
+        offset_secs in 0u64..10_000,
+    ) {
+        let trace = NewsTraceBuilder::new("t", Duration::from_hours(10), updates)
+            .seed(seed)
+            .build()
+            .expect("valid parameters");
+
+        let scaled = scale_time(&trace, factor).expect("positive factor");
+        prop_assert_eq!(scaled.update_count(), updates);
+        for w in scaled.events().windows(2) {
+            prop_assert!(w[1].at > w[0].at);
+        }
+
+        let offset = Duration::from_secs(offset_secs);
+        let shifted = shift(&trace, offset);
+        prop_assert_eq!(shifted.duration(), trace.duration());
+        for (a, b) in trace.events().iter().zip(shifted.events()) {
+            prop_assert_eq!(b.at, a.at + offset);
+            prop_assert_eq!(b.value, a.value);
+        }
+    }
+
+    /// Windowing keeps exactly the in-window updates plus a correct
+    /// initial version.
+    #[test]
+    fn windowing_is_consistent(
+        seed in any::<u64>(),
+        updates in 1usize..80,
+        from_frac in 0.0f64..0.9,
+        len_frac in 0.05f64..=1.0,
+    ) {
+        let trace = NewsTraceBuilder::new("t", Duration::from_hours(10), updates)
+            .seed(seed)
+            .build()
+            .expect("valid parameters");
+        let total = trace.duration().as_millis() as f64;
+        let from = Timestamp::from_millis((total * from_frac) as u64);
+        let to = Timestamp::from_millis(
+            ((total * (from_frac + len_frac)).min(total)) as u64);
+        prop_assume!(to > from);
+
+        let w = window(&trace, from, to).expect("window within trace");
+        prop_assert_eq!(w.start(), from);
+        prop_assert_eq!(w.end(), to);
+        // Initial version matches the version current at `from`.
+        prop_assert_eq!(w.events()[0].at, from);
+        // Updates inside the window are exactly the original's.
+        prop_assert_eq!(w.update_count(), trace.events_between(from, to).len());
+        // Version lookups agree across the window interior.
+        let mid = Timestamp::from_millis(
+            (from.as_millis() + to.as_millis()) / 2);
+        prop_assert_eq!(
+            w.event_at(mid).map(|e| e.value),
+            trace.event_at(mid).map(|e| e.value)
+        );
+    }
+
+    /// Custom diurnal profiles: zero-weight hours never receive updates.
+    #[test]
+    fn diurnal_zero_hours_respected(seed in any::<u64>(), updates in 1usize..200) {
+        // Only hours 8..16 active.
+        let mut weights = [0.0f64; 24];
+        for w in weights.iter_mut().take(16).skip(8) {
+            *w = 1.0;
+        }
+        let profile = DiurnalProfile::from_weights(weights).expect("non-zero total");
+        let trace = NewsTraceBuilder::new("t", Duration::from_hours(48), updates)
+            .start_hour(0.0)
+            .profile(profile)
+            .seed(seed)
+            .build()
+            .expect("valid parameters");
+        for e in &trace.events()[1..] {
+            let hour = (e.at.as_millis() / 3_600_000) % 24;
+            prop_assert!((8..16).contains(&hour), "update at hour {hour}");
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Quickstart: keep one frequently changing news page Δt-consistent with
+//! the adaptive LIMD algorithm and compare against the every-Δ baseline.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use mutcon::core::object::ObjectId;
+use mutcon::core::time::Duration;
+use mutcon::proxy::drivers::{run_temporal, TemporalPolicy, TemporalSimConfig};
+use mutcon::proxy::metrics;
+use mutcon::proxy::origin::OriginServer;
+use mutcon::traces::NamedTrace;
+use mutcon_core::limd::LimdConfig;
+
+fn main() {
+    // The CNN Financial News workload from the paper's Table 2:
+    // 113 updates over ~49.5 hours, quiet at night.
+    let trace = NamedTrace::CnnFn.generate();
+    println!(
+        "workload: {} — {} updates over {:.1} h",
+        trace.name(),
+        trace.update_count(),
+        trace.duration().as_secs_f64() / 3_600.0
+    );
+
+    let id = ObjectId::new(trace.name());
+    let mut origin = OriginServer::new();
+    origin.host(id.clone(), trace.clone());
+
+    let delta = Duration::from_mins(10);
+    println!("consistency requirement: Δt = {delta}\n");
+
+    for (label, policy) in [
+        ("baseline (poll every Δ)", TemporalPolicy::Periodic(delta)),
+        (
+            "LIMD (adaptive)",
+            TemporalPolicy::Limd(
+                LimdConfig::builder(delta)
+                    .ttr_max(Duration::from_mins(60))
+                    .build()
+                    .expect("valid LIMD parameters"),
+            ),
+        ),
+    ] {
+        let out = run_temporal(
+            &origin,
+            std::slice::from_ref(&id),
+            &TemporalSimConfig {
+                policy,
+                mutual: None,
+                until: trace.end(),
+            },
+        );
+        let stats = metrics::individual_temporal(&trace, &out.logs[&id], delta, trace.end());
+        println!(
+            "{label:<26} polls: {:>5}   fidelity: {:.3} (by violations), {:.3} (by time)",
+            stats.polls(),
+            stats.fidelity_by_violations(),
+            stats.fidelity_by_time()
+        );
+    }
+
+    println!(
+        "\nLIMD polls at roughly the object's own update rate, trading a\n\
+         little fidelity for a large reduction in network overhead (§3.1)."
+    );
+}

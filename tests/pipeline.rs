@@ -1,0 +1,181 @@
+//! Cross-crate pipeline tests: HTML deduction feeding simulation,
+//! persistence round-trips feeding identical experiments, and the HTTP
+//! extension headers carrying what the algorithms need.
+
+use mutcon::core::limd::LimdConfig;
+use mutcon::core::mutual::temporal::MtPolicy;
+use mutcon::core::object::ObjectId;
+use mutcon::core::time::{Duration, Timestamp};
+use mutcon::depgraph::GroupDeducer;
+use mutcon::http::extensions::{modification_history, ConsistencyDirectives};
+use mutcon::http::headers::HeaderMap;
+use mutcon::proxy::drivers::{run_temporal, MutualSetup, TemporalPolicy, TemporalSimConfig};
+use mutcon::proxy::metrics;
+use mutcon::proxy::origin::{HistorySupport, OriginServer};
+use mutcon::traces::generator::NewsTraceBuilder;
+use mutcon::traces::io::{from_json, from_tsv, to_json, to_tsv};
+use mutcon::traces::NamedTrace;
+
+/// HTML → groups → mutual-consistency simulation, end to end.
+#[test]
+fn html_deduction_drives_mutual_consistency() {
+    let page = ObjectId::new("/front.html");
+    let html = r#"<html><body>
+        <img src="ticker.png"><img src="headline.png">
+    </body></html>"#;
+    let mut deducer = GroupDeducer::new();
+    assert_eq!(deducer.add_document(page.clone(), html), 2);
+    let registry = deducer.into_registry();
+    let members: Vec<ObjectId> = std::iter::once(page.clone())
+        .chain(registry.related(&page).cloned())
+        .collect();
+    assert_eq!(members.len(), 3);
+
+    let mut origin = OriginServer::new();
+    for (i, m) in members.iter().enumerate() {
+        let trace = NewsTraceBuilder::new(m.as_str(), Duration::from_hours(6), 40)
+            .seed(900 + i as u64)
+            .build()
+            .unwrap();
+        origin.host(m.clone(), trace);
+    }
+    let until = Timestamp::ZERO + Duration::from_hours(6);
+    let out = run_temporal(
+        &origin,
+        &members,
+        &TemporalSimConfig {
+            policy: TemporalPolicy::Limd(
+                LimdConfig::builder(Duration::from_mins(10)).build().unwrap(),
+            ),
+            mutual: Some(MutualSetup {
+                delta: Duration::from_mins(2),
+                policy: MtPolicy::TriggeredPolls,
+            }),
+            until,
+        },
+    );
+    // Every pair involving the page is perfectly consistent.
+    for m in &members[1..] {
+        let stats = metrics::mutual_temporal(
+            origin.trace(&page).unwrap(),
+            &out.logs[&page],
+            origin.trace(m).unwrap(),
+            &out.logs[m],
+            Duration::from_mins(2),
+            until,
+        );
+        assert_eq!(stats.fidelity_by_violations(), 1.0);
+    }
+    assert!(out.total_triggered() > 0);
+}
+
+/// Persisted traces drive byte-identical experiments.
+#[test]
+fn persistence_preserves_experiment_results() {
+    let trace = NamedTrace::NytReuters.generate();
+    let via_tsv = from_tsv(&to_tsv(&trace)).expect("tsv round-trip");
+    let via_json = from_json(&to_json(&trace).expect("encode")).expect("json round-trip");
+
+    let run = |t: &mutcon::traces::UpdateTrace| {
+        let id = ObjectId::new("x");
+        let mut origin = OriginServer::new();
+        origin.host(id.clone(), t.clone());
+        let out = run_temporal(
+            &origin,
+            std::slice::from_ref(&id),
+            &TemporalSimConfig {
+                policy: TemporalPolicy::Limd(
+                    LimdConfig::builder(Duration::from_mins(10)).build().unwrap(),
+                ),
+                mutual: None,
+                until: t.end(),
+            },
+        );
+        out.logs[&id].clone()
+    };
+    let original = run(&trace);
+    assert_eq!(run(&via_tsv), original);
+    assert_eq!(run(&via_json), original);
+}
+
+/// The §5.1 history extension changes what the proxy can detect: with
+/// history, LIMD sees the Figure 1(b) violations and backs off harder,
+/// never producing *worse* ground-truth fidelity.
+#[test]
+fn history_extension_improves_detection() {
+    let trace = NamedTrace::Guardian.generate();
+    let id = ObjectId::new("g");
+    let delta = Duration::from_mins(10);
+    let run = |support: HistorySupport| {
+        let mut origin = OriginServer::new().with_history(support);
+        origin.host(id.clone(), trace.clone());
+        let out = run_temporal(
+            &origin,
+            std::slice::from_ref(&id),
+            &TemporalSimConfig {
+                policy: TemporalPolicy::Limd(LimdConfig::builder(delta).build().unwrap()),
+                mutual: None,
+                until: trace.end(),
+            },
+        );
+        metrics::individual_temporal(&trace, &out.logs[&id], delta, trace.end())
+    };
+    let plain = run(HistorySupport::None);
+    let with_history = run(HistorySupport::Full);
+    assert!(
+        with_history.fidelity_by_violations() >= plain.fidelity_by_violations() - 1e-9,
+        "history made fidelity worse: {} vs {}",
+        with_history.fidelity_by_violations(),
+        plain.fidelity_by_violations()
+    );
+}
+
+/// The extension headers round-trip through a real header map, so a §5.1
+/// server↔proxy exchange can carry tolerances and histories.
+#[test]
+fn extension_headers_carry_consistency_metadata() {
+    let mut headers = HeaderMap::new();
+    let directives = ConsistencyDirectives {
+        delta: Some(Duration::from_mins(10)),
+        mutual_delta: Some(Duration::from_mins(5)),
+        group: Some("front-page".to_owned()),
+    };
+    directives.apply(&mut headers);
+    assert_eq!(ConsistencyDirectives::from_headers(&headers), directives);
+
+    mutcon::http::extensions::set_modification_history(
+        &mut headers,
+        &[Timestamp::from_millis(100), Timestamp::from_millis(2_500)],
+    );
+    assert_eq!(
+        modification_history(&headers),
+        Some(vec![Timestamp::from_millis(100), Timestamp::from_millis(2_500)])
+    );
+}
+
+/// Whole-pipeline determinism: the same named workload and configuration
+/// produce identical poll logs and metrics across runs.
+#[test]
+fn experiments_are_reproducible() {
+    let run = || {
+        let trace = NamedTrace::CnnFn.generate();
+        let id = ObjectId::new("cnn");
+        let mut origin = OriginServer::new();
+        origin.host(id.clone(), trace.clone());
+        let out = run_temporal(
+            &origin,
+            std::slice::from_ref(&id),
+            &TemporalSimConfig {
+                policy: TemporalPolicy::Limd(
+                    LimdConfig::builder(Duration::from_mins(5)).build().unwrap(),
+                ),
+                mutual: None,
+                until: trace.end(),
+            },
+        );
+        let stats =
+            metrics::individual_temporal(&trace, &out.logs[&id], Duration::from_mins(5), trace.end());
+        (out.logs[&id].clone(), stats.polls(), stats.violations())
+    };
+    assert_eq!(run(), run());
+}
