@@ -1,11 +1,26 @@
 //! `repro` — regenerate every table and figure of the ICDCS'01 paper.
 //!
 //! ```text
-//! repro table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|ablation|all
+//! repro [--threads N | --serial] [--repeats R] [--compare-serial]
+//!       [--bench-json PATH]
+//!       table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|ablation|bench|all
 //! ```
 //!
 //! Output is plain text, one section per experiment, matching the layout
-//! recorded in `EXPERIMENTS.md`.
+//! recorded in `EXPERIMENTS.md`. The parameter sweeps inside each
+//! section fan their independent simulation runs out across cores
+//! (`--threads`/`MUTCON_THREADS` control the worker count; results are
+//! bit-for-bit identical at any thread count). `bench` is the robustness
+//! grid — every figure grid re-run across `--repeats` seed-shifted trace
+//! realizations — and doubles as the engine's scaling workload.
+//!
+//! Running `all` writes `BENCH_repro.json` — per-section wall-clock,
+//! polls simulated and the thread count — so the perf trajectory is
+//! tracked PR-over-PR. With `--compare-serial` (and more than one worker
+//! available) every section is re-run with one thread afterwards; the
+//! report then also records the serial wall-clock, the speedup, and
+//! whether the parallel and serial outputs were byte-identical (they
+//! must be).
 
 use std::time::Instant;
 
@@ -13,40 +28,164 @@ use mutcon_bench::{
     fig3_deltas, fig4_window, fig5_deltas, fig7_deltas, fig8_delta, fig8_window, fixed_delta,
     paper_fig3_config, paper_fig7_config, FIG3_TRACE, FIG5_PAIR, FIG6_PAIR, VALUE_PAIR,
 };
-use mutcon_core::time::Timestamp;
+use mutcon_core::time::{Duration, Timestamp};
 use mutcon_proxy::experiment::{
     heuristic_timeline, individual_temporal_sweep, mutual_temporal_sweep, mutual_value_sweep,
     ttr_timeline, value_timeline,
 };
 use mutcon_proxy::report;
+use mutcon_sim::parallel;
 use mutcon_traces::stats::summarize;
 use mutcon_traces::NamedTrace;
 
+/// One experiment section: rendered text plus the number of simulated
+/// origin polls it took to produce (the engine's unit of work).
+struct Section {
+    text: String,
+    polls: u64,
+}
+
+/// Wall-clock and work measurements for one section, under the default
+/// worker count and (optionally) the forced one-thread reference run.
+struct Timing {
+    name: &'static str,
+    wall: std::time::Duration,
+    serial_wall: Option<std::time::Duration>,
+    polls: u64,
+}
+
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
-    let started = Instant::now();
-    let known: &[(&str, fn())] = &[
-        ("table1", table1),
-        ("table2", table2),
-        ("table3", table3),
-        ("fig3", fig3),
-        ("fig4", fig4),
-        ("fig5", fig5),
-        ("fig6", fig6),
-        ("fig7", fig7),
-        ("fig8", fig8),
-        ("ablation", ablation),
+    let mut threads_override: Option<String> = None;
+    let mut bench_json = String::from("BENCH_repro.json");
+    let mut target: Option<String> = None;
+    let mut repeats: u64 = 10;
+    let mut compare_serial = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => match args.next() {
+                Some(n) => threads_override = Some(n),
+                None => usage_error("--threads needs a value"),
+            },
+            "--serial" => threads_override = Some("1".to_owned()),
+            "--compare-serial" => compare_serial = true,
+            "--repeats" => match args.next().and_then(|r| r.parse().ok()) {
+                Some(r) if r > 0 => repeats = r,
+                _ => usage_error("--repeats needs a positive integer"),
+            },
+            "--bench-json" => match args.next() {
+                Some(p) => bench_json = p,
+                None => usage_error("--bench-json needs a path"),
+            },
+            other if target.is_none() && !other.starts_with('-') => {
+                target = Some(other.to_owned());
+            }
+            other => usage_error(&format!("unexpected argument {other:?}")),
+        }
+    }
+    if let Some(n) = &threads_override {
+        if n.parse::<usize>().map(|n| n > 0) != Ok(true) {
+            usage_error("--threads needs a positive integer");
+        }
+        std::env::set_var(parallel::THREADS_ENV, n);
+    }
+    let target = target.unwrap_or_else(|| "all".to_owned());
+
+    let bench = move || bench_section(repeats);
+    let known: &[(&'static str, &dyn Fn() -> Section)] = &[
+        ("table1", &table1),
+        ("table2", &table2),
+        ("table3", &table3),
+        ("fig3", &fig3),
+        ("fig4", &fig4),
+        ("fig5", &fig5),
+        ("fig6", &fig6),
+        ("fig7", &fig7),
+        ("fig8", &fig8),
+        ("ablation", &ablation),
+        ("bench", &bench),
     ];
-    match arg.as_str() {
+    let started = Instant::now();
+    match target.as_str() {
         "all" => {
+            // Sections run one after another — each is internally
+            // parallel — so the recorded per-section wall-clocks are not
+            // distorted by sections competing for the machine.
+            let mut timings: Vec<Timing> = Vec::with_capacity(known.len());
+            let mut texts: Vec<String> = Vec::with_capacity(known.len());
             for (name, run) in known {
+                let section_started = Instant::now();
+                let section = run();
+                let wall = section_started.elapsed();
                 println!("==== {name} ====");
-                run();
+                print!("{}", section.text);
                 println!();
+                texts.push(section.text);
+                timings.push(Timing {
+                    name,
+                    wall,
+                    serial_wall: None,
+                    polls: section.polls,
+                });
+            }
+            let parallel_wall = started.elapsed();
+
+            // Optional forced-serial reference pass: measures the
+            // speedup and proves the outputs are byte-identical.
+            let threads = parallel::default_threads();
+            let mut serial_total = None;
+            let mut outputs_identical = None;
+            if compare_serial && threads > 1 {
+                let saved = std::env::var(parallel::THREADS_ENV).ok();
+                std::env::set_var(parallel::THREADS_ENV, "1");
+                let serial_started = Instant::now();
+                let mut identical = true;
+                for (i, (name, run)) in known.iter().enumerate() {
+                    let section_started = Instant::now();
+                    let section = run();
+                    let wall = section_started.elapsed();
+                    timings[i].serial_wall = Some(wall);
+                    if section.text != texts[i] {
+                        identical = false;
+                        eprintln!("[repro] WARNING: {name} output differs between parallel and serial runs");
+                    }
+                }
+                serial_total = Some(serial_started.elapsed());
+                outputs_identical = Some(identical);
+                match saved {
+                    Some(v) => std::env::set_var(parallel::THREADS_ENV, v),
+                    None => std::env::remove_var(parallel::THREADS_ENV),
+                }
+            }
+
+            let report = bench_report(
+                threads,
+                repeats,
+                parallel_wall,
+                serial_total,
+                outputs_identical,
+                &timings,
+            );
+            match std::fs::write(&bench_json, &report) {
+                Ok(()) => eprintln!("[repro] wrote {bench_json}"),
+                Err(e) => {
+                    // The benchmark artifact is the point of `all` in CI;
+                    // losing it silently would break the PR-over-PR
+                    // perf trajectory.
+                    eprintln!("[repro] cannot write {bench_json}: {e}");
+                    std::process::exit(1);
+                }
+            }
+            // A nondeterministic engine is a broken engine — but the
+            // report (recording serial_output_identical: false) must
+            // land on disk first so the failure is diagnosable.
+            if outputs_identical == Some(false) {
+                std::process::exit(1);
             }
         }
         other => match known.iter().find(|(name, _)| *name == other) {
-            Some((_, run)) => run(),
+            Some((_, run)) => print!("{}", run().text),
             None => {
                 eprintln!(
                     "unknown experiment {other:?}; expected one of: all, {}",
@@ -60,17 +199,98 @@ fn main() {
             }
         },
     }
-    eprintln!("[repro] completed in {:.2?}", started.elapsed());
+    eprintln!(
+        "[repro] completed in {:.2?} with {} worker thread(s)",
+        started.elapsed(),
+        parallel::default_threads()
+    );
+}
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("repro: {message}");
+    eprintln!(
+        "usage: repro [--threads N | --serial] [--repeats R] [--compare-serial] [--bench-json PATH] <experiment|all>"
+    );
+    std::process::exit(2);
+}
+
+/// Renders the machine-readable benchmark report by hand — the format is
+/// three levels deep, a serializer would be overkill.
+fn bench_report(
+    threads: usize,
+    repeats: u64,
+    parallel_wall: std::time::Duration,
+    serial_wall: Option<std::time::Duration>,
+    outputs_identical: Option<bool>,
+    sections: &[Timing],
+) -> String {
+    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+    let total_polls: u64 = sections.iter().map(|t| t.polls).sum();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!("  \"bench_repeats\": {repeats},\n"));
+    out.push_str(&format!("  \"total_polls\": {total_polls},\n"));
+    out.push_str(&format!(
+        "  \"parallel_wall_ms\": {:.3},\n",
+        ms(parallel_wall)
+    ));
+    match serial_wall {
+        Some(serial) => {
+            out.push_str(&format!("  \"serial_wall_ms\": {:.3},\n", ms(serial)));
+            out.push_str(&format!(
+                "  \"speedup\": {:.3},\n",
+                ms(serial) / ms(parallel_wall).max(1e-9)
+            ));
+            out.push_str(&format!(
+                "  \"serial_output_identical\": {},\n",
+                outputs_identical.unwrap_or(false)
+            ));
+        }
+        None => {
+            out.push_str("  \"serial_wall_ms\": null,\n");
+            out.push_str("  \"speedup\": null,\n");
+            out.push_str("  \"serial_output_identical\": null,\n");
+        }
+    }
+    out.push_str("  \"sections\": [\n");
+    for (i, t) in sections.iter().enumerate() {
+        let serial = match t.serial_wall {
+            Some(w) => format!("{:.3}", ms(w)),
+            None => "null".to_owned(),
+        };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"serial_wall_ms\": {serial}, \"polls\": {}}}{}\n",
+            t.name,
+            ms(t.wall),
+            t.polls,
+            if i + 1 < sections.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// The robustness grid (see [`mutcon_bench::robustness`]): the engine's
+/// scaling workload.
+fn bench_section(repeats: u64) -> Section {
+    let rows = mutcon_bench::robustness::robustness_grid(repeats);
+    let polls = mutcon_bench::robustness::total_polls(&rows);
+    Section {
+        text: mutcon_bench::robustness::render(&rows),
+        polls,
+    }
 }
 
 /// Table 1 is the taxonomy of consistency semantics — definitional, so it
 /// is rendered from the library's own types.
-fn table1() {
+fn table1() -> Section {
     use mutcon_core::semantics::Semantics;
-    use mutcon_core::time::Duration;
     use mutcon_core::value::Value;
-    println!("Table 1 — taxonomy of cache consistency semantics");
-    println!("{:<10} {:<10} {:<12} example", "Semantics", "Domain", "Type");
+    use std::fmt::Write as _;
+    let mut text = String::new();
+    let _ = writeln!(text, "Table 1 — taxonomy of cache consistency semantics");
+    let _ = writeln!(text, "{:<10} {:<10} {:<12} example", "Semantics", "Domain", "Type");
     for s in [
         Semantics::DeltaT(Duration::from_mins(5)),
         Semantics::MutualT(Duration::from_mins(5)),
@@ -84,39 +304,56 @@ fn table1() {
             Semantics::MutualV(_) => "difference of a and b is within 2.5 of the server difference",
             _ => unreachable!(),
         };
-        println!("{:<10} {:<10?} {:<12?} {example}", s.to_string(), s.domain(), s.scope());
+        let _ = writeln!(
+            text,
+            "{:<10} {:<10?} {:<12?} {example}",
+            s.to_string(),
+            s.domain(),
+            s.scope()
+        );
+    }
+    Section { text, polls: 0 }
+}
+
+fn table2() -> Section {
+    // Generating the four calibrated news traces is the cost here; fan
+    // the generators out.
+    let summaries = parallel::run_all(NamedTrace::TEMPORAL.to_vec(), |t| summarize(&t.generate()));
+    Section {
+        text: report::table2(&summaries),
+        polls: 0,
     }
 }
 
-fn table2() {
-    let summaries: Vec<_> = NamedTrace::TEMPORAL
-        .iter()
-        .map(|t| summarize(&t.generate()))
-        .collect();
-    print!("{}", report::table2(&summaries));
+fn table3() -> Section {
+    let summaries = parallel::run_all(NamedTrace::VALUE.to_vec(), |t| summarize(&t.generate()));
+    Section {
+        text: report::table3(&summaries),
+        polls: 0,
+    }
 }
 
-fn table3() {
-    let summaries: Vec<_> = NamedTrace::VALUE
-        .iter()
-        .map(|t| summarize(&t.generate()))
-        .collect();
-    print!("{}", report::table3(&summaries));
-}
-
-fn fig3() {
+fn fig3() -> Section {
     let trace = FIG3_TRACE.generate();
     let rows = individual_temporal_sweep(&trace, &fig3_deltas(), &paper_fig3_config());
-    print!("{}", report::fig3(&trace, &rows));
+    let polls = rows.iter().map(|r| r.baseline_polls + r.limd_polls).sum();
+    Section {
+        text: report::fig3(&trace, &rows),
+        polls,
+    }
 }
 
-fn fig4() {
+fn fig4() -> Section {
     let trace = FIG3_TRACE.generate();
     let out = ttr_timeline(&trace, fixed_delta(), fig4_window(), &paper_fig3_config());
-    print!("{}", report::fig4(&out));
+    let polls = out.ttr.len() as u64;
+    Section {
+        text: report::fig4(&out),
+        polls,
+    }
 }
 
-fn fig5() {
+fn fig5() -> Section {
     let (a, b) = FIG5_PAIR;
     let rows = mutual_temporal_sweep(
         &a.generate(),
@@ -125,10 +362,17 @@ fn fig5() {
         &fig5_deltas(),
         &paper_fig3_config(),
     );
-    print!("{}", report::fig5(&rows));
+    let polls = rows
+        .iter()
+        .map(|r| r.baseline.polls + r.triggered.polls + r.heuristic.polls)
+        .sum();
+    Section {
+        text: report::fig5(&rows),
+        polls,
+    }
 }
 
-fn fig6() {
+fn fig6() -> Section {
     let (a, b) = FIG6_PAIR;
     let out = heuristic_timeline(
         &a.generate(),
@@ -138,11 +382,14 @@ fn fig6() {
         fig4_window(),
         &paper_fig3_config(),
     );
-    print!("{}", report::fig6(&out));
+    let polls = out.extra_polls.iter().map(|w| w.count as u64).sum();
+    Section {
+        text: report::fig6(&out),
+        polls,
+    }
 }
-use mutcon_core::time::Duration;
 
-fn fig7() {
+fn fig7() -> Section {
     let (a, b) = VALUE_PAIR;
     let rows = mutual_value_sweep(
         &a.generate(),
@@ -150,10 +397,17 @@ fn fig7() {
         &fig7_deltas(),
         &paper_fig7_config(),
     );
-    print!("{}", report::fig7(&rows));
+    let polls = rows
+        .iter()
+        .map(|r| r.adaptive_polls + r.partitioned_polls)
+        .sum();
+    Section {
+        text: report::fig7(&rows),
+        polls,
+    }
 }
 
-fn fig8() {
+fn fig8() -> Section {
     let (a, b) = VALUE_PAIR;
     let (from, to) = fig8_window();
     let out = value_timeline(
@@ -164,49 +418,57 @@ fn fig8() {
         Timestamp::ZERO + to,
         &paper_fig7_config(),
     );
-    print!("{}", report::fig8(&out, 40));
+    let polls = (out.adaptive.len() + out.partitioned.len()) as u64;
+    Section {
+        text: report::fig8(&out, 40),
+        polls,
+    }
 }
 
 /// Ablations of the design choices DESIGN.md §7 calls out.
-fn ablation() {
+fn ablation() -> Section {
     use mutcon_proxy::ablation as ab;
+    use std::fmt::Write as _;
+    let mut text = String::new();
+    let mut polls = 0u64;
+    let push = |title: &str, rows: Vec<ab::AblationRow>, text: &mut String, polls: &mut u64| {
+        *polls += rows.iter().map(|r| r.polls).sum::<u64>();
+        let _ = write!(text, "{}", ab::render(title, &rows));
+    };
     let cnn = FIG3_TRACE.generate();
-    print!(
-        "{}",
-        ab::render(
-            "Ablation A — LIMD aggressiveness (CNN/FN, Δ = 10 min)",
-            &ab::limd_aggressiveness(&cnn, fixed_delta()),
-        )
+    push(
+        "Ablation A — LIMD aggressiveness (CNN/FN, Δ = 10 min)",
+        ab::limd_aggressiveness(&cnn, fixed_delta()),
+        &mut text,
+        &mut polls,
     );
-    println!();
-    print!(
-        "{}",
-        ab::render(
-            "Ablation B — violation detection (Guardian, Δ = 10 min)",
-            &ab::violation_detection(&NamedTrace::Guardian.generate(), fixed_delta()),
-        )
+    let _ = writeln!(text);
+    push(
+        "Ablation B — violation detection (Guardian, Δ = 10 min)",
+        ab::violation_detection(&NamedTrace::Guardian.generate(), fixed_delta()),
+        &mut text,
+        &mut polls,
     );
-    println!();
+    let _ = writeln!(text);
     let (a, b) = FIG5_PAIR;
-    print!(
-        "{}",
-        ab::render(
-            "Ablation C — heuristic rate threshold (CNN/FN + NYT/AP, δ = 5 min)",
-            &ab::heuristic_threshold(
-                &a.generate(),
-                &b.generate(),
-                fixed_delta(),
-                Duration::from_mins(5),
-            ),
-        )
+    push(
+        "Ablation C — heuristic rate threshold (CNN/FN + NYT/AP, δ = 5 min)",
+        ab::heuristic_threshold(
+            &a.generate(),
+            &b.generate(),
+            fixed_delta(),
+            Duration::from_mins(5),
+        ),
+        &mut text,
+        &mut polls,
     );
-    println!();
+    let _ = writeln!(text);
     let (ya, att) = VALUE_PAIR;
-    print!(
-        "{}",
-        ab::render(
-            "Ablation D — Equation 10 α-blend (Yahoo + AT&T, δ = $0.6)",
-            &ab::alpha_blend(&ya.generate(), &att.generate(), fig8_delta()),
-        )
+    push(
+        "Ablation D — Equation 10 α-blend (Yahoo + AT&T, δ = $0.6)",
+        ab::alpha_blend(&ya.generate(), &att.generate(), fig8_delta()),
+        &mut text,
+        &mut polls,
     );
+    Section { text, polls }
 }

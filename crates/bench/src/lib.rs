@@ -81,6 +81,8 @@ pub fn paper_fig7_config() -> Fig7Config {
     Fig7Config::default()
 }
 
+pub mod robustness;
+
 #[cfg(test)]
 mod tests {
     use super::*;

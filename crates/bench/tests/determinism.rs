@@ -1,0 +1,115 @@
+//! The parallel sweep engine must be bit-for-bit deterministic: fanning
+//! independent runs out across worker threads may never change a single
+//! figure row or report byte relative to the forced single-thread path.
+//!
+//! Everything lives in ONE test function because it flips the
+//! `MUTCON_THREADS` environment variable, which is process-global.
+
+use mutcon_bench::{
+    fig3_deltas, fig7_deltas, fixed_delta, paper_fig3_config, paper_fig7_config, robustness,
+    FIG3_TRACE, FIG5_PAIR, VALUE_PAIR,
+};
+use mutcon_core::time::Duration;
+use mutcon_proxy::experiment::{
+    individual_temporal_sweep, mutual_temporal_sweep, mutual_value_sweep, Fig3Row, Fig5Row,
+    Fig7Row,
+};
+use mutcon_proxy::{ablation, report};
+use mutcon_sim::parallel::THREADS_ENV;
+
+/// Everything the comparison covers, captured under one thread setting.
+#[derive(Debug, PartialEq)]
+struct Snapshot {
+    fig3_rows: Vec<Fig3Row>,
+    fig3_report: String,
+    fig5_rows: Vec<Fig5Row>,
+    fig7_rows: Vec<Fig7Row>,
+    fig7_report: String,
+    ablation_a: String,
+    ablation_c: String,
+    robustness: Vec<robustness::RobustnessRow>,
+}
+
+fn snapshot() -> Snapshot {
+    let cnn = FIG3_TRACE.generate();
+    let fig3_rows = individual_temporal_sweep(&cnn, &fig3_deltas(), &paper_fig3_config());
+    let fig3_report = report::fig3(&cnn, &fig3_rows);
+
+    let (a, b) = FIG5_PAIR;
+    let fig5_rows = mutual_temporal_sweep(
+        &a.generate(),
+        &b.generate(),
+        fixed_delta(),
+        &[Duration::from_mins(1), Duration::from_mins(10)],
+        &paper_fig3_config(),
+    );
+
+    let (ya, att) = VALUE_PAIR;
+    let fig7_rows = mutual_value_sweep(
+        &ya.generate(),
+        &att.generate(),
+        &fig7_deltas(),
+        &paper_fig7_config(),
+    );
+    let fig7_report = report::fig7(&fig7_rows);
+
+    let ablation_a = ablation::render(
+        "A",
+        &ablation::limd_aggressiveness(&cnn, fixed_delta()),
+    );
+    let ablation_c = ablation::render(
+        "C",
+        &ablation::heuristic_threshold(
+            &a.generate(),
+            &b.generate(),
+            fixed_delta(),
+            Duration::from_mins(5),
+        ),
+    );
+
+    Snapshot {
+        fig3_rows,
+        fig3_report,
+        fig5_rows,
+        fig7_rows,
+        fig7_report,
+        ablation_a,
+        ablation_c,
+        robustness: robustness::robustness_grid(3),
+    }
+}
+
+#[test]
+fn parallel_sweeps_match_forced_serial_exactly() {
+    let saved = std::env::var(THREADS_ENV).ok();
+
+    std::env::set_var(THREADS_ENV, "1");
+    let serial = snapshot();
+
+    // More workers than this container has cores, so jobs genuinely
+    // interleave and finish out of order.
+    std::env::set_var(THREADS_ENV, "8");
+    let parallel = snapshot();
+    // And once more at an awkward worker count.
+    std::env::set_var(THREADS_ENV, "3");
+    let parallel_odd = snapshot();
+
+    match saved {
+        Some(v) => std::env::set_var(THREADS_ENV, v),
+        None => std::env::remove_var(THREADS_ENV),
+    }
+
+    // Row-level equality (covers every number in the figures)…
+    assert_eq!(serial.fig3_rows, parallel.fig3_rows);
+    assert_eq!(serial.fig5_rows, parallel.fig5_rows);
+    assert_eq!(serial.fig7_rows, parallel.fig7_rows);
+    assert_eq!(serial.robustness, parallel.robustness);
+    // …and byte-identical rendered reports.
+    assert_eq!(serial.fig3_report, parallel.fig3_report);
+    assert_eq!(serial.fig7_report, parallel.fig7_report);
+    assert_eq!(serial.ablation_a, parallel.ablation_a);
+    assert_eq!(serial.ablation_c, parallel.ablation_c);
+    // The whole snapshot, against both worker counts.
+    assert_eq!(serial, parallel);
+    assert_eq!(serial, parallel_odd);
+}

@@ -47,7 +47,6 @@
 //! # }
 //! ```
 
-use serde::{Deserialize, Serialize};
 
 use crate::error::ConfigError;
 use crate::rate::ValueRateEstimator;
@@ -55,7 +54,7 @@ use crate::time::{Duration, Timestamp};
 use crate::value::Value;
 
 /// Validated configuration for the value-domain adaptive-TTR algorithm.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AdaptiveTtrConfig {
     delta: Value,
     smoothing: f64,
@@ -185,7 +184,7 @@ impl AdaptiveTtrConfigBuilder {
 }
 
 /// Adaptive Δv-consistency state for one value-bearing object.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AdaptiveTtr {
     config: AdaptiveTtrConfig,
     rate: ValueRateEstimator,

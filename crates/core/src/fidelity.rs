@@ -26,12 +26,11 @@
 
 use std::iter::Sum;
 
-use serde::{Deserialize, Serialize};
 
 use crate::time::Duration;
 
 /// Raw counters behind both fidelity metrics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct FidelityStats {
     polls: u64,
     violations: u64,

@@ -13,12 +13,11 @@
 //! functions (like [`ValueFunction::Ratio`]) where no such static split
 //! exists and the virtual-object approach must be used.
 
-use serde::{Deserialize, Serialize};
 
 use crate::value::Value;
 
 /// A binary function over object values for Mv-consistency.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 #[non_exhaustive]
 pub enum ValueFunction {
     /// `f(a, b) = a − b` — the paper's running example (comparing two

@@ -28,14 +28,12 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::error::ConfigError;
 use crate::object::ObjectId;
 
 /// Identifier of a group of related objects.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct GroupId(String);
 
 impl GroupId {
@@ -63,7 +61,7 @@ impl From<&str> for GroupId {
 }
 
 /// A set of mutually related objects.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ObjectGroup {
     id: GroupId,
     members: BTreeSet<ObjectId>,
@@ -124,7 +122,7 @@ impl From<String> for GroupId {
 }
 
 /// All known groups, indexed for "related objects" queries.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct GroupRegistry {
     groups: BTreeMap<GroupId, ObjectGroup>,
     /// Object → groups containing it.

@@ -58,14 +58,13 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::error::ConfigError;
 use crate::time::{Duration, Timestamp};
 
 /// How the multiplicative-decrease factor `m` is chosen when a violation
 /// is detected (Case 2).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum DecreaseFactor {
     /// A fixed factor in `(0, 1)`.
     Fixed(f64),
@@ -125,7 +124,7 @@ impl DecreaseFactor {
 /// Build one through [`LimdConfig::builder`]; Δ is mandatory, everything
 /// else has paper defaults (`l = 0.2`, adaptive `m`, `ε = 0.02`,
 /// `TTR_min = Δ`, `TTR_max = 60 min`, idle threshold `TTR_max`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LimdConfig {
     delta: Duration,
     linear_increase: f64,
@@ -288,7 +287,7 @@ impl LimdConfigBuilder {
 }
 
 /// What the proxy learned from one `If-Modified-Since` poll.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum PollResult {
     /// `304 Not Modified`: no server update since the previous poll.
     NotModified,
@@ -324,10 +323,46 @@ impl PollResult {
             history: Some(history.into_iter().collect()),
         }
     }
+
+    /// This result as a borrowed [`PollView`] (the zero-copy form the
+    /// algorithms consume).
+    pub fn as_view(&self) -> PollView<'_> {
+        match self {
+            PollResult::NotModified => PollView::NotModified,
+            PollResult::Modified {
+                last_modified,
+                history,
+            } => PollView::Modified {
+                last_modified: *last_modified,
+                history: history.as_deref(),
+            },
+        }
+    }
+}
+
+/// A borrowed view of one poll's outcome.
+///
+/// This is the form the hot simulation path uses: the modification
+/// history stays a slice borrowed from the origin's trace, so driving
+/// [`Limd::observe`] (and the Mt coordinator) allocates nothing per
+/// poll. [`PollResult`] is the owned equivalent for callers that need to
+/// store results; `result.as_view()` converts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PollView<'a> {
+    /// `304 Not Modified`: no server update since the previous poll.
+    NotModified,
+    /// `200 OK` with a fresh copy.
+    Modified {
+        /// The new copy's `Last-Modified` stamp.
+        last_modified: Timestamp,
+        /// Modification times since the previous poll, oldest first,
+        /// borrowed from the server's history (§5.1 extension).
+        history: Option<&'a [Timestamp]>,
+    },
 }
 
 /// Which of the four §3.1 cases a poll fell into.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LimdCase {
     /// Case 1: not modified since the last poll.
     Unchanged,
@@ -352,7 +387,7 @@ impl fmt::Display for LimdCase {
 }
 
 /// The outcome of feeding one poll to [`Limd::on_poll`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LimdDecision {
     /// Which §3.1 case applied.
     pub case: LimdCase,
@@ -368,7 +403,7 @@ pub struct LimdDecision {
 ///
 /// Drive it by calling [`Limd::on_poll`] after every poll; schedule the
 /// next poll [`LimdDecision::ttr`] later.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Limd {
     config: LimdConfig,
     ttr: Duration,
@@ -429,22 +464,32 @@ impl Limd {
     ///
     /// Panics if `now` is earlier than the previous poll time.
     pub fn on_poll(&mut self, now: Timestamp, result: &PollResult) -> LimdDecision {
+        self.observe(now, result.as_view())
+    }
+
+    /// Allocation-free equivalent of [`Limd::on_poll`], consuming a
+    /// borrowed [`PollView`] (typically straight off the origin's trace).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` is earlier than the previous poll time.
+    pub fn observe(&mut self, now: Timestamp, view: PollView<'_>) -> LimdDecision {
         if let Some(prev) = self.last_poll {
             assert!(now >= prev, "polls must be fed in order: {now} < {prev}");
         }
-        let decision = match result {
-            PollResult::NotModified => self.case_unchanged(),
-            PollResult::Modified {
+        let decision = match view {
+            PollView::NotModified => self.case_unchanged(),
+            PollView::Modified {
                 last_modified,
                 history,
-            } => self.case_modified(now, *last_modified, history.as_deref()),
+            } => self.case_modified(now, last_modified, history),
         };
         self.ttr = decision.ttr;
         self.last_poll = Some(now);
-        if let PollResult::Modified { last_modified, .. } = result {
+        if let PollView::Modified { last_modified, .. } = view {
             let newest = self
                 .last_known_modification
-                .map_or(*last_modified, |m| m.max(*last_modified));
+                .map_or(last_modified, |m| m.max(last_modified));
             self.last_known_modification = Some(newest);
         }
         decision

@@ -49,15 +49,14 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
 
-use crate::limd::PollResult;
+use crate::limd::{PollResult, PollView};
 use crate::object::ObjectId;
 use crate::rate::UpdateRateEstimator;
 use crate::time::{Duration, Timestamp};
 
 /// Which §3.2 mutual-consistency strategy to run on top of LIMD.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum MtPolicy {
     /// Individual LIMD only; no mutual support.
     Baseline,
@@ -79,7 +78,7 @@ impl MtPolicy {
 }
 
 /// Per-object bookkeeping the coordinator needs.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct MemberState {
     last_poll: Option<Timestamp>,
     next_poll: Option<Timestamp>,
@@ -102,17 +101,22 @@ impl MemberState {
 /// [`MtCoordinator::on_poll`] (which returns the related objects that must
 /// be polled *now*) and every (re)scheduled poll through
 /// [`MtCoordinator::record_scheduled_poll`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct MtCoordinator {
+///
+/// The key type `K` identifies group members. It defaults to
+/// [`ObjectId`]; simulation drivers that intern object ids to dense
+/// integer handles instantiate `MtCoordinator<u32>` so the per-poll
+/// bookkeeping never touches (or clones) an `Arc<str>`.
+#[derive(Debug, Clone)]
+pub struct MtCoordinator<K = ObjectId> {
     delta: Duration,
     policy: MtPolicy,
-    members: BTreeMap<ObjectId, MemberState>,
+    members: BTreeMap<K, MemberState>,
     /// EWMA weight used for the per-object update-rate estimators.
     rate_alpha: f64,
     triggered_polls: u64,
 }
 
-impl MtCoordinator {
+impl<K: Ord + Clone> MtCoordinator<K> {
     /// Default EWMA weight for update-rate estimation.
     const DEFAULT_RATE_ALPHA: f64 = 0.3;
 
@@ -121,7 +125,7 @@ impl MtCoordinator {
     pub fn new(
         delta: Duration,
         policy: MtPolicy,
-        members: impl IntoIterator<Item = ObjectId>,
+        members: impl IntoIterator<Item = K>,
     ) -> Self {
         let rate_alpha = Self::DEFAULT_RATE_ALPHA;
         MtCoordinator {
@@ -147,12 +151,12 @@ impl MtCoordinator {
     }
 
     /// Group members known to this coordinator.
-    pub fn members(&self) -> impl Iterator<Item = &ObjectId> + '_ {
+    pub fn members(&self) -> impl Iterator<Item = &K> + '_ {
         self.members.keys()
     }
 
     /// Adds a member after construction (no-op if already present).
-    pub fn add_member(&mut self, id: ObjectId) {
+    pub fn add_member(&mut self, id: K) {
         let alpha = self.rate_alpha;
         self.members.entry(id).or_insert_with(|| MemberState::new(alpha));
     }
@@ -165,7 +169,7 @@ impl MtCoordinator {
     /// Records when `object`'s next regular (LIMD-scheduled) poll will
     /// occur. Keeping this current lets the coordinator skip triggers that
     /// the regular schedule already covers.
-    pub fn record_scheduled_poll(&mut self, object: &ObjectId, at: Timestamp) {
+    pub fn record_scheduled_poll(&mut self, object: &K, at: Timestamp) {
         if let Some(state) = self.members.get_mut(object) {
             state.next_poll = Some(at);
         }
@@ -173,7 +177,7 @@ impl MtCoordinator {
 
     /// Estimated update rate of `object` in updates per millisecond, once
     /// two modifications have been observed.
-    pub fn estimated_rate(&self, object: &ObjectId) -> Option<f64> {
+    pub fn estimated_rate(&self, object: &K) -> Option<f64> {
         self.members.get(object)?.rate.rate_per_ms()
     }
 
@@ -184,25 +188,33 @@ impl MtCoordinator {
     /// Objects outside the group are ignored and produce no triggers.
     pub fn on_poll(
         &mut self,
-        object: &ObjectId,
+        object: &K,
         now: Timestamp,
         result: &PollResult,
-    ) -> Vec<ObjectId> {
+    ) -> Vec<K> {
+        self.observe(object, now, result.as_view())
+    }
+
+    /// Allocation-free equivalent of [`MtCoordinator::on_poll`] consuming
+    /// a borrowed [`PollView`]. (The returned trigger list only allocates
+    /// when there *are* triggers; the common no-trigger poll returns an
+    /// unallocated empty `Vec`.)
+    pub fn observe(&mut self, object: &K, now: Timestamp, view: PollView<'_>) -> Vec<K> {
         let Some(state) = self.members.get_mut(object) else {
             return Vec::new();
         };
         state.last_poll = Some(now);
         // A triggered poll (or regular poll) satisfies any pending trigger;
         // the next regular poll will be re-announced by the scheduler.
-        let modified = match result {
-            PollResult::NotModified => false,
-            PollResult::Modified { last_modified, history } => {
+        let modified = match view {
+            PollView::NotModified => false,
+            PollView::Modified { last_modified, history } => {
                 if let Some(history) = history {
                     for &t in history {
                         state.rate.observe_modification(t);
                     }
                 }
-                state.rate.observe_modification(*last_modified);
+                state.rate.observe_modification(last_modified);
                 true
             }
         };
@@ -211,7 +223,7 @@ impl MtCoordinator {
             return Vec::new();
         }
 
-        let updated_rate = self.members[object].rate.rate_per_ms();
+        let updated_rate = self.members[&*object].rate.rate_per_ms();
         // §3.2 suppresses triggers when the target's next/previous poll is
         // within δ. The previous-poll case is *provably* safe: a copy
         // polled x ≤ δ ago was current then, so its validity reaches to

@@ -41,7 +41,6 @@
 //! # }
 //! ```
 
-use serde::{Deserialize, Serialize};
 
 use crate::adaptive_ttr::{AdaptiveTtr, AdaptiveTtrConfig};
 use crate::error::ConfigError;
@@ -51,7 +50,7 @@ use crate::time::{Duration, Timestamp};
 use crate::value::Value;
 
 /// Configuration of the θ feedback factor of Equation 12.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FeedbackConfig {
     /// Multiplier applied to θ on a detected violation (`0 < · < 1`).
     pub decrease: f64,
@@ -100,7 +99,7 @@ impl FeedbackConfig {
 }
 
 /// Validated configuration for the virtual-object Mv approach.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VirtualObjectConfig {
     function: ValueFunction,
     delta: Value,
@@ -200,7 +199,7 @@ impl VirtualObjectConfigBuilder {
 }
 
 /// Outcome of one pair-poll under the virtual-object policy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MvDecision {
     /// When to poll the pair next, relative to this poll.
     pub ttr: Duration,
@@ -216,7 +215,7 @@ pub struct MvDecision {
 /// The virtual-object Mv policy: both objects are polled together on a
 /// single schedule derived from the rate of change of `f` (Equations 11
 /// and 12).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VirtualObjectPolicy {
     config: VirtualObjectConfig,
     ttr: AdaptiveTtr,
@@ -288,7 +287,7 @@ impl VirtualObjectPolicy {
 }
 
 /// Which member of the pair a partitioned-policy poll refers to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PairMember {
     /// The first object (e.g. the first stock in the comparison).
     A,
@@ -297,7 +296,7 @@ pub enum PairMember {
 }
 
 /// Validated configuration for the partitioned Mv approach.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PartitionedConfig {
     function: ValueFunction,
     delta: Value,
@@ -414,7 +413,7 @@ impl PartitionedConfigBuilder {
     }
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 struct MemberTracker {
     ttr: AdaptiveTtr,
     rate: ValueRateEstimator,
@@ -428,7 +427,7 @@ struct MemberTracker {
 /// Maintaining `|P_a − S_a| < δ_a` and `|P_b − S_b| < δ_b` with
 /// `w_a·δ_a + w_b·δ_b = δ` implies the mutual bound by the triangle
 /// inequality (§4.2, footnote 3).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PartitionedPolicy {
     config: PartitionedConfig,
     weights: (f64, f64),

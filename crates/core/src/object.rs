@@ -23,7 +23,6 @@ use std::borrow::Borrow;
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
 
 use crate::time::Timestamp;
 use crate::value::Value;
@@ -32,23 +31,8 @@ use crate::value::Value;
 ///
 /// Internally an `Arc<str>`, so cloning an id shared between the cache, the
 /// scheduler and group registries never copies the text.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
-pub struct ObjectId(#[serde(with = "arc_str_serde")] Arc<str>);
-
-mod arc_str_serde {
-    use std::sync::Arc;
-
-    use serde::{Deserialize, Deserializer, Serializer};
-
-    pub fn serialize<S: Serializer>(v: &Arc<str>, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_str(v)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Arc<str>, D::Error> {
-        Ok(Arc::from(String::deserialize(d)?))
-    }
-}
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectId(Arc<str>);
 
 impl ObjectId {
     /// Creates an identifier from anything string-like.
@@ -94,9 +78,8 @@ impl Borrow<str> for ObjectId {
 
 /// A monotonically increasing version number assigned by the origin server.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
-#[serde(transparent)]
 pub struct Version(u64);
 
 impl Version {
@@ -131,7 +114,7 @@ impl fmt::Display for Version {
 /// The creation time is exactly the `Last-Modified` value an HTTP origin
 /// would report for this version, and the origination instant `t1`/`t2`
 /// used in the Mt-consistency definition (Equation 4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VersionStamp {
     version: Version,
     created_at: Timestamp,
@@ -182,7 +165,7 @@ impl fmt::Display for VersionStamp {
 
 /// A snapshot of an object as fetched from (or held at) a server or proxy:
 /// version stamp plus, for value-domain objects, the numeric value.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ObjectSnapshot {
     stamp: VersionStamp,
     value: Option<Value>,

@@ -12,7 +12,6 @@
 //!   value will have drifted by Δ. [`ValueRateEstimator`] computes this
 //!   instantaneous slope from consecutive samples.
 
-use serde::{Deserialize, Serialize};
 
 use crate::time::{Duration, Timestamp};
 use crate::value::Value;
@@ -32,7 +31,7 @@ use crate::value::Value;
 /// let per_min = est.rate_per_ms().unwrap() * 60_000.0;
 /// assert!((per_min - 0.1).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UpdateRateEstimator {
     /// Weight of the newest interval in the EWMA, in `(0, 1]`.
     alpha: f64,
@@ -103,7 +102,7 @@ impl UpdateRateEstimator {
 /// Instantaneous value slope from consecutive samples (§4.1, Figure 2):
 /// `r = |P_cur − P_prev| / (t_cur − t_prev)`, in value units per
 /// millisecond.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ValueRateEstimator {
     prev: Option<(Timestamp, Value)>,
 }

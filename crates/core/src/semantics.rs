@@ -43,13 +43,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::time::{Duration, Timestamp};
 use crate::value::Value;
 
 /// The domain a consistency guarantee is expressed in (Table 1, column 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Domain {
     /// Guarantees bound *time* staleness (any web object qualifies).
     Temporal,
@@ -58,7 +57,7 @@ pub enum Domain {
 }
 
 /// Whether a guarantee constrains one object or a group (Table 1, column 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scope {
     /// One cached object versus its server copy.
     Individual,
@@ -67,7 +66,7 @@ pub enum Scope {
 }
 
 /// A consistency guarantee from the paper's taxonomy, with its tolerance.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 #[non_exhaustive]
 pub enum Semantics {
     /// Strong consistency (Equation 1): the proxy is always up to date.
@@ -120,7 +119,7 @@ impl fmt::Display for Semantics {
 ///
 /// `start` is the version's creation time (its `Last-Modified` instant);
 /// `end` is the time of the next server update, once one occurs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ValidityInterval {
     start: Timestamp,
     end: Option<Timestamp>,

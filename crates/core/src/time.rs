@@ -25,7 +25,6 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
 
 /// An absolute point in time, in milliseconds since an arbitrary epoch.
 ///
@@ -33,9 +32,8 @@ use serde::{Deserialize, Serialize};
 /// the live proxy it is the Unix epoch. Only differences between timestamps
 /// are ever semantically meaningful.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
-#[serde(transparent)]
 pub struct Timestamp(u64);
 
 impl Timestamp {
@@ -153,9 +151,8 @@ impl Sub<Timestamp> for Timestamp {
 
 /// A non-negative span of time in milliseconds.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
-#[serde(transparent)]
 pub struct Duration(u64);
 
 impl Duration {

@@ -9,15 +9,13 @@
 use std::fmt;
 use std::ops::{Add, Div, Mul, Neg, Sub};
 
-use serde::{Deserialize, Serialize};
 
 /// A finite numeric value of a web object (e.g. a stock price in dollars).
 ///
 /// `Value` is totally ordered; construction rejects NaN (and the arithmetic
 /// operators debug-assert finiteness) so comparisons never silently
 /// misbehave.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Value(f64);
 
 impl Value {

@@ -14,7 +14,8 @@
 //! modification times travel in the `x-last-modified-ms` extension header
 //! (IMF-fixdates only resolve seconds).
 //!
-//! * [`threadpool`] — a from-scratch worker pool (crossbeam channels).
+//! * [`threadpool`] — the shared worker pool (re-exported from
+//!   [`mutcon_sim::parallel`], built on `std::sync::mpsc`).
 //! * [`wire`] — blocking socket I/O for the `mutcon-http` types.
 //! * [`client`] — a minimal HTTP client (one connection per request).
 //! * [`origin`] — the trace-replaying origin server, with fault

@@ -1,140 +1,29 @@
-//! A small fixed-size worker pool, built from scratch on crossbeam
-//! channels.
+//! Connection worker pool.
 //!
-//! Each accepted connection is handled by one job; the pool bounds
-//! concurrency without spawning a thread per connection. Dropping the
-//! pool performs a clean shutdown: the job channel closes, workers drain
-//! what they already received and exit, and `Drop` joins them.
+//! The pool implementation was generalized into
+//! [`mutcon_sim::parallel`] so the experiment engine and the live
+//! daemons share one worker-pool abstraction; this module re-exports it
+//! under the historical path.
 
-use std::fmt;
-use std::thread::JoinHandle;
-
-use crossbeam::channel::{self, Sender};
-
-type Job = Box<dyn FnOnce() + Send + 'static>;
-
-/// A fixed-size pool of worker threads.
-pub struct ThreadPool {
-    sender: Option<Sender<Job>>,
-    workers: Vec<JoinHandle<()>>,
-}
-
-impl ThreadPool {
-    /// Spawns a pool of `size` workers.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `size` is zero.
-    pub fn new(size: usize) -> Self {
-        assert!(size > 0, "thread pool needs at least one worker");
-        let (sender, receiver) = channel::unbounded::<Job>();
-        let workers = (0..size)
-            .map(|i| {
-                let receiver = receiver.clone();
-                std::thread::Builder::new()
-                    .name(format!("mutcon-live-worker-{i}"))
-                    .spawn(move || {
-                        // The loop ends when every sender is dropped. A
-                        // panicking job must not take the worker with it
-                        // (a connection handler crash would otherwise
-                        // permanently shrink the pool).
-                        while let Ok(job) = receiver.recv() {
-                            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
-                        }
-                    })
-                    .expect("spawning a worker thread")
-            })
-            .collect();
-        ThreadPool {
-            sender: Some(sender),
-            workers,
-        }
-    }
-
-    /// Number of workers.
-    pub fn size(&self) -> usize {
-        self.workers.len()
-    }
-
-    /// Submits a job; returns `false` if the pool is already shut down.
-    pub fn execute(&self, job: impl FnOnce() + Send + 'static) -> bool {
-        match &self.sender {
-            Some(s) => s.send(Box::new(job)).is_ok(),
-            None => false,
-        }
-    }
-}
-
-impl Drop for ThreadPool {
-    fn drop(&mut self) {
-        // Close the channel so workers drain and exit...
-        drop(self.sender.take());
-        // ...then join them. Worker panics are swallowed: a connection
-        // handler crashing must not poison server shutdown.
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
-        }
-    }
-}
-
-impl fmt::Debug for ThreadPool {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("ThreadPool")
-            .field("workers", &self.workers.len())
-            .field("alive", &self.sender.is_some())
-            .finish()
-    }
-}
+pub use mutcon_sim::parallel::ThreadPool;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Arc;
 
     #[test]
-    fn executes_all_jobs() {
-        let pool = ThreadPool::new(4);
-        assert_eq!(pool.size(), 4);
+    fn reexported_pool_works() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let pool = ThreadPool::new(2);
         let counter = Arc::new(AtomicUsize::new(0));
-        for _ in 0..100 {
+        for _ in 0..10 {
             let counter = Arc::clone(&counter);
             assert!(pool.execute(move || {
                 counter.fetch_add(1, Ordering::SeqCst);
             }));
         }
-        drop(pool); // joins workers, so all jobs are done
-        assert_eq!(counter.load(Ordering::SeqCst), 100);
-    }
-
-    #[test]
-    fn jobs_run_concurrently() {
-        let pool = ThreadPool::new(2);
-        let (tx, rx) = crossbeam::channel::bounded::<()>(0);
-        let tx2 = tx.clone();
-        // Two rendezvous jobs can only complete if two workers run them
-        // at the same time.
-        pool.execute(move || {
-            tx.send(()).expect("partner is running");
-        });
-        pool.execute(move || {
-            tx2.send(()).expect("partner is running");
-        });
-        rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
-        rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
-    }
-
-    #[test]
-    fn survives_panicking_job() {
-        let pool = ThreadPool::new(1);
-        pool.execute(|| panic!("job goes boom"));
-        // Pool shutdown (Drop) must not propagate the panic.
         drop(pool);
-    }
-
-    #[test]
-    #[should_panic(expected = "at least one worker")]
-    fn zero_size_rejected() {
-        let _ = ThreadPool::new(0);
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
     }
 }

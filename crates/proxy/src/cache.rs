@@ -6,7 +6,7 @@
 //! An optional capacity bound with LRU eviction is provided for
 //! experiments beyond the paper.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use mutcon_core::object::{ObjectId, VersionStamp};
 use mutcon_core::time::Timestamp;
@@ -28,9 +28,20 @@ pub struct CachedEntry {
 
 /// The proxy cache: unbounded by default (the paper's model), optionally
 /// capacity-limited with LRU eviction.
+///
+/// Recency is indexed by a `BTreeSet<(last_used, id)>` kept in lock-step
+/// with the entry table, so eviction is O(log n) — the previous
+/// implementation scanned every entry and cloned every key per
+/// comparison. Ties on `last_used` evict the lexicographically smallest
+/// id, exactly like the old scan's `(last_used, id)` ordering, so
+/// eviction order is unchanged. (`ObjectId` is an `Arc<str>`, so the one
+/// clone per insert/touch is a reference-count bump, not a string copy.)
 #[derive(Debug, Clone, Default)]
 pub struct ProxyCache {
     entries: HashMap<ObjectId, CachedEntry>,
+    /// `(last_used, id)` pairs, one per entry; only maintained when a
+    /// capacity bound is set (the unbounded paper model pays nothing).
+    recency: BTreeSet<(Timestamp, ObjectId)>,
     capacity: Option<usize>,
     hits: u64,
     misses: u64,
@@ -81,6 +92,10 @@ impl ProxyCache {
     pub fn lookup(&mut self, id: &ObjectId, now: Timestamp) -> Option<&CachedEntry> {
         match self.entries.get_mut(id) {
             Some(entry) => {
+                if self.capacity.is_some() && entry.last_used != now {
+                    self.recency.remove(&(entry.last_used, id.clone()));
+                    self.recency.insert((now, id.clone()));
+                }
                 entry.last_used = now;
                 self.hits += 1;
                 Some(&*entry)
@@ -107,32 +122,45 @@ impl ProxyCache {
         value: Option<Value>,
         now: Timestamp,
     ) {
-        if let Some(cap) = self.capacity {
-            if !self.entries.contains_key(&id) && self.entries.len() >= cap {
-                if let Some(victim) = self
-                    .entries
-                    .iter()
-                    .min_by_key(|(oid, e)| (e.last_used, (*oid).clone()))
-                    .map(|(oid, _)| oid.clone())
-                {
-                    self.entries.remove(&victim);
+        let entry = CachedEntry {
+            stamp,
+            value,
+            fetched_at: now,
+            last_used: now,
+        };
+        let Some(cap) = self.capacity else {
+            self.entries.insert(id, entry);
+            return;
+        };
+        match self.entries.insert(id.clone(), entry) {
+            Some(old) => {
+                // Refresh of an existing entry: re-key its recency slot.
+                self.recency.remove(&(old.last_used, id.clone()));
+            }
+            None => {
+                if self.entries.len() > cap {
+                    // The LRU victim sits at the front of the ordered
+                    // recency index: one O(log n) pop, no scan.
+                    let victim = self
+                        .recency
+                        .pop_first()
+                        .expect("bounded cache over capacity has a recency entry");
+                    self.entries.remove(&victim.1);
                 }
             }
         }
-        self.entries.insert(
-            id,
-            CachedEntry {
-                stamp,
-                value,
-                fetched_at: now,
-                last_used: now,
-            },
-        );
+        self.recency.insert((now, id));
     }
 
     /// Drops an entry (used by failure-injection tests).
     pub fn evict(&mut self, id: &ObjectId) -> Option<CachedEntry> {
-        self.entries.remove(id)
+        let removed = self.entries.remove(id);
+        if self.capacity.is_some() {
+            if let Some(entry) = &removed {
+                self.recency.remove(&(entry.last_used, id.clone()));
+            }
+        }
+        removed
     }
 }
 
@@ -196,6 +224,64 @@ mod tests {
         assert!(c.peek(&oid("a")).is_some());
         assert!(c.peek(&oid("b")).is_none());
         assert!(c.peek(&oid("c")).is_some());
+    }
+
+    #[test]
+    fn lru_tie_break_is_lexicographic() {
+        // Three entries stored at the same instant: the old linear scan
+        // broke last_used ties by ObjectId order, and the O(log n)
+        // recency index must preserve exactly that.
+        let mut c = ProxyCache::with_capacity(3);
+        for name in ["b", "c", "a"] {
+            c.store(oid(name), stamp(0, 0), None, Timestamp::from_secs(5));
+        }
+        c.store(oid("d"), stamp(0, 0), None, Timestamp::from_secs(6));
+        assert!(c.peek(&oid("a")).is_none(), "lexicographically smallest tie loses");
+        assert!(c.peek(&oid("b")).is_some());
+        assert!(c.peek(&oid("c")).is_some());
+        assert!(c.peek(&oid("d")).is_some());
+    }
+
+    #[test]
+    fn lru_matches_reference_scan_model() {
+        // Randomized equivalence against the pre-refactor O(n) scan
+        // semantics: evict min by (last_used, id).
+        use mutcon_sim::SimRng;
+        use std::collections::HashMap;
+
+        let cap = 8;
+        let mut cache = ProxyCache::with_capacity(cap);
+        let mut model: HashMap<ObjectId, Timestamp> = HashMap::new();
+        let mut rng = SimRng::seed_from_u64(0xCAC4E);
+        let names: Vec<ObjectId> =
+            (0..24).map(|i| ObjectId::new(format!("obj-{i:02}"))).collect();
+
+        for step in 0u64..2_000 {
+            let now = Timestamp::from_secs(step / 3); // deliberate ties
+            let id = rng.pick(&names).clone();
+            if rng.chance(0.5) {
+                cache.store(id.clone(), stamp(0, step), None, now);
+                if !model.contains_key(&id) && model.len() >= cap {
+                    let victim = model
+                        .iter()
+                        .min_by_key(|(oid, t)| (**t, (*oid).clone()))
+                        .map(|(oid, _)| oid.clone())
+                        .expect("model not empty");
+                    model.remove(&victim);
+                }
+                model.insert(id, now);
+            } else {
+                let hit = cache.lookup(&id, now).is_some();
+                assert_eq!(hit, model.contains_key(&id), "step {step}");
+                if hit {
+                    model.insert(id, now);
+                }
+            }
+            assert_eq!(cache.len(), model.len(), "step {step}");
+        }
+        for id in &names {
+            assert_eq!(cache.peek(id).is_some(), model.contains_key(id), "{id}");
+        }
     }
 
     #[test]

@@ -10,14 +10,14 @@
 
 use std::collections::BTreeMap;
 
-use mutcon_core::limd::{Limd, LimdConfig, PollResult};
+use mutcon_core::limd::{Limd, LimdConfig};
 use mutcon_core::mutual::temporal::{MtCoordinator, MtPolicy};
 use mutcon_core::object::ObjectId;
 use mutcon_core::time::{Duration, Timestamp};
 use mutcon_sim::queue::{EventId, EventQueue};
 
 use crate::log::{PollLog, PollOutcome, PollRecord};
-use crate::origin::{OriginResponse, OriginServer};
+use crate::origin::{HostedObject, OriginServer};
 
 /// How each object maintains its individual Δt guarantee.
 #[derive(Debug, Clone, PartialEq)]
@@ -80,13 +80,22 @@ struct ObjectState {
     pending: Option<EventId>,
 }
 
+/// The driver's internal state, keyed by dense object handles.
+///
+/// Object ids are interned to `u32` indices at run start: the event
+/// queue, the per-object state table and the Mt coordinator all work on
+/// indices, so the per-poll path never hashes, compares or clones an
+/// `ObjectId`. The string ids reappear only when the final
+/// [`TemporalSimOutput`] maps are assembled.
 struct Sim<'a> {
-    origin: &'a OriginServer,
+    objects: Vec<HostedObject<'a>>,
     config: &'a TemporalSimConfig,
-    states: BTreeMap<ObjectId, ObjectState>,
-    coordinator: Option<MtCoordinator>,
-    queue: EventQueue<ObjectId>,
-    out: TemporalSimOutput,
+    states: Vec<ObjectState>,
+    coordinator: Option<MtCoordinator<u32>>,
+    queue: EventQueue<u32>,
+    logs: Vec<PollLog>,
+    ttr_timelines: Vec<Vec<(Timestamp, Duration)>>,
+    triggered_instants: Vec<Timestamp>,
 }
 
 /// Runs the temporal driver over `objects` (all hosted by `origin`).
@@ -101,37 +110,35 @@ pub fn run_temporal(
     objects: &[ObjectId],
     config: &TemporalSimConfig,
 ) -> TemporalSimOutput {
+    let handles: Vec<HostedObject<'_>> = objects
+        .iter()
+        .map(|id| origin.object(id).expect("object hosted by origin"))
+        .collect();
+    let n = handles.len();
     let mut sim = Sim {
-        origin,
+        objects: handles,
         config,
-        states: objects
-            .iter()
-            .map(|id| {
-                let limd = match &config.policy {
+        states: (0..n)
+            .map(|_| ObjectState {
+                limd: match &config.policy {
                     TemporalPolicy::Periodic(_) => None,
                     TemporalPolicy::Limd(cfg) => Some(Limd::new(*cfg)),
-                };
-                (
-                    id.clone(),
-                    ObjectState {
-                        limd,
-                        validator: None,
-                        pending: None,
-                    },
-                )
+                },
+                validator: None,
+                pending: None,
             })
             .collect(),
-        coordinator: config.mutual.map(|m| {
-            MtCoordinator::new(m.delta, m.policy, objects.iter().cloned())
-        }),
+        coordinator: config
+            .mutual
+            .map(|m| MtCoordinator::new(m.delta, m.policy, 0..n as u32)),
         queue: EventQueue::new(),
-        out: TemporalSimOutput::default(),
+        logs: vec![PollLog::new(); n],
+        ttr_timelines: vec![Vec::new(); n],
+        triggered_instants: Vec::new(),
     };
-    for id in objects {
-        sim.out.logs.insert(id.clone(), PollLog::new());
-        sim.out.ttr_timeline.insert(id.clone(), Vec::new());
-        let ev = sim.queue.schedule_at(Timestamp::ZERO, id.clone());
-        sim.states.get_mut(id).expect("state exists").pending = Some(ev);
+    for idx in 0..n as u32 {
+        let ev = sim.queue.schedule_at(Timestamp::ZERO, idx);
+        sim.states[idx as usize].pending = Some(ev);
     }
 
     while let Some(at) = sim.queue.peek_time() {
@@ -139,24 +146,32 @@ pub fn run_temporal(
             break;
         }
         let (now, obj) = sim.queue.pop().expect("peeked event exists");
-        sim.states
-            .get_mut(&obj)
-            .expect("state exists")
-            .pending = None;
-        sim.poll(&obj, now, false);
+        sim.states[obj as usize].pending = None;
+        sim.poll(obj, now, false);
     }
-    sim.out
+
+    let mut out = TemporalSimOutput {
+        triggered_instants: sim.triggered_instants,
+        ..TemporalSimOutput::default()
+    };
+    for (idx, id) in objects.iter().enumerate() {
+        out.logs
+            .insert(id.clone(), std::mem::take(&mut sim.logs[idx]));
+        out.ttr_timeline
+            .insert(id.clone(), std::mem::take(&mut sim.ttr_timelines[idx]));
+    }
+    out
 }
 
 impl Sim<'_> {
     /// Performs one poll (regular or triggered) of `obj` at `now`,
     /// reschedules its next regular poll, and cascades coordinator
     /// triggers at the same instant.
-    fn poll(&mut self, obj: &ObjectId, now: Timestamp, triggered: bool) {
-        let validator = self.states[obj].validator;
-        let resp = self
-            .origin
-            .poll(obj, now, validator)
+    fn poll(&mut self, obj: u32, now: Timestamp, triggered: bool) {
+        let i = obj as usize;
+        let validator = self.states[i].validator;
+        let resp = self.objects[i]
+            .poll(now, validator)
             .expect("object hosted by origin for the whole window");
 
         let outcome = if resp.not_modified {
@@ -166,18 +181,14 @@ impl Sim<'_> {
                 version_index: resp.version_index,
             }
         };
-        self.out
-            .logs
-            .get_mut(obj)
-            .expect("log exists")
-            .push(PollRecord {
-                at: now,
-                outcome,
-                triggered,
-            });
+        self.logs[i].push(PollRecord {
+            at: now,
+            outcome,
+            triggered,
+        });
 
-        let poll_result = to_poll_result(&resp);
-        let state = self.states.get_mut(obj).expect("state exists");
+        let view = resp.as_view();
+        let state = &mut self.states[i];
         if !resp.not_modified {
             state.validator = Some(resp.last_modified);
         }
@@ -189,24 +200,21 @@ impl Sim<'_> {
             let ttr = match (&self.config.policy, state.limd.as_mut()) {
                 (TemporalPolicy::Periodic(d), _) => *d,
                 (TemporalPolicy::Limd(_), Some(limd)) => {
-                    let decision = limd.on_poll(now, &poll_result);
-                    self.out
-                        .ttr_timeline
-                        .get_mut(obj)
-                        .expect("timeline exists")
-                        .push((now, decision.ttr));
+                    let decision = limd.observe(now, view);
+                    self.ttr_timelines[i].push((now, decision.ttr));
                     decision.ttr
                 }
                 (TemporalPolicy::Limd(_), None) => {
                     unreachable!("LIMD state exists for LIMD policy")
                 }
             };
+            let state = &mut self.states[i];
             if let Some(ev) = state.pending.take() {
                 self.queue.cancel(ev);
             }
             let at = now + ttr;
             if at <= self.config.until {
-                state.pending = Some(self.queue.schedule_at(at, obj.clone()));
+                state.pending = Some(self.queue.schedule_at(at, obj));
             }
             next_at = Some(at);
         }
@@ -214,30 +222,19 @@ impl Sim<'_> {
         // Mutual-consistency coordination.
         let triggers = match self.coordinator.as_mut() {
             Some(coord) => {
-                let triggers = coord.on_poll(obj, now, &poll_result);
+                let triggers = coord.observe(&obj, now, view);
                 if let Some(at) = next_at {
-                    coord.record_scheduled_poll(obj, at);
+                    coord.record_scheduled_poll(&obj, at);
                 }
                 triggers
             }
             None => Vec::new(),
         };
         for target in triggers {
-            self.out.triggered_instants.push(now);
+            self.triggered_instants.push(now);
             // Same-instant recursion terminates: once polled at `now`, an
             // object's last-poll suppresses any further trigger at `now`.
-            self.poll(&target, now, true);
-        }
-    }
-}
-
-fn to_poll_result(resp: &OriginResponse) -> PollResult {
-    if resp.not_modified {
-        PollResult::NotModified
-    } else {
-        PollResult::Modified {
-            last_modified: resp.last_modified,
-            history: resp.history.clone(),
+            self.poll(target, now, true);
         }
     }
 }

@@ -20,7 +20,7 @@ use mutcon_core::value::Value;
 use mutcon_sim::queue::EventQueue;
 
 use crate::log::{PollLog, PollOutcome, PollRecord};
-use crate::origin::OriginServer;
+use crate::origin::{HostedObject, OriginServer};
 
 /// Which Mv approach drives the pair.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,14 +51,13 @@ impl ValuePairOutput {
 }
 
 fn poll_value(
-    origin: &OriginServer,
-    id: &ObjectId,
+    object: &HostedObject<'_>,
     now: Timestamp,
     validator: &mut Option<Timestamp>,
     log: &mut PollLog,
 ) -> Value {
-    let resp = origin
-        .poll(id, now, *validator)
+    let resp = object
+        .poll(now, *validator)
         .expect("object hosted by origin for the whole window");
     let outcome = if resp.not_modified {
         PollOutcome::NotModified
@@ -93,8 +92,9 @@ pub fn run_value_individual(
     let mut ttr = AdaptiveTtr::new(config);
     let mut validator = None;
     let mut now = Timestamp::ZERO;
+    let object = origin.object(id).expect("object hosted by origin");
     loop {
-        let value = poll_value(origin, id, now, &mut validator, &mut log);
+        let value = poll_value(&object, now, &mut validator, &mut log);
         let next = ttr.on_poll(now, value);
         now += next;
         if now > until {
@@ -135,9 +135,11 @@ fn run_virtual(
     let mut validator_a = None;
     let mut validator_b = None;
     let mut now = Timestamp::ZERO;
+    let obj_a = origin.object(a).expect("object hosted by origin");
+    let obj_b = origin.object(b).expect("object hosted by origin");
     loop {
-        let va = poll_value(origin, a, now, &mut validator_a, &mut out.log_a);
-        let vb = poll_value(origin, b, now, &mut validator_b, &mut out.log_b);
+        let va = poll_value(&obj_a, now, &mut validator_a, &mut out.log_a);
+        let vb = poll_value(&obj_b, now, &mut validator_b, &mut out.log_b);
         let decision = policy.on_poll(now, va, vb);
         if decision.violated {
             out.detected_violations += 1;
@@ -160,6 +162,8 @@ fn run_partitioned(
     let mut out = ValuePairOutput::default();
     let mut validator_a = None;
     let mut validator_b = None;
+    let obj_a = origin.object(a).expect("object hosted by origin");
+    let obj_b = origin.object(b).expect("object hosted by origin");
     let mut queue: EventQueue<PairMember> = EventQueue::new();
     queue.schedule_at(Timestamp::ZERO, PairMember::A);
     queue.schedule_at(Timestamp::ZERO, PairMember::B);
@@ -168,11 +172,11 @@ fn run_partitioned(
             break;
         }
         let (now, member) = queue.pop().expect("peeked event exists");
-        let (id, validator, log) = match member {
-            PairMember::A => (a, &mut validator_a, &mut out.log_a),
-            PairMember::B => (b, &mut validator_b, &mut out.log_b),
+        let (object, validator, log) = match member {
+            PairMember::A => (&obj_a, &mut validator_a, &mut out.log_a),
+            PairMember::B => (&obj_b, &mut validator_b, &mut out.log_b),
         };
-        let value = poll_value(origin, id, now, validator, log);
+        let value = poll_value(object, now, validator, log);
         let ttr = policy.on_poll(member, now, value);
         let next = now + ttr;
         if next <= until {

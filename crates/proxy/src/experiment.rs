@@ -14,6 +14,17 @@
 //! Absolute numbers differ from the 2001 paper (the traces are calibrated
 //! synthetics), but the comparative shapes are the reproduction target;
 //! `EXPERIMENTS.md` records both.
+//!
+//! # Parallel sweep engine
+//!
+//! Every sweep in this module is a grid of *independent* simulation runs
+//! (each run owns its event queue and all per-object state), so the
+//! sweeps fan their runs out across cores with
+//! [`mutcon_sim::parallel::run_all`]. Outputs are collected in input
+//! order and stitched back into rows, which makes the parallel result
+//! **bit-for-bit identical** to a serial run — set `MUTCON_THREADS=1` to
+//! force the serial reference path (the determinism tests do exactly
+//! that).
 
 use mutcon_core::functions::ValueFunction;
 use mutcon_core::limd::{DecreaseFactor, LimdConfig};
@@ -22,6 +33,7 @@ use mutcon_core::mutual::value::{PartitionedConfig, VirtualObjectConfig};
 use mutcon_core::object::ObjectId;
 use mutcon_core::time::{Duration, Timestamp};
 use mutcon_core::value::Value;
+use mutcon_sim::parallel::run_all;
 use mutcon_traces::stats::{rate_ratio_timeline, updates_per_window, WindowCount};
 use mutcon_traces::UpdateTrace;
 
@@ -97,6 +109,9 @@ fn host(trace: &UpdateTrace, history: HistorySupport) -> (OriginServer, ObjectId
 }
 
 /// Figure 3: LIMD versus the every-Δ baseline on one trace, for each Δ.
+///
+/// The 2·|Δ grid| runs are independent and fan out across cores; rows
+/// come back in Δ order regardless of scheduling.
 pub fn individual_temporal_sweep(
     trace: &UpdateTrace,
     deltas: &[Duration],
@@ -104,30 +119,36 @@ pub fn individual_temporal_sweep(
 ) -> Vec<Fig3Row> {
     let (origin, id) = host(trace, config.history);
     let until = trace.end();
+
+    // One job per (Δ, policy) pair, so the expensive small-Δ baseline
+    // runs do not serialize behind each other.
+    let jobs: Vec<(Duration, bool)> = deltas
+        .iter()
+        .flat_map(|&delta| [(delta, false), (delta, true)])
+        .collect();
+    let stats = run_all(jobs, |(delta, is_limd)| {
+        let policy = if is_limd {
+            TemporalPolicy::Limd(config.limd(delta))
+        } else {
+            TemporalPolicy::Periodic(delta)
+        };
+        let out = run_temporal(
+            &origin,
+            std::slice::from_ref(&id),
+            &TemporalSimConfig {
+                policy,
+                mutual: None,
+                until,
+            },
+        );
+        metrics::individual_temporal(trace, &out.logs[&id], delta, until)
+    });
+
     deltas
         .iter()
-        .map(|&delta| {
-            let baseline = run_temporal(
-                &origin,
-                std::slice::from_ref(&id),
-                &TemporalSimConfig {
-                    policy: TemporalPolicy::Periodic(delta),
-                    mutual: None,
-                    until,
-                },
-            );
-            let limd = run_temporal(
-                &origin,
-                std::slice::from_ref(&id),
-                &TemporalSimConfig {
-                    policy: TemporalPolicy::Limd(config.limd(delta)),
-                    mutual: None,
-                    until,
-                },
-            );
-            let base_stats =
-                metrics::individual_temporal(trace, &baseline.logs[&id], delta, until);
-            let limd_stats = metrics::individual_temporal(trace, &limd.logs[&id], delta, until);
+        .zip(stats.chunks_exact(2))
+        .map(|(&delta, pair)| {
+            let (base_stats, limd_stats) = (&pair[0], &pair[1]);
             Fig3Row {
                 delta,
                 baseline_polls: base_stats.polls(),
@@ -231,6 +252,9 @@ fn run_pair_policy(
 
 /// Figure 5: the three Mt approaches over a pair of traces across δ, at a
 /// fixed individual Δ (the paper uses Δ = 10 minutes).
+///
+/// The 3·|δ grid| policy runs fan out across cores and are stitched back
+/// in grid order.
 pub fn mutual_temporal_sweep(
     trace_a: &UpdateTrace,
     trace_b: &UpdateTrace,
@@ -245,48 +269,30 @@ pub fn mutual_temporal_sweep(
     let until = trace_a.end().min(trace_b.end());
     let limd = config.limd(delta);
 
+    let policies: [Option<MtPolicy>; 3] = [
+        None,
+        Some(MtPolicy::TriggeredPolls),
+        Some(MtPolicy::HEURISTIC),
+    ];
+    let jobs: Vec<(Duration, Option<MtPolicy>)> = mutual_deltas
+        .iter()
+        .flat_map(|&md| policies.map(|p| (md, p)))
+        .collect();
+    let results = run_all(jobs, |(md, policy)| {
+        let mutual = policy.map(|policy| MutualSetup { delta: md, policy });
+        let (result, _) =
+            run_pair_policy(&origin, &ids, [trace_a, trace_b], limd, mutual, md, until);
+        result
+    });
+
     mutual_deltas
         .iter()
-        .map(|&md| {
-            let (baseline, _) = run_pair_policy(
-                &origin,
-                &ids,
-                [trace_a, trace_b],
-                limd,
-                None,
-                md,
-                until,
-            );
-            let (triggered, _) = run_pair_policy(
-                &origin,
-                &ids,
-                [trace_a, trace_b],
-                limd,
-                Some(MutualSetup {
-                    delta: md,
-                    policy: MtPolicy::TriggeredPolls,
-                }),
-                md,
-                until,
-            );
-            let (heuristic, _) = run_pair_policy(
-                &origin,
-                &ids,
-                [trace_a, trace_b],
-                limd,
-                Some(MutualSetup {
-                    delta: md,
-                    policy: MtPolicy::HEURISTIC,
-                }),
-                md,
-                until,
-            );
-            Fig5Row {
-                mutual_delta: md,
-                baseline,
-                triggered,
-                heuristic,
-            }
+        .zip(results.chunks_exact(3))
+        .map(|(&md, chunk)| Fig5Row {
+            mutual_delta: md,
+            baseline: chunk[0],
+            triggered: chunk[1],
+            heuristic: chunk[2],
         })
         .collect()
 }
@@ -407,54 +413,40 @@ pub fn mutual_value_sweep(
     let until = trace_a.end().min(trace_b.end());
     let f = ValueFunction::Difference;
 
+    // One job per (δ, approach) pair, fanned out across cores.
+    let jobs: Vec<(Value, bool)> = deltas
+        .iter()
+        .flat_map(|&delta| [(delta, false), (delta, true)])
+        .collect();
+    let stats = run_all(jobs, |(delta, partitioned)| {
+        let policy = if partitioned {
+            ValuePairPolicy::Partitioned(
+                PartitionedConfig::builder(f, delta)
+                    .smoothing(config.smoothing)
+                    .alpha(config.alpha)
+                    .ttr_bounds(config.ttr_min, config.ttr_max)
+                    .build()
+                    .expect("experiment parameters are valid"),
+            )
+        } else {
+            ValuePairPolicy::Virtual(
+                VirtualObjectConfig::builder(f, delta)
+                    .smoothing(config.smoothing)
+                    .alpha(config.alpha)
+                    .ttr_bounds(config.ttr_min, config.ttr_max)
+                    .build()
+                    .expect("experiment parameters are valid"),
+            )
+        };
+        let out = run_value_pair(&origin, &ids[0], &ids[1], &policy, until);
+        metrics::mutual_value(trace_a, &out.log_a, trace_b, &out.log_b, f, delta, until)
+    });
+
     deltas
         .iter()
-        .map(|&delta| {
-            let virtual_cfg = VirtualObjectConfig::builder(f, delta)
-                .smoothing(config.smoothing)
-                .alpha(config.alpha)
-                .ttr_bounds(config.ttr_min, config.ttr_max)
-                .build()
-                .expect("experiment parameters are valid");
-            let adaptive = run_value_pair(
-                &origin,
-                &ids[0],
-                &ids[1],
-                &ValuePairPolicy::Virtual(virtual_cfg),
-                until,
-            );
-            let partitioned_cfg = PartitionedConfig::builder(f, delta)
-                .smoothing(config.smoothing)
-                .alpha(config.alpha)
-                .ttr_bounds(config.ttr_min, config.ttr_max)
-                .build()
-                .expect("experiment parameters are valid");
-            let partitioned = run_value_pair(
-                &origin,
-                &ids[0],
-                &ids[1],
-                &ValuePairPolicy::Partitioned(partitioned_cfg),
-                until,
-            );
-
-            let adaptive_stats = metrics::mutual_value(
-                trace_a,
-                &adaptive.log_a,
-                trace_b,
-                &adaptive.log_b,
-                f,
-                delta,
-                until,
-            );
-            let partitioned_stats = metrics::mutual_value(
-                trace_a,
-                &partitioned.log_a,
-                trace_b,
-                &partitioned.log_b,
-                f,
-                delta,
-                until,
-            );
+        .zip(stats.chunks_exact(2))
+        .map(|(&delta, pair)| {
+            let (adaptive_stats, partitioned_stats) = (&pair[0], &pair[1]);
             Fig7Row {
                 delta,
                 adaptive_polls: adaptive_stats.polls(),
@@ -498,26 +490,21 @@ pub fn value_timeline(
         .ttr_bounds(config.ttr_min, config.ttr_max)
         .build()
         .expect("experiment parameters are valid");
-    let adaptive = run_value_pair(
-        &origin,
-        &ids[0],
-        &ids[1],
-        &ValuePairPolicy::Virtual(virtual_cfg),
-        until,
-    );
     let partitioned_cfg = PartitionedConfig::builder(f, delta)
         .smoothing(config.smoothing)
         .alpha(config.alpha)
         .ttr_bounds(config.ttr_min, config.ttr_max)
         .build()
         .expect("experiment parameters are valid");
-    let partitioned = run_value_pair(
-        &origin,
-        &ids[0],
-        &ids[1],
-        &ValuePairPolicy::Partitioned(partitioned_cfg),
-        until,
-    );
+    let policies = vec![
+        ValuePairPolicy::Virtual(virtual_cfg),
+        ValuePairPolicy::Partitioned(partitioned_cfg),
+    ];
+    let mut outputs = run_all(policies, |policy| {
+        run_value_pair(&origin, &ids[0], &ids[1], &policy, until)
+    });
+    let partitioned = outputs.pop().expect("two runs");
+    let adaptive = outputs.pop().expect("two runs");
 
     Fig8Output {
         adaptive: metrics::f_timeline(trace_a, &adaptive.log_a, trace_b, &adaptive.log_b, f, from, to),

@@ -4,12 +4,11 @@
 //! module replays logs against the ground-truth traces to compute exact
 //! poll counts, violations and out-of-sync time.
 
-use serde::{Deserialize, Serialize};
 
 use mutcon_core::time::Timestamp;
 
 /// What one poll did to the cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PollOutcome {
     /// `304 Not Modified`: the cached copy stayed.
     NotModified,
@@ -22,7 +21,7 @@ pub enum PollOutcome {
 }
 
 /// One poll.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PollRecord {
     /// When the poll hit the origin.
     pub at: Timestamp,
@@ -34,7 +33,7 @@ pub struct PollRecord {
 }
 
 /// The time-ordered polls of one object across a run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PollLog {
     records: Vec<PollRecord>,
 }

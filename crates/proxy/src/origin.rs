@@ -11,6 +11,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use mutcon_core::limd::PollView;
 use mutcon_core::object::ObjectId;
 use mutcon_core::time::Timestamp;
 use mutcon_core::value::Value;
@@ -28,8 +29,13 @@ pub enum HistorySupport {
 }
 
 /// What a poll returned.
-#[derive(Debug, Clone, PartialEq)]
-pub struct OriginResponse {
+///
+/// The modification history is a slice *borrowed from the hosted trace*
+/// (valid for as long as the origin lives): servicing a poll allocates
+/// nothing, which matters when the experiment engine simulates hundreds
+/// of thousands of polls per sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OriginResponse<'a> {
     /// `true` for a `304 Not Modified` (nothing newer than the validator).
     pub not_modified: bool,
     /// Index of the version current at the poll instant.
@@ -40,7 +46,86 @@ pub struct OriginResponse {
     pub value: Option<Value>,
     /// Update instants since the validator (oldest first), when the
     /// history extension is on and the response is a full one.
-    pub history: Option<Vec<Timestamp>>,
+    pub history: Option<&'a [Timestamp]>,
+}
+
+impl OriginResponse<'_> {
+    /// This response's outcome as a borrowed [`PollView`] for the
+    /// consistency algorithms.
+    pub fn as_view(&self) -> PollView<'_> {
+        if self.not_modified {
+            PollView::NotModified
+        } else {
+            PollView::Modified {
+                last_modified: self.last_modified,
+                history: self.history,
+            }
+        }
+    }
+}
+
+/// A pre-resolved handle to one hosted object.
+///
+/// Simulation drivers look objects up **once** per run via
+/// [`OriginServer::object`] and then poll through the handle, so the
+/// per-poll path involves no id hashing, comparison or cloning.
+#[derive(Debug, Clone, Copy)]
+pub struct HostedObject<'a> {
+    id: &'a ObjectId,
+    trace: &'a UpdateTrace,
+    history: HistorySupport,
+}
+
+impl<'a> HostedObject<'a> {
+    /// The object's id.
+    pub fn id(&self) -> &'a ObjectId {
+        self.id
+    }
+
+    /// The ground-truth trace behind the object.
+    pub fn trace(&self) -> &'a UpdateTrace {
+        self.trace
+    }
+
+    /// Services an `If-Modified-Since` poll at `now` (see
+    /// [`OriginServer::poll`]); the hot, allocation-free path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OriginError::NotYetCreated`] when `now` precedes the
+    /// object's first version.
+    pub fn poll(
+        &self,
+        now: Timestamp,
+        validator: Option<Timestamp>,
+    ) -> Result<OriginResponse<'a>, OriginError> {
+        let version_index = self
+            .trace
+            .version_index_at(now)
+            .ok_or_else(|| OriginError::NotYetCreated(self.id.clone()))?;
+        let event = &self.trace.events()[version_index];
+
+        let not_modified = match validator {
+            Some(v) => event.at <= v,
+            None => false,
+        };
+        let history = match (self.history, not_modified, validator) {
+            (HistorySupport::Full, false, Some(v)) => {
+                Some(self.trace.times_between(v, now))
+            }
+            (HistorySupport::Full, false, None) => {
+                Some(&self.trace.times()[version_index..=version_index])
+            }
+            _ => None,
+        };
+        Ok(OriginResponse {
+            not_modified,
+            version_index,
+            last_modified: event.at,
+            value: event.value,
+            history,
+        })
+    }
 }
 
 /// Error returned when polling an object the origin does not host, or
@@ -103,11 +188,33 @@ impl OriginServer {
         self.history
     }
 
+    /// Resolves `id` to a poll handle (see [`HostedObject`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OriginError::UnknownObject`] when no trace is hosted
+    /// under `id`.
+    pub fn object(&self, id: &ObjectId) -> Result<HostedObject<'_>, OriginError> {
+        let (id, trace) = self
+            .objects
+            .get_key_value(id)
+            .ok_or_else(|| OriginError::UnknownObject(id.clone()))?;
+        Ok(HostedObject {
+            id,
+            trace,
+            history: self.history,
+        })
+    }
+
     /// Services an `If-Modified-Since` poll of `id` at `now`.
     ///
     /// `validator` is the creation time of the copy the client holds
     /// (`None` for an unconditional fetch). The response reflects the
     /// object's state at `now`.
+    ///
+    /// Loops that poll repeatedly should resolve the object once with
+    /// [`OriginServer::object`] and poll the handle instead; this method
+    /// repeats the id lookup on every call.
     ///
     /// # Errors
     ///
@@ -118,38 +225,8 @@ impl OriginServer {
         id: &ObjectId,
         now: Timestamp,
         validator: Option<Timestamp>,
-    ) -> Result<OriginResponse, OriginError> {
-        let trace = self
-            .objects
-            .get(id)
-            .ok_or_else(|| OriginError::UnknownObject(id.clone()))?;
-        let version_index = trace
-            .version_index_at(now)
-            .ok_or_else(|| OriginError::NotYetCreated(id.clone()))?;
-        let event = &trace.events()[version_index];
-
-        let not_modified = match validator {
-            Some(v) => event.at <= v,
-            None => false,
-        };
-        let history = match (self.history, not_modified, validator) {
-            (HistorySupport::Full, false, Some(v)) => Some(
-                trace
-                    .events_between(v, now)
-                    .iter()
-                    .map(|e| e.at)
-                    .collect(),
-            ),
-            (HistorySupport::Full, false, None) => Some(vec![event.at]),
-            _ => None,
-        };
-        Ok(OriginResponse {
-            not_modified,
-            version_index,
-            last_modified: event.at,
-            value: event.value,
-            history,
-        })
+    ) -> Result<OriginResponse<'_>, OriginError> {
+        self.object(id)?.poll(now, validator)
     }
 }
 
@@ -214,14 +291,14 @@ mod tests {
         let (o, id) = origin(HistorySupport::Full);
         // Validator from t=0; by 350 two updates happened.
         let r = o.poll(&id, secs(350), Some(secs(0))).unwrap();
-        assert_eq!(r.history, Some(vec![secs(100), secs(300)]));
+        assert_eq!(r.history, Some(&[secs(100), secs(300)][..]));
         // 304s carry no history.
         let r = o.poll(&id, secs(250), Some(secs(100))).unwrap();
         assert!(r.not_modified);
         assert_eq!(r.history, None);
         // Unconditional fetches report just the current version.
         let r = o.poll(&id, secs(350), None).unwrap();
-        assert_eq!(r.history, Some(vec![secs(300)]));
+        assert_eq!(r.history, Some(&[secs(300)][..]));
     }
 
     #[test]

@@ -1,0 +1,82 @@
+//! Minimal offline stand-in for `parking_lot`.
+//!
+//! Wraps the std locks behind parking_lot's non-poisoning API (the only
+//! part the workspace uses). A poisoned std lock — a panic while holding
+//! the guard — aborts via `expect`, which matches parking_lot closely
+//! enough for the live proxy's usage: its critical sections contain no
+//! panicking code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::{
+    Mutex as StdMutex, MutexGuard, RwLock as StdRwLock, RwLockReadGuard, RwLockWriteGuard,
+};
+
+/// A reader-writer lock with parking_lot's panic-free guard API.
+#[derive(Debug, Default)]
+pub struct RwLock<T>(StdRwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Creates a lock holding `value`.
+    pub fn new(value: T) -> Self {
+        RwLock(StdRwLock::new(value))
+    }
+
+    /// Acquires a shared read guard.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().expect("rwlock poisoned")
+    }
+
+    /// Acquires an exclusive write guard.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().expect("rwlock poisoned")
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().expect("rwlock poisoned")
+    }
+}
+
+/// A mutual-exclusion lock with parking_lot's panic-free guard API.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(StdMutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a lock holding `value`.
+    pub fn new(value: T) -> Self {
+        Mutex(StdMutex::new(value))
+    }
+
+    /// Acquires the lock.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().expect("mutex poisoned")
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().expect("mutex poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rwlock_read_write() {
+        let lock = RwLock::new(1);
+        assert_eq!(*lock.read(), 1);
+        *lock.write() += 1;
+        assert_eq!(*lock.read(), 2);
+        assert_eq!(lock.into_inner(), 2);
+    }
+
+    #[test]
+    fn mutex_lock() {
+        let m = Mutex::new("x");
+        assert_eq!(*m.lock(), "x");
+        assert_eq!(m.into_inner(), "x");
+    }
+}

@@ -1,0 +1,363 @@
+//! A shared worker-pool abstraction for the whole workspace.
+//!
+//! Two layers:
+//!
+//! * [`ThreadPool`] — a fixed-size pool of long-lived workers fed through
+//!   a channel. This is the generalization of the pool the live proxy
+//!   used for connection handling (it now lives here so the simulator,
+//!   the experiment harness and the live daemons all share one
+//!   implementation).
+//! * [`run_all`] — ordered fan-out for *independent* jobs: run a batch of
+//!   closures across cores and collect their outputs **in input order**.
+//!   Every experiment in this repo owns its seeded RNG and event queue,
+//!   so fanning runs out across threads cannot change any result — the
+//!   sweep engines are bit-for-bit identical to a serial run, just
+//!   faster.
+//!
+//! The worker count defaults to the machine's available parallelism and
+//! can be pinned with the `MUTCON_THREADS` environment variable (`1`
+//! forces the serial path; the determinism tests use exactly that).
+//!
+//! ```
+//! use mutcon_sim::parallel::run_all;
+//!
+//! let squares = run_all((0u64..8).collect(), |n| n * n);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+thread_local! {
+    /// Set while the current thread is a [`run_all`] worker, so nested
+    /// fan-outs (a parallel sweep called from an already-parallel outer
+    /// job) run inline instead of multiplying the thread count to
+    /// workers². Keeps `MUTCON_THREADS` an actual concurrency bound.
+    static INSIDE_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Environment variable pinning the worker count for [`run_all`] and
+/// [`default_threads`].
+pub const THREADS_ENV: &str = "MUTCON_THREADS";
+
+/// The worker count [`run_all`] uses: `MUTCON_THREADS` if set to a
+/// positive integer, otherwise the machine's available parallelism,
+/// otherwise 1.
+pub fn default_threads() -> usize {
+    if let Ok(raw) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `job` over every element of `jobs` using the default worker
+/// count, returning outputs in input order. See [`run_all_threads`].
+pub fn run_all<I, O>(jobs: Vec<I>, job: impl Fn(I) -> O + Sync) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+{
+    run_all_threads(jobs, default_threads(), job)
+}
+
+/// Runs `job` over every element of `jobs` on up to `threads` scoped
+/// worker threads and returns the outputs **in input order**.
+///
+/// Jobs must be independent of each other; they are handed to workers in
+/// input order, one at a time, so scheduling cannot starve any job. With
+/// `threads == 1` (or a single job) everything runs inline on the caller
+/// thread — the forced-serial reference path.
+///
+/// # Panics
+///
+/// Panics if any job panics (the panic is propagated to the caller once
+/// all workers have stopped).
+pub fn run_all_threads<I, O>(
+    jobs: Vec<I>,
+    threads: usize,
+    job: impl Fn(I) -> O + Sync,
+) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+{
+    let n = jobs.len();
+    let workers = threads.max(1).min(n);
+    if workers <= 1 || INSIDE_WORKER.with(Cell::get) {
+        return jobs.into_iter().map(job).collect();
+    }
+
+    // Workers pull `(index, input)` pairs from a shared iterator and push
+    // `(index, output)` pairs back; sorting by index afterwards restores
+    // input order no matter how the OS scheduled the work.
+    let feed = Mutex::new(jobs.into_iter().enumerate());
+    let mut indexed: Vec<(usize, O)> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let feed = &feed;
+            let job = &job;
+            handles.push(scope.spawn(move || {
+                INSIDE_WORKER.with(|w| w.set(true));
+                let mut local: Vec<(usize, O)> = Vec::new();
+                loop {
+                    let next = {
+                        // A poisoned feed means a sibling worker panicked;
+                        // stop quietly so the caller sees *that* panic.
+                        let Ok(mut guard) = feed.lock() else { return local };
+                        guard.next()
+                    };
+                    match next {
+                        Some((idx, input)) => local.push((idx, job(input))),
+                        None => return local,
+                    }
+                }
+            }));
+        }
+        for handle in handles {
+            match handle.join() {
+                Ok(mut local) => indexed.append(&mut local),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+    });
+    indexed.sort_by_key(|(idx, _)| *idx);
+    indexed.into_iter().map(|(_, out)| out).collect()
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of long-lived worker threads.
+///
+/// Used by the live daemons to bound connection-handling concurrency.
+/// Dropping the pool performs a clean shutdown: the job channel closes,
+/// workers drain what they already received and exit, and `Drop` joins
+/// them.
+pub struct ThreadPool {
+    sender: Option<mpsc::Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawns a pool of `size` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "thread pool needs at least one worker");
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..size)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("mutcon-worker-{i}"))
+                    .spawn(move || loop {
+                        // The receiver lock is held only while waiting for
+                        // one job, then released so peers can pick up the
+                        // next one while this job runs.
+                        let job = match receiver.lock() {
+                            Ok(guard) => guard.recv(),
+                            Err(_) => return,
+                        };
+                        match job {
+                            // A panicking job must not take the worker with
+                            // it (a connection-handler crash would otherwise
+                            // permanently shrink the pool).
+                            Ok(job) => {
+                                let _ = std::panic::catch_unwind(
+                                    std::panic::AssertUnwindSafe(job),
+                                );
+                            }
+                            // Channel closed: clean shutdown.
+                            Err(_) => return,
+                        }
+                    })
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+        ThreadPool {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Number of workers.
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits a job; returns `false` if the pool is already shut down.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) -> bool {
+        match &self.sender {
+            Some(s) => s.send(Box::new(job)).is_ok(),
+            None => false,
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Close the channel so workers drain and exit...
+        drop(self.sender.take());
+        // ...then join them. Worker panics are swallowed: a job crashing
+        // must not poison shutdown.
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("workers", &self.workers.len())
+            .field("alive", &self.sender.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn run_all_preserves_order() {
+        let inputs: Vec<u64> = (0..100).collect();
+        let expected: Vec<u64> = inputs.iter().map(|n| n * 3).collect();
+        for threads in [1, 2, 7, 64] {
+            let out = run_all_threads(inputs.clone(), threads, |n| n * 3);
+            assert_eq!(out, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn run_all_handles_empty_and_single() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(run_all_threads(empty, 8, |n| n).is_empty());
+        assert_eq!(run_all_threads(vec![5], 8, |n| n + 1), vec![6]);
+    }
+
+    #[test]
+    fn run_all_uses_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        // A rendezvous barrier: with 4 workers and 4 jobs that all wait
+        // for each other, completion proves genuine concurrency.
+        let barrier = std::sync::Barrier::new(4);
+        run_all_threads(vec![(); 4], 4, |()| {
+            barrier.wait();
+            seen.lock().unwrap().insert(std::thread::current().id());
+        });
+        assert_eq!(seen.lock().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn run_all_matches_serial_reference() {
+        let inputs: Vec<u64> = (0..37).collect();
+        let serial = run_all_threads(inputs.clone(), 1, |n| n.wrapping_mul(0x9E37).rotate_left(7));
+        let parallel = run_all_threads(inputs, 8, |n| n.wrapping_mul(0x9E37).rotate_left(7));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    #[should_panic(expected = "job goes boom")]
+    fn run_all_propagates_panics() {
+        let _ = run_all_threads(vec![0, 1, 2, 3], 2, |n| {
+            if n == 2 {
+                panic!("job goes boom");
+            }
+            n
+        });
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn nested_fan_out_runs_inline() {
+        // A run_all inside a run_all worker must not spawn another
+        // worker set: the inner call runs on the worker thread itself.
+        let outer_results = run_all_threads(vec![0u64, 1, 2, 3], 4, |n| {
+            let worker = std::thread::current().id();
+            let inner = run_all_threads(vec![n * 10, n * 10 + 1], 4, |m| {
+                (std::thread::current().id(), m)
+            });
+            assert!(
+                inner.iter().all(|(id, _)| *id == worker),
+                "nested run_all escaped its worker thread"
+            );
+            inner.into_iter().map(|(_, m)| m).collect::<Vec<_>>()
+        });
+        assert_eq!(
+            outer_results,
+            vec![vec![0, 1], vec![10, 11], vec![20, 21], vec![30, 31]]
+        );
+    }
+
+    #[test]
+    fn pool_executes_all_jobs() {
+        let pool = ThreadPool::new(4);
+        assert_eq!(pool.size(), 4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            assert!(pool.execute(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        drop(pool); // joins workers, so all jobs are done
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn pool_jobs_run_concurrently() {
+        let pool = ThreadPool::new(2);
+        // Two rendezvous jobs can only complete if two workers run them
+        // at the same time.
+        let (tx, rx) = mpsc::sync_channel::<()>(0);
+        let tx2 = tx.clone();
+        pool.execute(move || {
+            tx.send(()).expect("partner is running");
+        });
+        pool.execute(move || {
+            tx2.send(()).expect("partner is running");
+        });
+        rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+        rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+    }
+
+    #[test]
+    fn pool_survives_panicking_job() {
+        let pool = ThreadPool::new(1);
+        pool.execute(|| panic!("job goes boom"));
+        // The worker must still be alive to run this.
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&done);
+        pool.execute(move || {
+            d.store(1, Ordering::SeqCst);
+        });
+        drop(pool);
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn pool_zero_size_rejected() {
+        let _ = ThreadPool::new(0);
+    }
+}

@@ -5,19 +5,58 @@
 //! pair always produces the same trace, the same poll sequence and the
 //! same experiment numbers.
 //!
-//! Beyond uniform variates (delegated to [`rand`]'s `StdRng`), this module
-//! implements the distributions the workload generators need —
-//! exponential inter-arrival gaps, Box–Muller normals and Knuth Poisson
-//! counts — so no additional distribution crate is required.
+//! The uniform source is an in-tree xoshiro256++ generator (seeded via
+//! SplitMix64, the reference recommendation), and this module implements
+//! the distributions the workload generators need — exponential
+//! inter-arrival gaps, Box–Muller normals and Knuth Poisson counts — so
+//! no randomness crate is required at all.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+/// The xoshiro256++ PRNG (Blackman & Vigna): fast, 256-bit state, more
+/// than enough statistical quality for workload synthesis. Implemented
+/// in-tree so the workspace builds offline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Expands a 64-bit seed into the full state with SplitMix64, as the
+    /// xoshiro reference code recommends (avoids the all-zero state).
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Xoshiro256pp {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
 
 /// A seeded random number generator with the distributions used by the
 /// trace generators.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    inner: Xoshiro256pp,
     /// Cached second output of the Box–Muller transform.
     spare_normal: Option<f64>,
 }
@@ -26,7 +65,7 @@ impl SimRng {
     /// Creates a generator from an explicit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            inner: Xoshiro256pp::seed_from_u64(seed),
             spare_normal: None,
         }
     }
@@ -39,9 +78,9 @@ impl SimRng {
         SimRng::seed_from_u64(seed)
     }
 
-    /// A uniform variate in `[0, 1)`.
+    /// A uniform variate in `[0, 1)` (53-bit resolution).
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.inner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A uniform variate in `[lo, hi)`.
@@ -61,7 +100,19 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range [{lo}, {hi})");
-        self.inner.gen_range(lo..hi)
+        // Unbiased bounded sampling via 128-bit widening multiply
+        // (Lemire's method).
+        let range = hi - lo;
+        let mut m = (self.inner.next_u64() as u128) * (range as u128);
+        let mut low = m as u64;
+        if low < range {
+            let threshold = range.wrapping_neg() % range;
+            while low < threshold {
+                m = (self.inner.next_u64() as u128) * (range as u128);
+                low = m as u64;
+            }
+        }
+        lo + (m >> 64) as u64
     }
 
     /// `true` with probability `p` (clamped into `[0, 1]`).

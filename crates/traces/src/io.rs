@@ -1,4 +1,4 @@
-//! Trace persistence: a from-scratch TSV codec plus JSON via serde.
+//! Trace persistence: from-scratch TSV and JSON codecs.
 //!
 //! The TSV format is the primary, dependency-light interchange format
 //! (what the paper's `wget`-style collection scripts would have written):
@@ -14,7 +14,8 @@
 //!
 //! One line per event: milliseconds-since-start, then the value or `-`
 //! for temporal (value-less) events. JSON (`to_json`/`from_json`) carries
-//! the same information for tooling that prefers it.
+//! the same information for tooling that prefers it (encoded with the in-tree [`crate::json`]
+//! module, so no serialization crate is needed).
 
 use std::fmt;
 
@@ -39,7 +40,9 @@ pub enum TraceIoError {
     /// The decoded events violate trace invariants.
     Invalid(TraceError),
     /// JSON (de)serialization failed.
-    Json(serde_json::Error),
+    Json(crate::json::JsonError),
+    /// The JSON parsed but does not describe a trace.
+    Schema(&'static str),
 }
 
 impl fmt::Display for TraceIoError {
@@ -50,6 +53,7 @@ impl fmt::Display for TraceIoError {
             TraceIoError::BadLine { line } => write!(f, "cannot parse line {line}"),
             TraceIoError::Invalid(e) => write!(f, "invalid trace: {e}"),
             TraceIoError::Json(e) => write!(f, "json error: {e}"),
+            TraceIoError::Schema(what) => write!(f, "json does not describe a trace: {what}"),
         }
     }
 }
@@ -70,8 +74,8 @@ impl From<TraceError> for TraceIoError {
     }
 }
 
-impl From<serde_json::Error> for TraceIoError {
-    fn from(e: serde_json::Error) -> Self {
+impl From<crate::json::JsonError> for TraceIoError {
+    fn from(e: crate::json::JsonError) -> Self {
         TraceIoError::Json(e)
     }
 }
@@ -153,12 +157,35 @@ pub fn from_tsv(text: &str) -> Result<UpdateTrace, TraceIoError> {
 
 /// Encodes a trace as pretty JSON.
 ///
+/// The schema is stable and hand-written:
+/// `{"name": …, "start": ms, "end": ms, "events": [{"at": ms, "value": f64|null}]}`.
+///
 /// # Errors
 ///
-/// Returns [`TraceIoError::Json`] if serialization fails (practically
-/// impossible for this type).
+/// Infallible in practice; the `Result` is kept for API stability.
 pub fn to_json(trace: &UpdateTrace) -> Result<String, TraceIoError> {
-    Ok(serde_json::to_string_pretty(trace)?)
+    let mut out = String::with_capacity(64 + trace.events().len() * 32);
+    out.push_str("{\n  \"name\": ");
+    crate::json::write_escaped(&mut out, trace.name());
+    out.push_str(&format!(",\n  \"start\": {},", trace.start().as_millis()));
+    out.push_str(&format!("\n  \"end\": {},", trace.end().as_millis()));
+    out.push_str("\n  \"events\": [");
+    for (i, e) in trace.events().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        match e.value {
+            Some(v) => out.push_str(&format!(
+                "{{\"at\": {}, \"value\": {}}}",
+                e.at.as_millis(),
+                v.as_f64()
+            )),
+            None => out.push_str(&format!("{{\"at\": {}, \"value\": null}}", e.at.as_millis())),
+        }
+    }
+    out.push_str("\n  ]\n}\n");
+    Ok(out)
 }
 
 /// Decodes a trace from JSON.
@@ -168,13 +195,49 @@ pub fn to_json(trace: &UpdateTrace) -> Result<String, TraceIoError> {
 /// Returns [`TraceIoError`] on malformed JSON. Invariants are re-checked
 /// by round-tripping through [`UpdateTrace::new`].
 pub fn from_json(text: &str) -> Result<UpdateTrace, TraceIoError> {
-    let decoded: UpdateTrace = serde_json::from_str(text)?;
-    // serde bypasses the constructor; re-validate.
+    let doc = crate::json::parse(text)?;
+    let name = doc
+        .get("name")
+        .and_then(|v| v.as_str())
+        .ok_or(TraceIoError::Schema("name"))?;
+    let start = doc
+        .get("start")
+        .and_then(|v| v.as_u64())
+        .ok_or(TraceIoError::Schema("start"))?;
+    let end = doc
+        .get("end")
+        .and_then(|v| v.as_u64())
+        .ok_or(TraceIoError::Schema("end"))?;
+    let raw_events = doc
+        .get("events")
+        .and_then(|v| v.as_array())
+        .ok_or(TraceIoError::Schema("events"))?;
+    let mut events = Vec::with_capacity(raw_events.len());
+    for raw in raw_events {
+        let at = raw
+            .get("at")
+            .and_then(|v| v.as_u64())
+            .ok_or(TraceIoError::Schema("events[].at"))?;
+        let value = match raw.get("value") {
+            None | Some(crate::json::Json::Null) => None,
+            Some(v) => Some(
+                v.as_f64()
+                    .and_then(Value::checked_new)
+                    .ok_or(TraceIoError::Schema("events[].value"))?,
+            ),
+        };
+        events.push(UpdateEvent {
+            at: Timestamp::from_millis(at),
+            value,
+        });
+    }
+    // The parser bypasses the constructor; validate invariants the same
+    // way the TSV path does.
     Ok(UpdateTrace::new(
-        decoded.name().to_owned(),
-        decoded.start(),
-        decoded.end(),
-        decoded.events().to_vec(),
+        name.to_owned(),
+        Timestamp::from_millis(start),
+        Timestamp::from_millis(end),
+        events,
     )?)
 }
 

@@ -18,7 +18,7 @@
 //! * [`catalog`] — the six named workloads of Tables 2 and 3.
 //! * [`stats`] — summaries and windowed update counts (Figures 4(a),
 //!   6(a)).
-//! * [`io`] — TSV (from scratch) and JSON (serde) persistence.
+//! * [`io`] — TSV (from scratch) and JSON (from scratch) persistence.
 //! * [`transform`] — time compression/shift/window utilities (used by the
 //!   live proxy to replay multi-day traces in seconds).
 //!
@@ -37,6 +37,7 @@
 pub mod catalog;
 pub mod generator;
 pub mod io;
+pub mod json;
 pub mod model;
 pub mod stats;
 pub mod transform;

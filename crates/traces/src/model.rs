@@ -8,7 +8,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use mutcon_core::object::Version;
 use mutcon_core::semantics::ValidityInterval;
@@ -16,7 +15,7 @@ use mutcon_core::time::{Duration, Timestamp};
 use mutcon_core::value::Value;
 
 /// One server-side update.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UpdateEvent {
     /// When the update happened.
     pub at: Timestamp,
@@ -81,12 +80,16 @@ impl std::error::Error for TraceError {}
 /// The first event is the object's *initial version* (version 0); each
 /// subsequent event increments the version, mirroring the paper's §2
 /// version model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UpdateTrace {
     name: String,
     start: Timestamp,
     end: Timestamp,
     events: Vec<UpdateEvent>,
+    /// The events' instants, kept as a parallel array so the origin can
+    /// hand out *borrowed* modification-history slices (`&[Timestamp]`)
+    /// on the poll hot path instead of collecting a fresh `Vec` per poll.
+    times: Vec<Timestamp>,
 }
 
 impl UpdateTrace {
@@ -118,11 +121,13 @@ impl UpdateTrace {
                 return Err(TraceError::OutOfRange { index: i });
             }
         }
+        let times = events.iter().map(|e| e.at).collect();
         Ok(UpdateTrace {
             name: name.into(),
             start,
             end,
             events,
+            times,
         })
     }
 
@@ -178,7 +183,7 @@ impl UpdateTrace {
     /// Index of the version current at time `t` (the last event at or
     /// before `t`), or `None` before the first event.
     pub fn version_index_at(&self, t: Timestamp) -> Option<usize> {
-        match self.events.binary_search_by(|e| e.at.cmp(&t)) {
+        match self.times.binary_search(&t) {
             Ok(i) => Some(i),
             Err(0) => None,
             Err(i) => Some(i - 1),
@@ -212,15 +217,34 @@ impl UpdateTrace {
     /// Events with `t1 < at ≤ t2` — "updates since the previous poll" for
     /// a poll at `t2` following one at `t1`.
     pub fn events_between(&self, t1: Timestamp, t2: Timestamp) -> &[UpdateEvent] {
-        let lo = match self.events.binary_search_by(|e| e.at.cmp(&t1)) {
-            Ok(i) => i + 1,
-            Err(i) => i,
-        };
-        let hi = match self.events.binary_search_by(|e| e.at.cmp(&t2)) {
-            Ok(i) => i + 1,
-            Err(i) => i,
-        };
+        let (lo, hi) = self.range_between(t1, t2);
         &self.events[lo..hi]
+    }
+
+    /// The instants of all events, oldest first (parallel to
+    /// [`UpdateTrace::events`]).
+    pub fn times(&self) -> &[Timestamp] {
+        &self.times
+    }
+
+    /// Instants of events with `t1 < at ≤ t2`, as a borrowed slice — the
+    /// §5.1 modification history for a poll at `t2` validated at `t1`,
+    /// with no per-poll allocation.
+    pub fn times_between(&self, t1: Timestamp, t2: Timestamp) -> &[Timestamp] {
+        let (lo, hi) = self.range_between(t1, t2);
+        &self.times[lo..hi]
+    }
+
+    fn range_between(&self, t1: Timestamp, t2: Timestamp) -> (usize, usize) {
+        let lo = match self.times.binary_search(&t1) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        };
+        let hi = match self.times.binary_search(&t2) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        };
+        (lo, hi)
     }
 
     /// The server-validity interval of the version indexed `i`: from its
@@ -346,6 +370,18 @@ mod tests {
         assert_eq!(between[0].at, secs(20));
         assert!(t.events_between(secs(50), secs(100)).is_empty());
         assert_eq!(t.events_between(secs(19), secs(20)).len(), 1);
+    }
+
+    #[test]
+    fn times_mirror_events() {
+        let t = trace();
+        assert_eq!(t.times(), &[secs(0), secs(20), secs(50)]);
+        assert_eq!(t.times_between(secs(0), secs(50)), &[secs(20), secs(50)]);
+        assert!(t.times_between(secs(50), secs(100)).is_empty());
+        assert_eq!(
+            t.times_between(secs(0), secs(50)).len(),
+            t.events_between(secs(0), secs(50)).len()
+        );
     }
 
     #[test]

@@ -5,7 +5,6 @@
 //! Figure 4(a); [`rate_ratio_timeline`] the frequency-ratio curve of
 //! Figure 6(a).
 
-use serde::{Deserialize, Serialize};
 
 use mutcon_core::time::{Duration, Timestamp};
 use mutcon_core::value::Value;
@@ -13,7 +12,7 @@ use mutcon_core::value::Value;
 use crate::model::UpdateTrace;
 
 /// Summary statistics of one trace — one row of Table 2 or Table 3.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceSummary {
     /// Trace name.
     pub name: String,
@@ -40,7 +39,7 @@ pub fn summarize(trace: &UpdateTrace) -> TraceSummary {
 }
 
 /// Update count within one window of a timeline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WindowCount {
     /// Window start.
     pub start: Timestamp,

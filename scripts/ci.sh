@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus the perf snapshot this repo tracks PR-over-PR.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Tier-1: the whole workspace must build and test clean, offline.
+cargo build --release
+cargo test -q
+
+# Determinism: the parallel sweep engine must produce byte-identical
+# results to the forced single-thread path (also part of `cargo test`,
+# run again explicitly so a CI failure names the culprit directly).
+cargo test -q -p mutcon-bench --test determinism
+
+# Perf snapshot: regenerate every figure plus the robustness grid with
+# the default worker count. On a multi-core machine --compare-serial
+# re-runs everything with one thread and records the speedup and the
+# parallel/serial output equality in BENCH_repro.json; on a single core
+# the comparison is skipped (there is no parallelism to measure).
+target/release/repro --compare-serial --repeats 10 all > /dev/null
+echo "--- BENCH_repro.json ---"
+cat BENCH_repro.json
