@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! repro [--threads N | --serial] [--repeats R] [--compare-serial]
-//!       [--bench-json PATH]
-//!       table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|ablation|bench|all
+//!       [--conns C] [--rounds R] [--bench-json PATH]
+//!       table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|ablation|bench|live-bench|all
 //! ```
 //!
 //! Output is plain text, one section per experiment, matching the layout
@@ -21,6 +21,14 @@
 //! report then also records the serial wall-clock, the speedup, and
 //! whether the parallel and serial outputs were byte-identical (they
 //! must be).
+//!
+//! `live-bench` is the real-socket load generator
+//! ([`mutcon_bench::livebench`]): `--conns` concurrently open client
+//! connections through the live proxy's single reactor thread for
+//! `--rounds` request waves. `all` runs it once at the end (outside the
+//! serial comparison — it measures wall-clock network behavior, not the
+//! deterministic engine) and records it as the `live_bench` section of
+//! the report.
 
 use std::time::Instant;
 
@@ -60,6 +68,7 @@ fn main() {
     let mut target: Option<String> = None;
     let mut repeats: u64 = 10;
     let mut compare_serial = false;
+    let mut live = mutcon_bench::livebench::LiveBenchConfig::default();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -73,6 +82,14 @@ fn main() {
             "--repeats" => match args.next().and_then(|r| r.parse().ok()) {
                 Some(r) if r > 0 => repeats = r,
                 _ => usage_error("--repeats needs a positive integer"),
+            },
+            "--conns" => match args.next().and_then(|r| r.parse().ok()) {
+                Some(c) if c > 0 => live.conns = c,
+                _ => usage_error("--conns needs a positive integer"),
+            },
+            "--rounds" => match args.next().and_then(|r| r.parse().ok()) {
+                Some(r) if r > 0 => live.rounds = r,
+                _ => usage_error("--rounds needs a positive integer"),
             },
             "--bench-json" => match args.next() {
                 Some(p) => bench_json = p,
@@ -159,6 +176,21 @@ fn main() {
                 }
             }
 
+            // The live-proxy load run: real sockets, measured once,
+            // outside the determinism comparison.
+            let live_report = match mutcon_bench::livebench::run(live) {
+                Ok(report) => {
+                    println!("==== live-bench ====");
+                    print!("{}", mutcon_bench::livebench::render(&report));
+                    println!();
+                    Some(report)
+                }
+                Err(e) => {
+                    eprintln!("[repro] live-bench failed: {e}");
+                    None
+                }
+            };
+
             let report = bench_report(
                 threads,
                 repeats,
@@ -166,6 +198,7 @@ fn main() {
                 serial_total,
                 outputs_identical,
                 &timings,
+                live_report.as_ref(),
             );
             match std::fs::write(&bench_json, &report) {
                 Ok(()) => eprintln!("[repro] wrote {bench_json}"),
@@ -184,6 +217,13 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        "live-bench" => match mutcon_bench::livebench::run(live) {
+            Ok(report) => print!("{}", mutcon_bench::livebench::render(&report)),
+            Err(e) => {
+                eprintln!("[repro] live-bench failed: {e}");
+                std::process::exit(1);
+            }
+        },
         other => match known.iter().find(|(name, _)| *name == other) {
             Some((_, run)) => print!("{}", run().text),
             None => {
@@ -209,7 +249,7 @@ fn main() {
 fn usage_error(message: &str) -> ! {
     eprintln!("repro: {message}");
     eprintln!(
-        "usage: repro [--threads N | --serial] [--repeats R] [--compare-serial] [--bench-json PATH] <experiment|all>"
+        "usage: repro [--threads N | --serial] [--repeats R] [--compare-serial] [--conns C] [--rounds R] [--bench-json PATH] <experiment|live-bench|all>"
     );
     std::process::exit(2);
 }
@@ -223,6 +263,7 @@ fn bench_report(
     serial_wall: Option<std::time::Duration>,
     outputs_identical: Option<bool>,
     sections: &[Timing],
+    live: Option<&mutcon_bench::livebench::LiveBenchReport>,
 ) -> String {
     let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
     let total_polls: u64 = sections.iter().map(|t| t.polls).sum();
@@ -252,6 +293,13 @@ fn bench_report(
             out.push_str("  \"speedup\": null,\n");
             out.push_str("  \"serial_output_identical\": null,\n");
         }
+    }
+    match live {
+        Some(report) => out.push_str(&format!(
+            "  \"live_bench\": {},\n",
+            mutcon_bench::livebench::json_fragment(report)
+        )),
+        None => out.push_str("  \"live_bench\": null,\n"),
     }
     out.push_str("  \"sections\": [\n");
     for (i, t) in sections.iter().enumerate() {

@@ -1,0 +1,257 @@
+//! `repro live-bench` — a load generator for the reactor-driven live
+//! proxy.
+//!
+//! Spins up a real origin (fast-ticking object) and a real proxy with a
+//! refresher rule, then drives `conns` *simultaneously open* client
+//! connections through the proxy's single reactor thread for `rounds`
+//! request waves. Every wave writes one `GET` on every socket before
+//! reading any response, so all `conns` connections have a request in
+//! flight at once — the readiness-driven engine is measured, not the
+//! client's politeness.
+//!
+//! Reported: connection-establishment rate (conns/sec), sustained
+//! request throughput (requests/sec), and per-request latency p50/p99.
+//! `repro all` embeds the numbers as the `live_bench` section of
+//! `BENCH_repro.json`, so proxy scalability is tracked PR-over-PR
+//! alongside the simulation engine's wall-clocks.
+
+use std::io::{self, Write};
+use std::net::TcpStream;
+use std::time::{Duration as StdDuration, Instant};
+
+use bytes::BytesMut;
+use mutcon_core::time::{Duration, Timestamp};
+use mutcon_core::value::Value;
+use mutcon_http::message::Request;
+use mutcon_http::types::StatusCode;
+use mutcon_live::client::HttpClient;
+use mutcon_live::origin::LiveOrigin;
+use mutcon_live::proxy::{LiveProxy, ProxyConfig, RefreshRule};
+use mutcon_live::wire::read_response;
+use mutcon_traces::{UpdateEvent, UpdateTrace};
+
+/// Load shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LiveBenchConfig {
+    /// Concurrently open client connections.
+    pub conns: usize,
+    /// Request waves issued across all connections.
+    pub rounds: usize,
+}
+
+impl Default for LiveBenchConfig {
+    fn default() -> Self {
+        // Modest enough for 1-core CI, still two hundred sockets deep.
+        LiveBenchConfig {
+            conns: 200,
+            rounds: 5,
+        }
+    }
+}
+
+/// Measured outcome of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiveBenchReport {
+    /// Connections opened (and held open throughout).
+    pub conns: usize,
+    /// Request waves.
+    pub rounds: usize,
+    /// Total requests served (`conns · rounds`).
+    pub requests: u64,
+    /// Wall-clock to open all connections, milliseconds.
+    pub open_ms: f64,
+    /// Connection-establishment rate.
+    pub conns_per_sec: f64,
+    /// Wall-clock of the request waves, milliseconds.
+    pub serve_ms: f64,
+    /// Sustained request throughput.
+    pub requests_per_sec: f64,
+    /// Median request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile request latency, milliseconds.
+    pub p99_ms: f64,
+    /// Fraction of responses served from the proxy cache.
+    pub hit_rate: f64,
+}
+
+/// An object updated every 25 ms — fast enough that the refresher keeps
+/// writing (shard write locks!) all through the measurement.
+fn bench_trace() -> UpdateTrace {
+    let total_ms = 600_000u64;
+    let mut events = vec![UpdateEvent::valued(Timestamp::ZERO, Value::new(1.0))];
+    let mut t = 25u64;
+    while t <= total_ms {
+        events.push(UpdateEvent::valued(
+            Timestamp::from_millis(t),
+            Value::new(1.0 + t as f64),
+        ));
+        t += 25;
+    }
+    UpdateTrace::new("bench", Timestamp::ZERO, Timestamp::from_millis(total_ms), events)
+        .expect("monotone events")
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * p).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+/// Runs the load.
+///
+/// # Errors
+///
+/// Propagates socket failures (including hitting the file-descriptor
+/// limit when `conns` is oversized for the environment).
+pub fn run(config: LiveBenchConfig) -> io::Result<LiveBenchReport> {
+    let conns = config.conns.max(1);
+    let rounds = config.rounds.max(1);
+
+    let origin = LiveOrigin::builder().object("/obj", bench_trace()).start()?;
+    let proxy = LiveProxy::start(ProxyConfig {
+        origin_addr: origin.local_addr(),
+        rules: vec![RefreshRule::new("/obj", Duration::from_millis(50))],
+        group: None,
+        cache_objects: None,
+    })?;
+    let addr = proxy.local_addr();
+
+    // Warm the cache so the measured path is hit-dominated.
+    let warm = HttpClient::new();
+    let warm_resp = warm.get(addr, "/obj", None)?;
+    if warm_resp.status() != StatusCode::OK {
+        return Err(io::Error::new(
+            io::ErrorKind::Other,
+            format!("warm-up returned {}", warm_resp.status()),
+        ));
+    }
+
+    // Phase 1: establish every connection, all held open.
+    let open_started = Instant::now();
+    let mut socks = Vec::with_capacity(conns);
+    for _ in 0..conns {
+        let sock = TcpStream::connect(addr)?;
+        sock.set_read_timeout(Some(StdDuration::from_secs(30)))?;
+        sock.set_nodelay(true)?;
+        socks.push(sock);
+    }
+    let open = open_started.elapsed();
+
+    // Phase 2: `rounds` waves of one request per connection; all writes
+    // land before any read, so every connection is in flight at once.
+    let wire = Request::get("/obj").build().to_bytes();
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(conns * rounds);
+    let mut hits = 0u64;
+    let serve_started = Instant::now();
+    for _ in 0..rounds {
+        let mut sent_at = Vec::with_capacity(conns);
+        for sock in &mut socks {
+            sent_at.push(Instant::now());
+            sock.write_all(&wire)?;
+        }
+        for (sock, sent) in socks.iter_mut().zip(&sent_at) {
+            let mut buf = BytesMut::new();
+            let resp = read_response(sock, &mut buf)?;
+            latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
+            if resp.status() != StatusCode::OK {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("proxy returned {}", resp.status()),
+                ));
+            }
+            if resp.headers().get("x-cache") == Some("hit") {
+                hits += 1;
+            }
+        }
+    }
+    let serve = serve_started.elapsed();
+
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let requests = (conns * rounds) as u64;
+    Ok(LiveBenchReport {
+        conns,
+        rounds,
+        requests,
+        open_ms: open.as_secs_f64() * 1e3,
+        conns_per_sec: conns as f64 / open.as_secs_f64().max(1e-9),
+        serve_ms: serve.as_secs_f64() * 1e3,
+        requests_per_sec: requests as f64 / serve.as_secs_f64().max(1e-9),
+        p50_ms: percentile(&latencies_ms, 0.50),
+        p99_ms: percentile(&latencies_ms, 0.99),
+        hit_rate: hits as f64 / requests as f64,
+    })
+}
+
+/// Renders the report as aligned text.
+pub fn render(report: &LiveBenchReport) -> String {
+    format!(
+        "Live proxy load — {} connections held open, {} request waves\n\
+         {:<22} {:>12.0}\n{:<22} {:>12.0}\n{:<22} {:>12.3}\n{:<22} {:>12.3}\n{:<22} {:>12.3}\n",
+        report.conns,
+        report.rounds,
+        "conns/sec (open)",
+        report.conns_per_sec,
+        "requests/sec",
+        report.requests_per_sec,
+        "latency p50 (ms)",
+        report.p50_ms,
+        "latency p99 (ms)",
+        report.p99_ms,
+        "cache hit rate",
+        report.hit_rate,
+    )
+}
+
+/// The report as a JSON object fragment for `BENCH_repro.json`.
+pub fn json_fragment(report: &LiveBenchReport) -> String {
+    format!(
+        "{{\"conns\": {}, \"rounds\": {}, \"requests\": {}, \"open_ms\": {:.3}, \
+         \"conns_per_sec\": {:.1}, \"serve_ms\": {:.3}, \"requests_per_sec\": {:.1}, \
+         \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"hit_rate\": {:.3}}}",
+        report.conns,
+        report.rounds,
+        report.requests,
+        report.open_ms,
+        report.conns_per_sec,
+        report.serve_ms,
+        report.requests_per_sec,
+        report.p50_ms,
+        report.p99_ms,
+        report.hit_rate,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_run_produces_sane_numbers() {
+        let report = run(LiveBenchConfig {
+            conns: 24,
+            rounds: 2,
+        })
+        .expect("bench run");
+        assert_eq!(report.conns, 24);
+        assert_eq!(report.requests, 48);
+        assert!(report.requests_per_sec > 0.0);
+        assert!(report.conns_per_sec > 0.0);
+        assert!(report.p50_ms <= report.p99_ms);
+        assert!(report.hit_rate > 0.5, "hit rate {}", report.hit_rate);
+        let text = render(&report);
+        assert!(text.contains("requests/sec"));
+        let json = json_fragment(&report);
+        assert!(json.contains("\"requests\": 48"));
+    }
+
+    #[test]
+    fn percentile_edges() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[4.0], 0.99), 4.0);
+        let xs: Vec<f64> = (0..=100).map(f64::from).collect();
+        assert_eq!(percentile(&xs, 0.5), 50.0);
+        assert_eq!(percentile(&xs, 0.99), 99.0);
+    }
+}

@@ -3,23 +3,40 @@
 //! The 2001 evaluation measured one real collection window per workload.
 //! Our traces are calibrated synthetics, so we can do better: regenerate
 //! each workload under R different seeds (R independent "collection
-//! runs") and re-run the figure grids on every realization. If the
+//! runs") and re-run the experiment grids on every realization. If the
 //! comparative claims hold across all realizations — not just the pinned
 //! catalog seed — the reproduction is robust to trace randomness.
 //!
+//! Beyond the three figure grids, the sweep covers the four ablation
+//! grids (LIMD aggressiveness, violation detection, heuristic threshold,
+//! α-blend) and a **multi-object group**: all four temporal traces
+//! coordinated as one Mt group — the paper only ever pairs two objects,
+//! so this probes the n > 2 regime its §4 algorithms claim to cover.
+//!
 //! This is also the experiment engine's scaling workload: R repeats ×
-//! (three figure grids) of fully independent simulations, fanned out by
+//! (eight grids) of fully independent simulations, fanned out by
 //! [`mutcon_sim::parallel::run_all`]. `repro bench`/`repro all` run it
 //! and record the wall-clock in `BENCH_repro.json`.
 
+use mutcon_core::limd::LimdConfig;
+use mutcon_core::mutual::temporal::MtPolicy;
+use mutcon_core::object::ObjectId;
+use mutcon_core::time::Duration;
+use mutcon_proxy::ablation;
+use mutcon_proxy::drivers::{
+    run_temporal, MutualSetup, TemporalPolicy, TemporalSimConfig, TemporalSimOutput,
+};
 use mutcon_proxy::experiment::{
     individual_temporal_sweep, mutual_temporal_sweep, mutual_value_sweep,
 };
+use mutcon_proxy::metrics;
+use mutcon_proxy::origin::OriginServer;
 use mutcon_sim::parallel::run_all;
+use mutcon_traces::{NamedTrace, UpdateTrace};
 
 use crate::{
-    fig3_deltas, fig5_deltas, fig7_deltas, fixed_delta, paper_fig3_config, paper_fig7_config,
-    FIG3_TRACE, FIG5_PAIR, VALUE_PAIR,
+    fig3_deltas, fig5_deltas, fig7_deltas, fig8_delta, fixed_delta, paper_fig3_config,
+    paper_fig7_config, FIG3_TRACE, FIG5_PAIR, VALUE_PAIR,
 };
 
 /// Seed offset between successive synthetic collections (arbitrary, just
@@ -102,14 +119,165 @@ fn fig7_outcome(collection: u64) -> GridOutcome {
     }
 }
 
-/// Runs the three figure grids across `repeats` seed-shifted
-/// realizations of their traces, fanned out across cores, and aggregates
-/// per grid. Deterministic for a given `repeats` at any thread count.
+/// δ for the multi-object group run (the Figure 5 grid's midpoint).
+fn group_delta() -> Duration {
+    Duration::from_mins(5)
+}
+
+fn limd_config(delta: Duration) -> LimdConfig {
+    let config = paper_fig3_config();
+    LimdConfig::builder(delta)
+        .linear_increase(config.linear_increase)
+        .epsilon(config.epsilon)
+        .ttr_max(config.ttr_max.max(delta))
+        .decrease(config.decrease)
+        .build()
+        .expect("paper parameters are valid")
+}
+
+/// Ablation A across collections; the claim is the §3.1 trade-off: the
+/// conservative setting polls at least as much and is (about) at least
+/// as faithful as the optimistic one.
+fn abl_a_outcome(collection: u64) -> GridOutcome {
+    let trace = FIG3_TRACE.generate_with_seed(FIG3_TRACE.seed() + collection * SEED_STRIDE);
+    let rows = ablation::limd_aggressiveness(&trace, fixed_delta());
+    let (optimistic, conservative) = (&rows[0], &rows[2]);
+    GridOutcome {
+        polls: rows.iter().map(|r| r.polls).sum(),
+        fidelity: rows.iter().map(|r| r.fidelity_violations).sum::<f64>() / rows.len() as f64,
+        claim: conservative.polls >= optimistic.polls
+            && conservative.fidelity_violations >= optimistic.fidelity_violations - 0.05,
+    }
+}
+
+/// Ablation B: the §5.1 modification-history extension never hurts
+/// violation-detection fidelity.
+fn abl_b_outcome(collection: u64) -> GridOutcome {
+    let t = NamedTrace::Guardian;
+    let trace = t.generate_with_seed(t.seed() + collection * SEED_STRIDE);
+    let rows = ablation::violation_detection(&trace, fixed_delta());
+    GridOutcome {
+        polls: rows.iter().map(|r| r.polls).sum(),
+        fidelity: rows.iter().map(|r| r.fidelity_violations).sum::<f64>() / rows.len() as f64,
+        claim: rows[1].fidelity_violations >= rows[0].fidelity_violations - 1e-9,
+    }
+}
+
+/// Ablation C: a stricter rate-comparability threshold triggers no more
+/// polls than the loosest one.
+fn abl_c_outcome(collection: u64) -> GridOutcome {
+    let (a, b) = FIG5_PAIR;
+    let ta = a.generate_with_seed(a.seed() + collection * SEED_STRIDE);
+    let tb = b.generate_with_seed(b.seed() + collection * SEED_STRIDE);
+    let rows = ablation::heuristic_threshold(&ta, &tb, fixed_delta(), group_delta());
+    GridOutcome {
+        polls: rows.iter().map(|r| r.polls).sum(),
+        fidelity: rows.iter().map(|r| r.fidelity_violations).sum::<f64>() / rows.len() as f64,
+        claim: rows.last().expect("non-empty grid").polls <= rows[0].polls,
+    }
+}
+
+/// Ablation D: α = 0 (always respect the observed minimum TTR) polls at
+/// least as much as α = 1.
+fn abl_d_outcome(collection: u64) -> GridOutcome {
+    let (a, b) = VALUE_PAIR;
+    let ta = a.generate_with_seed(a.seed() + collection * SEED_STRIDE);
+    let tb = b.generate_with_seed(b.seed() + collection * SEED_STRIDE);
+    let rows = ablation::alpha_blend(&ta, &tb, fig8_delta());
+    GridOutcome {
+        polls: rows.iter().map(|r| r.polls).sum(),
+        fidelity: rows.iter().map(|r| r.fidelity_violations).sum::<f64>() / rows.len() as f64,
+        claim: rows[4].polls >= rows[0].polls,
+    }
+}
+
+/// Mean pairwise Mt fidelity (by violations) over every pair in the
+/// group — the n > 2 generalization of the Figure 5 metric.
+fn group_fidelity(
+    traces: &[UpdateTrace],
+    ids: &[ObjectId],
+    out: &TemporalSimOutput,
+    until: mutcon_core::time::Timestamp,
+) -> f64 {
+    let mut total = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..traces.len() {
+        for j in (i + 1)..traces.len() {
+            let stats = metrics::mutual_temporal(
+                &traces[i],
+                &out.logs[&ids[i]],
+                &traces[j],
+                &out.logs[&ids[j]],
+                group_delta(),
+                until,
+            );
+            total += stats.fidelity_by_violations();
+            pairs += 1;
+        }
+    }
+    total / pairs.max(1) as f64
+}
+
+/// The multi-object (n = 4) Mt group: all temporal traces in one related
+/// group under triggered polls versus the no-coordination baseline. The
+/// claim is that triggered coordination fires and never degrades mean
+/// pairwise fidelity.
+fn multi_object_outcome(collection: u64) -> GridOutcome {
+    let traces: Vec<UpdateTrace> = NamedTrace::TEMPORAL
+        .iter()
+        .map(|t| t.generate_with_seed(t.seed() + collection * SEED_STRIDE))
+        .collect();
+    let ids: Vec<ObjectId> = traces.iter().map(|t| ObjectId::new(t.name())).collect();
+    let mut origin = OriginServer::new();
+    for (id, trace) in ids.iter().zip(&traces) {
+        origin.host(id.clone(), trace.clone());
+    }
+    let until = traces
+        .iter()
+        .map(UpdateTrace::end)
+        .min()
+        .expect("four traces");
+
+    let run = |policy: MtPolicy| {
+        run_temporal(
+            &origin,
+            &ids,
+            &TemporalSimConfig {
+                policy: TemporalPolicy::Limd(limd_config(fixed_delta())),
+                mutual: Some(MutualSetup {
+                    delta: group_delta(),
+                    policy,
+                }),
+                until,
+            },
+        )
+    };
+    let baseline = run(MtPolicy::Baseline);
+    let triggered = run(MtPolicy::TriggeredPolls);
+    let baseline_fidelity = group_fidelity(&traces, &ids, &baseline, until);
+    let triggered_fidelity = group_fidelity(&traces, &ids, &triggered, until);
+    GridOutcome {
+        polls: triggered.total_polls(),
+        fidelity: triggered_fidelity,
+        claim: triggered.total_triggered() > 0
+            && triggered_fidelity >= baseline_fidelity - 1e-9,
+    }
+}
+
+/// Runs the three figure grids, the four ablation grids and the
+/// multi-object group across `repeats` seed-shifted realizations of
+/// their traces, fanned out across cores, and aggregates per grid.
+/// Deterministic for a given `repeats` at any thread count.
 pub fn robustness_grid(repeats: u64) -> Vec<RobustnessRow> {
-    let grids: [(&'static str, fn(u64) -> GridOutcome); 3] = [
+    let grids: [(&'static str, fn(u64) -> GridOutcome); 8] = [
         ("fig3", fig3_outcome),
         ("fig5", fig5_outcome),
         ("fig7", fig7_outcome),
+        ("ablA", abl_a_outcome),
+        ("ablB", abl_b_outcome),
+        ("ablC", abl_c_outcome),
+        ("ablD", abl_d_outcome),
+        ("multi4", multi_object_outcome),
     ];
 
     // Fan out at (grid, collection) granularity: coarse enough that pool
@@ -157,7 +325,7 @@ pub fn total_polls(rows: &[RobustnessRow]) -> u64 {
 pub fn render(rows: &[RobustnessRow]) -> String {
     use std::fmt::Write as _;
     let mut out = String::from(
-        "Robustness — figure grids across seed-shifted synthetic collections\n",
+        "Robustness — figure, ablation and multi-object grids across seed-shifted synthetic collections\n",
     );
     writeln!(
         out,
@@ -191,7 +359,7 @@ mod tests {
     #[test]
     fn grid_aggregates_are_sane() {
         let rows = robustness_grid(2);
-        assert_eq!(rows.len(), 3);
+        assert_eq!(rows.len(), 8);
         for r in &rows {
             assert_eq!(r.runs, 2);
             assert!(r.polls_min <= r.polls_max);
@@ -206,7 +374,20 @@ mod tests {
         let rendered = render(&rows);
         assert!(rendered.contains("fig3"));
         assert!(rendered.contains("fig7"));
+        assert!(rendered.contains("ablA"));
+        assert!(rendered.contains("multi4"));
         assert!(total_polls(&rows) > 0);
+    }
+
+    #[test]
+    fn multi_object_group_coordinates_all_four_traces() {
+        let outcome = multi_object_outcome(0);
+        assert!(outcome.polls > 0);
+        assert!((0.0..=1.0).contains(&outcome.fidelity));
+        assert!(
+            outcome.claim,
+            "triggered coordination must fire and not degrade fidelity"
+        );
     }
 
     #[test]

@@ -13,6 +13,13 @@
 //! never needs chunked transfer), and an absent `Content-Length` means an
 //! empty body — all messages the workspace exchanges are self-delimiting,
 //! keeping connections reusable.
+//!
+//! For readiness-driven connection loops that feed bytes in as the socket
+//! produces them, the stateful [`RequestParser`]/[`ResponseParser`] carry
+//! the same contract *resumably*: the header-terminator scan picks up
+//! where the previous partial read left off and a parsed header section
+//! is cached while body bytes trickle in, so each byte is examined once
+//! no matter how fragmented the reads are.
 
 use std::fmt;
 
@@ -65,14 +72,18 @@ impl fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 /// Locates the end of the header section (the `\r\n\r\n`), returning the
-/// offset just past it.
-fn find_head_end(buf: &[u8]) -> Result<Option<usize>, ParseError> {
-    match buf.windows(4).position(|w| w == b"\r\n\r\n") {
+/// offset just past it. `from` is how far a previous scan got without
+/// finding it, so resumed scans are O(new bytes), not O(buffer).
+fn find_head_end(buf: &[u8], from: usize) -> Result<Option<usize>, ParseError> {
+    // Back up 3 bytes: the terminator may straddle the old buffer end.
+    let start = from.saturating_sub(3).min(buf.len());
+    match buf[start..].windows(4).position(|w| w == b"\r\n\r\n") {
         Some(pos) => {
-            if pos + 4 > MAX_HEAD_BYTES {
+            let end = start + pos + 4;
+            if end > MAX_HEAD_BYTES {
                 Err(ParseError::HeadTooLarge)
             } else {
-                Ok(Some(pos + 4))
+                Ok(Some(end))
             }
         }
         None => {
@@ -111,19 +122,15 @@ fn body_length(headers: &HeaderMap) -> Result<usize, ParseError> {
     }
 }
 
-/// Attempts to parse one [`Request`] from the front of `buf`.
-///
-/// # Errors
-///
-/// See [`ParseError`]; `Ok(None)` means "incomplete, read more".
-pub fn parse_request(buf: &[u8]) -> Result<Option<(Request, usize)>, ParseError> {
-    let Some(head_end) = find_head_end(buf)? else {
-        return Ok(None);
-    };
+/// Splits the decoded header section into start line and header block.
+fn split_head(buf: &[u8], head_end: usize) -> Result<(&str, &str), ParseError> {
     let head =
         std::str::from_utf8(&buf[..head_end - 4]).map_err(|_| ParseError::InvalidHeader)?;
-    let (start_line, header_block) = head.split_once("\r\n").unwrap_or((head, ""));
+    Ok(head.split_once("\r\n").unwrap_or((head, "")))
+}
 
+/// Parses `"GET /path HTTP/1.1"`.
+fn parse_request_line(start_line: &str) -> Result<(Method, String, HttpVersion), ParseError> {
     let mut parts = start_line.split(' ');
     let method: Method = parts
         .next()
@@ -142,34 +149,12 @@ pub fn parse_request(buf: &[u8]) -> Result<Option<(Request, usize)>, ParseError>
     if parts.next().is_some() {
         return Err(ParseError::InvalidStartLine);
     }
-
-    let headers = parse_headers(header_block)?;
-    let body_len = body_length(&headers)?;
-    let total = head_end + body_len;
-    if buf.len() < total {
-        return Ok(None);
-    }
-    let body = Bytes::copy_from_slice(&buf[head_end..total]);
-    Ok(Some((
-        Request::from_parts(method, target.to_owned(), version, headers, body),
-        total,
-    )))
+    Ok((method, target.to_owned(), version))
 }
 
-/// Attempts to parse one [`Response`] from the front of `buf`.
-///
-/// # Errors
-///
-/// See [`ParseError`]; `Ok(None)` means "incomplete, read more".
-pub fn parse_response(buf: &[u8]) -> Result<Option<(Response, usize)>, ParseError> {
-    let Some(head_end) = find_head_end(buf)? else {
-        return Ok(None);
-    };
-    let head =
-        std::str::from_utf8(&buf[..head_end - 4]).map_err(|_| ParseError::InvalidHeader)?;
-    let (start_line, header_block) = head.split_once("\r\n").unwrap_or((head, ""));
-
-    // "HTTP/1.1 200 OK" — the reason phrase may contain spaces or be absent.
+/// Parses `"HTTP/1.1 200 OK"` — the reason phrase may contain spaces or
+/// be absent.
+fn parse_status_line(start_line: &str) -> Result<(HttpVersion, StatusCode), ParseError> {
     let mut parts = start_line.splitn(3, ' ');
     let version: HttpVersion = parts
         .next()
@@ -182,18 +167,173 @@ pub fn parse_response(buf: &[u8]) -> Result<Option<(Response, usize)>, ParseErro
         .parse()
         .map_err(|_| ParseError::InvalidStatus)?;
     let status = StatusCode::new(code).ok_or(ParseError::InvalidStatus)?;
+    Ok((version, status))
+}
 
-    let headers = parse_headers(header_block)?;
-    let body_len = body_length(&headers)?;
-    let total = head_end + body_len;
-    if buf.len() < total {
-        return Ok(None);
+/// A fully parsed header section waiting for its body bytes.
+#[derive(Debug)]
+struct PendingRequest {
+    method: Method,
+    target: String,
+    version: HttpVersion,
+    headers: HeaderMap,
+    head_end: usize,
+    body_len: usize,
+}
+
+/// A resumable request parser for readiness-driven connection loops.
+///
+/// Feed it the connection's accumulated read buffer after every partial
+/// read. Between calls that return `Ok(None)` the buffer must only grow
+/// (append-only); once a message is returned, drain the `consumed` bytes
+/// from the front — the parser has already reset itself for the next
+/// message. Unlike re-running [`parse_request`] from scratch, progress is
+/// remembered: the `\r\n\r\n` scan resumes where it left off and a parsed
+/// header section is never re-parsed while body bytes trickle in.
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    /// How far the head-terminator scan got without finding `\r\n\r\n`.
+    scanned: usize,
+    /// Parsed head awaiting `body_len` bytes.
+    head: Option<PendingRequest>,
+}
+
+impl RequestParser {
+    /// A parser at the start of a message.
+    pub fn new() -> RequestParser {
+        RequestParser::default()
     }
-    let body = Bytes::copy_from_slice(&buf[head_end..total]);
-    Ok(Some((
-        Response::from_parts(version, status, headers, body),
-        total,
-    )))
+
+    /// Whether the parser is mid-message (bytes seen, no message yet) —
+    /// distinguishes a clean idle EOF from a truncated message.
+    pub fn in_progress(&self) -> bool {
+        self.scanned > 0 || self.head.is_some()
+    }
+
+    /// Tries to complete one request from the front of `buf`.
+    ///
+    /// # Errors
+    ///
+    /// See [`ParseError`]; after an error the connection (and parser) are
+    /// beyond recovery. `Ok(None)` means "incomplete, read more".
+    pub fn advance(&mut self, buf: &[u8]) -> Result<Option<(Request, usize)>, ParseError> {
+        if self.head.is_none() {
+            let Some(head_end) = find_head_end(buf, self.scanned)? else {
+                self.scanned = buf.len();
+                return Ok(None);
+            };
+            let (start_line, header_block) = split_head(buf, head_end)?;
+            let (method, target, version) = parse_request_line(start_line)?;
+            let headers = parse_headers(header_block)?;
+            let body_len = body_length(&headers)?;
+            self.head = Some(PendingRequest {
+                method,
+                target,
+                version,
+                headers,
+                head_end,
+                body_len,
+            });
+        }
+        let pending = self.head.as_ref().expect("head parsed above");
+        let total = pending.head_end + pending.body_len;
+        if buf.len() < total {
+            return Ok(None);
+        }
+        let pending = self.head.take().expect("head parsed above");
+        let body = Bytes::copy_from_slice(&buf[pending.head_end..total]);
+        self.scanned = 0;
+        Ok(Some((
+            Request::from_parts(pending.method, pending.target, pending.version, pending.headers, body),
+            total,
+        )))
+    }
+}
+
+/// A fully parsed response head waiting for its body bytes.
+#[derive(Debug)]
+struct PendingResponse {
+    version: HttpVersion,
+    status: StatusCode,
+    headers: HeaderMap,
+    head_end: usize,
+    body_len: usize,
+}
+
+/// The response-side twin of [`RequestParser`]; same contract.
+#[derive(Debug, Default)]
+pub struct ResponseParser {
+    scanned: usize,
+    head: Option<PendingResponse>,
+}
+
+impl ResponseParser {
+    /// A parser at the start of a message.
+    pub fn new() -> ResponseParser {
+        ResponseParser::default()
+    }
+
+    /// Whether the parser is mid-message (bytes seen, no message yet).
+    pub fn in_progress(&self) -> bool {
+        self.scanned > 0 || self.head.is_some()
+    }
+
+    /// Tries to complete one response from the front of `buf`.
+    ///
+    /// # Errors
+    ///
+    /// See [`ParseError`]; `Ok(None)` means "incomplete, read more".
+    pub fn advance(&mut self, buf: &[u8]) -> Result<Option<(Response, usize)>, ParseError> {
+        if self.head.is_none() {
+            let Some(head_end) = find_head_end(buf, self.scanned)? else {
+                self.scanned = buf.len();
+                return Ok(None);
+            };
+            let (start_line, header_block) = split_head(buf, head_end)?;
+            let (version, status) = parse_status_line(start_line)?;
+            let headers = parse_headers(header_block)?;
+            let body_len = body_length(&headers)?;
+            self.head = Some(PendingResponse {
+                version,
+                status,
+                headers,
+                head_end,
+                body_len,
+            });
+        }
+        let pending = self.head.as_ref().expect("head parsed above");
+        let total = pending.head_end + pending.body_len;
+        if buf.len() < total {
+            return Ok(None);
+        }
+        let pending = self.head.take().expect("head parsed above");
+        let body = Bytes::copy_from_slice(&buf[pending.head_end..total]);
+        self.scanned = 0;
+        Ok(Some((
+            Response::from_parts(pending.version, pending.status, pending.headers, body),
+            total,
+        )))
+    }
+}
+
+/// Attempts to parse one [`Request`] from the front of `buf` (stateless
+/// one-shot form of [`RequestParser`]).
+///
+/// # Errors
+///
+/// See [`ParseError`]; `Ok(None)` means "incomplete, read more".
+pub fn parse_request(buf: &[u8]) -> Result<Option<(Request, usize)>, ParseError> {
+    RequestParser::new().advance(buf)
+}
+
+/// Attempts to parse one [`Response`] from the front of `buf` (stateless
+/// one-shot form of [`ResponseParser`]).
+///
+/// # Errors
+///
+/// See [`ParseError`]; `Ok(None)` means "incomplete, read more".
+pub fn parse_response(buf: &[u8]) -> Result<Option<(Response, usize)>, ParseError> {
+    ResponseParser::new().advance(buf)
 }
 
 #[cfg(test)]
@@ -345,6 +485,90 @@ mod tests {
         assert_eq!(
             parse_response(b"HTTQ/1.1 200 OK\r\n\r\n").unwrap_err(),
             ParseError::InvalidVersion
+        );
+    }
+
+    #[test]
+    fn resumable_request_parser_handles_byte_at_a_time() {
+        let req = Request::get("/incremental")
+            .host("example.org")
+            .header("X-Thing", "a b c")
+            .body(&b"body-bytes"[..])
+            .build();
+        let wire = req.to_bytes();
+
+        let mut parser = RequestParser::new();
+        let mut buf: Vec<u8> = Vec::new();
+        let mut parsed = None;
+        for (i, &byte) in wire.iter().enumerate() {
+            buf.push(byte);
+            match parser.advance(&buf).unwrap() {
+                Some((req, consumed)) => {
+                    assert_eq!(i + 1, wire.len(), "completed only on the last byte");
+                    assert_eq!(consumed, wire.len());
+                    parsed = Some(req);
+                }
+                None => {
+                    assert!(parser.in_progress());
+                    assert!(i + 1 < wire.len());
+                }
+            }
+        }
+        let parsed = parsed.expect("message completed");
+        assert_eq!(parsed.target(), "/incremental");
+        assert_eq!(&parsed.body()[..], b"body-bytes");
+        assert!(!parser.in_progress(), "parser reset after completion");
+    }
+
+    #[test]
+    fn resumable_parser_survives_split_terminator() {
+        // The \r\n\r\n straddles two reads; the resumed scan must back up
+        // far enough to see it.
+        let wire = b"GET /x HTTP/1.1\r\n\r\n";
+        let mut parser = RequestParser::new();
+        assert!(parser.advance(&wire[..17]).unwrap().is_none()); // ends mid-terminator
+        let (req, n) = parser.advance(wire).unwrap().expect("complete");
+        assert_eq!(req.target(), "/x");
+        assert_eq!(n, wire.len());
+    }
+
+    #[test]
+    fn resumable_parser_chains_pipelined_messages() {
+        let mut wire = Request::get("/a").build().to_bytes();
+        wire.extend(Request::get("/b").body(&b"zz"[..]).build().to_bytes());
+        let mut parser = RequestParser::new();
+        let (first, n1) = parser.advance(&wire).unwrap().unwrap();
+        assert_eq!(first.target(), "/a");
+        let rest = &wire[n1..];
+        let (second, n2) = parser.advance(rest).unwrap().unwrap();
+        assert_eq!(second.target(), "/b");
+        assert_eq!(n1 + n2, wire.len());
+    }
+
+    #[test]
+    fn resumable_response_parser_handles_partial_body() {
+        let resp = Response::ok().body(&b"0123456789"[..]).build();
+        let wire = resp.to_bytes();
+        let head_len = wire.len() - 10;
+
+        let mut parser = ResponseParser::new();
+        // Head complete, body partial: header section parsed once, held.
+        assert!(parser.advance(&wire[..head_len + 4]).unwrap().is_none());
+        assert!(parser.in_progress());
+        let (parsed, n) = parser.advance(&wire).unwrap().expect("complete");
+        assert_eq!(n, wire.len());
+        assert_eq!(&parsed.body()[..], b"0123456789");
+        assert!(!parser.in_progress());
+    }
+
+    #[test]
+    fn resumable_parser_propagates_errors() {
+        let mut parser = RequestParser::new();
+        assert!(parser.advance(b"junk start line\r\n\r\n").is_err());
+        let mut parser = ResponseParser::new();
+        assert_eq!(
+            parser.advance(b"HTTP/1.1 abc OK\r\n\r\n").unwrap_err(),
+            ParseError::InvalidStatus
         );
     }
 

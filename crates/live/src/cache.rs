@@ -1,0 +1,291 @@
+//! The live proxy's 16-way sharded object cache.
+//!
+//! The previous implementation guarded one `RwLock<HashMap>`: every
+//! background TTR refresh took the single write lock and stalled all
+//! concurrent client hits. Here the key space is split across
+//! [`SHARD_COUNT`] independent shards by key hash, so a refresh write
+//! serializes only the 1/16th of reads that share its shard. Each shard
+//! reuses [`mutcon_proxy::cache::LruMap`] — the O(log n)
+//! recency-indexed bounded map behind the simulator's `ProxyCache` — so
+//! a capacity bound buys LRU eviction without scans.
+//!
+//! Reads take the shard's read lock and clone the entry out (the body is
+//! a reference-counted `Bytes`, so cloning is cheap). LRU recency on the
+//! hit path is refreshed *opportunistically* with `try_write`: under
+//! contention the touch is skipped rather than making readers queue
+//! behind each other — recency degrades gracefully, the capacity bound
+//! never does.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+
+use mutcon_core::time::Timestamp;
+use mutcon_proxy::cache::LruMap;
+
+/// Number of independent shards (a fixed power of two so the hash→shard
+/// map is a mask).
+pub const SHARD_COUNT: usize = 16;
+
+/// One cached object copy as served to clients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheEntry {
+    /// The object body.
+    pub body: Bytes,
+    /// Millisecond-precise modification stamp.
+    pub last_modified: Timestamp,
+    /// The `x-object-value` payload, for value-bearing objects.
+    pub value: Option<f64>,
+    /// The `x-object-version` payload.
+    pub version: Option<String>,
+}
+
+struct Shard {
+    map: LruMap<String, CacheEntry, u64>,
+}
+
+/// A sharded, optionally bounded cache keyed by object path.
+pub struct ShardedCache {
+    shards: Vec<RwLock<Shard>>,
+    /// Monotonic logical clock ordering recency across all shards.
+    clock: AtomicU64,
+    /// Whether a capacity bound is set; the unbounded cache (the
+    /// paper's model, and the default) has no recency to maintain, so
+    /// its hit path never touches a write lock at all.
+    bounded: bool,
+}
+
+/// FNV-1a; hand-rolled because the default `RandomState` hasher cannot
+/// hash a bare `&str` to a shard index without building a `Hasher` per
+/// call anyway, and the workspace vendors no external hashers.
+fn shard_index(path: &str) -> usize {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in path.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // Fold the high bits in so the mask doesn't only see the low byte.
+    ((hash ^ (hash >> 32)) as usize) & (SHARD_COUNT - 1)
+}
+
+impl ShardedCache {
+    /// A cache bounded to roughly `capacity` objects in total (`None` =
+    /// unbounded, the paper's infinite-cache model). The bound is
+    /// enforced per shard at `ceil(capacity / SHARD_COUNT)`, so the
+    /// worst-case total is within one object per shard of the target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is `Some(0)`.
+    pub fn new(capacity: Option<usize>) -> ShardedCache {
+        let per_shard = capacity.map(|c| {
+            assert!(c > 0, "cache capacity must be positive");
+            c.div_ceil(SHARD_COUNT)
+        });
+        ShardedCache {
+            shards: (0..SHARD_COUNT)
+                .map(|_| {
+                    RwLock::new(Shard {
+                        map: match per_shard {
+                            Some(cap) => LruMap::with_capacity(cap),
+                            None => LruMap::unbounded(),
+                        },
+                    })
+                })
+                .collect(),
+            clock: AtomicU64::new(0),
+            bounded: per_shard.is_some(),
+        }
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Looks up a copy, cloning it out of the shard. On a bounded cache
+    /// LRU recency is refreshed only if the shard's write lock is free
+    /// (see module docs); unbounded caches read under the shared lock
+    /// unconditionally.
+    pub fn get(&self, path: &str) -> Option<CacheEntry> {
+        let shard = &self.shards[shard_index(path)];
+        if self.bounded {
+            if let Some(mut guard) = shard.try_write() {
+                let now = self.tick();
+                return guard.map.touch(path, now).cloned();
+            }
+        }
+        shard.read().map.get(path).cloned()
+    }
+
+    /// Stores (or replaces) a copy, evicting the shard's LRU entry if
+    /// the shard is at capacity.
+    pub fn insert(&self, path: &str, entry: CacheEntry) {
+        let now = self.tick();
+        self.shards[shard_index(path)]
+            .write()
+            .map
+            .insert(path.to_owned(), entry, now);
+    }
+
+    /// Stores a copy unless a strictly fresher one (by modification
+    /// stamp) is already resident — the check and the insert happen
+    /// under one shard write lock, so a slow fetch that raced a faster
+    /// refresh can never clobber the newer copy. Returns the entry now
+    /// resident (the given one, or the fresher incumbent).
+    pub fn insert_if_newer(&self, path: &str, entry: CacheEntry) -> CacheEntry {
+        let now = self.tick();
+        let mut shard = self.shards[shard_index(path)].write();
+        if let Some(existing) = shard.map.get(path) {
+            if existing.last_modified > entry.last_modified {
+                return existing.clone();
+            }
+        }
+        shard.map.insert(path.to_owned(), entry.clone(), now);
+        entry
+    }
+
+    /// Total cached objects across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().map.len()).sum()
+    }
+
+    /// Whether every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of objects in one shard (tests assert the cross-shard
+    /// bound with this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= SHARD_COUNT`.
+    pub fn shard_len(&self, index: usize) -> usize {
+        self.shards[index].read().map.len()
+    }
+}
+
+impl std::fmt::Debug for ShardedCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCache")
+            .field("shards", &SHARD_COUNT)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(stamp: u64) -> CacheEntry {
+        CacheEntry {
+            body: Bytes::copy_from_slice(format!("v{stamp}").as_bytes()),
+            last_modified: Timestamp::from_millis(stamp),
+            value: Some(stamp as f64),
+            version: Some(stamp.to_string()),
+        }
+    }
+
+    #[test]
+    fn round_trips_entries() {
+        let cache = ShardedCache::new(None);
+        assert!(cache.is_empty());
+        assert!(cache.get("/a").is_none());
+        cache.insert("/a", entry(1));
+        let got = cache.get("/a").expect("stored");
+        assert_eq!(got.last_modified, Timestamp::from_millis(1));
+        assert_eq!(&got.body[..], b"v1");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn replacement_keeps_len() {
+        let cache = ShardedCache::new(None);
+        cache.insert("/a", entry(1));
+        cache.insert("/a", entry(2));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get("/a").unwrap().last_modified, Timestamp::from_millis(2));
+    }
+
+    #[test]
+    fn insert_if_newer_never_rolls_back() {
+        let cache = ShardedCache::new(None);
+        // A slow fetch (stamp 5) loses to the resident fresher copy.
+        cache.insert("/a", entry(10));
+        let resident = cache.insert_if_newer("/a", entry(5));
+        assert_eq!(resident.last_modified, Timestamp::from_millis(10));
+        assert_eq!(
+            cache.get("/a").unwrap().last_modified,
+            Timestamp::from_millis(10)
+        );
+        // A fresher fetch replaces.
+        let resident = cache.insert_if_newer("/a", entry(20));
+        assert_eq!(resident.last_modified, Timestamp::from_millis(20));
+        assert_eq!(
+            cache.get("/a").unwrap().last_modified,
+            Timestamp::from_millis(20)
+        );
+        // Equal stamps re-store (idempotent refresh).
+        let resident = cache.insert_if_newer("/a", entry(20));
+        assert_eq!(resident.last_modified, Timestamp::from_millis(20));
+    }
+
+    #[test]
+    fn keys_spread_across_shards() {
+        let cache = ShardedCache::new(None);
+        for i in 0..256 {
+            cache.insert(&format!("/obj/{i}"), entry(i));
+        }
+        let populated = (0..SHARD_COUNT)
+            .filter(|&s| cache.shard_len(s) > 0)
+            .count();
+        assert!(
+            populated >= SHARD_COUNT / 2,
+            "FNV spread only {populated}/{SHARD_COUNT} shards"
+        );
+        assert_eq!(cache.len(), 256);
+    }
+
+    #[test]
+    fn capacity_bounds_hold_per_shard_and_in_total() {
+        let capacity = 64;
+        let cache = ShardedCache::new(Some(capacity));
+        let per_shard = capacity / SHARD_COUNT; // 4
+        for i in 0..10_000u64 {
+            cache.insert(&format!("/spray/{i}"), entry(i));
+        }
+        for s in 0..SHARD_COUNT {
+            assert!(
+                cache.shard_len(s) <= per_shard,
+                "shard {s} holds {} > {per_shard}",
+                cache.shard_len(s)
+            );
+        }
+        assert!(cache.len() <= capacity);
+        assert!(cache.len() > 0);
+    }
+
+    #[test]
+    fn recently_used_entries_survive_eviction_pressure() {
+        let cache = ShardedCache::new(Some(SHARD_COUNT * 4));
+        cache.insert("/hot", entry(0));
+        for i in 0..5_000u64 {
+            // Keep /hot recent while strangers pour into (among others)
+            // its shard.
+            let _ = cache.get("/hot");
+            cache.insert(&format!("/cold/{i}"), entry(i));
+        }
+        assert!(
+            cache.get("/hot").is_some(),
+            "constantly-touched entry was evicted"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = ShardedCache::new(Some(0));
+    }
+}

@@ -9,15 +9,26 @@
 //! polls across related objects, and the §5.1 protocol extensions on the
 //! wire.
 //!
+//! Both daemons serve their connections from a **single reactor thread**
+//! over the hand-rolled `epoll` poller in [`mutcon_sim::reactor`] —
+//! per-connection state machines instead of a thread per connection, so
+//! one process sustains hundreds of concurrent sockets (bounded by
+//! `MUTCON_LIVE_CONNS`, see [`server::max_conns`]). The proxy's cache is
+//! sharded 16 ways by key hash ([`cache::ShardedCache`]) so background
+//! refreshes don't serialize concurrent hits.
+//!
 //! Multi-day traces replay in seconds through
 //! [`mutcon_traces::transform::scale_time`]; millisecond-precise
 //! modification times travel in the `x-last-modified-ms` extension header
 //! (IMF-fixdates only resolve seconds).
 //!
-//! * [`threadpool`] — the shared worker pool (re-exported from
-//!   [`mutcon_sim::parallel`], built on `std::sync::mpsc`).
-//! * [`wire`] — blocking socket I/O for the `mutcon-http` types.
-//! * [`client`] — a minimal HTTP client (one connection per request).
+//! * [`server`] — the shared readiness-driven connection engine (event
+//!   loop, connection state machines, nonblocking upstream fetches).
+//! * [`cache`] — the 16-way sharded, recency-indexed object cache.
+//! * [`wire`] — blocking socket I/O for the `mutcon-http` types
+//!   (clients and tests; the server path is nonblocking).
+//! * [`client`] — a minimal HTTP client (one connection per request),
+//!   used by the proxy's background refresher and by load generators.
 //! * [`origin`] — the trace-replaying origin server, with fault
 //!   injection for resilience tests.
 //! * [`proxy`] — the caching proxy daemon with a background refresher
@@ -41,6 +52,7 @@
 //!     origin_addr: origin.local_addr(),
 //!     rules: vec![RefreshRule::new("/news/cnn-fn.html", Duration::from_millis(50))],
 //!     group: None,
+//!     cache_objects: None,
 //! })?;
 //! println!("proxy listening on {}", proxy.local_addr());
 //! # Ok(())
@@ -51,10 +63,11 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cache;
 pub mod client;
 pub mod origin;
 pub mod proxy;
-pub mod threadpool;
+pub mod server;
 pub mod wire;
 
 pub use origin::LiveOrigin;

@@ -6,19 +6,20 @@
 //! extension) is reported in absolute Unix-epoch milliseconds, so the
 //! proxy and origin share one timeline without clock negotiation.
 //!
-//! Fault injection ([`LiveOrigin::set_fault`]) lets tests exercise the
-//! proxy's resilience: connections can be dropped on accept or stalled
-//! before the response.
+//! Connections are served by the shared reactor engine
+//! ([`crate::server`]); there is no worker pool. Fault injection
+//! ([`LiveOrigin::set_fault`]) lets tests exercise the proxy's
+//! resilience: connections can be dropped on accept, or responses
+//! stalled ~300 ms — implemented as a *deferred* write on the event
+//! loop, so even a stalling origin keeps serving its other connections.
 
 use std::collections::HashMap;
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::{Instant, SystemTime, UNIX_EPOCH};
+use std::time::{Duration as StdDuration, Instant, SystemTime, UNIX_EPOCH};
 
-use bytes::BytesMut;
 use mutcon_core::time::Timestamp;
 use mutcon_http::extensions::set_modification_history;
 use mutcon_http::headers::HeaderName;
@@ -27,8 +28,10 @@ use mutcon_http::types::{Method, StatusCode};
 use mutcon_traces::UpdateTrace;
 
 use crate::client::X_LAST_MODIFIED_MS;
-use crate::threadpool::ThreadPool;
-use crate::wire::{read_request, write_response};
+use crate::server::{EventLoop, Service, ServiceResult};
+
+/// How long a [`Fault::Stall`] defers each response.
+const STALL: StdDuration = StdDuration::from_millis(300);
 
 /// Injectable failure modes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,7 +68,6 @@ impl Fault {
 pub struct LiveOriginBuilder {
     objects: Vec<(String, UpdateTrace)>,
     history: bool,
-    workers: usize,
 }
 
 impl LiveOriginBuilder {
@@ -81,20 +83,12 @@ impl LiveOriginBuilder {
         self
     }
 
-    /// Sets the worker-pool size (default 4).
-    pub fn workers(mut self, n: usize) -> Self {
-        self.workers = n;
-        self
-    }
-
     /// Binds a localhost listener on an ephemeral port and starts serving.
     ///
     /// # Errors
     ///
     /// Propagates socket errors.
     pub fn start(self) -> io::Result<LiveOrigin> {
-        let listener = TcpListener::bind("127.0.0.1:0")?;
-        let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             objects: self.objects.into_iter().collect(),
             epoch_unix_ms: unix_now_ms(),
@@ -103,37 +97,13 @@ impl LiveOriginBuilder {
             fault: AtomicU8::new(Fault::None.as_u8()),
             requests: AtomicU64::new(0),
         });
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let pool = ThreadPool::new(if self.workers == 0 { 4 } else { self.workers });
-
-        let accept_shared = Arc::clone(&shared);
-        let accept_shutdown = Arc::clone(&shutdown);
-        let accept = std::thread::Builder::new()
-            .name("mutcon-live-origin-accept".into())
-            .spawn(move || {
-                for conn in listener.incoming() {
-                    if accept_shutdown.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let Ok(stream) = conn else { continue };
-                    match Fault::from_u8(accept_shared.fault.load(Ordering::SeqCst)) {
-                        Fault::DropConnections => drop(stream),
-                        fault => {
-                            let shared = Arc::clone(&accept_shared);
-                            pool.execute(move || handle_connection(stream, &shared, fault));
-                        }
-                    }
-                }
-                // Dropping the pool here joins the workers.
-            })
-            .expect("spawning the accept thread");
-
-        Ok(LiveOrigin {
-            addr,
-            shared,
-            shutdown,
-            accept: Some(accept),
-        })
+        let server = EventLoop::start(
+            "mutcon-live-origin-reactor",
+            Arc::new(OriginService {
+                shared: Arc::clone(&shared),
+            }),
+        )?;
+        Ok(LiveOrigin { server, shared })
     }
 }
 
@@ -147,12 +117,10 @@ struct Shared {
     requests: AtomicU64,
 }
 
-/// A running origin server; shuts down (and joins its threads) on drop.
+/// A running origin server; shuts down (and joins its reactor) on drop.
 pub struct LiveOrigin {
-    addr: SocketAddr,
+    server: EventLoop,
     shared: Arc<Shared>,
-    shutdown: Arc<AtomicBool>,
-    accept: Option<JoinHandle<()>>,
 }
 
 impl LiveOrigin {
@@ -163,7 +131,7 @@ impl LiveOrigin {
 
     /// The bound address.
     pub fn local_addr(&self) -> SocketAddr {
-        self.addr
+        self.server.local_addr()
     }
 
     /// Requests served so far.
@@ -183,21 +151,10 @@ impl LiveOrigin {
     }
 }
 
-impl Drop for LiveOrigin {
-    fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with a dummy connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(handle) = self.accept.take() {
-            let _ = handle.join();
-        }
-    }
-}
-
 impl std::fmt::Debug for LiveOrigin {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LiveOrigin")
-            .field("addr", &self.addr)
+            .field("addr", &self.local_addr())
             .field("objects", &self.shared.objects.len())
             .finish()
     }
@@ -210,19 +167,24 @@ fn unix_now_ms() -> u64 {
         .as_millis() as u64
 }
 
-fn handle_connection(mut stream: TcpStream, shared: &Shared, fault: Fault) {
-    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(10)));
-    let _ = stream.set_write_timeout(Some(std::time::Duration::from_secs(10)));
-    let mut buf = BytesMut::new();
-    // Keep-alive loop: serve requests until the peer closes.
-    while let Ok(Some(request)) = read_request(&mut stream, &mut buf) {
-        if fault == Fault::Stall {
-            std::thread::sleep(std::time::Duration::from_millis(300));
-        }
-        shared.requests.fetch_add(1, Ordering::SeqCst);
-        let response = respond(shared, &request);
-        if write_response(&mut stream, &response).is_err() {
-            break;
+/// The request handler running on the reactor thread.
+struct OriginService {
+    shared: Arc<Shared>,
+}
+
+impl Service for OriginService {
+    fn accept_connection(&self) -> bool {
+        Fault::from_u8(self.shared.fault.load(Ordering::SeqCst)) != Fault::DropConnections
+    }
+
+    fn respond(&self, request: &Request) -> ServiceResult {
+        self.shared.requests.fetch_add(1, Ordering::SeqCst);
+        let response = respond(&self.shared, request);
+        match Fault::from_u8(self.shared.fault.load(Ordering::SeqCst)) {
+            // The stall is a deferred write on the reactor, not a sleep:
+            // other connections keep being served meanwhile.
+            Fault::Stall => ServiceResult::RespondAfter(response, STALL),
+            _ => ServiceResult::Respond(response),
         }
     }
 }
@@ -362,7 +324,7 @@ mod tests {
             assert_eq!(second.status(), StatusCode::NOT_MODIFIED);
         }
         // After waiting past several updates, a conditional GET must be 200.
-        std::thread::sleep(std::time::Duration::from_millis(200));
+        std::thread::sleep(StdDuration::from_millis(200));
         let third = client.get(origin.local_addr(), "/obj", Some(lm)).unwrap();
         assert_eq!(third.status(), StatusCode::OK);
         assert!(last_modified_ms(&third).unwrap() > lm);
@@ -378,7 +340,7 @@ mod tests {
         let client = HttpClient::new();
         let first = client.get(origin.local_addr(), "/obj", None).unwrap();
         let lm = last_modified_ms(&first).unwrap();
-        std::thread::sleep(std::time::Duration::from_millis(300));
+        std::thread::sleep(StdDuration::from_millis(300));
         let later = client.get(origin.local_addr(), "/obj", Some(lm)).unwrap();
         assert_eq!(later.status(), StatusCode::OK);
         let history =
@@ -400,7 +362,7 @@ mod tests {
         let client = HttpClient::new();
         let first = client.get(origin.local_addr(), "/s", None).unwrap();
         let lm = last_modified_ms(&first).unwrap();
-        std::thread::sleep(std::time::Duration::from_millis(100));
+        std::thread::sleep(StdDuration::from_millis(100));
         let again = client.get(origin.local_addr(), "/s", Some(lm)).unwrap();
         assert_eq!(again.status(), StatusCode::NOT_MODIFIED);
     }
@@ -412,10 +374,28 @@ mod tests {
             .start()
             .unwrap();
         origin.set_fault(Fault::DropConnections);
-        let client = HttpClient::with_timeout(std::time::Duration::from_millis(500));
+        let client = HttpClient::with_timeout(StdDuration::from_millis(500));
         assert!(client.get(origin.local_addr(), "/obj", None).is_err());
         origin.set_fault(Fault::None);
         assert!(client.get(origin.local_addr(), "/obj", None).is_ok());
+    }
+
+    #[test]
+    fn stall_fault_defers_but_still_serves() {
+        let origin = LiveOrigin::builder()
+            .object("/obj", fast_trace())
+            .start()
+            .unwrap();
+        origin.set_fault(Fault::Stall);
+        // Too impatient for the 300 ms stall.
+        let hasty = HttpClient::with_timeout(StdDuration::from_millis(100));
+        assert!(hasty.get(origin.local_addr(), "/obj", None).is_err());
+        // Patient clients get their (late) response.
+        let patient = HttpClient::with_timeout(StdDuration::from_secs(2));
+        let started = Instant::now();
+        let resp = patient.get(origin.local_addr(), "/obj", None).unwrap();
+        assert_eq!(resp.status(), StatusCode::OK);
+        assert!(started.elapsed() >= STALL, "response was not deferred");
     }
 
     #[test]

@@ -7,17 +7,23 @@
 //! the simulator. One binary-ready struct, ephemeral ports, clean
 //! shutdown on drop: the "implement it in a real proxy" future work of
 //! §7, in miniature.
+//!
+//! Connections are served by the shared readiness-driven engine
+//! ([`crate::server`]): a single reactor thread drives every client
+//! socket (and every cache-miss fetch to the origin, as its own
+//! nonblocking state machine) — there is no thread pool and no thread
+//! per connection. The cache is the 16-way sharded
+//! [`crate::cache::ShardedCache`], so the refresher's write locks stall
+//! only 1/16th of concurrent hits instead of all of them. Concurrency is
+//! bounded by `MUTCON_LIVE_CONNS` (see [`crate::server::max_conns`]).
 
 use std::collections::HashMap;
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration as StdDuration, Instant, SystemTime, UNIX_EPOCH};
-
-use bytes::{Bytes, BytesMut};
-use parking_lot::RwLock;
 
 use mutcon_core::limd::{Limd, LimdConfig, PollResult};
 use mutcon_core::mutual::temporal::{MtCoordinator, MtPolicy};
@@ -27,9 +33,9 @@ use mutcon_http::headers::HeaderName;
 use mutcon_http::message::{Request, Response};
 use mutcon_http::types::{Method, StatusCode};
 
+use crate::cache::{CacheEntry, ShardedCache};
 use crate::client::{last_modified_ms, object_value, HttpClient, X_LAST_MODIFIED_MS};
-use crate::threadpool::ThreadPool;
-use crate::wire::{read_request, write_response};
+use crate::server::{EventLoop, Service, ServiceResult};
 
 /// Consistency requirements for one cached object.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,6 +83,21 @@ pub struct ProxyConfig {
     pub rules: Vec<RefreshRule>,
     /// Optional Mt coordination across all rule paths.
     pub group: Option<GroupRule>,
+    /// Cache bound in objects (`None` = unbounded, the paper's model);
+    /// enforced per shard with LRU eviction.
+    pub cache_objects: Option<usize>,
+}
+
+impl ProxyConfig {
+    /// A configuration with no rules, no group and an unbounded cache.
+    pub fn new(origin_addr: SocketAddr) -> ProxyConfig {
+        ProxyConfig {
+            origin_addr,
+            rules: Vec::new(),
+            group: None,
+            cache_objects: None,
+        }
+    }
 }
 
 /// A snapshot of the proxy's counters.
@@ -96,14 +117,6 @@ pub struct ProxyStats {
     pub errors: u64,
 }
 
-#[derive(Debug, Clone)]
-struct CacheEntry {
-    body: Bytes,
-    last_modified: Timestamp,
-    value: Option<f64>,
-    version: Option<String>,
-}
-
 #[derive(Debug, Default)]
 struct Counters {
     polls: AtomicU64,
@@ -116,22 +129,25 @@ struct Counters {
 
 struct Shared {
     origin: SocketAddr,
-    cache: RwLock<HashMap<String, CacheEntry>>,
+    cache: ShardedCache,
     counters: Counters,
+    /// Blocking client used only by the background refresher thread
+    /// (client-facing misses go through the reactor's nonblocking
+    /// upstream path instead).
     client: HttpClient,
 }
 
 /// The running proxy; shuts down (and joins its threads) on drop.
 pub struct LiveProxy {
-    addr: SocketAddr,
+    server: EventLoop,
     shared: Arc<Shared>,
     shutdown: Arc<AtomicBool>,
-    threads: Vec<JoinHandle<()>>,
+    refresher: Option<JoinHandle<()>>,
 }
 
 impl LiveProxy {
     /// Binds a localhost listener on an ephemeral port and starts the
-    /// accept loop and the background refresher.
+    /// reactor and the background refresher.
     ///
     /// # Errors
     ///
@@ -146,64 +162,46 @@ impl LiveProxy {
                 ));
             }
         }
-        let listener = TcpListener::bind("127.0.0.1:0")?;
-        let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             origin: config.origin_addr,
-            cache: RwLock::new(HashMap::new()),
+            cache: ShardedCache::new(config.cache_objects),
             counters: Counters::default(),
             client: HttpClient::with_timeout(StdDuration::from_secs(2)),
         });
         let shutdown = Arc::new(AtomicBool::new(false));
-        let mut threads = Vec::new();
 
-        // Accept loop.
-        {
-            let shared = Arc::clone(&shared);
-            let shutdown = Arc::clone(&shutdown);
-            let pool = ThreadPool::new(4);
-            threads.push(
-                std::thread::Builder::new()
-                    .name("mutcon-live-proxy-accept".into())
-                    .spawn(move || {
-                        for conn in listener.incoming() {
-                            if shutdown.load(Ordering::SeqCst) {
-                                break;
-                            }
-                            let Ok(stream) = conn else { continue };
-                            let shared = Arc::clone(&shared);
-                            pool.execute(move || handle_client(stream, &shared));
-                        }
-                    })
-                    .expect("spawning the proxy accept thread"),
-            );
-        }
+        let server = EventLoop::start(
+            "mutcon-live-proxy-reactor",
+            Arc::new(ProxyService {
+                shared: Arc::clone(&shared),
+            }),
+        )?;
 
-        // Refresher.
-        if !config.rules.is_empty() {
+        let refresher = if config.rules.is_empty() {
+            None
+        } else {
             let shared = Arc::clone(&shared);
             let shutdown = Arc::clone(&shutdown);
             let rules = config.rules.clone();
             let group = config.group;
-            threads.push(
+            Some(
                 std::thread::Builder::new()
                     .name("mutcon-live-proxy-refresher".into())
-                    .spawn(move || refresher(&shared, &shutdown, &rules, group))
-                    .expect("spawning the refresher thread"),
-            );
-        }
+                    .spawn(move || refresher(&shared, &shutdown, &rules, group))?,
+            )
+        };
 
         Ok(LiveProxy {
-            addr,
+            server,
             shared,
             shutdown,
-            threads,
+            refresher,
         })
     }
 
     /// The bound address.
     pub fn local_addr(&self) -> SocketAddr {
-        self.addr
+        self.server.local_addr()
     }
 
     /// A snapshot of the counters.
@@ -218,24 +216,90 @@ impl LiveProxy {
             errors: c.errors.load(Ordering::SeqCst),
         }
     }
+
+    /// Number of objects currently cached (across all shards).
+    pub fn cached_objects(&self) -> usize {
+        self.shared.cache.len()
+    }
 }
 
 impl Drop for LiveProxy {
     fn drop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        let _ = TcpStream::connect(self.addr);
-        for handle in self.threads.drain(..) {
+        if let Some(handle) = self.refresher.take() {
             let _ = handle.join();
         }
+        // The EventLoop field's own Drop wakes and joins the reactor.
     }
 }
 
 impl std::fmt::Debug for LiveProxy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LiveProxy")
-            .field("addr", &self.addr)
+            .field("addr", &self.local_addr())
             .field("stats", &self.stats())
             .finish()
+    }
+}
+
+/// The request handler running on the reactor thread.
+struct ProxyService {
+    shared: Arc<Shared>,
+}
+
+impl Service for ProxyService {
+    fn respond(&self, request: &Request) -> ServiceResult {
+        if request.method() != &Method::Get {
+            return ServiceResult::Respond(
+                Response::builder(StatusCode::METHOD_NOT_ALLOWED).build(),
+            );
+        }
+        let path = request.target();
+        if path == "/__stats" {
+            let c = &self.shared.counters;
+            let body = format!(
+                "polls={}\ntriggered={}\nrefreshes={}\nhits={}\nmisses={}\nerrors={}\n",
+                c.polls.load(Ordering::SeqCst),
+                c.triggered.load(Ordering::SeqCst),
+                c.refreshes.load(Ordering::SeqCst),
+                c.hits.load(Ordering::SeqCst),
+                c.misses.load(Ordering::SeqCst),
+                c.errors.load(Ordering::SeqCst),
+            );
+            return ServiceResult::Respond(Response::ok().body(body.into_bytes()).build());
+        }
+
+        // Cache hit?
+        if let Some(entry) = self.shared.cache.get(path) {
+            self.shared.counters.hits.fetch_add(1, Ordering::SeqCst);
+            return ServiceResult::Respond(entry_response(&entry, true));
+        }
+
+        // Miss: fetch from the origin through the reactor (its own
+        // nonblocking state machine), cache, serve.
+        self.shared.counters.misses.fetch_add(1, Ordering::SeqCst);
+        let shared = Arc::clone(&self.shared);
+        let path = path.to_owned();
+        ServiceResult::Upstream {
+            addr: self.shared.origin,
+            request: Request::get(&path)
+                .host(self.shared.origin.to_string())
+                .build(),
+            finish: Box::new(move |result| match result {
+                Ok(response) if response.status() == StatusCode::OK => {
+                    match store_response(&shared, &path, &response) {
+                        Some(entry) => entry_response(&entry, false),
+                        // Origin 200 without a modification stamp: pass
+                        // through uncached.
+                        None => response,
+                    }
+                }
+                Ok(response) => response, // 404 etc. pass through
+                Err(_) => Response::builder(StatusCode::INTERNAL_SERVER_ERROR)
+                    .body(&b"origin unreachable\n"[..])
+                    .build(),
+            }),
+        }
     }
 }
 
@@ -252,8 +316,12 @@ fn std_duration(d: Duration) -> StdDuration {
     StdDuration::from_millis(d.as_millis())
 }
 
-/// Stores a 200 response in the cache; returns its modification time.
-fn store_response(shared: &Shared, path: &str, response: &Response) -> Option<Timestamp> {
+/// Stores a 200 response in the cache; returns the entry now resident —
+/// the stored one, or a strictly fresher copy that a concurrent refresh
+/// raced in first (a slow fetch must never roll the cache backwards).
+/// `None` when the response carries no modification stamp and is
+/// uncacheable.
+fn store_response(shared: &Shared, path: &str, response: &Response) -> Option<CacheEntry> {
     let lm = last_modified_ms(response)?;
     let entry = CacheEntry {
         body: response.body().clone(),
@@ -264,22 +332,27 @@ fn store_response(shared: &Shared, path: &str, response: &Response) -> Option<Ti
             .get(HeaderName::X_OBJECT_VERSION)
             .map(str::to_owned),
     };
-    shared.cache.write().insert(path.to_owned(), entry);
-    shared.counters.refreshes.fetch_add(1, Ordering::SeqCst);
-    Some(lm)
+    let resident = shared.cache.insert_if_newer(path, entry);
+    if resident.last_modified == lm {
+        shared.counters.refreshes.fetch_add(1, Ordering::SeqCst);
+    }
+    Some(resident)
 }
 
 /// One refresher poll. Returns the poll result for the adaptation layers,
 /// or `None` on a network error.
 fn poll_origin(shared: &Shared, path: &str) -> Option<PollResult> {
-    let validator = shared.cache.read().get(path).map(|e| e.last_modified);
+    let validator = shared.cache.get(path).map(|e| e.last_modified);
     shared.counters.polls.fetch_add(1, Ordering::SeqCst);
     match shared.client.get(shared.origin, path, validator) {
         Ok(response) if response.status() == StatusCode::NOT_MODIFIED => {
             Some(PollResult::NotModified)
         }
         Ok(response) if response.status() == StatusCode::OK => {
-            let lm = store_response(shared, path, &response)?;
+            // The LIMD layer observes what *this poll* saw, not what
+            // ended up resident (a concurrent fetch may be fresher).
+            let lm = last_modified_ms(&response)?;
+            store_response(shared, path, &response)?;
             let history = mutcon_http::extensions::modification_history(response.headers());
             Some(PollResult::Modified {
                 last_modified: lm,
@@ -366,61 +439,6 @@ fn refresher(
                 due.insert(path.clone(), Instant::now() + retry.max(StdDuration::from_millis(20)));
             }
         }
-    }
-}
-
-fn handle_client(mut stream: TcpStream, shared: &Shared) {
-    let _ = stream.set_read_timeout(Some(StdDuration::from_secs(10)));
-    let _ = stream.set_write_timeout(Some(StdDuration::from_secs(10)));
-    let mut buf = BytesMut::new();
-    while let Ok(Some(request)) = read_request(&mut stream, &mut buf) {
-        let response = respond(shared, &request);
-        if write_response(&mut stream, &response).is_err() {
-            break;
-        }
-    }
-}
-
-fn respond(shared: &Shared, request: &Request) -> Response {
-    if request.method() != &Method::Get {
-        return Response::builder(StatusCode::METHOD_NOT_ALLOWED).build();
-    }
-    let path = request.target();
-    if path == "/__stats" {
-        let c = &shared.counters;
-        let body = format!(
-            "polls={}\ntriggered={}\nrefreshes={}\nhits={}\nmisses={}\nerrors={}\n",
-            c.polls.load(Ordering::SeqCst),
-            c.triggered.load(Ordering::SeqCst),
-            c.refreshes.load(Ordering::SeqCst),
-            c.hits.load(Ordering::SeqCst),
-            c.misses.load(Ordering::SeqCst),
-            c.errors.load(Ordering::SeqCst),
-        );
-        return Response::ok().body(body.into_bytes()).build();
-    }
-
-    // Cache hit?
-    if let Some(entry) = shared.cache.read().get(path).cloned() {
-        shared.counters.hits.fetch_add(1, Ordering::SeqCst);
-        return entry_response(&entry, true);
-    }
-
-    // Miss: fetch from the origin, cache, serve.
-    shared.counters.misses.fetch_add(1, Ordering::SeqCst);
-    match shared.client.get(shared.origin, path, None) {
-        Ok(response) if response.status() == StatusCode::OK => {
-            store_response(shared, path, &response);
-            match shared.cache.read().get(path).cloned() {
-                Some(entry) => entry_response(&entry, false),
-                // Origin 200 without a modification stamp: pass through.
-                None => response,
-            }
-        }
-        Ok(response) => response, // 404 etc. pass through
-        Err(_) => Response::builder(StatusCode::INTERNAL_SERVER_ERROR)
-            .body(&b"origin unreachable\n"[..])
-            .build(),
     }
 }
 

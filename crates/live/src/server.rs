@@ -1,0 +1,1052 @@
+//! The readiness-driven connection engine shared by the live origin and
+//! the live proxy.
+//!
+//! One reactor thread owns a nonblocking listener plus every accepted
+//! connection and drives them all through per-connection state machines
+//! over [`mutcon_sim::reactor`]'s raw-`epoll` poller — no thread per
+//! connection, no worker pool. A connection walks this wire diagram:
+//!
+//! ```text
+//!             ┌──────────────────────────────────────────────┐
+//!             ▼                                              │ keep-alive /
+//! accept ─▶ READING ──request parsed──▶ dispatch             │ pipelined next
+//!             │                        │       │             │ request
+//!             │ EOF / parse error      │       │ Upstream    │
+//!             ▼                        ▼       ▼             │
+//!           closed                 WRITING ◀─ AWAITING ──────┤
+//!             ▲                        │      ORIGIN         │
+//!             │                        │  (nonblocking       │
+//!             └────────peer gone───────┘   connect → write   │
+//!                                          req → read resp)──┘
+//! ```
+//!
+//! *READING* feeds partial reads to the resumable
+//! [`mutcon_http::parse::RequestParser`]; a parsed request is handed to
+//! the [`Service`], which answers immediately (*WRITING*), after a delay
+//! (fault injection), or by fetching from an upstream origin — itself a
+//! state machine on a second, nonblocking socket registered with the
+//! same poller (*AWAITING ORIGIN*), so a slow origin never stalls the
+//! other connections. Responses flush incrementally under `EPOLLOUT`;
+//! when the write buffer drains the connection goes back to *READING*
+//! (already-buffered pipelined requests are served without another
+//! syscall).
+//!
+//! Concurrent-connection capacity is bounded by [`max_conns`]
+//! (`MUTCON_LIVE_CONNS`, default [`DEFAULT_MAX_CONNS`]): at the bound
+//! the listener's readiness interest is dropped, parking further clients
+//! in the kernel accept backlog until a slot frees — clients queue
+//! instead of being refused.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bytes::BytesMut;
+use mutcon_http::message::{Request, Response};
+use mutcon_http::parse::{RequestParser, ResponseParser};
+use mutcon_sim::reactor::{connect_nonblocking, Events, Interest, Poller, Waker};
+
+/// Environment variable bounding concurrent connections per event loop.
+pub const CONNS_ENV: &str = "MUTCON_LIVE_CONNS";
+
+/// Default concurrent-connection bound. Sized for "hundreds of sockets
+/// through one reactor" with headroom; raise `MUTCON_LIVE_CONNS` for
+/// load tests beyond it.
+pub const DEFAULT_MAX_CONNS: usize = 1024;
+
+/// Close connections with no traffic for this long.
+const IDLE_TIMEOUT: Duration = Duration::from_secs(30);
+/// Fail upstream fetches that make no progress for this long (matches
+/// the old blocking client's per-operation timeout ballpark).
+const UPSTREAM_TIMEOUT: Duration = Duration::from_secs(5);
+/// Stop draining a client socket while this much input is already
+/// buffered ahead of the state machine (pipelining back-pressure).
+const MAX_BUFFERED: usize = 256 * 1024;
+/// Poll-loop tick when nothing else bounds the wait (idle sweeping,
+/// shutdown responsiveness).
+const TICK: Duration = Duration::from_millis(200);
+
+const TOKEN_LISTENER: usize = 0;
+const TOKEN_WAKER: usize = 1;
+const TOKEN_BASE: usize = 2;
+
+/// Parses a `MUTCON_LIVE_CONNS`-style override.
+fn conns_from(raw: Option<&str>) -> usize {
+    raw.and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_MAX_CONNS)
+}
+
+/// The concurrent-connection bound: `MUTCON_LIVE_CONNS` if set to a
+/// positive integer, otherwise [`DEFAULT_MAX_CONNS`].
+pub fn max_conns() -> usize {
+    conns_from(std::env::var(CONNS_ENV).ok().as_deref())
+}
+
+/// Completion callback for an upstream fetch: receives the origin's
+/// response (or the I/O error) and produces the response for the waiting
+/// client.
+pub type FinishUpstream = Box<dyn FnOnce(io::Result<Response>) -> Response + Send>;
+
+/// What a [`Service`] wants done with a parsed request.
+pub enum ServiceResult {
+    /// Write this response now.
+    Respond(Response),
+    /// Write this response after a delay, without blocking the reactor
+    /// (fault injection: the origin's `Stall` mode).
+    RespondAfter(Response, Duration),
+    /// Fetch from an upstream server first; `finish` turns its response
+    /// into the client's.
+    Upstream {
+        /// Upstream address (the origin).
+        addr: SocketAddr,
+        /// Request to send upstream.
+        request: Request,
+        /// Builds the client response from the upstream outcome.
+        finish: FinishUpstream,
+    },
+    /// Drop the connection without responding.
+    Close,
+}
+
+impl std::fmt::Debug for ServiceResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ServiceResult::Respond(_) => "Respond",
+            ServiceResult::RespondAfter(..) => "RespondAfter",
+            ServiceResult::Upstream { .. } => "Upstream",
+            ServiceResult::Close => "Close",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Request handler plugged into an [`EventLoop`]. Runs on the reactor
+/// thread, so implementations must not block (upstream I/O goes through
+/// [`ServiceResult::Upstream`], delays through
+/// [`ServiceResult::RespondAfter`]).
+pub trait Service: Send + Sync + 'static {
+    /// Whether to keep a freshly accepted connection (fault injection
+    /// hooks return `false` to drop it on arrival).
+    fn accept_connection(&self) -> bool {
+        true
+    }
+
+    /// Handles one parsed request.
+    fn respond(&self, request: &Request) -> ServiceResult;
+}
+
+/// A running reactor: one thread, one listener, many connections.
+/// Shuts down (waking and joining the reactor thread) on drop.
+pub struct EventLoop {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    waker: Waker,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl EventLoop {
+    /// Binds a localhost listener on an ephemeral port and starts the
+    /// reactor thread with the [`max_conns`] connection bound.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and epoll setup failures.
+    pub fn start(name: &str, service: Arc<dyn Service>) -> io::Result<EventLoop> {
+        EventLoop::with_capacity(name, service, max_conns())
+    }
+
+    /// [`EventLoop::start`] with an explicit connection bound.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and epoll setup failures.
+    pub fn with_capacity(
+        name: &str,
+        service: Arc<dyn Service>,
+        max_conns: usize,
+    ) -> io::Result<EventLoop> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let poller = Poller::new()?;
+        let waker = Waker::new()?;
+        poller.register(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READABLE)?;
+        poller.register(waker.as_raw_fd(), TOKEN_WAKER, Interest::READABLE)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let reactor = Reactor {
+            poller,
+            listener,
+            waker: waker.clone(),
+            service,
+            shutdown: Arc::clone(&shutdown),
+            max_conns: max_conns.max(1),
+            conns: Vec::new(),
+            free: Vec::new(),
+            clients: 0,
+            accepting: true,
+            last_sweep: Instant::now(),
+            freed_this_batch: Vec::new(),
+            delayed: 0,
+        };
+        let thread = std::thread::Builder::new()
+            .name(name.to_owned())
+            .spawn(move || reactor.run())?;
+        Ok(EventLoop {
+            addr,
+            shutdown,
+            waker,
+            thread: Some(thread),
+        })
+    }
+
+    /// The listener's bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for EventLoop {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.waker.wake();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for EventLoop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventLoop").field("addr", &self.addr).finish()
+    }
+}
+
+/// What a client connection is waiting on besides socket readiness.
+enum Pending {
+    /// Nothing: reading the next request.
+    None,
+    /// An upstream fetch (slab index of the upstream connection).
+    Upstream(usize),
+    /// A deferred response (fault injection).
+    Delayed { at: Instant, response: Vec<u8> },
+}
+
+struct ClientState {
+    parser: RequestParser,
+    read_buf: BytesMut,
+    write_buf: Vec<u8>,
+    written: usize,
+    pending: Pending,
+    /// Peer sent EOF; close once the in-flight response is flushed.
+    peer_closed: bool,
+}
+
+struct UpstreamState {
+    /// Slab index of the client connection awaiting this fetch.
+    client: usize,
+    request: Vec<u8>,
+    written: usize,
+    read_buf: BytesMut,
+    parser: ResponseParser,
+    finish: Option<FinishUpstream>,
+    connected: bool,
+}
+
+enum Kind {
+    Client(ClientState),
+    Upstream(UpstreamState),
+}
+
+struct Conn {
+    stream: TcpStream,
+    interest: Interest,
+    last_activity: Instant,
+    kind: Kind,
+}
+
+struct Reactor {
+    poller: Poller,
+    listener: TcpListener,
+    waker: Waker,
+    service: Arc<dyn Service>,
+    shutdown: Arc<AtomicBool>,
+    max_conns: usize,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    /// Client connections currently open (upstream sockets don't count
+    /// against the accept bound; there is at most one per client).
+    clients: usize,
+    accepting: bool,
+    last_sweep: Instant,
+    /// Slots freed while processing the current event batch. Reuse is
+    /// deferred to the end of the batch so a stale event queued for a
+    /// closed connection's token can never be applied to a new
+    /// connection occupying the same slot (it finds `None` instead).
+    freed_this_batch: Vec<usize>,
+    /// Number of connections holding a `Pending::Delayed` response, so
+    /// the hot loop skips the timer scans entirely when (as in every
+    /// non-fault-injected run) there are none.
+    delayed: usize,
+}
+
+impl Reactor {
+    fn run(mut self) {
+        let mut events = Events::with_capacity(1024);
+        while !self.shutdown.load(Ordering::SeqCst) {
+            let timeout = self.next_timeout();
+            if self.poller.wait(&mut events, Some(timeout)).is_err() {
+                break;
+            }
+            for event in events.iter() {
+                match event.token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKER => self.waker.drain(),
+                    token => self.conn_event(token - TOKEN_BASE, event),
+                }
+            }
+            // Freed slots become reusable only once every event of the
+            // batch has been applied (see `freed_this_batch`).
+            self.free.append(&mut self.freed_this_batch);
+            self.fire_timers();
+            if self.last_sweep.elapsed() >= Duration::from_secs(1) {
+                self.sweep_idle();
+                self.last_sweep = Instant::now();
+            }
+        }
+        // Dropping the slab closes every socket.
+    }
+
+    /// The wait bound: the nearest delayed-response deadline, else the
+    /// housekeeping tick. O(1) unless fault injection has responses
+    /// actually pending.
+    fn next_timeout(&self) -> Duration {
+        if self.delayed == 0 {
+            return TICK;
+        }
+        let now = Instant::now();
+        let mut timeout = TICK;
+        for conn in self.conns.iter().flatten() {
+            if let Kind::Client(client) = &conn.kind {
+                if let Pending::Delayed { at, .. } = &client.pending {
+                    timeout = timeout.min(at.saturating_duration_since(now));
+                }
+            }
+        }
+        timeout
+    }
+
+    fn alloc_slot(&mut self) -> usize {
+        match self.free.pop() {
+            Some(idx) => idx,
+            None => {
+                self.conns.push(None);
+                self.conns.len() - 1
+            }
+        }
+    }
+
+    fn pause_accepting(&mut self) {
+        if self.accepting {
+            self.accepting = false;
+            let _ = self
+                .poller
+                .modify(self.listener.as_raw_fd(), TOKEN_LISTENER, Interest::NONE);
+        }
+    }
+
+    fn resume_accepting(&mut self) {
+        if !self.accepting && self.clients < self.max_conns {
+            self.accepting = true;
+            let _ = self.poller.modify(
+                self.listener.as_raw_fd(),
+                TOKEN_LISTENER,
+                Interest::READABLE,
+            );
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        while self.accepting {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if !self.service.accept_connection() {
+                        continue; // dropped on arrival (fault injection)
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let idx = self.alloc_slot();
+                    if self
+                        .poller
+                        .register(stream.as_raw_fd(), idx + TOKEN_BASE, Interest::READABLE)
+                        .is_err()
+                    {
+                        self.free.push(idx);
+                        continue;
+                    }
+                    self.conns[idx] = Some(Conn {
+                        stream,
+                        interest: Interest::READABLE,
+                        last_activity: Instant::now(),
+                        kind: Kind::Client(ClientState {
+                            parser: RequestParser::new(),
+                            read_buf: BytesMut::new(),
+                            write_buf: Vec::new(),
+                            written: 0,
+                            pending: Pending::None,
+                            peer_closed: false,
+                        }),
+                    });
+                    self.clients += 1;
+                    if self.clients >= self.max_conns {
+                        self.pause_accepting();
+                    }
+                }
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn conn_event(&mut self, idx: usize, event: mutcon_sim::reactor::Event) {
+        let Some(conn) = self.conns.get(idx).and_then(Option::as_ref) else {
+            return; // closed earlier in this event batch
+        };
+        match &conn.kind {
+            Kind::Client(_) => {
+                if event.closed {
+                    self.close_client(idx);
+                    return;
+                }
+                if event.writable {
+                    self.client_writable(idx);
+                }
+                if event.readable {
+                    self.client_readable(idx);
+                }
+            }
+            Kind::Upstream(_) => {
+                if event.closed {
+                    let err = self.conns[idx]
+                        .as_ref()
+                        .and_then(|c| c.stream.take_error().ok().flatten())
+                        .unwrap_or_else(|| {
+                            io::Error::new(io::ErrorKind::BrokenPipe, "origin hung up")
+                        });
+                    self.finish_upstream(idx, Err(err));
+                    return;
+                }
+                if event.writable {
+                    self.upstream_writable(idx);
+                }
+                if event.readable {
+                    self.upstream_readable(idx);
+                }
+            }
+        }
+    }
+
+    /// Drains the socket into the client's read buffer, then drives the
+    /// request/response state machine.
+    fn client_readable(&mut self, idx: usize) {
+        let Some(conn) = self.conns[idx].as_mut() else { return };
+        let Kind::Client(client) = &mut conn.kind else { return };
+        let mut saw_eof = false;
+        let mut chunk = [0u8; 16 * 1024];
+        while client.read_buf.len() < MAX_BUFFERED {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    saw_eof = true;
+                    break;
+                }
+                Ok(n) => client.read_buf.extend_from_slice(&chunk[..n]),
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_client(idx);
+                    return;
+                }
+            }
+        }
+        conn.last_activity = Instant::now();
+        client.peer_closed |= saw_eof;
+        self.resume_client(idx);
+    }
+
+    fn client_writable(&mut self, idx: usize) {
+        self.resume_client(idx);
+    }
+
+    /// The connection's resume sequence after any progress: flush
+    /// whatever response is pending, drive buffered requests to
+    /// quiescence, close a drained half-closed peer, and recompute the
+    /// epoll interest. Every event/completion path funnels through
+    /// here.
+    fn resume_client(&mut self, idx: usize) {
+        if !self.flush_client(idx) {
+            return;
+        }
+        if !self.drive_client(idx) {
+            return;
+        }
+        // EOF with nothing left to serve (idle keep-alive close, or a
+        // truncated request that can never complete): close now.
+        if self.close_if_finished(idx) {
+            return;
+        }
+        self.update_client_interest(idx);
+    }
+
+    /// Parses and dispatches buffered requests while the connection has
+    /// no response in flight. Returns `false` if the connection was
+    /// closed.
+    fn drive_client(&mut self, idx: usize) -> bool {
+        loop {
+            let Some(conn) = self.conns[idx].as_mut() else { return false };
+            let Kind::Client(client) = &mut conn.kind else { return false };
+            if !client.write_buf.is_empty() || !matches!(client.pending, Pending::None) {
+                return true; // busy; pipelined requests wait their turn
+            }
+            let (request, consumed) = match client.parser.advance(&client.read_buf) {
+                Ok(Some(parsed)) => parsed,
+                Ok(None) => return true,
+                Err(_) => {
+                    // The bytes can never become a request; the
+                    // connection is beyond saving.
+                    self.close_client(idx);
+                    return false;
+                }
+            };
+            let _ = client.read_buf.split_to(consumed);
+            match self.service.respond(&request) {
+                ServiceResult::Respond(response) => {
+                    let Some(conn) = self.conns[idx].as_mut() else { return false };
+                    let Kind::Client(client) = &mut conn.kind else { return false };
+                    client.write_buf = response.to_bytes();
+                    client.written = 0;
+                    if !self.flush_client(idx) {
+                        return false;
+                    }
+                }
+                ServiceResult::RespondAfter(response, delay) => {
+                    let Some(conn) = self.conns[idx].as_mut() else { return false };
+                    let Kind::Client(client) = &mut conn.kind else { return false };
+                    client.pending = Pending::Delayed {
+                        at: Instant::now() + delay,
+                        response: response.to_bytes(),
+                    };
+                    self.delayed += 1;
+                    return true;
+                }
+                ServiceResult::Upstream {
+                    addr,
+                    request,
+                    finish,
+                } => {
+                    if self.open_upstream(idx, addr, &request, finish) {
+                        // Fetch in flight; the upstream completion
+                        // resumes this connection.
+                        return !matches!(self.conns.get(idx), None | Some(None));
+                    }
+                    // The fetch failed synchronously and its error
+                    // response is already queued: flush and keep
+                    // driving iteratively (recursing here would nest
+                    // one stack frame per buffered request).
+                    if !self.flush_client(idx) {
+                        return false;
+                    }
+                }
+                ServiceResult::Close => {
+                    self.close_client(idx);
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// Writes as much of the pending response as the socket accepts.
+    /// Returns `false` if the connection was closed.
+    fn flush_client(&mut self, idx: usize) -> bool {
+        let Some(conn) = self.conns[idx].as_mut() else { return false };
+        let Kind::Client(client) = &mut conn.kind else { return false };
+        while client.written < client.write_buf.len() {
+            match conn.stream.write(&client.write_buf[client.written..]) {
+                Ok(0) => {
+                    self.close_client(idx);
+                    return false;
+                }
+                Ok(n) => client.written += n,
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+                Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_client(idx);
+                    return false;
+                }
+            }
+        }
+        if !client.write_buf.is_empty() {
+            client.write_buf = Vec::new();
+            client.written = 0;
+            conn.last_activity = Instant::now();
+            // A half-closed peer may still have pipelined requests
+            // buffered in read_buf; closing is decided centrally in
+            // [`Reactor::close_if_finished`] once everything parseable
+            // has been served.
+        }
+        true
+    }
+
+    /// Closes a half-closed connection once nothing more can be served:
+    /// the peer sent EOF, no response is in flight or owed, and (because
+    /// [`Reactor::drive_client`] ran to quiescence first) no complete
+    /// request remains buffered. Returns `true` if it closed.
+    fn close_if_finished(&mut self, idx: usize) -> bool {
+        let Some(conn) = self.conns[idx].as_ref() else { return true };
+        let Kind::Client(client) = &conn.kind else { return false };
+        if client.peer_closed
+            && client.write_buf.is_empty()
+            && matches!(client.pending, Pending::None)
+        {
+            self.close_client(idx);
+            return true;
+        }
+        false
+    }
+
+    /// Recomputes and applies the client's epoll interest from its state.
+    fn update_client_interest(&mut self, idx: usize) {
+        let Some(conn) = self.conns[idx].as_mut() else { return };
+        let Kind::Client(client) = &conn.kind else { return };
+        let interest = if client.written < client.write_buf.len() {
+            Interest::WRITABLE
+        } else if !matches!(client.pending, Pending::None) {
+            Interest::NONE // response owed; nothing to read or write yet
+        } else if client.read_buf.len() >= MAX_BUFFERED {
+            Interest::NONE // pipelining back-pressure
+        } else {
+            Interest::READABLE
+        };
+        if interest != conn.interest {
+            conn.interest = interest;
+            let _ = self
+                .poller
+                .modify(conn.stream.as_raw_fd(), idx + TOKEN_BASE, interest);
+        }
+    }
+
+    /// Queues a response on a client without driving the connection
+    /// further (the caller decides when to flush/resume).
+    fn queue_response(&mut self, idx: usize, response: Response) {
+        let Some(conn) = self.conns[idx].as_mut() else { return };
+        let Kind::Client(client) = &mut conn.kind else { return };
+        client.pending = Pending::None;
+        client.write_buf = response.to_bytes();
+        client.written = 0;
+    }
+
+    /// Starts a nonblocking upstream fetch on behalf of client `idx`.
+    /// Returns `false` if the fetch failed synchronously — the error
+    /// response is then already queued on the client, NOT flushed, so
+    /// the caller ([`Reactor::drive_client`]) continues iteratively
+    /// instead of recursing one frame per buffered request.
+    fn open_upstream(
+        &mut self,
+        client_idx: usize,
+        addr: SocketAddr,
+        request: &Request,
+        finish: FinishUpstream,
+    ) -> bool {
+        let stream = match connect_nonblocking(addr) {
+            Ok(stream) => stream,
+            Err(e) => {
+                self.queue_response(client_idx, finish(Err(e)));
+                return false;
+            }
+        };
+        let idx = self.alloc_slot();
+        if self
+            .poller
+            .register(stream.as_raw_fd(), idx + TOKEN_BASE, Interest::WRITABLE)
+            .is_err()
+        {
+            self.free.push(idx);
+            let err = io::Error::new(io::ErrorKind::Other, "cannot register upstream socket");
+            self.queue_response(client_idx, finish(Err(err)));
+            return false;
+        }
+        self.conns[idx] = Some(Conn {
+            stream,
+            interest: Interest::WRITABLE,
+            last_activity: Instant::now(),
+            kind: Kind::Upstream(UpstreamState {
+                client: client_idx,
+                request: request.to_bytes(),
+                written: 0,
+                read_buf: BytesMut::new(),
+                parser: ResponseParser::new(),
+                finish: Some(finish),
+                connected: false,
+            }),
+        });
+        if let Some(conn) = self.conns[client_idx].as_mut() {
+            if let Kind::Client(client) = &mut conn.kind {
+                client.pending = Pending::Upstream(idx);
+            }
+        }
+        true
+    }
+
+    fn upstream_writable(&mut self, idx: usize) {
+        let Some(conn) = self.conns[idx].as_mut() else { return };
+        let Kind::Upstream(upstream) = &mut conn.kind else { return };
+        if !upstream.connected {
+            // Writability concludes the nonblocking connect; SO_ERROR
+            // says how it went.
+            match conn.stream.take_error() {
+                Ok(None) => upstream.connected = true,
+                Ok(Some(e)) | Err(e) => {
+                    self.finish_upstream(idx, Err(e));
+                    return;
+                }
+            }
+        }
+        while upstream.written < upstream.request.len() {
+            match conn.stream.write(&upstream.request[upstream.written..]) {
+                Ok(0) => {
+                    let err = io::Error::new(io::ErrorKind::WriteZero, "origin closed mid-request");
+                    self.finish_upstream(idx, Err(err));
+                    return;
+                }
+                Ok(n) => upstream.written += n,
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    self.finish_upstream(idx, Err(e));
+                    return;
+                }
+            }
+        }
+        conn.last_activity = Instant::now();
+        conn.interest = Interest::READABLE;
+        let _ = self
+            .poller
+            .modify(conn.stream.as_raw_fd(), idx + TOKEN_BASE, Interest::READABLE);
+    }
+
+    fn upstream_readable(&mut self, idx: usize) {
+        let Some(conn) = self.conns[idx].as_mut() else { return };
+        let Kind::Upstream(upstream) = &mut conn.kind else { return };
+        let mut saw_eof = false;
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    saw_eof = true;
+                    break;
+                }
+                Ok(n) => upstream.read_buf.extend_from_slice(&chunk[..n]),
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    self.finish_upstream(idx, Err(e));
+                    return;
+                }
+            }
+        }
+        conn.last_activity = Instant::now();
+        match upstream.parser.advance(&upstream.read_buf) {
+            Ok(Some((response, _consumed))) => {
+                self.finish_upstream(idx, Ok(response));
+            }
+            Ok(None) if saw_eof => {
+                let err = io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "origin closed mid-response",
+                );
+                self.finish_upstream(idx, Err(err));
+            }
+            Ok(None) => {}
+            Err(e) => {
+                let err = io::Error::new(io::ErrorKind::InvalidData, e);
+                self.finish_upstream(idx, Err(err));
+            }
+        }
+    }
+
+    /// Tears down the upstream connection and hands its outcome to the
+    /// waiting client.
+    fn finish_upstream(&mut self, idx: usize, result: io::Result<Response>) {
+        let Some(mut conn) = self.conns[idx].take() else { return };
+        self.freed_this_batch.push(idx);
+        let Kind::Upstream(upstream) = &mut conn.kind else { return };
+        let client_idx = upstream.client;
+        let finish = upstream.finish.take().expect("finish consumed once");
+        drop(conn); // closes the socket (and its epoll registration)
+        self.complete_client(client_idx, finish(result));
+    }
+
+    /// Delivers an asynchronously produced response (upstream
+    /// completion) to a client and resumes the connection.
+    fn complete_client(&mut self, idx: usize, response: Response) {
+        if self.conns[idx].is_none() {
+            return; // client gone; drop the response
+        }
+        self.queue_response(idx, response);
+        self.resume_client(idx);
+    }
+
+    /// Fires due delayed responses.
+    fn fire_timers(&mut self) {
+        if self.delayed == 0 {
+            return;
+        }
+        let now = Instant::now();
+        let due: Vec<usize> = self
+            .conns
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, conn)| {
+                let conn = conn.as_ref()?;
+                match &conn.kind {
+                    Kind::Client(ClientState {
+                        pending: Pending::Delayed { at, .. },
+                        ..
+                    }) if *at <= now => Some(idx),
+                    _ => None,
+                }
+            })
+            .collect();
+        for idx in due {
+            let Some(conn) = self.conns[idx].as_mut() else { continue };
+            let Kind::Client(client) = &mut conn.kind else { continue };
+            let Pending::Delayed { response, .. } =
+                std::mem::replace(&mut client.pending, Pending::None)
+            else {
+                continue;
+            };
+            self.delayed -= 1;
+            client.write_buf = response;
+            client.written = 0;
+            self.resume_client(idx);
+        }
+    }
+
+    /// Closes connections that have made no progress in a long time.
+    fn sweep_idle(&mut self) {
+        let now = Instant::now();
+        let stale: Vec<(usize, bool)> = self
+            .conns
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, conn)| {
+                let conn = conn.as_ref()?;
+                let idle = now.duration_since(conn.last_activity);
+                match &conn.kind {
+                    Kind::Client(_) if idle > IDLE_TIMEOUT => Some((idx, false)),
+                    Kind::Upstream(_) if idle > UPSTREAM_TIMEOUT => Some((idx, true)),
+                    _ => None,
+                }
+            })
+            .collect();
+        for (idx, is_upstream) in stale {
+            if is_upstream {
+                let err = io::Error::new(io::ErrorKind::TimedOut, "origin fetch timed out");
+                self.finish_upstream(idx, Err(err));
+            } else {
+                self.close_client(idx);
+            }
+        }
+    }
+
+    /// Closes a client connection and any upstream fetch it owns.
+    fn close_client(&mut self, idx: usize) {
+        let Some(conn) = self.conns[idx].take() else { return };
+        self.freed_this_batch.push(idx);
+        if let Kind::Client(client) = &conn.kind {
+            self.clients -= 1;
+            match client.pending {
+                Pending::Upstream(upstream_idx) => {
+                    // The response has nobody to go to; abandon the fetch.
+                    if let Some(up) = self.conns[upstream_idx].take() {
+                        drop(up);
+                        self.freed_this_batch.push(upstream_idx);
+                    }
+                }
+                Pending::Delayed { .. } => self.delayed -= 1,
+                Pending::None => {}
+            }
+        }
+        drop(conn);
+        self.resume_accepting();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{read_response, write_request};
+    use mutcon_http::types::{Method, StatusCode};
+
+    struct Echo;
+    impl Service for Echo {
+        fn respond(&self, request: &Request) -> ServiceResult {
+            if request.method() != &Method::Get {
+                return ServiceResult::Close;
+            }
+            ServiceResult::Respond(
+                Response::ok()
+                    .body(request.target().as_bytes().to_vec())
+                    .build(),
+            )
+        }
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> io::Result<Response> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+        write_request(&mut stream, &Request::get(path).build())?;
+        let mut buf = BytesMut::new();
+        read_response(&mut stream, &mut buf)
+    }
+
+    #[test]
+    fn serves_requests_and_keep_alive() {
+        let server = EventLoop::start("test-echo", Arc::new(Echo)).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut buf = BytesMut::new();
+        for i in 0..3 {
+            let path = format!("/ping/{i}");
+            write_request(&mut stream, &Request::get(&path).build()).unwrap();
+            let resp = read_response(&mut stream, &mut buf).unwrap();
+            assert_eq!(resp.status(), StatusCode::OK);
+            assert_eq!(&resp.body()[..], path.as_bytes());
+        }
+    }
+
+    #[test]
+    fn serves_pipelined_requests_in_order() {
+        let server = EventLoop::start("test-pipeline", Arc::new(Echo)).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        // Two requests in one write; responses must come back in order.
+        let mut wire = Request::get("/first").build().to_bytes();
+        wire.extend(Request::get("/second").build().to_bytes());
+        stream.write_all(&wire).unwrap();
+        let mut buf = BytesMut::new();
+        let first = read_response(&mut stream, &mut buf).unwrap();
+        let second = read_response(&mut stream, &mut buf).unwrap();
+        assert_eq!(&first.body()[..], b"/first");
+        assert_eq!(&second.body()[..], b"/second");
+    }
+
+    #[test]
+    fn delayed_responses_do_not_block_other_connections() {
+        struct Sleepy;
+        impl Service for Sleepy {
+            fn respond(&self, request: &Request) -> ServiceResult {
+                if request.target() == "/slow" {
+                    ServiceResult::RespondAfter(
+                        Response::ok().body(&b"slow"[..]).build(),
+                        Duration::from_millis(300),
+                    )
+                } else {
+                    ServiceResult::Respond(Response::ok().body(&b"fast"[..]).build())
+                }
+            }
+        }
+        let server = EventLoop::start("test-sleepy", Arc::new(Sleepy)).unwrap();
+
+        let mut slow = TcpStream::connect(server.local_addr()).unwrap();
+        slow.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write_request(&mut slow, &Request::get("/slow").build()).unwrap();
+
+        // While the slow response is pending, a fast one must complete.
+        let started = Instant::now();
+        let fast = get(server.local_addr(), "/fast").unwrap();
+        assert_eq!(&fast.body()[..], b"fast");
+        assert!(
+            started.elapsed() < Duration::from_millis(250),
+            "fast request was stalled behind the delayed one"
+        );
+
+        let mut buf = BytesMut::new();
+        let resp = read_response(&mut slow, &mut buf).unwrap();
+        assert_eq!(&resp.body()[..], b"slow");
+    }
+
+    #[test]
+    fn connection_bound_parks_clients_in_backlog() {
+        let server = EventLoop::with_capacity("test-bound", Arc::new(Echo), 2).unwrap();
+        // Fill both slots with idle keep-alive connections.
+        let _a = TcpStream::connect(server.local_addr()).unwrap();
+        let _b = TcpStream::connect(server.local_addr()).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        // A third client connects (kernel backlog) but is not served
+        // until a slot frees.
+        let mut c = TcpStream::connect(server.local_addr()).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write_request(&mut c, &Request::get("/queued").build()).unwrap();
+        drop(_a); // free a slot
+        let mut buf = BytesMut::new();
+        let resp = read_response(&mut c, &mut buf).unwrap();
+        assert_eq!(&resp.body()[..], b"/queued");
+    }
+
+    #[test]
+    fn half_closed_peer_still_gets_all_pipelined_responses() {
+        // Write two requests, shut down the write side, then read: both
+        // responses must arrive before the server closes.
+        let server = EventLoop::start("test-half-close", Arc::new(Echo)).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut wire = Request::get("/one").build().to_bytes();
+        wire.extend(Request::get("/two").build().to_bytes());
+        stream.write_all(&wire).unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut buf = BytesMut::new();
+        let first = read_response(&mut stream, &mut buf).unwrap();
+        let second = read_response(&mut stream, &mut buf).unwrap();
+        assert_eq!(&first.body()[..], b"/one");
+        assert_eq!(&second.body()[..], b"/two");
+        // And then the server closes the drained connection.
+        let mut rest = Vec::new();
+        assert_eq!(stream.read_to_end(&mut rest).unwrap(), 0);
+    }
+
+    #[test]
+    fn malformed_input_closes_the_connection() {
+        let server = EventLoop::start("test-garbage", Arc::new(Echo)).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        stream.write_all(b"definitely not http\r\n\r\n").unwrap();
+        let mut sink = Vec::new();
+        let n = stream.read_to_end(&mut sink).unwrap();
+        assert_eq!(n, 0, "server must close without a response");
+    }
+
+    #[test]
+    fn conns_env_parsing() {
+        assert_eq!(conns_from(None), DEFAULT_MAX_CONNS);
+        assert_eq!(conns_from(Some("64")), 64);
+        assert_eq!(conns_from(Some(" 2048 ")), 2048);
+        assert_eq!(conns_from(Some("0")), DEFAULT_MAX_CONNS);
+        assert_eq!(conns_from(Some("junk")), DEFAULT_MAX_CONNS);
+    }
+}

@@ -1,15 +1,17 @@
 //! Blocking socket I/O for `mutcon-http` messages.
 //!
-//! Reads accumulate into a `BytesMut` and re-run the incremental parser
+//! Reads accumulate into a `BytesMut` and drive the resumable parser
 //! until a complete message (or EOF/error) arrives; writes serialize and
-//! flush in one call.
+//! flush in one call. The reactor-driven server ([`crate::server`]) uses
+//! the same parsers nonblockingly; these helpers remain for clients
+//! (the refresher, tests, load generators) where blocking is fine.
 
 use std::io::{self, Read, Write};
 
 use bytes::BytesMut;
 
 use mutcon_http::message::{Request, Response};
-use mutcon_http::parse::{parse_request, parse_response, ParseError};
+use mutcon_http::parse::{ParseError, RequestParser, ResponseParser};
 
 /// Converts a parse failure into an I/O error (the connection is beyond
 /// saving either way).
@@ -25,8 +27,9 @@ fn parse_io_error(e: ParseError) -> io::Error {
 /// I/O errors, malformed messages ([`io::ErrorKind::InvalidData`]), or an
 /// EOF in the middle of a message ([`io::ErrorKind::UnexpectedEof`]).
 pub fn read_request(stream: &mut impl Read, buf: &mut BytesMut) -> io::Result<Option<Request>> {
+    let mut parser = RequestParser::new();
     loop {
-        if let Some((req, consumed)) = parse_request(buf).map_err(parse_io_error)? {
+        if let Some((req, consumed)) = parser.advance(buf).map_err(parse_io_error)? {
             let _ = buf.split_to(consumed);
             return Ok(Some(req));
         }
@@ -52,8 +55,9 @@ pub fn read_request(stream: &mut impl Read, buf: &mut BytesMut) -> io::Result<Op
 ///
 /// I/O errors, malformed messages, or EOF before a complete response.
 pub fn read_response(stream: &mut impl Read, buf: &mut BytesMut) -> io::Result<Response> {
+    let mut parser = ResponseParser::new();
     loop {
-        if let Some((resp, consumed)) = parse_response(buf).map_err(parse_io_error)? {
+        if let Some((resp, consumed)) = parser.advance(buf).map_err(parse_io_error)? {
             let _ = buf.split_to(consumed);
             return Ok(resp);
         }

@@ -46,6 +46,7 @@ fn proxy_keeps_cached_object_fresh() {
         origin_addr: origin.local_addr(),
         rules: vec![RefreshRule::new("/fast", Duration::from_millis(120))],
         group: None,
+        cache_objects: None,
     })
     .unwrap();
 
@@ -87,6 +88,7 @@ fn limd_backs_off_for_static_objects() {
         rules: vec![RefreshRule::new("/static", Duration::from_millis(50))
             .ttr_max(Duration::from_millis(400))],
         group: None,
+        cache_objects: None,
     })
     .unwrap();
 
@@ -118,6 +120,7 @@ fn triggered_polls_keep_related_objects_in_step() {
             delta: Duration::from_millis(30),
             policy: MtPolicy::TriggeredPolls,
         }),
+        cache_objects: None,
     })
     .unwrap();
 
@@ -151,6 +154,7 @@ fn proxy_survives_origin_faults() {
         origin_addr: origin.local_addr(),
         rules: vec![RefreshRule::new("/fast", Duration::from_millis(100))],
         group: None,
+        cache_objects: None,
     })
     .unwrap();
     let client = HttpClient::new();
@@ -193,6 +197,7 @@ fn stats_endpoint_and_miss_path() {
         origin_addr: origin.local_addr(),
         rules: vec![], // no refresher: every first access is a miss
         group: None,
+        cache_objects: None,
     })
     .unwrap();
     let client = HttpClient::new();

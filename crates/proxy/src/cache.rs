@@ -5,12 +5,183 @@
 //! (version stamp, value, fetch time) and to answer the cache-hit path.
 //! An optional capacity bound with LRU eviction is provided for
 //! experiments beyond the paper.
+//!
+//! The bounded-LRU machinery — a hash table paired with a
+//! `BTreeSet<(used, key)>` recency index giving O(log n) eviction — is
+//! factored out as the generic [`LruMap`] so other caches (notably the
+//! live proxy's sharded cache in `mutcon-live`) reuse the same indexed
+//! implementation instead of growing their own scan-based one.
 
+use std::borrow::Borrow;
 use std::collections::{BTreeSet, HashMap};
+use std::hash::Hash;
 
 use mutcon_core::object::{ObjectId, VersionStamp};
 use mutcon_core::time::Timestamp;
 use mutcon_core::value::Value;
+
+/// One stored value plus its recency key.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Slot<V, U> {
+    value: V,
+    used: U,
+}
+
+/// A map with optional capacity bound and least-recently-used eviction.
+///
+/// Recency is indexed by a `BTreeSet<(used, key)>` kept in lock-step with
+/// the entry table, so eviction is O(log n) — no scans, no per-comparison
+/// key clones. The recency key `U` is supplied by the caller on every
+/// insert/touch (a virtual-time [`Timestamp`] for the simulator, a
+/// monotonic sequence number for the live daemons), and ties on `used`
+/// evict the smallest key in `K`'s order — for string-like keys, the
+/// lexicographically smallest. When no capacity bound is set the recency
+/// index is not maintained at all (the unbounded paper model pays
+/// nothing).
+#[derive(Debug, Clone)]
+pub struct LruMap<K, V, U = Timestamp> {
+    entries: HashMap<K, Slot<V, U>>,
+    /// `(used, key)` pairs, one per entry; only maintained when a
+    /// capacity bound is set.
+    recency: BTreeSet<(U, K)>,
+    capacity: Option<usize>,
+}
+
+// Hand-written so `Default` does not demand it of K/V/U (the derive
+// would), matching `HashMap`/`BTreeSet`.
+impl<K, V, U> Default for LruMap<K, V, U> {
+    fn default() -> Self {
+        LruMap {
+            entries: HashMap::new(),
+            recency: BTreeSet::new(),
+            capacity: None,
+        }
+    }
+}
+
+impl<K, V, U> LruMap<K, V, U>
+where
+    K: Ord + Hash + Eq + Clone,
+    U: Ord + Copy,
+{
+    /// An unbounded map: nothing is ever evicted.
+    pub fn unbounded() -> Self {
+        LruMap {
+            entries: HashMap::new(),
+            recency: BTreeSet::new(),
+            capacity: None,
+        }
+    }
+
+    /// A map holding at most `capacity` entries, evicting the least
+    /// recently used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        LruMap {
+            capacity: Some(capacity),
+            ..LruMap::unbounded()
+        }
+    }
+
+    /// The capacity bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up without refreshing recency.
+    pub fn get<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.entries.get(key).map(|slot| &slot.value)
+    }
+
+    /// Looks up and marks the entry as used at `now`.
+    pub fn touch<Q>(&mut self, key: &Q, now: U) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        if self.capacity.is_some() {
+            let (stored_key, slot) = self.entries.get_key_value(key)?;
+            if slot.used != now {
+                let old = (slot.used, stored_key.clone());
+                self.recency.remove(&old);
+                self.recency.insert((now, old.1));
+            }
+        }
+        let slot = self.entries.get_mut(key)?;
+        slot.used = now;
+        Some(&slot.value)
+    }
+
+    /// Inserts (or replaces) an entry used at `now`. When a capacity
+    /// bound is set and would be exceeded, the least-recently-used
+    /// *existing* entry is evicted first (a fresh insert never evicts
+    /// itself, even if `now` orders before every resident entry) and
+    /// returned.
+    pub fn insert(&mut self, key: K, value: V, now: U) -> Option<(K, V)> {
+        let slot = Slot { value, used: now };
+        let Some(cap) = self.capacity else {
+            self.entries.insert(key, slot);
+            return None;
+        };
+        let mut evicted = None;
+        match self.entries.insert(key.clone(), slot) {
+            Some(old) => {
+                // Replacement: re-key the existing recency slot.
+                self.recency.remove(&(old.used, key.clone()));
+            }
+            None => {
+                if self.entries.len() > cap {
+                    // The LRU victim sits at the front of the ordered
+                    // recency index: one O(log n) pop, no scan.
+                    let victim = self
+                        .recency
+                        .pop_first()
+                        .expect("bounded map over capacity has a recency entry");
+                    let value = self
+                        .entries
+                        .remove(&victim.1)
+                        .expect("recency index entry is resident");
+                    evicted = Some((victim.1, value.value));
+                }
+            }
+        }
+        self.recency.insert((now, key));
+        evicted
+    }
+
+    /// Removes an entry.
+    pub fn remove<Q>(&mut self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let (stored_key, _) = self.entries.get_key_value(key)?;
+        let stored_key = stored_key.clone();
+        let slot = self.entries.remove(key)?;
+        if self.capacity.is_some() {
+            self.recency.remove(&(slot.used, stored_key));
+        }
+        Some(slot.value)
+    }
+}
 
 /// One cached copy.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -22,27 +193,15 @@ pub struct CachedEntry {
     pub value: Option<Value>,
     /// When the proxy fetched this copy.
     pub fetched_at: Timestamp,
-    /// Last access (hit or refresh), for LRU.
-    last_used: Timestamp,
 }
 
 /// The proxy cache: unbounded by default (the paper's model), optionally
-/// capacity-limited with LRU eviction.
-///
-/// Recency is indexed by a `BTreeSet<(last_used, id)>` kept in lock-step
-/// with the entry table, so eviction is O(log n) — the previous
-/// implementation scanned every entry and cloned every key per
-/// comparison. Ties on `last_used` evict the lexicographically smallest
-/// id, exactly like the old scan's `(last_used, id)` ordering, so
-/// eviction order is unchanged. (`ObjectId` is an `Arc<str>`, so the one
-/// clone per insert/touch is a reference-count bump, not a string copy.)
+/// capacity-limited with LRU eviction — a thin hit/miss-counting layer
+/// over [`LruMap`]. (`ObjectId` is an `Arc<str>`, so the one key clone
+/// per insert/touch is a reference-count bump, not a string copy.)
 #[derive(Debug, Clone, Default)]
 pub struct ProxyCache {
-    entries: HashMap<ObjectId, CachedEntry>,
-    /// `(last_used, id)` pairs, one per entry; only maintained when a
-    /// capacity bound is set (the unbounded paper model pays nothing).
-    recency: BTreeSet<(Timestamp, ObjectId)>,
-    capacity: Option<usize>,
+    map: LruMap<ObjectId, CachedEntry, Timestamp>,
     hits: u64,
     misses: u64,
 }
@@ -60,21 +219,20 @@ impl ProxyCache {
     ///
     /// Panics if `capacity` is zero.
     pub fn with_capacity(capacity: usize) -> Self {
-        assert!(capacity > 0, "cache capacity must be positive");
         ProxyCache {
-            capacity: Some(capacity),
+            map: LruMap::with_capacity(capacity),
             ..Default::default()
         }
     }
 
     /// Number of cached objects.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.map.len()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.map.is_empty()
     }
 
     /// Cache hits served so far.
@@ -90,15 +248,10 @@ impl ProxyCache {
     /// Looks up an object for a client request at `now`, counting
     /// hit/miss statistics and refreshing LRU recency.
     pub fn lookup(&mut self, id: &ObjectId, now: Timestamp) -> Option<&CachedEntry> {
-        match self.entries.get_mut(id) {
+        match self.map.touch(id, now) {
             Some(entry) => {
-                if self.capacity.is_some() && entry.last_used != now {
-                    self.recency.remove(&(entry.last_used, id.clone()));
-                    self.recency.insert((now, id.clone()));
-                }
-                entry.last_used = now;
                 self.hits += 1;
-                Some(&*entry)
+                Some(entry)
             }
             None => {
                 self.misses += 1;
@@ -110,7 +263,7 @@ impl ProxyCache {
     /// Peeks without touching statistics or recency (used by the
     /// consistency machinery, which is not a client access).
     pub fn peek(&self, id: &ObjectId) -> Option<&CachedEntry> {
-        self.entries.get(id)
+        self.map.get(id)
     }
 
     /// Stores (or replaces) the copy fetched at `now`. Evicts the LRU
@@ -126,41 +279,13 @@ impl ProxyCache {
             stamp,
             value,
             fetched_at: now,
-            last_used: now,
         };
-        let Some(cap) = self.capacity else {
-            self.entries.insert(id, entry);
-            return;
-        };
-        match self.entries.insert(id.clone(), entry) {
-            Some(old) => {
-                // Refresh of an existing entry: re-key its recency slot.
-                self.recency.remove(&(old.last_used, id.clone()));
-            }
-            None => {
-                if self.entries.len() > cap {
-                    // The LRU victim sits at the front of the ordered
-                    // recency index: one O(log n) pop, no scan.
-                    let victim = self
-                        .recency
-                        .pop_first()
-                        .expect("bounded cache over capacity has a recency entry");
-                    self.entries.remove(&victim.1);
-                }
-            }
-        }
-        self.recency.insert((now, id));
+        self.map.insert(id, entry, now);
     }
 
     /// Drops an entry (used by failure-injection tests).
     pub fn evict(&mut self, id: &ObjectId) -> Option<CachedEntry> {
-        let removed = self.entries.remove(id);
-        if self.capacity.is_some() {
-            if let Some(entry) = &removed {
-                self.recency.remove(&(entry.last_used, id.clone()));
-            }
-        }
-        removed
+        self.map.remove(id)
     }
 }
 
@@ -297,5 +422,61 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = ProxyCache::with_capacity(0);
+    }
+
+    #[test]
+    fn lru_map_generic_over_string_keys_and_sequence_clock() {
+        // The live proxy's shard configuration: String keys, u64 ticks.
+        let mut m: LruMap<String, u32, u64> = LruMap::with_capacity(2);
+        assert_eq!(m.insert("/a".to_owned(), 1, 0), None);
+        assert_eq!(m.insert("/b".to_owned(), 2, 1), None);
+        // Borrowed lookups: no owned key needed.
+        assert_eq!(m.get("/a"), Some(&1));
+        assert_eq!(m.touch("/a", 2), Some(&1));
+        let evicted = m.insert("/c".to_owned(), 3, 3);
+        assert_eq!(evicted, Some(("/b".to_owned(), 2)));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.capacity(), Some(2));
+        assert!(m.get("/b").is_none());
+        assert_eq!(m.remove("/a"), Some(1));
+        assert_eq!(m.remove("/a"), None);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn lru_map_fresh_insert_never_evicts_itself() {
+        // An insert whose recency key orders before every resident entry
+        // must evict the resident LRU, not the entry being inserted.
+        let mut m: LruMap<String, u32, u64> = LruMap::with_capacity(2);
+        m.insert("/x".to_owned(), 1, 10);
+        m.insert("/y".to_owned(), 2, 20);
+        let evicted = m.insert("/old".to_owned(), 3, 0);
+        assert_eq!(evicted, Some(("/x".to_owned(), 1)));
+        assert!(m.get("/old").is_some());
+    }
+
+    #[test]
+    fn lru_map_replacement_rekeys_without_eviction() {
+        let mut m: LruMap<String, u32, u64> = LruMap::with_capacity(2);
+        m.insert("/a".to_owned(), 1, 0);
+        m.insert("/b".to_owned(), 2, 1);
+        // Replacing a resident key must not evict anything.
+        assert_eq!(m.insert("/a".to_owned(), 10, 2), None);
+        assert_eq!(m.len(), 2);
+        // /b is now LRU.
+        assert_eq!(m.insert("/c".to_owned(), 3, 3), Some(("/b".to_owned(), 2)));
+    }
+
+    #[test]
+    fn lru_map_unbounded_skips_recency_maintenance() {
+        let mut m: LruMap<String, u32, u64> = LruMap::unbounded();
+        for i in 0..100u32 {
+            m.insert(format!("/{i}"), i, 0); // identical recency keys: fine
+        }
+        assert_eq!(m.len(), 100);
+        assert_eq!(m.capacity(), None);
+        assert_eq!(m.touch("/7", 1), Some(&7));
+        assert_eq!(m.remove("/7"), Some(7));
+        assert_eq!(m.len(), 99);
     }
 }

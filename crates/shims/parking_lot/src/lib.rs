@@ -33,6 +33,13 @@ impl<T> RwLock<T> {
         self.0.write().expect("rwlock poisoned")
     }
 
+    /// Tries to acquire the write guard without blocking; `None` if any
+    /// guard is currently held. The live cache uses this for
+    /// opportunistic LRU touches on the read path.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        self.0.try_write().ok()
+    }
+
     /// Consumes the lock, returning the inner value.
     pub fn into_inner(self) -> T {
         self.0.into_inner().expect("rwlock poisoned")
@@ -71,6 +78,17 @@ mod tests {
         *lock.write() += 1;
         assert_eq!(*lock.read(), 2);
         assert_eq!(lock.into_inner(), 2);
+    }
+
+    #[test]
+    fn rwlock_try_write() {
+        let lock = RwLock::new(1);
+        {
+            let _read = lock.read();
+            assert!(lock.try_write().is_none(), "reader blocks try_write");
+        }
+        *lock.try_write().expect("uncontended") += 1;
+        assert_eq!(*lock.read(), 2);
     }
 
     #[test]

@@ -3,10 +3,10 @@
 //! Two layers:
 //!
 //! * [`ThreadPool`] — a fixed-size pool of long-lived workers fed through
-//!   a channel. This is the generalization of the pool the live proxy
-//!   used for connection handling (it now lives here so the simulator,
-//!   the experiment harness and the live daemons all share one
-//!   implementation).
+//!   a channel, for background jobs that genuinely need their own
+//!   threads. (The live daemons no longer use it for connection
+//!   handling — they moved to the readiness-driven event loop over
+//!   [`crate::reactor`].)
 //! * [`run_all`] — ordered fan-out for *independent* jobs: run a batch of
 //!   closures across cores and collect their outputs **in input order**.
 //!   Every experiment in this repo owns its seeded RNG and event queue,
@@ -138,7 +138,6 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 
 /// A fixed-size pool of long-lived worker threads.
 ///
-/// Used by the live daemons to bound connection-handling concurrency.
 /// Dropping the pool performs a clean shutdown: the job channel closes,
 /// workers drain what they already received and exit, and `Drop` joins
 /// them.

@@ -48,6 +48,7 @@ fn main() -> std::io::Result<()> {
             delta: Duration::from_millis(30),
             policy: MtPolicy::TriggeredPolls,
         }),
+        cache_objects: None,
     })?;
     println!("proxy   listening on {}\n", proxy.local_addr());
 

@@ -12,11 +12,18 @@ cargo test -q
 # run again explicitly so a CI failure names the culprit directly).
 cargo test -q -p mutcon-bench --test determinism
 
+# Live-proxy smoke: origin + proxy on real sockets, hundreds of
+# concurrent clients through the single reactor thread — a stalled
+# event loop shows up here as read timeouts, not as a hang.
+cargo test -q -p mutcon-live --test reactor_smoke
+
 # Perf snapshot: regenerate every figure plus the robustness grid with
-# the default worker count. On a multi-core machine --compare-serial
-# re-runs everything with one thread and records the speedup and the
-# parallel/serial output equality in BENCH_repro.json; on a single core
-# the comparison is skipped (there is no parallelism to measure).
+# the default worker count, then the live-proxy load run (recorded as
+# the live_bench section). On a multi-core machine --compare-serial
+# re-runs the deterministic sections with one thread and records the
+# speedup and the parallel/serial output equality in BENCH_repro.json;
+# on a single core the comparison is skipped (there is no parallelism
+# to measure).
 target/release/repro --compare-serial --repeats 10 all > /dev/null
 echo "--- BENCH_repro.json ---"
 cat BENCH_repro.json
