@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--threads N | --serial] [--repeats R] [--compare-serial]
-//!       [--conns C] [--rounds R] [--bench-json PATH]
+//!       [--conns C] [--rounds R] [--reactors N] [--bench-json PATH]
 //!       table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|ablation|bench|live-bench|all
 //! ```
 //!
@@ -24,11 +24,15 @@
 //!
 //! `live-bench` is the real-socket load generator
 //! ([`mutcon_bench::livebench`]): `--conns` concurrently open client
-//! connections through the live proxy's single reactor thread for
-//! `--rounds` request waves. `all` runs it once at the end (outside the
-//! serial comparison — it measures wall-clock network behavior, not the
+//! connections through the live proxy's reactor threads for `--rounds`
+//! request waves. `all` runs it once at the end (outside the serial
+//! comparison — it measures wall-clock network behavior, not the
 //! deterministic engine) and records it as the `live_bench` section of
-//! the report.
+//! the report. With `--reactors N`, `live-bench` instead runs a
+//! reactor-count *sweep* (1, 2, … powers of two up to N), prints every
+//! run, and records the sweep as the `live_bench_sweep` section of
+//! `BENCH_repro.json` (splicing into an existing report, so the sweep
+//! composes with a previous `all`).
 
 use std::time::Instant;
 
@@ -69,6 +73,7 @@ fn main() {
     let mut repeats: u64 = 10;
     let mut compare_serial = false;
     let mut live = mutcon_bench::livebench::LiveBenchConfig::default();
+    let mut reactors_sweep: Option<usize> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -90,6 +95,10 @@ fn main() {
             "--rounds" => match args.next().and_then(|r| r.parse().ok()) {
                 Some(r) if r > 0 => live.rounds = r,
                 _ => usage_error("--rounds needs a positive integer"),
+            },
+            "--reactors" => match args.next().and_then(|r| r.parse().ok()) {
+                Some(r) if r > 0 => reactors_sweep = Some(r),
+                _ => usage_error("--reactors needs a positive integer"),
             },
             "--bench-json" => match args.next() {
                 Some(p) => bench_json = p,
@@ -217,12 +226,33 @@ fn main() {
                 std::process::exit(1);
             }
         }
-        "live-bench" => match mutcon_bench::livebench::run(live) {
-            Ok(report) => print!("{}", mutcon_bench::livebench::render(&report)),
-            Err(e) => {
-                eprintln!("[repro] live-bench failed: {e}");
-                std::process::exit(1);
-            }
+        "live-bench" => match reactors_sweep {
+            // A reactor-count sweep, recorded into BENCH_repro.json.
+            Some(max) => match mutcon_bench::livebench::sweep(live, max) {
+                Ok(reports) => {
+                    for report in &reports {
+                        print!("{}", mutcon_bench::livebench::render(report));
+                        println!();
+                    }
+                    let fragment = mutcon_bench::livebench::json_sweep_fragment(&reports);
+                    if let Err(e) = splice_sweep(&bench_json, &fragment) {
+                        eprintln!("[repro] cannot record the sweep in {bench_json}: {e}");
+                        std::process::exit(1);
+                    }
+                    eprintln!("[repro] recorded {}-point reactor sweep in {bench_json}", reports.len());
+                }
+                Err(e) => {
+                    eprintln!("[repro] live-bench sweep failed: {e}");
+                    std::process::exit(1);
+                }
+            },
+            None => match mutcon_bench::livebench::run(live) {
+                Ok(report) => print!("{}", mutcon_bench::livebench::render(&report)),
+                Err(e) => {
+                    eprintln!("[repro] live-bench failed: {e}");
+                    std::process::exit(1);
+                }
+            },
         },
         other => match known.iter().find(|(name, _)| *name == other) {
             Some((_, run)) => print!("{}", run().text),
@@ -249,9 +279,43 @@ fn main() {
 fn usage_error(message: &str) -> ! {
     eprintln!("repro: {message}");
     eprintln!(
-        "usage: repro [--threads N | --serial] [--repeats R] [--compare-serial] [--conns C] [--rounds R] [--bench-json PATH] <experiment|live-bench|all>"
+        "usage: repro [--threads N | --serial] [--repeats R] [--compare-serial] [--conns C] [--rounds R] [--reactors N] [--bench-json PATH] <experiment|live-bench|all>"
     );
     std::process::exit(2);
+}
+
+/// Records a reactor-count sweep in the benchmark report: replaces the
+/// `"live_bench_sweep"` line of an existing `BENCH_repro.json` (written
+/// by `repro all`), or writes a minimal report holding just the sweep
+/// when no file exists yet. Line-based splicing is safe because the
+/// report format is this binary's own, one key per line.
+fn splice_sweep(path: &str, sweep_fragment: &str) -> std::io::Result<()> {
+    let key = "\"live_bench_sweep\":";
+    match std::fs::read_to_string(path) {
+        Ok(content) => {
+            let mut out = String::with_capacity(content.len() + sweep_fragment.len());
+            let mut replaced = false;
+            for line in content.lines() {
+                if line.trim_start().starts_with(key) {
+                    let comma = if line.trim_end().ends_with(',') { "," } else { "" };
+                    out.push_str(&format!("  {key} {sweep_fragment}{comma}\n"));
+                    replaced = true;
+                } else {
+                    out.push_str(line);
+                    out.push('\n');
+                }
+            }
+            if !replaced {
+                // A pre-sweep report: append the key inside the object.
+                out = format!(
+                    "{},\n  {key} {sweep_fragment}\n}}\n",
+                    out.trim_end().trim_end_matches('}').trim_end(),
+                );
+            }
+            std::fs::write(path, out)
+        }
+        Err(_) => std::fs::write(path, format!("{{\n  {key} {sweep_fragment}\n}}\n")),
+    }
 }
 
 /// Renders the machine-readable benchmark report by hand — the format is
@@ -301,6 +365,9 @@ fn bench_report(
         )),
         None => out.push_str("  \"live_bench\": null,\n"),
     }
+    // Placeholder for `repro live-bench --reactors N`, which splices
+    // its reactor-count sweep over this line (see `splice_sweep`).
+    out.push_str("  \"live_bench_sweep\": null,\n");
     out.push_str("  \"sections\": [\n");
     for (i, t) in sections.iter().enumerate() {
         let serial = match t.serial_wall {

@@ -37,6 +37,9 @@ pub struct LiveBenchConfig {
     pub conns: usize,
     /// Request waves issued across all connections.
     pub rounds: usize,
+    /// Reactor threads for the proxy under test (`None` = the
+    /// `MUTCON_LIVE_REACTORS` / one-per-core default).
+    pub reactors: Option<usize>,
 }
 
 impl Default for LiveBenchConfig {
@@ -45,6 +48,7 @@ impl Default for LiveBenchConfig {
         LiveBenchConfig {
             conns: 200,
             rounds: 5,
+            reactors: None,
         }
     }
 }
@@ -52,6 +56,8 @@ impl Default for LiveBenchConfig {
 /// Measured outcome of one run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LiveBenchReport {
+    /// Reactor threads the proxy actually ran.
+    pub reactors: usize,
     /// Connections opened (and held open throughout).
     pub conns: usize,
     /// Request waves.
@@ -115,6 +121,7 @@ pub fn run(config: LiveBenchConfig) -> io::Result<LiveBenchReport> {
         rules: vec![RefreshRule::new("/obj", Duration::from_millis(50))],
         group: None,
         cache_objects: None,
+        reactors: config.reactors,
     })?;
     let addr = proxy.local_addr();
 
@@ -171,6 +178,7 @@ pub fn run(config: LiveBenchConfig) -> io::Result<LiveBenchReport> {
     latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
     let requests = (conns * rounds) as u64;
     Ok(LiveBenchReport {
+        reactors: proxy.reactor_count(),
         conns,
         rounds,
         requests,
@@ -184,11 +192,40 @@ pub fn run(config: LiveBenchConfig) -> io::Result<LiveBenchReport> {
     })
 }
 
+/// Runs the load once per reactor count: powers of two up to (and
+/// always including) `max_reactors`. The recorded sweep is how reactor
+/// scaling is tracked PR-over-PR — on a single-core CI box the numbers
+/// stay flat; on real hardware they should not.
+///
+/// # Errors
+///
+/// Propagates the first failing run.
+pub fn sweep(base: LiveBenchConfig, max_reactors: usize) -> io::Result<Vec<LiveBenchReport>> {
+    let max = max_reactors.max(1);
+    let mut counts = Vec::new();
+    let mut n = 1;
+    while n < max {
+        counts.push(n);
+        n *= 2;
+    }
+    counts.push(max);
+    counts
+        .into_iter()
+        .map(|reactors| {
+            run(LiveBenchConfig {
+                reactors: Some(reactors),
+                ..base
+            })
+        })
+        .collect()
+}
+
 /// Renders the report as aligned text.
 pub fn render(report: &LiveBenchReport) -> String {
     format!(
-        "Live proxy load — {} connections held open, {} request waves\n\
+        "Live proxy load — {} reactor(s), {} connections held open, {} request waves\n\
          {:<22} {:>12.0}\n{:<22} {:>12.0}\n{:<22} {:>12.3}\n{:<22} {:>12.3}\n{:<22} {:>12.3}\n",
+        report.reactors,
         report.conns,
         report.rounds,
         "conns/sec (open)",
@@ -204,12 +241,20 @@ pub fn render(report: &LiveBenchReport) -> String {
     )
 }
 
+/// A reactor-count sweep as a JSON array fragment for
+/// `BENCH_repro.json` (one object per reactor count).
+pub fn json_sweep_fragment(reports: &[LiveBenchReport]) -> String {
+    let rows: Vec<String> = reports.iter().map(json_fragment).collect();
+    format!("[{}]", rows.join(", "))
+}
+
 /// The report as a JSON object fragment for `BENCH_repro.json`.
 pub fn json_fragment(report: &LiveBenchReport) -> String {
     format!(
-        "{{\"conns\": {}, \"rounds\": {}, \"requests\": {}, \"open_ms\": {:.3}, \
+        "{{\"reactors\": {}, \"conns\": {}, \"rounds\": {}, \"requests\": {}, \"open_ms\": {:.3}, \
          \"conns_per_sec\": {:.1}, \"serve_ms\": {:.3}, \"requests_per_sec\": {:.1}, \
          \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"hit_rate\": {:.3}}}",
+        report.reactors,
         report.conns,
         report.rounds,
         report.requests,
@@ -232,10 +277,12 @@ mod tests {
         let report = run(LiveBenchConfig {
             conns: 24,
             rounds: 2,
+            reactors: Some(2),
         })
         .expect("bench run");
         assert_eq!(report.conns, 24);
         assert_eq!(report.requests, 48);
+        assert_eq!(report.reactors, 2);
         assert!(report.requests_per_sec > 0.0);
         assert!(report.conns_per_sec > 0.0);
         assert!(report.p50_ms <= report.p99_ms);
@@ -244,6 +291,25 @@ mod tests {
         assert!(text.contains("requests/sec"));
         let json = json_fragment(&report);
         assert!(json.contains("\"requests\": 48"));
+        assert!(json.contains("\"reactors\": 2"));
+    }
+
+    #[test]
+    fn sweep_covers_powers_of_two_up_to_max() {
+        let reports = sweep(
+            LiveBenchConfig {
+                conns: 8,
+                rounds: 1,
+                reactors: None,
+            },
+            4,
+        )
+        .expect("sweep run");
+        let counts: Vec<usize> = reports.iter().map(|r| r.reactors).collect();
+        assert_eq!(counts, vec![1, 2, 4]);
+        let json = json_sweep_fragment(&reports);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"reactors\": 4"));
     }
 
     #[test]

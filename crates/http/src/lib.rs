@@ -15,6 +15,8 @@
 //! * [`message`] — request/response types with builders.
 //! * [`parse`] — an incremental wire-format parser.
 //! * [`conditional`] — `If-Modified-Since` / `Last-Modified` logic.
+//! * [`connection`] — `Connection` header semantics (keep-alive vs
+//!   close), used by the live proxy's persistent origin pool.
 //! * [`extensions`] — the paper's §5.1 extensions:
 //!   `X-Modification-History` and the `delta`/`mutual-delta`/`group`
 //!   cache-control directives.
@@ -43,6 +45,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod conditional;
+pub mod connection;
 pub mod date;
 pub mod extensions;
 pub mod headers;

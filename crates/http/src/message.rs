@@ -77,6 +77,12 @@ impl Request {
         &self.body
     }
 
+    /// Whether the sender will keep the connection open for another
+    /// request (see [`crate::connection::wants_keep_alive`]).
+    pub fn wants_keep_alive(&self) -> bool {
+        crate::connection::wants_keep_alive(self.version, &self.headers)
+    }
+
     /// Serializes the request to its wire form.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(128 + self.body.len());
@@ -137,6 +143,19 @@ impl RequestBuilder {
     /// the heart of the consistency protocol (§5).
     pub fn if_modified_since(self, t: Timestamp) -> Self {
         self.header(HeaderName::IF_MODIFIED_SINCE, format_http_date(t))
+    }
+
+    /// Advertises `Connection: keep-alive` (persistent-connection
+    /// clients, e.g. the proxy's origin pool).
+    pub fn keep_alive(mut self) -> Self {
+        crate::connection::set_keep_alive(&mut self.headers);
+        self
+    }
+
+    /// Advertises `Connection: close` (last request on the connection).
+    pub fn connection_close(mut self) -> Self {
+        crate::connection::set_close(&mut self.headers);
+        self
     }
 
     /// Sets the body.
@@ -228,6 +247,12 @@ impl Response {
         &self.body
     }
 
+    /// Whether the sender will keep the connection open for another
+    /// exchange (see [`crate::connection::wants_keep_alive`]).
+    pub fn wants_keep_alive(&self) -> bool {
+        crate::connection::wants_keep_alive(self.version, &self.headers)
+    }
+
     /// The parsed `Last-Modified` header, if present and valid.
     pub fn last_modified(&self) -> Option<Timestamp> {
         crate::date::parse_http_date(self.headers.get(HeaderName::LAST_MODIFIED)?).ok()
@@ -276,6 +301,19 @@ impl ResponseBuilder {
     /// Sets `Last-Modified` from a timestamp.
     pub fn last_modified(self, t: Timestamp) -> Self {
         self.header(HeaderName::LAST_MODIFIED, format_http_date(t))
+    }
+
+    /// Advertises `Connection: keep-alive`.
+    pub fn keep_alive(mut self) -> Self {
+        crate::connection::set_keep_alive(&mut self.headers);
+        self
+    }
+
+    /// Advertises `Connection: close` (the connection ends after this
+    /// response).
+    pub fn connection_close(mut self) -> Self {
+        crate::connection::set_close(&mut self.headers);
+        self
     }
 
     /// Sets the body.

@@ -117,4 +117,64 @@ proptest! {
         let encoded = encode_modification_history(&history);
         prop_assert_eq!(decode_modification_history(&encoded), Some(history));
     }
+
+    /// Random split points: the resumable request parser fed a prefix
+    /// then the whole buffer agrees exactly with the one-shot parse
+    /// (the exhaustive split suite lives ungated in parser_splits.rs;
+    /// this covers randomly generated messages as well).
+    #[test]
+    fn resumable_request_parse_equals_one_shot_at_random_splits(
+        target in target_strategy(),
+        headers in prop::collection::vec(
+            (header_name_strategy(), header_value_strategy()), 0..6),
+        body in prop::collection::vec(any::<u8>(), 0..128),
+        split_frac in 0.0f64..1.0,
+    ) {
+        let mut builder = Request::get(&target);
+        for (name, value) in &headers {
+            builder = builder.header(name, value.clone());
+        }
+        let wire = builder.body(body).build().to_bytes();
+        let (expected, expected_n) = parse_request(&wire)
+            .expect("self-produced bytes parse")
+            .expect("complete message");
+
+        let split = ((wire.len() as f64) * split_frac) as usize;
+        let mut parser = mutcon_http::parse::RequestParser::new();
+        let (parsed, consumed) = match parser.advance(&wire[..split]).expect("prefix ok") {
+            Some(done) => done,
+            None => parser
+                .advance(&wire)
+                .expect("resume ok")
+                .expect("completes on full buffer"),
+        };
+        prop_assert_eq!(consumed, expected_n);
+        prop_assert_eq!(parsed, expected);
+    }
+
+    /// Same property on the response side.
+    #[test]
+    fn resumable_response_parse_equals_one_shot_at_random_splits(
+        code in 100u16..600,
+        body in prop::collection::vec(any::<u8>(), 0..128),
+        split_frac in 0.0f64..1.0,
+    ) {
+        let status = StatusCode::new(code).expect("in range");
+        let wire = Response::builder(status).body(body).build().to_bytes();
+        let (expected, expected_n) = parse_response(&wire)
+            .expect("self-produced bytes parse")
+            .expect("complete message");
+
+        let split = ((wire.len() as f64) * split_frac) as usize;
+        let mut parser = mutcon_http::parse::ResponseParser::new();
+        let (parsed, consumed) = match parser.advance(&wire[..split]).expect("prefix ok") {
+            Some(done) => done,
+            None => parser
+                .advance(&wire)
+                .expect("resume ok")
+                .expect("completes on full buffer"),
+        };
+        prop_assert_eq!(consumed, expected_n);
+        prop_assert_eq!(parsed, expected);
+    }
 }

@@ -56,6 +56,13 @@ pub struct ShardedCache {
     bounded: bool,
 }
 
+/// The shard a path maps to. Public so tests (and ops tooling) can
+/// construct colliding key sets — e.g. hammering one shard from four
+/// reactor threads to probe the lock discipline.
+pub fn shard_of(path: &str) -> usize {
+    shard_index(path)
+}
+
 /// FNV-1a; hand-rolled because the default `RandomState` hasher cannot
 /// hash a bare `&str` to a shard index without building a `Hasher` per
 /// call anyway, and the workspace vendors no external hashers.

@@ -1,9 +1,16 @@
-//! A minimal blocking HTTP client.
+//! Blocking HTTP clients.
 //!
-//! One connection per request (`Connection: close` semantics) — exactly
-//! what a 2001-era proxy's refresher would do, and simple enough to be
-//! obviously correct. Timeouts guard every socket operation so a stalled
-//! origin cannot wedge the refresher thread.
+//! [`HttpClient`] is the minimal one-connection-per-request client
+//! (`Connection: close` semantics) kept for tests and load generators,
+//! where a fresh socket per request is exactly the point.
+//! [`PersistentClient`] is its keep-alive successor: it advertises
+//! `Connection: keep-alive`, reuses one socket across requests, and —
+//! because a pooled socket may have been closed by the server while
+//! idle — retries a failed send once on a fresh connection before
+//! reporting an error. The proxy's background refresher polls through a
+//! `PersistentClient`, so LIMD's frequent `If-Modified-Since` probes
+//! stop paying a TCP handshake each. Timeouts guard every socket
+//! operation so a stalled origin cannot wedge the refresher thread.
 
 use std::io;
 use std::net::{SocketAddr, TcpStream};
@@ -13,7 +20,7 @@ use bytes::BytesMut;
 
 use mutcon_core::time::Timestamp;
 use mutcon_http::headers::HeaderName;
-use mutcon_http::message::{Request, Response};
+use mutcon_http::message::{Request, RequestBuilder, Response};
 
 use crate::wire::{read_response, write_request};
 
@@ -81,6 +88,123 @@ impl HttpClient {
                 .header(X_LAST_MODIFIED_MS, v.as_millis().to_string());
         }
         self.send(addr, &builder.build())
+    }
+}
+
+/// A blocking keep-alive client pinned to one server address.
+///
+/// Reuses a single connection across requests; a send that fails on a
+/// *reused* socket (the server closed it while idle) is retried once on
+/// a fresh connection. Requests advertise `Connection: keep-alive`; a
+/// response carrying `Connection: close` drops the socket so the next
+/// request reconnects.
+#[derive(Debug)]
+pub struct PersistentClient {
+    addr: SocketAddr,
+    timeout: StdDuration,
+    stream: Option<TcpStream>,
+    buf: BytesMut,
+    /// Responses served over the current socket (0 = fresh).
+    served_on_socket: u64,
+    reconnects: u64,
+}
+
+impl PersistentClient {
+    /// A keep-alive client for `addr` with per-operation `timeout`.
+    pub fn new(addr: SocketAddr, timeout: StdDuration) -> PersistentClient {
+        PersistentClient {
+            addr,
+            timeout,
+            stream: None,
+            buf: BytesMut::new(),
+            served_on_socket: 0,
+            reconnects: 0,
+        }
+    }
+
+    /// How often a stale pooled socket forced a fresh connection.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Whether a connection is currently held open.
+    pub fn is_connected(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    fn connect(&mut self) -> io::Result<()> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+            stream.set_read_timeout(Some(self.timeout))?;
+            stream.set_write_timeout(Some(self.timeout))?;
+            self.buf.clear();
+            self.served_on_socket = 0;
+            self.stream = Some(stream);
+        }
+        Ok(())
+    }
+
+    fn drop_socket(&mut self) {
+        self.stream = None;
+        self.buf.clear();
+        self.served_on_socket = 0;
+    }
+
+    /// Sends `request` (forced to advertise keep-alive) and reads the
+    /// response, transparently reconnecting once if a reused socket
+    /// turns out stale.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/read/write failures and malformed responses
+    /// (after the single stale-socket retry, where applicable).
+    pub fn send(&mut self, request: &Request) -> io::Result<Response> {
+        let mut request = request.clone();
+        mutcon_http::connection::set_keep_alive(request.headers_mut());
+        loop {
+            let reused = self.stream.is_some() && self.served_on_socket > 0;
+            let result = (|| {
+                self.connect()?;
+                let PersistentClient { stream, buf, .. } = self;
+                let stream = stream.as_mut().expect("connect ensured a socket");
+                write_request(stream, &request)?;
+                read_response(stream, buf)
+            })();
+            match result {
+                Ok(response) => {
+                    self.served_on_socket += 1;
+                    if !response.wants_keep_alive() {
+                        self.drop_socket();
+                    }
+                    return Ok(response);
+                }
+                Err(e) => {
+                    self.drop_socket();
+                    if reused {
+                        // The server closed the idle socket between
+                        // requests; one fresh attempt.
+                        self.reconnects += 1;
+                        continue;
+                    }
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Convenience conditional `GET` (see [`HttpClient::get`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`PersistentClient::send`].
+    pub fn get(&mut self, path: &str, validator_ms: Option<Timestamp>) -> io::Result<Response> {
+        let mut builder: RequestBuilder = Request::get(path).host(self.addr.to_string());
+        if let Some(v) = validator_ms {
+            builder = builder
+                .if_modified_since(v)
+                .header(X_LAST_MODIFIED_MS, v.as_millis().to_string());
+        }
+        self.send(&builder.build())
     }
 }
 
@@ -183,6 +307,108 @@ mod tests {
             .build();
         assert_eq!(object_value(&resp), Some(36.25));
         assert_eq!(object_value(&Response::ok().build()), None);
+    }
+
+    /// A keep-alive server thread that serves `per_conn` requests per
+    /// connection before closing it, forever. Returns (addr, accepted
+    /// connection counter).
+    fn keep_alive_server(per_conn: usize) -> (SocketAddr, std::sync::Arc<std::sync::atomic::AtomicU64>) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let accepted = Arc::new(AtomicU64::new(0));
+        let counter = Arc::clone(&accepted);
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                let Ok(mut stream) = conn else { break };
+                counter.fetch_add(1, Ordering::SeqCst);
+                let mut buf = BytesMut::new();
+                for _ in 0..per_conn {
+                    let Ok(Some(req)) = crate::wire::read_request(&mut stream, &mut buf) else {
+                        break;
+                    };
+                    let resp = Response::ok()
+                        .keep_alive()
+                        .body(req.target().as_bytes().to_vec())
+                        .build();
+                    if crate::wire::write_response(&mut stream, &resp).is_err() {
+                        break;
+                    }
+                }
+                // Dropping the stream closes the (possibly idle) socket.
+            }
+        });
+        (addr, accepted)
+    }
+
+    #[test]
+    fn persistent_client_reuses_one_connection() {
+        let (addr, accepted) = keep_alive_server(usize::MAX);
+        let mut client = PersistentClient::new(addr, StdDuration::from_secs(5));
+        for i in 0..5 {
+            let resp = client.get(&format!("/r/{i}"), None).unwrap();
+            assert_eq!(resp.status(), StatusCode::OK);
+            assert_eq!(&resp.body()[..], format!("/r/{i}").as_bytes());
+        }
+        assert!(client.is_connected());
+        assert_eq!(
+            accepted.load(std::sync::atomic::Ordering::SeqCst),
+            1,
+            "five requests must share one connection"
+        );
+        assert_eq!(client.reconnects(), 0);
+    }
+
+    #[test]
+    fn persistent_client_recovers_from_stale_sockets() {
+        // The server hangs up after every 2 responses; the client must
+        // ride through the stale-socket failures transparently.
+        let (addr, accepted) = keep_alive_server(2);
+        let mut client = PersistentClient::new(addr, StdDuration::from_secs(5));
+        for i in 0..6 {
+            let resp = client.get(&format!("/r/{i}"), None).unwrap();
+            assert_eq!(resp.status(), StatusCode::OK, "request {i}");
+        }
+        let conns = accepted.load(std::sync::atomic::Ordering::SeqCst);
+        assert!(conns >= 3, "server closes every 2 requests: {conns} conns");
+        assert!(client.reconnects() >= 1, "stale sockets must be retried");
+    }
+
+    #[test]
+    fn persistent_client_honors_connection_close_responses() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                let Ok(mut stream) = conn else { break };
+                let mut buf = BytesMut::new();
+                if let Ok(Some(_)) = crate::wire::read_request(&mut stream, &mut buf) {
+                    let resp = Response::ok().connection_close().body(&b"bye"[..]).build();
+                    let _ = crate::wire::write_response(&mut stream, &resp);
+                }
+            }
+        });
+        let mut client = PersistentClient::new(addr, StdDuration::from_secs(5));
+        let resp = client.get("/x", None).unwrap();
+        assert_eq!(&resp.body()[..], b"bye");
+        assert!(
+            !client.is_connected(),
+            "a close response must drop the pooled socket"
+        );
+        // And the next request simply reconnects.
+        assert_eq!(client.get("/y", None).unwrap().status(), StatusCode::OK);
+    }
+
+    #[test]
+    fn persistent_client_surfaces_dead_server() {
+        let addr = TcpListener::bind("127.0.0.1:0")
+            .unwrap()
+            .local_addr()
+            .unwrap();
+        let mut client = PersistentClient::new(addr, StdDuration::from_millis(300));
+        assert!(client.get("/x", None).is_err());
+        assert_eq!(client.reconnects(), 0, "a fresh-socket failure is final");
     }
 
     #[test]

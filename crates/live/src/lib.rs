@@ -9,26 +9,35 @@
 //! polls across related objects, and the §5.1 protocol extensions on the
 //! wire.
 //!
-//! Both daemons serve their connections from a **single reactor thread**
-//! over the hand-rolled `epoll` poller in [`mutcon_sim::reactor`] —
-//! per-connection state machines instead of a thread per connection, so
-//! one process sustains hundreds of concurrent sockets (bounded by
-//! `MUTCON_LIVE_CONNS`, see [`server::max_conns`]). The proxy's cache is
-//! sharded 16 ways by key hash ([`cache::ShardedCache`]) so background
-//! refreshes don't serialize concurrent hits.
+//! Both daemons serve their connections from **one reactor thread per
+//! core** (`MUTCON_LIVE_REACTORS`, see [`server::num_reactors`]) over
+//! the hand-rolled `epoll` poller in [`mutcon_sim::reactor`]: each
+//! reactor owns an `SO_REUSEPORT` listener shard on the shared port,
+//! per-connection state machines instead of a thread per connection,
+//! and a keep-alive origin connection pool ([`upstream`]) that
+//! coalesces identical concurrent misses into one fetch. One process
+//! sustains hundreds of concurrent sockets (bounded by
+//! `MUTCON_LIVE_CONNS`, see [`server::max_conns`]). The proxy's cache
+//! is sharded 16 ways by key hash ([`cache::ShardedCache`]), shared
+//! across all reactors, so background refreshes don't serialize
+//! concurrent hits.
 //!
 //! Multi-day traces replay in seconds through
 //! [`mutcon_traces::transform::scale_time`]; millisecond-precise
 //! modification times travel in the `x-last-modified-ms` extension header
 //! (IMF-fixdates only resolve seconds).
 //!
-//! * [`server`] — the shared readiness-driven connection engine (event
-//!   loop, connection state machines, nonblocking upstream fetches).
+//! * [`server`] — the shared readiness-driven connection engine
+//!   (multi-reactor event loop, connection state machines, pooled
+//!   nonblocking upstream fetches).
+//! * [`upstream`] — the keep-alive origin pool's bookkeeping (miss
+//!   coalescing, idle reuse, stale-socket retry).
 //! * [`cache`] — the 16-way sharded, recency-indexed object cache.
 //! * [`wire`] — blocking socket I/O for the `mutcon-http` types
 //!   (clients and tests; the server path is nonblocking).
-//! * [`client`] — a minimal HTTP client (one connection per request),
-//!   used by the proxy's background refresher and by load generators.
+//! * [`client`] — blocking HTTP clients: one-shot ([`client::HttpClient`])
+//!   and keep-alive ([`client::PersistentClient`], used by the proxy's
+//!   background refresher).
 //! * [`origin`] — the trace-replaying origin server, with fault
 //!   injection for resilience tests.
 //! * [`proxy`] — the caching proxy daemon with a background refresher
@@ -53,6 +62,7 @@
 //!     rules: vec![RefreshRule::new("/news/cnn-fn.html", Duration::from_millis(50))],
 //!     group: None,
 //!     cache_objects: None,
+//!     reactors: None,
 //! })?;
 //! println!("proxy listening on {}", proxy.local_addr());
 //! # Ok(())
@@ -68,6 +78,7 @@ pub mod client;
 pub mod origin;
 pub mod proxy;
 pub mod server;
+pub mod upstream;
 pub mod wire;
 
 pub use origin::LiveOrigin;

@@ -38,7 +38,9 @@ const STALL: StdDuration = StdDuration::from_millis(300);
 pub enum Fault {
     /// Behave normally.
     None,
-    /// Accept and immediately drop every connection.
+    /// Drop every connection: new ones on arrival, established
+    /// (keep-alive) ones at their next request — a persistent client
+    /// must not ride through this fault on a pooled socket.
     DropConnections,
     /// Stall ~300 ms before each response (exceeds aggressive client
     /// timeouts).
@@ -68,6 +70,7 @@ impl Fault {
 pub struct LiveOriginBuilder {
     objects: Vec<(String, UpdateTrace)>,
     history: bool,
+    reactors: Option<usize>,
 }
 
 impl LiveOriginBuilder {
@@ -80,6 +83,14 @@ impl LiveOriginBuilder {
     /// Enables the §5.1 modification-history extension header.
     pub fn with_history(mut self, yes: bool) -> Self {
         self.history = yes;
+        self
+    }
+
+    /// Overrides the reactor-thread count (default:
+    /// `MUTCON_LIVE_REACTORS` / one per core, see
+    /// [`crate::server::num_reactors`]).
+    pub fn reactors(mut self, reactors: usize) -> Self {
+        self.reactors = Some(reactors);
         self
     }
 
@@ -97,11 +108,13 @@ impl LiveOriginBuilder {
             fault: AtomicU8::new(Fault::None.as_u8()),
             requests: AtomicU64::new(0),
         });
-        let server = EventLoop::start(
+        let server = EventLoop::with_options(
             "mutcon-live-origin-reactor",
             Arc::new(OriginService {
                 shared: Arc::clone(&shared),
             }),
+            crate::server::max_conns(),
+            self.reactors.unwrap_or_else(crate::server::num_reactors),
         )?;
         Ok(LiveOrigin { server, shared })
     }
@@ -178,6 +191,12 @@ impl Service for OriginService {
     }
 
     fn respond(&self, request: &Request) -> ServiceResult {
+        match Fault::from_u8(self.shared.fault.load(Ordering::SeqCst)) {
+            // Established keep-alive connections die at their next
+            // request, mirroring the accept-time drop.
+            Fault::DropConnections => return ServiceResult::Close,
+            _ => {}
+        }
         self.shared.requests.fetch_add(1, Ordering::SeqCst);
         let response = respond(&self.shared, request);
         match Fault::from_u8(self.shared.fault.load(Ordering::SeqCst)) {

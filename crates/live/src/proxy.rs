@@ -9,13 +9,16 @@
 //! §7, in miniature.
 //!
 //! Connections are served by the shared readiness-driven engine
-//! ([`crate::server`]): a single reactor thread drives every client
-//! socket (and every cache-miss fetch to the origin, as its own
-//! nonblocking state machine) — there is no thread pool and no thread
-//! per connection. The cache is the 16-way sharded
-//! [`crate::cache::ShardedCache`], so the refresher's write locks stall
-//! only 1/16th of concurrent hits instead of all of them. Concurrency is
-//! bounded by `MUTCON_LIVE_CONNS` (see [`crate::server::max_conns`]).
+//! ([`crate::server`]): one reactor per core (`MUTCON_LIVE_REACTORS`,
+//! or [`ProxyConfig::reactors`]), each with its own `SO_REUSEPORT`
+//! listener shard and its own keep-alive origin pool — cache misses
+//! ride pooled persistent connections, and identical concurrent misses
+//! coalesce into a single origin fetch. There is no thread pool and no
+//! thread per connection. The cache is the 16-way sharded
+//! [`crate::cache::ShardedCache`], shared by every reactor, so the
+//! refresher's write locks stall only 1/16th of concurrent hits instead
+//! of all of them. Concurrency is bounded by `MUTCON_LIVE_CONNS` (see
+//! [`crate::server::max_conns`]).
 
 use std::collections::HashMap;
 use std::io;
@@ -34,7 +37,7 @@ use mutcon_http::message::{Request, Response};
 use mutcon_http::types::{Method, StatusCode};
 
 use crate::cache::{CacheEntry, ShardedCache};
-use crate::client::{last_modified_ms, object_value, HttpClient, X_LAST_MODIFIED_MS};
+use crate::client::{last_modified_ms, object_value, PersistentClient, X_LAST_MODIFIED_MS};
 use crate::server::{EventLoop, Service, ServiceResult};
 
 /// Consistency requirements for one cached object.
@@ -86,16 +89,22 @@ pub struct ProxyConfig {
     /// Cache bound in objects (`None` = unbounded, the paper's model);
     /// enforced per shard with LRU eviction.
     pub cache_objects: Option<usize>,
+    /// Reactor threads for the connection engine (`None` = the
+    /// `MUTCON_LIVE_REACTORS` / one-per-core default, see
+    /// [`crate::server::num_reactors`]).
+    pub reactors: Option<usize>,
 }
 
 impl ProxyConfig {
-    /// A configuration with no rules, no group and an unbounded cache.
+    /// A configuration with no rules, no group, an unbounded cache and
+    /// the default reactor count.
     pub fn new(origin_addr: SocketAddr) -> ProxyConfig {
         ProxyConfig {
             origin_addr,
             rules: Vec::new(),
             group: None,
             cache_objects: None,
+            reactors: None,
         }
     }
 }
@@ -131,10 +140,6 @@ struct Shared {
     origin: SocketAddr,
     cache: ShardedCache,
     counters: Counters,
-    /// Blocking client used only by the background refresher thread
-    /// (client-facing misses go through the reactor's nonblocking
-    /// upstream path instead).
-    client: HttpClient,
 }
 
 /// The running proxy; shuts down (and joins its threads) on drop.
@@ -166,15 +171,16 @@ impl LiveProxy {
             origin: config.origin_addr,
             cache: ShardedCache::new(config.cache_objects),
             counters: Counters::default(),
-            client: HttpClient::with_timeout(StdDuration::from_secs(2)),
         });
         let shutdown = Arc::new(AtomicBool::new(false));
 
-        let server = EventLoop::start(
+        let server = EventLoop::with_options(
             "mutcon-live-proxy-reactor",
             Arc::new(ProxyService {
                 shared: Arc::clone(&shared),
             }),
+            crate::server::max_conns(),
+            config.reactors.unwrap_or_else(crate::server::num_reactors),
         )?;
 
         let refresher = if config.rules.is_empty() {
@@ -220,6 +226,11 @@ impl LiveProxy {
     /// Number of objects currently cached (across all shards).
     pub fn cached_objects(&self) -> usize {
         self.shared.cache.len()
+    }
+
+    /// How many reactor threads serve this proxy.
+    pub fn reactor_count(&self) -> usize {
+        self.server.reactor_count()
     }
 }
 
@@ -282,19 +293,32 @@ impl Service for ProxyService {
         let path = path.to_owned();
         ServiceResult::Upstream {
             addr: self.shared.origin,
+            // `Connection: keep-alive` advertised explicitly: the fetch
+            // rides a pooled persistent origin connection, and identical
+            // request bytes are the pool's coalescing key.
             request: Request::get(&path)
                 .host(self.shared.origin.to_string())
+                .keep_alive()
                 .build(),
             finish: Box::new(move |result| match result {
-                Ok(response) if response.status() == StatusCode::OK => {
-                    match store_response(&shared, &path, &response) {
-                        Some(entry) => entry_response(&entry, false),
-                        // Origin 200 without a modification stamp: pass
-                        // through uncached.
-                        None => response,
+                Ok(mut response) => {
+                    // `Connection` is hop-by-hop (RFC 7230 §6.1): the
+                    // origin's choice governs the pooled origin socket,
+                    // not the client connection — strip it before
+                    // forwarding (the engine re-adds `close` when the
+                    // *client* asked for it).
+                    response.headers_mut().remove(HeaderName::CONNECTION);
+                    if response.status() == StatusCode::OK {
+                        match store_response(&shared, &path, &response) {
+                            Some(entry) => entry_response(&entry, false),
+                            // Origin 200 without a modification stamp:
+                            // pass through uncached.
+                            None => response,
+                        }
+                    } else {
+                        response // 404 etc. pass through
                     }
                 }
-                Ok(response) => response, // 404 etc. pass through
                 Err(_) => Response::builder(StatusCode::INTERNAL_SERVER_ERROR)
                     .body(&b"origin unreachable\n"[..])
                     .build(),
@@ -339,12 +363,13 @@ fn store_response(shared: &Shared, path: &str, response: &Response) -> Option<Ca
     Some(resident)
 }
 
-/// One refresher poll. Returns the poll result for the adaptation layers,
-/// or `None` on a network error.
-fn poll_origin(shared: &Shared, path: &str) -> Option<PollResult> {
+/// One refresher poll over the persistent keep-alive connection.
+/// Returns the poll result for the adaptation layers, or `None` on a
+/// network error.
+fn poll_origin(shared: &Shared, client: &mut PersistentClient, path: &str) -> Option<PollResult> {
     let validator = shared.cache.get(path).map(|e| e.last_modified);
     shared.counters.polls.fetch_add(1, Ordering::SeqCst);
-    match shared.client.get(shared.origin, path, validator) {
+    match client.get(path, validator) {
         Ok(response) if response.status() == StatusCode::NOT_MODIFIED => {
             Some(PollResult::NotModified)
         }
@@ -372,6 +397,10 @@ fn refresher(
     rules: &[RefreshRule],
     group: Option<GroupRule>,
 ) {
+    // One persistent keep-alive connection carries every poll; a stale
+    // socket (the origin closed it between polls) reconnects
+    // transparently inside the client.
+    let mut client = PersistentClient::new(shared.origin, StdDuration::from_secs(2));
     let mut limds: HashMap<String, Limd> = rules
         .iter()
         .map(|r| {
@@ -410,7 +439,7 @@ fn refresher(
         }
 
         let now_ts = unix_now();
-        match poll_origin(shared, &path) {
+        match poll_origin(shared, &mut client, &path) {
             Some(result) => {
                 let limd = limds.get_mut(&path).expect("rule path");
                 let decision = limd.on_poll(now_ts, &result);
@@ -424,7 +453,7 @@ fn refresher(
                         // Triggered polls are additional: refresh the
                         // cache and tell the coordinator, but leave the
                         // target's LIMD schedule alone.
-                        if let Some(result) = poll_origin(shared, target.as_str()) {
+                        if let Some(result) = poll_origin(shared, &mut client, target.as_str()) {
                             coord.on_poll(&target, unix_now(), &result);
                         }
                     }

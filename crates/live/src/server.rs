@@ -1,10 +1,14 @@
 //! The readiness-driven connection engine shared by the live origin and
 //! the live proxy.
 //!
-//! One reactor thread owns a nonblocking listener plus every accepted
-//! connection and drives them all through per-connection state machines
-//! over [`mutcon_sim::reactor`]'s raw-`epoll` poller — no thread per
-//! connection, no worker pool. A connection walks this wire diagram:
+//! The engine runs **one reactor per core** (bounded by
+//! [`MUTCON_LIVE_REACTORS`](REACTORS_ENV)): each reactor thread owns its
+//! own `epoll` poller, its own eventfd waker, its own connection slab,
+//! its own keep-alive origin pool — and its own `SO_REUSEPORT` listener
+//! on the shared port, so the kernel load-balances incoming connections
+//! across reactors with no shared accept lock. Within a reactor every
+//! connection is a state machine over [`mutcon_sim::reactor`]'s raw
+//! poller — no thread per connection, no worker pool:
 //!
 //! ```text
 //!             ┌──────────────────────────────────────────────┐
@@ -15,27 +19,29 @@
 //!             ▼                        ▼       ▼             │
 //!           closed                 WRITING ◀─ AWAITING ──────┤
 //!             ▲                        │      ORIGIN         │
-//!             │                        │  (nonblocking       │
-//!             └────────peer gone───────┘   connect → write   │
-//!                                          req → read resp)──┘
+//!             │                        │   (pooled keep-     │
+//!             └────────peer gone───────┘    alive socket) ───┘
 //! ```
 //!
 //! *READING* feeds partial reads to the resumable
 //! [`mutcon_http::parse::RequestParser`]; a parsed request is handed to
 //! the [`Service`], which answers immediately (*WRITING*), after a delay
-//! (fault injection), or by fetching from an upstream origin — itself a
-//! state machine on a second, nonblocking socket registered with the
-//! same poller (*AWAITING ORIGIN*), so a slow origin never stalls the
-//! other connections. Responses flush incrementally under `EPOLLOUT`;
-//! when the write buffer drains the connection goes back to *READING*
-//! (already-buffered pipelined requests are served without another
-//! syscall).
+//! (fault injection), or by fetching from an upstream origin. Upstream
+//! fetches go through the reactor's **keep-alive origin pool**
+//! ([`crate::upstream`]): identical concurrent misses coalesce onto one
+//! fetch (N waiters, one origin round trip), finished connections park
+//! for reuse instead of closing, idle pooled sockets are reaped, and a
+//! pooled socket the origin silently closed is detected and the fetch
+//! retried once on a fresh connection. `Connection: close` is honored in
+//! both directions ([`mutcon_http::connection`]).
 //!
 //! Concurrent-connection capacity is bounded by [`max_conns`]
-//! (`MUTCON_LIVE_CONNS`, default [`DEFAULT_MAX_CONNS`]): at the bound
-//! the listener's readiness interest is dropped, parking further clients
-//! in the kernel accept backlog until a slot frees — clients queue
-//! instead of being refused.
+//! (`MUTCON_LIVE_CONNS`, default [`DEFAULT_MAX_CONNS`]), split evenly
+//! across reactors: a reactor at its share drops its listener's
+//! readiness interest, parking further clients in the kernel backlog
+//! until a slot frees. On shutdown every reactor is woken and drains:
+//! it stops accepting, finishes flushing in-flight responses (bounded
+//! by a short grace period), then closes everything and joins.
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -48,27 +54,45 @@ use std::time::{Duration, Instant};
 use bytes::BytesMut;
 use mutcon_http::message::{Request, Response};
 use mutcon_http::parse::{RequestParser, ResponseParser};
-use mutcon_sim::reactor::{connect_nonblocking, Events, Interest, Poller, Waker};
+use mutcon_sim::reactor::{
+    connect_nonblocking, listen_reuseport, Events, Interest, Poller, Waker,
+};
 
-/// Environment variable bounding concurrent connections per event loop.
+use crate::upstream::{AfterLeave, Job, JobId, PoolCore, Submit};
+
+/// Environment variable bounding concurrent connections per event loop
+/// (the bound is split evenly across its reactors).
 pub const CONNS_ENV: &str = "MUTCON_LIVE_CONNS";
 
 /// Default concurrent-connection bound. Sized for "hundreds of sockets
-/// through one reactor" with headroom; raise `MUTCON_LIVE_CONNS` for
+/// through one process" with headroom; raise `MUTCON_LIVE_CONNS` for
 /// load tests beyond it.
 pub const DEFAULT_MAX_CONNS: usize = 1024;
 
-/// Close connections with no traffic for this long.
+/// Environment variable choosing how many reactor threads an event loop
+/// runs (default: one per core, capped at [`MAX_REACTORS`]).
+pub const REACTORS_ENV: &str = "MUTCON_LIVE_REACTORS";
+
+/// Ceiling on the reactor-count default (and on oversized overrides) —
+/// beyond this the listeners outnumber any plausible load.
+pub const MAX_REACTORS: usize = 64;
+
+/// Close client connections with no traffic for this long.
 const IDLE_TIMEOUT: Duration = Duration::from_secs(30);
 /// Fail upstream fetches that make no progress for this long (matches
 /// the old blocking client's per-operation timeout ballpark).
 const UPSTREAM_TIMEOUT: Duration = Duration::from_secs(5);
+/// Reap pooled origin connections idle longer than this.
+const POOL_IDLE_TIMEOUT: Duration = Duration::from_secs(10);
 /// Stop draining a client socket while this much input is already
 /// buffered ahead of the state machine (pipelining back-pressure).
 const MAX_BUFFERED: usize = 256 * 1024;
 /// Poll-loop tick when nothing else bounds the wait (idle sweeping,
 /// shutdown responsiveness).
 const TICK: Duration = Duration::from_millis(200);
+/// How long a shutting-down reactor keeps serving to flush in-flight
+/// responses before closing everything.
+const DRAIN_GRACE: Duration = Duration::from_millis(250);
 
 const TOKEN_LISTENER: usize = 0;
 const TOKEN_WAKER: usize = 1;
@@ -87,6 +111,28 @@ pub fn max_conns() -> usize {
     conns_from(std::env::var(CONNS_ENV).ok().as_deref())
 }
 
+/// Parses a `MUTCON_LIVE_REACTORS`-style override.
+fn reactors_from(raw: Option<&str>) -> usize {
+    raw.and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(default_reactors)
+        .min(MAX_REACTORS)
+}
+
+/// One reactor per available core, capped at [`MAX_REACTORS`].
+pub fn default_reactors() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(MAX_REACTORS)
+}
+
+/// The reactor count: `MUTCON_LIVE_REACTORS` if set to a positive
+/// integer, otherwise [`default_reactors`].
+pub fn num_reactors() -> usize {
+    reactors_from(std::env::var(REACTORS_ENV).ok().as_deref())
+}
+
 /// Completion callback for an upstream fetch: receives the origin's
 /// response (or the I/O error) and produces the response for the waiting
 /// client.
@@ -100,7 +146,8 @@ pub enum ServiceResult {
     /// (fault injection: the origin's `Stall` mode).
     RespondAfter(Response, Duration),
     /// Fetch from an upstream server first; `finish` turns its response
-    /// into the client's.
+    /// into the client's. The fetch goes through the reactor's
+    /// keep-alive origin pool; identical concurrent fetches coalesce.
     Upstream {
         /// Upstream address (the origin).
         addr: SocketAddr,
@@ -125,9 +172,9 @@ impl std::fmt::Debug for ServiceResult {
     }
 }
 
-/// Request handler plugged into an [`EventLoop`]. Runs on the reactor
-/// thread, so implementations must not block (upstream I/O goes through
-/// [`ServiceResult::Upstream`], delays through
+/// Request handler plugged into an [`EventLoop`]. May run on several
+/// reactor threads concurrently, and must not block (upstream I/O goes
+/// through [`ServiceResult::Upstream`], delays through
 /// [`ServiceResult::RespondAfter`]).
 pub trait Service: Send + Sync + 'static {
     /// Whether to keep a freshly accepted connection (fault injection
@@ -140,24 +187,30 @@ pub trait Service: Send + Sync + 'static {
     fn respond(&self, request: &Request) -> ServiceResult;
 }
 
-/// A running reactor: one thread, one listener, many connections.
-/// Shuts down (waking and joining the reactor thread) on drop.
-pub struct EventLoop {
-    addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
+struct ReactorHandle {
     waker: Waker,
     thread: Option<JoinHandle<()>>,
 }
 
+/// A running event loop: N reactor threads behind one shared port.
+/// Shuts down gracefully (waking, draining and joining every reactor)
+/// on drop.
+pub struct EventLoop {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    reactors: Vec<ReactorHandle>,
+}
+
 impl EventLoop {
-    /// Binds a localhost listener on an ephemeral port and starts the
-    /// reactor thread with the [`max_conns`] connection bound.
+    /// Binds localhost listeners on a shared ephemeral port and starts
+    /// [`num_reactors`] reactor threads with the [`max_conns`]
+    /// connection bound.
     ///
     /// # Errors
     ///
     /// Propagates socket and epoll setup failures.
     pub fn start(name: &str, service: Arc<dyn Service>) -> io::Result<EventLoop> {
-        EventLoop::with_capacity(name, service, max_conns())
+        EventLoop::with_options(name, service, max_conns(), num_reactors())
     }
 
     /// [`EventLoop::start`] with an explicit connection bound.
@@ -170,60 +223,113 @@ impl EventLoop {
         service: Arc<dyn Service>,
         max_conns: usize,
     ) -> io::Result<EventLoop> {
-        let listener = TcpListener::bind("127.0.0.1:0")?;
-        listener.set_nonblocking(true)?;
-        let addr = listener.local_addr()?;
-        let poller = Poller::new()?;
-        let waker = Waker::new()?;
-        poller.register(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READABLE)?;
-        poller.register(waker.as_raw_fd(), TOKEN_WAKER, Interest::READABLE)?;
-        let shutdown = Arc::new(AtomicBool::new(false));
+        EventLoop::with_options(name, service, max_conns, num_reactors())
+    }
 
-        let reactor = Reactor {
-            poller,
-            listener,
-            waker: waker.clone(),
-            service,
-            shutdown: Arc::clone(&shutdown),
-            max_conns: max_conns.max(1),
-            conns: Vec::new(),
-            free: Vec::new(),
-            clients: 0,
-            accepting: true,
-            last_sweep: Instant::now(),
-            freed_this_batch: Vec::new(),
-            delayed: 0,
-        };
-        let thread = std::thread::Builder::new()
-            .name(name.to_owned())
-            .spawn(move || reactor.run())?;
+    /// [`EventLoop::start`] with explicit connection and reactor counts.
+    /// `max_conns` is the total across reactors, split exactly (the
+    /// reactor count is capped at the bound so a small bound is never
+    /// multiplied); each shard enforces its share independently, since
+    /// the kernel's `SO_REUSEPORT` balancing ignores occupancy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and epoll setup failures.
+    pub fn with_options(
+        name: &str,
+        service: Arc<dyn Service>,
+        max_conns: usize,
+        reactors: usize,
+    ) -> io::Result<EventLoop> {
+        let max_conns = max_conns.max(1);
+        // Never spawn more reactors than the connection bound allows:
+        // the bound is enforced per shard (the kernel's SO_REUSEPORT
+        // balancing ignores occupancy), and splitting it must not
+        // multiply it — with_options(.., 2, 8) means 2 connections
+        // total, not 8.
+        let reactors = reactors.clamp(1, MAX_REACTORS).min(max_conns);
+        // The first listener picks the ephemeral port; its SO_REUSEPORT
+        // siblings join it, one per reactor.
+        let first = listen_reuseport("127.0.0.1:0".parse().expect("valid literal"))?;
+        let addr = first.local_addr()?;
+        let mut listeners = vec![first];
+        for _ in 1..reactors {
+            listeners.push(listen_reuseport(addr)?);
+        }
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::with_capacity(reactors);
+        for (i, listener) in listeners.into_iter().enumerate() {
+            // Split the bound exactly: the first (max_conns % reactors)
+            // shards take one extra slot, total = max_conns.
+            let per_reactor = max_conns / reactors + usize::from(i < max_conns % reactors);
+            let poller = Poller::new()?;
+            let waker = Waker::new()?;
+            poller.register(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READABLE)?;
+            poller.register(waker.as_raw_fd(), TOKEN_WAKER, Interest::READABLE)?;
+            let reactor = Reactor {
+                poller,
+                listener,
+                waker: waker.clone(),
+                service: Arc::clone(&service),
+                shutdown: Arc::clone(&shutdown),
+                max_conns: per_reactor.max(1),
+                conns: Vec::new(),
+                free: Vec::new(),
+                clients: 0,
+                accepting: true,
+                last_sweep: Instant::now(),
+                freed_this_batch: Vec::new(),
+                delayed: 0,
+                pool: PoolCore::default(),
+                driving: None,
+            };
+            let thread = std::thread::Builder::new()
+                .name(format!("{name}-r{i}"))
+                .spawn(move || reactor.run())?;
+            handles.push(ReactorHandle {
+                waker,
+                thread: Some(thread),
+            });
+        }
         Ok(EventLoop {
             addr,
             shutdown,
-            waker,
-            thread: Some(thread),
+            reactors: handles,
         })
     }
 
-    /// The listener's bound address.
+    /// The shared listening address.
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// How many reactor threads serve this loop.
+    pub fn reactor_count(&self) -> usize {
+        self.reactors.len()
     }
 }
 
 impl Drop for EventLoop {
     fn drop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        self.waker.wake();
-        if let Some(thread) = self.thread.take() {
-            let _ = thread.join();
+        for handle in &self.reactors {
+            handle.waker.wake();
+        }
+        for handle in &mut self.reactors {
+            if let Some(thread) = handle.thread.take() {
+                let _ = thread.join();
+            }
         }
     }
 }
 
 impl std::fmt::Debug for EventLoop {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("EventLoop").field("addr", &self.addr).finish()
+        f.debug_struct("EventLoop")
+            .field("addr", &self.addr)
+            .field("reactors", &self.reactors.len())
+            .finish()
     }
 }
 
@@ -231,8 +337,8 @@ impl std::fmt::Debug for EventLoop {
 enum Pending {
     /// Nothing: reading the next request.
     None,
-    /// An upstream fetch (slab index of the upstream connection).
-    Upstream(usize),
+    /// An upstream fetch (pool job id).
+    Upstream(JobId),
     /// A deferred response (fault injection).
     Delayed { at: Instant, response: Vec<u8> },
 }
@@ -245,17 +351,25 @@ struct ClientState {
     pending: Pending,
     /// Peer sent EOF; close once the in-flight response is flushed.
     peer_closed: bool,
+    /// The peer asked for `Connection: close`; serve the current
+    /// request, flush, then close (later pipelined bytes are ignored).
+    close_after_write: bool,
 }
 
+/// A connection to an upstream origin, owned by the reactor's pool.
 struct UpstreamState {
-    /// Slab index of the client connection awaiting this fetch.
-    client: usize,
-    request: Vec<u8>,
+    /// The origin this connection belongs to.
+    addr: SocketAddr,
+    /// The pool job being fetched, or `None` while parked idle.
+    job: Option<JobId>,
+    /// Request bytes written so far (the bytes live in the job).
     written: usize,
     read_buf: BytesMut,
     parser: ResponseParser,
-    finish: Option<FinishUpstream>,
     connected: bool,
+    /// Responses served on this connection; `> 0` marks it as reused
+    /// (eligible for the stale-socket retry).
+    served: u32,
 }
 
 enum Kind {
@@ -270,6 +384,18 @@ struct Conn {
     kind: Kind,
 }
 
+/// The waiter payload the pool tracks per coalesced miss.
+struct Waiting {
+    client: usize,
+    finish: FinishUpstream,
+}
+
+impl std::fmt::Debug for Waiting {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Waiting").field("client", &self.client).finish()
+    }
+}
+
 struct Reactor {
     poller: Poller,
     listener: TcpListener,
@@ -280,7 +406,7 @@ struct Reactor {
     conns: Vec<Option<Conn>>,
     free: Vec<usize>,
     /// Client connections currently open (upstream sockets don't count
-    /// against the accept bound; there is at most one per client).
+    /// against the accept bound).
     clients: usize,
     accepting: bool,
     last_sweep: Instant,
@@ -293,6 +419,17 @@ struct Reactor {
     /// the hot loop skips the timer scans entirely when (as in every
     /// non-fault-injected run) there are none.
     delayed: usize,
+    /// The keep-alive origin pool ledger (see [`crate::upstream`]).
+    pool: PoolCore<Waiting>,
+    /// The client currently inside `drive_client`, if any. Completions
+    /// delivered to it are queued, not recursively resumed — the active
+    /// drive loop picks them up, keeping pipelined bursts iterative.
+    driving: Option<usize>,
+}
+
+/// Clones an `io::Error` well enough for fan-out to several waiters.
+fn clone_err(e: &io::Error) -> io::Error {
+    io::Error::new(e.kind(), e.to_string())
 }
 
 impl Reactor {
@@ -303,23 +440,59 @@ impl Reactor {
             if self.poller.wait(&mut events, Some(timeout)).is_err() {
                 break;
             }
-            for event in events.iter() {
-                match event.token {
-                    TOKEN_LISTENER => self.accept_ready(),
-                    TOKEN_WAKER => self.waker.drain(),
-                    token => self.conn_event(token - TOKEN_BASE, event),
-                }
-            }
-            // Freed slots become reusable only once every event of the
-            // batch has been applied (see `freed_this_batch`).
-            self.free.append(&mut self.freed_this_batch);
+            self.dispatch(&events);
             self.fire_timers();
             if self.last_sweep.elapsed() >= Duration::from_secs(1) {
                 self.sweep_idle();
                 self.last_sweep = Instant::now();
             }
         }
+        self.drain(&mut events);
         // Dropping the slab closes every socket.
+    }
+
+    /// Applies one event batch.
+    fn dispatch(&mut self, events: &Events) {
+        for event in events.iter() {
+            match event.token {
+                TOKEN_LISTENER => self.accept_ready(),
+                TOKEN_WAKER => self.waker.drain(),
+                token => self.conn_event(token - TOKEN_BASE, event),
+            }
+        }
+        // Freed slots become reusable only once every event of the
+        // batch has been applied (see `freed_this_batch`).
+        self.free.append(&mut self.freed_this_batch);
+    }
+
+    /// Graceful-shutdown tail: stop accepting, keep serving until every
+    /// in-flight response is flushed or the grace period lapses.
+    fn drain(&mut self, events: &mut Events) {
+        self.pause_accepting();
+        let deadline = Instant::now() + DRAIN_GRACE;
+        while self.has_inflight() {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let timeout = (deadline - now).min(Duration::from_millis(10));
+            if self.poller.wait(events, Some(timeout)).is_err() {
+                break;
+            }
+            self.dispatch(events);
+            self.fire_timers();
+        }
+    }
+
+    /// Whether any connection still owes work (unflushed response bytes,
+    /// a pending delayed response, or an upstream fetch in flight).
+    fn has_inflight(&self) -> bool {
+        self.conns.iter().flatten().any(|conn| match &conn.kind {
+            Kind::Client(client) => {
+                !client.write_buf.is_empty() || !matches!(client.pending, Pending::None)
+            }
+            Kind::Upstream(up) => up.job.is_some(),
+        })
     }
 
     /// The wait bound: the nearest delayed-response deadline, else the
@@ -402,6 +575,7 @@ impl Reactor {
                             written: 0,
                             pending: Pending::None,
                             peer_closed: false,
+                            close_after_write: false,
                         }),
                     });
                     self.clients += 1;
@@ -441,7 +615,7 @@ impl Reactor {
                         .unwrap_or_else(|| {
                             io::Error::new(io::ErrorKind::BrokenPipe, "origin hung up")
                         });
-                    self.finish_upstream(idx, Err(err));
+                    self.upstream_broken(idx, err, true);
                     return;
                 }
                 if event.writable {
@@ -497,8 +671,7 @@ impl Reactor {
         if !self.drive_client(idx) {
             return;
         }
-        // EOF with nothing left to serve (idle keep-alive close, or a
-        // truncated request that can never complete): close now.
+        // EOF (or Connection: close) with nothing left to serve: close.
         if self.close_if_finished(idx) {
             return;
         }
@@ -507,13 +680,26 @@ impl Reactor {
 
     /// Parses and dispatches buffered requests while the connection has
     /// no response in flight. Returns `false` if the connection was
-    /// closed.
+    /// closed. Wraps the loop with the `driving` marker so completions
+    /// for *this* client queue instead of recursing (a pipelined burst
+    /// of synchronously failing misses must not nest one stack frame per
+    /// request).
     fn drive_client(&mut self, idx: usize) -> bool {
+        let prev = self.driving.replace(idx);
+        let alive = self.drive_client_inner(idx);
+        self.driving = prev;
+        alive
+    }
+
+    fn drive_client_inner(&mut self, idx: usize) -> bool {
         loop {
             let Some(conn) = self.conns[idx].as_mut() else { return false };
             let Kind::Client(client) = &mut conn.kind else { return false };
             if !client.write_buf.is_empty() || !matches!(client.pending, Pending::None) {
                 return true; // busy; pipelined requests wait their turn
+            }
+            if client.close_after_write {
+                return true; // response flushed path closes the socket
             }
             let (request, consumed) = match client.parser.advance(&client.read_buf) {
                 Ok(Some(parsed)) => parsed,
@@ -526,22 +712,23 @@ impl Reactor {
                 }
             };
             let _ = client.read_buf.split_to(consumed);
+            if !request.wants_keep_alive() {
+                client.close_after_write = true;
+            }
             match self.service.respond(&request) {
                 ServiceResult::Respond(response) => {
-                    let Some(conn) = self.conns[idx].as_mut() else { return false };
-                    let Kind::Client(client) = &mut conn.kind else { return false };
-                    client.write_buf = response.to_bytes();
-                    client.written = 0;
+                    self.queue_response(idx, response);
                     if !self.flush_client(idx) {
                         return false;
                     }
                 }
                 ServiceResult::RespondAfter(response, delay) => {
+                    let wire = self.response_bytes(idx, response);
                     let Some(conn) = self.conns[idx].as_mut() else { return false };
                     let Kind::Client(client) = &mut conn.kind else { return false };
                     client.pending = Pending::Delayed {
                         at: Instant::now() + delay,
-                        response: response.to_bytes(),
+                        response: wire,
                     };
                     self.delayed += 1;
                     return true;
@@ -551,17 +738,25 @@ impl Reactor {
                     request,
                     finish,
                 } => {
-                    if self.open_upstream(idx, addr, &request, finish) {
-                        // Fetch in flight; the upstream completion
-                        // resumes this connection.
-                        return !matches!(self.conns.get(idx), None | Some(None));
-                    }
-                    // The fetch failed synchronously and its error
-                    // response is already queued: flush and keep
-                    // driving iteratively (recursing here would nest
-                    // one stack frame per buffered request).
-                    if !self.flush_client(idx) {
-                        return false;
+                    self.submit_upstream(idx, addr, &request, finish);
+                    match self.conns.get(idx).and_then(Option::as_ref) {
+                        None => return false,
+                        Some(conn) => {
+                            let Kind::Client(client) = &conn.kind else { return false };
+                            if matches!(client.pending, Pending::Upstream(_)) {
+                                // Fetch in flight; its completion
+                                // resumes this connection.
+                                return true;
+                            }
+                            // The fetch concluded synchronously (connect
+                            // failure, or a coalesced job that finished
+                            // within this very call): its response is
+                            // queued. Flush and keep driving
+                            // iteratively.
+                            if !self.flush_client(idx) {
+                                return false;
+                            }
+                        }
                     }
                 }
                 ServiceResult::Close => {
@@ -570,6 +765,25 @@ impl Reactor {
                 }
             }
         }
+    }
+
+    /// Serializes a response for `idx`, honoring a pending
+    /// `Connection: close` by marking it on the response.
+    fn response_bytes(&mut self, idx: usize, mut response: Response) -> Vec<u8> {
+        let closing = matches!(
+            self.conns.get(idx).and_then(Option::as_ref),
+            Some(Conn {
+                kind: Kind::Client(ClientState {
+                    close_after_write: true,
+                    ..
+                }),
+                ..
+            })
+        );
+        if closing {
+            mutcon_http::connection::set_close(response.headers_mut());
+        }
+        response.to_bytes()
     }
 
     /// Writes as much of the pending response as the socket accepts.
@@ -604,14 +818,15 @@ impl Reactor {
         true
     }
 
-    /// Closes a half-closed connection once nothing more can be served:
-    /// the peer sent EOF, no response is in flight or owed, and (because
-    /// [`Reactor::drive_client`] ran to quiescence first) no complete
-    /// request remains buffered. Returns `true` if it closed.
+    /// Closes a connection once nothing more can be served: the peer
+    /// sent EOF (or asked for `Connection: close`), no response is in
+    /// flight or owed, and (because [`Reactor::drive_client`] ran to
+    /// quiescence first) no complete request remains buffered. Returns
+    /// `true` if it closed.
     fn close_if_finished(&mut self, idx: usize) -> bool {
         let Some(conn) = self.conns[idx].as_ref() else { return true };
         let Kind::Client(client) = &conn.kind else { return false };
-        if client.peer_closed
+        if (client.peer_closed || client.close_after_write)
             && client.write_buf.is_empty()
             && matches!(client.pending, Pending::None)
         {
@@ -645,105 +860,193 @@ impl Reactor {
     /// Queues a response on a client without driving the connection
     /// further (the caller decides when to flush/resume).
     fn queue_response(&mut self, idx: usize, response: Response) {
+        let wire = self.response_bytes(idx, response);
         let Some(conn) = self.conns[idx].as_mut() else { return };
         let Kind::Client(client) = &mut conn.kind else { return };
         client.pending = Pending::None;
-        client.write_buf = response.to_bytes();
+        client.write_buf = wire;
         client.written = 0;
     }
 
-    /// Starts a nonblocking upstream fetch on behalf of client `idx`.
-    /// Returns `false` if the fetch failed synchronously — the error
-    /// response is then already queued on the client, NOT flushed, so
-    /// the caller ([`Reactor::drive_client`]) continues iteratively
-    /// instead of recursing one frame per buffered request.
-    fn open_upstream(
+    /// Files a cache miss with the pool: coalesces onto an identical
+    /// in-flight fetch or starts a new one. On synchronous failure the
+    /// error response is queued on the client (not flushed), so
+    /// [`Reactor::drive_client_inner`] continues iteratively.
+    fn submit_upstream(
         &mut self,
         client_idx: usize,
         addr: SocketAddr,
         request: &Request,
         finish: FinishUpstream,
-    ) -> bool {
-        let stream = match connect_nonblocking(addr) {
-            Ok(stream) => stream,
-            Err(e) => {
-                self.queue_response(client_idx, finish(Err(e)));
-                return false;
-            }
+    ) {
+        let wire = request.to_bytes();
+        let waiter = Waiting {
+            client: client_idx,
+            finish,
         };
-        let idx = self.alloc_slot();
-        if self
-            .poller
-            .register(stream.as_raw_fd(), idx + TOKEN_BASE, Interest::WRITABLE)
-            .is_err()
-        {
-            self.free.push(idx);
-            let err = io::Error::new(io::ErrorKind::Other, "cannot register upstream socket");
-            self.queue_response(client_idx, finish(Err(err)));
-            return false;
-        }
-        self.conns[idx] = Some(Conn {
-            stream,
-            interest: Interest::WRITABLE,
-            last_activity: Instant::now(),
-            kind: Kind::Upstream(UpstreamState {
-                client: client_idx,
-                request: request.to_bytes(),
-                written: 0,
-                read_buf: BytesMut::new(),
-                parser: ResponseParser::new(),
-                finish: Some(finish),
-                connected: false,
-            }),
-        });
+        let submitted = self.pool.submit(addr, wire, waiter);
+        let job = submitted.job();
         if let Some(conn) = self.conns[client_idx].as_mut() {
             if let Kind::Client(client) = &mut conn.kind {
-                client.pending = Pending::Upstream(idx);
+                client.pending = Pending::Upstream(job);
             }
         }
-        true
+        if matches!(submitted, Submit::New(_)) {
+            self.pump_origin(addr);
+        }
+    }
+
+    /// Starts queued fetches for `addr` on whatever capacity exists:
+    /// parked keep-alive connections first, then fresh sockets up to the
+    /// per-origin cap. Jobs beyond capacity stay queued; completions
+    /// call back here.
+    fn pump_origin(&mut self, addr: SocketAddr) {
+        while let Some(job) = self.pool.front_queued(addr) {
+            if let Some(conn_idx) = self.pool.claim_idle(addr) {
+                self.pool.pop_queued(addr);
+                self.pool.assign(job, conn_idx);
+                if let Some(conn) = self.conns[conn_idx].as_mut() {
+                    if let Kind::Upstream(up) = &mut conn.kind {
+                        up.job = Some(job);
+                        up.written = 0;
+                        up.read_buf.clear();
+                        up.parser = ResponseParser::new();
+                    }
+                    conn.last_activity = Instant::now();
+                }
+                // The parked socket is almost certainly writable: push
+                // the request now instead of waiting for a poll round.
+                self.upstream_writable(conn_idx);
+            } else if self.pool.can_open(addr) {
+                match connect_nonblocking(addr) {
+                    Ok(stream) => {
+                        let idx = self.alloc_slot();
+                        if self
+                            .poller
+                            .register(stream.as_raw_fd(), idx + TOKEN_BASE, Interest::WRITABLE)
+                            .is_err()
+                        {
+                            self.free.push(idx);
+                            self.pool.pop_queued(addr);
+                            let err = io::Error::new(
+                                io::ErrorKind::Other,
+                                "cannot register upstream socket",
+                            );
+                            if let Some(j) = self.pool.complete(job) {
+                                self.deliver(j, Err(err));
+                            }
+                            continue;
+                        }
+                        self.conns[idx] = Some(Conn {
+                            stream,
+                            interest: Interest::WRITABLE,
+                            last_activity: Instant::now(),
+                            kind: Kind::Upstream(UpstreamState {
+                                addr,
+                                job: Some(job),
+                                written: 0,
+                                read_buf: BytesMut::new(),
+                                parser: ResponseParser::new(),
+                                connected: false,
+                                served: 0,
+                            }),
+                        });
+                        self.pool.pop_queued(addr);
+                        self.pool.assign(job, idx);
+                        self.pool.note_opened(addr);
+                        // The connect concludes via EPOLLOUT.
+                    }
+                    Err(e) => {
+                        self.pool.pop_queued(addr);
+                        if let Some(j) = self.pool.complete(job) {
+                            self.deliver(j, Err(e));
+                        }
+                        continue;
+                    }
+                }
+            } else {
+                break; // at the per-origin cap; completions re-pump
+            }
+        }
     }
 
     fn upstream_writable(&mut self, idx: usize) {
-        let Some(conn) = self.conns[idx].as_mut() else { return };
-        let Kind::Upstream(upstream) = &mut conn.kind else { return };
-        if !upstream.connected {
+        // Split borrows: the connection lives in `conns`, its request
+        // bytes in the pool's job.
+        let (conns, pool) = (&mut self.conns, &self.pool);
+        let Some(conn) = conns[idx].as_mut() else { return };
+        let Kind::Upstream(up) = &mut conn.kind else { return };
+        if !up.connected {
             // Writability concludes the nonblocking connect; SO_ERROR
             // says how it went.
             match conn.stream.take_error() {
-                Ok(None) => upstream.connected = true,
+                Ok(None) => up.connected = true,
                 Ok(Some(e)) | Err(e) => {
-                    self.finish_upstream(idx, Err(e));
+                    self.upstream_broken(idx, e, true);
                     return;
                 }
             }
         }
-        while upstream.written < upstream.request.len() {
-            match conn.stream.write(&upstream.request[upstream.written..]) {
+        let Some(job) = up.job else {
+            return; // parked idle; nothing to write
+        };
+        let Some(request) = pool.job(job).map(|j| &j.request[..]) else {
+            return;
+        };
+        let mut broken: Option<io::Error> = None;
+        while up.written < request.len() {
+            match conn.stream.write(&request[up.written..]) {
                 Ok(0) => {
-                    let err = io::Error::new(io::ErrorKind::WriteZero, "origin closed mid-request");
-                    self.finish_upstream(idx, Err(err));
+                    broken = Some(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "origin closed mid-request",
+                    ));
+                    break;
+                }
+                Ok(n) => up.written += n,
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    // Partial write: wait for EPOLLOUT.
+                    if conn.interest != Interest::WRITABLE {
+                        conn.interest = Interest::WRITABLE;
+                        let _ = self.poller.modify(
+                            conn.stream.as_raw_fd(),
+                            idx + TOKEN_BASE,
+                            Interest::WRITABLE,
+                        );
+                    }
                     return;
                 }
-                Ok(n) => upstream.written += n,
-                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => return,
                 Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(e) => {
-                    self.finish_upstream(idx, Err(e));
-                    return;
+                    broken = Some(e);
+                    break;
                 }
             }
         }
+        if let Some(err) = broken {
+            self.upstream_broken(idx, err, true);
+            return;
+        }
         conn.last_activity = Instant::now();
-        conn.interest = Interest::READABLE;
-        let _ = self
-            .poller
-            .modify(conn.stream.as_raw_fd(), idx + TOKEN_BASE, Interest::READABLE);
+        if conn.interest != Interest::READABLE {
+            conn.interest = Interest::READABLE;
+            let _ = self
+                .poller
+                .modify(conn.stream.as_raw_fd(), idx + TOKEN_BASE, Interest::READABLE);
+        }
     }
 
     fn upstream_readable(&mut self, idx: usize) {
         let Some(conn) = self.conns[idx].as_mut() else { return };
-        let Kind::Upstream(upstream) = &mut conn.kind else { return };
+        let Kind::Upstream(up) = &mut conn.kind else { return };
+        if up.job.is_none() {
+            // A parked idle connection turned readable: the origin
+            // closed it (EOF) or sent nonsense — either way the socket
+            // is useless; reap it before a job can be assigned to it.
+            let err = io::Error::new(io::ErrorKind::BrokenPipe, "pooled origin socket closed");
+            self.upstream_broken(idx, err, true);
+            return;
+        }
         let mut saw_eof = false;
         let mut chunk = [0u8; 16 * 1024];
         loop {
@@ -752,54 +1055,134 @@ impl Reactor {
                     saw_eof = true;
                     break;
                 }
-                Ok(n) => upstream.read_buf.extend_from_slice(&chunk[..n]),
+                Ok(n) => up.read_buf.extend_from_slice(&chunk[..n]),
                 Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(e) => {
-                    self.finish_upstream(idx, Err(e));
+                    self.upstream_broken(idx, e, true);
                     return;
                 }
             }
         }
         conn.last_activity = Instant::now();
-        match upstream.parser.advance(&upstream.read_buf) {
-            Ok(Some((response, _consumed))) => {
-                self.finish_upstream(idx, Ok(response));
+        match up.parser.advance(&up.read_buf) {
+            Ok(Some((response, consumed))) => {
+                let leftover = up.read_buf.len() > consumed;
+                let reusable = !saw_eof && !leftover && response.wants_keep_alive();
+                let addr = up.addr;
+                let job = up.job.take().expect("checked above");
+                up.served += 1;
+                if reusable {
+                    // Park for the next fetch to this origin.
+                    up.read_buf.clear();
+                    up.parser = ResponseParser::new();
+                    up.written = 0;
+                    if conn.interest != Interest::READABLE {
+                        conn.interest = Interest::READABLE;
+                        let _ = self.poller.modify(
+                            conn.stream.as_raw_fd(),
+                            idx + TOKEN_BASE,
+                            Interest::READABLE,
+                        );
+                    }
+                    self.pool.release_idle(addr, idx, Instant::now());
+                } else {
+                    // One-shot connection (origin said close, or the
+                    // stream is already at EOF).
+                    self.conns[idx] = None;
+                    self.freed_this_batch.push(idx);
+                    self.pool.note_closed(addr);
+                }
+                if let Some(j) = self.pool.complete(job) {
+                    self.deliver(j, Ok(response));
+                }
+                self.pump_origin(addr);
             }
             Ok(None) if saw_eof => {
                 let err = io::Error::new(
                     io::ErrorKind::UnexpectedEof,
                     "origin closed mid-response",
                 );
-                self.finish_upstream(idx, Err(err));
+                self.upstream_broken(idx, err, true);
             }
             Ok(None) => {}
             Err(e) => {
                 let err = io::Error::new(io::ErrorKind::InvalidData, e);
-                self.finish_upstream(idx, Err(err));
+                self.upstream_broken(idx, err, true);
             }
         }
     }
 
-    /// Tears down the upstream connection and hands its outcome to the
-    /// waiting client.
-    fn finish_upstream(&mut self, idx: usize, result: io::Result<Response>) {
-        let Some(mut conn) = self.conns[idx].take() else { return };
+    /// Tears down an upstream connection that can no longer serve. A
+    /// *reused* pooled socket that died before yielding a single
+    /// response byte was closed by the origin while parked — its job is
+    /// retried once on a fresh socket (unless `allow_retry` is false,
+    /// e.g. a timeout: the origin is slow, not the socket stale);
+    /// everything else fails the job to its waiters.
+    fn upstream_broken(&mut self, idx: usize, err: io::Error, allow_retry: bool) {
+        let Some(conn) = self.conns[idx].take() else { return };
         self.freed_this_batch.push(idx);
-        let Kind::Upstream(upstream) = &mut conn.kind else { return };
-        let client_idx = upstream.client;
-        let finish = upstream.finish.take().expect("finish consumed once");
-        drop(conn); // closes the socket (and its epoll registration)
-        self.complete_client(client_idx, finish(result));
+        let Kind::Upstream(up) = &conn.kind else { return };
+        let addr = up.addr;
+        self.pool.note_closed(addr);
+        match up.job {
+            None => {
+                // Died while parked: just forget it.
+                self.pool.forget_idle(idx);
+                drop(conn);
+            }
+            Some(job) => {
+                let got_bytes = !up.read_buf.is_empty() || up.parser.in_progress();
+                let served = up.served;
+                drop(conn); // closes the socket before any retry connects
+                if allow_retry && self.pool.retry_eligible(job, served, got_bytes) {
+                    self.pool.requeue_for_retry(job);
+                } else if let Some(j) = self.pool.complete(job) {
+                    self.deliver(j, Err(err));
+                }
+            }
+        }
+        self.pump_origin(addr);
+    }
+
+    /// Hands a finished job's outcome to every waiter, in arrival order.
+    /// All but the last waiter receive clones.
+    fn deliver(&mut self, job: Job<Waiting>, result: io::Result<Response>) {
+        let mut waiters = job.waiters;
+        match result {
+            Ok(response) => {
+                let last = waiters.pop();
+                for waiter in waiters {
+                    let reply = (waiter.finish)(Ok(response.clone()));
+                    self.complete_client(waiter.client, reply);
+                }
+                if let Some(waiter) = last {
+                    let reply = (waiter.finish)(Ok(response));
+                    self.complete_client(waiter.client, reply);
+                }
+            }
+            Err(err) => {
+                for waiter in waiters {
+                    let reply = (waiter.finish)(Err(clone_err(&err)));
+                    self.complete_client(waiter.client, reply);
+                }
+            }
+        }
     }
 
     /// Delivers an asynchronously produced response (upstream
-    /// completion) to a client and resumes the connection.
+    /// completion) to a client and resumes the connection — unless that
+    /// client is the one currently being driven, in which case the
+    /// response is only queued and the active drive loop flushes it
+    /// (keeping pipelined bursts iterative instead of recursive).
     fn complete_client(&mut self, idx: usize, response: Response) {
         if self.conns[idx].is_none() {
             return; // client gone; drop the response
         }
         self.queue_response(idx, response);
+        if self.driving == Some(idx) {
+            return;
+        }
         self.resume_client(idx);
     }
 
@@ -839,7 +1222,8 @@ impl Reactor {
         }
     }
 
-    /// Closes connections that have made no progress in a long time.
+    /// Closes connections that have made no progress in a long time and
+    /// reaps long-idle pooled origin sockets.
     fn sweep_idle(&mut self) {
         let now = Instant::now();
         let stale: Vec<(usize, bool)> = self
@@ -851,33 +1235,48 @@ impl Reactor {
                 let idle = now.duration_since(conn.last_activity);
                 match &conn.kind {
                     Kind::Client(_) if idle > IDLE_TIMEOUT => Some((idx, false)),
-                    Kind::Upstream(_) if idle > UPSTREAM_TIMEOUT => Some((idx, true)),
+                    Kind::Upstream(up) if up.job.is_some() && idle > UPSTREAM_TIMEOUT => {
+                        Some((idx, true))
+                    }
                     _ => None,
                 }
             })
             .collect();
         for (idx, is_upstream) in stale {
             if is_upstream {
+                // A timeout is a slow origin, not a stale socket: fail
+                // the job outright rather than burning the retry.
                 let err = io::Error::new(io::ErrorKind::TimedOut, "origin fetch timed out");
-                self.finish_upstream(idx, Err(err));
+                self.upstream_broken(idx, err, false);
             } else {
                 self.close_client(idx);
             }
         }
+        // Pooled idle sockets past their keep time.
+        for (idx, addr) in self.pool.reap_idle(now, POOL_IDLE_TIMEOUT) {
+            if let Some(conn) = self.conns[idx].take() {
+                self.freed_this_batch.push(idx);
+                self.pool.note_closed(addr);
+                drop(conn);
+            }
+        }
     }
 
-    /// Closes a client connection and any upstream fetch it owns.
+    /// Closes a client connection, detaching it from any fetch it waits
+    /// on (the last waiter leaving a queued fetch cancels it).
     fn close_client(&mut self, idx: usize) {
         let Some(conn) = self.conns[idx].take() else { return };
         self.freed_this_batch.push(idx);
         if let Kind::Client(client) = &conn.kind {
             self.clients -= 1;
             match client.pending {
-                Pending::Upstream(upstream_idx) => {
-                    // The response has nobody to go to; abandon the fetch.
-                    if let Some(up) = self.conns[upstream_idx].take() {
-                        drop(up);
-                        self.freed_this_batch.push(upstream_idx);
+                Pending::Upstream(job) => {
+                    match self.pool.leave(job, |w| w.client == idx) {
+                        // Other clients still await the fetch, or a
+                        // connection is already fetching (it will finish
+                        // and park; the result is discarded).
+                        AfterLeave::StillWanted | AfterLeave::Orphaned => {}
+                        AfterLeave::Dropped => {}
                     }
                 }
                 Pending::Delayed { .. } => self.delayed -= 1,
@@ -953,6 +1352,41 @@ mod tests {
     }
 
     #[test]
+    fn connection_close_is_honored() {
+        let server = EventLoop::start("test-close", Arc::new(Echo)).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        write_request(
+            &mut stream,
+            &Request::get("/last").connection_close().build(),
+        )
+        .unwrap();
+        let mut buf = BytesMut::new();
+        let resp = read_response(&mut stream, &mut buf).unwrap();
+        assert_eq!(&resp.body()[..], b"/last");
+        // The server echoes the close decision and hangs up.
+        assert!(!resp.wants_keep_alive(), "response must advertise close");
+        let mut rest = Vec::new();
+        assert_eq!(stream.read_to_end(&mut rest).unwrap(), 0);
+    }
+
+    #[test]
+    fn multiple_reactors_all_serve() {
+        let server =
+            EventLoop::with_options("test-multi", Arc::new(Echo), 64, 4).unwrap();
+        assert_eq!(server.reactor_count(), 4);
+        // Enough connections that the kernel spreads them over several
+        // listeners; every one must be served regardless of shard.
+        for i in 0..32 {
+            let resp = get(server.local_addr(), &format!("/conn/{i}")).unwrap();
+            assert_eq!(resp.status(), StatusCode::OK);
+            assert_eq!(&resp.body()[..], format!("/conn/{i}").as_bytes());
+        }
+    }
+
+    #[test]
     fn delayed_responses_do_not_block_other_connections() {
         struct Sleepy;
         impl Service for Sleepy {
@@ -967,7 +1401,7 @@ mod tests {
                 }
             }
         }
-        let server = EventLoop::start("test-sleepy", Arc::new(Sleepy)).unwrap();
+        let server = EventLoop::with_options("test-sleepy", Arc::new(Sleepy), 64, 1).unwrap();
 
         let mut slow = TcpStream::connect(server.local_addr()).unwrap();
         slow.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
@@ -989,7 +1423,8 @@ mod tests {
 
     #[test]
     fn connection_bound_parks_clients_in_backlog() {
-        let server = EventLoop::with_capacity("test-bound", Arc::new(Echo), 2).unwrap();
+        // One reactor so the two capacity slots are a single bound.
+        let server = EventLoop::with_options("test-bound", Arc::new(Echo), 2, 1).unwrap();
         // Fill both slots with idle keep-alive connections.
         let _a = TcpStream::connect(server.local_addr()).unwrap();
         let _b = TcpStream::connect(server.local_addr()).unwrap();
@@ -1048,5 +1483,25 @@ mod tests {
         assert_eq!(conns_from(Some(" 2048 ")), 2048);
         assert_eq!(conns_from(Some("0")), DEFAULT_MAX_CONNS);
         assert_eq!(conns_from(Some("junk")), DEFAULT_MAX_CONNS);
+    }
+
+    #[test]
+    fn small_connection_bounds_cap_the_reactor_count() {
+        // A bound of 2 must mean 2 connections total, not 2 per shard:
+        // the reactor count collapses to the bound.
+        let server = EventLoop::with_options("test-tiny-bound", Arc::new(Echo), 2, 8).unwrap();
+        assert_eq!(server.reactor_count(), 2);
+        assert_eq!(get(server.local_addr(), "/ok").unwrap().status(), StatusCode::OK);
+    }
+
+    #[test]
+    fn reactors_env_parsing() {
+        assert_eq!(reactors_from(None), default_reactors());
+        assert_eq!(reactors_from(Some("4")), 4);
+        assert_eq!(reactors_from(Some(" 2 ")), 2);
+        assert_eq!(reactors_from(Some("0")), default_reactors());
+        assert_eq!(reactors_from(Some("junk")), default_reactors());
+        assert_eq!(reactors_from(Some("100000")), MAX_REACTORS);
+        assert!(default_reactors() >= 1);
     }
 }

@@ -1,0 +1,533 @@
+//! Bookkeeping for the keep-alive origin connection pool.
+//!
+//! PR 2's upstream path opened one socket per cache miss — a 2001-era
+//! `Connection: close` client. This module is the ledger behind its
+//! replacement: per-reactor pools of persistent nonblocking origin
+//! connections with
+//!
+//! * **miss coalescing** — concurrent misses whose serialized request
+//!   bytes match share one *job*; N waiters, one origin fetch;
+//! * **connection reuse** — a connection that finishes a response with
+//!   keep-alive semantics parks in an idle list and serves the next
+//!   queued job without a fresh TCP handshake;
+//! * **bounded fan-out** — at most [`MAX_CONNS_PER_ORIGIN`] sockets per
+//!   origin per reactor; excess jobs queue FIFO;
+//! * **stale-socket retry** — a *reused* connection that dies before
+//!   yielding a single response byte was a pooled socket the origin had
+//!   already closed; the job is requeued (once) instead of failed.
+//!
+//! The pool here is pure bookkeeping — no sockets, no I/O — so every
+//! transition is unit-testable deterministically. The reactor in
+//! [`crate::server`] owns the actual connections (as slab entries) and
+//! drives this ledger from its event handlers. The ledger is generic
+//! over the waiter payload `W` (the reactor uses the waiting client's
+//! slab index plus its completion callback; tests use plain integers).
+
+use std::collections::{HashMap, VecDeque};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Upper bound on simultaneously open connections per origin address
+/// (per reactor). Misses beyond it queue rather than fan out — the
+/// origin sees bounded concurrency no matter how bursty the misses are.
+pub const MAX_CONNS_PER_ORIGIN: usize = 32;
+
+/// Identifies one fetch job within a pool.
+pub type JobId = usize;
+
+/// How a submitted miss was filed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Submit {
+    /// An identical fetch was already in flight (or queued); the waiter
+    /// was added to it. No new origin work.
+    Coalesced(JobId),
+    /// A new job was created and queued; the caller should try to start
+    /// it ([`PoolCore::claim_idle`] / [`PoolCore::can_open`]).
+    New(JobId),
+}
+
+impl Submit {
+    /// The job the waiter ended up on, either way.
+    pub fn job(self) -> JobId {
+        match self {
+            Submit::Coalesced(id) | Submit::New(id) => id,
+        }
+    }
+}
+
+/// What remains of a job after a waiter leaves it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AfterLeave {
+    /// Other waiters remain; the fetch continues.
+    StillWanted,
+    /// No waiters remain but a connection is already fetching; let it
+    /// finish (the result is discarded, the connection returns to the
+    /// pool).
+    Orphaned,
+    /// No waiters remained and the job was still queued — it has been
+    /// dropped entirely.
+    Dropped,
+}
+
+/// One coalesced fetch: the serialized request plus everyone awaiting
+/// its outcome.
+#[derive(Debug)]
+pub struct Job<W> {
+    /// Origin address.
+    pub addr: SocketAddr,
+    /// Serialized request — the wire bytes *and* the coalescing key
+    /// (shared with the key index, so neither side copies it).
+    pub request: Arc<[u8]>,
+    /// Waiters to deliver the outcome to.
+    pub waiters: Vec<W>,
+    /// Slab index of the connection fetching this job, once assigned.
+    pub assigned: Option<usize>,
+    /// Whether the stale-socket retry has been spent.
+    pub retried: bool,
+}
+
+/// The per-reactor pool ledger. See the module docs.
+#[derive(Debug)]
+pub struct PoolCore<W> {
+    jobs: Vec<Option<Job<W>>>,
+    free_jobs: Vec<usize>,
+    /// Coalescing index: origin → request bytes → live job. Nested so
+    /// lookups borrow the caller's bytes (`Arc<[u8]>: Borrow<[u8]>`)
+    /// instead of cloning a key per miss.
+    by_key: HashMap<SocketAddr, HashMap<Arc<[u8]>, JobId>>,
+    /// Jobs awaiting a connection, FIFO per origin.
+    queued: HashMap<SocketAddr, VecDeque<JobId>>,
+    /// Idle pooled connections per origin (slab index, parked-at), most
+    /// recently parked last.
+    idle: HashMap<SocketAddr, Vec<(usize, Instant)>>,
+    /// Open connections per origin (connecting + busy + idle).
+    open: HashMap<SocketAddr, usize>,
+    max_per_origin: usize,
+}
+
+impl<W> Default for PoolCore<W> {
+    fn default() -> Self {
+        PoolCore::new(MAX_CONNS_PER_ORIGIN)
+    }
+}
+
+impl<W> PoolCore<W> {
+    /// A ledger bounding each origin to `max_per_origin` connections.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_per_origin` is zero.
+    pub fn new(max_per_origin: usize) -> PoolCore<W> {
+        assert!(max_per_origin > 0, "pool needs at least one connection per origin");
+        PoolCore {
+            jobs: Vec::new(),
+            free_jobs: Vec::new(),
+            by_key: HashMap::new(),
+            queued: HashMap::new(),
+            idle: HashMap::new(),
+            open: HashMap::new(),
+            max_per_origin,
+        }
+    }
+
+    /// Files a miss: coalesces onto an identical live job, or creates
+    /// and queues a new one. The coalescing lookup borrows `request`;
+    /// only a genuinely new job takes ownership of the bytes.
+    pub fn submit(&mut self, addr: SocketAddr, request: Vec<u8>, waiter: W) -> Submit {
+        if let Some(&id) = self
+            .by_key
+            .get(&addr)
+            .and_then(|keys| keys.get(request.as_slice()))
+        {
+            self.jobs[id]
+                .as_mut()
+                .expect("indexed job is live")
+                .waiters
+                .push(waiter);
+            return Submit::Coalesced(id);
+        }
+        let id = match self.free_jobs.pop() {
+            Some(id) => id,
+            None => {
+                self.jobs.push(None);
+                self.jobs.len() - 1
+            }
+        };
+        let request: Arc<[u8]> = request.into();
+        self.by_key
+            .entry(addr)
+            .or_default()
+            .insert(Arc::clone(&request), id);
+        self.jobs[id] = Some(Job {
+            addr,
+            request,
+            waiters: vec![waiter],
+            assigned: None,
+            retried: false,
+        });
+        self.queued.entry(addr).or_default().push_back(id);
+        Submit::New(id)
+    }
+
+    /// The next queued job for `addr` without removing it.
+    pub fn front_queued(&self, addr: SocketAddr) -> Option<JobId> {
+        self.queued.get(&addr)?.front().copied()
+    }
+
+    /// Removes and returns the next queued job for `addr`.
+    pub fn pop_queued(&mut self, addr: SocketAddr) -> Option<JobId> {
+        let id = self.queued.get_mut(&addr)?.pop_front();
+        if self.queued.get(&addr).is_some_and(VecDeque::is_empty) {
+            self.queued.remove(&addr);
+        }
+        id
+    }
+
+    /// Claims the most recently parked idle connection for `addr`.
+    pub fn claim_idle(&mut self, addr: SocketAddr) -> Option<usize> {
+        let list = self.idle.get_mut(&addr)?;
+        let (conn, _) = list.pop()?;
+        if list.is_empty() {
+            self.idle.remove(&addr);
+        }
+        Some(conn)
+    }
+
+    /// Whether another connection to `addr` may be opened.
+    pub fn can_open(&self, addr: SocketAddr) -> bool {
+        self.open.get(&addr).copied().unwrap_or(0) < self.max_per_origin
+    }
+
+    /// Records a connection opened to `addr` (connecting counts).
+    pub fn note_opened(&mut self, addr: SocketAddr) {
+        *self.open.entry(addr).or_insert(0) += 1;
+    }
+
+    /// Records a connection to `addr` closed (for any reason).
+    pub fn note_closed(&mut self, addr: SocketAddr) {
+        if let Some(n) = self.open.get_mut(&addr) {
+            *n -= 1;
+            if *n == 0 {
+                self.open.remove(&addr);
+            }
+        }
+    }
+
+    /// Marks `job` as being fetched by connection `conn`.
+    pub fn assign(&mut self, job: JobId, conn: usize) {
+        if let Some(j) = self.jobs[job].as_mut() {
+            j.assigned = Some(conn);
+        }
+    }
+
+    /// Read access to a job.
+    pub fn job(&self, job: JobId) -> Option<&Job<W>> {
+        self.jobs.get(job).and_then(Option::as_ref)
+    }
+
+    /// Completes (or fails) a job: removes it from every index and
+    /// returns it so the caller can deliver to the waiters.
+    pub fn complete(&mut self, job: JobId) -> Option<Job<W>> {
+        let j = self.jobs.get_mut(job)?.take()?;
+        self.free_jobs.push(job);
+        if let Some(keys) = self.by_key.get_mut(&j.addr) {
+            keys.remove(&j.request[..]);
+            if keys.is_empty() {
+                self.by_key.remove(&j.addr);
+            }
+        }
+        if j.assigned.is_none() {
+            // Still queued (synchronous failure): unlink it.
+            if let Some(q) = self.queued.get_mut(&j.addr) {
+                q.retain(|&id| id != job);
+                if q.is_empty() {
+                    self.queued.remove(&j.addr);
+                }
+            }
+        }
+        Some(j)
+    }
+
+    /// Whether `job` may use its stale-socket retry, given that the
+    /// connection serving it had already served `served` responses and
+    /// `got_bytes` says whether any response bytes arrived this time. A
+    /// reused pooled socket that dies *before the first response byte*
+    /// was simply closed by the origin while parked — retry on a fresh
+    /// socket; anything else is a real failure.
+    pub fn retry_eligible(&self, job: JobId, served: u32, got_bytes: bool) -> bool {
+        served > 0
+            && !got_bytes
+            && self
+                .job(job)
+                .is_some_and(|j| !j.retried && !j.waiters.is_empty())
+    }
+
+    /// Returns a failed job to the *front* of its origin's queue for the
+    /// one-shot stale-socket retry.
+    pub fn requeue_for_retry(&mut self, job: JobId) {
+        if let Some(j) = self.jobs[job].as_mut() {
+            j.assigned = None;
+            j.retried = true;
+            self.queued.entry(j.addr).or_default().push_front(job);
+        }
+    }
+
+    /// Removes the waiters matching `leaving` from a job (a client that
+    /// closed before its fetch finished) and reports what is left.
+    pub fn leave(&mut self, job: JobId, mut leaving: impl FnMut(&W) -> bool) -> AfterLeave {
+        let Some(j) = self.jobs.get_mut(job).and_then(Option::as_mut) else {
+            return AfterLeave::Dropped;
+        };
+        j.waiters.retain(|w| !leaving(w));
+        if !j.waiters.is_empty() {
+            return AfterLeave::StillWanted;
+        }
+        if j.assigned.is_some() {
+            return AfterLeave::Orphaned;
+        }
+        self.complete(job);
+        AfterLeave::Dropped
+    }
+
+    /// Parks a connection as idle for `addr`.
+    pub fn release_idle(&mut self, addr: SocketAddr, conn: usize, now: Instant) {
+        self.idle.entry(addr).or_default().push((conn, now));
+    }
+
+    /// Removes a connection from the idle lists (it died while parked).
+    /// Returns its origin if it was indeed idle.
+    pub fn forget_idle(&mut self, conn: usize) -> Option<SocketAddr> {
+        let mut hit = None;
+        for (addr, list) in self.idle.iter_mut() {
+            if let Some(pos) = list.iter().position(|&(c, _)| c == conn) {
+                list.remove(pos);
+                hit = Some(*addr);
+                break;
+            }
+        }
+        if let Some(addr) = hit {
+            if self.idle.get(&addr).is_some_and(Vec::is_empty) {
+                self.idle.remove(&addr);
+            }
+        }
+        hit
+    }
+
+    /// Idle connections parked longer than `max_age`, removed from the
+    /// ledger and returned (with their origin) for the caller to close.
+    pub fn reap_idle(&mut self, now: Instant, max_age: std::time::Duration) -> Vec<(usize, SocketAddr)> {
+        let mut reaped = Vec::new();
+        for (addr, list) in self.idle.iter_mut() {
+            list.retain(|&(conn, since)| {
+                if now.duration_since(since) > max_age {
+                    reaped.push((conn, *addr));
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        self.idle.retain(|_, list| !list.is_empty());
+        reaped
+    }
+
+    /// Number of idle pooled connections for `addr` (tests).
+    pub fn idle_len(&self, addr: SocketAddr) -> usize {
+        self.idle.get(&addr).map_or(0, Vec::len)
+    }
+
+    /// Number of queued jobs for `addr` (tests).
+    pub fn queued_len(&self, addr: SocketAddr) -> usize {
+        self.queued.get(&addr).map_or(0, VecDeque::len)
+    }
+
+    /// Open connections recorded for `addr` (tests).
+    pub fn open_len(&self, addr: SocketAddr) -> usize {
+        self.open.get(&addr).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn addr(port: u16) -> SocketAddr {
+        format!("127.0.0.1:{port}").parse().unwrap()
+    }
+
+    #[test]
+    fn identical_requests_coalesce_onto_one_job() {
+        let mut pool: PoolCore<u32> = PoolCore::default();
+        let a = addr(9000);
+        let first = pool.submit(a, b"GET /x".to_vec(), 1);
+        let Submit::New(job) = first else {
+            panic!("first submit must create the job")
+        };
+        for waiter in 2..=100 {
+            assert_eq!(
+                pool.submit(a, b"GET /x".to_vec(), waiter),
+                Submit::Coalesced(job),
+                "waiter {waiter} must coalesce"
+            );
+        }
+        assert_eq!(pool.queued_len(a), 1, "one job, not one per waiter");
+        assert_eq!(pool.job(job).unwrap().waiters.len(), 100);
+    }
+
+    #[test]
+    fn different_keys_and_origins_do_not_coalesce() {
+        let mut pool: PoolCore<u32> = PoolCore::default();
+        let a = addr(9000);
+        let b = addr(9001);
+        assert!(matches!(pool.submit(a, b"GET /x".to_vec(), 1), Submit::New(_)));
+        assert!(matches!(pool.submit(a, b"GET /y".to_vec(), 2), Submit::New(_)));
+        assert!(matches!(pool.submit(b, b"GET /x".to_vec(), 3), Submit::New(_)));
+        assert_eq!(pool.queued_len(a), 2);
+        assert_eq!(pool.queued_len(b), 1);
+    }
+
+    #[test]
+    fn completion_unlinks_the_key_so_later_misses_refetch() {
+        let mut pool: PoolCore<u32> = PoolCore::default();
+        let a = addr(9000);
+        let job = pool.submit(a, b"GET /x".to_vec(), 1).job();
+        pool.pop_queued(a);
+        pool.assign(job, 7);
+        let done = pool.complete(job).unwrap();
+        assert_eq!(done.waiters, vec![1]);
+        // The key is free again: a new miss is a new fetch.
+        assert!(matches!(pool.submit(a, b"GET /x".to_vec(), 2), Submit::New(_)));
+    }
+
+    #[test]
+    fn job_slots_are_recycled() {
+        let mut pool: PoolCore<u32> = PoolCore::default();
+        let a = addr(9000);
+        let first = pool.submit(a, b"GET /x".to_vec(), 1).job();
+        pool.pop_queued(a);
+        pool.assign(first, 0);
+        pool.complete(first);
+        let second = pool.submit(a, b"GET /y".to_vec(), 2).job();
+        assert_eq!(first, second, "freed slot is reused");
+    }
+
+    #[test]
+    fn queue_caps_fan_out_per_origin() {
+        let mut pool: PoolCore<u32> = PoolCore::new(2);
+        let a = addr(9000);
+        assert!(pool.can_open(a));
+        pool.note_opened(a);
+        assert!(pool.can_open(a));
+        pool.note_opened(a);
+        assert!(!pool.can_open(a), "cap reached");
+        pool.note_closed(a);
+        assert!(pool.can_open(a));
+        assert_eq!(pool.open_len(a), 1);
+    }
+
+    #[test]
+    fn idle_connections_are_claimed_lifo() {
+        let mut pool: PoolCore<u32> = PoolCore::default();
+        let a = addr(9000);
+        let now = Instant::now();
+        pool.release_idle(a, 11, now);
+        pool.release_idle(a, 12, now);
+        // Most recently parked first: its socket is warmest.
+        assert_eq!(pool.claim_idle(a), Some(12));
+        assert_eq!(pool.claim_idle(a), Some(11));
+        assert_eq!(pool.claim_idle(a), None);
+    }
+
+    #[test]
+    fn idle_reaping_is_age_based() {
+        let mut pool: PoolCore<u32> = PoolCore::default();
+        let a = addr(9000);
+        let old = Instant::now() - Duration::from_secs(60);
+        let now = Instant::now();
+        pool.release_idle(a, 1, old);
+        pool.release_idle(a, 2, now);
+        let reaped = pool.reap_idle(now, Duration::from_secs(10));
+        assert_eq!(reaped, vec![(1, a)]);
+        assert_eq!(pool.idle_len(a), 1);
+    }
+
+    #[test]
+    fn forget_idle_removes_a_dead_parked_conn() {
+        let mut pool: PoolCore<u32> = PoolCore::default();
+        let a = addr(9000);
+        pool.release_idle(a, 5, Instant::now());
+        assert_eq!(pool.forget_idle(5), Some(a));
+        assert_eq!(pool.forget_idle(5), None);
+        assert_eq!(pool.idle_len(a), 0);
+    }
+
+    #[test]
+    fn stale_socket_retry_is_single_shot_and_reuse_only() {
+        let mut pool: PoolCore<u32> = PoolCore::default();
+        let a = addr(9000);
+        let job = pool.submit(a, b"GET /x".to_vec(), 1).job();
+        pool.pop_queued(a);
+        pool.assign(job, 3);
+
+        // A fresh (never-reused) connection failing is a real failure.
+        assert!(!pool.retry_eligible(job, 0, false));
+        // Response bytes arrived → mid-transfer death, not staleness.
+        assert!(!pool.retry_eligible(job, 2, true));
+        // Reused + zero bytes → retry once.
+        assert!(pool.retry_eligible(job, 2, false));
+        pool.requeue_for_retry(job);
+        assert_eq!(pool.front_queued(a), Some(job));
+        assert!(pool.job(job).unwrap().retried);
+        // The retry is spent.
+        pool.pop_queued(a);
+        pool.assign(job, 4);
+        assert!(!pool.retry_eligible(job, 5, false));
+    }
+
+    #[test]
+    fn retry_requeues_at_the_front() {
+        let mut pool: PoolCore<u32> = PoolCore::default();
+        let a = addr(9000);
+        let first = pool.submit(a, b"GET /x".to_vec(), 1).job();
+        let second = pool.submit(a, b"GET /y".to_vec(), 2).job();
+        pool.pop_queued(a);
+        pool.assign(first, 3);
+        pool.requeue_for_retry(first);
+        // The retried job goes ahead of the still-queued one.
+        assert_eq!(pool.pop_queued(a), Some(first));
+        assert_eq!(pool.pop_queued(a), Some(second));
+    }
+
+    #[test]
+    fn leaving_waiters_drop_queued_jobs_but_orphan_running_ones() {
+        let mut pool: PoolCore<u32> = PoolCore::default();
+        let a = addr(9000);
+
+        // Queued job, last waiter leaves → dropped entirely.
+        let queued = pool.submit(a, b"GET /q".to_vec(), 1).job();
+        assert_eq!(pool.leave(queued, |&w| w == 1), AfterLeave::Dropped);
+        assert_eq!(pool.queued_len(a), 0);
+        assert!(pool.job(queued).is_none());
+
+        // Running job: one of two waiters leaves → still wanted; the
+        // second leaves → orphaned (connection finishes, result binned).
+        let running = pool.submit(a, b"GET /r".to_vec(), 1).job();
+        pool.submit(a, b"GET /r".to_vec(), 2);
+        pool.pop_queued(a);
+        pool.assign(running, 9);
+        assert_eq!(pool.leave(running, |&w| w == 1), AfterLeave::StillWanted);
+        assert_eq!(pool.leave(running, |&w| w == 2), AfterLeave::Orphaned);
+        assert!(pool.job(running).unwrap().waiters.is_empty());
+        // Completion still works and frees the key.
+        pool.complete(running);
+        assert!(matches!(pool.submit(a, b"GET /r".to_vec(), 3), Submit::New(_)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one connection")]
+    fn zero_cap_rejected() {
+        let _ = PoolCore::<u32>::new(0);
+    }
+}

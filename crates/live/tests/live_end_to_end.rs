@@ -47,6 +47,7 @@ fn proxy_keeps_cached_object_fresh() {
         rules: vec![RefreshRule::new("/fast", Duration::from_millis(120))],
         group: None,
         cache_objects: None,
+        reactors: None,
     })
     .unwrap();
 
@@ -89,6 +90,7 @@ fn limd_backs_off_for_static_objects() {
             .ttr_max(Duration::from_millis(400))],
         group: None,
         cache_objects: None,
+        reactors: None,
     })
     .unwrap();
 
@@ -121,6 +123,7 @@ fn triggered_polls_keep_related_objects_in_step() {
             policy: MtPolicy::TriggeredPolls,
         }),
         cache_objects: None,
+        reactors: None,
     })
     .unwrap();
 
@@ -155,6 +158,7 @@ fn proxy_survives_origin_faults() {
         rules: vec![RefreshRule::new("/fast", Duration::from_millis(100))],
         group: None,
         cache_objects: None,
+        reactors: None,
     })
     .unwrap();
     let client = HttpClient::new();
@@ -198,6 +202,7 @@ fn stats_endpoint_and_miss_path() {
         rules: vec![], // no refresher: every first access is a miss
         group: None,
         cache_objects: None,
+        reactors: None,
     })
     .unwrap();
     let client = HttpClient::new();

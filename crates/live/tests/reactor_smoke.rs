@@ -47,6 +47,7 @@ fn five_hundred_concurrent_connections_through_one_reactor() {
         rules: vec![RefreshRule::new("/obj", Duration::from_millis(100))],
         group: None,
         cache_objects: None,
+        reactors: None,
     })
     .unwrap();
 
@@ -134,6 +135,7 @@ fn refreshes_during_reads_stay_consistent() {
         rules: vec![RefreshRule::new("/hot", Duration::from_millis(40))],
         group: None,
         cache_objects: Some(64),
+        reactors: None,
     })
     .unwrap();
     let addr = proxy.local_addr();
@@ -205,6 +207,7 @@ fn pipelined_miss_burst_against_dead_origin_is_iterative() {
         rules: vec![],
         group: None,
         cache_objects: None,
+        reactors: None,
     })
     .unwrap();
 
@@ -244,6 +247,7 @@ fn bounded_cache_misses_fetch_through_reactor() {
         rules: vec![], // no refresher: every path exercises the miss path
         group: None,
         cache_objects: Some(16), // far below the 64-object key space
+        reactors: None,
     })
     .unwrap();
 

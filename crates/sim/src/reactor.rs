@@ -32,7 +32,7 @@
 #![allow(unsafe_code)]
 
 use std::io;
-use std::net::{SocketAddr, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
 use std::sync::Arc;
 use std::time::Duration;
@@ -64,6 +64,10 @@ mod sys {
 
     pub const EINTR: i32 = 4;
     pub const EINPROGRESS: i32 = 115;
+
+    pub const SOL_SOCKET: c_int = 1;
+    pub const SO_REUSEADDR: c_int = 2;
+    pub const SO_REUSEPORT: c_int = 15;
 
     /// `struct epoll_event`; packed on x86-64 (the kernel ABI), naturally
     /// aligned everywhere else.
@@ -108,6 +112,15 @@ mod sys {
         pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
         pub fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
         pub fn connect(fd: c_int, addr: *const c_void, len: u32) -> c_int;
+        pub fn setsockopt(
+            fd: c_int,
+            level: c_int,
+            optname: c_int,
+            optval: *const c_void,
+            optlen: u32,
+        ) -> c_int;
+        pub fn bind(fd: c_int, addr: *const c_void, len: u32) -> c_int;
+        pub fn listen(fd: c_int, backlog: c_int) -> c_int;
     }
 }
 
@@ -383,6 +396,52 @@ impl std::fmt::Debug for Waker {
     }
 }
 
+/// A `SocketAddr` encoded as the C sockaddr the syscalls expect.
+enum SockAddrStorage {
+    V4(sys::SockAddrIn),
+    V6(sys::SockAddrIn6),
+}
+
+impl SockAddrStorage {
+    fn encode(addr: SocketAddr) -> (i32, SockAddrStorage) {
+        match addr {
+            SocketAddr::V4(v4) => (
+                sys::AF_INET,
+                SockAddrStorage::V4(sys::SockAddrIn {
+                    family: sys::AF_INET as u16,
+                    port: v4.port().to_be(),
+                    addr: u32::from_ne_bytes(v4.ip().octets()),
+                    zero: [0; 8],
+                }),
+            ),
+            SocketAddr::V6(v6) => (
+                sys::AF_INET6,
+                SockAddrStorage::V6(sys::SockAddrIn6 {
+                    family: sys::AF_INET6 as u16,
+                    port: v6.port().to_be(),
+                    flowinfo: v6.flowinfo().to_be(),
+                    addr: v6.ip().octets(),
+                    scope_id: v6.scope_id(),
+                }),
+            ),
+        }
+    }
+
+    fn as_ptr(&self) -> *const std::os::raw::c_void {
+        match self {
+            SockAddrStorage::V4(v4) => (v4 as *const sys::SockAddrIn).cast(),
+            SockAddrStorage::V6(v6) => (v6 as *const sys::SockAddrIn6).cast(),
+        }
+    }
+
+    fn len(&self) -> u32 {
+        match self {
+            SockAddrStorage::V4(_) => std::mem::size_of::<sys::SockAddrIn>() as u32,
+            SockAddrStorage::V6(_) => std::mem::size_of::<sys::SockAddrIn6>() as u32,
+        }
+    }
+}
+
 /// Starts a non-blocking TCP connect to `addr` and returns the socket
 /// immediately — usually before the handshake finishes.
 ///
@@ -395,40 +454,7 @@ impl std::fmt::Debug for Waker {
 /// Returns immediately-diagnosable failures (no route, bad fd); an
 /// asynchronous refusal surfaces later via `take_error`.
 pub fn connect_nonblocking(addr: SocketAddr) -> io::Result<TcpStream> {
-    let (domain, sockaddr_ptr, sockaddr_len, _storage4, _storage6);
-    match addr {
-        SocketAddr::V4(v4) => {
-            domain = sys::AF_INET;
-            _storage4 = sys::SockAddrIn {
-                family: sys::AF_INET as u16,
-                port: v4.port().to_be(),
-                addr: u32::from_ne_bytes(v4.ip().octets()),
-                zero: [0; 8],
-            };
-            _storage6 = None::<sys::SockAddrIn6>;
-            sockaddr_ptr = (&_storage4 as *const sys::SockAddrIn).cast();
-            sockaddr_len = std::mem::size_of::<sys::SockAddrIn>() as u32;
-        }
-        SocketAddr::V6(v6) => {
-            domain = sys::AF_INET6;
-            _storage4 = sys::SockAddrIn {
-                family: 0,
-                port: 0,
-                addr: 0,
-                zero: [0; 8],
-            };
-            _storage6 = Some(sys::SockAddrIn6 {
-                family: sys::AF_INET6 as u16,
-                port: v6.port().to_be(),
-                flowinfo: v6.flowinfo().to_be(),
-                addr: v6.ip().octets(),
-                scope_id: v6.scope_id(),
-            });
-            sockaddr_ptr = (_storage6.as_ref().expect("just set") as *const sys::SockAddrIn6).cast();
-            sockaddr_len = std::mem::size_of::<sys::SockAddrIn6>() as u32;
-        }
-    }
-
+    let (domain, storage) = SockAddrStorage::encode(addr);
     let fd = cvt(unsafe {
         sys::socket(
             domain,
@@ -438,7 +464,7 @@ pub fn connect_nonblocking(addr: SocketAddr) -> io::Result<TcpStream> {
     })?;
     // Wrap first so the fd is closed on every early-return path.
     let stream = unsafe { TcpStream::from_raw_fd(fd) };
-    let ret = unsafe { sys::connect(fd, sockaddr_ptr, sockaddr_len) };
+    let ret = unsafe { sys::connect(fd, storage.as_ptr(), storage.len()) };
     if ret < 0 {
         let err = io::Error::last_os_error();
         if err.raw_os_error() != Some(sys::EINPROGRESS) {
@@ -448,11 +474,51 @@ pub fn connect_nonblocking(addr: SocketAddr) -> io::Result<TcpStream> {
     Ok(stream)
 }
 
+/// Creates a non-blocking TCP listener on `addr` with `SO_REUSEPORT`
+/// (and `SO_REUSEADDR`) set before binding.
+///
+/// Several listeners created this way may bind the *same* address: the
+/// kernel then load-balances incoming connections across them, which is
+/// how a multi-reactor server shards its accept path without a shared
+/// accept lock — each reactor owns one listener on the shared port.
+/// Bind the first listener with port 0 (ephemeral), read its local
+/// address, and bind the rest to that concrete address.
+///
+/// # Errors
+///
+/// Propagates socket/setsockopt/bind/listen failures.
+pub fn listen_reuseport(addr: SocketAddr) -> io::Result<TcpListener> {
+    let (domain, storage) = SockAddrStorage::encode(addr);
+    let fd = cvt(unsafe {
+        sys::socket(
+            domain,
+            sys::SOCK_STREAM | sys::SOCK_NONBLOCK | sys::SOCK_CLOEXEC,
+            0,
+        )
+    })?;
+    // Wrap first so the fd is closed on every early-return path.
+    let listener = unsafe { TcpListener::from_raw_fd(fd) };
+    let one: i32 = 1;
+    for opt in [sys::SO_REUSEADDR, sys::SO_REUSEPORT] {
+        cvt(unsafe {
+            sys::setsockopt(
+                fd,
+                sys::SOL_SOCKET,
+                opt,
+                (&one as *const i32).cast(),
+                std::mem::size_of::<i32>() as u32,
+            )
+        })?;
+    }
+    cvt(unsafe { sys::bind(fd, storage.as_ptr(), storage.len()) })?;
+    cvt(unsafe { sys::listen(fd, 1024) })?;
+    Ok(listener)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::io::{Read, Write};
-    use std::net::TcpListener;
 
     #[test]
     fn reports_accept_readiness() {
@@ -639,5 +705,54 @@ mod tests {
     fn zero_capacity_events_rejected() {
         let result = std::panic::catch_unwind(|| Events::with_capacity(0));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn reuseport_listeners_share_one_port() {
+        // First listener picks the ephemeral port; siblings join it.
+        let first = listen_reuseport("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = first.local_addr().unwrap();
+        let second = listen_reuseport(addr).unwrap();
+        assert_eq!(second.local_addr().unwrap(), addr);
+
+        // Both are nonblocking: accept with nothing pending is WouldBlock,
+        // not a hang.
+        for listener in [&first, &second] {
+            match listener.accept() {
+                Err(e) => assert_eq!(e.kind(), io::ErrorKind::WouldBlock),
+                Ok(_) => panic!("nothing connected yet"),
+            }
+        }
+
+        // A connection lands on exactly one of the two listeners.
+        let _client = TcpStream::connect(addr).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut accepted = 0;
+        while std::time::Instant::now() < deadline && accepted == 0 {
+            for listener in [&first, &second] {
+                if listener.accept().is_ok() {
+                    accepted += 1;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(accepted, 1, "kernel must route the connect to one shard");
+    }
+
+    #[test]
+    fn reuseport_listener_registers_with_poller() {
+        let listener = listen_reuseport("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let poller = Poller::new().unwrap();
+        poller
+            .register(listener.as_raw_fd(), 3, Interest::READABLE)
+            .unwrap();
+        let _client = TcpStream::connect(addr).unwrap();
+        let mut events = Events::with_capacity(4);
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert!(events.iter().next().unwrap().readable);
     }
 }

@@ -49,6 +49,7 @@ fn main() -> std::io::Result<()> {
             policy: MtPolicy::TriggeredPolls,
         }),
         cache_objects: None,
+        reactors: None,
     })?;
     println!("proxy   listening on {}\n", proxy.local_addr());
 

@@ -13,9 +13,15 @@ cargo test -q
 cargo test -q -p mutcon-bench --test determinism
 
 # Live-proxy smoke: origin + proxy on real sockets, hundreds of
-# concurrent clients through the single reactor thread — a stalled
-# event loop shows up here as read timeouts, not as a hang.
+# concurrent clients through the reactor threads — a stalled event
+# loop shows up here as read timeouts, not as a hang.
 cargo test -q -p mutcon-live --test reactor_smoke
+
+# live-multi: the deterministic concurrency harness (fake clock +
+# scripted origin + seeded schedules) under four reactors — miss
+# coalescing, mid-transfer origin death, stale pooled sockets,
+# refresh-vs-read interleavings, and the bit-identical-replay check.
+MUTCON_LIVE_REACTORS=4 cargo test -q -p mutcon-live --test concurrency
 
 # Perf snapshot: regenerate every figure plus the robustness grid with
 # the default worker count, then the live-proxy load run (recorded as
@@ -25,5 +31,11 @@ cargo test -q -p mutcon-live --test reactor_smoke
 # on a single core the comparison is skipped (there is no parallelism
 # to measure).
 target/release/repro --compare-serial --repeats 10 all > /dev/null
+
+# live-multi, part 2: the reactor-count sweep (1, 2, 4) of the live
+# proxy, spliced into BENCH_repro.json as live_bench_sweep. On a
+# 1-core runner the points stay flat; on real hardware they must not.
+target/release/repro live-bench --reactors 4 > /dev/null
+
 echo "--- BENCH_repro.json ---"
 cat BENCH_repro.json
