@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro [--threads N | --serial] [--repeats R] [--compare-serial]
-//!       [--conns C] [--rounds R] [--reactors N] [--bench-json PATH]
+//!       [--conns C] [--rounds R] [--reactors N] [--reload-every N]
+//!       [--bench-json PATH]
 //!       table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|ablation|bench|live-bench|all
 //! ```
 //!
@@ -32,7 +33,10 @@
 //! reactor-count *sweep* (1, 2, … powers of two up to N), prints every
 //! run, and records the sweep as the `live_bench_sweep` section of
 //! `BENCH_repro.json` (splicing into an existing report, so the sweep
-//! composes with a previous `all`).
+//! composes with a previous `all`). With `--reload-every N`, every N
+//! request waves a `PUT /admin/rules` swaps the hot object's Δ mid-load
+//! — the reconfigure scenario — and the run (throughput + p99 *across*
+//! the swaps) is recorded as the `live_reload` section.
 
 use std::time::Instant;
 
@@ -100,6 +104,10 @@ fn main() {
                 Some(r) if r > 0 => reactors_sweep = Some(r),
                 _ => usage_error("--reactors needs a positive integer"),
             },
+            "--reload-every" => match args.next().and_then(|r| r.parse().ok()) {
+                Some(n) if n > 0 => live.reload_every = Some(n),
+                _ => usage_error("--reload-every needs a positive integer"),
+            },
             "--bench-json" => match args.next() {
                 Some(p) => bench_json = p,
                 None => usage_error("--bench-json needs a path"),
@@ -117,6 +125,19 @@ fn main() {
         std::env::set_var(parallel::THREADS_ENV, n);
     }
     let target = target.unwrap_or_else(|| "all".to_owned());
+    if let Some(n) = live.reload_every {
+        if target != "live-bench" {
+            // `all` embeds a live-bench run as the PR-over-PR `live_bench`
+            // baseline; folding reload perturbation into that key would
+            // silently skew the trajectory it exists to track.
+            usage_error("--reload-every only applies to the live-bench target");
+        }
+        if n >= live.rounds {
+            // Wave 0 never reloads, so n >= rounds means a run with zero
+            // swaps would be recorded as the reconfigure scenario.
+            usage_error("--reload-every must be smaller than --rounds (no wave would reload)");
+        }
+    }
 
     let bench = move || bench_section(repeats);
     let known: &[(&'static str, &dyn Fn() -> Section)] = &[
@@ -226,6 +247,12 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        "live-bench" if reactors_sweep.is_some() && live.reload_every.is_some() => {
+            // A sweep point perturbed by mid-run reloads would record a
+            // misleading scaling curve, and the reload section would be
+            // ambiguous about which reactor count it measured.
+            usage_error("--reload-every cannot be combined with --reactors (run them separately)");
+        }
         "live-bench" => match reactors_sweep {
             // A reactor-count sweep, recorded into BENCH_repro.json.
             Some(max) => match mutcon_bench::livebench::sweep(live, max) {
@@ -235,7 +262,7 @@ fn main() {
                         println!();
                     }
                     let fragment = mutcon_bench::livebench::json_sweep_fragment(&reports);
-                    if let Err(e) = splice_sweep(&bench_json, &fragment) {
+                    if let Err(e) = splice_section(&bench_json, "live_bench_sweep", &fragment) {
                         eprintln!("[repro] cannot record the sweep in {bench_json}: {e}");
                         std::process::exit(1);
                     }
@@ -247,7 +274,22 @@ fn main() {
                 }
             },
             None => match mutcon_bench::livebench::run(live) {
-                Ok(report) => print!("{}", mutcon_bench::livebench::render(&report)),
+                Ok(report) => {
+                    print!("{}", mutcon_bench::livebench::render(&report));
+                    if live.reload_every.is_some() {
+                        // The reconfigure scenario: record throughput +
+                        // p99 across the mid-load rule swaps.
+                        let fragment = mutcon_bench::livebench::json_fragment(&report);
+                        if let Err(e) = splice_section(&bench_json, "live_reload", &fragment) {
+                            eprintln!("[repro] cannot record live_reload in {bench_json}: {e}");
+                            std::process::exit(1);
+                        }
+                        eprintln!(
+                            "[repro] recorded the {}-reload reconfigure run in {bench_json}",
+                            report.reloads
+                        );
+                    }
+                }
                 Err(e) => {
                     eprintln!("[repro] live-bench failed: {e}");
                     std::process::exit(1);
@@ -279,26 +321,27 @@ fn main() {
 fn usage_error(message: &str) -> ! {
     eprintln!("repro: {message}");
     eprintln!(
-        "usage: repro [--threads N | --serial] [--repeats R] [--compare-serial] [--conns C] [--rounds R] [--reactors N] [--bench-json PATH] <experiment|live-bench|all>"
+        "usage: repro [--threads N | --serial] [--repeats R] [--compare-serial] [--conns C] [--rounds R] [--reactors N] [--reload-every N] [--bench-json PATH] <experiment|live-bench|all>"
     );
     std::process::exit(2);
 }
 
-/// Records a reactor-count sweep in the benchmark report: replaces the
-/// `"live_bench_sweep"` line of an existing `BENCH_repro.json` (written
-/// by `repro all`), or writes a minimal report holding just the sweep
-/// when no file exists yet. Line-based splicing is safe because the
-/// report format is this binary's own, one key per line.
-fn splice_sweep(path: &str, sweep_fragment: &str) -> std::io::Result<()> {
-    let key = "\"live_bench_sweep\":";
+/// Records a standalone section in the benchmark report: replaces the
+/// `"<key>"` line of an existing `BENCH_repro.json` (written by `repro
+/// all`), or writes a minimal report holding just the section when no
+/// file exists yet. Line-based splicing is safe because the report
+/// format is this binary's own, one key per line. Used by the reactor
+/// sweep (`live_bench_sweep`) and the reconfigure run (`live_reload`).
+fn splice_section(path: &str, name: &str, fragment: &str) -> std::io::Result<()> {
+    let key = format!("\"{name}\":");
     match std::fs::read_to_string(path) {
         Ok(content) => {
-            let mut out = String::with_capacity(content.len() + sweep_fragment.len());
+            let mut out = String::with_capacity(content.len() + fragment.len());
             let mut replaced = false;
             for line in content.lines() {
-                if line.trim_start().starts_with(key) {
+                if line.trim_start().starts_with(&key) {
                     let comma = if line.trim_end().ends_with(',') { "," } else { "" };
-                    out.push_str(&format!("  {key} {sweep_fragment}{comma}\n"));
+                    out.push_str(&format!("  {key} {fragment}{comma}\n"));
                     replaced = true;
                 } else {
                     out.push_str(line);
@@ -306,15 +349,16 @@ fn splice_sweep(path: &str, sweep_fragment: &str) -> std::io::Result<()> {
                 }
             }
             if !replaced {
-                // A pre-sweep report: append the key inside the object.
+                // A report from before this key existed: append it
+                // inside the object.
                 out = format!(
-                    "{},\n  {key} {sweep_fragment}\n}}\n",
+                    "{},\n  {key} {fragment}\n}}\n",
                     out.trim_end().trim_end_matches('}').trim_end(),
                 );
             }
             std::fs::write(path, out)
         }
-        Err(_) => std::fs::write(path, format!("{{\n  {key} {sweep_fragment}\n}}\n")),
+        Err(_) => std::fs::write(path, format!("{{\n  {key} {fragment}\n}}\n")),
     }
 }
 
@@ -365,9 +409,12 @@ fn bench_report(
         )),
         None => out.push_str("  \"live_bench\": null,\n"),
     }
-    // Placeholder for `repro live-bench --reactors N`, which splices
-    // its reactor-count sweep over this line (see `splice_sweep`).
+    // Placeholders for `repro live-bench --reactors N` (reactor-count
+    // sweep) and `repro live-bench --reload-every N` (reconfigure run),
+    // which splice their sections over these lines (see
+    // `splice_section`).
     out.push_str("  \"live_bench_sweep\": null,\n");
+    out.push_str("  \"live_reload\": null,\n");
     out.push_str("  \"sections\": [\n");
     for (i, t) in sections.iter().enumerate() {
         let serial = match t.serial_wall {

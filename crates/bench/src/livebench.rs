@@ -40,6 +40,11 @@ pub struct LiveBenchConfig {
     /// Reactor threads for the proxy under test (`None` = the
     /// `MUTCON_LIVE_REACTORS` / one-per-core default).
     pub reactors: Option<usize>,
+    /// `Some(n)`: every `n` waves, `PUT /admin/rules` swaps the hot
+    /// object's Δ mid-load — the reconfigure scenario. The recorded
+    /// throughput and p99 then *include* the swaps, and every
+    /// established connection must survive them.
+    pub reload_every: Option<usize>,
 }
 
 impl Default for LiveBenchConfig {
@@ -49,6 +54,7 @@ impl Default for LiveBenchConfig {
             conns: 200,
             rounds: 5,
             reactors: None,
+            reload_every: None,
         }
     }
 }
@@ -78,6 +84,8 @@ pub struct LiveBenchReport {
     pub p99_ms: f64,
     /// Fraction of responses served from the proxy cache.
     pub hit_rate: f64,
+    /// Rule reloads applied mid-load (0 when `reload_every` is off).
+    pub reloads: u64,
 }
 
 /// An object updated every 25 ms — fast enough that the refresher keeps
@@ -148,15 +156,34 @@ pub fn run(config: LiveBenchConfig) -> io::Result<LiveBenchReport> {
 
     // Phase 2: `rounds` waves of one request per connection; all writes
     // land before any read, so every connection is in flight at once.
+    // With `reload_every` set, `PUT /admin/rules` swaps the refresh
+    // rule's Δ at the moment every connection has an unanswered request
+    // outstanding — the swap must not drop a single one of them.
     let wire = Request::get("/obj").build().to_bytes();
     let mut latencies_ms: Vec<f64> = Vec::with_capacity(conns * rounds);
     let mut hits = 0u64;
+    let mut reloads = 0u64;
     let serve_started = Instant::now();
-    for _ in 0..rounds {
+    for round in 0..rounds {
         let mut sent_at = Vec::with_capacity(conns);
         for sock in &mut socks {
             sent_at.push(Instant::now());
             sock.write_all(&wire)?;
+        }
+        // The swap lands while every connection has a request in
+        // flight: all writes are out, no response has been read yet.
+        if config.reload_every.is_some_and(|n| round > 0 && round % n == 0) {
+            // Toggle Δ 50 ms ↔ 20 ms so every reload is a real change.
+            let delta_ms = if reloads % 2 == 0 { 20 } else { 50 };
+            let body = format!(r#"{{"rules": [{{"path": "/obj", "delta_ms": {delta_ms}}}]}}"#);
+            let resp = warm.put(addr, "/admin/rules", body.into_bytes())?;
+            if resp.status() != StatusCode::OK {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("rules reload returned {}", resp.status()),
+                ));
+            }
+            reloads += 1;
         }
         for (sock, sent) in socks.iter_mut().zip(&sent_at) {
             let mut buf = BytesMut::new();
@@ -176,6 +203,22 @@ pub fn run(config: LiveBenchConfig) -> io::Result<LiveBenchReport> {
     let serve = serve_started.elapsed();
 
     latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    if reloads > 0 {
+        // Every swap must have landed: the proxy's epoch is the initial
+        // one plus one per reload.
+        let resp = warm.get(addr, "/admin/rules", None)?;
+        let doc = mutcon_traces::json::parse(
+            std::str::from_utf8(resp.body()).unwrap_or_default(),
+        )
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("admin rules: {e}")))?;
+        let epoch = doc.get("epoch").and_then(mutcon_traces::json::Json::as_u64);
+        if epoch != Some(1 + reloads) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected epoch {}, admin reports {epoch:?}", 1 + reloads),
+            ));
+        }
+    }
     let requests = (conns * rounds) as u64;
     Ok(LiveBenchReport {
         reactors: proxy.reactor_count(),
@@ -189,6 +232,7 @@ pub fn run(config: LiveBenchConfig) -> io::Result<LiveBenchReport> {
         p50_ms: percentile(&latencies_ms, 0.50),
         p99_ms: percentile(&latencies_ms, 0.99),
         hit_rate: hits as f64 / requests as f64,
+        reloads,
     })
 }
 
@@ -222,12 +266,18 @@ pub fn sweep(base: LiveBenchConfig, max_reactors: usize) -> io::Result<Vec<LiveB
 
 /// Renders the report as aligned text.
 pub fn render(report: &LiveBenchReport) -> String {
+    let reloading = if report.reloads > 0 {
+        format!(", {} mid-load rule reloads", report.reloads)
+    } else {
+        String::new()
+    };
     format!(
-        "Live proxy load — {} reactor(s), {} connections held open, {} request waves\n\
+        "Live proxy load — {} reactor(s), {} connections held open, {} request waves{}\n\
          {:<22} {:>12.0}\n{:<22} {:>12.0}\n{:<22} {:>12.3}\n{:<22} {:>12.3}\n{:<22} {:>12.3}\n",
         report.reactors,
         report.conns,
         report.rounds,
+        reloading,
         "conns/sec (open)",
         report.conns_per_sec,
         "requests/sec",
@@ -253,7 +303,7 @@ pub fn json_fragment(report: &LiveBenchReport) -> String {
     format!(
         "{{\"reactors\": {}, \"conns\": {}, \"rounds\": {}, \"requests\": {}, \"open_ms\": {:.3}, \
          \"conns_per_sec\": {:.1}, \"serve_ms\": {:.3}, \"requests_per_sec\": {:.1}, \
-         \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"hit_rate\": {:.3}}}",
+         \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"hit_rate\": {:.3}, \"reloads\": {}}}",
         report.reactors,
         report.conns,
         report.rounds,
@@ -265,6 +315,7 @@ pub fn json_fragment(report: &LiveBenchReport) -> String {
         report.p50_ms,
         report.p99_ms,
         report.hit_rate,
+        report.reloads,
     )
 }
 
@@ -278,11 +329,13 @@ mod tests {
             conns: 24,
             rounds: 2,
             reactors: Some(2),
+            reload_every: None,
         })
         .expect("bench run");
         assert_eq!(report.conns, 24);
         assert_eq!(report.requests, 48);
         assert_eq!(report.reactors, 2);
+        assert_eq!(report.reloads, 0);
         assert!(report.requests_per_sec > 0.0);
         assert!(report.conns_per_sec > 0.0);
         assert!(report.p50_ms <= report.p99_ms);
@@ -292,6 +345,25 @@ mod tests {
         let json = json_fragment(&report);
         assert!(json.contains("\"requests\": 48"));
         assert!(json.contains("\"reactors\": 2"));
+        assert!(json.contains("\"reloads\": 0"));
+    }
+
+    #[test]
+    fn reload_run_swaps_rules_mid_load() {
+        let report = run(LiveBenchConfig {
+            conns: 16,
+            rounds: 6,
+            reactors: Some(2),
+            reload_every: Some(2),
+        })
+        .expect("reload bench run");
+        // Waves 2 and 4 reload (wave 0 never does); every request is
+        // still served across the swaps.
+        assert_eq!(report.reloads, 2);
+        assert_eq!(report.requests, 96);
+        assert!(report.hit_rate > 0.5, "hit rate {}", report.hit_rate);
+        assert!(render(&report).contains("2 mid-load rule reloads"));
+        assert!(json_fragment(&report).contains("\"reloads\": 2"));
     }
 
     #[test]
@@ -301,6 +373,7 @@ mod tests {
                 conns: 8,
                 rounds: 1,
                 reactors: None,
+                reload_every: None,
             },
             4,
         )

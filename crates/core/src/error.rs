@@ -40,6 +40,13 @@ pub enum ConfigError {
         /// Number of members supplied.
         len: usize,
     },
+    /// A serialized configuration spec could not be parsed (see
+    /// [`crate::limd::LimdConfig::from_spec`] and
+    /// [`crate::mutual::temporal::MtPolicy`]'s `FromStr`).
+    InvalidSpec {
+        /// What was wrong with the spec text.
+        message: String,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -56,6 +63,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::GroupTooSmall { len } => {
                 write!(f, "a related-object group needs at least 2 members, got {len}")
+            }
+            ConfigError::InvalidSpec { message } => {
+                write!(f, "invalid configuration spec: {message}")
             }
         }
     }

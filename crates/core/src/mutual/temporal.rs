@@ -77,6 +77,48 @@ impl MtPolicy {
     pub const HEURISTIC: MtPolicy = MtPolicy::RateHeuristic { threshold: 0.75 };
 }
 
+/// The canonical wire form: `baseline`, `triggered`, or `rate:THRESHOLD`
+/// (round-tripped by the `FromStr` impl; the live proxy's admin API
+/// ships policies in this form).
+impl std::fmt::Display for MtPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MtPolicy::Baseline => f.write_str("baseline"),
+            MtPolicy::TriggeredPolls => f.write_str("triggered"),
+            MtPolicy::RateHeuristic { threshold } => write!(f, "rate:{threshold}"),
+        }
+    }
+}
+
+impl std::str::FromStr for MtPolicy {
+    type Err = crate::error::ConfigError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = |message: String| crate::error::ConfigError::InvalidSpec { message };
+        match s.trim() {
+            "baseline" => Ok(MtPolicy::Baseline),
+            "triggered" => Ok(MtPolicy::TriggeredPolls),
+            "rate" => Ok(MtPolicy::HEURISTIC),
+            other => match other.strip_prefix("rate:") {
+                Some(threshold) => {
+                    let threshold: f64 = threshold.trim().parse().map_err(|_| {
+                        bad("`rate:THRESHOLD` needs a numeric threshold".to_owned())
+                    })?;
+                    if !(threshold.is_finite() && threshold >= 0.0) {
+                        return Err(bad(
+                            "rate threshold must be finite and non-negative".to_owned(),
+                        ));
+                    }
+                    Ok(MtPolicy::RateHeuristic { threshold })
+                }
+                None => Err(bad(format!(
+                    "unknown Mt policy `{other}` (expected baseline, triggered, or rate:THRESHOLD)"
+                ))),
+            },
+        }
+    }
+}
+
 /// Per-object bookkeeping the coordinator needs.
 #[derive(Debug, Clone)]
 struct MemberState {
@@ -420,5 +462,22 @@ mod tests {
         let mt = coordinator(MtPolicy::TriggeredPolls);
         assert_eq!(mt.delta(), Duration::from_mins(5));
         assert_eq!(mt.policy(), MtPolicy::TriggeredPolls);
+    }
+
+    #[test]
+    fn policy_wire_form_round_trips() {
+        for policy in [
+            MtPolicy::Baseline,
+            MtPolicy::TriggeredPolls,
+            MtPolicy::HEURISTIC,
+            MtPolicy::RateHeuristic { threshold: 1.25 },
+        ] {
+            let wire = policy.to_string();
+            assert_eq!(wire.parse::<MtPolicy>().unwrap(), policy, "{wire}");
+        }
+        assert_eq!("rate".parse::<MtPolicy>().unwrap(), MtPolicy::HEURISTIC);
+        for bad in ["", "Baseline", "rate:", "rate:x", "rate:-1", "rate:inf"] {
+            assert!(bad.parse::<MtPolicy>().is_err(), "accepted {bad:?}");
+        }
     }
 }

@@ -43,6 +43,19 @@ pub struct CacheEntry {
 
 struct Shard {
     map: LruMap<String, CacheEntry, u64>,
+    /// Entries pushed out by the LRU bound (not replacements/removals),
+    /// surfaced by the admin stats endpoint.
+    evictions: u64,
+}
+
+/// One shard's occupancy and eviction count, as reported by
+/// [`ShardedCache::shard_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Objects currently resident in the shard.
+    pub len: usize,
+    /// LRU evictions the shard has performed so far.
+    pub evictions: u64,
 }
 
 /// A sharded, optionally bounded cache keyed by object path.
@@ -98,6 +111,7 @@ impl ShardedCache {
                             Some(cap) => LruMap::with_capacity(cap),
                             None => LruMap::unbounded(),
                         },
+                        evictions: 0,
                     })
                 })
                 .collect(),
@@ -129,10 +143,10 @@ impl ShardedCache {
     /// the shard is at capacity.
     pub fn insert(&self, path: &str, entry: CacheEntry) {
         let now = self.tick();
-        self.shards[shard_index(path)]
-            .write()
-            .map
-            .insert(path.to_owned(), entry, now);
+        let mut shard = self.shards[shard_index(path)].write();
+        if shard.map.insert(path.to_owned(), entry, now).is_some() {
+            shard.evictions += 1;
+        }
     }
 
     /// Stores a copy unless a strictly fresher one (by modification
@@ -148,8 +162,17 @@ impl ShardedCache {
                 return existing.clone();
             }
         }
-        shard.map.insert(path.to_owned(), entry.clone(), now);
+        if shard.map.insert(path.to_owned(), entry.clone(), now).is_some() {
+            shard.evictions += 1;
+        }
         entry
+    }
+
+    /// Drops a copy (the admin plane evicts paths whose refresh rule was
+    /// removed — an unrefreshed copy would otherwise be served stale
+    /// forever). Returns the removed entry, if one was resident.
+    pub fn remove(&self, path: &str) -> Option<CacheEntry> {
+        self.shards[shard_index(path)].write().map.remove(path)
     }
 
     /// Total cached objects across all shards.
@@ -170,6 +193,26 @@ impl ShardedCache {
     /// Panics if `index >= SHARD_COUNT`.
     pub fn shard_len(&self, index: usize) -> usize {
         self.shards[index].read().map.len()
+    }
+
+    /// Per-shard occupancy and eviction counts (the admin stats
+    /// endpoint's view of the cache), in shard order.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let shard = s.read();
+                ShardStats {
+                    len: shard.map.len(),
+                    evictions: shard.evictions,
+                }
+            })
+            .collect()
+    }
+
+    /// Total LRU evictions across all shards.
+    pub fn evictions(&self) -> u64 {
+        self.shards.iter().map(|s| s.read().evictions).sum()
     }
 }
 
@@ -294,5 +337,36 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = ShardedCache::new(Some(0));
+    }
+
+    #[test]
+    fn remove_drops_the_entry() {
+        let cache = ShardedCache::new(None);
+        cache.insert("/a", entry(1));
+        assert!(cache.remove("/a").is_some());
+        assert!(cache.remove("/a").is_none());
+        assert!(cache.get("/a").is_none());
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn eviction_counters_track_lru_pressure_only() {
+        let cache = ShardedCache::new(Some(SHARD_COUNT)); // 1 per shard
+        assert_eq!(cache.evictions(), 0);
+        for i in 0..100u64 {
+            cache.insert(&format!("/spray/{i}"), entry(i));
+        }
+        let stats = cache.shard_stats();
+        assert_eq!(stats.len(), SHARD_COUNT);
+        let total: u64 = stats.iter().map(|s| s.evictions).sum();
+        assert_eq!(total, cache.evictions());
+        assert!(total > 0, "100 inserts into 16 one-entry shards must evict");
+        assert_eq!(stats.iter().map(|s| s.len).sum::<usize>(), cache.len());
+        // Replacements and removals are not evictions.
+        let unbounded = ShardedCache::new(None);
+        unbounded.insert("/a", entry(1));
+        unbounded.insert("/a", entry(2));
+        unbounded.remove("/a");
+        assert_eq!(unbounded.evictions(), 0);
     }
 }

@@ -89,6 +89,25 @@ impl HttpClient {
         }
         self.send(addr, &builder.build())
     }
+
+    /// Convenience `PUT` with a body (the proxy's admin control plane
+    /// and the origin's update endpoint speak this).
+    ///
+    /// # Errors
+    ///
+    /// See [`HttpClient::send`].
+    pub fn put(
+        &self,
+        addr: SocketAddr,
+        path: &str,
+        body: impl Into<bytes::Bytes>,
+    ) -> io::Result<Response> {
+        let request = Request::builder(mutcon_http::types::Method::Put, path)
+            .host(addr.to_string())
+            .body(body)
+            .build();
+        self.send(addr, &request)
+    }
 }
 
 /// A blocking keep-alive client pinned to one server address.
@@ -190,6 +209,21 @@ impl PersistentClient {
                 }
             }
         }
+    }
+
+    /// Convenience `PUT` with a body over the persistent connection —
+    /// how a reload driver ships `PUT /admin/rules` without disturbing
+    /// its keep-alive session.
+    ///
+    /// # Errors
+    ///
+    /// See [`PersistentClient::send`].
+    pub fn put(&mut self, path: &str, body: impl Into<bytes::Bytes>) -> io::Result<Response> {
+        let request = Request::builder(mutcon_http::types::Method::Put, path)
+            .host(self.addr.to_string())
+            .body(body)
+            .build();
+        self.send(&request)
     }
 
     /// Convenience conditional `GET` (see [`HttpClient::get`]).

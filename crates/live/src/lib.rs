@@ -41,7 +41,11 @@
 //! * [`origin`] — the trace-replaying origin server, with fault
 //!   injection for resilience tests.
 //! * [`proxy`] — the caching proxy daemon with a background refresher
-//!   running LIMD + mutual-consistency coordination.
+//!   running LIMD + mutual-consistency coordination, plus the
+//!   `/admin/*` HTTP control plane.
+//! * [`runtime`] — the hot-swappable consistency runtime: a versioned
+//!   rules epoch swapped atomically, so Δ/TTR/group changes land
+//!   without dropping the cache or any connection.
 //!
 //! ```no_run
 //! use mutcon_core::time::Duration;
@@ -77,9 +81,11 @@ pub mod cache;
 pub mod client;
 pub mod origin;
 pub mod proxy;
+pub mod runtime;
 pub mod server;
 pub mod upstream;
 pub mod wire;
 
 pub use origin::LiveOrigin;
 pub use proxy::{LiveProxy, ProxyConfig, RefreshRule};
+pub use runtime::ConsistencyRuntime;

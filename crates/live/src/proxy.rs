@@ -19,6 +19,28 @@
 //! refresher's write locks stall only 1/16th of concurrent hits instead
 //! of all of them. Concurrency is bounded by `MUTCON_LIVE_CONNS` (see
 //! [`crate::server::max_conns`]).
+//!
+//! # The admin control plane
+//!
+//! The refresh rules live in the hot-swappable
+//! [`crate::runtime::ConsistencyRuntime`] and are operable at runtime
+//! through three endpoints the reactors serve **locally** (no cache, no
+//! upstream):
+//!
+//! * `GET /admin/rules` — the current epoch, group rule and per-path
+//!   live state (Δ, TTR bounds, current adaptive TTR, last poll) as
+//!   JSON.
+//! * `PUT /admin/rules` — validate → epoch bump → atomic swap. Bad
+//!   rules (duplicate paths, zero Δ, inverted TTR bounds) are rejected
+//!   with `400` and a reason; nothing changes. A successful swap keeps
+//!   the cache and every established connection: unchanged paths keep
+//!   their adaptive-TTR state, changed paths rebuild, removed paths
+//!   stop polling and their cache entries are evicted.
+//! * `GET /admin/stats` — per-shard cache occupancy and evictions,
+//!   per-reactor connection counts, origin-pool reuse/coalesce
+//!   counters, and the proxy's poll/hit/miss counters.
+//!
+//! The legacy plain-text `/__stats` endpoint remains for scripts.
 
 use std::collections::HashMap;
 use std::io;
@@ -26,19 +48,20 @@ use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration as StdDuration, Instant, SystemTime, UNIX_EPOCH};
+use std::time::Duration as StdDuration;
 
-use mutcon_core::limd::{Limd, LimdConfig, PollResult};
-use mutcon_core::mutual::temporal::{MtCoordinator, MtPolicy};
-use mutcon_core::object::ObjectId;
-use mutcon_core::time::{Duration, Timestamp};
+use mutcon_core::limd::PollResult;
+use mutcon_core::mutual::temporal::MtPolicy;
+use mutcon_core::time::Duration;
 use mutcon_http::headers::HeaderName;
 use mutcon_http::message::{Request, Response};
 use mutcon_http::types::{Method, StatusCode};
+use mutcon_traces::json::Json;
 
 use crate::cache::{CacheEntry, ShardedCache};
 use crate::client::{last_modified_ms, object_value, PersistentClient, X_LAST_MODIFIED_MS};
-use crate::server::{EventLoop, Service, ServiceResult};
+use crate::runtime::{ConsistencyRuntime, PollKind};
+use crate::server::{EngineMetrics, EventLoop, Service, ServiceResult};
 
 /// Consistency requirements for one cached object.
 #[derive(Debug, Clone, PartialEq)]
@@ -124,6 +147,8 @@ pub struct ProxyStats {
     pub misses: u64,
     /// Failed origin polls (timeouts, resets).
     pub errors: u64,
+    /// Rule reloads applied through `PUT /admin/rules`.
+    pub reloads: u64,
 }
 
 #[derive(Debug, Default)]
@@ -134,12 +159,14 @@ struct Counters {
     hits: AtomicU64,
     misses: AtomicU64,
     errors: AtomicU64,
+    reloads: AtomicU64,
 }
 
 struct Shared {
     origin: SocketAddr,
     cache: ShardedCache,
     counters: Counters,
+    runtime: Arc<ConsistencyRuntime>,
 }
 
 /// The running proxy; shuts down (and joins its threads) on drop.
@@ -152,48 +179,69 @@ pub struct LiveProxy {
 
 impl LiveProxy {
     /// Binds a localhost listener on an ephemeral port and starts the
-    /// reactor and the background refresher.
+    /// reactor and the background refresher. The refresher thread runs
+    /// even with an empty rule set, so rules installed later through
+    /// `PUT /admin/rules` start polling without a restart.
     ///
     /// # Errors
     ///
     /// Propagates socket errors; returns [`io::ErrorKind::InvalidInput`]
-    /// for invalid rules (zero Δ).
+    /// for invalid rules (zero Δ, duplicate paths, inverted TTR bounds —
+    /// the same validation `PUT /admin/rules` applies).
     pub fn start(config: ProxyConfig) -> io::Result<LiveProxy> {
-        for rule in &config.rules {
-            if rule.delta.is_zero() {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidInput,
-                    format!("rule for {} has zero delta", rule.path),
-                ));
-            }
-        }
+        let runtime = ConsistencyRuntime::new(config.rules, config.group)
+            .map_err(|reason| io::Error::new(io::ErrorKind::InvalidInput, reason))?;
         let shared = Arc::new(Shared {
             origin: config.origin_addr,
             cache: ShardedCache::new(config.cache_objects),
             counters: Counters::default(),
+            runtime: Arc::clone(&runtime),
         });
         let shutdown = Arc::new(AtomicBool::new(false));
 
-        let server = EventLoop::with_options(
+        let metrics = Arc::new(EngineMetrics::new());
+        let server = EventLoop::with_metrics(
             "mutcon-live-proxy-reactor",
             Arc::new(ProxyService {
                 shared: Arc::clone(&shared),
+                metrics: Arc::clone(&metrics),
             }),
             crate::server::max_conns(),
             config.reactors.unwrap_or_else(crate::server::num_reactors),
+            metrics,
         )?;
 
-        let refresher = if config.rules.is_empty() {
-            None
-        } else {
+        let refresher = {
             let shared = Arc::clone(&shared);
             let shutdown = Arc::clone(&shutdown);
-            let rules = config.rules.clone();
-            let group = config.group;
             Some(
                 std::thread::Builder::new()
                     .name("mutcon-live-proxy-refresher".into())
-                    .spawn(move || refresher(&shared, &shutdown, &rules, group))?,
+                    .spawn(move || {
+                        // One persistent keep-alive connection carries
+                        // every poll; a stale socket reconnects
+                        // transparently inside the client.
+                        let mut client =
+                            PersistentClient::new(shared.origin, StdDuration::from_secs(2));
+                        let runtime = Arc::clone(&shared.runtime);
+                        runtime.run(
+                            &shutdown,
+                            |kind, path| {
+                                if kind == PollKind::Triggered {
+                                    shared.counters.triggered.fetch_add(1, Ordering::SeqCst);
+                                }
+                                poll_origin(&shared, &mut client, path)
+                            },
+                            // Un-ruled paths lose their cached copy when
+                            // the scheduler adopts the swap — this fires
+                            // for every install, including direct
+                            // `runtime().install()` callers that never
+                            // touch the HTTP handler.
+                            |removed| {
+                                shared.cache.remove(removed);
+                            },
+                        );
+                    })?,
             )
         };
 
@@ -220,6 +268,7 @@ impl LiveProxy {
             hits: c.hits.load(Ordering::SeqCst),
             misses: c.misses.load(Ordering::SeqCst),
             errors: c.errors.load(Ordering::SeqCst),
+            reloads: c.reloads.load(Ordering::SeqCst),
         }
     }
 
@@ -231,6 +280,12 @@ impl LiveProxy {
     /// How many reactor threads serve this proxy.
     pub fn reactor_count(&self) -> usize {
         self.server.reactor_count()
+    }
+
+    /// The hot-swappable consistency runtime (rules epoch + live state).
+    /// The HTTP admin plane is a thin layer over this.
+    pub fn runtime(&self) -> &Arc<ConsistencyRuntime> {
+        &self.shared.runtime
     }
 }
 
@@ -256,26 +311,33 @@ impl std::fmt::Debug for LiveProxy {
 /// The request handler running on the reactor thread.
 struct ProxyService {
     shared: Arc<Shared>,
+    metrics: Arc<EngineMetrics>,
 }
 
 impl Service for ProxyService {
     fn respond(&self, request: &Request) -> ServiceResult {
+        let path = request.target();
+        // The admin prefix is dispatched locally on the reactor — it
+        // never touches the cache-miss/upstream machinery.
+        if path.starts_with("/admin/") {
+            return ServiceResult::Respond(self.admin(request));
+        }
         if request.method() != &Method::Get {
             return ServiceResult::Respond(
                 Response::builder(StatusCode::METHOD_NOT_ALLOWED).build(),
             );
         }
-        let path = request.target();
         if path == "/__stats" {
             let c = &self.shared.counters;
             let body = format!(
-                "polls={}\ntriggered={}\nrefreshes={}\nhits={}\nmisses={}\nerrors={}\n",
+                "polls={}\ntriggered={}\nrefreshes={}\nhits={}\nmisses={}\nerrors={}\nreloads={}\n",
                 c.polls.load(Ordering::SeqCst),
                 c.triggered.load(Ordering::SeqCst),
                 c.refreshes.load(Ordering::SeqCst),
                 c.hits.load(Ordering::SeqCst),
                 c.misses.load(Ordering::SeqCst),
                 c.errors.load(Ordering::SeqCst),
+                c.reloads.load(Ordering::SeqCst),
             );
             return ServiceResult::Respond(Response::ok().body(body.into_bytes()).build());
         }
@@ -327,17 +389,281 @@ impl Service for ProxyService {
     }
 }
 
-fn unix_now() -> Timestamp {
-    Timestamp::from_millis(
-        SystemTime::now()
-            .duration_since(UNIX_EPOCH)
-            .expect("system clock before the Unix epoch")
-            .as_millis() as u64,
+fn json_response(status: StatusCode, value: &Json) -> Response {
+    Response::builder(status)
+        .header(HeaderName::CONTENT_TYPE, "application/json")
+        .body(format!("{value}\n").into_bytes())
+        .build()
+}
+
+fn error_response(status: StatusCode, reason: &str) -> Response {
+    let mut body = std::collections::BTreeMap::new();
+    body.insert("error".to_owned(), Json::String(reason.to_owned()));
+    json_response(status, &Json::Object(body))
+}
+
+fn obj(entries: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+    Json::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect(),
     )
 }
 
-fn std_duration(d: Duration) -> StdDuration {
-    StdDuration::from_millis(d.as_millis())
+impl ProxyService {
+    /// Dispatches one `/admin/…` request locally.
+    fn admin(&self, request: &Request) -> Response {
+        match (request.method(), request.target()) {
+            (Method::Get, "/admin/rules") => self.rules_json(),
+            (Method::Put, "/admin/rules") => self.apply_rules(request.body()),
+            (Method::Get, "/admin/stats") => self.stats_json(),
+            (_, "/admin/rules" | "/admin/stats") => {
+                Response::builder(StatusCode::METHOD_NOT_ALLOWED).build()
+            }
+            _ => error_response(StatusCode::NOT_FOUND, "unknown admin endpoint"),
+        }
+    }
+
+    /// `GET /admin/rules`: current epoch + per-path live state.
+    fn rules_json(&self) -> Response {
+        let runtime = &self.shared.runtime;
+        let epoch = runtime.current();
+        let status: HashMap<String, _> = runtime
+            .status()
+            .into_iter()
+            .map(|s| (s.path.clone(), s))
+            .collect();
+        let rules: Vec<Json> = epoch
+            .rules
+            .iter()
+            .map(|rule| {
+                let live = status.get(&rule.path);
+                let spec = crate::runtime::limd_config(rule)
+                    .map(|c| Json::String(c.to_spec()))
+                    .unwrap_or(Json::Null);
+                obj([
+                    ("path", Json::String(rule.path.clone())),
+                    ("delta_ms", Json::Number(rule.delta.as_millis() as f64)),
+                    ("ttr_max_ms", Json::Number(rule.ttr_max.as_millis() as f64)),
+                    ("limd", spec),
+                    (
+                        "ttr_ms",
+                        live.map_or(Json::Null, |s| Json::Number(s.ttr.as_millis() as f64)),
+                    ),
+                    (
+                        "last_poll_unix_ms",
+                        live.and_then(|s| s.last_poll_unix_ms)
+                            .map_or(Json::Null, |ms| Json::Number(ms as f64)),
+                    ),
+                    (
+                        "polls",
+                        live.map_or(Json::Null, |s| Json::Number(s.polls as f64)),
+                    ),
+                    (
+                        "rule_epoch",
+                        live.map_or(Json::Null, |s| Json::Number(s.rule_epoch as f64)),
+                    ),
+                ])
+            })
+            .collect();
+        let group = epoch.group.map_or(Json::Null, |g| {
+            obj([
+                ("delta_ms", Json::Number(g.delta.as_millis() as f64)),
+                ("policy", Json::String(g.policy.to_string())),
+            ])
+        });
+        let doc = obj([
+            ("epoch", Json::Number(epoch.version as f64)),
+            ("group", group),
+            ("rules", Json::Array(rules)),
+        ]);
+        json_response(StatusCode::OK, &doc)
+    }
+
+    /// `PUT /admin/rules`: parse → validate → epoch bump → atomic swap.
+    fn apply_rules(&self, body: &[u8]) -> Response {
+        match parse_rules_body(body) {
+            Err(reason) => error_response(StatusCode::BAD_REQUEST, &reason),
+            Ok((rules, group)) => match self.shared.runtime.install(rules, group) {
+                Err(reason) => error_response(StatusCode::BAD_REQUEST, &reason),
+                Ok(report) => {
+                    // Paths whose rule is gone lose their cached copy:
+                    // nothing refreshes it anymore, and the refresher's
+                    // epoch gate keeps an in-flight poll from putting it
+                    // back. (The refresher also evicts on adoption — see
+                    // the `on_removed` hook — but that lags by up to one
+                    // scheduler slice; evicting here too makes the PUT's
+                    // effect immediate. A later client miss may re-cache
+                    // the path like any unruled object: a fresh copy at
+                    // fetch time, just never refreshed thereafter.)
+                    for path in &report.removed {
+                        self.shared.cache.remove(path);
+                    }
+                    self.shared.counters.reloads.fetch_add(1, Ordering::SeqCst);
+                    let doc = obj([
+                        ("epoch", Json::Number(report.version as f64)),
+                        (
+                            "added",
+                            Json::Array(report.added.iter().cloned().map(Json::String).collect()),
+                        ),
+                        (
+                            "changed",
+                            Json::Array(
+                                report.changed.iter().cloned().map(Json::String).collect(),
+                            ),
+                        ),
+                        (
+                            "removed",
+                            Json::Array(
+                                report.removed.iter().cloned().map(Json::String).collect(),
+                            ),
+                        ),
+                    ]);
+                    json_response(StatusCode::OK, &doc)
+                }
+            },
+        }
+    }
+
+    /// `GET /admin/stats`: cache shards, reactors, origin pool, proxy
+    /// counters.
+    fn stats_json(&self) -> Response {
+        let shards: Vec<Json> = self
+            .shared
+            .cache
+            .shard_stats()
+            .iter()
+            .map(|s| {
+                obj([
+                    ("len", Json::Number(s.len as f64)),
+                    ("evictions", Json::Number(s.evictions as f64)),
+                ])
+            })
+            .collect();
+        let reactors: Vec<Json> = self
+            .metrics
+            .reactor_connections()
+            .into_iter()
+            .zip(self.metrics.reactor_accepted())
+            .map(|(open, accepted)| {
+                obj([
+                    ("connections", Json::Number(open as f64)),
+                    ("accepted", Json::Number(accepted as f64)),
+                ])
+            })
+            .collect();
+        let c = &self.shared.counters;
+        let doc = obj([
+            (
+                "cache",
+                obj([
+                    ("objects", Json::Number(self.shared.cache.len() as f64)),
+                    ("evictions", Json::Number(self.shared.cache.evictions() as f64)),
+                    ("shards", Json::Array(shards)),
+                ]),
+            ),
+            ("reactors", Json::Array(reactors)),
+            (
+                "origin_pool",
+                obj([
+                    ("reuses", Json::Number(self.metrics.pool_reuses() as f64)),
+                    ("coalesced", Json::Number(self.metrics.pool_coalesced() as f64)),
+                    ("opened", Json::Number(self.metrics.pool_opened() as f64)),
+                    ("retries", Json::Number(self.metrics.pool_retries() as f64)),
+                ]),
+            ),
+            (
+                "proxy",
+                obj([
+                    ("polls", Json::Number(c.polls.load(Ordering::SeqCst) as f64)),
+                    ("triggered", Json::Number(c.triggered.load(Ordering::SeqCst) as f64)),
+                    ("refreshes", Json::Number(c.refreshes.load(Ordering::SeqCst) as f64)),
+                    ("hits", Json::Number(c.hits.load(Ordering::SeqCst) as f64)),
+                    ("misses", Json::Number(c.misses.load(Ordering::SeqCst) as f64)),
+                    ("errors", Json::Number(c.errors.load(Ordering::SeqCst) as f64)),
+                    ("reloads", Json::Number(c.reloads.load(Ordering::SeqCst) as f64)),
+                ]),
+            ),
+        ]);
+        json_response(StatusCode::OK, &doc)
+    }
+}
+
+/// Parses a `PUT /admin/rules` body:
+///
+/// ```json
+/// {"rules": [{"path": "/obj", "delta_ms": 50, "ttr_max_ms": 3200}],
+///  "group": {"delta_ms": 100, "policy": "triggered"}}
+/// ```
+///
+/// `ttr_max_ms` defaults to 64·Δ (as [`RefreshRule::new`] does); `group`
+/// may be absent or `null`; the policy string is the canonical
+/// [`MtPolicy`] wire form (`baseline`, `triggered`, `rate:T`).
+fn parse_rules_body(body: &[u8]) -> Result<(Vec<RefreshRule>, Option<GroupRule>), String> {
+    // A typo'd key must not silently fall back to a default (the same
+    // stance `LimdConfig::from_spec` takes).
+    fn known_keys_only(value: &Json, allowed: &[&str], what: &str) -> Result<(), String> {
+        let Json::Object(map) = value else {
+            return Err(format!("{what} must be a JSON object"));
+        };
+        for key in map.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(format!("{what}: unknown key `{key}`"));
+            }
+        }
+        Ok(())
+    }
+
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_owned())?;
+    let doc = mutcon_traces::json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    known_keys_only(&doc, &["rules", "group"], "rules document")?;
+    let rules_json = doc
+        .get("rules")
+        .and_then(Json::as_array)
+        .ok_or_else(|| "missing `rules` array".to_owned())?;
+    let mut rules = Vec::with_capacity(rules_json.len());
+    for (i, r) in rules_json.iter().enumerate() {
+        known_keys_only(r, &["path", "delta_ms", "ttr_max_ms"], &format!("rule #{i}"))?;
+        let path = r
+            .get("path")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("rule #{i}: missing `path` string"))?;
+        let delta_ms = r
+            .get("delta_ms")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("rule for {path}: `delta_ms` must be a non-negative integer"))?;
+        let mut rule = RefreshRule::new(path, Duration::from_millis(delta_ms));
+        if let Some(ttr) = r.get("ttr_max_ms") {
+            let ttr_max = ttr
+                .as_u64()
+                .ok_or_else(|| format!("rule for {path}: `ttr_max_ms` must be a non-negative integer"))?;
+            rule = rule.ttr_max(Duration::from_millis(ttr_max));
+        }
+        rules.push(rule);
+    }
+    let group = match doc.get("group") {
+        None => None,
+        Some(g) if g.is_null() => None,
+        Some(g) => {
+            known_keys_only(g, &["delta_ms", "policy"], "group")?;
+            let delta_ms = g
+                .get("delta_ms")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| "group: `delta_ms` must be a non-negative integer".to_owned())?;
+            let policy = g
+                .get("policy")
+                .and_then(Json::as_str)
+                .unwrap_or("triggered")
+                .parse::<MtPolicy>()
+                .map_err(|e| format!("group: {e}"))?;
+            Some(GroupRule {
+                delta: Duration::from_millis(delta_ms),
+                policy,
+            })
+        }
+    };
+    Ok((rules, group))
 }
 
 /// Stores a 200 response in the cache; returns the entry now resident —
@@ -365,7 +691,10 @@ fn store_response(shared: &Shared, path: &str, response: &Response) -> Option<Ca
 
 /// One refresher poll over the persistent keep-alive connection.
 /// Returns the poll result for the adaptation layers, or `None` on a
-/// network error.
+/// network error. The cache store is gated on the path still being ruled
+/// in the **current** epoch: a rule removed while the poll was on the
+/// wire means the response is discarded (and any raced-in entry
+/// re-evicted), so a dead rule cannot resurrect its cache entry.
 fn poll_origin(shared: &Shared, client: &mut PersistentClient, path: &str) -> Option<PollResult> {
     let validator = shared.cache.get(path).map(|e| e.last_modified);
     shared.counters.polls.fetch_add(1, Ordering::SeqCst);
@@ -377,7 +706,18 @@ fn poll_origin(shared: &Shared, client: &mut PersistentClient, path: &str) -> Op
             // The LIMD layer observes what *this poll* saw, not what
             // ended up resident (a concurrent fetch may be fresher).
             let lm = last_modified_ms(&response)?;
+            if !shared.runtime.contains(path) {
+                shared.cache.remove(path);
+                return None;
+            }
             store_response(shared, path, &response)?;
+            // Re-check after the store: an epoch swap that removed the
+            // path *between* the gate and the insert is unwound here
+            // (the admin handler's own evict covers the other order).
+            if !shared.runtime.contains(path) {
+                shared.cache.remove(path);
+                return None;
+            }
             let history = mutcon_http::extensions::modification_history(response.headers());
             Some(PollResult::Modified {
                 last_modified: lm,
@@ -387,86 +727,6 @@ fn poll_origin(shared: &Shared, client: &mut PersistentClient, path: &str) -> Op
         Ok(_) | Err(_) => {
             shared.counters.errors.fetch_add(1, Ordering::SeqCst);
             None
-        }
-    }
-}
-
-fn refresher(
-    shared: &Shared,
-    shutdown: &AtomicBool,
-    rules: &[RefreshRule],
-    group: Option<GroupRule>,
-) {
-    // One persistent keep-alive connection carries every poll; a stale
-    // socket (the origin closed it between polls) reconnects
-    // transparently inside the client.
-    let mut client = PersistentClient::new(shared.origin, StdDuration::from_secs(2));
-    let mut limds: HashMap<String, Limd> = rules
-        .iter()
-        .map(|r| {
-            let config = LimdConfig::builder(r.delta)
-                .ttr_max(r.ttr_max.max(r.delta))
-                .build()
-                .expect("rule validated at startup");
-            (r.path.clone(), Limd::new(config))
-        })
-        .collect();
-    let mut due: HashMap<String, Instant> = rules
-        .iter()
-        .map(|r| (r.path.clone(), Instant::now()))
-        .collect();
-    let mut coordinator = group.map(|g| {
-        MtCoordinator::new(
-            g.delta,
-            g.policy,
-            rules.iter().map(|r| ObjectId::new(&r.path)),
-        )
-    });
-
-    while !shutdown.load(Ordering::SeqCst) {
-        let Some((path, at)) = due
-            .iter()
-            .min_by_key(|(_, at)| **at)
-            .map(|(p, at)| (p.clone(), *at))
-        else {
-            return;
-        };
-        let now = Instant::now();
-        if at > now {
-            // Sleep in short slices so shutdown stays responsive.
-            std::thread::sleep((at - now).min(StdDuration::from_millis(20)));
-            continue;
-        }
-
-        let now_ts = unix_now();
-        match poll_origin(shared, &mut client, &path) {
-            Some(result) => {
-                let limd = limds.get_mut(&path).expect("rule path");
-                let decision = limd.on_poll(now_ts, &result);
-                due.insert(path.clone(), Instant::now() + std_duration(decision.ttr));
-                if let Some(coord) = coordinator.as_mut() {
-                    let id = ObjectId::new(&path);
-                    let triggers = coord.on_poll(&id, now_ts, &result);
-                    coord.record_scheduled_poll(&id, now_ts + decision.ttr);
-                    for target in triggers {
-                        shared.counters.triggered.fetch_add(1, Ordering::SeqCst);
-                        // Triggered polls are additional: refresh the
-                        // cache and tell the coordinator, but leave the
-                        // target's LIMD schedule alone.
-                        if let Some(result) = poll_origin(shared, &mut client, target.as_str()) {
-                            coord.on_poll(&target, unix_now(), &result);
-                        }
-                    }
-                }
-            }
-            None => {
-                // Back off briefly on errors; the rule's Δ governs how
-                // aggressive a retry is sensible.
-                let retry = std_duration(
-                    limds[&path].config().delta().min(Duration::from_millis(200)),
-                );
-                due.insert(path.clone(), Instant::now() + retry.max(StdDuration::from_millis(20)));
-            }
         }
     }
 }
@@ -483,4 +743,76 @@ fn entry_response(entry: &CacheEntry, hit: bool) -> Response {
         builder = builder.header(HeaderName::X_OBJECT_VERSION, version.clone());
     }
     builder.body(entry.body.clone()).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_rules_body_accepts_the_documented_shape() {
+        let (rules, group) = parse_rules_body(
+            br#"{"rules": [{"path": "/a", "delta_ms": 50},
+                           {"path": "/b", "delta_ms": 20, "ttr_max_ms": 400}],
+                 "group": {"delta_ms": 100, "policy": "rate:0.5"}}"#,
+        )
+        .unwrap();
+        assert_eq!(rules.len(), 2);
+        assert_eq!(rules[0].path, "/a");
+        assert_eq!(rules[0].delta, Duration::from_millis(50));
+        assert_eq!(rules[0].ttr_max, Duration::from_millis(50) * 64);
+        assert_eq!(rules[1].ttr_max, Duration::from_millis(400));
+        let group = group.unwrap();
+        assert_eq!(group.delta, Duration::from_millis(100));
+        assert_eq!(group.policy, MtPolicy::RateHeuristic { threshold: 0.5 });
+    }
+
+    #[test]
+    fn parse_rules_body_defaults_and_null_group() {
+        let (rules, group) =
+            parse_rules_body(br#"{"rules": [], "group": null}"#).unwrap();
+        assert!(rules.is_empty());
+        assert!(group.is_none());
+        // Group absent entirely is also fine; policy defaults to triggered.
+        let (_, group) = parse_rules_body(
+            br#"{"rules": [], "group": {"delta_ms": 10}}"#,
+        )
+        .unwrap();
+        assert_eq!(group.unwrap().policy, MtPolicy::TriggeredPolls);
+    }
+
+    #[test]
+    fn parse_rules_body_rejects_malformed_input_with_reasons() {
+        for (body, needle) in [
+            (&b"not json"[..], "invalid JSON"),
+            (br#"{}"#, "missing `rules`"),
+            (br#"{"no_rules": 1}"#, "unknown key `no_rules`"),
+            (br#"{"rules": [{"delta_ms": 5}]}"#, "missing `path`"),
+            (br#"{"rules": [{"path": "/a"}]}"#, "delta_ms"),
+            (br#"{"rules": [{"path": "/a", "delta_ms": -3}]}"#, "delta_ms"),
+            (
+                br#"{"rules": [{"path": "/a", "delta_ms": 5, "ttr_max_ms": 1.5}]}"#,
+                "ttr_max_ms",
+            ),
+            (br#"{"rules": [], "group": {}}"#, "group"),
+            // Typo'd keys must be rejected, not defaulted over.
+            (
+                br#"{"rules": [{"path": "/a", "delta_ms": 5, "ttr_maxms": 9}]}"#,
+                "unknown key `ttr_maxms`",
+            ),
+            (br#"{"rules": [], "grupo": 1}"#, "unknown key `grupo`"),
+            (
+                br#"{"rules": [], "group": {"delta_ms": 5, "policy": "triggered", "extra": 1}}"#,
+                "unknown key `extra`",
+            ),
+            (
+                br#"{"rules": [], "group": {"delta_ms": 5, "policy": "nope"}}"#,
+                "group",
+            ),
+            (&[0xff, 0xfe][..], "UTF-8"),
+        ] {
+            let err = parse_rules_body(body).unwrap_err();
+            assert!(err.contains(needle), "{err:?} lacks {needle:?}");
+        }
+    }
 }

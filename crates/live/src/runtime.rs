@@ -1,0 +1,721 @@
+//! The hot-swappable consistency runtime behind the live proxy's
+//! refresher.
+//!
+//! PR 3's refresher built its per-path [`Limd`] map once, privately,
+//! inside the thread closure: changing a single Δ meant restarting the
+//! proxy — dropping the sharded cache and every keep-alive connection
+//! with it. This module extracts that scheduling state into
+//! [`ConsistencyRuntime`], which owns a **versioned rules epoch**
+//! ([`RulesEpoch`], an immutable snapshot behind an atomically swapped
+//! `Arc`). The refresher thread runs [`ConsistencyRuntime::run`] and
+//! reconciles against the current epoch at every step:
+//!
+//! * **unchanged paths** keep their accumulated adaptive-TTR state (a
+//!   grown TTR is exactly the state worth preserving across a reload);
+//! * **changed paths** rebuild their [`Limd`] from the new config and
+//!   poll immediately;
+//! * **removed paths** stop polling, and a poll already in flight when
+//!   the swap lands is discarded — it can neither panic the scheduler
+//!   nor resurrect the path's (since-evicted) cache entry;
+//! * **added paths** start polling within one scheduler slice.
+//!
+//! The swap itself ([`ConsistencyRuntime::install`]) validates first
+//! (duplicate paths, zero tolerances, inverted TTR bounds — the same
+//! validator [`crate::proxy::LiveProxy::start`] uses) and never blocks
+//! the reactors: readers clone the `Arc` out from under a briefly-held
+//! lock. Nothing about the cache or the connection engine is touched, so
+//! a reload keeps every cached object and every established socket.
+//!
+//! The runtime also publishes a per-path status snapshot
+//! ([`ConsistencyRuntime::status`]) after every poll, which is what
+//! `GET /admin/rules` serves.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration as StdDuration, Instant, SystemTime, UNIX_EPOCH};
+
+use parking_lot::RwLock;
+
+use mutcon_core::error::ConfigError;
+use mutcon_core::limd::{Limd, LimdConfig, PollResult};
+use mutcon_core::mutual::temporal::MtCoordinator;
+use mutcon_core::object::ObjectId;
+use mutcon_core::time::{Duration, Timestamp};
+
+use crate::proxy::{GroupRule, RefreshRule};
+
+/// How finely the scheduler slices its sleeps: the bound on how long a
+/// freshly installed epoch waits before the refresher notices it (and on
+/// shutdown latency).
+const SLICE: StdDuration = StdDuration::from_millis(20);
+
+/// Current wall-clock time on the millisecond Unix timeline the
+/// consistency algorithms run on.
+pub(crate) fn unix_now() -> Timestamp {
+    Timestamp::from_millis(
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .expect("system clock before the Unix epoch")
+            .as_millis() as u64,
+    )
+}
+
+pub(crate) fn std_duration(d: Duration) -> StdDuration {
+    StdDuration::from_millis(d.as_millis())
+}
+
+/// One immutable snapshot of the refresh rules in force. Epochs are
+/// never mutated — a reload installs a fresh one with a bumped version.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RulesEpoch {
+    /// Monotonically increasing version; starts at 1, bumped by every
+    /// [`ConsistencyRuntime::install`].
+    pub version: u64,
+    /// Per-path refresh rules (validated: paths unique).
+    pub rules: Vec<RefreshRule>,
+    /// Optional Mt coordination across all rule paths.
+    pub group: Option<GroupRule>,
+}
+
+impl RulesEpoch {
+    /// The rule for `path`, if this epoch has one.
+    pub fn rule(&self, path: &str) -> Option<&RefreshRule> {
+        self.rules.iter().find(|r| r.path == path)
+    }
+
+    /// Whether `path` is ruled in this epoch.
+    pub fn contains(&self, path: &str) -> bool {
+        self.rule(path).is_some()
+    }
+}
+
+/// The full LIMD configuration a refresh rule implies. Rejects (rather
+/// than silently clamping) inverted TTR bounds — the admin plane needs
+/// the reason, not a guess.
+pub(crate) fn limd_config(rule: &RefreshRule) -> Result<LimdConfig, ConfigError> {
+    LimdConfig::builder(rule.delta).ttr_max(rule.ttr_max).build()
+}
+
+/// Validates a rule set + group the way both [`crate::proxy::LiveProxy::start`]
+/// and the `PUT /admin/rules` endpoint require: unique paths that don't
+/// shadow control endpoints, per-rule LIMD configs that build cleanly
+/// (positive Δ, `ttr_max ≥ Δ`), and a positive group δ.
+///
+/// # Errors
+///
+/// Returns a human-readable reason (the PUT endpoint's 400 body).
+pub fn validate(rules: &[RefreshRule], group: Option<&GroupRule>) -> Result<(), String> {
+    let mut seen: HashSet<&str> = HashSet::with_capacity(rules.len());
+    for rule in rules {
+        if !rule.path.starts_with('/') {
+            return Err(format!("rule path {:?} must start with '/'", rule.path));
+        }
+        if rule.path.starts_with("/admin/") || rule.path == "/__stats" {
+            return Err(format!(
+                "rule path {:?} shadows a proxy control endpoint",
+                rule.path
+            ));
+        }
+        if !seen.insert(rule.path.as_str()) {
+            return Err(format!("duplicate rule for {}", rule.path));
+        }
+        limd_config(rule).map_err(|e| format!("rule for {}: {e}", rule.path))?;
+    }
+    if let Some(group) = group {
+        if group.delta.is_zero() {
+            return Err("group delta must be positive".to_owned());
+        }
+    }
+    Ok(())
+}
+
+/// What a successful [`ConsistencyRuntime::install`] did, path by path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstallReport {
+    /// The freshly installed epoch's version.
+    pub version: u64,
+    /// Paths ruled now but not before.
+    pub added: Vec<String>,
+    /// Paths ruled before and now, with a different Δ or TTR bound
+    /// (their adaptive state is rebuilt).
+    pub changed: Vec<String>,
+    /// Paths no longer ruled (their poll schedule stops; the caller
+    /// should evict their cache entries).
+    pub removed: Vec<String>,
+}
+
+/// Whether a poll was LIMD-scheduled or triggered by the Mt coordinator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PollKind {
+    /// A regular LIMD-scheduled poll.
+    Scheduled,
+    /// An extra poll the Mt coordinator requested to restore mutual
+    /// consistency.
+    Triggered,
+}
+
+/// Live per-path refresher state, as published for `GET /admin/rules`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathStatus {
+    /// The object path.
+    pub path: String,
+    /// The Δ tolerance in force.
+    pub delta: Duration,
+    /// The TTR ceiling in force.
+    pub ttr_max: Duration,
+    /// The current adaptive TTR (grows while the object stays quiet).
+    pub ttr: Duration,
+    /// Unix milliseconds of the most recent poll, if any.
+    pub last_poll_unix_ms: Option<u64>,
+    /// Scheduled polls performed for this path (triggered extras not
+    /// included; those belong to the coordinator).
+    pub polls: u64,
+    /// The epoch that (last) installed this path's rule. An unchanged
+    /// rule keeps its original epoch across swaps — proof its adaptive
+    /// state survived.
+    pub rule_epoch: u64,
+}
+
+/// The versioned, hot-swappable rules store plus the refresher's
+/// scheduling engine. See the module docs.
+#[derive(Debug)]
+pub struct ConsistencyRuntime {
+    epoch: RwLock<Arc<RulesEpoch>>,
+    status: RwLock<Vec<PathStatus>>,
+}
+
+impl ConsistencyRuntime {
+    /// A runtime whose first epoch (version 1) holds `rules`/`group`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation reason (see [`validate`]).
+    pub fn new(rules: Vec<RefreshRule>, group: Option<GroupRule>) -> Result<Arc<Self>, String> {
+        validate(&rules, group.as_ref())?;
+        Ok(Arc::new(ConsistencyRuntime {
+            epoch: RwLock::new(Arc::new(RulesEpoch {
+                version: 1,
+                rules,
+                group,
+            })),
+            status: RwLock::new(Vec::new()),
+        }))
+    }
+
+    /// The epoch currently in force.
+    pub fn current(&self) -> Arc<RulesEpoch> {
+        Arc::clone(&self.epoch.read())
+    }
+
+    /// Whether `path` is ruled in the current epoch.
+    pub fn contains(&self, path: &str) -> bool {
+        self.epoch.read().contains(path)
+    }
+
+    /// Validates and atomically installs a new epoch. The swap is the
+    /// whole reload: no thread restarts, no cache drop, no connection
+    /// churn — the running scheduler reconciles within one slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation reason; the current epoch stays in force.
+    pub fn install(
+        &self,
+        rules: Vec<RefreshRule>,
+        group: Option<GroupRule>,
+    ) -> Result<InstallReport, String> {
+        validate(&rules, group.as_ref())?;
+        let mut slot = self.epoch.write();
+        let old = Arc::clone(&slot);
+        let version = old.version + 1;
+        let report = InstallReport {
+            version,
+            added: rules
+                .iter()
+                .filter(|r| !old.contains(&r.path))
+                .map(|r| r.path.clone())
+                .collect(),
+            changed: rules
+                .iter()
+                .filter(|r| old.contains(&r.path) && old.rule(&r.path) != Some(*r))
+                .map(|r| r.path.clone())
+                .collect(),
+            removed: old
+                .rules
+                .iter()
+                .filter(|r| !rules.iter().any(|n| n.path == r.path))
+                .map(|r| r.path.clone())
+                .collect(),
+        };
+        *slot = Arc::new(RulesEpoch {
+            version,
+            rules,
+            group,
+        });
+        Ok(report)
+    }
+
+    /// The per-path live state last published by the scheduler, sorted
+    /// by path. May lag the current epoch by up to one scheduler slice.
+    pub fn status(&self) -> Vec<PathStatus> {
+        self.status.read().clone()
+    }
+
+    /// Full status rebuild — reconcile-time only (rule sets change
+    /// rarely; polls are the hot path and use [`Self::publish_one`]).
+    fn publish(&self, sched: &Scheduler) {
+        let mut rows: Vec<PathStatus> = sched
+            .scheds
+            .iter()
+            .map(|(path, s)| status_row(path, s))
+            .collect();
+        rows.sort_by(|a, b| a.path.cmp(&b.path));
+        *self.status.write() = rows;
+    }
+
+    /// Upserts (or removes) one path's row in the sorted status vector —
+    /// O(log P) per poll instead of rebuilding and re-sorting all P
+    /// rows.
+    fn publish_one(&self, sched: &Scheduler, path: &str) {
+        let mut rows = self.status.write();
+        let at = rows.binary_search_by(|r| r.path.as_str().cmp(path));
+        match (sched.scheds.get(path), at) {
+            (Some(s), Ok(i)) => rows[i] = status_row(path, s),
+            (Some(s), Err(i)) => rows.insert(i, status_row(path, s)),
+            (None, Ok(i)) => {
+                rows.remove(i);
+            }
+            (None, Err(_)) => {}
+        }
+    }
+
+    /// The refresher loop: runs until `shutdown`, driving `poll` for
+    /// every due path and feeding the outcomes back into the adaptive
+    /// state. `poll` performs the actual origin round trip (and the
+    /// cache store, gated on [`ConsistencyRuntime::contains`] so a
+    /// removed path's in-flight poll cannot resurrect its entry);
+    /// returning `None` marks a network error and backs the path off
+    /// briefly. `on_removed` fires once per path a swap un-rules, as
+    /// the scheduler adopts the new epoch — the proxy evicts the path's
+    /// cache entry there, so the eviction happens for *every* install
+    /// (HTTP PUT or a direct [`ConsistencyRuntime::install`] caller),
+    /// not just the admin handler's.
+    pub fn run(
+        &self,
+        shutdown: &AtomicBool,
+        mut poll: impl FnMut(PollKind, &str) -> Option<PollResult>,
+        mut on_removed: impl FnMut(&str),
+    ) {
+        let mut sched = Scheduler::new(self.current(), Instant::now());
+        self.publish(&sched);
+        while !shutdown.load(Ordering::SeqCst) {
+            let current = self.current();
+            if current.version != sched.epoch.version {
+                for path in sched.reconcile(current, Instant::now()) {
+                    on_removed(&path);
+                }
+                self.publish(&sched);
+            }
+            let Some((path, at)) = sched.next_due() else {
+                // No rules in force; idle until an install adds some.
+                std::thread::sleep(SLICE);
+                continue;
+            };
+            let now = Instant::now();
+            if at > now {
+                // Sleep in short slices so shutdown and epoch swaps stay
+                // responsive.
+                std::thread::sleep((at - now).min(SLICE));
+                continue;
+            }
+
+            let now_ts = unix_now();
+            let outcome = poll(PollKind::Scheduled, &path);
+            // The epoch may have been swapped while the poll was on the
+            // wire; reconcile *before* touching per-path state so a
+            // since-removed path's outcome is discarded.
+            let current = self.current();
+            if current.version != sched.epoch.version {
+                for path in sched.reconcile(current, Instant::now()) {
+                    on_removed(&path);
+                }
+                self.publish(&sched);
+            }
+            match outcome {
+                Some(result) => {
+                    let triggers = sched.on_poll(&path, now_ts, &result);
+                    for target in triggers {
+                        // Triggered polls are additional: refresh the
+                        // cache and tell the coordinator, but leave the
+                        // target's LIMD schedule alone.
+                        if let Some(result) = poll(PollKind::Triggered, target.as_str()) {
+                            sched.on_triggered(&target, unix_now(), &result);
+                        }
+                    }
+                }
+                None => sched.on_error(&path, Instant::now()),
+            }
+            self.publish_one(&sched, &path);
+        }
+    }
+}
+
+fn status_row(path: &str, s: &PathSched) -> PathStatus {
+    PathStatus {
+        path: path.to_owned(),
+        delta: s.limd.config().delta(),
+        ttr_max: s.limd.config().ttr_max(),
+        ttr: s.limd.current_ttr(),
+        last_poll_unix_ms: s.limd.last_poll().map(Timestamp::as_millis),
+        polls: s.polls,
+        rule_epoch: s.rule_epoch,
+    }
+}
+
+/// One path's scheduling state.
+#[derive(Debug)]
+struct PathSched {
+    limd: Limd,
+    due: Instant,
+    polls: u64,
+    rule_epoch: u64,
+}
+
+/// The refresher's scheduling engine, owned by the refresher thread and
+/// reconciled against the shared epoch. Separated from the I/O loop so
+/// epoch semantics are unit-testable without sockets or sleeps.
+#[derive(Debug)]
+struct Scheduler {
+    epoch: Arc<RulesEpoch>,
+    scheds: HashMap<String, PathSched>,
+    coordinator: Option<MtCoordinator>,
+}
+
+impl Scheduler {
+    fn new(epoch: Arc<RulesEpoch>, now: Instant) -> Scheduler {
+        let mut sched = Scheduler {
+            epoch: Arc::new(RulesEpoch {
+                version: 0,
+                rules: Vec::new(),
+                group: None,
+            }),
+            scheds: HashMap::new(),
+            coordinator: None,
+        };
+        sched.reconcile(epoch, now);
+        sched
+    }
+
+    /// Adopts a new epoch: unchanged paths keep their state, changed
+    /// paths rebuild from the new config (due immediately), removed
+    /// paths stop polling, added paths are due immediately. The Mt
+    /// coordinator survives only if both the group rule and the
+    /// membership are unchanged (its per-member rate estimators remain
+    /// valid then, and only then). Returns the paths that stopped being
+    /// ruled, for the caller's `on_removed` side effects.
+    fn reconcile(&mut self, new: Arc<RulesEpoch>, now: Instant) -> Vec<String> {
+        if new.version == self.epoch.version {
+            return Vec::new();
+        }
+        let mut next: HashMap<String, PathSched> = HashMap::with_capacity(new.rules.len());
+        for rule in &new.rules {
+            let unchanged = self.epoch.rule(&rule.path) == Some(rule);
+            let entry = match self.scheds.remove(&rule.path) {
+                Some(existing) if unchanged => existing,
+                _ => PathSched {
+                    limd: Limd::new(limd_config(rule).expect("epoch validated on install")),
+                    due: now,
+                    polls: 0,
+                    rule_epoch: new.version,
+                },
+            };
+            next.insert(rule.path.clone(), entry);
+        }
+        // Whatever the keep/rebuild loop did not claim has no rule in
+        // the new epoch.
+        let mut removed: Vec<String> = self.scheds.drain().map(|(path, _)| path).collect();
+        removed.sort();
+        let members_changed = new.rules.len() != self.epoch.rules.len()
+            || new.rules.iter().any(|r| !self.epoch.contains(&r.path));
+        if new.group != self.epoch.group || members_changed {
+            self.coordinator = new.group.map(|g| {
+                MtCoordinator::new(g.delta, g.policy, new.rules.iter().map(|r| ObjectId::new(&r.path)))
+            });
+        }
+        self.scheds = next;
+        self.epoch = new;
+        removed
+    }
+
+    /// The path due soonest (ties broken by path for determinism).
+    fn next_due(&self) -> Option<(String, Instant)> {
+        self.scheds
+            .iter()
+            .min_by(|a, b| a.1.due.cmp(&b.1.due).then_with(|| a.0.cmp(b.0)))
+            .map(|(path, s)| (path.clone(), s.due))
+    }
+
+    /// Feeds a scheduled poll's outcome; returns the Mt-triggered
+    /// targets. A path removed while its poll was in flight is a no-op.
+    fn on_poll(&mut self, path: &str, now_ts: Timestamp, result: &PollResult) -> Vec<ObjectId> {
+        let Some(sched) = self.scheds.get_mut(path) else {
+            return Vec::new(); // rule removed mid-poll: outcome discarded
+        };
+        let decision = sched.limd.on_poll(now_ts, result);
+        sched.polls += 1;
+        sched.due = Instant::now() + std_duration(decision.ttr);
+        match self.coordinator.as_mut() {
+            Some(coord) => {
+                let id = ObjectId::new(path);
+                let triggers = coord.on_poll(&id, now_ts, result);
+                coord.record_scheduled_poll(&id, now_ts + decision.ttr);
+                triggers
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Feeds a triggered poll's outcome to the coordinator.
+    fn on_triggered(&mut self, target: &ObjectId, now_ts: Timestamp, result: &PollResult) {
+        if let Some(coord) = self.coordinator.as_mut() {
+            coord.on_poll(target, now_ts, result);
+        }
+    }
+
+    /// Backs a path off after a network error; the rule's Δ governs how
+    /// aggressive a retry is sensible.
+    fn on_error(&mut self, path: &str, now: Instant) {
+        if let Some(sched) = self.scheds.get_mut(path) {
+            let retry = std_duration(sched.limd.config().delta().min(Duration::from_millis(200)));
+            sched.due = now + retry.max(StdDuration::from_millis(20));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mutcon_core::mutual::temporal::MtPolicy;
+    use std::sync::atomic::AtomicU64;
+
+    fn rule(path: &str, delta_ms: u64) -> RefreshRule {
+        RefreshRule::new(path, Duration::from_millis(delta_ms))
+    }
+
+    #[test]
+    fn validate_rejects_bad_rule_sets() {
+        let ok = [rule("/a", 10), rule("/b", 10)];
+        assert!(validate(&ok, None).is_ok());
+
+        let dup = [rule("/a", 10), rule("/a", 20)];
+        assert!(validate(&dup, None).unwrap_err().contains("duplicate"));
+
+        let zero = [rule("/a", 0)];
+        assert!(validate(&zero, None).unwrap_err().contains("/a"));
+
+        let inverted = [rule("/a", 100).ttr_max(Duration::from_millis(50))];
+        assert!(validate(&inverted, None).unwrap_err().contains("ttr"));
+
+        let shadowing = [rule("/admin/rules", 10)];
+        assert!(validate(&shadowing, None).unwrap_err().contains("control endpoint"));
+
+        let relative = [rule("x", 10)];
+        assert!(validate(&relative, None).unwrap_err().contains("start with"));
+
+        let bad_group = GroupRule {
+            delta: Duration::ZERO,
+            policy: MtPolicy::TriggeredPolls,
+        };
+        assert!(validate(&ok, Some(&bad_group)).unwrap_err().contains("group"));
+    }
+
+    #[test]
+    fn install_bumps_version_and_reports_the_diff() {
+        let runtime =
+            ConsistencyRuntime::new(vec![rule("/keep", 10), rule("/drop", 10)], None).unwrap();
+        assert_eq!(runtime.current().version, 1);
+
+        let report = runtime
+            .install(vec![rule("/keep", 10), rule("/grow", 10), rule("/drop2", 10)], None)
+            .unwrap();
+        assert_eq!(report.version, 2);
+        assert_eq!(report.added, vec!["/grow", "/drop2"]);
+        assert!(report.changed.is_empty());
+        assert_eq!(report.removed, vec!["/drop"]);
+        assert_eq!(runtime.current().version, 2);
+
+        let report = runtime
+            .install(vec![rule("/keep", 25), rule("/grow", 10)], None)
+            .unwrap();
+        assert_eq!(report.version, 3);
+        assert_eq!(report.changed, vec!["/keep"]);
+        assert_eq!(report.removed, vec!["/drop2"]);
+
+        // A rejected install leaves the current epoch untouched.
+        let err = runtime.install(vec![rule("/x", 0)], None).unwrap_err();
+        assert!(err.contains("/x"));
+        assert_eq!(runtime.current().version, 3);
+        assert!(runtime.contains("/keep"));
+        assert!(!runtime.contains("/drop"));
+    }
+
+    fn epoch(version: u64, rules: Vec<RefreshRule>, group: Option<GroupRule>) -> Arc<RulesEpoch> {
+        Arc::new(RulesEpoch {
+            version,
+            rules,
+            group,
+        })
+    }
+
+    #[test]
+    fn reconcile_preserves_unchanged_paths_and_rebuilds_changed_ones() {
+        let now = Instant::now();
+        let mut sched = Scheduler::new(
+            epoch(1, vec![rule("/keep", 10), rule("/change", 10), rule("/drop", 10)], None),
+            now,
+        );
+
+        // Grow /keep's TTR with a few quiet polls.
+        let mut ts = unix_now();
+        for _ in 0..4 {
+            ts += Duration::from_millis(50);
+            sched.on_poll("/keep", ts, &PollResult::NotModified);
+        }
+        let grown = sched.scheds["/keep"].limd.current_ttr();
+        assert!(grown > Duration::from_millis(10), "TTR must have grown");
+
+        sched.reconcile(
+            epoch(2, vec![rule("/keep", 10), rule("/change", 25), rule("/new", 10)], None),
+            Instant::now(),
+        );
+
+        // Unchanged: adaptive state and origin epoch preserved.
+        assert_eq!(sched.scheds["/keep"].limd.current_ttr(), grown);
+        assert_eq!(sched.scheds["/keep"].rule_epoch, 1);
+        assert_eq!(sched.scheds["/keep"].polls, 4);
+        // Changed: rebuilt from the new config.
+        assert_eq!(
+            sched.scheds["/change"].limd.config().delta(),
+            Duration::from_millis(25)
+        );
+        assert_eq!(sched.scheds["/change"].rule_epoch, 2);
+        assert_eq!(sched.scheds["/change"].polls, 0);
+        // Added: fresh; removed: gone.
+        assert_eq!(sched.scheds["/new"].rule_epoch, 2);
+        assert!(!sched.scheds.contains_key("/drop"));
+        assert_eq!(sched.scheds.len(), 3);
+    }
+
+    #[test]
+    fn poll_for_a_removed_path_is_discarded() {
+        let now = Instant::now();
+        let mut sched = Scheduler::new(epoch(1, vec![rule("/gone", 10)], None), now);
+        sched.reconcile(epoch(2, vec![], None), now);
+        // The in-flight poll's outcome arrives after the swap: no panic,
+        // no state, no triggers.
+        let triggers = sched.on_poll("/gone", unix_now(), &PollResult::NotModified);
+        assert!(triggers.is_empty());
+        assert!(sched.scheds.is_empty());
+        assert_eq!(sched.next_due(), None);
+    }
+
+    #[test]
+    fn group_coordinator_triggers_and_survives_only_compatible_swaps() {
+        let group = GroupRule {
+            delta: Duration::from_millis(100),
+            policy: MtPolicy::TriggeredPolls,
+        };
+        let now = Instant::now();
+        let mut sched = Scheduler::new(
+            epoch(1, vec![rule("/a", 10), rule("/b", 10)], Some(group)),
+            now,
+        );
+        let ts = unix_now();
+        let triggers = sched.on_poll("/a", ts, &PollResult::modified(ts - Duration::from_millis(5)));
+        assert_eq!(triggers, vec![ObjectId::new("/b")]);
+        sched.on_triggered(&ObjectId::new("/b"), ts + Duration::from_millis(1), &PollResult::NotModified);
+
+        // Same group, same membership, changed Δ on one path: the
+        // coordinator (with its rate estimators) survives.
+        let coord_before = format!("{:?}", sched.coordinator);
+        sched.reconcile(
+            epoch(2, vec![rule("/a", 25), rule("/b", 10)], Some(group)),
+            Instant::now(),
+        );
+        assert_eq!(format!("{:?}", sched.coordinator), coord_before);
+
+        // Membership change rebuilds it; dropping the group removes it.
+        sched.reconcile(
+            epoch(3, vec![rule("/a", 25), rule("/c", 10)], Some(group)),
+            Instant::now(),
+        );
+        assert_ne!(format!("{:?}", sched.coordinator), coord_before);
+        sched.reconcile(epoch(4, vec![rule("/a", 25)], None), Instant::now());
+        assert!(sched.coordinator.is_none());
+    }
+
+    #[test]
+    fn run_polls_until_shutdown_and_publishes_status() {
+        let runtime = ConsistencyRuntime::new(vec![rule("/obj", 1)], None).unwrap();
+        let shutdown = AtomicBool::new(false);
+        let polls = AtomicU64::new(0);
+        runtime.run(
+            &shutdown,
+            |kind, path| {
+                assert_eq!(kind, PollKind::Scheduled);
+                assert_eq!(path, "/obj");
+                if polls.fetch_add(1, Ordering::SeqCst) + 1 >= 5 {
+                    shutdown.store(true, Ordering::SeqCst);
+                }
+                Some(PollResult::NotModified)
+            },
+            |removed| panic!("nothing was removed, got {removed}"),
+        );
+        assert_eq!(polls.load(Ordering::SeqCst), 5);
+        let status = runtime.status();
+        assert_eq!(status.len(), 1);
+        assert_eq!(status[0].path, "/obj");
+        assert_eq!(status[0].polls, 5);
+        assert_eq!(status[0].rule_epoch, 1);
+        assert!(status[0].last_poll_unix_ms.is_some());
+        assert!(status[0].ttr >= status[0].delta);
+    }
+
+    #[test]
+    fn run_adopts_an_install_made_mid_flight() {
+        let runtime = ConsistencyRuntime::new(vec![rule("/old", 1)], None).unwrap();
+        let shutdown = AtomicBool::new(false);
+        let seen = RwLock::new(Vec::<String>::new());
+        let removed = RwLock::new(Vec::<String>::new());
+        runtime.run(
+            &shutdown,
+            |_, path| {
+                seen.write().push(path.to_owned());
+                let count = seen.read().len();
+                if count == 2 {
+                    // Swap mid-run: /old out, /new in — a *direct*
+                    // install, no HTTP handler involved.
+                    runtime.install(vec![rule("/new", 1)], None).unwrap();
+                }
+                if count >= 5 {
+                    shutdown.store(true, Ordering::SeqCst);
+                }
+                Some(PollResult::NotModified)
+            },
+            |path| removed.write().push(path.to_owned()),
+        );
+        let seen = seen.into_inner();
+        assert_eq!(&seen[..2], &["/old", "/old"]);
+        // Everything after the swap polls the new path only — including
+        // the in-flight poll's outcome being discarded for /old.
+        assert!(seen[2..].iter().all(|p| p == "/new"), "{seen:?}");
+        // The removal hook fired for the direct install, so eviction
+        // side effects don't depend on the HTTP plane.
+        assert_eq!(removed.into_inner(), vec!["/old"]);
+        let status = runtime.status();
+        assert_eq!(status.len(), 1);
+        assert_eq!(status[0].path, "/new");
+        assert_eq!(status[0].rule_epoch, 2);
+    }
+}

@@ -46,7 +46,7 @@
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -187,6 +187,87 @@ pub trait Service: Send + Sync + 'static {
     fn respond(&self, request: &Request) -> ServiceResult;
 }
 
+/// Lightweight always-on counters an event loop's reactors maintain, for
+/// the admin control plane (`GET /admin/stats`). Per-reactor slots are
+/// sized at [`MAX_REACTORS`] up front so the struct can be shared with a
+/// [`Service`] before the final reactor count is known; all counters are
+/// relaxed atomics — observability, not synchronization.
+#[derive(Debug)]
+pub struct EngineMetrics {
+    reactors: AtomicUsize,
+    conns: Vec<AtomicUsize>,
+    accepted: Vec<AtomicU64>,
+    pool_reuses: AtomicU64,
+    pool_coalesced: AtomicU64,
+    pool_opened: AtomicU64,
+    pool_retries: AtomicU64,
+}
+
+impl Default for EngineMetrics {
+    fn default() -> Self {
+        EngineMetrics {
+            reactors: AtomicUsize::new(0),
+            conns: (0..MAX_REACTORS).map(|_| AtomicUsize::new(0)).collect(),
+            accepted: (0..MAX_REACTORS).map(|_| AtomicU64::new(0)).collect(),
+            pool_reuses: AtomicU64::new(0),
+            pool_coalesced: AtomicU64::new(0),
+            pool_opened: AtomicU64::new(0),
+            pool_retries: AtomicU64::new(0),
+        }
+    }
+}
+
+impl EngineMetrics {
+    /// Fresh zeroed counters.
+    pub fn new() -> EngineMetrics {
+        EngineMetrics::default()
+    }
+
+    /// How many reactors report into these counters (0 until an event
+    /// loop adopts the struct).
+    pub fn reactor_count(&self) -> usize {
+        self.reactors.load(Ordering::Relaxed)
+    }
+
+    /// Client connections currently open, one entry per reactor.
+    pub fn reactor_connections(&self) -> Vec<usize> {
+        self.conns[..self.reactor_count()]
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Client connections ever accepted, one entry per reactor.
+    pub fn reactor_accepted(&self) -> Vec<u64> {
+        self.accepted[..self.reactor_count()]
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Upstream fetches served on a reused (parked keep-alive) origin
+    /// connection instead of a fresh socket.
+    pub fn pool_reuses(&self) -> u64 {
+        self.pool_reuses.load(Ordering::Relaxed)
+    }
+
+    /// Upstream fetches coalesced onto an identical in-flight fetch.
+    pub fn pool_coalesced(&self) -> u64 {
+        self.pool_coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Origin sockets opened across all reactors.
+    pub fn pool_opened(&self) -> u64 {
+        self.pool_opened.load(Ordering::Relaxed)
+    }
+
+    /// Stale-socket retries taken (a reused pooled socket died before
+    /// the first response byte and the fetch was requeued).
+    pub fn pool_retries(&self) -> u64 {
+        self.pool_retries.load(Ordering::Relaxed)
+    }
+}
+
 struct ReactorHandle {
     waker: Waker,
     thread: Option<JoinHandle<()>>,
@@ -199,6 +280,7 @@ pub struct EventLoop {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     reactors: Vec<ReactorHandle>,
+    metrics: Arc<EngineMetrics>,
 }
 
 impl EventLoop {
@@ -241,6 +323,23 @@ impl EventLoop {
         max_conns: usize,
         reactors: usize,
     ) -> io::Result<EventLoop> {
+        EventLoop::with_metrics(name, service, max_conns, reactors, Arc::new(EngineMetrics::new()))
+    }
+
+    /// [`EventLoop::with_options`] reporting into caller-supplied
+    /// [`EngineMetrics`] — the live proxy shares the struct with its
+    /// admin control plane, which needs it before the loop exists.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and epoll setup failures.
+    pub fn with_metrics(
+        name: &str,
+        service: Arc<dyn Service>,
+        max_conns: usize,
+        reactors: usize,
+        metrics: Arc<EngineMetrics>,
+    ) -> io::Result<EventLoop> {
         let max_conns = max_conns.max(1);
         // Never spawn more reactors than the connection bound allows:
         // the bound is enforced per shard (the kernel's SO_REUSEPORT
@@ -258,6 +357,7 @@ impl EventLoop {
         }
 
         let shutdown = Arc::new(AtomicBool::new(false));
+        metrics.reactors.store(reactors, Ordering::Relaxed);
         let mut handles = Vec::with_capacity(reactors);
         for (i, listener) in listeners.into_iter().enumerate() {
             // Split the bound exactly: the first (max_conns % reactors)
@@ -283,6 +383,8 @@ impl EventLoop {
                 delayed: 0,
                 pool: PoolCore::default(),
                 driving: None,
+                metrics: Arc::clone(&metrics),
+                reactor_index: i,
             };
             let thread = std::thread::Builder::new()
                 .name(format!("{name}-r{i}"))
@@ -296,6 +398,7 @@ impl EventLoop {
             addr,
             shutdown,
             reactors: handles,
+            metrics,
         })
     }
 
@@ -307,6 +410,12 @@ impl EventLoop {
     /// How many reactor threads serve this loop.
     pub fn reactor_count(&self) -> usize {
         self.reactors.len()
+    }
+
+    /// The loop's always-on counters (shared with whatever
+    /// [`EngineMetrics`] was passed to [`EventLoop::with_metrics`]).
+    pub fn metrics(&self) -> &Arc<EngineMetrics> {
+        &self.metrics
     }
 }
 
@@ -425,6 +534,10 @@ struct Reactor {
     /// delivered to it are queued, not recursively resumed — the active
     /// drive loop picks them up, keeping pipelined bursts iterative.
     driving: Option<usize>,
+    /// Shared observability counters (see [`EngineMetrics`]).
+    metrics: Arc<EngineMetrics>,
+    /// This reactor's slot in the per-reactor metric arrays.
+    reactor_index: usize,
 }
 
 /// Clones an `io::Error` well enough for fan-out to several waiters.
@@ -579,6 +692,8 @@ impl Reactor {
                         }),
                     });
                     self.clients += 1;
+                    self.metrics.conns[self.reactor_index].store(self.clients, Ordering::Relaxed);
+                    self.metrics.accepted[self.reactor_index].fetch_add(1, Ordering::Relaxed);
                     if self.clients >= self.max_conns {
                         self.pause_accepting();
                     }
@@ -885,6 +1000,9 @@ impl Reactor {
             finish,
         };
         let submitted = self.pool.submit(addr, wire, waiter);
+        if matches!(submitted, Submit::Coalesced(_)) {
+            self.metrics.pool_coalesced.fetch_add(1, Ordering::Relaxed);
+        }
         let job = submitted.job();
         if let Some(conn) = self.conns[client_idx].as_mut() {
             if let Kind::Client(client) = &mut conn.kind {
@@ -903,6 +1021,7 @@ impl Reactor {
     fn pump_origin(&mut self, addr: SocketAddr) {
         while let Some(job) = self.pool.front_queued(addr) {
             if let Some(conn_idx) = self.pool.claim_idle(addr) {
+                self.metrics.pool_reuses.fetch_add(1, Ordering::Relaxed);
                 self.pool.pop_queued(addr);
                 self.pool.assign(job, conn_idx);
                 if let Some(conn) = self.conns[conn_idx].as_mut() {
@@ -954,6 +1073,7 @@ impl Reactor {
                         self.pool.pop_queued(addr);
                         self.pool.assign(job, idx);
                         self.pool.note_opened(addr);
+                        self.metrics.pool_opened.fetch_add(1, Ordering::Relaxed);
                         // The connect concludes via EPOLLOUT.
                     }
                     Err(e) => {
@@ -1136,6 +1256,7 @@ impl Reactor {
                 let served = up.served;
                 drop(conn); // closes the socket before any retry connects
                 if allow_retry && self.pool.retry_eligible(job, served, got_bytes) {
+                    self.metrics.pool_retries.fetch_add(1, Ordering::Relaxed);
                     self.pool.requeue_for_retry(job);
                 } else if let Some(j) = self.pool.complete(job) {
                     self.deliver(j, Err(err));
@@ -1269,6 +1390,7 @@ impl Reactor {
         self.freed_this_batch.push(idx);
         if let Kind::Client(client) = &conn.kind {
             self.clients -= 1;
+            self.metrics.conns[self.reactor_index].store(self.clients, Ordering::Relaxed);
             match client.pending {
                 Pending::Upstream(job) => {
                     match self.pool.leave(job, |w| w.client == idx) {
@@ -1492,6 +1614,36 @@ mod tests {
         let server = EventLoop::with_options("test-tiny-bound", Arc::new(Echo), 2, 8).unwrap();
         assert_eq!(server.reactor_count(), 2);
         assert_eq!(get(server.local_addr(), "/ok").unwrap().status(), StatusCode::OK);
+    }
+
+    #[test]
+    fn engine_metrics_track_accepts_and_open_connections() {
+        let metrics = Arc::new(EngineMetrics::new());
+        let server =
+            EventLoop::with_metrics("test-metrics", Arc::new(Echo), 64, 2, Arc::clone(&metrics))
+                .unwrap();
+        assert_eq!(metrics.reactor_count(), 2);
+        assert!(Arc::ptr_eq(server.metrics(), &metrics));
+        assert_eq!(metrics.reactor_accepted().iter().sum::<u64>(), 0);
+        for i in 0..6 {
+            let resp = get(server.local_addr(), &format!("/m/{i}")).unwrap();
+            assert_eq!(resp.status(), StatusCode::OK);
+        }
+        // Each `get` opened (and dropped) one connection; the reactors
+        // notice the EOFs asynchronously.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let accepted: u64 = metrics.reactor_accepted().iter().sum();
+            let open: usize = metrics.reactor_connections().iter().sum();
+            if accepted == 6 && open == 0 {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "metrics never settled: accepted {accepted}, open {open}"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
     }
 
     #[test]

@@ -23,6 +23,10 @@
 //! the *system under test* is the proxy's multi-reactor engine, and the
 //! fixture must stay simple enough to be obviously correct.
 
+// The harness is compiled once per test binary; not every binary uses
+// every fixture helper.
+#![allow(dead_code)]
+
 use std::collections::HashMap;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};

@@ -23,6 +23,13 @@ cargo test -q -p mutcon-live --test reactor_smoke
 # refresh-vs-read interleavings, and the bit-identical-replay check.
 MUTCON_LIVE_REACTORS=4 cargo test -q -p mutcon-live --test concurrency
 
+# live-admin: the hot-swappable consistency runtime under four
+# reactors — a PUT /admin/rules lands mid-load without dropping a
+# single keep-alive connection or cache entry, the new Δ's poll
+# cadence takes effect, removed paths cannot be resurrected by
+# in-flight polls, and unchanged paths keep their adaptive-TTR state.
+MUTCON_LIVE_REACTORS=4 cargo test -q -p mutcon-live --test admin
+
 # Perf snapshot: regenerate every figure plus the robustness grid with
 # the default worker count, then the live-proxy load run (recorded as
 # the live_bench section). On a multi-core machine --compare-serial
@@ -36,6 +43,11 @@ target/release/repro --compare-serial --repeats 10 all > /dev/null
 # proxy, spliced into BENCH_repro.json as live_bench_sweep. On a
 # 1-core runner the points stay flat; on real hardware they must not.
 target/release/repro live-bench --reactors 4 > /dev/null
+
+# live-admin, part 2: the reconfigure scenario — rule reloads driven
+# concurrently with load, recorded (throughput + p99 across the
+# swaps) as the live_reload section of BENCH_repro.json.
+target/release/repro live-bench --conns 100 --rounds 6 --reload-every 2 > /dev/null
 
 echo "--- BENCH_repro.json ---"
 cat BENCH_repro.json
