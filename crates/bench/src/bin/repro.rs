@@ -3,8 +3,8 @@
 //! ```text
 //! repro [--threads N | --serial] [--repeats R] [--compare-serial]
 //!       [--conns C] [--rounds R] [--reactors N] [--reload-every N]
-//!       [--bench-json PATH]
-//!       table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|ablation|bench|live-bench|all
+//!       [--wire-conns C] [--bench-json PATH]
+//!       table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|ablation|bench|live-bench|live-wire|all
 //! ```
 //!
 //! Output is plain text, one section per experiment, matching the layout
@@ -37,6 +37,14 @@
 //! request waves a `PUT /admin/rules` swaps the hot object's Δ mid-load
 //! — the reconfigure scenario — and the run (throughput + p99 *across*
 //! the swaps) is recorded as the `live_reload` section.
+//!
+//! `live-wire` is the wire-scale variant: `--wire-conns` (≥ 2000,
+//! default 2000, useful up to ~10k within the fd limit) connections
+//! held open under the refresher's concurrent writes, with the
+//! zero-copy send path's syscall/copy counters recorded alongside
+//! p50/p99. `all` runs it after `live-bench` and records it as the
+//! `live_wire` section; standalone runs splice the section into an
+//! existing report.
 
 use std::time::Instant;
 
@@ -78,6 +86,10 @@ fn main() {
     let mut compare_serial = false;
     let mut live = mutcon_bench::livebench::LiveBenchConfig::default();
     let mut reactors_sweep: Option<usize> = None;
+    let mut wire_conns: usize = 2000;
+    /// Request waves for the wire-scale run: enough for a stable p99 at
+    /// thousands of connections without dominating `repro all`.
+    const WIRE_ROUNDS: usize = 3;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -107,6 +119,10 @@ fn main() {
             "--reload-every" => match args.next().and_then(|r| r.parse().ok()) {
                 Some(n) if n > 0 => live.reload_every = Some(n),
                 _ => usage_error("--reload-every needs a positive integer"),
+            },
+            "--wire-conns" => match args.next().and_then(|r| r.parse().ok()) {
+                Some(c) if c >= 2000 => wire_conns = c,
+                _ => usage_error("--wire-conns needs an integer >= 2000 (that scale is the point)"),
             },
             "--bench-json" => match args.next() {
                 Some(p) => bench_json = p,
@@ -221,6 +237,21 @@ fn main() {
                 }
             };
 
+            // The wire-scale run: thousands of sockets, p99 under the
+            // refresher's concurrent writes, zero-copy counters.
+            let wire_report = match mutcon_bench::livebench::wire(wire_conns, WIRE_ROUNDS, None) {
+                Ok(report) => {
+                    println!("==== live-wire ====");
+                    print!("{}", mutcon_bench::livebench::render_wire(&report));
+                    println!();
+                    Some(report)
+                }
+                Err(e) => {
+                    eprintln!("[repro] live-wire failed: {e}");
+                    None
+                }
+            };
+
             let report = bench_report(
                 threads,
                 repeats,
@@ -229,6 +260,7 @@ fn main() {
                 outputs_identical,
                 &timings,
                 live_report.as_ref(),
+                wire_report.as_ref(),
             );
             match std::fs::write(&bench_json, &report) {
                 Ok(()) => eprintln!("[repro] wrote {bench_json}"),
@@ -247,6 +279,24 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        "live-wire" => match mutcon_bench::livebench::wire(wire_conns, WIRE_ROUNDS, None) {
+            Ok(report) => {
+                print!("{}", mutcon_bench::livebench::render_wire(&report));
+                let fragment = mutcon_bench::livebench::json_wire_fragment(&report);
+                if let Err(e) = splice_section(&bench_json, "live_wire", &fragment) {
+                    eprintln!("[repro] cannot record live_wire in {bench_json}: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!(
+                    "[repro] recorded the {}-connection wire run in {bench_json}",
+                    report.bench.conns
+                );
+            }
+            Err(e) => {
+                eprintln!("[repro] live-wire failed: {e}");
+                std::process::exit(1);
+            }
+        },
         "live-bench" if reactors_sweep.is_some() && live.reload_every.is_some() => {
             // A sweep point perturbed by mid-run reloads would record a
             // misleading scaling curve, and the reload section would be
@@ -321,7 +371,7 @@ fn main() {
 fn usage_error(message: &str) -> ! {
     eprintln!("repro: {message}");
     eprintln!(
-        "usage: repro [--threads N | --serial] [--repeats R] [--compare-serial] [--conns C] [--rounds R] [--reactors N] [--reload-every N] [--bench-json PATH] <experiment|live-bench|all>"
+        "usage: repro [--threads N | --serial] [--repeats R] [--compare-serial] [--conns C] [--rounds R] [--reactors N] [--reload-every N] [--wire-conns C] [--bench-json PATH] <experiment|live-bench|live-wire|all>"
     );
     std::process::exit(2);
 }
@@ -372,6 +422,7 @@ fn bench_report(
     outputs_identical: Option<bool>,
     sections: &[Timing],
     live: Option<&mutcon_bench::livebench::LiveBenchReport>,
+    wire: Option<&mutcon_bench::livebench::LiveWireReport>,
 ) -> String {
     let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
     let total_polls: u64 = sections.iter().map(|t| t.polls).sum();
@@ -408,6 +459,15 @@ fn bench_report(
             mutcon_bench::livebench::json_fragment(report)
         )),
         None => out.push_str("  \"live_bench\": null,\n"),
+    }
+    // Wire-path run (`repro all` includes one; `repro live-wire` splices
+    // its section over this line).
+    match wire {
+        Some(report) => out.push_str(&format!(
+            "  \"live_wire\": {},\n",
+            mutcon_bench::livebench::json_wire_fragment(report)
+        )),
+        None => out.push_str("  \"live_wire\": null,\n"),
     }
     // Placeholders for `repro live-bench --reactors N` (reactor-count
     // sweep) and `repro live-bench --reload-every N` (reconfigure run),

@@ -14,6 +14,13 @@
 //! `repro all` embeds the numbers as the `live_bench` section of
 //! `BENCH_repro.json`, so proxy scalability is tracked PR-over-PR
 //! alongside the simulation engine's wall-clocks.
+//!
+//! [`wire`] is the same load at **thousands** of connections (the
+//! proxy's connection bound is raised to fit), recording the zero-copy
+//! send path's counters alongside p99: `writev` vs `write` calls, body
+//! copies, accept batching, and buffer-pool traffic over the measured
+//! waves. `repro all` embeds it as the `live_wire` section — p99 under
+//! concurrent refresh at 2k+ sockets is a first-class tracked number.
 
 use std::io::{self, Write};
 use std::net::TcpStream;
@@ -120,6 +127,35 @@ fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
 /// Propagates socket failures (including hitting the file-descriptor
 /// limit when `conns` is oversized for the environment).
 pub fn run(config: LiveBenchConfig) -> io::Result<LiveBenchReport> {
+    run_inner(config).map(|(report, _)| report)
+}
+
+/// Engine wire-path counter deltas over a bench's serve phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct WireCounters {
+    write_calls: u64,
+    writev_calls: u64,
+    accept_batches: u64,
+    body_copies: u64,
+    buf_reuses: u64,
+    buf_allocs: u64,
+    buf_pool_high_water: u64,
+}
+
+fn wire_counters(proxy: &LiveProxy) -> WireCounters {
+    let m = proxy.engine_metrics();
+    WireCounters {
+        write_calls: m.write_calls(),
+        writev_calls: m.writev_calls(),
+        accept_batches: m.accept_batches(),
+        body_copies: m.body_copies(),
+        buf_reuses: m.buf_reuses(),
+        buf_allocs: m.buf_allocs(),
+        buf_pool_high_water: m.buf_pool_high_water() as u64,
+    }
+}
+
+fn run_inner(config: LiveBenchConfig) -> io::Result<(LiveBenchReport, WireCounters)> {
     let conns = config.conns.max(1);
     let rounds = config.rounds.max(1);
 
@@ -130,6 +166,9 @@ pub fn run(config: LiveBenchConfig) -> io::Result<LiveBenchReport> {
         group: None,
         cache_objects: None,
         reactors: config.reactors,
+        // Room for every bench socket plus the warm/admin side clients,
+        // whatever the MUTCON_LIVE_CONNS default would have allowed.
+        max_conns: Some(mutcon_live::server::max_conns().max(conns + 8)),
     })?;
     let addr = proxy.local_addr();
 
@@ -163,6 +202,7 @@ pub fn run(config: LiveBenchConfig) -> io::Result<LiveBenchReport> {
     let mut latencies_ms: Vec<f64> = Vec::with_capacity(conns * rounds);
     let mut hits = 0u64;
     let mut reloads = 0u64;
+    let before = wire_counters(&proxy);
     let serve_started = Instant::now();
     for round in 0..rounds {
         let mut sent_at = Vec::with_capacity(conns);
@@ -201,6 +241,17 @@ pub fn run(config: LiveBenchConfig) -> io::Result<LiveBenchReport> {
         }
     }
     let serve = serve_started.elapsed();
+    let after = wire_counters(&proxy);
+    let counters = WireCounters {
+        write_calls: after.write_calls - before.write_calls,
+        writev_calls: after.writev_calls - before.writev_calls,
+        accept_batches: after.accept_batches - before.accept_batches,
+        body_copies: after.body_copies - before.body_copies,
+        buf_reuses: after.buf_reuses - before.buf_reuses,
+        buf_allocs: after.buf_allocs - before.buf_allocs,
+        // High water is a lifetime mark, not a rate; report it as-is.
+        buf_pool_high_water: after.buf_pool_high_water,
+    };
 
     latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
     if reloads > 0 {
@@ -220,20 +271,121 @@ pub fn run(config: LiveBenchConfig) -> io::Result<LiveBenchReport> {
         }
     }
     let requests = (conns * rounds) as u64;
-    Ok(LiveBenchReport {
-        reactors: proxy.reactor_count(),
-        conns,
-        rounds,
-        requests,
-        open_ms: open.as_secs_f64() * 1e3,
-        conns_per_sec: conns as f64 / open.as_secs_f64().max(1e-9),
-        serve_ms: serve.as_secs_f64() * 1e3,
-        requests_per_sec: requests as f64 / serve.as_secs_f64().max(1e-9),
-        p50_ms: percentile(&latencies_ms, 0.50),
-        p99_ms: percentile(&latencies_ms, 0.99),
-        hit_rate: hits as f64 / requests as f64,
-        reloads,
+    Ok((
+        LiveBenchReport {
+            reactors: proxy.reactor_count(),
+            conns,
+            rounds,
+            requests,
+            open_ms: open.as_secs_f64() * 1e3,
+            conns_per_sec: conns as f64 / open.as_secs_f64().max(1e-9),
+            serve_ms: serve.as_secs_f64() * 1e3,
+            requests_per_sec: requests as f64 / serve.as_secs_f64().max(1e-9),
+            p50_ms: percentile(&latencies_ms, 0.50),
+            p99_ms: percentile(&latencies_ms, 0.99),
+            hit_rate: hits as f64 / requests as f64,
+            reloads,
+        },
+        counters,
+    ))
+}
+
+/// Measured outcome of a [`wire`] run: the load numbers plus the
+/// zero-copy send path's counter deltas over the measured waves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiveWireReport {
+    /// The underlying load numbers.
+    pub bench: LiveBenchReport,
+    /// `writev(2)` calls during the waves (the gathered hit path).
+    pub writev_calls: u64,
+    /// Plain `write(2)` calls during the waves.
+    pub write_calls: u64,
+    /// Listener wakeups; `conns / accept_batches` ≈ accepts coalesced
+    /// per wakeup during the open phase (the waves add none).
+    pub accept_batches: u64,
+    /// Bodies memcpy'd into a write buffer during the waves. Hits
+    /// contribute zero; a hit-dominated run stays near zero.
+    pub body_copies: u64,
+    /// Connection buffers recycled from the reactor pools.
+    pub buf_reuses: u64,
+    /// Connection buffers freshly allocated.
+    pub buf_allocs: u64,
+    /// Most buffers any reactor pool held at once (lifetime mark).
+    pub buf_pool_high_water: u64,
+}
+
+/// [`run`] at wire scale: `conns` (≥ 2000 enforced here) sockets held
+/// open through the request waves while the refresher keeps writing,
+/// with the engine's wire-path counters recorded across the measured
+/// interval. This is the tentpole scalability number: p99 under
+/// concurrent refresh at thousands of connections.
+///
+/// # Errors
+///
+/// Propagates socket failures (a too-low `ulimit -n` being the usual
+/// culprit at this scale).
+pub fn wire(conns: usize, rounds: usize, reactors: Option<usize>) -> io::Result<LiveWireReport> {
+    let (bench, counters) = run_inner(LiveBenchConfig {
+        conns: conns.max(2000),
+        rounds: rounds.max(1),
+        reactors,
+        reload_every: None,
+    })?;
+    Ok(LiveWireReport {
+        bench,
+        writev_calls: counters.writev_calls,
+        write_calls: counters.write_calls,
+        accept_batches: counters.accept_batches,
+        body_copies: counters.body_copies,
+        buf_reuses: counters.buf_reuses,
+        buf_allocs: counters.buf_allocs,
+        buf_pool_high_water: counters.buf_pool_high_water,
     })
+}
+
+/// Renders a wire report as aligned text.
+pub fn render_wire(report: &LiveWireReport) -> String {
+    format!(
+        "{}{:<22} {:>12}\n{:<22} {:>12}\n{:<22} {:>12}\n{:<22} {:>12}\n{:<22} {:>12}\n",
+        render(&report.bench),
+        "writev calls",
+        report.writev_calls,
+        "write calls",
+        report.write_calls,
+        "body copies",
+        report.body_copies,
+        "buf reuses/allocs",
+        format!("{}/{}", report.buf_reuses, report.buf_allocs),
+        "pool high water",
+        report.buf_pool_high_water,
+    )
+}
+
+/// The wire report as a JSON object fragment for `BENCH_repro.json`'s
+/// `live_wire` section.
+pub fn json_wire_fragment(report: &LiveWireReport) -> String {
+    format!(
+        "{{\"conns\": {}, \"rounds\": {}, \"requests\": {}, \"reactors\": {}, \
+         \"requests_per_sec\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
+         \"hit_rate\": {:.3}, \"writev_calls\": {}, \"write_calls\": {}, \
+         \"accept_batches\": {}, \"body_copies\": {}, \"buf_reuses\": {}, \
+         \"buf_allocs\": {}, \"buf_pool_high_water\": {}}}",
+        report.bench.conns,
+        report.bench.rounds,
+        report.bench.requests,
+        report.bench.reactors,
+        report.bench.requests_per_sec,
+        report.bench.p50_ms,
+        report.bench.p99_ms,
+        report.bench.hit_rate,
+        report.writev_calls,
+        report.write_calls,
+        report.accept_batches,
+        report.body_copies,
+        report.buf_reuses,
+        report.buf_allocs,
+        report.buf_pool_high_water,
+    )
 }
 
 /// Runs the load once per reactor count: powers of two up to (and
@@ -346,6 +498,45 @@ mod tests {
         assert!(json.contains("\"requests\": 48"));
         assert!(json.contains("\"reactors\": 2"));
         assert!(json.contains("\"reloads\": 0"));
+    }
+
+    #[test]
+    fn wire_counters_prove_zero_copy_serving() {
+        // A bench-shaped run small enough for a test: the serve-phase
+        // counter deltas must show the zero-copy story — every response
+        // leaves via a gather write, no body bytes are ever copied.
+        let (bench, counters) = run_inner(LiveBenchConfig {
+            conns: 24,
+            rounds: 2,
+            reactors: Some(1),
+            reload_every: None,
+        })
+        .expect("wire run");
+        assert_eq!(bench.requests, 48);
+        assert_eq!(counters.body_copies, 0, "hit path must not copy bodies");
+        assert!(
+            counters.writev_calls >= bench.requests,
+            "every hit should gather-write: {} writev for {} requests",
+            counters.writev_calls,
+            bench.requests
+        );
+        let report = LiveWireReport {
+            bench,
+            writev_calls: counters.writev_calls,
+            write_calls: counters.write_calls,
+            accept_batches: counters.accept_batches,
+            body_copies: counters.body_copies,
+            buf_reuses: counters.buf_reuses,
+            buf_allocs: counters.buf_allocs,
+            buf_pool_high_water: counters.buf_pool_high_water,
+        };
+        let text = render_wire(&report);
+        assert!(text.contains("writev calls"));
+        assert!(text.contains("pool high water"));
+        let json = json_wire_fragment(&report);
+        assert!(json.contains("\"requests\": 48"));
+        assert!(json.contains("\"body_copies\": 0"));
+        assert!(json.contains("\"buf_pool_high_water\": "));
     }
 
     #[test]

@@ -261,13 +261,34 @@ impl Response {
     /// Serializes the response to its wire form.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(128 + self.body.len());
+        self.write_head(&mut out);
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Serializes just the head — status line and headers (including the
+    /// auto-derived `content-length`), *without* the terminating blank
+    /// line or body.
+    ///
+    /// This is the zero-copy serving hook: a server can append further
+    /// per-response headers, the blank line, and then hand the shared
+    /// body slice to `writev` untouched. `write_head` + `"\r\n"` + body
+    /// is byte-identical to [`Response::to_bytes`].
+    pub fn write_head(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(self.version.as_str().as_bytes());
         out.push(b' ');
         out.extend_from_slice(self.status.as_u16().to_string().as_bytes());
         out.push(b' ');
         out.extend_from_slice(self.status.reason().as_bytes());
         out.extend_from_slice(b"\r\n");
-        write_headers_and_body(&mut out, &self.headers, &self.body);
+        write_headers(out, &self.headers, self.body.len());
+    }
+
+    /// [`Response::write_head`] into a fresh buffer.
+    pub fn head_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128);
+        self.write_head(&mut out);
         out
     }
 }
@@ -336,6 +357,15 @@ impl ResponseBuilder {
 /// Writes headers (adding `Content-Length` when absent), the blank line,
 /// and the body.
 fn write_headers_and_body(out: &mut Vec<u8>, headers: &HeaderMap, body: &Bytes) {
+    write_headers(out, headers, body.len());
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(body);
+}
+
+/// Writes the header block, adding `content-length: body_len` when the
+/// headers don't carry one and the body is non-empty. No terminating
+/// blank line: callers may append more headers first.
+fn write_headers(out: &mut Vec<u8>, headers: &HeaderMap, body_len: usize) {
     let mut wrote_length = false;
     for (name, value) in headers.iter() {
         if name.as_str() == HeaderName::CONTENT_LENGTH {
@@ -346,11 +376,9 @@ fn write_headers_and_body(out: &mut Vec<u8>, headers: &HeaderMap, body: &Bytes) 
         out.extend_from_slice(value.as_bytes());
         out.extend_from_slice(b"\r\n");
     }
-    if !wrote_length && !body.is_empty() {
-        out.extend_from_slice(format!("content-length: {}\r\n", body.len()).as_bytes());
+    if !wrote_length && body_len > 0 {
+        out.extend_from_slice(format!("content-length: {body_len}\r\n").as_bytes());
     }
-    out.extend_from_slice(b"\r\n");
-    out.extend_from_slice(body);
 }
 
 #[cfg(test)]
@@ -432,6 +460,29 @@ mod tests {
         assert_eq!(resp.last_modified(), None);
         let resp = Response::ok().header("Last-Modified", "garbage").build();
         assert_eq!(resp.last_modified(), None);
+    }
+
+    #[test]
+    fn head_plus_body_matches_to_bytes() {
+        let resp = Response::ok()
+            .last_modified(Timestamp::from_secs(784_111_777))
+            .header("x-object-value", "2.5")
+            .body(&b"payload"[..])
+            .build();
+        let mut rebuilt = resp.head_bytes();
+        rebuilt.extend_from_slice(b"\r\n");
+        rebuilt.extend_from_slice(resp.body());
+        assert_eq!(rebuilt, resp.to_bytes());
+        // The head carries the derived content-length but no terminator.
+        let head = String::from_utf8(resp.head_bytes()).unwrap();
+        assert!(head.contains("content-length: 7\r\n"));
+        assert!(!head.ends_with("\r\n\r\n"));
+    }
+
+    #[test]
+    fn head_of_bodyless_response_omits_length() {
+        let head = String::from_utf8(Response::not_modified().build().head_bytes()).unwrap();
+        assert_eq!(head, "HTTP/1.1 304 Not Modified\r\n");
     }
 
     #[test]

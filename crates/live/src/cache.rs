@@ -9,40 +9,114 @@
 //! recency-indexed bounded map behind the simulator's `ProxyCache` — so
 //! a capacity bound buys LRU eviction without scans.
 //!
-//! Reads take the shard's read lock and clone the entry out (the body is
-//! a reference-counted `Bytes`, so cloning is cheap). LRU recency on the
-//! hit path is refreshed *opportunistically* with `try_write`: under
-//! contention the touch is skipped rather than making readers queue
-//! behind each other — recency degrades gracefully, the capacity bound
-//! never does.
+//! Reads take the shard's read lock and hand out an `Arc` of the entry —
+//! a refcount bump, no byte copying. LRU recency on the hit path is
+//! refreshed *opportunistically* with `try_write`: under contention the
+//! touch is skipped rather than making readers queue behind each other —
+//! recency degrades gracefully, the capacity bound never does.
+//!
+//! Entries are immutable once stored and carry a **pre-rendered header
+//! block** ([`CacheEntry::head`]) alongside the shared body: the wire
+//! form of a hit is rendered once at store time (on the refresher or
+//! miss-completion path, outside any shard lock), so serving a hit is
+//! two shared slices handed to `writev` — zero per-request serialization
+//! and zero body copies.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::RwLock;
 
 use mutcon_core::time::Timestamp;
+use mutcon_http::headers::HeaderName;
+use mutcon_http::message::Response;
 use mutcon_proxy::cache::LruMap;
+
+use crate::client::X_LAST_MODIFIED_MS;
 
 /// Number of independent shards (a fixed power of two so the hash→shard
 /// map is a mask).
 pub const SHARD_COUNT: usize = 16;
 
 /// One cached object copy as served to clients.
+///
+/// Immutable after construction: [`CacheEntry::new`] renders the serving
+/// header block once, so every later hit reuses it. Fields are private to
+/// keep the pre-rendered head in sync with what it describes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CacheEntry {
-    /// The object body.
-    pub body: Bytes,
+    body: Bytes,
+    last_modified: Timestamp,
+    value: Option<f64>,
+    version: Option<String>,
+    /// Pre-rendered response head: status line and headers (including
+    /// `content-length`), **without** the terminating blank line, so the
+    /// server can append per-response headers (`x-cache`,
+    /// `connection: close`) before the body.
+    head: Bytes,
+}
+
+impl CacheEntry {
+    /// Builds an entry, rendering its serving head once.
+    ///
+    /// The head is exactly what [`Response::write_head`] produces for the
+    /// equivalent response: status line, `last-modified`,
+    /// `x-last-modified-ms`, optional `x-object-value` /
+    /// `x-object-version`, and the derived `content-length`.
+    pub fn new(
+        body: Bytes,
+        last_modified: Timestamp,
+        value: Option<f64>,
+        version: Option<String>,
+    ) -> CacheEntry {
+        let mut builder = Response::ok()
+            .last_modified(last_modified)
+            .header(X_LAST_MODIFIED_MS, last_modified.as_millis().to_string());
+        if let Some(v) = value {
+            builder = builder.header(HeaderName::X_OBJECT_VALUE, v.to_string());
+        }
+        if let Some(ver) = &version {
+            builder = builder.header(HeaderName::X_OBJECT_VERSION, ver.clone());
+        }
+        let head = Bytes::from(builder.body(body.clone()).build().head_bytes());
+        CacheEntry {
+            body,
+            last_modified,
+            value,
+            version,
+            head,
+        }
+    }
+
+    /// The object body (cloning is a refcount bump).
+    pub fn body(&self) -> &Bytes {
+        &self.body
+    }
+
     /// Millisecond-precise modification stamp.
-    pub last_modified: Timestamp,
+    pub fn last_modified(&self) -> Timestamp {
+        self.last_modified
+    }
+
     /// The `x-object-value` payload, for value-bearing objects.
-    pub value: Option<f64>,
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
     /// The `x-object-version` payload.
-    pub version: Option<String>,
+    pub fn version(&self) -> Option<&str> {
+        self.version.as_deref()
+    }
+
+    /// The pre-rendered response head (no terminating blank line).
+    pub fn head(&self) -> &Bytes {
+        &self.head
+    }
 }
 
 struct Shard {
-    map: LruMap<String, CacheEntry, u64>,
+    map: LruMap<String, Arc<CacheEntry>, u64>,
     /// Entries pushed out by the LRU bound (not replacements/removals),
     /// surfaced by the admin stats endpoint.
     evictions: u64,
@@ -124,11 +198,11 @@ impl ShardedCache {
         self.clock.fetch_add(1, Ordering::Relaxed)
     }
 
-    /// Looks up a copy, cloning it out of the shard. On a bounded cache
-    /// LRU recency is refreshed only if the shard's write lock is free
-    /// (see module docs); unbounded caches read under the shared lock
-    /// unconditionally.
-    pub fn get(&self, path: &str) -> Option<CacheEntry> {
+    /// Looks up a copy; the returned `Arc` is a refcount bump, no byte
+    /// copying. On a bounded cache LRU recency is refreshed only if the
+    /// shard's write lock is free (see module docs); unbounded caches
+    /// read under the shared lock unconditionally.
+    pub fn get(&self, path: &str) -> Option<Arc<CacheEntry>> {
         let shard = &self.shards[shard_index(path)];
         if self.bounded {
             if let Some(mut guard) = shard.try_write() {
@@ -144,7 +218,11 @@ impl ShardedCache {
     pub fn insert(&self, path: &str, entry: CacheEntry) {
         let now = self.tick();
         let mut shard = self.shards[shard_index(path)].write();
-        if shard.map.insert(path.to_owned(), entry, now).is_some() {
+        if shard
+            .map
+            .insert(path.to_owned(), Arc::new(entry), now)
+            .is_some()
+        {
             shard.evictions += 1;
         }
     }
@@ -154,15 +232,20 @@ impl ShardedCache {
     /// under one shard write lock, so a slow fetch that raced a faster
     /// refresh can never clobber the newer copy. Returns the entry now
     /// resident (the given one, or the fresher incumbent).
-    pub fn insert_if_newer(&self, path: &str, entry: CacheEntry) -> CacheEntry {
+    pub fn insert_if_newer(&self, path: &str, entry: CacheEntry) -> Arc<CacheEntry> {
         let now = self.tick();
+        let entry = Arc::new(entry);
         let mut shard = self.shards[shard_index(path)].write();
         if let Some(existing) = shard.map.get(path) {
             if existing.last_modified > entry.last_modified {
-                return existing.clone();
+                return Arc::clone(existing);
             }
         }
-        if shard.map.insert(path.to_owned(), entry.clone(), now).is_some() {
+        if shard
+            .map
+            .insert(path.to_owned(), Arc::clone(&entry), now)
+            .is_some()
+        {
             shard.evictions += 1;
         }
         entry
@@ -171,7 +254,7 @@ impl ShardedCache {
     /// Drops a copy (the admin plane evicts paths whose refresh rule was
     /// removed — an unrefreshed copy would otherwise be served stale
     /// forever). Returns the removed entry, if one was resident.
-    pub fn remove(&self, path: &str) -> Option<CacheEntry> {
+    pub fn remove(&self, path: &str) -> Option<Arc<CacheEntry>> {
         self.shards[shard_index(path)].write().map.remove(path)
     }
 
@@ -230,12 +313,12 @@ mod tests {
     use super::*;
 
     fn entry(stamp: u64) -> CacheEntry {
-        CacheEntry {
-            body: Bytes::copy_from_slice(format!("v{stamp}").as_bytes()),
-            last_modified: Timestamp::from_millis(stamp),
-            value: Some(stamp as f64),
-            version: Some(stamp.to_string()),
-        }
+        CacheEntry::new(
+            Bytes::copy_from_slice(format!("v{stamp}").as_bytes()),
+            Timestamp::from_millis(stamp),
+            Some(stamp as f64),
+            Some(stamp.to_string()),
+        )
     }
 
     #[test]
@@ -245,9 +328,53 @@ mod tests {
         assert!(cache.get("/a").is_none());
         cache.insert("/a", entry(1));
         let got = cache.get("/a").expect("stored");
-        assert_eq!(got.last_modified, Timestamp::from_millis(1));
-        assert_eq!(&got.body[..], b"v1");
+        assert_eq!(got.last_modified(), Timestamp::from_millis(1));
+        assert_eq!(&got.body()[..], b"v1");
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn get_shares_one_entry_allocation() {
+        let cache = ShardedCache::new(None);
+        cache.insert("/a", entry(1));
+        let first = cache.get("/a").unwrap();
+        let second = cache.get("/a").unwrap();
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "hits must hand out the same Arc, not clones"
+        );
+        // The bounded cache's try_write touch path must share too.
+        let bounded = ShardedCache::new(Some(16));
+        bounded.insert("/a", entry(1));
+        let first = bounded.get("/a").unwrap();
+        let second = bounded.get("/a").unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+    }
+
+    #[test]
+    fn entries_pre_render_their_serving_head() {
+        let e = CacheEntry::new(
+            Bytes::from("payload"),
+            Timestamp::from_millis(784_111_777_123),
+            Some(2.5),
+            Some("v7".to_owned()),
+        );
+        let head = std::str::from_utf8(e.head()).unwrap();
+        assert!(head.starts_with("HTTP/1.1 200 OK\r\n"), "{head:?}");
+        assert!(head.contains("last-modified: "));
+        assert!(head.contains("x-last-modified-ms: 784111777123\r\n"));
+        assert!(head.contains("x-object-value: 2.5\r\n"));
+        assert!(head.contains("x-object-version: v7\r\n"));
+        assert!(head.contains("content-length: 7\r\n"));
+        assert!(
+            !head.ends_with("\r\n\r\n"),
+            "head must leave room for per-response headers"
+        );
+        // Optional fields stay out of the head entirely.
+        let bare = CacheEntry::new(Bytes::from("x"), Timestamp::from_millis(1), None, None);
+        let head = std::str::from_utf8(bare.head()).unwrap();
+        assert!(!head.contains("x-object-value"));
+        assert!(!head.contains("x-object-version"));
     }
 
     #[test]
@@ -256,7 +383,10 @@ mod tests {
         cache.insert("/a", entry(1));
         cache.insert("/a", entry(2));
         assert_eq!(cache.len(), 1);
-        assert_eq!(cache.get("/a").unwrap().last_modified, Timestamp::from_millis(2));
+        assert_eq!(
+            cache.get("/a").unwrap().last_modified(),
+            Timestamp::from_millis(2)
+        );
     }
 
     #[test]
@@ -265,21 +395,21 @@ mod tests {
         // A slow fetch (stamp 5) loses to the resident fresher copy.
         cache.insert("/a", entry(10));
         let resident = cache.insert_if_newer("/a", entry(5));
-        assert_eq!(resident.last_modified, Timestamp::from_millis(10));
+        assert_eq!(resident.last_modified(), Timestamp::from_millis(10));
         assert_eq!(
-            cache.get("/a").unwrap().last_modified,
+            cache.get("/a").unwrap().last_modified(),
             Timestamp::from_millis(10)
         );
         // A fresher fetch replaces.
         let resident = cache.insert_if_newer("/a", entry(20));
-        assert_eq!(resident.last_modified, Timestamp::from_millis(20));
+        assert_eq!(resident.last_modified(), Timestamp::from_millis(20));
         assert_eq!(
-            cache.get("/a").unwrap().last_modified,
+            cache.get("/a").unwrap().last_modified(),
             Timestamp::from_millis(20)
         );
         // Equal stamps re-store (idempotent refresh).
         let resident = cache.insert_if_newer("/a", entry(20));
-        assert_eq!(resident.last_modified, Timestamp::from_millis(20));
+        assert_eq!(resident.last_modified(), Timestamp::from_millis(20));
     }
 
     #[test]

@@ -32,7 +32,13 @@
 //!   nonblocking upstream fetches).
 //! * [`upstream`] — the keep-alive origin pool's bookkeeping (miss
 //!   coalescing, idle reuse, stale-socket retry).
-//! * [`cache`] — the 16-way sharded, recency-indexed object cache.
+//! * [`vectored`] — the zero-copy send path: per-connection write plans
+//!   (contiguous head + shared body flushed via `writev`) and the
+//!   per-reactor buffer pool that recycles read/write buffers across
+//!   connections.
+//! * [`cache`] — the 16-way sharded, recency-indexed object cache;
+//!   entries pre-render their serving head so a hit is two shared
+//!   slices, not a serialization.
 //! * [`wire`] — blocking socket I/O for the `mutcon-http` types
 //!   (clients and tests; the server path is nonblocking).
 //! * [`client`] — blocking HTTP clients: one-shot ([`client::HttpClient`])
@@ -67,6 +73,7 @@
 //!     group: None,
 //!     cache_objects: None,
 //!     reactors: None,
+//!     max_conns: None,
 //! })?;
 //! println!("proxy listening on {}", proxy.local_addr());
 //! # Ok(())
@@ -84,6 +91,7 @@ pub mod proxy;
 pub mod runtime;
 pub mod server;
 pub mod upstream;
+pub mod vectored;
 pub mod wire;
 
 pub use origin::LiveOrigin;

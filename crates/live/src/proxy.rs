@@ -17,8 +17,11 @@
 //! thread per connection. The cache is the 16-way sharded
 //! [`crate::cache::ShardedCache`], shared by every reactor, so the
 //! refresher's write locks stall only 1/16th of concurrent hits instead
-//! of all of them. Concurrency is bounded by `MUTCON_LIVE_CONNS` (see
-//! [`crate::server::max_conns`]).
+//! of all of them. Entries pre-render their serving head at store time,
+//! so a hit is two shared slices handed to `writev` — no serialization
+//! and no body copy on the hot path, however many clients share the
+//! entry. Concurrency is bounded by `MUTCON_LIVE_CONNS` (see
+//! [`crate::server::max_conns`]) or [`ProxyConfig::max_conns`].
 //!
 //! # The admin control plane
 //!
@@ -38,7 +41,9 @@
 //!   stop polling and their cache entries are evicted.
 //! * `GET /admin/stats` — per-shard cache occupancy and evictions,
 //!   per-reactor connection counts, origin-pool reuse/coalesce
-//!   counters, and the proxy's poll/hit/miss counters.
+//!   counters, wire-path syscall/copy counters (`writev` vs `write`
+//!   calls, accept batches, body copies, buffer-pool traffic), and the
+//!   proxy's poll/hit/miss counters.
 //!
 //! The legacy plain-text `/__stats` endpoint remains for scripts.
 
@@ -59,9 +64,11 @@ use mutcon_http::types::{Method, StatusCode};
 use mutcon_traces::json::Json;
 
 use crate::cache::{CacheEntry, ShardedCache};
-use crate::client::{last_modified_ms, object_value, PersistentClient, X_LAST_MODIFIED_MS};
+use crate::client::{last_modified_ms, object_value, PersistentClient};
 use crate::runtime::{ConsistencyRuntime, PollKind};
-use crate::server::{EngineMetrics, EventLoop, Service, ServiceResult};
+use crate::server::{
+    EngineMetrics, EventLoop, PreparedResponse, Reply, Service, ServiceResult,
+};
 
 /// Consistency requirements for one cached object.
 #[derive(Debug, Clone, PartialEq)]
@@ -116,11 +123,16 @@ pub struct ProxyConfig {
     /// `MUTCON_LIVE_REACTORS` / one-per-core default, see
     /// [`crate::server::num_reactors`]).
     pub reactors: Option<usize>,
+    /// Concurrent-connection bound across all reactors (`None` = the
+    /// `MUTCON_LIVE_CONNS` default, see [`crate::server::max_conns`]).
+    /// Load tests past the default raise this directly instead of
+    /// through the environment.
+    pub max_conns: Option<usize>,
 }
 
 impl ProxyConfig {
     /// A configuration with no rules, no group, an unbounded cache and
-    /// the default reactor count.
+    /// the default reactor and connection counts.
     pub fn new(origin_addr: SocketAddr) -> ProxyConfig {
         ProxyConfig {
             origin_addr,
@@ -128,6 +140,7 @@ impl ProxyConfig {
             group: None,
             cache_objects: None,
             reactors: None,
+            max_conns: None,
         }
     }
 }
@@ -206,7 +219,7 @@ impl LiveProxy {
                 shared: Arc::clone(&shared),
                 metrics: Arc::clone(&metrics),
             }),
-            crate::server::max_conns(),
+            config.max_conns.unwrap_or_else(crate::server::max_conns),
             config.reactors.unwrap_or_else(crate::server::num_reactors),
             metrics,
         )?;
@@ -287,6 +300,13 @@ impl LiveProxy {
     pub fn runtime(&self) -> &Arc<ConsistencyRuntime> {
         &self.shared.runtime
     }
+
+    /// The connection engine's always-on counters — syscall and copy
+    /// tallies included, so tests can assert the hit path stays
+    /// zero-copy without scraping `/admin/stats`.
+    pub fn engine_metrics(&self) -> &Arc<EngineMetrics> {
+        self.server.metrics()
+    }
 }
 
 impl Drop for LiveProxy {
@@ -342,10 +362,11 @@ impl Service for ProxyService {
             return ServiceResult::Respond(Response::ok().body(body.into_bytes()).build());
         }
 
-        // Cache hit?
+        // Cache hit: the entry's pre-rendered head and shared body go
+        // out as-is — no serialization, no body copy, one writev.
         if let Some(entry) = self.shared.cache.get(path) {
             self.shared.counters.hits.fetch_add(1, Ordering::SeqCst);
-            return ServiceResult::Respond(entry_response(&entry, true));
+            return ServiceResult::RespondPrepared(prepared(&entry, true));
         }
 
         // Miss: fetch from the origin through the reactor (its own
@@ -372,18 +393,22 @@ impl Service for ProxyService {
                     response.headers_mut().remove(HeaderName::CONNECTION);
                     if response.status() == StatusCode::OK {
                         match store_response(&shared, &path, &response) {
-                            Some(entry) => entry_response(&entry, false),
+                            // Serve the freshly stored entry the same
+                            // zero-copy way a hit would.
+                            Some(entry) => Reply::Prepared(prepared(&entry, false)),
                             // Origin 200 without a modification stamp:
                             // pass through uncached.
-                            None => response,
+                            None => Reply::Full(response),
                         }
                     } else {
-                        response // 404 etc. pass through
+                        Reply::Full(response) // 404 etc. pass through
                     }
                 }
-                Err(_) => Response::builder(StatusCode::INTERNAL_SERVER_ERROR)
-                    .body(&b"origin unreachable\n"[..])
-                    .build(),
+                Err(_) => Reply::Full(
+                    Response::builder(StatusCode::INTERNAL_SERVER_ERROR)
+                        .body(&b"origin unreachable\n"[..])
+                        .build(),
+                ),
             }),
         }
     }
@@ -574,6 +599,21 @@ impl ProxyService {
                 ]),
             ),
             (
+                "wire",
+                obj([
+                    ("write_calls", Json::Number(self.metrics.write_calls() as f64)),
+                    ("writev_calls", Json::Number(self.metrics.writev_calls() as f64)),
+                    ("accept_batches", Json::Number(self.metrics.accept_batches() as f64)),
+                    ("body_copies", Json::Number(self.metrics.body_copies() as f64)),
+                    ("buf_reuses", Json::Number(self.metrics.buf_reuses() as f64)),
+                    ("buf_allocs", Json::Number(self.metrics.buf_allocs() as f64)),
+                    (
+                        "buf_pool_high_water",
+                        Json::Number(self.metrics.buf_pool_high_water() as f64),
+                    ),
+                ]),
+            ),
+            (
                 "proxy",
                 obj([
                     ("polls", Json::Number(c.polls.load(Ordering::SeqCst) as f64)),
@@ -671,19 +711,21 @@ fn parse_rules_body(body: &[u8]) -> Result<(Vec<RefreshRule>, Option<GroupRule>)
 /// raced in first (a slow fetch must never roll the cache backwards).
 /// `None` when the response carries no modification stamp and is
 /// uncacheable.
-fn store_response(shared: &Shared, path: &str, response: &Response) -> Option<CacheEntry> {
+fn store_response(shared: &Shared, path: &str, response: &Response) -> Option<Arc<CacheEntry>> {
     let lm = last_modified_ms(response)?;
-    let entry = CacheEntry {
-        body: response.body().clone(),
-        last_modified: lm,
-        value: object_value(response),
-        version: response
+    // Pre-rendering the serving head happens here, at store time, on
+    // the fetching/refreshing thread — never while a hit is served.
+    let entry = CacheEntry::new(
+        response.body().clone(),
+        lm,
+        object_value(response),
+        response
             .headers()
             .get(HeaderName::X_OBJECT_VERSION)
             .map(str::to_owned),
-    };
+    );
     let resident = shared.cache.insert_if_newer(path, entry);
-    if resident.last_modified == lm {
+    if resident.last_modified() == lm {
         shared.counters.refreshes.fetch_add(1, Ordering::SeqCst);
     }
     Some(resident)
@@ -696,7 +738,7 @@ fn store_response(shared: &Shared, path: &str, response: &Response) -> Option<Ca
 /// wire means the response is discarded (and any raced-in entry
 /// re-evicted), so a dead rule cannot resurrect its cache entry.
 fn poll_origin(shared: &Shared, client: &mut PersistentClient, path: &str) -> Option<PollResult> {
-    let validator = shared.cache.get(path).map(|e| e.last_modified);
+    let validator = shared.cache.get(path).map(|e| e.last_modified());
     shared.counters.polls.fetch_add(1, Ordering::SeqCst);
     match client.get(path, validator) {
         Ok(response) if response.status() == StatusCode::NOT_MODIFIED => {
@@ -731,18 +773,19 @@ fn poll_origin(shared: &Shared, client: &mut PersistentClient, path: &str) -> Op
     }
 }
 
-fn entry_response(entry: &CacheEntry, hit: bool) -> Response {
-    let mut builder = Response::ok()
-        .last_modified(entry.last_modified)
-        .header(X_LAST_MODIFIED_MS, entry.last_modified.as_millis().to_string())
-        .header("x-cache", if hit { "hit" } else { "miss" });
-    if let Some(v) = entry.value {
-        builder = builder.header(HeaderName::X_OBJECT_VALUE, v.to_string());
+/// The zero-copy serving form of a cache entry: the head pre-rendered
+/// at store time, a static `x-cache` marker line, and the shared body
+/// slice — two refcount bumps, no serialization.
+fn prepared(entry: &CacheEntry, hit: bool) -> PreparedResponse {
+    PreparedResponse {
+        head: entry.head().clone(),
+        extra: if hit {
+            b"x-cache: hit\r\n"
+        } else {
+            b"x-cache: miss\r\n"
+        },
+        body: entry.body().clone(),
     }
-    if let Some(version) = &entry.version {
-        builder = builder.header(HeaderName::X_OBJECT_VERSION, version.clone());
-    }
-    builder.body(entry.body.clone()).build()
 }
 
 #[cfg(test)]

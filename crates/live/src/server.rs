@@ -35,6 +35,17 @@
 //! retried once on a fresh connection. `Connection: close` is honored in
 //! both directions ([`mutcon_http::connection`]).
 //!
+//! *WRITING* goes through the zero-copy send path ([`crate::vectored`]):
+//! each response is a reusable contiguous buffer (head + small inlined
+//! bodies) plus an optional shared body slice, gathered into one
+//! `writev(2)`. Cache hits arrive pre-serialized
+//! ([`ServiceResult::RespondPrepared`]) and never copy body bytes.
+//! Connection buffers are recycled through a per-reactor pool, and the
+//! accept loop drains the whole backlog per listener wakeup with
+//! `accept4` (already-nonblocking sockets, one metrics store per
+//! batch). [`EngineMetrics`] counts the syscalls and copies so the
+//! effect is observable from `/admin/stats`.
+//!
 //! Concurrent-connection capacity is bounded by [`max_conns`]
 //! (`MUTCON_LIVE_CONNS`, default [`DEFAULT_MAX_CONNS`]), split evenly
 //! across reactors: a reactor at its share drops its listener's
@@ -51,14 +62,15 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use bytes::BytesMut;
+use bytes::{Bytes, BytesMut};
 use mutcon_http::message::{Request, Response};
 use mutcon_http::parse::{RequestParser, ResponseParser};
 use mutcon_sim::reactor::{
-    connect_nonblocking, listen_reuseport, Events, Interest, Poller, Waker,
+    accept_nonblocking, connect_nonblocking, listen_reuseport, Events, Interest, Poller, Waker,
 };
 
 use crate::upstream::{AfterLeave, Job, JobId, PoolCore, Submit};
+use crate::vectored::{BufPool, FlushOutcome, FlushStats, WritePlan, INLINE_BODY, MAX_RETAINED_CAP};
 
 /// Environment variable bounding concurrent connections per event loop
 /// (the bound is split evenly across its reactors).
@@ -134,14 +146,44 @@ pub fn num_reactors() -> usize {
 }
 
 /// Completion callback for an upstream fetch: receives the origin's
-/// response (or the I/O error) and produces the response for the waiting
-/// client.
-pub type FinishUpstream = Box<dyn FnOnce(io::Result<Response>) -> Response + Send>;
+/// response (or the I/O error) and produces the reply for the waiting
+/// client — either a full [`Response`] or a pre-serialized
+/// [`PreparedResponse`] sharing a cached body.
+pub type FinishUpstream = Box<dyn FnOnce(io::Result<Response>) -> Reply + Send>;
+
+/// A response pre-serialized at store time, served without touching the
+/// body bytes: the head is copied into the connection's write buffer
+/// (~150 bytes), the body rides as a shared [`Bytes`] slice gathered by
+/// `writev`. This is the zero-copy cache-hit path.
+#[derive(Debug, Clone)]
+pub struct PreparedResponse {
+    /// Status line + headers, ending after the last header's CRLF (no
+    /// terminating blank line) so per-response headers can still append.
+    pub head: Bytes,
+    /// Per-response header lines (e.g. `x-cache: hit\r\n`), appended
+    /// after `head`. The engine adds `connection: close\r\n` and the
+    /// blank line itself.
+    pub extra: &'static [u8],
+    /// The shared body slice — cloned by refcount bump, never copied.
+    pub body: Bytes,
+}
+
+/// What an upstream completion hands back to the engine.
+#[derive(Debug)]
+pub enum Reply {
+    /// A response to serialize per-connection.
+    Full(Response),
+    /// A pre-serialized response sharing its body allocation.
+    Prepared(PreparedResponse),
+}
 
 /// What a [`Service`] wants done with a parsed request.
 pub enum ServiceResult {
     /// Write this response now.
     Respond(Response),
+    /// Write this pre-serialized response now, sharing its body bytes
+    /// (the cache-hit fast path: no serialization, no body copy).
+    RespondPrepared(PreparedResponse),
     /// Write this response after a delay, without blocking the reactor
     /// (fault injection: the origin's `Stall` mode).
     RespondAfter(Response, Duration),
@@ -164,6 +206,7 @@ impl std::fmt::Debug for ServiceResult {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let name = match self {
             ServiceResult::Respond(_) => "Respond",
+            ServiceResult::RespondPrepared(_) => "RespondPrepared",
             ServiceResult::RespondAfter(..) => "RespondAfter",
             ServiceResult::Upstream { .. } => "Upstream",
             ServiceResult::Close => "Close",
@@ -201,6 +244,13 @@ pub struct EngineMetrics {
     pool_coalesced: AtomicU64,
     pool_opened: AtomicU64,
     pool_retries: AtomicU64,
+    write_calls: AtomicU64,
+    writev_calls: AtomicU64,
+    accept_batches: AtomicU64,
+    body_copies: AtomicU64,
+    buf_reuses: AtomicU64,
+    buf_allocs: AtomicU64,
+    buf_pool_high_water: AtomicUsize,
 }
 
 impl Default for EngineMetrics {
@@ -213,6 +263,13 @@ impl Default for EngineMetrics {
             pool_coalesced: AtomicU64::new(0),
             pool_opened: AtomicU64::new(0),
             pool_retries: AtomicU64::new(0),
+            write_calls: AtomicU64::new(0),
+            writev_calls: AtomicU64::new(0),
+            accept_batches: AtomicU64::new(0),
+            body_copies: AtomicU64::new(0),
+            buf_reuses: AtomicU64::new(0),
+            buf_allocs: AtomicU64::new(0),
+            buf_pool_high_water: AtomicUsize::new(0),
         }
     }
 }
@@ -265,6 +322,64 @@ impl EngineMetrics {
     /// the first response byte and the fetch was requeued).
     pub fn pool_retries(&self) -> u64 {
         self.pool_retries.load(Ordering::Relaxed)
+    }
+
+    /// Plain `write(2)` calls made flushing client responses.
+    pub fn write_calls(&self) -> u64 {
+        self.write_calls.load(Ordering::Relaxed)
+    }
+
+    /// `writev(2)` calls made flushing client responses (head + shared
+    /// body gathered into one syscall).
+    pub fn writev_calls(&self) -> u64 {
+        self.writev_calls.load(Ordering::Relaxed)
+    }
+
+    /// Listener readiness events handled; each drains the whole accept
+    /// backlog, so `reactor_accepted / accept_batches` is the mean
+    /// accepts coalesced per wakeup.
+    pub fn accept_batches(&self) -> u64 {
+        self.accept_batches.load(Ordering::Relaxed)
+    }
+
+    /// Response bodies copied into a contiguous write buffer (small
+    /// inlined bodies and delayed fault-injection responses). The
+    /// prepared cache-hit path never increments this: its body is
+    /// always gathered from the shared cache allocation.
+    pub fn body_copies(&self) -> u64 {
+        self.body_copies.load(Ordering::Relaxed)
+    }
+
+    /// Connection buffers recycled from a reactor's pool instead of
+    /// freshly allocated.
+    pub fn buf_reuses(&self) -> u64 {
+        self.buf_reuses.load(Ordering::Relaxed)
+    }
+
+    /// Connection buffers allocated because the pool was empty.
+    pub fn buf_allocs(&self) -> u64 {
+        self.buf_allocs.load(Ordering::Relaxed)
+    }
+
+    /// Most buffers any reactor's pool has held at once.
+    pub fn buf_pool_high_water(&self) -> usize {
+        self.buf_pool_high_water.load(Ordering::Relaxed)
+    }
+
+    /// Folds one flush's syscall tallies in (no-op for zero tallies, so
+    /// the common single-counter flush costs one atomic add).
+    fn note_flush(&self, stats: &FlushStats) {
+        if stats.write_calls > 0 {
+            self.write_calls.fetch_add(stats.write_calls, Ordering::Relaxed);
+        }
+        if stats.writev_calls > 0 {
+            self.writev_calls.fetch_add(stats.writev_calls, Ordering::Relaxed);
+        }
+    }
+
+    /// Raises the pool high-water mark if `candidate` exceeds it.
+    fn note_pool_high_water(&self, candidate: usize) {
+        self.buf_pool_high_water.fetch_max(candidate, Ordering::Relaxed);
     }
 }
 
@@ -382,6 +497,7 @@ impl EventLoop {
                 freed_this_batch: Vec::new(),
                 delayed: 0,
                 pool: PoolCore::default(),
+                bufs: BufPool::new(),
                 driving: None,
                 metrics: Arc::clone(&metrics),
                 reactor_index: i,
@@ -455,8 +571,10 @@ enum Pending {
 struct ClientState {
     parser: RequestParser,
     read_buf: BytesMut,
-    write_buf: Vec<u8>,
-    written: usize,
+    /// The outgoing response: a pooled contiguous buffer (head + small
+    /// inlined bodies) plus an optional shared body slice, flushed with
+    /// `writev` so a cache hit costs one syscall and zero body copies.
+    write: WritePlan,
     pending: Pending,
     /// Peer sent EOF; close once the in-flight response is flushed.
     peer_closed: bool,
@@ -530,6 +648,9 @@ struct Reactor {
     delayed: usize,
     /// The keep-alive origin pool ledger (see [`crate::upstream`]).
     pool: PoolCore<Waiting>,
+    /// Recycled read/write buffers, handed to new connections instead
+    /// of fresh allocations (reactor-local: no locks).
+    bufs: BufPool,
     /// The client currently inside `drive_client`, if any. Completions
     /// delivered to it are queued, not recursively resumed — the active
     /// drive loop picks them up, keeping pipelined bursts iterative.
@@ -602,7 +723,7 @@ impl Reactor {
     fn has_inflight(&self) -> bool {
         self.conns.iter().flatten().any(|conn| match &conn.kind {
             Kind::Client(client) => {
-                !client.write_buf.is_empty() || !matches!(client.pending, Pending::None)
+                client.write.has_unwritten() || !matches!(client.pending, Pending::None)
             }
             Kind::Upstream(up) => up.job.is_some(),
         })
@@ -657,15 +778,21 @@ impl Reactor {
         }
     }
 
+    /// Drains the whole accept backlog in one batch. Each connection
+    /// arrives already nonblocking (`accept4`, no per-accept `fcntl`)
+    /// and adopts pooled read/write buffers; shared metrics are stored
+    /// once per batch, not once per connection, and the listener's
+    /// epoll interest is only touched when the batch hits the
+    /// connection bound.
     fn accept_ready(&mut self) {
+        let mut batch: u64 = 0;
+        let mut reused: u64 = 0;
+        let mut allocated: u64 = 0;
         while self.accepting {
-            match self.listener.accept() {
-                Ok((stream, _)) => {
+            match accept_nonblocking(&self.listener) {
+                Ok(stream) => {
                     if !self.service.accept_connection() {
                         continue; // dropped on arrival (fault injection)
-                    }
-                    if stream.set_nonblocking(true).is_err() {
-                        continue;
                     }
                     let _ = stream.set_nodelay(true);
                     let idx = self.alloc_slot();
@@ -677,23 +804,25 @@ impl Reactor {
                         self.free.push(idx);
                         continue;
                     }
+                    let (wbuf, wfrom_pool) = self.bufs.take();
+                    let (rbuf, rfrom_pool) = self.bufs.take();
+                    reused += u64::from(wfrom_pool) + u64::from(rfrom_pool);
+                    allocated += u64::from(!wfrom_pool) + u64::from(!rfrom_pool);
                     self.conns[idx] = Some(Conn {
                         stream,
                         interest: Interest::READABLE,
                         last_activity: Instant::now(),
                         kind: Kind::Client(ClientState {
                             parser: RequestParser::new(),
-                            read_buf: BytesMut::new(),
-                            write_buf: Vec::new(),
-                            written: 0,
+                            read_buf: BytesMut::from_vec(rbuf),
+                            write: WritePlan::with_buf(wbuf),
                             pending: Pending::None,
                             peer_closed: false,
                             close_after_write: false,
                         }),
                     });
                     self.clients += 1;
-                    self.metrics.conns[self.reactor_index].store(self.clients, Ordering::Relaxed);
-                    self.metrics.accepted[self.reactor_index].fetch_add(1, Ordering::Relaxed);
+                    batch += 1;
                     if self.clients >= self.max_conns {
                         self.pause_accepting();
                     }
@@ -701,6 +830,17 @@ impl Reactor {
                 Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(_) => break,
+            }
+        }
+        if batch > 0 {
+            self.metrics.conns[self.reactor_index].store(self.clients, Ordering::Relaxed);
+            self.metrics.accepted[self.reactor_index].fetch_add(batch, Ordering::Relaxed);
+            self.metrics.accept_batches.fetch_add(1, Ordering::Relaxed);
+            if reused > 0 {
+                self.metrics.buf_reuses.fetch_add(reused, Ordering::Relaxed);
+            }
+            if allocated > 0 {
+                self.metrics.buf_allocs.fetch_add(allocated, Ordering::Relaxed);
             }
         }
     }
@@ -810,7 +950,7 @@ impl Reactor {
         loop {
             let Some(conn) = self.conns[idx].as_mut() else { return false };
             let Kind::Client(client) = &mut conn.kind else { return false };
-            if !client.write_buf.is_empty() || !matches!(client.pending, Pending::None) {
+            if client.write.has_unwritten() || !matches!(client.pending, Pending::None) {
                 return true; // busy; pipelined requests wait their turn
             }
             if client.close_after_write {
@@ -826,13 +966,19 @@ impl Reactor {
                     return false;
                 }
             };
-            let _ = client.read_buf.split_to(consumed);
+            client.read_buf.advance(consumed);
             if !request.wants_keep_alive() {
                 client.close_after_write = true;
             }
             match self.service.respond(&request) {
                 ServiceResult::Respond(response) => {
                     self.queue_response(idx, response);
+                    if !self.flush_client(idx) {
+                        return false;
+                    }
+                }
+                ServiceResult::RespondPrepared(prepared) => {
+                    self.queue_prepared(idx, prepared);
                     if !self.flush_client(idx) {
                         return false;
                     }
@@ -882,8 +1028,11 @@ impl Reactor {
         }
     }
 
-    /// Serializes a response for `idx`, honoring a pending
-    /// `Connection: close` by marking it on the response.
+    /// Serializes a response for `idx` fully (head *and* body into one
+    /// `Vec`), honoring a pending `Connection: close` by marking it on
+    /// the response. Only the delayed fault-injection path pays this
+    /// copy; live responses go through [`Reactor::queue_response`] /
+    /// [`Reactor::queue_prepared`].
     fn response_bytes(&mut self, idx: usize, mut response: Response) -> Vec<u8> {
         let closing = matches!(
             self.conns.get(idx).and_then(Option::as_ref),
@@ -898,39 +1047,42 @@ impl Reactor {
         if closing {
             mutcon_http::connection::set_close(response.headers_mut());
         }
+        if !response.body().is_empty() {
+            self.metrics.body_copies.fetch_add(1, Ordering::Relaxed);
+        }
         response.to_bytes()
     }
 
-    /// Writes as much of the pending response as the socket accepts.
-    /// Returns `false` if the connection was closed.
+    /// Writes as much of the pending response as the socket accepts —
+    /// gathering the contiguous buffer and any shared body slice into
+    /// one `writev` — and merges the flush's syscall tallies into the
+    /// shared metrics. Returns `false` if the connection was closed.
     fn flush_client(&mut self, idx: usize) -> bool {
-        let Some(conn) = self.conns[idx].as_mut() else { return false };
-        let Kind::Client(client) = &mut conn.kind else { return false };
-        while client.written < client.write_buf.len() {
-            match conn.stream.write(&client.write_buf[client.written..]) {
-                Ok(0) => {
-                    self.close_client(idx);
-                    return false;
-                }
-                Ok(n) => client.written += n,
-                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => return true,
-                Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                Err(_) => {
-                    self.close_client(idx);
-                    return false;
-                }
+        let mut stats = FlushStats::default();
+        let outcome = {
+            let Some(conn) = self.conns[idx].as_mut() else { return false };
+            let Kind::Client(client) = &mut conn.kind else { return false };
+            if client.write.is_idle() {
+                return true;
+            }
+            let outcome = client.write.flush(&mut conn.stream, MAX_RETAINED_CAP, &mut stats);
+            if matches!(outcome, Ok(FlushOutcome::Done)) {
+                conn.last_activity = Instant::now();
+                // A half-closed peer may still have pipelined requests
+                // buffered in read_buf; closing is decided centrally in
+                // [`Reactor::close_if_finished`] once everything
+                // parseable has been served.
+            }
+            outcome
+        };
+        self.metrics.note_flush(&stats);
+        match outcome {
+            Ok(_) => true,
+            Err(_) => {
+                self.close_client(idx);
+                false
             }
         }
-        if !client.write_buf.is_empty() {
-            client.write_buf = Vec::new();
-            client.written = 0;
-            conn.last_activity = Instant::now();
-            // A half-closed peer may still have pipelined requests
-            // buffered in read_buf; closing is decided centrally in
-            // [`Reactor::close_if_finished`] once everything parseable
-            // has been served.
-        }
-        true
     }
 
     /// Closes a connection once nothing more can be served: the peer
@@ -942,7 +1094,7 @@ impl Reactor {
         let Some(conn) = self.conns[idx].as_ref() else { return true };
         let Kind::Client(client) = &conn.kind else { return false };
         if (client.peer_closed || client.close_after_write)
-            && client.write_buf.is_empty()
+            && client.write.is_idle()
             && matches!(client.pending, Pending::None)
         {
             self.close_client(idx);
@@ -955,7 +1107,7 @@ impl Reactor {
     fn update_client_interest(&mut self, idx: usize) {
         let Some(conn) = self.conns[idx].as_mut() else { return };
         let Kind::Client(client) = &conn.kind else { return };
-        let interest = if client.written < client.write_buf.len() {
+        let interest = if client.write.has_unwritten() {
             Interest::WRITABLE
         } else if !matches!(client.pending, Pending::None) {
             Interest::NONE // response owed; nothing to read or write yet
@@ -973,14 +1125,50 @@ impl Reactor {
     }
 
     /// Queues a response on a client without driving the connection
-    /// further (the caller decides when to flush/resume).
-    fn queue_response(&mut self, idx: usize, response: Response) {
-        let wire = self.response_bytes(idx, response);
+    /// further (the caller decides when to flush/resume). The head is
+    /// rendered straight into the connection's reusable write buffer;
+    /// bodies at most [`INLINE_BODY`] bytes are inlined behind it (one
+    /// contiguous `write`, counted as a body copy), larger ones ride as
+    /// a shared slice gathered by `writev` — zero copies.
+    fn queue_response(&mut self, idx: usize, mut response: Response) {
+        let Some(conn) = self.conns[idx].as_mut() else { return };
+        let Kind::Client(client) = &mut conn.kind else { return };
+        if client.close_after_write {
+            mutcon_http::connection::set_close(response.headers_mut());
+        }
+        client.pending = Pending::None;
+        debug_assert!(client.write.is_idle(), "one response in flight at a time");
+        let buf = client.write.buf_mut();
+        response.write_head(buf);
+        buf.extend_from_slice(b"\r\n");
+        let body = response.body();
+        if !body.is_empty() {
+            if body.len() <= INLINE_BODY {
+                buf.extend_from_slice(body);
+                self.metrics.body_copies.fetch_add(1, Ordering::Relaxed);
+            } else {
+                client.write.set_body(body.clone());
+            }
+        }
+    }
+
+    /// Queues a pre-serialized response: the stored head (and the
+    /// per-response extras) are appended to the reusable write buffer,
+    /// the shared body is attached untouched. This path never copies
+    /// body bytes, whatever their size — the zero-copy cache hit.
+    fn queue_prepared(&mut self, idx: usize, prepared: PreparedResponse) {
         let Some(conn) = self.conns[idx].as_mut() else { return };
         let Kind::Client(client) = &mut conn.kind else { return };
         client.pending = Pending::None;
-        client.write_buf = wire;
-        client.written = 0;
+        debug_assert!(client.write.is_idle(), "one response in flight at a time");
+        let buf = client.write.buf_mut();
+        buf.extend_from_slice(&prepared.head);
+        buf.extend_from_slice(prepared.extra);
+        if client.close_after_write {
+            buf.extend_from_slice(b"connection: close\r\n");
+        }
+        buf.extend_from_slice(b"\r\n");
+        client.write.set_body(prepared.body);
     }
 
     /// Files a cache miss with the pool: coalesces onto an identical
@@ -1039,6 +1227,12 @@ impl Reactor {
             } else if self.pool.can_open(addr) {
                 match connect_nonblocking(addr) {
                     Ok(stream) => {
+                        let (rbuf, from_pool) = self.bufs.take();
+                        if from_pool {
+                            self.metrics.buf_reuses.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            self.metrics.buf_allocs.fetch_add(1, Ordering::Relaxed);
+                        }
                         let idx = self.alloc_slot();
                         if self
                             .poller
@@ -1064,7 +1258,7 @@ impl Reactor {
                                 addr,
                                 job: Some(job),
                                 written: 0,
-                                read_buf: BytesMut::new(),
+                                read_buf: BytesMut::from_vec(rbuf),
                                 parser: ResponseParser::new(),
                                 connected: false,
                                 served: 0,
@@ -1209,7 +1403,11 @@ impl Reactor {
                 } else {
                     // One-shot connection (origin said close, or the
                     // stream is already at EOF).
-                    self.conns[idx] = None;
+                    if let Some(mut gone) = self.conns[idx].take() {
+                        if let Kind::Upstream(dead) = &mut gone.kind {
+                            self.recycle_upstream_buf(dead);
+                        }
+                    }
                     self.freed_this_batch.push(idx);
                     self.pool.note_closed(addr);
                 }
@@ -1240,20 +1438,22 @@ impl Reactor {
     /// e.g. a timeout: the origin is slow, not the socket stale);
     /// everything else fails the job to its waiters.
     fn upstream_broken(&mut self, idx: usize, err: io::Error, allow_retry: bool) {
-        let Some(conn) = self.conns[idx].take() else { return };
+        let Some(mut conn) = self.conns[idx].take() else { return };
         self.freed_this_batch.push(idx);
-        let Kind::Upstream(up) = &conn.kind else { return };
+        let Kind::Upstream(up) = &mut conn.kind else { return };
         let addr = up.addr;
         self.pool.note_closed(addr);
         match up.job {
             None => {
                 // Died while parked: just forget it.
+                self.recycle_upstream_buf(up);
                 self.pool.forget_idle(idx);
                 drop(conn);
             }
             Some(job) => {
                 let got_bytes = !up.read_buf.is_empty() || up.parser.in_progress();
                 let served = up.served;
+                self.recycle_upstream_buf(up);
                 drop(conn); // closes the socket before any retry connects
                 if allow_retry && self.pool.retry_eligible(job, served, got_bytes) {
                     self.metrics.pool_retries.fetch_add(1, Ordering::Relaxed);
@@ -1291,16 +1491,19 @@ impl Reactor {
         }
     }
 
-    /// Delivers an asynchronously produced response (upstream
-    /// completion) to a client and resumes the connection — unless that
-    /// client is the one currently being driven, in which case the
-    /// response is only queued and the active drive loop flushes it
-    /// (keeping pipelined bursts iterative instead of recursive).
-    fn complete_client(&mut self, idx: usize, response: Response) {
+    /// Delivers an asynchronously produced reply (upstream completion)
+    /// to a client and resumes the connection — unless that client is
+    /// the one currently being driven, in which case the reply is only
+    /// queued and the active drive loop flushes it (keeping pipelined
+    /// bursts iterative instead of recursive).
+    fn complete_client(&mut self, idx: usize, reply: Reply) {
         if self.conns[idx].is_none() {
-            return; // client gone; drop the response
+            return; // client gone; drop the reply
         }
-        self.queue_response(idx, response);
+        match reply {
+            Reply::Full(response) => self.queue_response(idx, response),
+            Reply::Prepared(prepared) => self.queue_prepared(idx, prepared),
+        }
         if self.driving == Some(idx) {
             return;
         }
@@ -1337,8 +1540,7 @@ impl Reactor {
                 continue;
             };
             self.delayed -= 1;
-            client.write_buf = response;
-            client.written = 0;
+            client.write.buf_mut().extend_from_slice(&response);
             self.resume_client(idx);
         }
     }
@@ -1375,7 +1577,10 @@ impl Reactor {
         }
         // Pooled idle sockets past their keep time.
         for (idx, addr) in self.pool.reap_idle(now, POOL_IDLE_TIMEOUT) {
-            if let Some(conn) = self.conns[idx].take() {
+            if let Some(mut conn) = self.conns[idx].take() {
+                if let Kind::Upstream(up) = &mut conn.kind {
+                    self.recycle_upstream_buf(up);
+                }
                 self.freed_this_batch.push(idx);
                 self.pool.note_closed(addr);
                 drop(conn);
@@ -1384,11 +1589,13 @@ impl Reactor {
     }
 
     /// Closes a client connection, detaching it from any fetch it waits
-    /// on (the last waiter leaving a queued fetch cancels it).
+    /// on (the last waiter leaving a queued fetch cancels it) and
+    /// returning its buffers to the reactor's pool for the next
+    /// connection.
     fn close_client(&mut self, idx: usize) {
-        let Some(conn) = self.conns[idx].take() else { return };
+        let Some(mut conn) = self.conns[idx].take() else { return };
         self.freed_this_batch.push(idx);
-        if let Kind::Client(client) = &conn.kind {
+        if let Kind::Client(client) = &mut conn.kind {
             self.clients -= 1;
             self.metrics.conns[self.reactor_index].store(self.clients, Ordering::Relaxed);
             match client.pending {
@@ -1404,9 +1611,25 @@ impl Reactor {
                 Pending::Delayed { .. } => self.delayed -= 1,
                 Pending::None => {}
             }
+            self.recycle_client_bufs(client);
         }
         drop(conn);
         self.resume_accepting();
+    }
+
+    /// Returns a closing client's buffers to the pool and refreshes the
+    /// shared high-water mark.
+    fn recycle_client_bufs(&mut self, client: &mut ClientState) {
+        self.bufs.give(client.write.take_buf());
+        self.bufs
+            .give(std::mem::take(&mut client.read_buf).into_vec());
+        self.metrics.note_pool_high_water(self.bufs.high_water());
+    }
+
+    /// Returns a closing upstream connection's read buffer to the pool.
+    fn recycle_upstream_buf(&mut self, up: &mut UpstreamState) {
+        self.bufs.give(std::mem::take(&mut up.read_buf).into_vec());
+        self.metrics.note_pool_high_water(self.bufs.high_water());
     }
 }
 

@@ -1,0 +1,484 @@
+//! The zero-copy send path: write plans and buffer pooling.
+//!
+//! A response leaves the reactor as **two logical segments**: a small
+//! contiguous buffer (status line + headers + any per-response additions
+//! + blank line, and inlined small bodies) and an optional **shared body
+//! slice** — a refcounted `Bytes` handed out by the cache, never copied.
+//! [`WritePlan`] tracks flush progress across both segments and pushes
+//! them with one `writev(2)` per readiness while both still have
+//! unwritten bytes, falling back to plain `write(2)` when only one
+//! remains.
+//!
+//! The contiguous buffers come from a per-reactor [`BufPool`]: a
+//! connection keeps its buffer across keep-alive responses (cleared, not
+//! freed) and returns it to the pool when the connection closes, so a
+//! steady-state reactor allocates no per-request buffers at all. A
+//! one-off huge response doesn't pin memory: buffers above
+//! [`MAX_RETAINED_CAP`] are dropped instead of retained or pooled.
+//!
+//! Flushing is abstracted over [`WriteSink`] so tests can drive a plan
+//! through every possible partial-write split (the write-side mirror of
+//! the parser's byte-at-a-time tests) without a socket.
+
+use std::io;
+use std::net::TcpStream;
+use std::os::fd::AsRawFd;
+
+use bytes::Bytes;
+
+use mutcon_sim::reactor;
+
+/// Per-buffer capacity ceiling for retention and pooling: a buffer grown
+/// past this by an outsized response is dropped at reset/close instead
+/// of kept hot.
+pub const MAX_RETAINED_CAP: usize = 64 * 1024;
+
+/// Most free buffers a [`BufPool`] holds; beyond this, returned buffers
+/// are dropped.
+pub const MAX_POOLED: usize = 64;
+
+/// Bodies at or below this many bytes are cheaper to memcpy into the
+/// contiguous buffer (one `write`) than to gather with a second iovec.
+/// The cache hit path ignores this and always shares — its body slice
+/// already exists for the entry's whole lifetime.
+pub const INLINE_BODY: usize = 4 * 1024;
+
+/// Destination of a flush: a socket in production, a scripted sink in
+/// tests.
+pub trait WriteSink {
+    /// Writes one slice, returning how many bytes were taken.
+    ///
+    /// # Errors
+    ///
+    /// `WouldBlock` when the sink is full; any other error is fatal to
+    /// the connection.
+    fn write_one(&mut self, buf: &[u8]) -> io::Result<usize>;
+
+    /// Gathers two slices in order with one call, returning how many
+    /// bytes were taken (possibly a partial prefix crossing the
+    /// boundary).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`WriteSink::write_one`].
+    fn write_two(&mut self, first: &[u8], second: &[u8]) -> io::Result<usize>;
+}
+
+impl WriteSink for TcpStream {
+    fn write_one(&mut self, buf: &[u8]) -> io::Result<usize> {
+        io::Write::write(self, buf)
+    }
+
+    fn write_two(&mut self, first: &[u8], second: &[u8]) -> io::Result<usize> {
+        reactor::writev(self.as_raw_fd(), &[first, second])
+    }
+}
+
+/// Syscall counts from one flush, merged into the engine metrics by the
+/// caller (one atomic update per flush, not per syscall).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FlushStats {
+    /// Plain `write(2)` calls issued.
+    pub write_calls: u64,
+    /// `writev(2)` calls issued.
+    pub writev_calls: u64,
+}
+
+/// What a flush ended on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushOutcome {
+    /// Every queued byte reached the sink; the plan was reset and the
+    /// (capacity-capped) buffer is ready for the next response.
+    Done,
+    /// The sink is full; re-flush when it reports writable again.
+    Blocked,
+}
+
+/// Flush progress over a contiguous buffer plus an optional shared body
+/// slice.
+///
+/// Queue a response by appending its head (and any inlined body) to
+/// [`WritePlan::buf_mut`] and, for large or shared bodies, attaching the
+/// refcounted slice with [`WritePlan::set_body`]. Then call
+/// [`WritePlan::flush`] whenever the socket is writable.
+#[derive(Debug, Default)]
+pub struct WritePlan {
+    buf: Vec<u8>,
+    body: Option<Bytes>,
+    written: usize,
+}
+
+impl WritePlan {
+    /// An empty plan with no buffer capacity.
+    pub fn new() -> WritePlan {
+        WritePlan::default()
+    }
+
+    /// An empty plan adopting `buf` (typically from a [`BufPool`]) as
+    /// its contiguous buffer.
+    pub fn with_buf(mut buf: Vec<u8>) -> WritePlan {
+        buf.clear();
+        WritePlan {
+            buf,
+            body: None,
+            written: 0,
+        }
+    }
+
+    /// The contiguous buffer, for queueing head bytes (and inlined
+    /// bodies). Appending while a previous response is still partially
+    /// flushed is fine — pipelined responses queue back to back.
+    pub fn buf_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.buf
+    }
+
+    /// Attaches the shared body slice to send after the buffer. Only one
+    /// may be pending at a time; empty bodies are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shared body is already attached (the engine flushes a
+    /// body-bearing response fully before queueing the next).
+    pub fn set_body(&mut self, body: Bytes) {
+        if body.is_empty() {
+            return;
+        }
+        assert!(self.body.is_none(), "shared body already pending");
+        self.body = Some(body);
+    }
+
+    /// Total bytes queued (flushed or not).
+    fn total(&self) -> usize {
+        self.buf.len() + self.body.as_ref().map_or(0, |b| b.len())
+    }
+
+    /// Whether nothing is queued at all.
+    pub fn is_idle(&self) -> bool {
+        self.buf.is_empty() && self.body.is_none()
+    }
+
+    /// Whether queued bytes are still waiting for the sink.
+    pub fn has_unwritten(&self) -> bool {
+        self.written < self.total()
+    }
+
+    /// Drops any queued bytes and resets progress, keeping the buffer's
+    /// capacity for the next response unless it grew past `max_retain`.
+    pub fn reset(&mut self, max_retain: usize) {
+        if self.buf.capacity() > max_retain {
+            self.buf = Vec::new();
+        } else {
+            self.buf.clear();
+        }
+        self.body = None;
+        self.written = 0;
+    }
+
+    /// Takes the contiguous buffer out (for returning to a [`BufPool`]
+    /// when the connection closes), leaving the plan empty.
+    pub fn take_buf(&mut self) -> Vec<u8> {
+        self.body = None;
+        self.written = 0;
+        let mut buf = std::mem::take(&mut self.buf);
+        buf.clear();
+        buf
+    }
+
+    /// Pushes queued bytes into `sink` until everything is out
+    /// ([`FlushOutcome::Done`] — the plan auto-resets, retaining at most
+    /// `max_retain` buffer capacity) or the sink blocks
+    /// ([`FlushOutcome::Blocked`]). Uses one gathering `write_two` per
+    /// pass while both segments have unwritten bytes.
+    ///
+    /// # Errors
+    ///
+    /// A sink error (other than `WouldBlock`/`Interrupted`) aborts the
+    /// flush; a sink that accepts 0 bytes reports `WriteZero`. Either
+    /// way the connection should be closed.
+    pub fn flush(
+        &mut self,
+        sink: &mut impl WriteSink,
+        max_retain: usize,
+        stats: &mut FlushStats,
+    ) -> io::Result<FlushOutcome> {
+        loop {
+            if !self.has_unwritten() {
+                self.reset(max_retain);
+                return Ok(FlushOutcome::Done);
+            }
+            let result = if self.written < self.buf.len() {
+                match &self.body {
+                    Some(body) => {
+                        stats.writev_calls += 1;
+                        sink.write_two(&self.buf[self.written..], body)
+                    }
+                    None => {
+                        stats.write_calls += 1;
+                        sink.write_one(&self.buf[self.written..])
+                    }
+                }
+            } else {
+                let body = self.body.as_ref().expect("has_unwritten implies a body");
+                let offset = self.written - self.buf.len();
+                stats.write_calls += 1;
+                sink.write_one(&body[offset..])
+            };
+            match result {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "sink accepted no bytes",
+                    ))
+                }
+                Ok(n) => self.written += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    return Ok(FlushOutcome::Blocked)
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// A reactor-local free list of contiguous buffers.
+///
+/// Not thread-safe by design — each reactor owns one, so takes and
+/// returns are plain vector ops with no locking. The pool only retains
+/// buffers whose capacity is at most [`MAX_RETAINED_CAP`] and holds at
+/// most [`MAX_POOLED`] of them; everything else is dropped on return.
+#[derive(Debug, Default)]
+pub struct BufPool {
+    free: Vec<Vec<u8>>,
+    high_water: usize,
+}
+
+impl BufPool {
+    /// An empty pool.
+    pub fn new() -> BufPool {
+        BufPool::default()
+    }
+
+    /// Hands out a cleared buffer and whether it was recycled (`true`)
+    /// or freshly allocated (`false`).
+    pub fn take(&mut self) -> (Vec<u8>, bool) {
+        match self.free.pop() {
+            Some(buf) => (buf, true),
+            None => (Vec::new(), false),
+        }
+    }
+
+    /// Returns a buffer to the pool (cleared); oversized or surplus
+    /// buffers are dropped instead.
+    pub fn give(&mut self, mut buf: Vec<u8>) {
+        if buf.capacity() == 0
+            || buf.capacity() > MAX_RETAINED_CAP
+            || self.free.len() >= MAX_POOLED
+        {
+            return;
+        }
+        buf.clear();
+        self.free.push(buf);
+        self.high_water = self.high_water.max(self.free.len());
+    }
+
+    /// Buffers currently pooled.
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Most buffers ever pooled at once — bounded by [`MAX_POOLED`], so
+    /// a leak of returns shows up as a plateau here, not growth.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A sink accepting at most `per_call` bytes per call, optionally
+    /// blocking every other call, recording everything it takes.
+    struct TrickleSink {
+        out: Vec<u8>,
+        per_call: usize,
+        block_alternate: bool,
+        calls: usize,
+        gathers: usize,
+    }
+
+    impl TrickleSink {
+        fn new(per_call: usize, block_alternate: bool) -> TrickleSink {
+            TrickleSink {
+                out: Vec::new(),
+                per_call,
+                block_alternate,
+                calls: 0,
+                gathers: 0,
+            }
+        }
+
+        fn admit(&mut self) -> io::Result<usize> {
+            self.calls += 1;
+            if self.block_alternate && self.calls % 2 == 0 {
+                return Err(io::ErrorKind::WouldBlock.into());
+            }
+            Ok(self.per_call)
+        }
+    }
+
+    impl WriteSink for TrickleSink {
+        fn write_one(&mut self, buf: &[u8]) -> io::Result<usize> {
+            let n = self.admit()?.min(buf.len());
+            self.out.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+
+        fn write_two(&mut self, first: &[u8], second: &[u8]) -> io::Result<usize> {
+            let mut n = self.admit()?;
+            self.gathers += 1;
+            let take_first = n.min(first.len());
+            self.out.extend_from_slice(&first[..take_first]);
+            n -= take_first;
+            let take_second = n.min(second.len());
+            self.out.extend_from_slice(&second[..take_second]);
+            Ok(take_first + take_second)
+        }
+    }
+
+    fn plan_with(head: &[u8], body: &[u8]) -> WritePlan {
+        let mut plan = WritePlan::new();
+        plan.buf_mut().extend_from_slice(head);
+        plan.set_body(Bytes::copy_from_slice(body));
+        plan
+    }
+
+    fn drain(plan: &mut WritePlan, sink: &mut TrickleSink) -> FlushStats {
+        let mut stats = FlushStats::default();
+        loop {
+            match plan.flush(sink, MAX_RETAINED_CAP, &mut stats).unwrap() {
+                FlushOutcome::Done => return stats,
+                FlushOutcome::Blocked => continue,
+            }
+        }
+    }
+
+    #[test]
+    fn every_split_point_yields_identical_bytes() {
+        let head = b"HTTP/1.1 200 OK\r\ncontent-length: 11\r\n\r\n";
+        let body = b"hello world";
+        let mut expected = head.to_vec();
+        expected.extend_from_slice(body);
+        for per_call in 1..=expected.len() {
+            for block_alternate in [false, true] {
+                let mut plan = plan_with(head, body);
+                let mut sink = TrickleSink::new(per_call, block_alternate);
+                let stats = drain(&mut plan, &mut sink);
+                assert_eq!(sink.out, expected, "per_call={per_call}");
+                assert!(plan.is_idle());
+                assert!(stats.writev_calls >= 1, "head+body must gather");
+            }
+        }
+    }
+
+    #[test]
+    fn gather_stops_once_the_buffer_is_out() {
+        // Take exactly the head on the first call: the remainder must go
+        // out with plain writes, not gathers.
+        let head = b"head-bytes\r\n\r\n";
+        let body = b"tail";
+        let mut plan = plan_with(head, body);
+        let mut sink = TrickleSink::new(head.len(), false);
+        let stats = drain(&mut plan, &mut sink);
+        let mut expected = head.to_vec();
+        expected.extend_from_slice(body);
+        assert_eq!(sink.out, expected);
+        assert_eq!(stats.writev_calls, 1);
+        assert_eq!(sink.gathers, 1);
+        assert_eq!(stats.write_calls, 1);
+    }
+
+    #[test]
+    fn buffer_only_plan_never_gathers() {
+        let mut plan = WritePlan::new();
+        plan.buf_mut().extend_from_slice(b"just a head");
+        let mut sink = TrickleSink::new(3, true);
+        let stats = drain(&mut plan, &mut sink);
+        assert_eq!(sink.out, b"just a head");
+        assert_eq!(stats.writev_calls, 0);
+        assert!(stats.write_calls >= 1);
+    }
+
+    #[test]
+    fn write_zero_is_an_error() {
+        let mut plan = plan_with(b"x", b"");
+        let mut sink = TrickleSink::new(0, false);
+        let mut stats = FlushStats::default();
+        let err = plan
+            .flush(&mut sink, MAX_RETAINED_CAP, &mut stats)
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+    }
+
+    #[test]
+    fn reset_caps_retained_capacity() {
+        let mut plan = WritePlan::new();
+        plan.buf_mut().extend_from_slice(&vec![0u8; 100]);
+        plan.reset(64);
+        assert_eq!(plan.buf_mut().capacity(), 0, "oversized buffer dropped");
+        plan.buf_mut().extend_from_slice(&[1, 2, 3]);
+        let cap = plan.buf_mut().capacity();
+        plan.reset(64);
+        assert_eq!(plan.buf_mut().capacity(), cap, "small buffer retained");
+        assert!(plan.is_idle());
+    }
+
+    #[test]
+    fn flush_done_retains_capacity_across_responses() {
+        let mut sink = TrickleSink::new(usize::MAX, false);
+        let mut plan = WritePlan::new();
+        plan.buf_mut().extend_from_slice(b"response one");
+        drain(&mut plan, &mut sink);
+        let cap = plan.buf_mut().capacity();
+        assert!(cap >= b"response one".len());
+        plan.buf_mut().extend_from_slice(b"two");
+        drain(&mut plan, &mut sink);
+        assert_eq!(
+            plan.buf_mut().capacity(),
+            cap,
+            "keep-alive reuse must not reallocate"
+        );
+        assert_eq!(sink.out, b"response onetwo");
+    }
+
+    #[test]
+    fn pool_recycles_and_bounds_retention() {
+        let mut pool = BufPool::new();
+        let (buf, reused) = pool.take();
+        assert!(!reused, "empty pool allocates");
+        assert_eq!(pool.high_water(), 0);
+        let mut buf = buf;
+        buf.extend_from_slice(b"data");
+        pool.give(buf);
+        assert_eq!(pool.pooled(), 1);
+        assert_eq!(pool.high_water(), 1);
+        let (back, reused) = pool.take();
+        assert!(reused);
+        assert!(back.is_empty(), "pooled buffers come back cleared");
+        assert!(back.capacity() >= 4);
+
+        // Oversized buffers are dropped, not pooled.
+        pool.give(Vec::with_capacity(MAX_RETAINED_CAP + 1));
+        assert_eq!(pool.pooled(), 0);
+        // Zero-capacity buffers aren't worth pooling.
+        pool.give(Vec::new());
+        assert_eq!(pool.pooled(), 0);
+        // The pool itself is bounded.
+        for _ in 0..(MAX_POOLED + 10) {
+            pool.give(Vec::with_capacity(8));
+        }
+        assert_eq!(pool.pooled(), MAX_POOLED);
+        assert_eq!(pool.high_water(), MAX_POOLED);
+    }
+}

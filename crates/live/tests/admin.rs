@@ -36,6 +36,7 @@ fn proxy_with(origin: &ScriptedOrigin, rules: Vec<RefreshRule>, reactors: usize)
         group: None,
         cache_objects: None,
         reactors: Some(reactors),
+        max_conns: None,
     })
     .expect("start proxy")
 }
@@ -319,6 +320,7 @@ fn bad_rules_are_rejected_by_put_and_by_start() {
         group: None,
         cache_objects: None,
         reactors: Some(1),
+        max_conns: None,
     })
     .expect_err("duplicate paths must be rejected at start");
     assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);

@@ -30,6 +30,7 @@ fn plain_proxy(origin: &ScriptedOrigin, reactors: usize) -> LiveProxy {
         group: None,
         cache_objects: None,
         reactors: Some(reactors),
+        max_conns: None,
     })
     .expect("start proxy")
 }
@@ -265,6 +266,7 @@ fn refresh_vs_read_interleavings_stay_monotonic() {
         group: None,
         cache_objects: None,
         reactors: Some(2),
+        max_conns: None,
     })
     .expect("start proxy");
     let addr = proxy.local_addr();
@@ -399,14 +401,14 @@ fn sharded_cache_multi_writer_insert_if_newer_is_monotone() {
                         // this thread just offered, nor than anything it
                         // saw before.
                         let stamp = stamps.fetch_add(1, Ordering::SeqCst);
-                        let entry = CacheEntry {
-                            body: Bytes::copy_from_slice(stamp.to_string().as_bytes()),
-                            last_modified: Timestamp::from_millis(stamp),
-                            value: None,
-                            version: None,
-                        };
+                        let entry = CacheEntry::new(
+                            Bytes::copy_from_slice(stamp.to_string().as_bytes()),
+                            Timestamp::from_millis(stamp),
+                            None,
+                            None,
+                        );
                         let resident = cache.insert_if_newer(key, entry);
-                        let got = resident.last_modified.as_millis();
+                        let got = resident.last_modified().as_millis();
                         assert!(
                             got >= stamp,
                             "writer {w}: insert_if_newer rolled {key} back ({stamp} → {got})"
@@ -421,9 +423,9 @@ fn sharded_cache_multi_writer_insert_if_newer_is_monotone() {
                     } else if let Some(entry) = cache.get(key) {
                         // Reader path: entries are never torn and never
                         // older than this thread last observed.
-                        let got = entry.last_modified.as_millis();
+                        let got = entry.last_modified().as_millis();
                         assert_eq!(
-                            std::str::from_utf8(&entry.body).unwrap(),
+                            std::str::from_utf8(&entry.body()[..]).unwrap(),
                             got.to_string(),
                             "writer {w}: torn entry for {key}"
                         );
@@ -446,7 +448,7 @@ fn sharded_cache_multi_writer_insert_if_newer_is_monotone() {
     let issued = stamp_source.load(Ordering::SeqCst);
     for key in keys.iter() {
         let entry = cache.get(key).expect("unbounded cache never evicts");
-        assert!(entry.last_modified.as_millis() < issued);
+        assert!(entry.last_modified().as_millis() < issued);
     }
 }
 
@@ -477,15 +479,15 @@ fn sharded_cache_multi_writer_lru_bound_holds_under_contention() {
                     let key = rng.pick(&keys);
                     if rng.chance(0.8) {
                         let stamp = stamps.fetch_add(1, Ordering::SeqCst);
-                        let entry = CacheEntry {
-                            body: Bytes::copy_from_slice(stamp.to_string().as_bytes()),
-                            last_modified: Timestamp::from_millis(stamp),
-                            value: None,
-                            version: None,
-                        };
+                        let entry = CacheEntry::new(
+                            Bytes::copy_from_slice(stamp.to_string().as_bytes()),
+                            Timestamp::from_millis(stamp),
+                            None,
+                            None,
+                        );
                         let resident = cache.insert_if_newer(key, entry);
                         assert!(
-                            resident.last_modified.as_millis() >= stamp,
+                            resident.last_modified().as_millis() >= stamp,
                             "writer {w}: resident copy older than the offered one"
                         );
                     } else {

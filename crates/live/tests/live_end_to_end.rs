@@ -48,6 +48,7 @@ fn proxy_keeps_cached_object_fresh() {
         group: None,
         cache_objects: None,
         reactors: None,
+        max_conns: None,
     })
     .unwrap();
 
@@ -91,6 +92,7 @@ fn limd_backs_off_for_static_objects() {
         group: None,
         cache_objects: None,
         reactors: None,
+        max_conns: None,
     })
     .unwrap();
 
@@ -124,6 +126,7 @@ fn triggered_polls_keep_related_objects_in_step() {
         }),
         cache_objects: None,
         reactors: None,
+        max_conns: None,
     })
     .unwrap();
 
@@ -159,6 +162,7 @@ fn proxy_survives_origin_faults() {
         group: None,
         cache_objects: None,
         reactors: None,
+        max_conns: None,
     })
     .unwrap();
     let client = HttpClient::new();
@@ -203,6 +207,7 @@ fn stats_endpoint_and_miss_path() {
         group: None,
         cache_objects: None,
         reactors: None,
+        max_conns: None,
     })
     .unwrap();
     let client = HttpClient::new();

@@ -48,6 +48,7 @@ fn five_hundred_concurrent_connections_through_one_reactor() {
         group: None,
         cache_objects: None,
         reactors: None,
+        max_conns: None,
     })
     .unwrap();
 
@@ -136,6 +137,7 @@ fn refreshes_during_reads_stay_consistent() {
         group: None,
         cache_objects: Some(64),
         reactors: None,
+        max_conns: None,
     })
     .unwrap();
     let addr = proxy.local_addr();
@@ -208,6 +210,7 @@ fn pipelined_miss_burst_against_dead_origin_is_iterative() {
         group: None,
         cache_objects: None,
         reactors: None,
+        max_conns: None,
     })
     .unwrap();
 
@@ -248,6 +251,7 @@ fn bounded_cache_misses_fetch_through_reactor() {
         group: None,
         cache_objects: Some(16), // far below the 64-object key space
         reactors: None,
+        max_conns: None,
     })
     .unwrap();
 

@@ -144,6 +144,31 @@ impl BytesMut {
         BytesMut(std::mem::replace(&mut self.0, rest))
     }
 
+    /// Discards the first `cnt` bytes in place.
+    ///
+    /// Unlike [`BytesMut::split_to`], which carves the prefix into a new
+    /// allocation, this just shifts the tail down — the buffer's capacity
+    /// is retained, so hot parse loops can consume without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cnt > len`.
+    pub fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.0.len(), "advance out of bounds");
+        self.0.drain(..cnt);
+    }
+
+    /// Wraps an existing `Vec`, keeping its contents and capacity.
+    /// Used to recycle buffers through a pool.
+    pub fn from_vec(vec: Vec<u8>) -> Self {
+        BytesMut(vec)
+    }
+
+    /// Unwraps into the backing `Vec`, keeping contents and capacity.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.0
+    }
+
     /// Length in bytes.
     pub fn len(&self) -> usize {
         self.0.len()
@@ -212,5 +237,37 @@ mod tests {
         let mut buf = BytesMut::new();
         buf.extend_from_slice(b"ab");
         let _ = buf.split_to(3);
+    }
+
+    #[test]
+    fn advance_consumes_in_place() {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.extend_from_slice(b"abcdef");
+        let cap = buf.0.capacity();
+        buf.advance(4);
+        assert_eq!(&buf[..], b"ef");
+        assert_eq!(buf.0.capacity(), cap, "advance must not reallocate");
+        buf.advance(2);
+        assert!(buf.is_empty());
+        buf.advance(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn advance_rejects_overrun() {
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(b"ab");
+        buf.advance(3);
+    }
+
+    #[test]
+    fn vec_round_trip_keeps_capacity() {
+        let mut vec = Vec::with_capacity(128);
+        vec.extend_from_slice(b"xy");
+        let buf = BytesMut::from_vec(vec);
+        assert_eq!(&buf[..], b"xy");
+        let back = buf.into_vec();
+        assert_eq!(back, b"xy");
+        assert!(back.capacity() >= 128);
     }
 }

@@ -98,6 +98,14 @@ mod sys {
         pub scope_id: u32,
     }
 
+    /// `struct iovec` for scatter/gather I/O.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct IoVec {
+        pub base: *const c_void,
+        pub len: usize,
+    }
+
     extern "C" {
         pub fn epoll_create1(flags: c_int) -> c_int;
         pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
@@ -121,6 +129,8 @@ mod sys {
         ) -> c_int;
         pub fn bind(fd: c_int, addr: *const c_void, len: u32) -> c_int;
         pub fn listen(fd: c_int, backlog: c_int) -> c_int;
+        pub fn writev(fd: c_int, iov: *const IoVec, iovcnt: c_int) -> isize;
+        pub fn accept4(fd: c_int, addr: *mut c_void, addrlen: *mut u32, flags: c_int) -> c_int;
     }
 }
 
@@ -515,6 +525,74 @@ pub fn listen_reuseport(addr: SocketAddr) -> io::Result<TcpListener> {
     Ok(listener)
 }
 
+/// Most slices a single [`writev`] call accepts. Callers with more
+/// segments must coalesce; the response path only ever needs two
+/// (contiguous head, shared body).
+pub const MAX_IOVECS: usize = 8;
+
+/// Gathers up to [`MAX_IOVECS`] slices into one `writev(2)` syscall and
+/// returns how many bytes the kernel took (possibly a partial prefix
+/// spanning a slice boundary).
+///
+/// Empty slices are passed through; the kernel skips them. This is the
+/// zero-copy half of the response path: the shared body slice goes to
+/// the socket straight from the cache entry's allocation.
+///
+/// # Panics
+///
+/// Panics if more than [`MAX_IOVECS`] slices are passed.
+///
+/// # Errors
+///
+/// Propagates the syscall failure (`WouldBlock` when the socket's send
+/// buffer is full).
+pub fn writev(fd: RawFd, bufs: &[&[u8]]) -> io::Result<usize> {
+    assert!(bufs.len() <= MAX_IOVECS, "too many iovecs");
+    let mut iov = [sys::IoVec {
+        base: std::ptr::null(),
+        len: 0,
+    }; MAX_IOVECS];
+    for (slot, buf) in iov.iter_mut().zip(bufs) {
+        slot.base = buf.as_ptr().cast();
+        slot.len = buf.len();
+    }
+    let ret = unsafe { sys::writev(fd, iov.as_ptr(), bufs.len() as i32) };
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret as usize)
+    }
+}
+
+/// Accepts one pending connection with `accept4(2)`, atomically marking
+/// the new socket non-blocking and close-on-exec.
+///
+/// The plain `TcpListener::accept` path costs an extra `fcntl` per
+/// connection to flip `O_NONBLOCK` afterwards; folding the flag into the
+/// accept matters when a reactor drains a deep backlog in one batch.
+/// The peer address is not requested (another small saving) — use
+/// `TcpStream::peer_addr` on the rare path that needs it.
+///
+/// # Errors
+///
+/// Propagates the syscall failure (`WouldBlock` when the backlog is
+/// empty).
+pub fn accept_nonblocking(listener: &TcpListener) -> io::Result<TcpStream> {
+    let fd = unsafe {
+        sys::accept4(
+            listener.as_raw_fd(),
+            std::ptr::null_mut(),
+            std::ptr::null_mut(),
+            sys::SOCK_NONBLOCK | sys::SOCK_CLOEXEC,
+        )
+    };
+    if fd < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(unsafe { TcpStream::from_raw_fd(fd) })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -737,6 +815,99 @@ mod tests {
             std::thread::sleep(Duration::from_millis(5));
         }
         assert_eq!(accepted, 1, "kernel must route the connect to one shard");
+    }
+
+    #[test]
+    fn writev_gathers_slices_in_order() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let sender = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (mut receiver, _) = listener.accept().unwrap();
+
+        let n = writev(
+            sender.as_raw_fd(),
+            &[b"head: 1\r\n", b"", b"\r\n", b"shared body"],
+        )
+        .unwrap();
+        assert_eq!(n, b"head: 1\r\n\r\nshared body".len());
+
+        let mut got = vec![0u8; n];
+        receiver.read_exact(&mut got).unwrap();
+        assert_eq!(got, b"head: 1\r\n\r\nshared body");
+    }
+
+    #[test]
+    fn writev_reports_partial_progress() {
+        // A tiny send buffer forces the kernel to take only a prefix of a
+        // large gather, exercising the partial-write accounting callers
+        // must handle.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let sender = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        sender.set_nonblocking(true).unwrap();
+        let (mut receiver, _) = listener.accept().unwrap();
+
+        let head = vec![b'h'; 64];
+        let body = vec![b'b'; 4 * 1024 * 1024];
+        let mut sent = 0;
+        loop {
+            match writev(sender.as_raw_fd(), &[&head[sent.min(64)..], &body]) {
+                Ok(n) => {
+                    assert!(n > 0);
+                    sent += n;
+                    if sent >= 64 {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) => panic!("{e}"),
+            }
+        }
+        assert!(sent > 0, "at least one writev must land");
+        assert!(
+            sent < 64 + body.len(),
+            "a 4 MiB gather cannot fit a socket buffer in one call"
+        );
+        let mut got = vec![0u8; sent.min(64)];
+        receiver.read_exact(&mut got).unwrap();
+        assert!(got.iter().all(|&b| b == b'h'));
+    }
+
+    #[test]
+    fn accept_nonblocking_yields_nonblocking_sockets() {
+        let listener = listen_reuseport("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = listener.local_addr().unwrap();
+
+        // Empty backlog → WouldBlock, not a hang.
+        match accept_nonblocking(&listener) {
+            Err(e) => assert_eq!(e.kind(), io::ErrorKind::WouldBlock),
+            Ok(_) => panic!("nothing connected yet"),
+        }
+
+        let mut client = TcpStream::connect(addr).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let accepted = loop {
+            match accept_nonblocking(&listener) {
+                Ok(s) => break s,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    assert!(std::time::Instant::now() < deadline, "accept timed out");
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => panic!("{e}"),
+            }
+        };
+
+        // The accepted socket must already be non-blocking: a read with no
+        // data returns WouldBlock immediately instead of hanging.
+        let mut chunk = [0u8; 8];
+        match (&accepted).read(&mut chunk) {
+            Err(e) => assert_eq!(e.kind(), io::ErrorKind::WouldBlock),
+            Ok(n) => panic!("unexpected read of {n} bytes"),
+        }
+
+        // And it is a working full-duplex socket.
+        (&accepted).write_all(b"hello").unwrap();
+        let mut got = [0u8; 5];
+        client.read_exact(&mut got).unwrap();
+        assert_eq!(&got, b"hello");
     }
 
     #[test]

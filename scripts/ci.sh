@@ -30,6 +30,13 @@ MUTCON_LIVE_REACTORS=4 cargo test -q -p mutcon-live --test concurrency
 # in-flight polls, and unchanged paths keep their adaptive-TTR state.
 MUTCON_LIVE_REACTORS=4 cargo test -q -p mutcon-live --test admin
 
+# live-wire: the zero-copy hit path under four reactors — vectored
+# writes with partial-flush recovery over real sockets, pooled
+# read/write buffers recycling across connection lifetimes, the
+# flat-body_copies guarantee over keep-alive hit streams, and the
+# /admin/stats wire counters.
+MUTCON_LIVE_REACTORS=4 cargo test -q -p mutcon-live --test wire
+
 # Perf snapshot: regenerate every figure plus the robustness grid with
 # the default worker count, then the live-proxy load run (recorded as
 # the live_bench section). On a multi-core machine --compare-serial
@@ -48,6 +55,12 @@ target/release/repro live-bench --reactors 4 > /dev/null
 # concurrently with load, recorded (throughput + p99 across the
 # swaps) as the live_reload section of BENCH_repro.json.
 target/release/repro live-bench --conns 100 --rounds 6 --reload-every 2 > /dev/null
+
+# live-wire, part 2: the high-concurrency wire-path snapshot — 2000
+# keep-alive connections with the refresher polling concurrently,
+# p99 plus the syscall/copy counters spliced into BENCH_repro.json
+# as the live_wire section.
+target/release/repro live-wire --wire-conns 2000 > /dev/null
 
 echo "--- BENCH_repro.json ---"
 cat BENCH_repro.json
