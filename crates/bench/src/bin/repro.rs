@@ -4,7 +4,7 @@
 //! repro [--threads N | --serial] [--repeats R] [--compare-serial]
 //!       [--conns C] [--rounds R] [--reactors N] [--reload-every N]
 //!       [--wire-conns C] [--bench-json PATH]
-//!       table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|ablation|bench|live-bench|live-wire|all
+//!       table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|ablation|bench|live-bench|live-wire|live-backend|all
 //! ```
 //!
 //! Output is plain text, one section per experiment, matching the layout
@@ -39,12 +39,19 @@
 //! the swaps) is recorded as the `live_reload` section.
 //!
 //! `live-wire` is the wire-scale variant: `--wire-conns` (≥ 2000,
-//! default 2000, useful up to ~10k within the fd limit) connections
-//! held open under the refresher's concurrent writes, with the
-//! zero-copy send path's syscall/copy counters recorded alongside
+//! default 10000 — the engine raises `RLIMIT_NOFILE` to fit, and the
+//! run clamps, loudly, to the fd headroom a hard cap leaves)
+//! connections held open under the refresher's concurrent writes, with
+//! the zero-copy send path's syscall/copy counters recorded alongside
 //! p50/p99. `all` runs it after `live-bench` and records it as the
 //! `live_wire` section; standalone runs splice the section into an
 //! existing report.
+//!
+//! `live-backend` is the reactor-backend head-to-head: the same
+//! wire-scale load once under coalesced-interest epoll and once under
+//! raw io_uring (skipped, epoll leg still recorded, when the kernel
+//! refuses rings), spliced into the report as the `live_backend`
+//! section.
 
 use std::time::Instant;
 
@@ -86,7 +93,7 @@ fn main() {
     let mut compare_serial = false;
     let mut live = mutcon_bench::livebench::LiveBenchConfig::default();
     let mut reactors_sweep: Option<usize> = None;
-    let mut wire_conns: usize = 2000;
+    let mut wire_conns: usize = 10_000;
     /// Request waves for the wire-scale run: enough for a stable p99 at
     /// thousands of connections without dominating `repro all`.
     const WIRE_ROUNDS: usize = 3;
@@ -297,6 +304,30 @@ fn main() {
                 std::process::exit(1);
             }
         },
+        "live-backend" => {
+            match mutcon_bench::livebench::backend_head_to_head(wire_conns, WIRE_ROUNDS, None) {
+                Ok(h2h) => {
+                    print!("{}", mutcon_bench::livebench::render_head_to_head(&h2h));
+                    let fragment = mutcon_bench::livebench::json_head_to_head_fragment(&h2h);
+                    if let Err(e) = splice_section(&bench_json, "live_backend", &fragment) {
+                        eprintln!("[repro] cannot record live_backend in {bench_json}: {e}");
+                        std::process::exit(1);
+                    }
+                    eprintln!(
+                        "[repro] recorded the backend head-to-head ({}) in {bench_json}",
+                        if h2h.io_uring.is_some() {
+                            "epoll vs io_uring"
+                        } else {
+                            "epoll only; kernel refuses rings"
+                        }
+                    );
+                }
+                Err(e) => {
+                    eprintln!("[repro] live-backend failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
         "live-bench" if reactors_sweep.is_some() && live.reload_every.is_some() => {
             // A sweep point perturbed by mid-run reloads would record a
             // misleading scaling curve, and the reload section would be
@@ -371,7 +402,7 @@ fn main() {
 fn usage_error(message: &str) -> ! {
     eprintln!("repro: {message}");
     eprintln!(
-        "usage: repro [--threads N | --serial] [--repeats R] [--compare-serial] [--conns C] [--rounds R] [--reactors N] [--reload-every N] [--wire-conns C] [--bench-json PATH] <experiment|live-bench|live-wire|all>"
+        "usage: repro [--threads N | --serial] [--repeats R] [--compare-serial] [--conns C] [--rounds R] [--reactors N] [--reload-every N] [--wire-conns C] [--bench-json PATH] <experiment|live-bench|live-wire|live-backend|all>"
     );
     std::process::exit(2);
 }
@@ -475,6 +506,7 @@ fn bench_report(
     // `splice_section`).
     out.push_str("  \"live_bench_sweep\": null,\n");
     out.push_str("  \"live_reload\": null,\n");
+    out.push_str("  \"live_backend\": null,\n");
     out.push_str("  \"sections\": [\n");
     for (i, t) in sections.iter().enumerate() {
         let serial = match t.serial_wall {

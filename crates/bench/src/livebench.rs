@@ -20,7 +20,14 @@
 //! send path's counters alongside p99: `writev` vs `write` calls, body
 //! copies, accept batching, and buffer-pool traffic over the measured
 //! waves. `repro all` embeds it as the `live_wire` section — p99 under
-//! concurrent refresh at 2k+ sockets is a first-class tracked number.
+//! concurrent refresh at thousands of sockets is a first-class tracked
+//! number, alongside the interest-coalescing `epoll_ctl`-per-request
+//! ratio.
+//!
+//! [`backend_head_to_head`] runs the same wire load once per reactor
+//! backend (coalesced-interest epoll, then raw io_uring when the
+//! kernel grants rings) for the `live_backend` section — the two legs
+//! share conns/rounds/reactors so their numbers compare directly.
 
 use std::io::{self, Write};
 use std::net::TcpStream;
@@ -35,6 +42,7 @@ use mutcon_live::client::HttpClient;
 use mutcon_live::origin::LiveOrigin;
 use mutcon_live::proxy::{LiveProxy, ProxyConfig, RefreshRule};
 use mutcon_live::wire::read_response;
+use mutcon_sim::reactor::BackendKind;
 use mutcon_traces::{UpdateEvent, UpdateTrace};
 
 /// Load shape.
@@ -52,6 +60,9 @@ pub struct LiveBenchConfig {
     /// throughput and p99 then *include* the swaps, and every
     /// established connection must survive them.
     pub reload_every: Option<usize>,
+    /// Reactor I/O backend for the proxy under test (`None` = the
+    /// `MUTCON_LIVE_BACKEND` / epoll default).
+    pub backend: Option<BackendKind>,
 }
 
 impl Default for LiveBenchConfig {
@@ -62,6 +73,7 @@ impl Default for LiveBenchConfig {
             rounds: 5,
             reactors: None,
             reload_every: None,
+            backend: None,
         }
     }
 }
@@ -127,7 +139,7 @@ fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
 /// Propagates socket failures (including hitting the file-descriptor
 /// limit when `conns` is oversized for the environment).
 pub fn run(config: LiveBenchConfig) -> io::Result<LiveBenchReport> {
-    run_inner(config).map(|(report, _)| report)
+    run_inner(config).map(|(report, _, _)| report)
 }
 
 /// Engine wire-path counter deltas over a bench's serve phase.
@@ -140,6 +152,10 @@ struct WireCounters {
     buf_reuses: u64,
     buf_allocs: u64,
     buf_pool_high_water: u64,
+    epoll_ctl_calls: u64,
+    interest_coalesced: u64,
+    sqe_submitted: u64,
+    cqe_completed: u64,
 }
 
 fn wire_counters(proxy: &LiveProxy) -> WireCounters {
@@ -152,10 +168,16 @@ fn wire_counters(proxy: &LiveProxy) -> WireCounters {
         buf_reuses: m.buf_reuses(),
         buf_allocs: m.buf_allocs(),
         buf_pool_high_water: m.buf_pool_high_water() as u64,
+        epoll_ctl_calls: m.epoll_ctl_calls(),
+        interest_coalesced: m.interest_coalesced(),
+        sqe_submitted: m.sqe_submitted(),
+        cqe_completed: m.cqe_completed(),
     }
 }
 
-fn run_inner(config: LiveBenchConfig) -> io::Result<(LiveBenchReport, WireCounters)> {
+fn run_inner(
+    config: LiveBenchConfig,
+) -> io::Result<(LiveBenchReport, WireCounters, Vec<String>)> {
     let conns = config.conns.max(1);
     let rounds = config.rounds.max(1);
 
@@ -169,7 +191,15 @@ fn run_inner(config: LiveBenchConfig) -> io::Result<(LiveBenchReport, WireCounte
         // Room for every bench socket plus the warm/admin side clients,
         // whatever the MUTCON_LIVE_CONNS default would have allowed.
         max_conns: Some(mutcon_live::server::max_conns().max(conns + 8)),
+        backend: config.backend,
     })?;
+    // What each reactor actually runs (io_uring may have fallen back).
+    let active_backends: Vec<String> = proxy
+        .engine_metrics()
+        .reactor_backends()
+        .into_iter()
+        .map(str::to_owned)
+        .collect();
     let addr = proxy.local_addr();
 
     // Warm the cache so the measured path is hit-dominated.
@@ -251,6 +281,10 @@ fn run_inner(config: LiveBenchConfig) -> io::Result<(LiveBenchReport, WireCounte
         buf_allocs: after.buf_allocs - before.buf_allocs,
         // High water is a lifetime mark, not a rate; report it as-is.
         buf_pool_high_water: after.buf_pool_high_water,
+        epoll_ctl_calls: after.epoll_ctl_calls - before.epoll_ctl_calls,
+        interest_coalesced: after.interest_coalesced - before.interest_coalesced,
+        sqe_submitted: after.sqe_submitted - before.sqe_submitted,
+        cqe_completed: after.cqe_completed - before.cqe_completed,
     };
 
     latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
@@ -271,23 +305,21 @@ fn run_inner(config: LiveBenchConfig) -> io::Result<(LiveBenchReport, WireCounte
         }
     }
     let requests = (conns * rounds) as u64;
-    Ok((
-        LiveBenchReport {
-            reactors: proxy.reactor_count(),
-            conns,
-            rounds,
-            requests,
-            open_ms: open.as_secs_f64() * 1e3,
-            conns_per_sec: conns as f64 / open.as_secs_f64().max(1e-9),
-            serve_ms: serve.as_secs_f64() * 1e3,
-            requests_per_sec: requests as f64 / serve.as_secs_f64().max(1e-9),
-            p50_ms: percentile(&latencies_ms, 0.50),
-            p99_ms: percentile(&latencies_ms, 0.99),
-            hit_rate: hits as f64 / requests as f64,
-            reloads,
-        },
-        counters,
-    ))
+    let report = LiveBenchReport {
+        reactors: proxy.reactor_count(),
+        conns,
+        rounds,
+        requests,
+        open_ms: open.as_secs_f64() * 1e3,
+        conns_per_sec: conns as f64 / open.as_secs_f64().max(1e-9),
+        serve_ms: serve.as_secs_f64() * 1e3,
+        requests_per_sec: requests as f64 / serve.as_secs_f64().max(1e-9),
+        p50_ms: percentile(&latencies_ms, 0.50),
+        p99_ms: percentile(&latencies_ms, 0.99),
+        hit_rate: hits as f64 / requests as f64,
+        reloads,
+    };
+    Ok((report, counters, active_backends))
 }
 
 /// Measured outcome of a [`wire`] run: the load numbers plus the
@@ -312,6 +344,21 @@ pub struct LiveWireReport {
     pub buf_allocs: u64,
     /// Most buffers any reactor pool held at once (lifetime mark).
     pub buf_pool_high_water: u64,
+    /// `epoll_ctl(2)` calls during the waves. Under keep-alive the
+    /// coalescing ledger nets interest flips out per event-loop turn,
+    /// so this grows with *connections*, not requests — the
+    /// per-request ratio is the tracked number.
+    pub epoll_ctl_calls: u64,
+    /// Interest updates absorbed by the ledger before reaching the
+    /// kernel (each one is an `epoll_ctl` that never happened).
+    pub interest_coalesced: u64,
+    /// io_uring submission-queue entries pushed (0 on epoll).
+    pub sqe_submitted: u64,
+    /// io_uring completions reaped (0 on epoll).
+    pub cqe_completed: u64,
+    /// Per-reactor active backend labels (after any io_uring → epoll
+    /// construction fallback).
+    pub backends: Vec<String>,
 }
 
 /// [`run`] at wire scale: `conns` (≥ 2000 enforced here) sockets held
@@ -325,13 +372,66 @@ pub struct LiveWireReport {
 /// Propagates socket failures (a too-low `ulimit -n` being the usual
 /// culprit at this scale).
 pub fn wire(conns: usize, rounds: usize, reactors: Option<usize>) -> io::Result<LiveWireReport> {
-    let (bench, counters) = run_inner(LiveBenchConfig {
-        conns: conns.max(2000),
+    wire_with_backend(conns, rounds, reactors, None)
+}
+
+/// [`wire`] with the reactor backend pinned (`None` = environment
+/// selection). The `live-backend` head-to-head runs this once per
+/// backend.
+///
+/// # Errors
+///
+/// Propagates socket failures.
+pub fn wire_with_backend(
+    conns: usize,
+    rounds: usize,
+    reactors: Option<usize>,
+    backend: Option<BackendKind>,
+) -> io::Result<LiveWireReport> {
+    let (bench, counters, backends) = run_inner(LiveBenchConfig {
+        conns: fit_to_fd_budget(conns.max(2000)),
         rounds: rounds.max(1),
         reactors,
         reload_every: None,
+        backend,
     })?;
-    Ok(LiveWireReport {
+    Ok(wire_report(bench, counters, backends))
+}
+
+/// Clamps a wire-scale connection count to what the fd limit can hold.
+/// Origin, proxy and clients share one process here, so every bench
+/// connection costs **two** fds (client socket + proxy's accepted
+/// socket). The engine raises `RLIMIT_NOFILE` toward 65536 at startup —
+/// including the hard limit where the process is privileged to — but a
+/// hard cap it cannot lift (no `CAP_SYS_RESOURCE`) is final; running
+/// into `EMFILE` mid-bench would abort the run, so clamp up front and
+/// say so.
+fn fit_to_fd_budget(conns: usize) -> usize {
+    // Trigger the engine's one-time raise before reading the limit (it
+    // normally happens inside `LiveProxy::start`, after this check).
+    let _ = mutcon_sim::reactor::raise_nofile_limit(65536);
+    let Ok(soft) = mutcon_sim::reactor::backend::nofile_soft_limit() else {
+        return conns;
+    };
+    // Headroom for listeners, wakers, rings, the origin pool, stdio.
+    let budget = (soft.saturating_sub(512) / 2) as usize;
+    if conns > budget {
+        eprintln!(
+            "[livebench] RLIMIT_NOFILE {soft} cannot hold {conns} in-process \
+             connection pairs; running {budget} instead"
+        );
+        budget
+    } else {
+        conns
+    }
+}
+
+fn wire_report(
+    bench: LiveBenchReport,
+    counters: WireCounters,
+    backends: Vec<String>,
+) -> LiveWireReport {
+    LiveWireReport {
         bench,
         writev_calls: counters.writev_calls,
         write_calls: counters.write_calls,
@@ -340,13 +440,21 @@ pub fn wire(conns: usize, rounds: usize, reactors: Option<usize>) -> io::Result<
         buf_reuses: counters.buf_reuses,
         buf_allocs: counters.buf_allocs,
         buf_pool_high_water: counters.buf_pool_high_water,
-    })
+        epoll_ctl_calls: counters.epoll_ctl_calls,
+        interest_coalesced: counters.interest_coalesced,
+        sqe_submitted: counters.sqe_submitted,
+        cqe_completed: counters.cqe_completed,
+        backends,
+    }
 }
 
 /// Renders a wire report as aligned text.
 pub fn render_wire(report: &LiveWireReport) -> String {
+    let ctl_per_req =
+        report.epoll_ctl_calls as f64 / (report.bench.requests as f64).max(1.0);
     format!(
-        "{}{:<22} {:>12}\n{:<22} {:>12}\n{:<22} {:>12}\n{:<22} {:>12}\n{:<22} {:>12}\n",
+        "{}{:<22} {:>12}\n{:<22} {:>12}\n{:<22} {:>12}\n{:<22} {:>12}\n{:<22} {:>12}\n\
+         {:<22} {:>12}\n{:<22} {:>12.4}\n{:<22} {:>12}\n{:<22} {:>12}\n{:<22} {:>12}\n",
         render(&report.bench),
         "writev calls",
         report.writev_calls,
@@ -358,18 +466,36 @@ pub fn render_wire(report: &LiveWireReport) -> String {
         format!("{}/{}", report.buf_reuses, report.buf_allocs),
         "pool high water",
         report.buf_pool_high_water,
+        "epoll_ctl calls",
+        format!("{} ({} coalesced)", report.epoll_ctl_calls, report.interest_coalesced),
+        "epoll_ctl per request",
+        ctl_per_req,
+        "sqe submitted",
+        report.sqe_submitted,
+        "cqe completed",
+        report.cqe_completed,
+        "backends",
+        report.backends.join(","),
     )
 }
 
 /// The wire report as a JSON object fragment for `BENCH_repro.json`'s
 /// `live_wire` section.
 pub fn json_wire_fragment(report: &LiveWireReport) -> String {
+    let backends: Vec<String> = report
+        .backends
+        .iter()
+        .map(|b| format!("\"{b}\""))
+        .collect();
     format!(
         "{{\"conns\": {}, \"rounds\": {}, \"requests\": {}, \"reactors\": {}, \
          \"requests_per_sec\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
          \"hit_rate\": {:.3}, \"writev_calls\": {}, \"write_calls\": {}, \
          \"accept_batches\": {}, \"body_copies\": {}, \"buf_reuses\": {}, \
-         \"buf_allocs\": {}, \"buf_pool_high_water\": {}}}",
+         \"buf_allocs\": {}, \"buf_pool_high_water\": {}, \
+         \"epoll_ctl_calls\": {}, \"epoll_ctl_per_request\": {:.4}, \
+         \"interest_coalesced\": {}, \"sqe_submitted\": {}, \
+         \"cqe_completed\": {}, \"backends\": [{}]}}",
         report.bench.conns,
         report.bench.rounds,
         report.bench.requests,
@@ -385,6 +511,90 @@ pub fn json_wire_fragment(report: &LiveWireReport) -> String {
         report.buf_reuses,
         report.buf_allocs,
         report.buf_pool_high_water,
+        report.epoll_ctl_calls,
+        report.epoll_ctl_calls as f64 / (report.bench.requests as f64).max(1.0),
+        report.interest_coalesced,
+        report.sqe_submitted,
+        report.cqe_completed,
+        backends.join(", "),
+    )
+}
+
+/// One leg of the `live-backend` head-to-head: the wire run with the
+/// backend pinned.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendLeg {
+    /// Which backend was requested.
+    pub requested: BackendKind,
+    /// The full wire report (active backends included).
+    pub report: LiveWireReport,
+}
+
+/// The epoll-vs-io_uring head-to-head recorded as `live_backend`.
+/// `io_uring` is `None` when the kernel refuses rings — the epoll leg
+/// alone is still recorded so the snapshot never blocks on kernel
+/// support.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendHeadToHead {
+    /// The coalesced-interest epoll leg.
+    pub epoll: BackendLeg,
+    /// The raw io_uring leg (skipped without ring support).
+    pub io_uring: Option<BackendLeg>,
+}
+
+/// Runs the same wire-scale load once per reactor backend and pairs the
+/// results. Both legs use identical conns/rounds/reactors, so the
+/// throughput, p99 and syscall counters are directly comparable.
+///
+/// # Errors
+///
+/// Propagates the first failing leg.
+pub fn backend_head_to_head(
+    conns: usize,
+    rounds: usize,
+    reactors: Option<usize>,
+) -> io::Result<BackendHeadToHead> {
+    let epoll = BackendLeg {
+        requested: BackendKind::Epoll,
+        report: wire_with_backend(conns, rounds, reactors, Some(BackendKind::Epoll))?,
+    };
+    let io_uring = if mutcon_sim::reactor::backend::io_uring_available() {
+        Some(BackendLeg {
+            requested: BackendKind::IoUring,
+            report: wire_with_backend(conns, rounds, reactors, Some(BackendKind::IoUring))?,
+        })
+    } else {
+        None
+    };
+    Ok(BackendHeadToHead { epoll, io_uring })
+}
+
+/// Renders the head-to-head as aligned text.
+pub fn render_head_to_head(h2h: &BackendHeadToHead) -> String {
+    let mut out = format!("== backend: epoll ==\n{}", render_wire(&h2h.epoll.report));
+    match &h2h.io_uring {
+        Some(leg) => {
+            out.push_str(&format!("== backend: io_uring ==\n{}", render_wire(&leg.report)));
+            let speedup = leg.report.bench.requests_per_sec
+                / h2h.epoll.report.bench.requests_per_sec.max(1e-9);
+            out.push_str(&format!("io_uring/epoll throughput ratio: {speedup:.3}\n"));
+        }
+        None => out.push_str("== backend: io_uring == (skipped: kernel refuses rings)\n"),
+    }
+    out
+}
+
+/// The head-to-head as a JSON object fragment for `BENCH_repro.json`'s
+/// `live_backend` section.
+pub fn json_head_to_head_fragment(h2h: &BackendHeadToHead) -> String {
+    let io_uring = h2h
+        .io_uring
+        .as_ref()
+        .map_or("null".to_owned(), |leg| json_wire_fragment(&leg.report));
+    format!(
+        "{{\"epoll\": {}, \"io_uring\": {}}}",
+        json_wire_fragment(&h2h.epoll.report),
+        io_uring,
     )
 }
 
@@ -482,6 +692,7 @@ mod tests {
             rounds: 2,
             reactors: Some(2),
             reload_every: None,
+            backend: None,
         })
         .expect("bench run");
         assert_eq!(report.conns, 24);
@@ -505,11 +716,12 @@ mod tests {
         // A bench-shaped run small enough for a test: the serve-phase
         // counter deltas must show the zero-copy story — every response
         // leaves via a gather write, no body bytes are ever copied.
-        let (bench, counters) = run_inner(LiveBenchConfig {
+        let (bench, counters, backends) = run_inner(LiveBenchConfig {
             conns: 24,
             rounds: 2,
             reactors: Some(1),
             reload_every: None,
+            backend: None,
         })
         .expect("wire run");
         assert_eq!(bench.requests, 48);
@@ -520,23 +732,18 @@ mod tests {
             counters.writev_calls,
             bench.requests
         );
-        let report = LiveWireReport {
-            bench,
-            writev_calls: counters.writev_calls,
-            write_calls: counters.write_calls,
-            accept_batches: counters.accept_batches,
-            body_copies: counters.body_copies,
-            buf_reuses: counters.buf_reuses,
-            buf_allocs: counters.buf_allocs,
-            buf_pool_high_water: counters.buf_pool_high_water,
-        };
+        assert_eq!(backends.len(), 1);
+        let report = wire_report(bench, counters, backends);
         let text = render_wire(&report);
         assert!(text.contains("writev calls"));
         assert!(text.contains("pool high water"));
+        assert!(text.contains("epoll_ctl per request"));
         let json = json_wire_fragment(&report);
         assert!(json.contains("\"requests\": 48"));
         assert!(json.contains("\"body_copies\": 0"));
         assert!(json.contains("\"buf_pool_high_water\": "));
+        assert!(json.contains("\"epoll_ctl_calls\": "));
+        assert!(json.contains("\"backends\": [\""));
     }
 
     #[test]
@@ -546,6 +753,7 @@ mod tests {
             rounds: 6,
             reactors: Some(2),
             reload_every: Some(2),
+            backend: None,
         })
         .expect("reload bench run");
         // Waves 2 and 4 reload (wave 0 never does); every request is
@@ -565,6 +773,7 @@ mod tests {
                 rounds: 1,
                 reactors: None,
                 reload_every: None,
+                backend: None,
             },
             4,
         )

@@ -74,6 +74,7 @@
 //!     cache_objects: None,
 //!     reactors: None,
 //!     max_conns: None,
+//!     backend: None,
 //! })?;
 //! println!("proxy listening on {}", proxy.local_addr());
 //! # Ok(())

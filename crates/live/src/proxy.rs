@@ -42,8 +42,9 @@
 //! * `GET /admin/stats` — per-shard cache occupancy and evictions,
 //!   per-reactor connection counts, origin-pool reuse/coalesce
 //!   counters, wire-path syscall/copy counters (`writev` vs `write`
-//!   calls, accept batches, body copies, buffer-pool traffic), and the
-//!   proxy's poll/hit/miss counters.
+//!   calls, accept batches, body copies, buffer-pool traffic, interest
+//!   coalescing and ring submissions, plus the per-reactor active
+//!   backend), and the proxy's poll/hit/miss counters.
 //!
 //! The legacy plain-text `/__stats` endpoint remains for scripts.
 
@@ -58,6 +59,7 @@ use std::time::Duration as StdDuration;
 use mutcon_core::limd::PollResult;
 use mutcon_core::mutual::temporal::MtPolicy;
 use mutcon_core::time::Duration;
+use mutcon_sim::reactor::BackendKind;
 use mutcon_http::headers::HeaderName;
 use mutcon_http::message::{Request, Response};
 use mutcon_http::types::{Method, StatusCode};
@@ -128,6 +130,12 @@ pub struct ProxyConfig {
     /// Load tests past the default raise this directly instead of
     /// through the environment.
     pub max_conns: Option<usize>,
+    /// Reactor I/O backend (`None` = the `MUTCON_LIVE_BACKEND`
+    /// environment selection, defaulting to coalesced-interest epoll).
+    /// `Some(BackendKind::IoUring)` still falls back to epoll when the
+    /// kernel refuses rings — see `/admin/stats`'s `wire.backends` for
+    /// what each reactor actually runs.
+    pub backend: Option<BackendKind>,
 }
 
 impl ProxyConfig {
@@ -141,6 +149,7 @@ impl ProxyConfig {
             cache_objects: None,
             reactors: None,
             max_conns: None,
+            backend: None,
         }
     }
 }
@@ -213,7 +222,7 @@ impl LiveProxy {
         let shutdown = Arc::new(AtomicBool::new(false));
 
         let metrics = Arc::new(EngineMetrics::new());
-        let server = EventLoop::with_metrics(
+        let server = EventLoop::with_backend(
             "mutcon-live-proxy-reactor",
             Arc::new(ProxyService {
                 shared: Arc::clone(&shared),
@@ -222,6 +231,7 @@ impl LiveProxy {
             config.max_conns.unwrap_or_else(crate::server::max_conns),
             config.reactors.unwrap_or_else(crate::server::num_reactors),
             metrics,
+            config.backend,
         )?;
 
         let refresher = {
@@ -610,6 +620,34 @@ impl ProxyService {
                     (
                         "buf_pool_high_water",
                         Json::Number(self.metrics.buf_pool_high_water() as f64),
+                    ),
+                    (
+                        "epoll_ctl_calls",
+                        Json::Number(self.metrics.epoll_ctl_calls() as f64),
+                    ),
+                    (
+                        "interest_coalesced",
+                        Json::Number(self.metrics.interest_coalesced() as f64),
+                    ),
+                    (
+                        "sqe_submitted",
+                        Json::Number(self.metrics.sqe_submitted() as f64),
+                    ),
+                    (
+                        "cqe_completed",
+                        Json::Number(self.metrics.cqe_completed() as f64),
+                    ),
+                    // What each reactor actually runs after any
+                    // io_uring → epoll construction fallback.
+                    (
+                        "backends",
+                        Json::Array(
+                            self.metrics
+                                .reactor_backends()
+                                .into_iter()
+                                .map(|label| Json::String(label.to_owned()))
+                                .collect(),
+                        ),
                     ),
                 ]),
             ),

@@ -3,12 +3,15 @@
 //!
 //! The engine runs **one reactor per core** (bounded by
 //! [`MUTCON_LIVE_REACTORS`](REACTORS_ENV)): each reactor thread owns its
-//! own `epoll` poller, its own eventfd waker, its own connection slab,
-//! its own keep-alive origin pool — and its own `SO_REUSEPORT` listener
-//! on the shared port, so the kernel load-balances incoming connections
-//! across reactors with no shared accept lock. Within a reactor every
-//! connection is a state machine over [`mutcon_sim::reactor`]'s raw
-//! poller — no thread per connection, no worker pool:
+//! own pluggable [`Backend`] (coalesced-interest epoll or raw io_uring,
+//! selected by `MUTCON_LIVE_BACKEND` — see
+//! [`mutcon_sim::reactor::backend`]), its own eventfd waker, its own
+//! connection slab, its own keep-alive origin pool — and its own
+//! `SO_REUSEPORT` listener on the shared port, so the kernel
+//! load-balances incoming connections across reactors with no shared
+//! accept lock. Within a reactor every connection is a state machine
+//! driven through the backend seam — no thread per connection, no worker
+//! pool:
 //!
 //! ```text
 //!             ┌──────────────────────────────────────────────┐
@@ -54,23 +57,26 @@
 //! it stops accepting, finishes flushing in-flight responses (bounded
 //! by a short grace period), then closes everything and joins.
 
-use std::io::{self, Read, Write};
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Once};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use bytes::{Bytes, BytesMut};
 use mutcon_http::message::{Request, Response};
 use mutcon_http::parse::{RequestParser, ResponseParser};
+use mutcon_sim::reactor::backend::{self, Backend, BackendCounters, BackendKind};
 use mutcon_sim::reactor::{
-    accept_nonblocking, connect_nonblocking, listen_reuseport, Events, Interest, Poller, Waker,
+    connect_nonblocking, listen_reuseport, raise_nofile_limit, Event, Interest, Waker,
 };
 
 use crate::upstream::{AfterLeave, Job, JobId, PoolCore, Submit};
-use crate::vectored::{BufPool, FlushOutcome, FlushStats, WritePlan, INLINE_BODY, MAX_RETAINED_CAP};
+use crate::vectored::{
+    BufPool, FlushOutcome, FlushStats, WritePlan, WriteSink, INLINE_BODY, MAX_RETAINED_CAP,
+};
 
 /// Environment variable bounding concurrent connections per event loop
 /// (the bound is split evenly across its reactors).
@@ -105,6 +111,9 @@ const TICK: Duration = Duration::from_millis(200);
 /// How long a shutting-down reactor keeps serving to flush in-flight
 /// responses before closing everything.
 const DRAIN_GRACE: Duration = Duration::from_millis(250);
+/// Ceiling when raising `RLIMIT_NOFILE` at startup: enough fd headroom
+/// for 10k-connection wire runs without demanding the hard limit.
+const NOFILE_CAP: u64 = 65536;
 
 const TOKEN_LISTENER: usize = 0;
 const TOKEN_WAKER: usize = 1;
@@ -251,6 +260,14 @@ pub struct EngineMetrics {
     buf_reuses: AtomicU64,
     buf_allocs: AtomicU64,
     buf_pool_high_water: AtomicUsize,
+    epoll_ctl_calls: AtomicU64,
+    interest_coalesced: AtomicU64,
+    sqe_submitted: AtomicU64,
+    cqe_completed: AtomicU64,
+    /// Active backend per reactor: 0 = unknown, 1 = epoll, 2 = io_uring
+    /// (set after any construction fallback, so it reports what actually
+    /// runs).
+    backends: Vec<AtomicUsize>,
 }
 
 impl Default for EngineMetrics {
@@ -270,6 +287,11 @@ impl Default for EngineMetrics {
             buf_reuses: AtomicU64::new(0),
             buf_allocs: AtomicU64::new(0),
             buf_pool_high_water: AtomicUsize::new(0),
+            epoll_ctl_calls: AtomicU64::new(0),
+            interest_coalesced: AtomicU64::new(0),
+            sqe_submitted: AtomicU64::new(0),
+            cqe_completed: AtomicU64::new(0),
+            backends: (0..MAX_REACTORS).map(|_| AtomicUsize::new(0)).collect(),
         }
     }
 }
@@ -366,6 +388,72 @@ impl EngineMetrics {
         self.buf_pool_high_water.load(Ordering::Relaxed)
     }
 
+    /// Kernel interest operations issued (`epoll_ctl` ADD + MOD) across
+    /// all reactors. Zero on io_uring backends. With interest coalescing
+    /// this grows with *connections*, not requests: keep-alive churn is
+    /// absorbed by the ledger.
+    pub fn epoll_ctl_calls(&self) -> u64 {
+        self.epoll_ctl_calls.load(Ordering::Relaxed)
+    }
+
+    /// Interest transitions absorbed before reaching the kernel — the
+    /// syscalls the coalescing ledger saved.
+    pub fn interest_coalesced(&self) -> u64 {
+        self.interest_coalesced.load(Ordering::Relaxed)
+    }
+
+    /// io_uring submission-queue entries pushed. Zero on epoll backends.
+    pub fn sqe_submitted(&self) -> u64 {
+        self.sqe_submitted.load(Ordering::Relaxed)
+    }
+
+    /// io_uring completion-queue entries reaped. Zero on epoll backends.
+    pub fn cqe_completed(&self) -> u64 {
+        self.cqe_completed.load(Ordering::Relaxed)
+    }
+
+    /// Active backend label per reactor (`"epoll"` / `"io_uring"`),
+    /// after any io_uring→epoll construction fallback.
+    pub fn reactor_backends(&self) -> Vec<&'static str> {
+        self.backends[..self.reactor_count()]
+            .iter()
+            .map(|b| match b.load(Ordering::Relaxed) {
+                1 => BackendKind::Epoll.label(),
+                2 => BackendKind::IoUring.label(),
+                _ => "unknown",
+            })
+            .collect()
+    }
+
+    fn note_backend(&self, reactor: usize, kind: BackendKind) {
+        let code = match kind {
+            BackendKind::Epoll => 1,
+            BackendKind::IoUring => 2,
+        };
+        self.backends[reactor].store(code, Ordering::Relaxed);
+    }
+
+    /// Folds one event-loop turn's backend counter deltas in (no-op for
+    /// zero deltas, so an idle turn costs nothing).
+    fn note_backend_counters(&self, delta: BackendCounters) {
+        if delta.epoll_ctl_calls > 0 {
+            self.epoll_ctl_calls
+                .fetch_add(delta.epoll_ctl_calls, Ordering::Relaxed);
+        }
+        if delta.interest_coalesced > 0 {
+            self.interest_coalesced
+                .fetch_add(delta.interest_coalesced, Ordering::Relaxed);
+        }
+        if delta.sqe_submitted > 0 {
+            self.sqe_submitted
+                .fetch_add(delta.sqe_submitted, Ordering::Relaxed);
+        }
+        if delta.cqe_completed > 0 {
+            self.cqe_completed
+                .fetch_add(delta.cqe_completed, Ordering::Relaxed);
+        }
+    }
+
     /// Folds one flush's syscall tallies in (no-op for zero tallies, so
     /// the common single-counter flush costs one atomic add).
     fn note_flush(&self, stats: &FlushStats) {
@@ -455,6 +543,37 @@ impl EventLoop {
         reactors: usize,
         metrics: Arc<EngineMetrics>,
     ) -> io::Result<EventLoop> {
+        EventLoop::with_backend(name, service, max_conns, reactors, metrics, None)
+    }
+
+    /// [`EventLoop::with_metrics`] with an explicit reactor backend.
+    /// `None` reads `MUTCON_LIVE_BACKEND` (default epoll). An io_uring
+    /// request falls back to epoll when the kernel refuses rings (logged
+    /// once); the backend each reactor actually runs is recorded in the
+    /// metrics ([`EngineMetrics::reactor_backends`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and backend setup failures.
+    pub fn with_backend(
+        name: &str,
+        service: Arc<dyn Service>,
+        max_conns: usize,
+        reactors: usize,
+        metrics: Arc<EngineMetrics>,
+        backend_kind: Option<BackendKind>,
+    ) -> io::Result<EventLoop> {
+        let kind = backend_kind.unwrap_or_else(BackendKind::from_env);
+        // Raise the fd ceiling once per process so 10k-connection runs
+        // don't trip the default 1024 soft limit.
+        static RAISE_NOFILE: Once = Once::new();
+        RAISE_NOFILE.call_once(|| match raise_nofile_limit(NOFILE_CAP) {
+            Ok((before, after)) if after > before => {
+                eprintln!("mutcon-live: raised RLIMIT_NOFILE {before} -> {after}");
+            }
+            Ok(_) => {}
+            Err(err) => eprintln!("mutcon-live: could not raise RLIMIT_NOFILE: {err}"),
+        });
         let max_conns = max_conns.max(1);
         // Never spawn more reactors than the connection bound allows:
         // the bound is enforced per shard (the kernel's SO_REUSEPORT
@@ -478,14 +597,13 @@ impl EventLoop {
             // Split the bound exactly: the first (max_conns % reactors)
             // shards take one extra slot, total = max_conns.
             let per_reactor = max_conns / reactors + usize::from(i < max_conns % reactors);
-            let poller = Poller::new()?;
-            let waker = Waker::new()?;
-            poller.register(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READABLE)?;
-            poller.register(waker.as_raw_fd(), TOKEN_WAKER, Interest::READABLE)?;
+            let mut engine_backend = backend::create(kind, TOKEN_WAKER)?;
+            engine_backend.register_acceptor(listener.as_raw_fd(), TOKEN_LISTENER)?;
+            let waker = engine_backend.wake_handle();
+            metrics.note_backend(i, engine_backend.kind());
             let reactor = Reactor {
-                poller,
+                backend: engine_backend,
                 listener,
-                waker: waker.clone(),
                 service: Arc::clone(&service),
                 shutdown: Arc::clone(&shutdown),
                 max_conns: per_reactor.max(1),
@@ -501,6 +619,7 @@ impl EventLoop {
                 driving: None,
                 metrics: Arc::clone(&metrics),
                 reactor_index: i,
+                last_counters: BackendCounters::default(),
             };
             let thread = std::thread::Builder::new()
                 .name(format!("{name}-r{i}"))
@@ -606,7 +725,6 @@ enum Kind {
 
 struct Conn {
     stream: TcpStream,
-    interest: Interest,
     last_activity: Instant,
     kind: Kind,
 }
@@ -624,9 +742,10 @@ impl std::fmt::Debug for Waiting {
 }
 
 struct Reactor {
-    poller: Poller,
+    /// The pluggable readiness + data-plane seam (epoll or io_uring);
+    /// every fd operation goes through it.
+    backend: Box<dyn Backend>,
     listener: TcpListener,
-    waker: Waker,
     service: Arc<dyn Service>,
     shutdown: Arc<AtomicBool>,
     max_conns: usize,
@@ -659,6 +778,9 @@ struct Reactor {
     metrics: Arc<EngineMetrics>,
     /// This reactor's slot in the per-reactor metric arrays.
     reactor_index: usize,
+    /// Backend counter snapshot from the previous turn; the delta is
+    /// folded into the shared metrics once per event-loop turn.
+    last_counters: BackendCounters,
 }
 
 /// Clones an `io::Error` well enough for fan-out to several waiters.
@@ -666,31 +788,52 @@ fn clone_err(e: &io::Error) -> io::Error {
     io::Error::new(e.kind(), e.to_string())
 }
 
+/// A [`WriteSink`] routing a connection's flush through the reactor's
+/// backend, so the vectored write path works identically over epoll
+/// (direct `write`/`writev`) and io_uring (inline SQEs).
+struct BackendSink<'a> {
+    backend: &'a mut dyn Backend,
+    fd: std::os::fd::RawFd,
+    token: usize,
+}
+
+impl WriteSink for BackendSink<'_> {
+    fn write_one(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.backend.write(self.fd, self.token, buf)
+    }
+
+    fn write_two(&mut self, first: &[u8], second: &[u8]) -> io::Result<usize> {
+        self.backend.writev(self.fd, self.token, &[first, second])
+    }
+}
+
 impl Reactor {
     fn run(mut self) {
-        let mut events = Events::with_capacity(1024);
+        let mut events: Vec<Event> = Vec::with_capacity(1024);
         while !self.shutdown.load(Ordering::SeqCst) {
             let timeout = self.next_timeout();
-            if self.poller.wait(&mut events, Some(timeout)).is_err() {
+            if self.backend.wait(&mut events, Some(timeout)).is_err() {
                 break;
             }
             self.dispatch(&events);
             self.fire_timers();
+            self.flush_backend_counters();
             if self.last_sweep.elapsed() >= Duration::from_secs(1) {
                 self.sweep_idle();
                 self.last_sweep = Instant::now();
             }
         }
         self.drain(&mut events);
+        self.flush_backend_counters();
         // Dropping the slab closes every socket.
     }
 
     /// Applies one event batch.
-    fn dispatch(&mut self, events: &Events) {
-        for event in events.iter() {
+    fn dispatch(&mut self, events: &[Event]) {
+        for &event in events {
             match event.token {
                 TOKEN_LISTENER => self.accept_ready(),
-                TOKEN_WAKER => self.waker.drain(),
+                TOKEN_WAKER => self.backend.drain_waker(),
                 token => self.conn_event(token - TOKEN_BASE, event),
             }
         }
@@ -699,9 +842,18 @@ impl Reactor {
         self.free.append(&mut self.freed_this_batch);
     }
 
+    /// Exports the backend's monotonic syscall-economy counters into the
+    /// shared metrics as a delta, once per event-loop turn.
+    fn flush_backend_counters(&mut self) {
+        let now = self.backend.counters();
+        let delta = now.since(self.last_counters);
+        self.last_counters = now;
+        self.metrics.note_backend_counters(delta);
+    }
+
     /// Graceful-shutdown tail: stop accepting, keep serving until every
     /// in-flight response is flushed or the grace period lapses.
-    fn drain(&mut self, events: &mut Events) {
+    fn drain(&mut self, events: &mut Vec<Event>) {
         self.pause_accepting();
         let deadline = Instant::now() + DRAIN_GRACE;
         while self.has_inflight() {
@@ -710,7 +862,7 @@ impl Reactor {
                 break;
             }
             let timeout = (deadline - now).min(Duration::from_millis(10));
-            if self.poller.wait(events, Some(timeout)).is_err() {
+            if self.backend.wait(events, Some(timeout)).is_err() {
                 break;
             }
             self.dispatch(events);
@@ -761,20 +913,14 @@ impl Reactor {
     fn pause_accepting(&mut self) {
         if self.accepting {
             self.accepting = false;
-            let _ = self
-                .poller
-                .modify(self.listener.as_raw_fd(), TOKEN_LISTENER, Interest::NONE);
+            self.backend.set_interest(TOKEN_LISTENER, Interest::NONE);
         }
     }
 
     fn resume_accepting(&mut self) {
         if !self.accepting && self.clients < self.max_conns {
             self.accepting = true;
-            let _ = self.poller.modify(
-                self.listener.as_raw_fd(),
-                TOKEN_LISTENER,
-                Interest::READABLE,
-            );
+            self.backend.set_interest(TOKEN_LISTENER, Interest::READABLE);
         }
     }
 
@@ -789,7 +935,7 @@ impl Reactor {
         let mut reused: u64 = 0;
         let mut allocated: u64 = 0;
         while self.accepting {
-            match accept_nonblocking(&self.listener) {
+            match self.backend.accept(&self.listener, TOKEN_LISTENER) {
                 Ok(stream) => {
                     if !self.service.accept_connection() {
                         continue; // dropped on arrival (fault injection)
@@ -797,7 +943,7 @@ impl Reactor {
                     let _ = stream.set_nodelay(true);
                     let idx = self.alloc_slot();
                     if self
-                        .poller
+                        .backend
                         .register(stream.as_raw_fd(), idx + TOKEN_BASE, Interest::READABLE)
                         .is_err()
                     {
@@ -810,7 +956,6 @@ impl Reactor {
                     allocated += u64::from(!wfrom_pool) + u64::from(!rfrom_pool);
                     self.conns[idx] = Some(Conn {
                         stream,
-                        interest: Interest::READABLE,
                         last_activity: Instant::now(),
                         kind: Kind::Client(ClientState {
                             parser: RequestParser::new(),
@@ -845,7 +990,7 @@ impl Reactor {
         }
     }
 
-    fn conn_event(&mut self, idx: usize, event: mutcon_sim::reactor::Event) {
+    fn conn_event(&mut self, idx: usize, event: Event) {
         let Some(conn) = self.conns.get(idx).and_then(Option::as_ref) else {
             return; // closed earlier in this event batch
         };
@@ -887,11 +1032,12 @@ impl Reactor {
     /// request/response state machine.
     fn client_readable(&mut self, idx: usize) {
         let Some(conn) = self.conns[idx].as_mut() else { return };
+        let fd = conn.stream.as_raw_fd();
         let Kind::Client(client) = &mut conn.kind else { return };
         let mut saw_eof = false;
         let mut chunk = [0u8; 16 * 1024];
         while client.read_buf.len() < MAX_BUFFERED {
-            match conn.stream.read(&mut chunk) {
+            match self.backend.read(fd, idx + TOKEN_BASE, &mut chunk) {
                 Ok(0) => {
                     saw_eof = true;
                     break;
@@ -1061,11 +1207,17 @@ impl Reactor {
         let mut stats = FlushStats::default();
         let outcome = {
             let Some(conn) = self.conns[idx].as_mut() else { return false };
+            let fd = conn.stream.as_raw_fd();
             let Kind::Client(client) = &mut conn.kind else { return false };
             if client.write.is_idle() {
                 return true;
             }
-            let outcome = client.write.flush(&mut conn.stream, MAX_RETAINED_CAP, &mut stats);
+            let mut sink = BackendSink {
+                backend: &mut *self.backend,
+                fd,
+                token: idx + TOKEN_BASE,
+            };
+            let outcome = client.write.flush(&mut sink, MAX_RETAINED_CAP, &mut stats);
             if matches!(outcome, Ok(FlushOutcome::Done)) {
                 conn.last_activity = Instant::now();
                 // A half-closed peer may still have pipelined requests
@@ -1103,9 +1255,11 @@ impl Reactor {
         false
     }
 
-    /// Recomputes and applies the client's epoll interest from its state.
+    /// Recomputes the client's desired readiness interest from its
+    /// state. The backend's ledger coalesces: only a net change reaches
+    /// the kernel, at the next wait.
     fn update_client_interest(&mut self, idx: usize) {
-        let Some(conn) = self.conns[idx].as_mut() else { return };
+        let Some(conn) = self.conns[idx].as_ref() else { return };
         let Kind::Client(client) = &conn.kind else { return };
         let interest = if client.write.has_unwritten() {
             Interest::WRITABLE
@@ -1116,12 +1270,7 @@ impl Reactor {
         } else {
             Interest::READABLE
         };
-        if interest != conn.interest {
-            conn.interest = interest;
-            let _ = self
-                .poller
-                .modify(conn.stream.as_raw_fd(), idx + TOKEN_BASE, interest);
-        }
+        self.backend.set_interest(idx + TOKEN_BASE, interest);
     }
 
     /// Queues a response on a client without driving the connection
@@ -1235,7 +1384,7 @@ impl Reactor {
                         }
                         let idx = self.alloc_slot();
                         if self
-                            .poller
+                            .backend
                             .register(stream.as_raw_fd(), idx + TOKEN_BASE, Interest::WRITABLE)
                             .is_err()
                         {
@@ -1252,7 +1401,6 @@ impl Reactor {
                         }
                         self.conns[idx] = Some(Conn {
                             stream,
-                            interest: Interest::WRITABLE,
                             last_activity: Instant::now(),
                             kind: Kind::Upstream(UpstreamState {
                                 addr,
@@ -1289,6 +1437,7 @@ impl Reactor {
         // bytes in the pool's job.
         let (conns, pool) = (&mut self.conns, &self.pool);
         let Some(conn) = conns[idx].as_mut() else { return };
+        let fd = conn.stream.as_raw_fd();
         let Kind::Upstream(up) = &mut conn.kind else { return };
         if !up.connected {
             // Writability concludes the nonblocking connect; SO_ERROR
@@ -1309,7 +1458,7 @@ impl Reactor {
         };
         let mut broken: Option<io::Error> = None;
         while up.written < request.len() {
-            match conn.stream.write(&request[up.written..]) {
+            match self.backend.write(fd, idx + TOKEN_BASE, &request[up.written..]) {
                 Ok(0) => {
                     broken = Some(io::Error::new(
                         io::ErrorKind::WriteZero,
@@ -1319,15 +1468,8 @@ impl Reactor {
                 }
                 Ok(n) => up.written += n,
                 Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    // Partial write: wait for EPOLLOUT.
-                    if conn.interest != Interest::WRITABLE {
-                        conn.interest = Interest::WRITABLE;
-                        let _ = self.poller.modify(
-                            conn.stream.as_raw_fd(),
-                            idx + TOKEN_BASE,
-                            Interest::WRITABLE,
-                        );
-                    }
+                    // Partial write: wait for writability.
+                    self.backend.set_interest(idx + TOKEN_BASE, Interest::WRITABLE);
                     return;
                 }
                 Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -1342,16 +1484,12 @@ impl Reactor {
             return;
         }
         conn.last_activity = Instant::now();
-        if conn.interest != Interest::READABLE {
-            conn.interest = Interest::READABLE;
-            let _ = self
-                .poller
-                .modify(conn.stream.as_raw_fd(), idx + TOKEN_BASE, Interest::READABLE);
-        }
+        self.backend.set_interest(idx + TOKEN_BASE, Interest::READABLE);
     }
 
     fn upstream_readable(&mut self, idx: usize) {
         let Some(conn) = self.conns[idx].as_mut() else { return };
+        let fd = conn.stream.as_raw_fd();
         let Kind::Upstream(up) = &mut conn.kind else { return };
         if up.job.is_none() {
             // A parked idle connection turned readable: the origin
@@ -1364,7 +1502,7 @@ impl Reactor {
         let mut saw_eof = false;
         let mut chunk = [0u8; 16 * 1024];
         loop {
-            match conn.stream.read(&mut chunk) {
+            match self.backend.read(fd, idx + TOKEN_BASE, &mut chunk) {
                 Ok(0) => {
                     saw_eof = true;
                     break;
@@ -1391,18 +1529,12 @@ impl Reactor {
                     up.read_buf.clear();
                     up.parser = ResponseParser::new();
                     up.written = 0;
-                    if conn.interest != Interest::READABLE {
-                        conn.interest = Interest::READABLE;
-                        let _ = self.poller.modify(
-                            conn.stream.as_raw_fd(),
-                            idx + TOKEN_BASE,
-                            Interest::READABLE,
-                        );
-                    }
+                    self.backend.set_interest(idx + TOKEN_BASE, Interest::READABLE);
                     self.pool.release_idle(addr, idx, Instant::now());
                 } else {
                     // One-shot connection (origin said close, or the
                     // stream is already at EOF).
+                    self.backend.deregister(idx + TOKEN_BASE);
                     if let Some(mut gone) = self.conns[idx].take() {
                         if let Kind::Upstream(dead) = &mut gone.kind {
                             self.recycle_upstream_buf(dead);
@@ -1439,6 +1571,7 @@ impl Reactor {
     /// everything else fails the job to its waiters.
     fn upstream_broken(&mut self, idx: usize, err: io::Error, allow_retry: bool) {
         let Some(mut conn) = self.conns[idx].take() else { return };
+        self.backend.deregister(idx + TOKEN_BASE);
         self.freed_this_batch.push(idx);
         let Kind::Upstream(up) = &mut conn.kind else { return };
         let addr = up.addr;
@@ -1578,6 +1711,7 @@ impl Reactor {
         // Pooled idle sockets past their keep time.
         for (idx, addr) in self.pool.reap_idle(now, POOL_IDLE_TIMEOUT) {
             if let Some(mut conn) = self.conns[idx].take() {
+                self.backend.deregister(idx + TOKEN_BASE);
                 if let Kind::Upstream(up) = &mut conn.kind {
                     self.recycle_upstream_buf(up);
                 }
@@ -1594,6 +1728,7 @@ impl Reactor {
     /// connection.
     fn close_client(&mut self, idx: usize) {
         let Some(mut conn) = self.conns[idx].take() else { return };
+        self.backend.deregister(idx + TOKEN_BASE);
         self.freed_this_batch.push(idx);
         if let Kind::Client(client) = &mut conn.kind {
             self.clients -= 1;
@@ -1638,6 +1773,7 @@ mod tests {
     use super::*;
     use crate::wire::{read_response, write_request};
     use mutcon_http::types::{Method, StatusCode};
+    use std::io::{Read, Write};
 
     struct Echo;
     impl Service for Echo {

@@ -19,6 +19,19 @@ fn parse_io_error(e: ParseError) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, e)
 }
 
+/// `read` retrying `EINTR`. The io_uring backend's task-work
+/// notifications can interrupt blocking syscalls on any thread of the
+/// process, so these helpers must not surface `Interrupted` to callers
+/// (`write_all` already retries it internally).
+fn read_uninterrupted(stream: &mut impl Read, chunk: &mut [u8]) -> io::Result<usize> {
+    loop {
+        match stream.read(chunk) {
+            Err(ref e) if e.kind() == io::ErrorKind::Interrupted => {}
+            other => return other,
+        }
+    }
+}
+
 /// Reads one request from `stream`. Returns `Ok(None)` on a clean EOF
 /// before any bytes (the peer closed an idle connection).
 ///
@@ -34,7 +47,7 @@ pub fn read_request(stream: &mut impl Read, buf: &mut BytesMut) -> io::Result<Op
             return Ok(Some(req));
         }
         let mut chunk = [0u8; 4096];
-        let n = stream.read(&mut chunk)?;
+        let n = read_uninterrupted(stream, &mut chunk)?;
         if n == 0 {
             return if buf.is_empty() {
                 Ok(None)
@@ -62,7 +75,7 @@ pub fn read_response(stream: &mut impl Read, buf: &mut BytesMut) -> io::Result<R
             return Ok(resp);
         }
         let mut chunk = [0u8; 4096];
-        let n = stream.read(&mut chunk)?;
+        let n = read_uninterrupted(stream, &mut chunk)?;
         if n == 0 {
             return Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,

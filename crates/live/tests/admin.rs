@@ -37,6 +37,7 @@ fn proxy_with(origin: &ScriptedOrigin, rules: Vec<RefreshRule>, reactors: usize)
         cache_objects: None,
         reactors: Some(reactors),
         max_conns: None,
+        backend: None,
     })
     .expect("start proxy")
 }
@@ -321,6 +322,7 @@ fn bad_rules_are_rejected_by_put_and_by_start() {
         cache_objects: None,
         reactors: Some(1),
         max_conns: None,
+        backend: None,
     })
     .expect_err("duplicate paths must be rejected at start");
     assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);

@@ -31,6 +31,7 @@ fn plain_proxy(origin: &ScriptedOrigin, reactors: usize) -> LiveProxy {
         cache_objects: None,
         reactors: Some(reactors),
         max_conns: None,
+        backend: None,
     })
     .expect("start proxy")
 }
@@ -267,6 +268,7 @@ fn refresh_vs_read_interleavings_stay_monotonic() {
         cache_objects: None,
         reactors: Some(2),
         max_conns: None,
+        backend: None,
     })
     .expect("start proxy");
     let addr = proxy.local_addr();

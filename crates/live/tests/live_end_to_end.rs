@@ -49,6 +49,7 @@ fn proxy_keeps_cached_object_fresh() {
         cache_objects: None,
         reactors: None,
         max_conns: None,
+        backend: None,
     })
     .unwrap();
 
@@ -93,6 +94,7 @@ fn limd_backs_off_for_static_objects() {
         cache_objects: None,
         reactors: None,
         max_conns: None,
+        backend: None,
     })
     .unwrap();
 
@@ -127,6 +129,7 @@ fn triggered_polls_keep_related_objects_in_step() {
         cache_objects: None,
         reactors: None,
         max_conns: None,
+        backend: None,
     })
     .unwrap();
 
@@ -163,6 +166,7 @@ fn proxy_survives_origin_faults() {
         cache_objects: None,
         reactors: None,
         max_conns: None,
+        backend: None,
     })
     .unwrap();
     let client = HttpClient::new();
@@ -208,6 +212,7 @@ fn stats_endpoint_and_miss_path() {
         cache_objects: None,
         reactors: None,
         max_conns: None,
+        backend: None,
     })
     .unwrap();
     let client = HttpClient::new();

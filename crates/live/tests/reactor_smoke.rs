@@ -49,6 +49,7 @@ fn five_hundred_concurrent_connections_through_one_reactor() {
         cache_objects: None,
         reactors: None,
         max_conns: None,
+        backend: None,
     })
     .unwrap();
 
@@ -138,6 +139,7 @@ fn refreshes_during_reads_stay_consistent() {
         cache_objects: Some(64),
         reactors: None,
         max_conns: None,
+        backend: None,
     })
     .unwrap();
     let addr = proxy.local_addr();
@@ -211,6 +213,7 @@ fn pipelined_miss_burst_against_dead_origin_is_iterative() {
         cache_objects: None,
         reactors: None,
         max_conns: None,
+        backend: None,
     })
     .unwrap();
 
@@ -252,6 +255,7 @@ fn bounded_cache_misses_fetch_through_reactor() {
         cache_objects: Some(16), // far below the 64-object key space
         reactors: None,
         max_conns: None,
+        backend: None,
     })
     .unwrap();
 

@@ -31,16 +31,21 @@
 
 #![allow(unsafe_code)]
 
+pub mod backend;
+pub mod uring;
+
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
 use std::sync::Arc;
 use std::time::Duration;
 
+pub use backend::{Backend, BackendCounters, BackendKind, InterestLedger, BACKEND_ENV};
+
 /// The raw syscall surface. Linux-only, declared against the platform C
 /// library (always linked by std) instead of the `libc` crate.
 mod sys {
-    use std::os::raw::{c_int, c_void};
+    use std::os::raw::{c_int, c_long, c_void};
 
     pub const EPOLL_CLOEXEC: c_int = 0o2000000;
     pub const EPOLL_CTL_ADD: c_int = 1;
@@ -68,6 +73,26 @@ mod sys {
     pub const SOL_SOCKET: c_int = 1;
     pub const SO_REUSEADDR: c_int = 2;
     pub const SO_REUSEPORT: c_int = 15;
+
+    pub const RLIMIT_NOFILE: c_int = 7;
+
+    pub const PROT_READ: c_int = 1;
+    pub const PROT_WRITE: c_int = 2;
+    pub const MAP_SHARED: c_int = 1;
+    pub const MAP_POPULATE: c_int = 0x8000;
+
+    /// x86-64 syscall numbers for the two io_uring entry points; the C
+    /// library exposes no wrappers for them, so they go through
+    /// `syscall(2)`.
+    pub const SYS_IO_URING_SETUP: c_long = 425;
+    pub const SYS_IO_URING_ENTER: c_long = 426;
+
+    /// `struct rlimit64` for `prlimit64(2)`.
+    #[repr(C)]
+    pub struct RLimit64 {
+        pub cur: u64,
+        pub max: u64,
+    }
 
     /// `struct epoll_event`; packed on x86-64 (the kernel ABI), naturally
     /// aligned everywhere else.
@@ -131,6 +156,22 @@ mod sys {
         pub fn listen(fd: c_int, backlog: c_int) -> c_int;
         pub fn writev(fd: c_int, iov: *const IoVec, iovcnt: c_int) -> isize;
         pub fn accept4(fd: c_int, addr: *mut c_void, addrlen: *mut u32, flags: c_int) -> c_int;
+        pub fn prlimit64(
+            pid: c_int,
+            resource: c_int,
+            new_limit: *const RLimit64,
+            old_limit: *mut RLimit64,
+        ) -> c_int;
+        pub fn syscall(num: c_long, ...) -> c_long;
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
     }
 }
 
@@ -523,6 +564,49 @@ pub fn listen_reuseport(addr: SocketAddr) -> io::Result<TcpListener> {
     cvt(unsafe { sys::bind(fd, storage.as_ptr(), storage.len()) })?;
     cvt(unsafe { sys::listen(fd, 1024) })?;
     Ok(listener)
+}
+
+/// Raises the process's soft `RLIMIT_NOFILE` toward `cap` via a raw
+/// `prlimit64(2)` call on the current process. When `cap` exceeds the
+/// hard limit, raising the hard limit too is *attempted* — that
+/// succeeds with `CAP_SYS_RESOURCE` (root in a container) and fails
+/// `EPERM` otherwise, in which case the soft limit settles at the hard
+/// limit.
+///
+/// Returns `(previous_soft, new_soft)`; the two are equal when the soft
+/// limit was already at or above the target. A 10k-connection proxy plus
+/// its origin pool needs ~20k fds, far past the usual 1024 default, so
+/// the event loop calls this once at startup.
+///
+/// # Errors
+///
+/// Propagates `prlimit64` failures (e.g. `EPERM` in a locked-down
+/// sandbox); the caller should treat that as "run with what we have".
+pub fn raise_nofile_limit(cap: u64) -> io::Result<(u64, u64)> {
+    let mut old = sys::RLimit64 { cur: 0, max: 0 };
+    cvt(unsafe { sys::prlimit64(0, sys::RLIMIT_NOFILE, std::ptr::null(), &mut old) })?;
+    if old.cur >= cap {
+        return Ok((old.cur, old.cur));
+    }
+    if cap > old.max {
+        // Privileged path: lift the hard limit with the soft one.
+        let new = sys::RLimit64 { cur: cap, max: cap };
+        if cvt(unsafe { sys::prlimit64(0, sys::RLIMIT_NOFILE, &new, std::ptr::null_mut()) })
+            .is_ok()
+        {
+            return Ok((old.cur, cap));
+        }
+    }
+    let target = old.max.min(cap);
+    if old.cur >= target {
+        return Ok((old.cur, old.cur));
+    }
+    let new = sys::RLimit64 {
+        cur: target,
+        max: old.max,
+    };
+    cvt(unsafe { sys::prlimit64(0, sys::RLIMIT_NOFILE, &new, std::ptr::null_mut()) })?;
+    Ok((old.cur, target))
 }
 
 /// Most slices a single [`writev`] call accepts. Callers with more

@@ -1,0 +1,711 @@
+//! Pluggable reactor backends behind one [`Backend`] trait.
+//!
+//! The live engine (`mutcon_live::server`) drives every fd operation —
+//! register/interest/deregister/wait/accept/read/write/writev/wake —
+//! through this seam instead of calling [`Poller`](super::Poller)
+//! directly. Two implementations exist:
+//!
+//! * [`EpollBackend`] — the classic level-triggered epoll reactor,
+//!   upgraded with **lazy, coalesced interest tracking**: interest
+//!   changes land in a per-token [`InterestLedger`] cell and only the
+//!   net desired-vs-kernel diff is flushed as `epoll_ctl(MOD)` once per
+//!   event-loop turn, so a read→write→read keep-alive cycle that used to
+//!   cost 2–3 `epoll_ctl` syscalls per request costs zero.
+//! * [`UringBackend`](super::uring::UringBackend) — a raw-syscall
+//!   io_uring reactor (multishot poll + multishot accept readiness,
+//!   recv/send/writev submitted as inline-completing SQEs).
+//!
+//! Selection is by [`BackendKind`], usually from the `MUTCON_LIVE_BACKEND`
+//! environment variable; [`create`] falls back from io_uring to epoll
+//! (logged once) when the kernel refuses rings, so seccomp'd runners
+//! keep working.
+
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::RawFd;
+use std::sync::Once;
+use std::time::Duration;
+
+use super::{accept_nonblocking, cvt, sys, Event, Events, Interest, Poller, Waker};
+
+/// Environment variable selecting the reactor backend (`epoll` or
+/// `io_uring`); unset or unrecognized means epoll.
+pub const BACKEND_ENV: &str = "MUTCON_LIVE_BACKEND";
+
+/// Which reactor backend implementation to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Level-triggered epoll with coalesced interest updates.
+    Epoll,
+    /// Raw-syscall io_uring (multishot poll/accept, inline data SQEs).
+    IoUring,
+}
+
+impl BackendKind {
+    /// Stable lowercase name, as accepted by [`BACKEND_ENV`] and
+    /// reported in `/admin/stats`.
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendKind::Epoll => "epoll",
+            BackendKind::IoUring => "io_uring",
+        }
+    }
+
+    /// Parses a backend name (`epoll` / `io_uring`, also `uring`).
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "epoll" => Some(BackendKind::Epoll),
+            "io_uring" | "io-uring" | "uring" => Some(BackendKind::IoUring),
+            _ => None,
+        }
+    }
+
+    /// Reads [`BACKEND_ENV`]; unset, empty, or unrecognized → epoll.
+    pub fn from_env() -> BackendKind {
+        std::env::var(BACKEND_ENV)
+            .ok()
+            .as_deref()
+            .and_then(BackendKind::parse)
+            .unwrap_or(BackendKind::Epoll)
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Monotonic per-backend syscall-economy counters, snapshotted by the
+/// engine once per event-loop turn and exported as deltas into
+/// `EngineMetrics`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BackendCounters {
+    /// Kernel interest operations actually issued (`epoll_ctl` ADD+MOD).
+    /// Always zero on io_uring.
+    pub epoll_ctl_calls: u64,
+    /// Interest transitions absorbed by the ledger before reaching the
+    /// kernel (the syscalls the coalescing saved).
+    pub interest_coalesced: u64,
+    /// Submission-queue entries pushed to the ring. Always zero on epoll.
+    pub sqe_submitted: u64,
+    /// Completion-queue entries reaped from the ring. Always zero on epoll.
+    pub cqe_completed: u64,
+}
+
+impl BackendCounters {
+    /// `self - prev`, saturating (counters are monotonic, so this is the
+    /// activity since `prev` was snapshotted).
+    pub fn since(self, prev: BackendCounters) -> BackendCounters {
+        BackendCounters {
+            epoll_ctl_calls: self.epoll_ctl_calls.saturating_sub(prev.epoll_ctl_calls),
+            interest_coalesced: self
+                .interest_coalesced
+                .saturating_sub(prev.interest_coalesced),
+            sqe_submitted: self.sqe_submitted.saturating_sub(prev.sqe_submitted),
+            cqe_completed: self.cqe_completed.saturating_sub(prev.cqe_completed),
+        }
+    }
+}
+
+/// A reactor backend: readiness notification plus the data-plane
+/// syscalls, so an implementation may route I/O through a ring instead
+/// of direct syscalls.
+///
+/// Contracts the engine relies on:
+///
+/// * Tokens are small dense integers (slab indices); the backend may
+///   index arrays by them.
+/// * [`Backend::set_interest`] is cheap and may be called many times per
+///   turn; only the net change (diffed at the next [`Backend::wait`])
+///   reaches the kernel.
+/// * [`Backend::deregister`] is called immediately before the fd is
+///   closed; backends need not (and do not) issue a kernel removal of
+///   their own.
+/// * Data-plane calls ([`Backend::read`], [`Backend::write`],
+///   [`Backend::writev`], [`Backend::accept`]) behave exactly like the
+///   equivalent nonblocking syscalls: they complete inline and report
+///   `WouldBlock` rather than parking the buffer, so both backends are
+///   byte-identical by construction.
+pub trait Backend: Send {
+    /// Which implementation this is (after any construction fallback).
+    fn kind(&self) -> BackendKind;
+
+    /// Registers a connected (or connecting) socket under `token`.
+    fn register(&mut self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()>;
+
+    /// Registers a listening socket under `token`; readable events mean
+    /// "connections are ready for [`Backend::accept`]".
+    fn register_acceptor(&mut self, fd: RawFd, token: usize) -> io::Result<()>;
+
+    /// Records the desired interest for `token`; flushed (coalesced) at
+    /// the next [`Backend::wait`].
+    fn set_interest(&mut self, token: usize, interest: Interest);
+
+    /// Forgets `token`. The engine closes the fd right afterwards, which
+    /// is what actually detaches it from the kernel.
+    fn deregister(&mut self, token: usize);
+
+    /// Flushes pending interest changes, then blocks until readiness,
+    /// `timeout` (None = forever), or a wake. Fills `events`.
+    fn wait(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()>;
+
+    /// Accepts one pending connection on a registered acceptor
+    /// (nonblocking; the returned stream is nonblocking + cloexec).
+    fn accept(&mut self, listener: &TcpListener, token: usize) -> io::Result<TcpStream>;
+
+    /// Reads into `buf` (nonblocking semantics).
+    fn read(&mut self, fd: RawFd, token: usize, buf: &mut [u8]) -> io::Result<usize>;
+
+    /// Writes from `buf` (nonblocking semantics).
+    fn write(&mut self, fd: RawFd, token: usize, buf: &[u8]) -> io::Result<usize>;
+
+    /// Gathers `bufs` into one write (nonblocking semantics).
+    fn writev(&mut self, fd: RawFd, token: usize, bufs: &[&[u8]]) -> io::Result<usize>;
+
+    /// A handle other threads use to interrupt [`Backend::wait`].
+    fn wake_handle(&self) -> Waker;
+
+    /// Resets the wake signal (call when the waker token reports
+    /// readable).
+    fn drain_waker(&self);
+
+    /// Monotonic syscall-economy counters.
+    fn counters(&self) -> BackendCounters;
+}
+
+/// Per-token desired-vs-kernel interest bookkeeping shared by both
+/// backends: the coalescing core, pure (no syscalls) and unit-testable.
+///
+/// Each registered token holds a cell with the interest the engine
+/// *wants* and the interest the kernel *has*. `set` only marks the cell
+/// dirty; `flush` walks the dirty list and applies the net diff. A
+/// transition that returns to the kernel-registered value before a flush
+/// — the read→write→read keep-alive cycle — cancels out entirely and is
+/// counted in [`InterestLedger::coalesced`].
+#[derive(Debug, Default)]
+pub struct InterestLedger {
+    cells: Vec<Option<Cell>>,
+    dirty: Vec<usize>,
+    /// Kernel interest operations issued by `flush` so far.
+    pub mods_issued: u64,
+    /// Interest transitions absorbed before reaching the kernel.
+    pub coalesced: u64,
+}
+
+#[derive(Debug)]
+struct Cell {
+    fd: RawFd,
+    desired: Interest,
+    /// What the kernel currently has; `None` until the first flush (or
+    /// eager registration) applies the ADD.
+    registered: Option<Interest>,
+    dirty: bool,
+}
+
+impl InterestLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> InterestLedger {
+        InterestLedger::default()
+    }
+
+    fn ensure(&mut self, token: usize) {
+        if token >= self.cells.len() {
+            self.cells.resize_with(token + 1, || None);
+        }
+    }
+
+    /// Tracks `token` with the kernel registration still pending; the
+    /// next [`InterestLedger::flush`] applies it.
+    pub fn insert(&mut self, token: usize, fd: RawFd, interest: Interest) {
+        self.ensure(token);
+        self.cells[token] = Some(Cell {
+            fd,
+            desired: interest,
+            registered: None,
+            dirty: true,
+        });
+        self.dirty.push(token);
+    }
+
+    /// Tracks `token` with the kernel registration already applied by
+    /// the caller (eager ADD); only future changes go through the
+    /// ledger.
+    pub fn insert_applied(&mut self, token: usize, fd: RawFd, interest: Interest) {
+        self.ensure(token);
+        self.cells[token] = Some(Cell {
+            fd,
+            desired: interest,
+            registered: Some(interest),
+            dirty: false,
+        });
+    }
+
+    /// Records the interest the engine now wants for `token`. No
+    /// syscalls happen here; redundant and self-cancelling transitions
+    /// are absorbed (counted in [`InterestLedger::coalesced`]).
+    pub fn set(&mut self, token: usize, interest: Interest) {
+        let Some(cell) = self.cells.get_mut(token).and_then(Option::as_mut) else {
+            return;
+        };
+        if cell.desired == interest {
+            return;
+        }
+        cell.desired = interest;
+        if cell.dirty {
+            // A pending change was re-changed (or reverted) before any
+            // kernel op: one syscall saved either way.
+            self.coalesced += 1;
+            if cell.registered == Some(interest) {
+                cell.dirty = false;
+            }
+        } else if cell.registered != Some(interest) {
+            cell.dirty = true;
+            self.dirty.push(token);
+        }
+    }
+
+    /// The interest the engine currently wants for `token`.
+    pub fn desired(&self, token: usize) -> Option<Interest> {
+        self.cells
+            .get(token)
+            .and_then(Option::as_ref)
+            .map(|c| c.desired)
+    }
+
+    /// The fd tracked under `token`.
+    pub fn fd(&self, token: usize) -> Option<RawFd> {
+        self.cells
+            .get(token)
+            .and_then(Option::as_ref)
+            .map(|c| c.fd)
+    }
+
+    /// Iterates `(token, fd, desired)` for every tracked registration.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, RawFd, Interest)> + '_ {
+        self.cells
+            .iter()
+            .enumerate()
+            .filter_map(|(t, c)| c.as_ref().map(|c| (t, c.fd, c.desired)))
+    }
+
+    /// Stops tracking `token`, returning its fd. No kernel op: the
+    /// caller closes the fd, which detaches it.
+    pub fn remove(&mut self, token: usize) -> Option<RawFd> {
+        self.cells
+            .get_mut(token)
+            .and_then(Option::take)
+            .map(|c| c.fd)
+    }
+
+    /// Applies every pending net change through `apply(fd, token,
+    /// desired, is_add)`; each successful call counts as one kernel op
+    /// in [`InterestLedger::mods_issued`]. A failed apply leaves the
+    /// cell dirty for the next flush.
+    pub fn flush(&mut self, mut apply: impl FnMut(RawFd, usize, Interest, bool) -> io::Result<()>) {
+        if self.dirty.is_empty() {
+            return;
+        }
+        let mut retry = Vec::new();
+        for token in std::mem::take(&mut self.dirty) {
+            let Some(cell) = self.cells.get_mut(token).and_then(Option::as_mut) else {
+                continue; // removed since it was marked dirty
+            };
+            if !cell.dirty {
+                continue; // the change cancelled out
+            }
+            let is_add = cell.registered.is_none();
+            match apply(cell.fd, token, cell.desired, is_add) {
+                Ok(()) => {
+                    cell.registered = Some(cell.desired);
+                    cell.dirty = false;
+                    self.mods_issued += 1;
+                }
+                Err(_) => retry.push(token),
+            }
+        }
+        self.dirty = retry;
+    }
+}
+
+/// The epoll implementation: the existing [`Poller`] plus the interest
+/// ledger, so interest churn within one event-loop turn never reaches
+/// the kernel. Registrations ADD eagerly (so accept-path errors surface
+/// where they can be handled); only MODs are lazy.
+pub struct EpollBackend {
+    poller: Poller,
+    ledger: InterestLedger,
+    waker: Waker,
+    waker_token: usize,
+    epoll_events: Events,
+    adds_issued: u64,
+}
+
+impl EpollBackend {
+    /// Creates the epoll instance and its waker, registering the waker
+    /// under `waker_token`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates epoll/eventfd creation failures.
+    pub fn new(waker_token: usize) -> io::Result<EpollBackend> {
+        let poller = Poller::new()?;
+        let waker = Waker::new()?;
+        poller.register(waker.as_raw_fd(), waker_token, Interest::READABLE)?;
+        let mut ledger = InterestLedger::new();
+        ledger.insert_applied(waker_token, waker.as_raw_fd(), Interest::READABLE);
+        Ok(EpollBackend {
+            poller,
+            ledger,
+            waker,
+            waker_token,
+            epoll_events: Events::with_capacity(1024),
+            adds_issued: 1,
+        })
+    }
+}
+
+impl std::fmt::Debug for EpollBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpollBackend")
+            .field("poller", &self.poller)
+            .field("adds_issued", &self.adds_issued)
+            .finish()
+    }
+}
+
+impl Backend for EpollBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Epoll
+    }
+
+    fn register(&mut self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+        debug_assert!(token != self.waker_token, "token collides with waker");
+        self.poller.register(fd, token, interest)?;
+        self.adds_issued += 1;
+        self.ledger.insert_applied(token, fd, interest);
+        Ok(())
+    }
+
+    fn register_acceptor(&mut self, fd: RawFd, token: usize) -> io::Result<()> {
+        self.register(fd, token, Interest::READABLE)
+    }
+
+    fn set_interest(&mut self, token: usize, interest: Interest) {
+        self.ledger.set(token, interest);
+    }
+
+    fn deregister(&mut self, token: usize) {
+        // No EPOLL_CTL_DEL: the engine closes the fd right after, which
+        // removes the registration for free.
+        self.ledger.remove(token);
+    }
+
+    fn wait(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        let poller = &self.poller;
+        self.ledger.flush(|fd, token, interest, is_add| {
+            if is_add {
+                poller.register(fd, token, interest)
+            } else {
+                poller.modify(fd, token, interest)
+            }
+        });
+        events.clear();
+        self.poller.wait(&mut self.epoll_events, timeout)?;
+        events.extend(self.epoll_events.iter());
+        Ok(())
+    }
+
+    fn accept(&mut self, listener: &TcpListener, _token: usize) -> io::Result<TcpStream> {
+        accept_nonblocking(listener)
+    }
+
+    fn read(&mut self, fd: RawFd, _token: usize, buf: &mut [u8]) -> io::Result<usize> {
+        let ret = unsafe { sys::read(fd, buf.as_mut_ptr().cast(), buf.len()) };
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret as usize)
+        }
+    }
+
+    fn write(&mut self, fd: RawFd, _token: usize, buf: &[u8]) -> io::Result<usize> {
+        let ret = unsafe { sys::write(fd, buf.as_ptr().cast(), buf.len()) };
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret as usize)
+        }
+    }
+
+    fn writev(&mut self, fd: RawFd, _token: usize, bufs: &[&[u8]]) -> io::Result<usize> {
+        super::writev(fd, bufs)
+    }
+
+    fn wake_handle(&self) -> Waker {
+        self.waker.clone()
+    }
+
+    fn drain_waker(&self) {
+        self.waker.drain();
+    }
+
+    fn counters(&self) -> BackendCounters {
+        BackendCounters {
+            epoll_ctl_calls: self.adds_issued + self.ledger.mods_issued,
+            interest_coalesced: self.ledger.coalesced,
+            sqe_submitted: 0,
+            cqe_completed: 0,
+        }
+    }
+}
+
+static FALLBACK_LOGGED: Once = Once::new();
+
+/// Constructs the requested backend, falling back from io_uring to epoll
+/// (logged once per process) when ring setup fails — `ENOSYS` on old
+/// kernels, `EPERM`/`EACCES` under seccomp or `io_uring_disabled`.
+///
+/// # Errors
+///
+/// Propagates epoll construction failures (there is nothing left to fall
+/// back to).
+pub fn create(kind: BackendKind, waker_token: usize) -> io::Result<Box<dyn Backend>> {
+    match kind {
+        BackendKind::Epoll => Ok(Box::new(EpollBackend::new(waker_token)?)),
+        BackendKind::IoUring => match super::uring::UringBackend::new(waker_token) {
+            Ok(backend) => Ok(Box::new(backend)),
+            Err(err) => {
+                FALLBACK_LOGGED.call_once(|| {
+                    eprintln!(
+                        "mutcon-live: io_uring unavailable ({err}); falling back to epoll"
+                    );
+                });
+                Ok(Box::new(EpollBackend::new(waker_token)?))
+            }
+        },
+    }
+}
+
+/// Whether this kernel lets us set up an io_uring ring (probes with a
+/// tiny ring, then tears it down). Used by tests to auto-skip io_uring
+/// cases with a visible notice instead of silently passing on epoll.
+pub fn io_uring_available() -> bool {
+    super::uring::probe()
+}
+
+/// Reads the soft/hard fd limit without changing it (a zero-cap raise is
+/// a no-op probe).
+pub fn nofile_soft_limit() -> io::Result<u64> {
+    let mut old = sys::RLimit64 { cur: 0, max: 0 };
+    cvt(unsafe { sys::prlimit64(0, sys::RLIMIT_NOFILE, std::ptr::null(), &mut old) })?;
+    Ok(old.cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    /// Satellite: the desired-vs-registered diff must issue zero
+    /// redundant kernel ops across read→write→read keep-alive cycles.
+    #[test]
+    fn ledger_coalesces_keepalive_interest_cycles() {
+        let mut ledger = InterestLedger::new();
+        ledger.insert_applied(7, 33, Interest::READABLE);
+
+        let applied: RefCell<Vec<(usize, Interest)>> = RefCell::new(Vec::new());
+        let flush = |ledger: &mut InterestLedger| {
+            ledger.flush(|_fd, token, interest, _add| {
+                applied.borrow_mut().push((token, interest));
+                Ok(())
+            });
+        };
+
+        // 100 keep-alive requests: each flips READABLE → WRITABLE (body
+        // queued) → READABLE (flushed inside the same turn).
+        for _ in 0..100 {
+            ledger.set(7, Interest::WRITABLE);
+            ledger.set(7, Interest::READABLE);
+            flush(&mut ledger);
+        }
+
+        assert!(
+            applied.borrow().is_empty(),
+            "self-cancelling cycles must never reach the kernel"
+        );
+        assert_eq!(ledger.mods_issued, 0);
+        assert_eq!(ledger.coalesced, 100, "one absorbed transition per cycle");
+
+        // A transition that is still pending at flush time goes through
+        // exactly once.
+        ledger.set(7, Interest::WRITABLE);
+        flush(&mut ledger);
+        assert_eq!(applied.borrow().as_slice(), &[(7, Interest::WRITABLE)]);
+        assert_eq!(ledger.mods_issued, 1);
+
+        // Setting the same value again is a no-op, not a mod.
+        ledger.set(7, Interest::WRITABLE);
+        flush(&mut ledger);
+        assert_eq!(ledger.mods_issued, 1);
+    }
+
+    #[test]
+    fn ledger_re_dirty_after_flush_counts_once() {
+        let mut ledger = InterestLedger::new();
+        ledger.insert_applied(0, 10, Interest::READABLE);
+        ledger.set(0, Interest::WRITABLE);
+        ledger.set(0, Interest::NONE); // re-change before flush: coalesced
+        ledger.flush(|_, _, interest, _| {
+            assert_eq!(interest, Interest::NONE);
+            Ok(())
+        });
+        assert_eq!(ledger.mods_issued, 1);
+        assert_eq!(ledger.coalesced, 1);
+        assert_eq!(ledger.desired(0), Some(Interest::NONE));
+    }
+
+    #[test]
+    fn ledger_lazy_insert_applies_on_flush() {
+        let mut ledger = InterestLedger::new();
+        ledger.insert(3, 44, Interest::READABLE);
+        let mut adds = Vec::new();
+        ledger.flush(|fd, token, interest, is_add| {
+            adds.push((fd, token, interest, is_add));
+            Ok(())
+        });
+        assert_eq!(adds, vec![(44, 3, Interest::READABLE, true)]);
+        // Second flush: nothing pending.
+        ledger.flush(|_, _, _, _| panic!("nothing to apply"));
+    }
+
+    #[test]
+    fn ledger_remove_drops_pending_work() {
+        let mut ledger = InterestLedger::new();
+        ledger.insert_applied(1, 20, Interest::READABLE);
+        ledger.set(1, Interest::WRITABLE);
+        assert_eq!(ledger.remove(1), Some(20));
+        ledger.flush(|_, _, _, _| panic!("removed token must not flush"));
+        ledger.set(1, Interest::READABLE); // unknown token: ignored
+        assert_eq!(ledger.desired(1), None);
+    }
+
+    #[test]
+    fn ledger_failed_apply_retries_next_flush() {
+        let mut ledger = InterestLedger::new();
+        ledger.insert_applied(2, 30, Interest::READABLE);
+        ledger.set(2, Interest::WRITABLE);
+        ledger.flush(|_, _, _, _| Err(io::Error::from(io::ErrorKind::Other)));
+        assert_eq!(ledger.mods_issued, 0);
+        let mut ok = 0;
+        ledger.flush(|_, _, _, _| {
+            ok += 1;
+            Ok(())
+        });
+        assert_eq!(ok, 1);
+        assert_eq!(ledger.mods_issued, 1);
+    }
+
+    #[test]
+    fn backend_kind_parse_and_env_default() {
+        assert_eq!(BackendKind::parse("epoll"), Some(BackendKind::Epoll));
+        assert_eq!(BackendKind::parse("io_uring"), Some(BackendKind::IoUring));
+        assert_eq!(BackendKind::parse(" IO-URING "), Some(BackendKind::IoUring));
+        assert_eq!(BackendKind::parse("uring"), Some(BackendKind::IoUring));
+        assert_eq!(BackendKind::parse("kqueue"), None);
+        assert_eq!(BackendKind::Epoll.label(), "epoll");
+        assert_eq!(BackendKind::IoUring.label(), "io_uring");
+    }
+
+    #[test]
+    fn epoll_backend_round_trip() {
+        use std::os::fd::AsRawFd;
+
+        let mut backend = EpollBackend::new(1).unwrap();
+        let listener = super::super::listen_reuseport("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = listener.local_addr().unwrap();
+        backend
+            .register_acceptor(listener.as_raw_fd(), 0)
+            .unwrap();
+
+        let client = std::net::TcpStream::connect(addr).unwrap();
+        let mut events = Vec::new();
+        backend
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 0 && e.readable));
+
+        let accepted = backend.accept(&listener, 0).unwrap();
+        let tok = 5;
+        backend
+            .register(accepted.as_raw_fd(), tok, Interest::READABLE)
+            .unwrap();
+
+        // Nothing to read yet: WouldBlock, like the raw syscall.
+        let mut chunk = [0u8; 8];
+        let err = backend
+            .read(accepted.as_raw_fd(), tok, &mut chunk)
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+
+        use std::io::Write as _;
+        (&client).write_all(b"ping").unwrap();
+        backend
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == tok && e.readable));
+        let n = backend.read(accepted.as_raw_fd(), tok, &mut chunk).unwrap();
+        assert_eq!(&chunk[..n], b"ping");
+
+        let wrote = backend
+            .writev(accepted.as_raw_fd(), tok, &[b"po", b"ng"])
+            .unwrap();
+        assert_eq!(wrote, 4);
+        let mut got = [0u8; 4];
+        use std::io::Read as _;
+        (&client).read_exact(&mut got).unwrap();
+        assert_eq!(&got, b"pong");
+
+        let before = backend.counters();
+        // Keep-alive style churn coalesces to nothing.
+        backend.set_interest(tok, Interest::WRITABLE);
+        backend.set_interest(tok, Interest::READABLE);
+        backend
+            .wait(&mut events, Some(Duration::ZERO))
+            .unwrap();
+        let after = backend.counters();
+        assert_eq!(after.epoll_ctl_calls, before.epoll_ctl_calls);
+        assert_eq!(
+            after.interest_coalesced,
+            before.interest_coalesced + 1
+        );
+
+        backend.deregister(tok);
+        drop(accepted);
+    }
+
+    #[test]
+    fn epoll_backend_waker_round_trip() {
+        let mut backend = EpollBackend::new(1).unwrap();
+        let waker = backend.wake_handle();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            waker.wake();
+        });
+        let mut events = Vec::new();
+        backend
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 1 && e.readable));
+        backend.drain_waker();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn raise_nofile_limit_reports_current() {
+        let (before, after) = super::super::raise_nofile_limit(64).unwrap();
+        // The cap is far below any sane soft limit: nothing changes.
+        assert_eq!(before, after);
+        assert!(nofile_soft_limit().unwrap() >= 64);
+    }
+}

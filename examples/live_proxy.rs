@@ -51,6 +51,7 @@ fn main() -> std::io::Result<()> {
         cache_objects: None,
         reactors: None,
         max_conns: None,
+        backend: None,
     })?;
     println!("proxy   listening on {}\n", proxy.local_addr());
 

@@ -37,6 +37,20 @@ MUTCON_LIVE_REACTORS=4 cargo test -q -p mutcon-live --test admin
 # /admin/stats wire counters.
 MUTCON_LIVE_REACTORS=4 cargo test -q -p mutcon-live --test wire
 
+# Backend matrix: the wire suite and the deterministic concurrency
+# harness again under each reactor backend, four reactors. The epoll
+# leg exercises the coalesced-interest ledger; the io_uring leg runs
+# real rings where the kernel grants them and falls back (visibly,
+# inside the engine) to epoll where it does not — either way the
+# responses must be byte-identical, which the parity test inside the
+# wire suite asserts directly.
+for backend in epoll io_uring; do
+  MUTCON_LIVE_BACKEND=$backend MUTCON_LIVE_REACTORS=4 \
+    cargo test -q -p mutcon-live --test wire
+  MUTCON_LIVE_BACKEND=$backend MUTCON_LIVE_REACTORS=4 \
+    cargo test -q -p mutcon-live --test concurrency
+done
+
 # Perf snapshot: regenerate every figure plus the robustness grid with
 # the default worker count, then the live-proxy load run (recorded as
 # the live_bench section). On a multi-core machine --compare-serial
@@ -56,11 +70,18 @@ target/release/repro live-bench --reactors 4 > /dev/null
 # swaps) as the live_reload section of BENCH_repro.json.
 target/release/repro live-bench --conns 100 --rounds 6 --reload-every 2 > /dev/null
 
-# live-wire, part 2: the high-concurrency wire-path snapshot — 2000
-# keep-alive connections with the refresher polling concurrently,
-# p99 plus the syscall/copy counters spliced into BENCH_repro.json
-# as the live_wire section.
-target/release/repro live-wire --wire-conns 2000 > /dev/null
+# live-wire, part 2: the high-concurrency wire-path snapshot — 10000
+# keep-alive connections (the engine raises RLIMIT_NOFILE to fit;
+# a hard cap it cannot lift clamps the run, loudly, to what fits)
+# with the refresher polling concurrently, p99 plus the syscall/copy
+# and interest-coalescing counters spliced into BENCH_repro.json as
+# the live_wire section.
+target/release/repro live-wire --wire-conns 10000 > /dev/null
+
+# Backend matrix, part 2: the epoll-vs-io_uring head-to-head at wire
+# scale, spliced into BENCH_repro.json as the live_backend section
+# (epoll leg only when the kernel refuses rings).
+target/release/repro live-backend --wire-conns 2000 > /dev/null
 
 echo "--- BENCH_repro.json ---"
 cat BENCH_repro.json
