@@ -4,7 +4,7 @@
 //! repro [--threads N | --serial] [--repeats R] [--compare-serial]
 //!       [--conns C] [--rounds R] [--reactors N] [--reload-every N]
 //!       [--wire-conns C] [--bench-json PATH]
-//!       table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|ablation|bench|live-bench|live-wire|live-backend|all
+//!       table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|ablation|bench|live-bench|live-wire|live-backend|live-overload|all
 //! ```
 //!
 //! Output is plain text, one section per experiment, matching the layout
@@ -52,6 +52,14 @@
 //! raw io_uring (skipped, epoll leg still recorded, when the kernel
 //! refuses rings), spliced into the report as the `live_backend`
 //! section.
+//!
+//! `live-overload` is the admission-control wave bench
+//! ([`mutcon_bench::livebench::overload`]): flash-crowd waves of
+//! doubling size thrown at cold keys with the LIMD admission limiter
+//! pinned, spliced into the report as the `live_overload` section. The
+//! run *fails* unless p99 and the non-429 error rate plateau past
+//! saturation — an unstable overload controller is a regression, not a
+//! data point.
 
 use std::time::Instant;
 
@@ -328,6 +336,34 @@ fn main() {
                 }
             }
         }
+        "live-overload" => match mutcon_bench::livebench::overload(Default::default()) {
+            Ok(report) => {
+                print!("{}", mutcon_bench::livebench::render_overload(&report));
+                let fragment = mutcon_bench::livebench::json_overload_fragment(&report);
+                if let Err(e) = splice_section(&bench_json, "live_overload", &fragment) {
+                    eprintln!("[repro] cannot record live_overload in {bench_json}: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!(
+                    "[repro] recorded the {}-wave overload ramp in {bench_json}",
+                    report.stages.len()
+                );
+                if !report.saturated {
+                    // A ramp that never shed proved nothing about the
+                    // limiter; record it, but do not call it a pass.
+                    eprintln!("[repro] live-overload never crossed saturation");
+                    std::process::exit(1);
+                }
+                if !report.stable {
+                    eprintln!("[repro] live-overload ramp is UNSTABLE (p99 or error collapse)");
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("[repro] live-overload failed: {e}");
+                std::process::exit(1);
+            }
+        },
         "live-bench" if reactors_sweep.is_some() && live.reload_every.is_some() => {
             // A sweep point perturbed by mid-run reloads would record a
             // misleading scaling curve, and the reload section would be
@@ -402,7 +438,7 @@ fn main() {
 fn usage_error(message: &str) -> ! {
     eprintln!("repro: {message}");
     eprintln!(
-        "usage: repro [--threads N | --serial] [--repeats R] [--compare-serial] [--conns C] [--rounds R] [--reactors N] [--reload-every N] [--wire-conns C] [--bench-json PATH] <experiment|live-bench|live-wire|live-backend|all>"
+        "usage: repro [--threads N | --serial] [--repeats R] [--compare-serial] [--conns C] [--rounds R] [--reactors N] [--reload-every N] [--wire-conns C] [--bench-json PATH] <experiment|live-bench|live-wire|live-backend|live-overload|all>"
     );
     std::process::exit(2);
 }
@@ -507,6 +543,7 @@ fn bench_report(
     out.push_str("  \"live_bench_sweep\": null,\n");
     out.push_str("  \"live_reload\": null,\n");
     out.push_str("  \"live_backend\": null,\n");
+    out.push_str("  \"live_overload\": null,\n");
     out.push_str("  \"sections\": [\n");
     for (i, t) in sections.iter().enumerate() {
         let serial = match t.serial_wall {

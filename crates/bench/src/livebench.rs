@@ -28,6 +28,12 @@
 //! backend (coalesced-interest epoll, then raw io_uring when the
 //! kernel grants rings) for the `live_backend` section — the two legs
 //! share conns/rounds/reactors so their numbers compare directly.
+//!
+//! [`overload`] is the admission-control wave bench: stage after stage
+//! of doubling flash crowds thrown at cold keys with the LIMD admission
+//! limiter pinned, recorded as the `live_overload` section — the proof
+//! that p99 and the non-429 error rate *plateau* once offered load
+//! ramps past saturation, instead of collapsing with queue depth.
 
 use std::io::{self, Write};
 use std::net::TcpStream;
@@ -681,6 +687,255 @@ pub fn json_fragment(report: &LiveBenchReport) -> String {
     )
 }
 
+/// Load shape for the [`overload`] wave bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverloadBenchConfig {
+    /// Clients in the first wave; every later stage doubles it, so the
+    /// ramp sweeps from around the admission limit to far past it.
+    pub base_conns: usize,
+    /// Wave stages (≥ 2 enforced — a plateau needs two points).
+    pub stages: usize,
+    /// Pinned per-partition admission limit (`aimd:min=L,max=L`): the
+    /// saturation point the ramp crosses.
+    pub limit: usize,
+    /// Reactor threads for the proxy under test.
+    pub reactors: Option<usize>,
+}
+
+impl Default for OverloadBenchConfig {
+    fn default() -> Self {
+        // 8, 16, 32, 64, 128 simultaneous clients against a limit of 8:
+        // the first wave sits at the limit, the last is 16× past it.
+        OverloadBenchConfig {
+            base_conns: 8,
+            stages: 5,
+            limit: 8,
+            reactors: Some(1),
+        }
+    }
+}
+
+/// One wave of the ramp.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverloadStage {
+    /// Simultaneous clients this wave.
+    pub conns: usize,
+    /// `200 OK` responses (admitted, or served from cache once the
+    /// coalesced fetch lands).
+    pub ok: u64,
+    /// `429 Too Many Requests` responses — load shed by admission.
+    pub shed: u64,
+    /// Anything else: the collapse signal. Must stay zero.
+    pub errors: u64,
+    /// Median response latency across ALL responses, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile response latency across ALL responses.
+    pub p99_ms: f64,
+}
+
+/// Measured outcome of an [`overload`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverloadReport {
+    /// Reactor threads the proxy actually ran.
+    pub reactors: usize,
+    /// The pinned admission limit.
+    pub limit: usize,
+    /// The ramp, in wave order.
+    pub stages: Vec<OverloadStage>,
+    /// Proxy-wide shed counter after the run (429s issued).
+    pub total_shed: u64,
+    /// Sheds that took the bounded-delay path (0 with `shed_delay=0`).
+    pub total_shed_delayed: u64,
+    /// Did the ramp actually cross saturation (any wave shed > 0)?
+    pub saturated: bool,
+    /// The stability verdict: zero non-429 errors AND the final wave's
+    /// p99 within [`PLATEAU_FACTOR`]× of the first saturated wave's.
+    pub stable: bool,
+}
+
+/// How much the final wave's p99 may exceed the first saturated wave's
+/// before the run counts as a collapse rather than a plateau. Generous
+/// on purpose: a genuine collapse scales p99 with offered load (16×
+/// here plus queueing), while a plateau holds it near one fetch RTT.
+pub const PLATEAU_FACTOR: f64 = 25.0;
+
+/// Noise floor for the plateau comparison: sub-5 ms p99s are loopback
+/// jitter, not signal.
+const PLATEAU_FLOOR_MS: f64 = 5.0;
+
+/// Runs the overload ramp: per stage, `base_conns · 2^stage` clients
+/// simultaneously hit one cold key (`/rampN`, a fresh path-partition per
+/// stage so each wave faces the limiter at its configured initial), with
+/// the admission limiter pinned at `limit` and the pool limiter live.
+/// The admitted requests coalesce onto one origin fetch; the excess is
+/// shed with `429`. Stage latencies cover every response — shed ones
+/// included, because fast rejection IS the mechanism under test.
+///
+/// # Errors
+///
+/// Propagates socket failures and admin-plane rejections.
+pub fn overload(config: OverloadBenchConfig) -> io::Result<OverloadReport> {
+    let base = config.base_conns.max(1);
+    let stages = config.stages.max(2);
+    let limit = config.limit.max(1);
+
+    let mut builder = LiveOrigin::builder();
+    let paths: Vec<String> = (0..stages).map(|s| format!("/ramp{s}")).collect();
+    for path in &paths {
+        builder = builder.object(path.clone(), bench_trace());
+    }
+    let origin = builder.start()?;
+
+    // Stages overlap briefly (old sockets linger until the reactor reaps
+    // the close), so bound by the whole ramp plus headroom.
+    let total: usize = (0..stages).map(|s| base << s).sum();
+    let proxy = LiveProxy::start(ProxyConfig {
+        origin_addr: origin.local_addr(),
+        rules: Vec::new(),
+        group: None,
+        cache_objects: None,
+        reactors: config.reactors,
+        max_conns: Some(mutcon_live::server::max_conns().max(total + 64)),
+        backend: None,
+    })?;
+    let addr = proxy.local_addr();
+
+    // Admission pinned at the saturation point, pool limiter live so
+    // fetch samples flow through the shared LIMD machinery too.
+    let body = format!(
+        "admission=aimd:min={limit},max={limit}\npool=aimd\nadmission_initial={limit}\n"
+    );
+    let overload_config = mutcon_live::overload::parse_overload_body(&body)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+    proxy
+        .overload()
+        .install(overload_config)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+
+    let mut report_stages = Vec::with_capacity(stages);
+    for (stage, path) in paths.iter().enumerate() {
+        let conns = base << stage;
+        let wire = Request::get(path).build().to_bytes();
+        let mut socks = Vec::with_capacity(conns);
+        for _ in 0..conns {
+            let sock = TcpStream::connect(addr)?;
+            sock.set_read_timeout(Some(StdDuration::from_secs(30)))?;
+            sock.set_nodelay(true)?;
+            socks.push(sock);
+        }
+        // The flash crowd: every request is on the wire before any
+        // response is read.
+        let mut sent_at = Vec::with_capacity(conns);
+        for sock in &mut socks {
+            sent_at.push(Instant::now());
+            sock.write_all(&wire)?;
+        }
+        let (mut ok, mut shed, mut errors) = (0u64, 0u64, 0u64);
+        let mut latencies_ms = Vec::with_capacity(conns);
+        for (sock, sent) in socks.iter_mut().zip(&sent_at) {
+            let mut buf = BytesMut::new();
+            let resp = read_response(sock, &mut buf)?;
+            latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
+            match resp.status() {
+                StatusCode::OK => ok += 1,
+                StatusCode::TOO_MANY_REQUESTS => shed += 1,
+                _ => errors += 1,
+            }
+        }
+        latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        report_stages.push(OverloadStage {
+            conns,
+            ok,
+            shed,
+            errors,
+            p50_ms: percentile(&latencies_ms, 0.50),
+            p99_ms: percentile(&latencies_ms, 0.99),
+        });
+    }
+
+    let snapshot = proxy.overload().snapshot(proxy.reactor_count());
+    let saturated = report_stages.iter().any(|s| s.shed > 0);
+    let errors: u64 = report_stages.iter().map(|s| s.errors).sum();
+    let plateau = match report_stages.iter().find(|s| s.shed > 0) {
+        Some(first_saturated) => {
+            let reference = first_saturated.p99_ms.max(PLATEAU_FLOOR_MS);
+            report_stages.last().is_some_and(|last| {
+                last.p99_ms <= PLATEAU_FACTOR * reference
+            })
+        }
+        // Never saturated: nothing to plateau over.
+        None => true,
+    };
+    Ok(OverloadReport {
+        reactors: proxy.reactor_count(),
+        limit,
+        stages: report_stages,
+        total_shed: snapshot.shed,
+        total_shed_delayed: snapshot.shed_delayed,
+        saturated,
+        stable: errors == 0 && plateau,
+    })
+}
+
+/// Renders the overload ramp as aligned text.
+pub fn render_overload(report: &OverloadReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!(
+        "Overload ramp — {} reactor(s), admission limit {}, {} waves\n\
+         {:>8} {:>6} {:>6} {:>7} {:>10} {:>10}\n",
+        report.reactors,
+        report.limit,
+        report.stages.len(),
+        "conns",
+        "ok",
+        "shed",
+        "errors",
+        "p50 (ms)",
+        "p99 (ms)",
+    );
+    for s in &report.stages {
+        let _ = writeln!(
+            out,
+            "{:>8} {:>6} {:>6} {:>7} {:>10.3} {:>10.3}",
+            s.conns, s.ok, s.shed, s.errors, s.p50_ms, s.p99_ms
+        );
+    }
+    let _ = writeln!(
+        out,
+        "shed {} (delayed {}), saturated: {}, stable: {}",
+        report.total_shed, report.total_shed_delayed, report.saturated, report.stable
+    );
+    out
+}
+
+/// The overload report as a JSON object fragment for
+/// `BENCH_repro.json`'s `live_overload` section.
+pub fn json_overload_fragment(report: &OverloadReport) -> String {
+    let stages: Vec<String> = report
+        .stages
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"conns\": {}, \"ok\": {}, \"shed\": {}, \"errors\": {}, \
+                 \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}",
+                s.conns, s.ok, s.shed, s.errors, s.p50_ms, s.p99_ms
+            )
+        })
+        .collect();
+    format!(
+        "{{\"reactors\": {}, \"limit\": {}, \"total_shed\": {}, \
+         \"total_shed_delayed\": {}, \"saturated\": {}, \"stable\": {}, \
+         \"stages\": [{}]}}",
+        report.reactors,
+        report.limit,
+        report.total_shed,
+        report.total_shed_delayed,
+        report.saturated,
+        report.stable,
+        stages.join(", "),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -783,6 +1038,38 @@ mod tests {
         let json = json_sweep_fragment(&reports);
         assert!(json.starts_with('[') && json.ends_with(']'));
         assert!(json.contains("\"reactors\": 4"));
+    }
+
+    #[test]
+    fn overload_ramp_sheds_and_stays_stable() {
+        let report = overload(OverloadBenchConfig {
+            base_conns: 8,
+            stages: 3,
+            limit: 4,
+            reactors: Some(1),
+        })
+        .expect("overload run");
+        assert_eq!(report.reactors, 1);
+        assert_eq!(report.limit, 4);
+        let conns: Vec<usize> = report.stages.iter().map(|s| s.conns).collect();
+        assert_eq!(conns, vec![8, 16, 32]);
+        for s in &report.stages {
+            assert_eq!(s.ok + s.shed, s.conns as u64, "every client got an answer");
+            assert_eq!(s.errors, 0);
+        }
+        assert!(report.saturated, "32 clients vs limit 4 must shed: {report:?}");
+        assert!(report.stable, "the controlled ramp must not collapse: {report:?}");
+        assert_eq!(
+            report.total_shed,
+            report.stages.iter().map(|s| s.shed).sum::<u64>()
+        );
+        let text = render_overload(&report);
+        assert!(text.contains("admission limit 4"));
+        assert!(text.contains("stable: true"));
+        let json = json_overload_fragment(&report);
+        assert!(json.contains("\"limit\": 4"));
+        assert!(json.contains("\"saturated\": true"));
+        assert!(json.contains("\"stable\": true"));
     }
 
     #[test]

@@ -30,6 +30,8 @@
 //! * [`mutual::value`] — Mv coordination: the virtual-object and
 //!   partitioned-tolerance approaches (§4.2).
 //! * [`fidelity`] — the two fidelity metrics of the evaluation (§6.1.3).
+//! * [`limit`] — the LIMD/AIMD shape applied to concurrency limits
+//!   (adaptive overload control for the live proxy).
 //!
 //! ## Quick start
 //!
@@ -73,6 +75,7 @@ pub mod fidelity;
 pub mod functions;
 pub mod group;
 pub mod limd;
+pub mod limit;
 pub mod mutual;
 pub mod object;
 pub mod rate;

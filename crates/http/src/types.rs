@@ -91,8 +91,12 @@ impl StatusCode {
     pub const NOT_FOUND: StatusCode = StatusCode(404);
     /// `405 Method Not Allowed`.
     pub const METHOD_NOT_ALLOWED: StatusCode = StatusCode(405);
+    /// `429 Too Many Requests` — overload admission shedding.
+    pub const TOO_MANY_REQUESTS: StatusCode = StatusCode(429);
     /// `500 Internal Server Error`.
     pub const INTERNAL_SERVER_ERROR: StatusCode = StatusCode(500);
+    /// `503 Service Unavailable` — parked past the accept deadline.
+    pub const SERVICE_UNAVAILABLE: StatusCode = StatusCode(503);
 
     /// Creates a status code, rejecting values outside `100..=599`.
     pub fn new(code: u16) -> Option<StatusCode> {
@@ -117,7 +121,9 @@ impl StatusCode {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            429 => "Too Many Requests",
             500 => "Internal Server Error",
+            503 => "Service Unavailable",
             _ => "Unknown",
         }
     }

@@ -44,6 +44,9 @@
 //! * [`client`] — blocking HTTP clients: one-shot ([`client::HttpClient`])
 //!   and keep-alive ([`client::PersistentClient`], used by the proxy's
 //!   background refresher).
+//! * [`overload`] — adaptive overload control: per-partition admission
+//!   shedding (`429` + `Retry-After`), the adaptive origin fan-out cap,
+//!   and the versioned, hot-swappable [`overload::OverloadConfig`].
 //! * [`origin`] — the trace-replaying origin server, with fault
 //!   injection for resilience tests.
 //! * [`proxy`] — the caching proxy daemon with a background refresher
@@ -88,6 +91,7 @@
 pub mod cache;
 pub mod client;
 pub mod origin;
+pub mod overload;
 pub mod proxy;
 pub mod runtime;
 pub mod server;

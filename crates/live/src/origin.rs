@@ -174,9 +174,11 @@ impl std::fmt::Debug for LiveOrigin {
 }
 
 fn unix_now_ms() -> u64 {
+    // Saturating: a clock jumped before the epoch (bad RTC, aggressive
+    // NTP step) reads as 0 instead of panicking the reactor thread.
     SystemTime::now()
         .duration_since(UNIX_EPOCH)
-        .expect("system clock before the Unix epoch")
+        .unwrap_or_default()
         .as_millis() as u64
 }
 

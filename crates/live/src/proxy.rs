@@ -67,6 +67,7 @@ use mutcon_traces::json::Json;
 
 use crate::cache::{CacheEntry, ShardedCache};
 use crate::client::{last_modified_ms, object_value, PersistentClient};
+use crate::overload::{parse_overload_body, render_overload, OverloadControl};
 use crate::runtime::{ConsistencyRuntime, PollKind};
 use crate::server::{
     EngineMetrics, EventLoop, PreparedResponse, Reply, Service, ServiceResult,
@@ -222,16 +223,19 @@ impl LiveProxy {
         let shutdown = Arc::new(AtomicBool::new(false));
 
         let metrics = Arc::new(EngineMetrics::new());
-        let server = EventLoop::with_backend(
+        let overload = Arc::new(OverloadControl::default());
+        let server = EventLoop::with_overload(
             "mutcon-live-proxy-reactor",
             Arc::new(ProxyService {
                 shared: Arc::clone(&shared),
                 metrics: Arc::clone(&metrics),
+                overload: Arc::clone(&overload),
             }),
             config.max_conns.unwrap_or_else(crate::server::max_conns),
             config.reactors.unwrap_or_else(crate::server::num_reactors),
             metrics,
             config.backend,
+            overload,
         )?;
 
         let refresher = {
@@ -317,6 +321,13 @@ impl LiveProxy {
     pub fn engine_metrics(&self) -> &Arc<EngineMetrics> {
         self.server.metrics()
     }
+
+    /// The hot-swappable overload control (admission shedding + adaptive
+    /// origin fan-out). `GET`/`PUT /admin/overload` is a thin layer over
+    /// this, like the rules admin over [`LiveProxy::runtime`].
+    pub fn overload(&self) -> &Arc<OverloadControl> {
+        self.server.overload()
+    }
 }
 
 impl Drop for LiveProxy {
@@ -342,6 +353,7 @@ impl std::fmt::Debug for LiveProxy {
 struct ProxyService {
     shared: Arc<Shared>,
     metrics: Arc<EngineMetrics>,
+    overload: Arc<OverloadControl>,
 }
 
 impl Service for ProxyService {
@@ -453,10 +465,39 @@ impl ProxyService {
             (Method::Get, "/admin/rules") => self.rules_json(),
             (Method::Put, "/admin/rules") => self.apply_rules(request.body()),
             (Method::Get, "/admin/stats") => self.stats_json(),
-            (_, "/admin/rules" | "/admin/stats") => {
+            (Method::Get, "/admin/overload") => self.overload_text(),
+            (Method::Put, "/admin/overload") => self.apply_overload(request.body()),
+            (_, "/admin/rules" | "/admin/stats" | "/admin/overload") => {
                 Response::builder(StatusCode::METHOD_NOT_ALLOWED).build()
             }
             _ => error_response(StatusCode::NOT_FOUND, "unknown admin endpoint"),
+        }
+    }
+
+    /// `GET /admin/overload`: the installed config in the same
+    /// `key=value` text form `PUT` accepts, so a round trip is
+    /// copy-paste.
+    fn overload_text(&self) -> Response {
+        Response::ok()
+            .header(HeaderName::CONTENT_TYPE, "text/plain")
+            .body(render_overload(&self.overload.config()).into_bytes())
+            .build()
+    }
+
+    /// `PUT /admin/overload`: parse → validate → versioned install; the
+    /// reactors adopt the new limiters on their next loop turn, carrying
+    /// learned limits over. Bad bodies change nothing.
+    fn apply_overload(&self, body: &[u8]) -> Response {
+        let Ok(text) = std::str::from_utf8(body) else {
+            return error_response(StatusCode::BAD_REQUEST, "body is not UTF-8");
+        };
+        match parse_overload_body(text).map(|config| self.overload.install(config)) {
+            Ok(Ok(version)) => {
+                json_response(StatusCode::OK, &obj([("version", Json::Number(version as f64))]))
+            }
+            Ok(Err(reason)) | Err(reason) => {
+                error_response(StatusCode::BAD_REQUEST, &reason.to_string())
+            }
         }
     }
 
@@ -651,6 +692,7 @@ impl ProxyService {
                     ),
                 ]),
             ),
+            ("overload", self.overload_json()),
             (
                 "proxy",
                 obj([
@@ -665,6 +707,87 @@ impl ProxyService {
             ),
         ]);
         json_response(StatusCode::OK, &doc)
+    }
+
+    /// The `overload` section of `GET /admin/stats`: installed config,
+    /// aggregate shed counters, and each reactor's live pool limit,
+    /// recent fetch samples and admission partitions.
+    fn overload_json(&self) -> Json {
+        let snap = self.overload.snapshot(self.metrics.reactor_count());
+        let spec = |c: &Option<mutcon_core::limit::LimiterConfig>| {
+            c.as_ref().map_or(Json::Null, |c| Json::String(c.to_spec()))
+        };
+        let reactors: Vec<Json> = snap
+            .reactors
+            .iter()
+            .map(|r| {
+                let pool = r.pool.as_ref().map_or(Json::Null, |p| {
+                    obj([
+                        ("limit", Json::Number(p.limit as f64)),
+                        (
+                            "algorithm",
+                            p.algorithm.clone().map_or(Json::Null, Json::String),
+                        ),
+                        ("samples_ok", Json::Number(p.samples_ok as f64)),
+                        ("samples_overload", Json::Number(p.samples_overload as f64)),
+                        (
+                            "recent",
+                            Json::Array(
+                                p.recent
+                                    .iter()
+                                    .map(|s| {
+                                        obj([
+                                            ("latency_ms", Json::Number(s.latency_ms as f64)),
+                                            ("ok", Json::Bool(s.ok)),
+                                            ("limit_after", Json::Number(s.limit_after as f64)),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                });
+                let partitions = Json::Array(
+                    r.partitions
+                        .iter()
+                        .map(|p| {
+                            obj([
+                                ("partition", Json::String(p.partition.clone())),
+                                ("limit", Json::Number(p.limit as f64)),
+                                ("in_flight", Json::Number(p.in_flight as f64)),
+                                ("shed", Json::Number(p.shed as f64)),
+                            ])
+                        })
+                        .collect(),
+                );
+                obj([("pool", pool), ("partitions", partitions)])
+            })
+            .collect();
+        obj([
+            ("version", Json::Number(snap.version as f64)),
+            ("admission", spec(&snap.config.admission)),
+            ("pool", spec(&snap.config.pool)),
+            (
+                "retry_after_secs",
+                Json::Number(f64::from(snap.config.retry_after_secs)),
+            ),
+            (
+                "shed_delay_ms",
+                Json::Number(snap.config.shed_delay.as_millis() as f64),
+            ),
+            (
+                "park_deadline_ms",
+                Json::Number(snap.config.park_deadline.as_millis() as f64),
+            ),
+            (
+                "admission_initial",
+                Json::Number(snap.config.admission_initial as f64),
+            ),
+            ("shed", Json::Number(snap.shed as f64)),
+            ("shed_delayed", Json::Number(snap.shed_delayed as f64)),
+            ("parked_shed", Json::Number(snap.parked_shed as f64)),
+            ("reactors", Json::Array(reactors)),
+        ])
     }
 }
 

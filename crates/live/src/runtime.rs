@@ -53,10 +53,12 @@ const SLICE: StdDuration = StdDuration::from_millis(20);
 /// Current wall-clock time on the millisecond Unix timeline the
 /// consistency algorithms run on.
 pub(crate) fn unix_now() -> Timestamp {
+    // Saturating: a clock jumped before the epoch (bad RTC, aggressive
+    // NTP step) reads as 0 instead of panicking the refresher thread.
     Timestamp::from_millis(
         SystemTime::now()
             .duration_since(UNIX_EPOCH)
-            .expect("system clock before the Unix epoch")
+            .unwrap_or_default()
             .as_millis() as u64,
     )
 }

@@ -57,7 +57,9 @@
 //! it stops accepting, finishes flushing in-flight responses (bounded
 //! by a short grace period), then closes everything and joins.
 
+use std::collections::HashMap;
 use std::io;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -66,14 +68,20 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use bytes::{Bytes, BytesMut};
+use mutcon_core::limit::{Limiter, Outcome as LimitOutcome, Sample as LimitSample};
+use mutcon_core::time::Duration as CoreDuration;
 use mutcon_http::message::{Request, Response};
 use mutcon_http::parse::{RequestParser, ResponseParser};
+use mutcon_http::types::StatusCode;
 use mutcon_sim::reactor::backend::{self, Backend, BackendCounters, BackendKind};
 use mutcon_sim::reactor::{
     connect_nonblocking, listen_reuseport, raise_nofile_limit, Event, Interest, Waker,
 };
 
-use crate::upstream::{AfterLeave, Job, JobId, PoolCore, Submit};
+use crate::overload::{
+    partition_of, OverloadConfig, OverloadControl, PartitionSnap, ReactorOverloadSnap,
+};
+use crate::upstream::{AfterLeave, Job, JobId, PoolCore, Submit, MAX_CONNS_PER_ORIGIN};
 use crate::vectored::{
     BufPool, FlushOutcome, FlushStats, WritePlan, WriteSink, INLINE_BODY, MAX_RETAINED_CAP,
 };
@@ -115,9 +123,26 @@ const DRAIN_GRACE: Duration = Duration::from_millis(250);
 /// for 10k-connection wire runs without demanding the hard limit.
 const NOFILE_CAP: u64 = 65536;
 
+/// Most parked backlog connections drained with a `503` per deadline
+/// pass (bounds the time the reactor spends off its event loop).
+const PARK_SHED_BATCH: usize = 64;
+
 const TOKEN_LISTENER: usize = 0;
 const TOKEN_WAKER: usize = 1;
 const TOKEN_BASE: usize = 2;
+
+/// Splits `max_conns` connection slots exactly across `reactors` shards:
+/// the first `max_conns % reactors` shards take one extra slot, so the
+/// shares always sum to `max_conns` and never differ by more than one.
+/// Callers must pass `1 <= reactors <= max_conns` (the constructor
+/// clamps); the audit tests below pin the exactness over non-divisible
+/// combinations.
+fn split_conns(max_conns: usize, reactors: usize) -> Vec<usize> {
+    debug_assert!(reactors >= 1 && reactors <= max_conns);
+    (0..reactors)
+        .map(|i| max_conns / reactors + usize::from(i < max_conns % reactors))
+        .collect()
+}
 
 /// Parses a `MUTCON_LIVE_CONNS`-style override.
 fn conns_from(raw: Option<&str>) -> usize {
@@ -484,6 +509,7 @@ pub struct EventLoop {
     shutdown: Arc<AtomicBool>,
     reactors: Vec<ReactorHandle>,
     metrics: Arc<EngineMetrics>,
+    overload: Arc<OverloadControl>,
 }
 
 impl EventLoop {
@@ -563,6 +589,40 @@ impl EventLoop {
         metrics: Arc<EngineMetrics>,
         backend_kind: Option<BackendKind>,
     ) -> io::Result<EventLoop> {
+        EventLoop::with_overload(
+            name,
+            service,
+            max_conns,
+            reactors,
+            metrics,
+            backend_kind,
+            Arc::new(OverloadControl::default()),
+        )
+    }
+
+    /// [`EventLoop::with_backend`] with a caller-supplied overload
+    /// control handle (see [`crate::overload`]): the live proxy shares
+    /// it with its admin plane, which hot-swaps the admission and
+    /// origin-pool limiters and reads back live limits, samples and
+    /// shed counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and backend setup failures, and rejects a
+    /// handle whose initial configuration fails validation.
+    pub fn with_overload(
+        name: &str,
+        service: Arc<dyn Service>,
+        max_conns: usize,
+        reactors: usize,
+        metrics: Arc<EngineMetrics>,
+        backend_kind: Option<BackendKind>,
+        overload: Arc<OverloadControl>,
+    ) -> io::Result<EventLoop> {
+        overload
+            .config()
+            .validate()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
         let kind = backend_kind.unwrap_or_else(BackendKind::from_env);
         // Raise the fd ceiling once per process so 10k-connection runs
         // don't trip the default 1024 soft limit.
@@ -593,10 +653,11 @@ impl EventLoop {
         let shutdown = Arc::new(AtomicBool::new(false));
         metrics.reactors.store(reactors, Ordering::Relaxed);
         let mut handles = Vec::with_capacity(reactors);
+        // Split the bound exactly: the first (max_conns % reactors)
+        // shards take one extra slot, total = max_conns.
+        let shares = split_conns(max_conns, reactors);
         for (i, listener) in listeners.into_iter().enumerate() {
-            // Split the bound exactly: the first (max_conns % reactors)
-            // shards take one extra slot, total = max_conns.
-            let per_reactor = max_conns / reactors + usize::from(i < max_conns % reactors);
+            let per_reactor = shares[i];
             let mut engine_backend = backend::create(kind, TOKEN_WAKER)?;
             engine_backend.register_acceptor(listener.as_raw_fd(), TOKEN_LISTENER)?;
             let waker = engine_backend.wake_handle();
@@ -620,6 +681,12 @@ impl EventLoop {
                 metrics: Arc::clone(&metrics),
                 reactor_index: i,
                 last_counters: BackendCounters::default(),
+                overload: Arc::clone(&overload),
+                overload_version: overload.version(),
+                overload_config: overload.config(),
+                admission: HashMap::new(),
+                overload_dirty: true,
+                paused_since: None,
             };
             let thread = std::thread::Builder::new()
                 .name(format!("{name}-r{i}"))
@@ -634,6 +701,7 @@ impl EventLoop {
             shutdown,
             reactors: handles,
             metrics,
+            overload,
         })
     }
 
@@ -651,6 +719,12 @@ impl EventLoop {
     /// [`EngineMetrics`] was passed to [`EventLoop::with_metrics`]).
     pub fn metrics(&self) -> &Arc<EngineMetrics> {
         &self.metrics
+    }
+
+    /// The shared overload-control handle (config installs, shed
+    /// counters, per-reactor limit snapshots).
+    pub fn overload(&self) -> &Arc<OverloadControl> {
+        &self.overload
     }
 }
 
@@ -700,6 +774,12 @@ struct ClientState {
     /// The peer asked for `Connection: close`; serve the current
     /// request, flush, then close (later pipelined bytes are ignored).
     close_after_write: bool,
+    /// The admission ticket for the request in flight: the path
+    /// partition it was charged against and when it was admitted, so
+    /// completion can release the slot and feed the limiter a latency
+    /// sample. `None` when admission control is off or no request is
+    /// in flight.
+    admitted: Option<(Arc<str>, Instant)>,
 }
 
 /// A connection to an upstream origin, owned by the reactor's pool.
@@ -716,6 +796,9 @@ struct UpstreamState {
     /// Responses served on this connection; `> 0` marks it as reused
     /// (eligible for the stale-socket retry).
     served: u32,
+    /// When the current fetch was handed to this connection; the
+    /// elapsed time at completion feeds the pool's adaptive limiter.
+    fetch_started: Option<Instant>,
 }
 
 enum Kind {
@@ -781,6 +864,33 @@ struct Reactor {
     /// Backend counter snapshot from the previous turn; the delta is
     /// folded into the shared metrics once per event-loop turn.
     last_counters: BackendCounters,
+    /// The shared overload-control handle (hot config installs, shed
+    /// counters, published snapshots).
+    overload: Arc<OverloadControl>,
+    /// Config version this reactor has applied; compared against the
+    /// handle's version each turn (one relaxed-ish atomic load).
+    overload_version: u64,
+    /// The reactor's private copy of the overload config.
+    overload_config: OverloadConfig,
+    /// Per path-partition admission state, created lazily as
+    /// partitions are first seen. Empty while admission is off.
+    admission: HashMap<Arc<str>, PartitionState>,
+    /// Something observable changed (limits, samples, shed counts);
+    /// publish a fresh snapshot at the end of the turn.
+    overload_dirty: bool,
+    /// When `pause_accepting` parked the listener; after
+    /// `park_deadline` the backlog is drained with `503`s instead of
+    /// making parked clients wait forever.
+    paused_since: Option<Instant>,
+}
+
+/// Admission state for one path partition.
+struct PartitionState {
+    limiter: Limiter,
+    /// Requests admitted and not yet completed.
+    in_flight: usize,
+    /// Requests shed (`429`) from this partition.
+    shed: u64,
 }
 
 /// Clones an `io::Error` well enough for fan-out to several waiters.
@@ -817,6 +927,9 @@ impl Reactor {
             }
             self.dispatch(&events);
             self.fire_timers();
+            self.sync_overload();
+            self.check_park_deadline();
+            self.publish_overload();
             self.flush_backend_counters();
             if self.last_sweep.elapsed() >= Duration::from_secs(1) {
                 self.sweep_idle();
@@ -914,6 +1027,7 @@ impl Reactor {
         if self.accepting {
             self.accepting = false;
             self.backend.set_interest(TOKEN_LISTENER, Interest::NONE);
+            self.paused_since = Some(Instant::now());
         }
     }
 
@@ -921,6 +1035,7 @@ impl Reactor {
         if !self.accepting && self.clients < self.max_conns {
             self.accepting = true;
             self.backend.set_interest(TOKEN_LISTENER, Interest::READABLE);
+            self.paused_since = None;
         }
     }
 
@@ -964,6 +1079,7 @@ impl Reactor {
                             pending: Pending::None,
                             peer_closed: false,
                             close_after_write: false,
+                            admitted: None,
                         }),
                     });
                     self.clients += 1;
@@ -1116,6 +1232,14 @@ impl Reactor {
             if !request.wants_keep_alive() {
                 client.close_after_write = true;
             }
+            if !self.admit_or_shed(idx, &request) {
+                // Shed: a 429 is queued (or pending as a paced delayed
+                // response). Flush and keep draining pipelined input.
+                if !self.flush_client(idx) {
+                    return false;
+                }
+                continue;
+            }
             match self.service.respond(&request) {
                 ServiceResult::Respond(response) => {
                     self.queue_response(idx, response);
@@ -1180,6 +1304,7 @@ impl Reactor {
     /// copy; live responses go through [`Reactor::queue_response`] /
     /// [`Reactor::queue_prepared`].
     fn response_bytes(&mut self, idx: usize, mut response: Response) -> Vec<u8> {
+        self.finish_admission(idx, response.status().as_u16());
         let closing = matches!(
             self.conns.get(idx).and_then(Option::as_ref),
             Some(Conn {
@@ -1280,6 +1405,7 @@ impl Reactor {
     /// contiguous `write`, counted as a body copy), larger ones ride as
     /// a shared slice gathered by `writev` — zero copies.
     fn queue_response(&mut self, idx: usize, mut response: Response) {
+        self.finish_admission(idx, response.status().as_u16());
         let Some(conn) = self.conns[idx].as_mut() else { return };
         let Kind::Client(client) = &mut conn.kind else { return };
         if client.close_after_write {
@@ -1306,6 +1432,7 @@ impl Reactor {
     /// the shared body is attached untouched. This path never copies
     /// body bytes, whatever their size — the zero-copy cache hit.
     fn queue_prepared(&mut self, idx: usize, prepared: PreparedResponse) {
+        self.finish_admission(idx, StatusCode::OK.as_u16());
         let Some(conn) = self.conns[idx].as_mut() else { return };
         let Kind::Client(client) = &mut conn.kind else { return };
         client.pending = Pending::None;
@@ -1367,6 +1494,7 @@ impl Reactor {
                         up.written = 0;
                         up.read_buf.clear();
                         up.parser = ResponseParser::new();
+                        up.fetch_started = Some(Instant::now());
                     }
                     conn.last_activity = Instant::now();
                 }
@@ -1394,6 +1522,8 @@ impl Reactor {
                                 io::ErrorKind::Other,
                                 "cannot register upstream socket",
                             );
+                            self.pool.record_fetch(addr, Duration::ZERO, false);
+                            self.overload_dirty = true;
                             if let Some(j) = self.pool.complete(job) {
                                 self.deliver(j, Err(err));
                             }
@@ -1410,6 +1540,7 @@ impl Reactor {
                                 parser: ResponseParser::new(),
                                 connected: false,
                                 served: 0,
+                                fetch_started: Some(Instant::now()),
                             }),
                         });
                         self.pool.pop_queued(addr);
@@ -1420,6 +1551,10 @@ impl Reactor {
                     }
                     Err(e) => {
                         self.pool.pop_queued(addr);
+                        // A synchronous connect failure is the strongest
+                        // overload signal there is: collapse the cap.
+                        self.pool.record_fetch(addr, Duration::ZERO, false);
+                        self.overload_dirty = true;
                         if let Some(j) = self.pool.complete(job) {
                             self.deliver(j, Err(e));
                         }
@@ -1524,6 +1659,7 @@ impl Reactor {
                 let addr = up.addr;
                 let job = up.job.take().expect("checked above");
                 up.served += 1;
+                let fetch_started = up.fetch_started.take();
                 if reusable {
                     // Park for the next fetch to this origin.
                     up.read_buf.clear();
@@ -1543,6 +1679,11 @@ impl Reactor {
                     self.freed_this_batch.push(idx);
                     self.pool.note_closed(addr);
                 }
+                // Feed the fetch's latency to the adaptive cap before
+                // re-pumping, so the pump sees the updated limit.
+                let elapsed = fetch_started.map(|t| t.elapsed()).unwrap_or_default();
+                self.pool.record_fetch(addr, elapsed, true);
+                self.overload_dirty = true;
                 if let Some(j) = self.pool.complete(job) {
                     self.deliver(j, Ok(response));
                 }
@@ -1586,13 +1727,21 @@ impl Reactor {
             Some(job) => {
                 let got_bytes = !up.read_buf.is_empty() || up.parser.in_progress();
                 let served = up.served;
+                let fetch_started = up.fetch_started.take();
                 self.recycle_upstream_buf(up);
                 drop(conn); // closes the socket before any retry connects
                 if allow_retry && self.pool.retry_eligible(job, served, got_bytes) {
+                    // A stale parked socket isn't overload; the retry's
+                    // own completion will produce the sample.
                     self.metrics.pool_retries.fetch_add(1, Ordering::Relaxed);
                     self.pool.requeue_for_retry(job);
-                } else if let Some(j) = self.pool.complete(job) {
-                    self.deliver(j, Err(err));
+                } else {
+                    let elapsed = fetch_started.map(|t| t.elapsed()).unwrap_or_default();
+                    self.pool.record_fetch(addr, elapsed, false);
+                    self.overload_dirty = true;
+                    if let Some(j) = self.pool.complete(job) {
+                        self.deliver(j, Err(err));
+                    }
                 }
             }
         }
@@ -1733,6 +1882,14 @@ impl Reactor {
         if let Kind::Client(client) = &mut conn.kind {
             self.clients -= 1;
             self.metrics.conns[self.reactor_index].store(self.clients, Ordering::Relaxed);
+            if let Some((key, _)) = client.admitted.take() {
+                // Abandoned mid-request: release the slot without
+                // feeding the limiter (no completion to measure).
+                if let Some(part) = self.admission.get_mut(&key) {
+                    part.in_flight = part.in_flight.saturating_sub(1);
+                    self.overload_dirty = true;
+                }
+            }
             match client.pending {
                 Pending::Upstream(job) => {
                     match self.pool.leave(job, |w| w.client == idx) {
@@ -1750,6 +1907,208 @@ impl Reactor {
         }
         drop(conn);
         self.resume_accepting();
+    }
+
+    /// Adopts a freshly installed overload config: one atomic load on
+    /// the hot path; on a version bump the pool limiter is swapped (or
+    /// removed, restoring the static cap) and every admission
+    /// partition's limiter is reconfigured in place, carrying learned
+    /// limits instead of resetting them.
+    fn sync_overload(&mut self) {
+        let version = self.overload.version();
+        if version == self.overload_version {
+            return;
+        }
+        self.overload_version = version;
+        self.overload_config = self.overload.config();
+        match &self.overload_config.pool {
+            // Invalid specs can't get here: `install` validates.
+            Some(spec) => {
+                let _ = self.pool.set_limiter(spec.clone());
+            }
+            None => self.pool.clear_limiter(MAX_CONNS_PER_ORIGIN),
+        }
+        match &self.overload_config.admission {
+            Some(spec) => {
+                for part in self.admission.values_mut() {
+                    let _ = part.limiter.reconfigure(spec.clone());
+                }
+            }
+            None => self.admission.clear(),
+        }
+        self.overload_dirty = true;
+    }
+
+    /// Admission control for one parsed request. Returns `true` if the
+    /// request may proceed (a ticket is attached to the client); on
+    /// `false` a `429 Too Many Requests` has been queued — immediately,
+    /// or as a delayed response when shed pacing is configured.
+    fn admit_or_shed(&mut self, idx: usize, request: &Request) -> bool {
+        let Some(spec) = self.overload_config.admission.clone() else {
+            return true;
+        };
+        let key = partition_of(request.target());
+        if !self.admission.contains_key(key) {
+            let initial = self.overload_config.admission_initial;
+            let Ok(limiter) = Limiter::new(spec, initial) else {
+                return true; // validated at install time; defensive
+            };
+            self.admission.insert(
+                Arc::from(key),
+                PartitionState {
+                    limiter,
+                    in_flight: 0,
+                    shed: 0,
+                },
+            );
+        }
+        let Some((key_arc, _)) = self.admission.get_key_value(key) else {
+            return true;
+        };
+        let key_arc = Arc::clone(key_arc);
+        let Some(part) = self.admission.get_mut(key) else {
+            return true;
+        };
+        if part.in_flight < part.limiter.limit() {
+            part.in_flight += 1;
+            if let Some(conn) = self.conns[idx].as_mut() {
+                if let Kind::Client(client) = &mut conn.kind {
+                    client.admitted = Some((key_arc, Instant::now()));
+                }
+            }
+            return true;
+        }
+        part.shed += 1;
+        self.overload_dirty = true;
+        let retry = self.overload_config.retry_after_secs;
+        let delay = self.overload_config.shed_delay;
+        let response = Response::builder(StatusCode::TOO_MANY_REQUESTS)
+            .header("retry-after", retry.to_string())
+            .build();
+        if delay.is_zero() {
+            self.overload.note_shed(1);
+            self.queue_response(idx, response);
+        } else {
+            // Pace the retry storm through the existing delayed-response
+            // machinery instead of answering instantly.
+            self.overload.note_shed_delayed(1);
+            let wire = self.response_bytes(idx, response);
+            if let Some(conn) = self.conns[idx].as_mut() {
+                if let Kind::Client(client) = &mut conn.kind {
+                    client.pending = Pending::Delayed {
+                        at: Instant::now() + delay,
+                        response: wire,
+                    };
+                    self.delayed += 1;
+                }
+            }
+        }
+        false
+    }
+
+    /// Releases a client's admission ticket when its response is queued:
+    /// the partition's in-flight count drops and the limiter is fed the
+    /// request's service time (5xx count as overload signals).
+    fn finish_admission(&mut self, idx: usize, status: u16) {
+        let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+            return;
+        };
+        let Kind::Client(client) = &mut conn.kind else { return };
+        let Some((key, started)) = client.admitted.take() else {
+            return;
+        };
+        let Some(part) = self.admission.get_mut(&key) else {
+            return; // partition cleared by a config swap mid-request
+        };
+        let in_flight = part.in_flight;
+        part.in_flight = in_flight.saturating_sub(1);
+        let latency_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
+        let sample = LimitSample {
+            in_flight,
+            latency: CoreDuration::from_millis(latency_ms),
+            outcome: if status >= 500 {
+                LimitOutcome::Overload
+            } else {
+                LimitOutcome::Success
+            },
+        };
+        part.limiter.on_sample(&sample);
+        self.overload_dirty = true;
+    }
+
+    /// Gives parked backlog clients a deadline: when accepting has been
+    /// paused at the connection bound for longer than `park_deadline`,
+    /// drain a batch of parked connections with a static `503` + close
+    /// instead of letting them wait forever.
+    fn check_park_deadline(&mut self) {
+        if self.accepting {
+            return;
+        }
+        let Some(since) = self.paused_since else { return };
+        if since.elapsed() < self.overload_config.park_deadline {
+            return;
+        }
+        self.shed_backlog();
+        self.paused_since = Some(Instant::now());
+    }
+
+    /// Accepts and immediately rejects up to [`PARK_SHED_BATCH`] parked
+    /// connections with `503 Service Unavailable` + `Retry-After`.
+    fn shed_backlog(&mut self) {
+        let head = format!(
+            "HTTP/1.1 503 Service Unavailable\r\nretry-after: {}\r\nconnection: close\r\ncontent-length: 0\r\n\r\n",
+            self.overload_config.retry_after_secs
+        );
+        let mut shed: u64 = 0;
+        while (shed as usize) < PARK_SHED_BATCH {
+            match self.backend.accept(&self.listener, TOKEN_LISTENER) {
+                Ok(stream) => {
+                    // Best effort: the head fits any fresh socket's send
+                    // buffer; a peer that raced away just gets the close.
+                    let _ = (&stream).write(head.as_bytes());
+                    // Discard whatever the parked client already sent:
+                    // closing with unread bytes queued makes the kernel
+                    // reset the connection, discarding the 503 in flight.
+                    let mut scratch = [0u8; 4096];
+                    while matches!((&stream).read(&mut scratch), Ok(1..)) {}
+                    shed += 1;
+                }
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+        if shed > 0 {
+            self.overload.note_parked_shed(shed);
+            self.overload_dirty = true;
+        }
+    }
+
+    /// Pushes this reactor's overload snapshot (pool limit, partition
+    /// limits, shed counts) to the shared handle when anything changed.
+    fn publish_overload(&mut self) {
+        if !self.overload_dirty {
+            return;
+        }
+        self.overload_dirty = false;
+        let mut partitions: Vec<PartitionSnap> = self
+            .admission
+            .iter()
+            .map(|(key, part)| PartitionSnap {
+                partition: key.to_string(),
+                limit: part.limiter.limit(),
+                in_flight: part.in_flight,
+                shed: part.shed,
+            })
+            .collect();
+        partitions.sort_by(|a, b| a.partition.cmp(&b.partition));
+        self.overload.publish(
+            self.reactor_index,
+            ReactorOverloadSnap {
+                pool: Some(self.pool.limit_snapshot()),
+                partitions,
+            },
+        );
     }
 
     /// Returns a closing client's buffers to the pool and refreshes the
@@ -1973,6 +2332,74 @@ mod tests {
         let server = EventLoop::with_options("test-tiny-bound", Arc::new(Echo), 2, 8).unwrap();
         assert_eq!(server.reactor_count(), 2);
         assert_eq!(get(server.local_addr(), "/ok").unwrap().status(), StatusCode::OK);
+    }
+
+    #[test]
+    fn connection_bound_splits_exactly_across_reactors() {
+        // Non-divisible bounds must neither lose nor invent slots: the
+        // shares sum to the bound, every reactor keeps at least one
+        // slot, and no two shares differ by more than one.
+        for (max_conns, reactors) in
+            [(1024, 3), (7, 4), (5, 5), (1023, 64), (2, 2), (1, 1), (64, 7), (100, 9)]
+        {
+            let shares = split_conns(max_conns, reactors);
+            assert_eq!(shares.len(), reactors);
+            assert_eq!(
+                shares.iter().sum::<usize>(),
+                max_conns,
+                "split of {max_conns} across {reactors} lost or invented slots: {shares:?}"
+            );
+            assert!(shares.iter().all(|&s| s >= 1), "{shares:?}");
+            let (min, max) = (
+                shares.iter().min().copied().unwrap(),
+                shares.iter().max().copied().unwrap(),
+            );
+            assert!(max - min <= 1, "uneven split {shares:?}");
+            // The extra slots go to the first shards, deterministically.
+            assert!(shares.windows(2).all(|w| w[0] >= w[1]), "{shares:?}");
+        }
+    }
+
+    #[test]
+    fn parked_clients_get_a_503_after_the_deadline() {
+        // At the connection bound, further clients sit in the kernel
+        // backlog. They must not wait forever: once the park deadline
+        // lapses the reactor drains them with a clean `503`.
+        let overload = Arc::new(OverloadControl::new(OverloadConfig {
+            park_deadline: Duration::from_millis(50),
+            ..OverloadConfig::default()
+        }));
+        let server = EventLoop::with_overload(
+            "test-park-deadline",
+            Arc::new(Echo),
+            2,
+            1,
+            Arc::new(EngineMetrics::new()),
+            None,
+            Arc::clone(&overload),
+        )
+        .unwrap();
+        // Fill both slots with idle keep-alive connections.
+        let _a = TcpStream::connect(server.local_addr()).unwrap();
+        let _b = TcpStream::connect(server.local_addr()).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        // The third client is parked; instead of stalling forever it
+        // must receive a 503 with a Retry-After hint, then EOF.
+        let mut c = TcpStream::connect(server.local_addr()).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write_request(&mut c, &Request::get("/parked").build()).unwrap();
+        let mut buf = BytesMut::new();
+        let resp = read_response(&mut c, &mut buf).unwrap();
+        assert_eq!(resp.status(), StatusCode::SERVICE_UNAVAILABLE);
+        assert_eq!(resp.headers().get("retry-after"), Some("1"));
+        let mut rest = Vec::new();
+        assert_eq!(c.read_to_end(&mut rest).unwrap(), 0, "then a clean close");
+        assert!(overload.parked_shed() >= 1);
+        // The slots themselves were untouched: freeing one serves a
+        // newly connected client normally.
+        drop(_a);
+        let resp = get(server.local_addr(), "/after").unwrap();
+        assert_eq!(&resp.body()[..], b"/after");
     }
 
     #[test]

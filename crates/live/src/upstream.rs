@@ -10,8 +10,11 @@
 //! * **connection reuse** — a connection that finishes a response with
 //!   keep-alive semantics parks in an idle list and serves the next
 //!   queued job without a fresh TCP handshake;
-//! * **bounded fan-out** — at most [`MAX_CONNS_PER_ORIGIN`] sockets per
-//!   origin per reactor; excess jobs queue FIFO;
+//! * **bounded fan-out** — a per-origin connection cap; excess jobs
+//!   queue FIFO. The cap starts at [`MAX_CONNS_PER_ORIGIN`] and, once a
+//!   [`Limiter`] is installed, adapts to observed per-fetch latency and
+//!   errors ([`PoolCore::record_fetch`]) — LIMD's AIMD shape applied to
+//!   origin concurrency;
 //! * **stale-socket retry** — a *reused* connection that dies before
 //!   yielding a single response byte was a pooled socket the origin had
 //!   already closed; the job is requeued (once) instead of failed.
@@ -28,10 +31,46 @@ use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Upper bound on simultaneously open connections per origin address
-/// (per reactor). Misses beyond it queue rather than fan out — the
-/// origin sees bounded concurrency no matter how bursty the misses are.
+use mutcon_core::error::ConfigError;
+use mutcon_core::limit::{Limiter, LimiterConfig, Sample};
+use mutcon_core::time::Duration as CoreDuration;
+
+/// Default (and initial) upper bound on simultaneously open connections
+/// per origin address (per reactor). Misses beyond the cap queue rather
+/// than fan out — the origin sees bounded concurrency no matter how
+/// bursty the misses are. With an adaptive [`Limiter`] installed this is
+/// only the starting point; the live cap follows the limiter.
 pub const MAX_CONNS_PER_ORIGIN: usize = 32;
+
+/// How many recent fetch samples the ledger keeps for observability
+/// (`/admin/stats` overload section).
+const RECENT_SAMPLES: usize = 16;
+
+/// One recorded origin fetch, as exposed to the stats plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchSample {
+    /// Wall-clock latency of the fetch in milliseconds.
+    pub latency_ms: u64,
+    /// Whether the fetch completed with a response.
+    pub ok: bool,
+    /// The per-origin cap after this sample was applied.
+    pub limit_after: usize,
+}
+
+/// A read-only snapshot of the adaptive fan-out state for stats.
+#[derive(Debug, Clone)]
+pub struct LimitSnapshot {
+    /// The live per-origin connection cap.
+    pub limit: usize,
+    /// Spec form of the governing algorithm (`None` while static).
+    pub algorithm: Option<String>,
+    /// Fetches recorded as successes.
+    pub samples_ok: u64,
+    /// Fetches recorded as overload signals (errors/timeouts).
+    pub samples_overload: u64,
+    /// The most recent samples, oldest first.
+    pub recent: Vec<FetchSample>,
+}
 
 /// Identifies one fetch job within a pool.
 pub type JobId = usize;
@@ -104,6 +143,13 @@ pub struct PoolCore<W> {
     /// Open connections per origin (connecting + busy + idle).
     open: HashMap<SocketAddr, usize>,
     max_per_origin: usize,
+    /// Adaptive controller for `max_per_origin`; `None` keeps the cap
+    /// static at whatever `new` was given.
+    limiter: Option<Limiter>,
+    /// Recent fetch samples, oldest first (stats only).
+    recent: VecDeque<FetchSample>,
+    samples_ok: u64,
+    samples_overload: u64,
 }
 
 impl<W> Default for PoolCore<W> {
@@ -128,6 +174,93 @@ impl<W> PoolCore<W> {
             idle: HashMap::new(),
             open: HashMap::new(),
             max_per_origin,
+            limiter: None,
+            recent: VecDeque::new(),
+            samples_ok: 0,
+            samples_overload: 0,
+        }
+    }
+
+    /// Installs (or replaces) the adaptive controller for the per-origin
+    /// cap. The current cap is carried into the limiter's bounds rather
+    /// than reset, so a hot-swap keeps the learned operating point.
+    ///
+    /// # Errors
+    ///
+    /// Returns the configuration's validation errors; on error the
+    /// previous controller (or static cap) stays in force.
+    pub fn set_limiter(&mut self, config: LimiterConfig) -> Result<(), ConfigError> {
+        match self.limiter.as_mut() {
+            Some(limiter) => limiter.reconfigure(config)?,
+            None => self.limiter = Some(Limiter::new(config, self.max_per_origin)?),
+        }
+        self.max_per_origin = self.limiter.as_ref().expect("just installed").limit();
+        Ok(())
+    }
+
+    /// Removes the adaptive controller, restoring a static cap.
+    pub fn clear_limiter(&mut self, cap: usize) {
+        self.limiter = None;
+        self.max_per_origin = cap.max(1);
+    }
+
+    /// Records one finished origin fetch: `ok` fetches feed their latency
+    /// to the limiter as successes, failed ones (connect errors, broken
+    /// transfers, timeouts) as overload signals. Returns the possibly
+    /// updated per-origin cap. With no limiter installed this still
+    /// counts the sample for stats but leaves the cap alone.
+    pub fn record_fetch(
+        &mut self,
+        addr: SocketAddr,
+        latency: std::time::Duration,
+        ok: bool,
+    ) -> usize {
+        let latency_ms = u64::try_from(latency.as_millis()).unwrap_or(u64::MAX);
+        if ok {
+            self.samples_ok += 1;
+        } else {
+            self.samples_overload += 1;
+        }
+        if let Some(limiter) = self.limiter.as_mut() {
+            // In-flight from the limiter's point of view: connections
+            // actually fetching (open minus parked-idle) at this origin.
+            let open = self.open.get(&addr).copied().unwrap_or(0);
+            let idle = self.idle.get(&addr).map_or(0, Vec::len);
+            let sample = Sample {
+                in_flight: open.saturating_sub(idle),
+                latency: CoreDuration::from_millis(latency_ms),
+                outcome: if ok {
+                    mutcon_core::limit::Outcome::Success
+                } else {
+                    mutcon_core::limit::Outcome::Overload
+                },
+            };
+            self.max_per_origin = limiter.on_sample(&sample);
+        }
+        if self.recent.len() == RECENT_SAMPLES {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(FetchSample {
+            latency_ms,
+            ok,
+            limit_after: self.max_per_origin,
+        });
+        self.max_per_origin
+    }
+
+    /// The live per-origin connection cap.
+    pub fn current_cap(&self) -> usize {
+        self.max_per_origin
+    }
+
+    /// Snapshot of the adaptive fan-out state for the stats plane.
+    pub fn limit_snapshot(&self) -> LimitSnapshot {
+        LimitSnapshot {
+            limit: self.max_per_origin,
+            algorithm: self.limiter.as_ref().map(|l| l.config().to_spec()),
+            samples_ok: self.samples_ok,
+            samples_overload: self.samples_overload,
+            recent: self.recent.iter().copied().collect(),
         }
     }
 
@@ -529,5 +662,96 @@ mod tests {
     #[should_panic(expected = "at least one connection")]
     fn zero_cap_rejected() {
         let _ = PoolCore::<u32>::new(0);
+    }
+
+    #[test]
+    fn static_pool_counts_samples_but_keeps_its_cap() {
+        let mut pool: PoolCore<u32> = PoolCore::new(4);
+        let a = addr(9000);
+        pool.note_opened(a);
+        assert_eq!(pool.record_fetch(a, Duration::from_millis(5), true), 4);
+        assert_eq!(pool.record_fetch(a, Duration::from_millis(5), false), 4);
+        let snap = pool.limit_snapshot();
+        assert_eq!(snap.limit, 4);
+        assert_eq!(snap.algorithm, None);
+        assert_eq!((snap.samples_ok, snap.samples_overload), (1, 1));
+        assert_eq!(snap.recent.len(), 2);
+    }
+
+    #[test]
+    fn adaptive_cap_shrinks_on_errors_and_regrows_under_pressure() {
+        use mutcon_core::limit::{AimdConfig, LimiterConfig};
+
+        let mut pool: PoolCore<u32> = PoolCore::new(8);
+        let a = addr(9000);
+        pool.set_limiter(LimiterConfig::Aimd(AimdConfig {
+            min: 1,
+            max: 16,
+            ..AimdConfig::default()
+        }))
+        .unwrap();
+        assert_eq!(pool.current_cap(), 8, "installed at the current cap");
+
+        // Two failed fetches: 8 → 6 → 4.
+        pool.record_fetch(a, Duration::from_millis(100), false);
+        assert_eq!(pool.current_cap(), 6);
+        pool.record_fetch(a, Duration::from_millis(100), false);
+        assert_eq!(pool.current_cap(), 4);
+        assert!(!pool.can_open(a) || pool.open_len(a) < 4);
+
+        // Healthy fetches with the (shrunken) cap fully used: regrow.
+        for _ in 0..4 {
+            pool.note_opened(a);
+        }
+        pool.record_fetch(a, Duration::from_millis(5), true);
+        assert_eq!(pool.current_cap(), 5);
+        let snap = pool.limit_snapshot();
+        assert_eq!(snap.limit, 5);
+        assert!(snap.algorithm.as_deref().unwrap().starts_with("aimd:"));
+        assert_eq!(snap.recent.last().unwrap().limit_after, 5);
+    }
+
+    #[test]
+    fn can_open_follows_the_shrunken_cap() {
+        use mutcon_core::limit::{AimdConfig, LimiterConfig};
+
+        let mut pool: PoolCore<u32> = PoolCore::new(4);
+        let a = addr(9000);
+        pool.set_limiter(LimiterConfig::Aimd(AimdConfig {
+            min: 1,
+            max: 8,
+            ..AimdConfig::default()
+        }))
+        .unwrap();
+        pool.note_opened(a);
+        pool.note_opened(a);
+        assert!(pool.can_open(a));
+        // One error: cap 4 → 3; with 2 open, one more may open — then no
+        // more.
+        pool.record_fetch(a, Duration::from_millis(50), false);
+        assert_eq!(pool.current_cap(), 3);
+        pool.note_opened(a);
+        assert!(!pool.can_open(a));
+    }
+
+    #[test]
+    fn hot_swap_keeps_the_learned_cap() {
+        use mutcon_core::limit::{AimdConfig, LimiterConfig, VegasConfig};
+
+        let mut pool: PoolCore<u32> = PoolCore::new(8);
+        let a = addr(9000);
+        pool.set_limiter(LimiterConfig::Aimd(AimdConfig::default())).unwrap();
+        pool.record_fetch(a, Duration::from_millis(50), false);
+        let learned = pool.current_cap();
+        assert_eq!(learned, 6);
+        pool.set_limiter(LimiterConfig::Vegas(VegasConfig::default())).unwrap();
+        assert_eq!(pool.current_cap(), learned, "swap must not reset the cap");
+        let bad = pool.set_limiter(LimiterConfig::Aimd(AimdConfig {
+            min: 3,
+            max: 2,
+            ..AimdConfig::default()
+        }));
+        assert!(bad.is_err());
+        assert_eq!(pool.current_cap(), learned, "a rejected swap changes nothing");
     }
 }

@@ -89,6 +89,11 @@ pub enum Behavior {
     /// Serve keep-alive, then silently drop the socket — the proxy may
     /// have already parked it, creating a stale pooled connection.
     SilentClose,
+    /// Read the request, then close without writing a single byte — the
+    /// pre-first-byte death a *fresh* connection can suffer (and the
+    /// second death of the double-death scenario: a stale-socket retry
+    /// whose replacement also dies).
+    Reject,
 }
 
 struct Gate {
@@ -300,6 +305,14 @@ fn serve_request(stream: &mut TcpStream, inner: &Inner, request: &Request) -> bo
         drop(open);
         inner.held.fetch_sub(1, Ordering::SeqCst);
         inner.log.lock().unwrap().push(format!("release {path}"));
+    }
+
+    if behavior == Behavior::Reject {
+        inner.log.lock().unwrap().push(format!("reject {path}"));
+        // No response bytes at all: an explicit shutdown delivers the
+        // EOF even though the connection registry clones the socket.
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+        return false;
     }
 
     if behavior == Behavior::DieMidTransfer {

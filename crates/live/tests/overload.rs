@@ -1,0 +1,253 @@
+//! Adaptive overload control end to end: flash-crowd admission shedding
+//! with partition isolation and preserved miss coalescing, the
+//! double-death stale-retry path, and hot config swaps through
+//! `PUT /admin/overload` — all on the deterministic in-process harness
+//! (fake clock + scripted origin; see `harness/`).
+
+mod harness;
+
+use std::sync::Arc;
+use std::time::{Duration as StdDuration, Instant};
+
+use harness::{Behavior, FakeClock, ScriptedOrigin};
+use mutcon_live::client::HttpClient;
+use mutcon_live::proxy::{LiveProxy, ProxyConfig, RefreshRule};
+use mutcon_http::types::StatusCode;
+use mutcon_sim::rng::SimRng;
+
+/// A proxy in front of a scripted origin with an explicit reactor count
+/// and no refresher rules.
+fn plain_proxy(origin: &ScriptedOrigin, reactors: usize) -> LiveProxy {
+    LiveProxy::start(ProxyConfig {
+        origin_addr: origin.addr(),
+        rules: Vec::<RefreshRule>::new(),
+        group: None,
+        cache_objects: None,
+        reactors: Some(reactors),
+        max_conns: None,
+        backend: None,
+    })
+    .expect("start proxy")
+}
+
+/// Installs an overload config through the admin plane, asserting the
+/// PUT is accepted.
+fn put_overload(proxy: &LiveProxy, body: &str) {
+    let client = HttpClient::new();
+    let resp = client
+        .put(proxy.local_addr(), "/admin/overload", body.as_bytes().to_vec())
+        .expect("PUT /admin/overload");
+    assert_eq!(
+        resp.status(),
+        StatusCode::OK,
+        "install rejected: {}",
+        String::from_utf8_lossy(resp.body())
+    );
+}
+
+/// Waits (5 s cap) until `pred` holds.
+fn wait_until(what: &str, mut pred: impl FnMut() -> bool) {
+    let deadline = Instant::now() + StdDuration::from_secs(5);
+    while !pred() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(StdDuration::from_millis(2));
+    }
+}
+
+/// The acceptance scenario: a flash crowd — 100 simultaneous clients on
+/// one cold key — against an admission limit of 2. Exactly the limit's
+/// worth of requests are admitted (and coalesce onto ONE origin fetch);
+/// everyone else gets a clean `429` + `Retry-After`; a request for a
+/// different path-partition sails through while the hot partition is
+/// saturated; and the shed counters surface in `/admin/stats`.
+#[test]
+fn flash_crowd_sheds_cleanly_and_still_coalesces() {
+    const CLIENTS: usize = 100;
+    const LIMIT: usize = 2;
+
+    let clock = FakeClock::new();
+    let origin = ScriptedOrigin::start(clock);
+    origin.script("/hot/obj", vec![Behavior::Hold]);
+    // One reactor: admission state and coalescing are per-reactor, and
+    // this test asserts the exact per-reactor guarantee.
+    let proxy = plain_proxy(&origin, 1);
+    let addr = proxy.local_addr();
+
+    // Admission on: at most 2 in flight per partition (min=max pins the
+    // limit so the algorithm cannot adapt it mid-test).
+    put_overload(&proxy, &format!("admission=aimd:min={LIMIT},max={LIMIT}\n"));
+
+    let barrier = Arc::new(std::sync::Barrier::new(CLIENTS));
+    let readers: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let client = HttpClient::with_timeout(StdDuration::from_secs(10));
+                barrier.wait();
+                let resp = client
+                    .get(addr, "/hot/obj", None)
+                    .unwrap_or_else(|e| panic!("client {i}: {e}"));
+                let retry_after = resp.headers().get("retry-after").map(str::to_owned);
+                (resp.status(), retry_after)
+            })
+        })
+        .collect();
+
+    // The admitted requests are parked on the held origin fetch; all
+    // other requests must shed. Once shed + admitted accounts for every
+    // client, the crowd has fully arrived.
+    origin.wait_for_held(1);
+    wait_until("the crowd to shed", || {
+        proxy.overload().shed() as usize == CLIENTS - LIMIT
+    });
+
+    // Partition isolation: the hot partition is saturated, but a
+    // request in another partition is admitted and served.
+    let bystander = HttpClient::with_timeout(StdDuration::from_secs(10));
+    let cold = bystander.get(addr, "/cold/obj", None).expect("cold partition");
+    assert_eq!(
+        cold.status(),
+        StatusCode::OK,
+        "a saturated hot partition must not starve the others"
+    );
+
+    origin.release_all();
+    let mut ok = 0usize;
+    let mut shed = 0usize;
+    for reader in readers {
+        let (status, retry_after) = reader.join().expect("reader panicked");
+        match status {
+            StatusCode::OK => ok += 1,
+            StatusCode::TOO_MANY_REQUESTS => {
+                shed += 1;
+                assert_eq!(retry_after.as_deref(), Some("1"), "shed without Retry-After");
+            }
+            other => panic!("unexpected status {other}"),
+        }
+    }
+    assert_eq!(ok, LIMIT, "exactly the admission limit's worth succeed");
+    assert_eq!(shed, CLIENTS - LIMIT);
+    assert_eq!(proxy.overload().shed() as usize, shed);
+
+    // Miss coalescing survived admission: the admitted requests shared
+    // ONE origin fetch.
+    assert_eq!(
+        origin.fetches("/hot/obj"),
+        1,
+        "admitted flash-crowd misses must still coalesce; log: {:?}",
+        origin.log()
+    );
+
+    // The counters and the hot partition's state surface in the stats
+    // plane (published by the reactor between loop turns).
+    let client = HttpClient::new();
+    wait_until("the stats plane to show the shed partition", || {
+        let resp = client.get(addr, "/admin/stats", None).expect("stats");
+        let text = String::from_utf8_lossy(resp.body()).into_owned();
+        text.contains("\"overload\"") && text.contains("\"/hot\"")
+    });
+
+    // Hot-swap admission off: the previously shed path now flows
+    // freely (served from cache after the fetch).
+    put_overload(&proxy, "admission=off\n");
+    let before = proxy.overload().shed();
+    for _ in 0..10 {
+        let resp = client.get(addr, "/hot/obj", None).expect("after off");
+        assert_eq!(resp.status(), StatusCode::OK);
+    }
+    assert_eq!(proxy.overload().shed(), before, "admission off must not shed");
+}
+
+/// Satellite regression: the double-death case of the one-shot
+/// stale-socket retry. A reused pooled connection dies before its first
+/// response byte (the origin silently closed it while parked) and the
+/// retry's fresh connection *also* dies pre-first-byte. The waiter must
+/// get a prompt, clean error — never a stall. Seeded delays vary the
+/// reap-vs-reuse race reproducibly; recovery is asserted every round.
+#[test]
+fn double_death_fails_fast_with_a_clean_error() {
+    let mut rng = SimRng::seed_from_u64(0xDEAD_2);
+    for round in 0..8 {
+        let origin = ScriptedOrigin::start(FakeClock::new());
+        // Seed the pool with a connection the origin then silently
+        // closes (stale while parked)...
+        origin.script("/warm", vec![Behavior::SilentClose]);
+        // ...and make the origin kill the next fetch's connection before
+        // writing a single byte. If the stale socket is reused first,
+        // this rejection lands on the one-shot retry's fresh socket —
+        // the double death. If the reactor reaped the EOF already, the
+        // rejection hits the first fresh socket (no retry budget:
+        // served == 0). Either way: clean error, no stall.
+        origin.script("/frail", vec![Behavior::Reject]);
+        let proxy = plain_proxy(&origin, 1);
+        let client = HttpClient::with_timeout(StdDuration::from_secs(10));
+
+        let warm = client.get(proxy.local_addr(), "/warm", None).expect("warm");
+        assert_eq!(warm.status(), StatusCode::OK, "round {round}");
+
+        let delay_us = rng.uniform_u64(0, 3_000);
+        std::thread::sleep(StdDuration::from_micros(delay_us));
+
+        let started = Instant::now();
+        let failed = client.get(proxy.local_addr(), "/frail", None).expect("response");
+        assert_eq!(
+            failed.status(),
+            StatusCode::INTERNAL_SERVER_ERROR,
+            "round {round} (delay {delay_us} µs): a double death must surface as a \
+             clean error; log: {:?}",
+            origin.log()
+        );
+        assert!(
+            started.elapsed() < StdDuration::from_secs(5),
+            "round {round}: the waiter stalled instead of failing fast"
+        );
+
+        // The pool recovered: the next miss opens fresh and succeeds.
+        let after = client.get(proxy.local_addr(), "/frail", None).expect("recovery");
+        assert_eq!(after.status(), StatusCode::OK, "round {round}: no recovery");
+    }
+}
+
+/// `GET`/`PUT /admin/overload` round-trips the config text, rejects
+/// invalid bodies without changing anything, and a pool-limiter install
+/// shows up in the stats plane with the algorithm spec.
+#[test]
+fn overload_admin_round_trips_and_rejects_bad_bodies() {
+    let origin = ScriptedOrigin::start(FakeClock::new());
+    let proxy = plain_proxy(&origin, 1);
+    let client = HttpClient::new();
+    let addr = proxy.local_addr();
+
+    // Defaults render with both limiters off.
+    let resp = client.get(addr, "/admin/overload", None).expect("GET overload");
+    assert_eq!(resp.status(), StatusCode::OK);
+    let text = String::from_utf8_lossy(resp.body()).into_owned();
+    assert!(text.contains("admission=off"), "{text}");
+    assert!(text.contains("pool=off"), "{text}");
+
+    // Install a pool limiter; the GET must echo the spec back.
+    put_overload(&proxy, "pool=vegas\nretry_after_secs=3\n");
+    let resp = client.get(addr, "/admin/overload", None).expect("GET overload");
+    let text = String::from_utf8_lossy(resp.body()).into_owned();
+    assert!(text.contains("pool=vegas:"), "{text}");
+    assert!(text.contains("retry_after_secs=3"), "{text}");
+
+    // A garbage PUT is rejected and changes nothing.
+    let bad = client
+        .put(addr, "/admin/overload", b"pool=tcp-bbr\n".to_vec())
+        .expect("PUT bad overload");
+    assert_eq!(bad.status(), StatusCode::BAD_REQUEST);
+    let resp = client.get(addr, "/admin/overload", None).expect("GET overload");
+    let text = String::from_utf8_lossy(resp.body()).into_owned();
+    assert!(text.contains("pool=vegas:"), "rejected PUT must change nothing: {text}");
+
+    // Traffic still flows, and the reactor's adopted pool limiter (with
+    // its recorded fetch samples) surfaces in `/admin/stats`.
+    let resp = client.get(addr, "/one", None).expect("one");
+    assert_eq!(resp.status(), StatusCode::OK);
+    wait_until("the pool limiter to surface in stats", || {
+        let resp = client.get(addr, "/admin/stats", None).expect("stats");
+        let text = String::from_utf8_lossy(resp.body()).into_owned();
+        text.contains("\"algorithm\":\"vegas:") && text.contains("\"samples_ok\":1")
+    });
+}

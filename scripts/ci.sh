@@ -83,5 +83,14 @@ target/release/repro live-wire --wire-conns 10000 > /dev/null
 # (epoll leg only when the kernel refuses rings).
 target/release/repro live-backend --wire-conns 2000 > /dev/null
 
+# Overload control: the LIMD admission/pool limiters end to end — the
+# flash-crowd shed with preserved miss coalescing and partition
+# isolation, the double-death stale-retry regression, and the admin
+# round-trip — then the wave bench: doubling flash crowds ramped 16×
+# past saturation, spliced into BENCH_repro.json as live_overload.
+# repro exits non-zero unless p99 and the non-429 error rate plateau.
+cargo test -q -p mutcon-live --test overload
+target/release/repro live-overload > /dev/null
+
 echo "--- BENCH_repro.json ---"
 cat BENCH_repro.json
