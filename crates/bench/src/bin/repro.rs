@@ -4,7 +4,7 @@
 //! repro [--threads N | --serial] [--repeats R] [--compare-serial]
 //!       [--conns C] [--rounds R] [--reactors N] [--reload-every N]
 //!       [--wire-conns C] [--bench-json PATH]
-//!       table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|ablation|bench|live-bench|live-wire|live-backend|live-overload|all
+//!       table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|ablation|bench|live-bench|live-wire|live-backend|live-overload|live-zipf|all
 //! ```
 //!
 //! Output is plain text, one section per experiment, matching the layout
@@ -60,6 +60,15 @@
 //! run *fails* unless p99 and the non-429 error rate plateau past
 //! saturation — an unstable overload controller is a regression, not a
 //! data point.
+//!
+//! `live-zipf` is the L1 cache-pressure bench
+//! ([`mutcon_bench::livebench::zipf`]): a seeded Zipf(s = 1.0) catalog
+//! big enough to overflow the L2 replayed over the identical request
+//! sequence with the per-reactor L1 enabled and disabled, spliced into
+//! the report as the `live_zipf` section. The run *fails* if any stale
+//! serve is counted (by the engine's post-serve version audit or the
+//! client-side stamp-monotonicity check), if the catalog never forced
+//! an L2 eviction, or if the L1 leg served no L1 hits.
 
 use std::time::Instant;
 
@@ -364,6 +373,38 @@ fn main() {
                 std::process::exit(1);
             }
         },
+        "live-zipf" => match mutcon_bench::livebench::zipf(Default::default()) {
+            Ok(report) => {
+                print!("{}", mutcon_bench::livebench::render_zipf(&report));
+                let fragment = mutcon_bench::livebench::json_zipf_fragment(&report);
+                if let Err(e) = splice_section(&bench_json, "live_zipf", &fragment) {
+                    eprintln!("[repro] cannot record live_zipf in {bench_json}: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!(
+                    "[repro] recorded the {}-object Zipf pressure run in {bench_json}",
+                    report.objects
+                );
+                if !report.coherent {
+                    // A stale serve under Zipf pressure is a correctness
+                    // failure of the L1 protocol, not a perf data point.
+                    eprintln!("[repro] live-zipf counted a STALE SERVE");
+                    std::process::exit(1);
+                }
+                if !report.pressured {
+                    eprintln!("[repro] live-zipf never evicted from L2 (no real pressure)");
+                    std::process::exit(1);
+                }
+                if !report.effective {
+                    eprintln!("[repro] live-zipf L1 leg served no L1 hits");
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("[repro] live-zipf failed: {e}");
+                std::process::exit(1);
+            }
+        },
         "live-bench" if reactors_sweep.is_some() && live.reload_every.is_some() => {
             // A sweep point perturbed by mid-run reloads would record a
             // misleading scaling curve, and the reload section would be
@@ -438,7 +479,7 @@ fn main() {
 fn usage_error(message: &str) -> ! {
     eprintln!("repro: {message}");
     eprintln!(
-        "usage: repro [--threads N | --serial] [--repeats R] [--compare-serial] [--conns C] [--rounds R] [--reactors N] [--reload-every N] [--wire-conns C] [--bench-json PATH] <experiment|live-bench|live-wire|live-backend|live-overload|all>"
+        "usage: repro [--threads N | --serial] [--repeats R] [--compare-serial] [--conns C] [--rounds R] [--reactors N] [--reload-every N] [--wire-conns C] [--bench-json PATH] <experiment|live-bench|live-wire|live-backend|live-overload|live-zipf|all>"
     );
     std::process::exit(2);
 }
@@ -544,6 +585,7 @@ fn bench_report(
     out.push_str("  \"live_reload\": null,\n");
     out.push_str("  \"live_backend\": null,\n");
     out.push_str("  \"live_overload\": null,\n");
+    out.push_str("  \"live_zipf\": null,\n");
     out.push_str("  \"sections\": [\n");
     for (i, t) in sections.iter().enumerate() {
         let serial = match t.serial_wall {

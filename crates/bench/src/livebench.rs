@@ -34,6 +34,14 @@
 //! limiter pinned, recorded as the `live_overload` section — the proof
 //! that p99 and the non-429 error rate *plateau* once offered load
 //! ramps past saturation, instead of collapsing with queue depth.
+//!
+//! [`zipf`] is the cache-pressure bench for the per-reactor L1: a
+//! seeded Zipf(s = 1.0) catalog big enough to overflow the L2 replayed
+//! over the *identical* request sequence with the L1 enabled and
+//! disabled, recorded as the `live_zipf` section. The verdicts are the
+//! coherence story: the engine's post-serve stale audit and a
+//! client-side `x-last-modified-ms` monotonicity check must both count
+//! exactly zero while the refresher churns the hottest ranks.
 
 use std::io::{self, Write};
 use std::net::TcpStream;
@@ -69,6 +77,9 @@ pub struct LiveBenchConfig {
     /// Reactor I/O backend for the proxy under test (`None` = the
     /// `MUTCON_LIVE_BACKEND` / epoll default).
     pub backend: Option<BackendKind>,
+    /// Per-reactor L1 hot-object cache capacity (`None` = the
+    /// `MUTCON_LIVE_L1` / 128-object default; `Some(0)` disables).
+    pub l1_objects: Option<usize>,
 }
 
 impl Default for LiveBenchConfig {
@@ -80,6 +91,7 @@ impl Default for LiveBenchConfig {
             reactors: None,
             reload_every: None,
             backend: None,
+            l1_objects: None,
         }
     }
 }
@@ -198,6 +210,7 @@ fn run_inner(
         // whatever the MUTCON_LIVE_CONNS default would have allowed.
         max_conns: Some(mutcon_live::server::max_conns().max(conns + 8)),
         backend: config.backend,
+        l1_objects: config.l1_objects,
     })?;
     // What each reactor actually runs (io_uring may have fallen back).
     let active_backends: Vec<String> = proxy
@@ -400,6 +413,7 @@ pub fn wire_with_backend(
         reactors,
         reload_every: None,
         backend,
+        l1_objects: None,
     })?;
     Ok(wire_report(bench, counters, backends))
 }
@@ -797,6 +811,7 @@ pub fn overload(config: OverloadBenchConfig) -> io::Result<OverloadReport> {
         reactors: config.reactors,
         max_conns: Some(mutcon_live::server::max_conns().max(total + 64)),
         backend: None,
+        l1_objects: None,
     })?;
     let addr = proxy.local_addr();
 
@@ -936,6 +951,403 @@ pub fn json_overload_fragment(report: &OverloadReport) -> String {
     )
 }
 
+/// Load shape for the [`zipf`] cache-pressure bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZipfBenchConfig {
+    /// Catalog size — must overflow the L2 so evictions are real.
+    pub objects: usize,
+    /// Concurrently open client connections (one Zipf stream each).
+    pub conns: usize,
+    /// Request waves issued across all connections.
+    pub rounds: usize,
+    /// Reactor threads for the proxy under test.
+    pub reactors: Option<usize>,
+    /// Catalog seed: both legs replay the identical request sequence.
+    pub seed: u64,
+}
+
+impl Default for ZipfBenchConfig {
+    fn default() -> Self {
+        // 512 objects against a 128-object L2: with s = 1 the hot 128
+        // ranks hold ~80% of the mass, so a steady ~20% of requests land
+        // in the evicting tail — real cache pressure, CI-sized.
+        ZipfBenchConfig {
+            objects: 512,
+            conns: 32,
+            rounds: 40,
+            reactors: Some(2),
+            seed: 42,
+        }
+    }
+}
+
+/// Hottest ranks given a refresher rule, so version bumps (the L1
+/// invalidation signal) keep landing on exactly the paths the L1 holds.
+const ZIPF_HOT_RULES: usize = 8;
+
+/// One leg of the [`zipf`] bench (L1 enabled or disabled).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZipfLegReport {
+    /// Per-reactor L1 capacity this leg ran with (0 = disabled).
+    pub l1_capacity: usize,
+    /// Total requests served.
+    pub requests: u64,
+    /// Wall-clock of the request waves, milliseconds.
+    pub serve_ms: f64,
+    /// Sustained request throughput.
+    pub requests_per_sec: f64,
+    /// Median request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile request latency, milliseconds.
+    pub p99_ms: f64,
+    /// Fraction of responses marked `x-cache: hit` (L1 or L2).
+    pub hit_rate: f64,
+    /// Client-observed staleness: responses whose `x-last-modified-ms`
+    /// regressed below a stamp already seen for the same path on the
+    /// same connection. The end-to-end stale-serve measure — must be 0.
+    pub stale_responses: u64,
+    /// L1 hits (responses served without touching an L2 shard lock).
+    pub l1_hits: u64,
+    /// L1 entries rejected by the version compare (fell through to L2).
+    pub l1_stale_rejects: u64,
+    /// L1 serves that raced an invalidation (post-serve audit; bounded
+    /// by Δ, and 0 in every observed run).
+    pub l1_stale_serves: u64,
+    /// L1 refills from L2 after a miss or stale reject.
+    pub l1_refills: u64,
+    /// L1 entries displaced by capacity.
+    pub l1_evictions: u64,
+    /// L2 (sharded cache) evictions — proof the catalog overflowed it.
+    pub l2_evictions: u64,
+    /// Per-path version bumps in the L2 shards (stores + evictions).
+    pub version_bumps: u64,
+    /// Hit-path LRU touches skipped because the entry was already
+    /// most-recent (reads that never queued on a shard write lock).
+    pub touch_skips: u64,
+}
+
+/// Measured outcome of a [`zipf`] run: the same seeded request sequence
+/// driven through the proxy twice — L1 enabled, then disabled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZipfReport {
+    /// Catalog size.
+    pub objects: usize,
+    /// Zipf exponent (s ≈ 1.0, the classic web law).
+    pub exponent: f64,
+    /// L2 capacity the proxy ran with.
+    pub cache_objects: usize,
+    /// Connections per leg.
+    pub conns: usize,
+    /// Request waves per leg.
+    pub rounds: usize,
+    /// Reactor threads the proxy actually ran.
+    pub reactors: usize,
+    /// Catalog seed.
+    pub seed: u64,
+    /// The leg with the per-reactor L1 enabled.
+    pub l1_on: ZipfLegReport,
+    /// The leg with the L1 disabled (`l1_objects = 0`).
+    pub l1_off: ZipfLegReport,
+    /// Zero stale serves, both audits, both legs: the engine's
+    /// post-serve version audit AND the client-side stamp-monotonicity
+    /// check counted nothing.
+    pub coherent: bool,
+    /// Both legs actually evicted from L2 — the catalog really did
+    /// overflow the cache, so the L1 was proven under pressure.
+    pub pressured: bool,
+    /// The L1 leg served real L1 hits (each one a response that touched
+    /// no L2 shard lock) and the disabled leg served none.
+    pub effective: bool,
+}
+
+/// A cold object's trace: one stamped version, never updated. Tail
+/// objects stay byte-stable so any staleness the client observes is the
+/// L1's fault, not the workload's.
+fn zipf_cold_trace(name: &str, rank: usize) -> UpdateTrace {
+    let total_ms = 600_000u64;
+    let events = vec![UpdateEvent::valued(Timestamp::ZERO, Value::new(rank as f64))];
+    UpdateTrace::new(name, Timestamp::ZERO, Timestamp::from_millis(total_ms), events)
+        .expect("single-event trace")
+}
+
+/// Runs one leg: the full proxy stack with `l1_objects` pinned, the
+/// catalog's seeded request streams replayed wave by wave, and the
+/// engine counters scraped from `GET /admin/stats` afterwards — so the
+/// leg also proves the admin-plane reporting end to end.
+fn zipf_leg(
+    config: &ZipfBenchConfig,
+    catalog: &mutcon_traces::generator::ZipfCatalog,
+    cache_objects: usize,
+    l1_objects: usize,
+) -> io::Result<ZipfLegReport> {
+    let conns = config.conns.max(1);
+    let rounds = config.rounds.max(1);
+
+    let mut builder = LiveOrigin::builder();
+    for (rank, path) in catalog.paths().iter().enumerate() {
+        if rank < ZIPF_HOT_RULES {
+            // Hot ranks update every 25 ms — the refresher keeps
+            // storing newer bodies, each store a version bump that must
+            // invalidate every reactor's L1 copy.
+            builder = builder.object(path.clone(), bench_trace());
+        } else {
+            builder = builder.object(path.clone(), zipf_cold_trace(path, rank));
+        }
+    }
+    let origin = builder.start()?;
+
+    let rules: Vec<RefreshRule> = catalog.paths()[..ZIPF_HOT_RULES.min(catalog.len())]
+        .iter()
+        .map(|p| RefreshRule::new(p.clone(), Duration::from_millis(50)))
+        .collect();
+    let proxy = LiveProxy::start(ProxyConfig {
+        origin_addr: origin.local_addr(),
+        rules,
+        group: None,
+        cache_objects: Some(cache_objects),
+        reactors: config.reactors,
+        max_conns: Some(mutcon_live::server::max_conns().max(conns + 8)),
+        backend: None,
+        l1_objects: Some(l1_objects),
+    })?;
+    let addr = proxy.local_addr();
+
+    let mut socks = Vec::with_capacity(conns);
+    for _ in 0..conns {
+        let sock = TcpStream::connect(addr)?;
+        sock.set_read_timeout(Some(StdDuration::from_secs(30)))?;
+        sock.set_nodelay(true)?;
+        socks.push(sock);
+    }
+    // One deterministic Zipf stream per connection, forked from the
+    // catalog seed: the L1-on and L1-off legs replay identical
+    // sequences, so their numbers compare request-for-request.
+    let mut streams: Vec<_> = (0..conns).map(|i| catalog.stream_rng(i as u64)).collect();
+
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(conns * rounds);
+    let mut hits = 0u64;
+    let mut stale_responses = 0u64;
+    // Per-connection per-path newest stamp seen: a later response for
+    // the same path with an older stamp is a stale serve, observed from
+    // the outside with no knowledge of the engine's internals.
+    let mut newest: Vec<std::collections::HashMap<usize, Timestamp>> =
+        (0..conns).map(|_| std::collections::HashMap::new()).collect();
+    let serve_started = Instant::now();
+    for _round in 0..rounds {
+        let mut wave: Vec<(usize, Instant)> = Vec::with_capacity(conns);
+        for (i, sock) in socks.iter_mut().enumerate() {
+            let rank = catalog.sample(&mut streams[i]);
+            let wire = Request::get(catalog.path(rank)).build().to_bytes();
+            wave.push((rank, Instant::now()));
+            sock.write_all(&wire)?;
+        }
+        for (i, (sock, (rank, sent))) in socks.iter_mut().zip(&wave).enumerate() {
+            let mut buf = BytesMut::new();
+            let resp = read_response(sock, &mut buf)?;
+            latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
+            if resp.status() != StatusCode::OK {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("proxy returned {} for {}", resp.status(), catalog.path(*rank)),
+                ));
+            }
+            if resp.headers().get("x-cache") == Some("hit") {
+                hits += 1;
+            }
+            let stamp = mutcon_live::client::last_modified_ms(&resp).ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, "response missing stamp")
+            })?;
+            match newest[i].get(rank) {
+                Some(&seen) if stamp < seen => stale_responses += 1,
+                _ => {
+                    newest[i].insert(*rank, stamp);
+                }
+            }
+        }
+    }
+    let serve = serve_started.elapsed();
+
+    // Scrape the engine counters through the admin plane — the same
+    // numbers an operator would read.
+    let admin = HttpClient::new();
+    let resp = admin.get(addr, "/admin/stats", None)?;
+    let doc = mutcon_traces::json::parse(std::str::from_utf8(resp.body()).unwrap_or_default())
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("admin stats: {e}")))?;
+    let counter = |path: &[&str]| -> u64 {
+        let mut node = &doc;
+        for key in path {
+            match node.get(key) {
+                Some(next) => node = next,
+                None => return 0,
+            }
+        }
+        node.as_u64().unwrap_or(0)
+    };
+
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let requests = (conns * rounds) as u64;
+    Ok(ZipfLegReport {
+        l1_capacity: l1_objects,
+        requests,
+        serve_ms: serve.as_secs_f64() * 1e3,
+        requests_per_sec: requests as f64 / serve.as_secs_f64().max(1e-9),
+        p50_ms: percentile(&latencies_ms, 0.50),
+        p99_ms: percentile(&latencies_ms, 0.99),
+        hit_rate: hits as f64 / requests as f64,
+        stale_responses,
+        l1_hits: counter(&["cache", "l1", "hits"]),
+        l1_stale_rejects: counter(&["cache", "l1", "stale_rejects"]),
+        l1_stale_serves: counter(&["cache", "l1", "stale_serves"]),
+        l1_refills: counter(&["cache", "l1", "refills"]),
+        l1_evictions: counter(&["cache", "l1", "evictions"]),
+        l2_evictions: counter(&["cache", "evictions"]),
+        version_bumps: counter(&["cache", "version_bumps"]),
+        touch_skips: counter(&["cache", "touch_skips"]),
+    })
+}
+
+/// Runs the Zipf cache-pressure bench: a seeded Zipf(s = 1.0) catalog
+/// big enough to overflow the L2, replayed twice over identical request
+/// sequences — once with the per-reactor L1 enabled, once with it
+/// disabled — while the refresher churns the hottest ranks. Records
+/// throughput/latency for both legs plus the coherence verdicts: the
+/// engine's post-serve stale audit and the client-side stamp
+/// monotonicity check must both count zero.
+///
+/// # Errors
+///
+/// Propagates socket failures and malformed admin responses.
+pub fn zipf(config: ZipfBenchConfig) -> io::Result<ZipfReport> {
+    let objects = config.objects.max(16);
+    let cache_objects = (objects / 4).max(8);
+    let catalog = mutcon_traces::generator::ZipfCatalogBuilder::new(objects)
+        .seed(config.seed)
+        .build()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+
+    let l1_on = zipf_leg(&config, &catalog, cache_objects, mutcon_live::server::DEFAULT_L1_OBJECTS)?;
+    let l1_off = zipf_leg(&config, &catalog, cache_objects, 0)?;
+
+    let coherent = l1_on.l1_stale_serves == 0
+        && l1_off.l1_stale_serves == 0
+        && l1_on.stale_responses == 0
+        && l1_off.stale_responses == 0;
+    let pressured = l1_on.l2_evictions > 0 && l1_off.l2_evictions > 0;
+    let effective = l1_on.l1_hits > 0 && l1_off.l1_hits == 0;
+    Ok(ZipfReport {
+        objects,
+        exponent: catalog.exponent(),
+        cache_objects,
+        conns: config.conns.max(1),
+        rounds: config.rounds.max(1),
+        reactors: config.reactors.unwrap_or(0),
+        seed: config.seed,
+        l1_on,
+        l1_off,
+        coherent,
+        pressured,
+        effective,
+    })
+}
+
+/// Renders the Zipf report as aligned text, one row per leg.
+pub fn render_zipf(report: &ZipfReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!(
+        "Zipf cache pressure — {} objects (s = {:.1}), L2 capacity {}, \
+         {} conns × {} waves, seed {}\n\
+         {:>8} {:>9} {:>9} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>7}\n",
+        report.objects,
+        report.exponent,
+        report.cache_objects,
+        report.conns,
+        report.rounds,
+        report.seed,
+        "l1",
+        "req/s",
+        "p50(ms)",
+        "p99(ms)",
+        "hit",
+        "l1 hits",
+        "rejects",
+        "refills",
+        "l2 evic",
+        "stale",
+    );
+    for leg in [&report.l1_on, &report.l1_off] {
+        let _ = writeln!(
+            out,
+            "{:>8} {:>9.0} {:>9.3} {:>9.3} {:>8.3} {:>8} {:>8} {:>8} {:>8} {:>7}",
+            leg.l1_capacity,
+            leg.requests_per_sec,
+            leg.p50_ms,
+            leg.p99_ms,
+            leg.hit_rate,
+            leg.l1_hits,
+            leg.l1_stale_rejects,
+            leg.l1_refills,
+            leg.l2_evictions,
+            leg.l1_stale_serves + leg.stale_responses,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "coherent: {}, pressured: {}, effective: {}",
+        report.coherent, report.pressured, report.effective
+    );
+    out
+}
+
+fn json_zipf_leg(leg: &ZipfLegReport) -> String {
+    format!(
+        "{{\"l1_capacity\": {}, \"requests\": {}, \"serve_ms\": {:.3}, \
+         \"requests_per_sec\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
+         \"hit_rate\": {:.3}, \"stale_responses\": {}, \"l1_hits\": {}, \
+         \"l1_stale_rejects\": {}, \"l1_stale_serves\": {}, \"l1_refills\": {}, \
+         \"l1_evictions\": {}, \"l2_evictions\": {}, \"version_bumps\": {}, \
+         \"touch_skips\": {}}}",
+        leg.l1_capacity,
+        leg.requests,
+        leg.serve_ms,
+        leg.requests_per_sec,
+        leg.p50_ms,
+        leg.p99_ms,
+        leg.hit_rate,
+        leg.stale_responses,
+        leg.l1_hits,
+        leg.l1_stale_rejects,
+        leg.l1_stale_serves,
+        leg.l1_refills,
+        leg.l1_evictions,
+        leg.l2_evictions,
+        leg.version_bumps,
+        leg.touch_skips,
+    )
+}
+
+/// The Zipf report as a JSON object fragment for `BENCH_repro.json`'s
+/// `live_zipf` section.
+pub fn json_zipf_fragment(report: &ZipfReport) -> String {
+    format!(
+        "{{\"objects\": {}, \"exponent\": {:.2}, \"cache_objects\": {}, \
+         \"conns\": {}, \"rounds\": {}, \"reactors\": {}, \"seed\": {}, \
+         \"coherent\": {}, \"pressured\": {}, \"effective\": {}, \
+         \"l1_on\": {}, \"l1_off\": {}}}",
+        report.objects,
+        report.exponent,
+        report.cache_objects,
+        report.conns,
+        report.rounds,
+        report.reactors,
+        report.seed,
+        report.coherent,
+        report.pressured,
+        report.effective,
+        json_zipf_leg(&report.l1_on),
+        json_zipf_leg(&report.l1_off),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -948,6 +1360,7 @@ mod tests {
             reactors: Some(2),
             reload_every: None,
             backend: None,
+            l1_objects: None,
         })
         .expect("bench run");
         assert_eq!(report.conns, 24);
@@ -977,6 +1390,7 @@ mod tests {
             reactors: Some(1),
             reload_every: None,
             backend: None,
+            l1_objects: None,
         })
         .expect("wire run");
         assert_eq!(bench.requests, 48);
@@ -1009,6 +1423,7 @@ mod tests {
             reactors: Some(2),
             reload_every: Some(2),
             backend: None,
+            l1_objects: None,
         })
         .expect("reload bench run");
         // Waves 2 and 4 reload (wave 0 never does); every request is
@@ -1029,6 +1444,7 @@ mod tests {
                 reactors: None,
                 reload_every: None,
                 backend: None,
+                l1_objects: None,
             },
             4,
         )
@@ -1070,6 +1486,34 @@ mod tests {
         assert!(json.contains("\"limit\": 4"));
         assert!(json.contains("\"saturated\": true"));
         assert!(json.contains("\"stable\": true"));
+    }
+
+    #[test]
+    fn zipf_legs_replay_one_sequence_and_stay_coherent() {
+        // A CI-sized pressure run: 64 objects against a 16-object L2,
+        // refresher churning the hot ranks, same seed for both legs.
+        let report = zipf(ZipfBenchConfig {
+            objects: 64,
+            conns: 8,
+            rounds: 30,
+            reactors: Some(2),
+            seed: 7,
+        })
+        .expect("zipf run");
+        assert_eq!(report.cache_objects, 16);
+        assert_eq!(report.l1_on.requests, 240);
+        assert_eq!(report.l1_off.requests, 240);
+        assert!(report.pressured, "catalog must overflow the L2: {report:?}");
+        assert!(report.effective, "L1 leg must serve L1 hits: {report:?}");
+        assert!(report.coherent, "no stale serve may be counted: {report:?}");
+        assert_eq!(report.l1_off.l1_refills, 0, "disabled leg has no L1");
+        let text = render_zipf(&report);
+        assert!(text.contains("coherent: true"));
+        assert!(text.contains("L2 capacity 16"));
+        let json = json_zipf_fragment(&report);
+        assert!(json.contains("\"coherent\": true"));
+        assert!(json.contains("\"l1_on\": {"));
+        assert!(json.contains("\"stale_responses\": 0"));
     }
 
     #[test]

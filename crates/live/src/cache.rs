@@ -21,7 +21,21 @@
 //! miss-completion path, outside any shard lock), so serving a hit is
 //! two shared slices handed to `writev` — zero per-request serialization
 //! and zero body copies.
+//!
+//! ## Version stamps and the per-reactor L1
+//!
+//! Each resident path carries a shared `Arc<AtomicU64>` **version
+//! handle**, bumped under the shard write lock by every mutation that
+//! could make an outstanding copy stale: a store, an LRU eviction, and
+//! an explicit removal. A whole-cache **generation** counter covers bulk
+//! invalidation (admin rule swaps). [`ShardedCache::get_versioned`]
+//! captures `(entry, handle, stamp)` atomically under the shard lock, so
+//! a reactor-local [`L1Cache`] can later revalidate the pair with a
+//! single relaxed atomic load — no shard lock on the L1 hit path at all.
+//! A failed compare means the copy *may* be stale; the reactor falls
+//! through to the shared cache and refills.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -117,9 +131,43 @@ impl CacheEntry {
 
 struct Shard {
     map: LruMap<String, Arc<CacheEntry>, u64>,
+    /// Per-path version handles; created on first store, bumped (under
+    /// this shard's write lock) by stores, evictions and removals, and
+    /// dropped when the path leaves the cache. An L1 holding a dropped
+    /// handle is harmless: the final bump already invalidated it.
+    versions: HashMap<String, Arc<AtomicU64>>,
     /// Entries pushed out by the LRU bound (not replacements/removals),
     /// surfaced by the admin stats endpoint.
     evictions: u64,
+    /// Version-handle bumps this shard has performed (stores, evictions,
+    /// removals — every L1-invalidating mutation).
+    version_bumps: u64,
+}
+
+impl Shard {
+    /// Bumps `path`'s version handle (creating it for a first store) and
+    /// returns it. `Release` pairs with the relaxed/acquire loads on the
+    /// lock-free L1 validation path.
+    fn bump_version(&mut self, path: &str) -> Arc<AtomicU64> {
+        self.version_bumps += 1;
+        match self.versions.get(path) {
+            Some(handle) => {
+                handle.fetch_add(1, Ordering::Release);
+                Arc::clone(handle)
+            }
+            None => {
+                let handle = Arc::new(AtomicU64::new(1));
+                self.versions.insert(path.to_owned(), Arc::clone(&handle));
+                handle
+            }
+        }
+    }
+
+    /// Bumps and drops the handle of a path that left the cache.
+    fn retire_version(&mut self, path: &str) {
+        self.bump_version(path);
+        self.versions.remove(path);
+    }
 }
 
 /// One shard's occupancy and eviction count, as reported by
@@ -130,6 +178,22 @@ pub struct ShardStats {
     pub len: usize,
     /// LRU evictions the shard has performed so far.
     pub evictions: u64,
+    /// Version-handle bumps (L1-invalidating mutations) so far.
+    pub version_bumps: u64,
+}
+
+/// A copy captured together with its version handle, for reactor-local
+/// L1 caches: the pair revalidates later with one relaxed load — the
+/// copy is still current iff `handle.load() == stamp` (and the global
+/// generation is unchanged).
+#[derive(Debug, Clone)]
+pub struct VersionedEntry {
+    /// The cached copy.
+    pub entry: Arc<CacheEntry>,
+    /// The path's shared version handle.
+    pub handle: Arc<AtomicU64>,
+    /// The handle's value at capture time (under the shard lock).
+    pub stamp: u64,
 }
 
 /// A sharded, optionally bounded cache keyed by object path.
@@ -137,6 +201,12 @@ pub struct ShardedCache {
     shards: Vec<RwLock<Shard>>,
     /// Monotonic logical clock ordering recency across all shards.
     clock: AtomicU64,
+    /// Bulk-invalidation generation: bumped by admin rule swaps; every
+    /// reactor L1 drops wholesale when it observes a new value.
+    generation: AtomicU64,
+    /// Hit-path lookups that skipped the recency write lock because the
+    /// entry was already most recent (see [`ShardedCache::get`]).
+    touch_skips: AtomicU64,
     /// Whether a capacity bound is set; the unbounded cache (the
     /// paper's model, and the default) has no recency to maintain, so
     /// its hit path never touches a write lock at all.
@@ -163,6 +233,30 @@ fn shard_index(path: &str) -> usize {
     ((hash ^ (hash >> 32)) as usize) & (SHARD_COUNT - 1)
 }
 
+/// Full 64-bit FNV-1a (the shard index above keeps only masked bits; the
+/// L1's probe sequence wants the whole hash).
+fn fnv1a(path: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in path.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Captures the `(entry, handle, stamp)` triple under one shard-lock
+/// hold, so the pair is consistent: bumps happen under the write lock.
+fn versioned(shard: &Shard, path: &str) -> Option<VersionedEntry> {
+    let entry = Arc::clone(shard.map.get(path)?);
+    let handle = Arc::clone(shard.versions.get(path)?);
+    let stamp = handle.load(Ordering::Acquire);
+    Some(VersionedEntry {
+        entry,
+        handle,
+        stamp,
+    })
+}
+
 impl ShardedCache {
     /// A cache bounded to roughly `capacity` objects in total (`None` =
     /// unbounded, the paper's infinite-cache model). The bound is
@@ -185,11 +279,15 @@ impl ShardedCache {
                             Some(cap) => LruMap::with_capacity(cap),
                             None => LruMap::unbounded(),
                         },
+                        versions: HashMap::new(),
                         evictions: 0,
+                        version_bumps: 0,
                     })
                 })
                 .collect(),
             clock: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
+            touch_skips: AtomicU64::new(0),
             bounded: per_shard.is_some(),
         }
     }
@@ -200,11 +298,21 @@ impl ShardedCache {
 
     /// Looks up a copy; the returned `Arc` is a refcount bump, no byte
     /// copying. On a bounded cache LRU recency is refreshed only if the
-    /// shard's write lock is free (see module docs); unbounded caches
-    /// read under the shared lock unconditionally.
+    /// shard's write lock is free (see module docs) — and not at all
+    /// when the entry is already the shard's most recently used, where a
+    /// touch could not change the eviction order: the hottest key of a
+    /// skewed workload serves entirely under the shared read lock.
+    /// Unbounded caches read under the shared lock unconditionally.
     pub fn get(&self, path: &str) -> Option<Arc<CacheEntry>> {
         let shard = &self.shards[shard_index(path)];
         if self.bounded {
+            {
+                let guard = shard.read();
+                if guard.map.is_most_recent(path) {
+                    self.touch_skips.fetch_add(1, Ordering::Relaxed);
+                    return guard.map.get(path).cloned();
+                }
+            }
             if let Some(mut guard) = shard.try_write() {
                 let now = self.tick();
                 return guard.map.touch(path, now).cloned();
@@ -213,17 +321,42 @@ impl ShardedCache {
         shard.read().map.get(path).cloned()
     }
 
+    /// [`ShardedCache::get`] plus the path's version handle and its
+    /// value, captured under the same shard-lock hold as the entry —
+    /// the consistent pair a reactor L1 needs for later lock-free
+    /// revalidation.
+    pub fn get_versioned(&self, path: &str) -> Option<VersionedEntry> {
+        let shard = &self.shards[shard_index(path)];
+        if self.bounded {
+            {
+                let guard = shard.read();
+                if guard.map.is_most_recent(path) {
+                    self.touch_skips.fetch_add(1, Ordering::Relaxed);
+                    return versioned(&guard, path);
+                }
+            }
+            if let Some(mut guard) = shard.try_write() {
+                let now = self.tick();
+                guard.map.touch(path, now);
+                return versioned(&guard, path);
+            }
+        }
+        versioned(&shard.read(), path)
+    }
+
     /// Stores (or replaces) a copy, evicting the shard's LRU entry if
-    /// the shard is at capacity.
+    /// the shard is at capacity. Bumps the path's version handle (and
+    /// the evicted path's, if any): every outstanding L1 copy of either
+    /// is invalidated.
     pub fn insert(&self, path: &str, entry: CacheEntry) {
         let now = self.tick();
         let mut shard = self.shards[shard_index(path)].write();
-        if shard
-            .map
-            .insert(path.to_owned(), Arc::new(entry), now)
-            .is_some()
-        {
+        shard.bump_version(path);
+        if let Some((victim, _)) = shard.map.insert(path.to_owned(), Arc::new(entry), now) {
             shard.evictions += 1;
+            if victim != path {
+                shard.retire_version(&victim);
+            }
         }
     }
 
@@ -241,21 +374,53 @@ impl ShardedCache {
                 return Arc::clone(existing);
             }
         }
-        if shard
-            .map
-            .insert(path.to_owned(), Arc::clone(&entry), now)
-            .is_some()
-        {
+        shard.bump_version(path);
+        if let Some((victim, _)) = shard.map.insert(path.to_owned(), Arc::clone(&entry), now) {
             shard.evictions += 1;
+            if victim != path {
+                shard.retire_version(&victim);
+            }
         }
         entry
     }
 
     /// Drops a copy (the admin plane evicts paths whose refresh rule was
     /// removed — an unrefreshed copy would otherwise be served stale
-    /// forever). Returns the removed entry, if one was resident.
+    /// forever). Returns the removed entry, if one was resident. The
+    /// path's version handle takes its final bump, so outstanding L1
+    /// copies reject on their next validation.
     pub fn remove(&self, path: &str) -> Option<Arc<CacheEntry>> {
-        self.shards[shard_index(path)].write().map.remove(path)
+        let mut shard = self.shards[shard_index(path)].write();
+        let removed = shard.map.remove(path);
+        if removed.is_some() {
+            shard.retire_version(path);
+        }
+        removed
+    }
+
+    /// The bulk-invalidation generation. Relaxed: the L1 only needs to
+    /// observe new values eventually-promptly, and a swap's own shard
+    /// removals carry per-path bumps with `Release` ordering anyway.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Invalidates every reactor L1 wholesale (admin rule swaps call
+    /// this: membership of the rule set changed, so conservatively no
+    /// reactor-local copy should outlive the swap).
+    pub fn bump_generation(&self) {
+        self.generation.fetch_add(1, Ordering::Release);
+    }
+
+    /// Hit-path lookups that skipped the recency write lock because the
+    /// entry was already the shard's most recently used.
+    pub fn touch_skips(&self) -> u64 {
+        self.touch_skips.load(Ordering::Relaxed)
+    }
+
+    /// Total version-handle bumps across all shards.
+    pub fn version_bumps(&self) -> u64 {
+        self.shards.iter().map(|s| s.read().version_bumps).sum()
     }
 
     /// Total cached objects across all shards.
@@ -288,6 +453,7 @@ impl ShardedCache {
                 ShardStats {
                     len: shard.map.len(),
                     evictions: shard.evictions,
+                    version_bumps: shard.version_bumps,
                 }
             })
             .collect()
@@ -304,6 +470,186 @@ impl std::fmt::Debug for ShardedCache {
         f.debug_struct("ShardedCache")
             .field("shards", &SHARD_COUNT)
             .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// Slots a probe inspects per path: one cache line's worth of window.
+/// Open addressing with a fixed window needs no tombstones — lookups
+/// always scan the whole window, inserts evict the window's LRU slot
+/// when every slot is taken.
+const L1_PROBE: usize = 8;
+
+struct L1Slot {
+    path: String,
+    versioned: VersionedEntry,
+    /// Local recency; only breaks eviction ties within a probe window.
+    used: u64,
+}
+
+/// Outcome of an [`L1Cache::lookup`].
+#[derive(Debug, Clone)]
+pub enum L1Lookup {
+    /// Resident and revalidated: the copy is provably current as of the
+    /// version load. Carries the versioned pair so the caller can
+    /// re-check the handle after serving (the stale-serve audit).
+    Hit(VersionedEntry),
+    /// Resident but the version compare failed — the shared cache
+    /// mutated the path. The slot has been dropped; refill from L2.
+    Stale,
+    /// Not resident.
+    Miss,
+}
+
+/// A reactor-local hot-object cache: an open-addressed `path →
+/// (version, Arc<CacheEntry>)` map consulted before the shared
+/// [`ShardedCache`]. Owned by one reactor thread, so reads and writes
+/// are plain `&mut` — no locks, no atomics except the single relaxed
+/// version load that revalidates a hit.
+pub struct L1Cache {
+    slots: Vec<Option<L1Slot>>,
+    mask: u64,
+    /// The shared cache's bulk-invalidation generation last observed;
+    /// a change drops every slot before the lookup proceeds.
+    generation: u64,
+    tick: u64,
+    len: usize,
+    evictions: u64,
+}
+
+impl L1Cache {
+    /// An L1 holding roughly `capacity` objects (rounded up to a power
+    /// of two, minimum one probe window).
+    pub fn new(capacity: usize) -> L1Cache {
+        let slots = capacity.max(L1_PROBE).next_power_of_two();
+        L1Cache {
+            slots: (0..slots).map(|_| None).collect(),
+            mask: (slots - 1) as u64,
+            generation: 0,
+            tick: 0,
+            len: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks up `path`, revalidating any resident copy against its
+    /// version handle (one relaxed load) and against the shared cache's
+    /// bulk `generation` (a changed generation clears the whole L1).
+    pub fn lookup(&mut self, path: &str, generation: u64) -> L1Lookup {
+        if generation != self.generation {
+            self.clear();
+            self.generation = generation;
+            return L1Lookup::Miss;
+        }
+        let base = fnv1a(path);
+        for i in 0..L1_PROBE as u64 {
+            let idx = ((base.wrapping_add(i)) & self.mask) as usize;
+            let Some(slot) = &mut self.slots[idx] else {
+                continue;
+            };
+            if slot.path != path {
+                continue;
+            }
+            // The single revalidation load. Relaxed is the point: a
+            // bump not yet visible here is exactly the propagation
+            // window the paper's Δ tolerates, and the bytes served are
+            // the ones this reactor already holds — no new memory is
+            // read on the strength of this load.
+            if slot.versioned.handle.load(Ordering::Relaxed) == slot.versioned.stamp {
+                self.tick += 1;
+                slot.used = self.tick;
+                return L1Lookup::Hit(slot.versioned.clone());
+            }
+            self.slots[idx] = None;
+            self.len -= 1;
+            return L1Lookup::Stale;
+        }
+        L1Lookup::Miss
+    }
+
+    /// Refills after an L2 hit. A full probe window evicts its least
+    /// recently used slot.
+    pub fn insert(&mut self, path: &str, versioned: VersionedEntry) {
+        let base = fnv1a(path);
+        self.tick += 1;
+        let mut empty = None;
+        let mut lru: Option<(usize, u64)> = None;
+        for i in 0..L1_PROBE as u64 {
+            let idx = ((base.wrapping_add(i)) & self.mask) as usize;
+            match &self.slots[idx] {
+                Some(slot) if slot.path == path => {
+                    self.slots[idx] = Some(L1Slot {
+                        path: path.to_owned(),
+                        versioned,
+                        used: self.tick,
+                    });
+                    return;
+                }
+                Some(slot) => {
+                    if lru.map_or(true, |(_, used)| slot.used < used) {
+                        lru = Some((idx, slot.used));
+                    }
+                }
+                None => {
+                    if empty.is_none() {
+                        empty = Some(idx);
+                    }
+                }
+            }
+        }
+        let idx = match (empty, lru) {
+            (Some(idx), _) => {
+                self.len += 1;
+                idx
+            }
+            (None, Some((idx, _))) => {
+                self.evictions += 1;
+                idx
+            }
+            (None, None) => unreachable!("probe window has neither empty nor occupied slots"),
+        };
+        self.slots[idx] = Some(L1Slot {
+            path: path.to_owned(),
+            versioned,
+            used: self.tick,
+        });
+    }
+
+    /// Drops every slot (bulk invalidation).
+    pub fn clear(&mut self) {
+        for slot in &mut self.slots {
+            *slot = None;
+        }
+        self.len = 0;
+    }
+
+    /// Objects currently resident.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the L1 holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Probe-window LRU evictions performed by refills so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+impl std::fmt::Debug for L1Cache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("L1Cache")
+            .field("capacity", &self.slots.len())
+            .field("len", &self.len)
+            .field("generation", &self.generation)
             .finish()
     }
 }
@@ -477,6 +823,187 @@ mod tests {
         assert!(cache.remove("/a").is_none());
         assert!(cache.get("/a").is_none());
         assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn hot_entry_reads_skip_the_write_lock() {
+        let cache = ShardedCache::new(Some(SHARD_COUNT * 4));
+        cache.insert("/hot", entry(1));
+        assert_eq!(cache.touch_skips(), 0);
+        // The freshly inserted entry is its shard's most recent: every
+        // repeat read takes the skip path, and recency stays intact.
+        for _ in 0..10 {
+            assert!(cache.get("/hot").is_some());
+        }
+        assert_eq!(cache.touch_skips(), 10);
+        // A second key in the same shard displaces /hot from the
+        // recency tail; its next read must take the touch path again
+        // (no new skip) and restore it.
+        let colliding = (0..)
+            .map(|i| format!("/hot/{i}"))
+            .find(|p| shard_of(p) == shard_of("/hot"))
+            .unwrap();
+        cache.insert(&colliding, entry(2));
+        let skips = cache.touch_skips();
+        assert!(cache.get("/hot").is_some());
+        assert_eq!(cache.touch_skips(), skips, "non-tail read must not skip");
+        assert!(cache.get("/hot").is_some());
+        assert_eq!(cache.touch_skips(), skips + 1, "touched entry skips again");
+        // Unbounded caches have no recency to protect; no skip counting.
+        let unbounded = ShardedCache::new(None);
+        unbounded.insert("/a", entry(1));
+        let _ = unbounded.get("/a");
+        assert_eq!(unbounded.touch_skips(), 0);
+    }
+
+    #[test]
+    fn touch_skip_preserves_lru_survival() {
+        // The regression the counter guards: skipping the touch for the
+        // most-recent entry must never let eviction pressure push out a
+        // constantly-read key.
+        let cache = ShardedCache::new(Some(SHARD_COUNT * 4));
+        cache.insert("/hot", entry(0));
+        for i in 0..5_000u64 {
+            let _ = cache.get("/hot");
+            cache.insert(&format!("/cold/{i}"), entry(i));
+        }
+        assert!(cache.get("/hot").is_some(), "hot entry evicted");
+        assert!(cache.touch_skips() > 0, "skew never took the skip path");
+    }
+
+    #[test]
+    fn version_handles_bump_on_every_invalidating_mutation() {
+        let cache = ShardedCache::new(None);
+        cache.insert("/a", entry(1));
+        let v1 = cache.get_versioned("/a").expect("resident");
+        assert_eq!(v1.handle.load(Ordering::Relaxed), v1.stamp);
+
+        // A replacement bumps: the captured pair now fails validation.
+        cache.insert("/a", entry(2));
+        assert_ne!(v1.handle.load(Ordering::Relaxed), v1.stamp);
+        let v2 = cache.get_versioned("/a").expect("resident");
+        assert!(Arc::ptr_eq(&v1.handle, &v2.handle), "handle survives replacement");
+        assert_eq!(v2.handle.load(Ordering::Relaxed), v2.stamp);
+
+        // insert_if_newer with a stale offer does not bump.
+        let resident = cache.insert_if_newer("/a", entry(1));
+        assert_eq!(resident.last_modified(), Timestamp::from_millis(2));
+        assert_eq!(v2.handle.load(Ordering::Relaxed), v2.stamp);
+
+        // Removal takes the final bump.
+        cache.remove("/a");
+        assert_ne!(v2.handle.load(Ordering::Relaxed), v2.stamp);
+        assert!(cache.get_versioned("/a").is_none());
+        assert_eq!(cache.version_bumps(), 3, "first store + replacement + removal");
+    }
+
+    #[test]
+    fn lru_eviction_bumps_the_victims_version() {
+        let cache = ShardedCache::new(Some(SHARD_COUNT)); // 1 per shard
+        cache.insert("/seed/0", entry(0));
+        let seed = cache.get_versioned("/seed/0").expect("resident");
+        // Pour colliding strangers into its shard until it is evicted.
+        for i in 0..200u64 {
+            let path = format!("/spray/{i}");
+            if shard_of(&path) == shard_of("/seed/0") {
+                cache.insert(&path, entry(i));
+            }
+        }
+        assert!(cache.get("/seed/0").is_none(), "victim still resident");
+        assert_ne!(
+            seed.handle.load(Ordering::Relaxed),
+            seed.stamp,
+            "eviction must invalidate outstanding L1 copies"
+        );
+    }
+
+    #[test]
+    fn generation_bumps_are_observable() {
+        let cache = ShardedCache::new(None);
+        let g = cache.generation();
+        cache.bump_generation();
+        assert_eq!(cache.generation(), g + 1);
+    }
+
+    #[test]
+    fn l1_round_trip_and_revalidation() {
+        let cache = ShardedCache::new(None);
+        let mut l1 = L1Cache::new(32);
+        assert!(l1.is_empty());
+        assert!(matches!(l1.lookup("/a", cache.generation()), L1Lookup::Miss));
+
+        cache.insert("/a", entry(1));
+        let v = cache.get_versioned("/a").unwrap();
+        l1.insert("/a", v);
+        assert_eq!(l1.len(), 1);
+        let L1Lookup::Hit(hit) = l1.lookup("/a", cache.generation()) else {
+            panic!("valid entry must hit");
+        };
+        assert_eq!(&hit.entry.body()[..], b"v1");
+
+        // A store invalidates: next lookup rejects as stale and drops
+        // the slot, the one after misses.
+        cache.insert("/a", entry(2));
+        assert!(matches!(l1.lookup("/a", cache.generation()), L1Lookup::Stale));
+        assert!(matches!(l1.lookup("/a", cache.generation()), L1Lookup::Miss));
+        assert!(l1.is_empty());
+
+        // Refill serves the new copy.
+        l1.insert("/a", cache.get_versioned("/a").unwrap());
+        let L1Lookup::Hit(hit) = l1.lookup("/a", cache.generation()) else {
+            panic!("refilled entry must hit");
+        };
+        assert_eq!(&hit.entry.body()[..], b"v2");
+    }
+
+    #[test]
+    fn l1_generation_change_clears_everything() {
+        let cache = ShardedCache::new(None);
+        let mut l1 = L1Cache::new(32);
+        for i in 0..8u64 {
+            let path = format!("/g/{i}");
+            cache.insert(&path, entry(i));
+            l1.insert(&path, cache.get_versioned(&path).unwrap());
+        }
+        assert_eq!(l1.len(), 8);
+        cache.bump_generation();
+        assert!(matches!(l1.lookup("/g/0", cache.generation()), L1Lookup::Miss));
+        assert!(l1.is_empty(), "a new generation drops every slot");
+        // Same generation again: refills are accepted as usual.
+        l1.insert("/g/0", cache.get_versioned("/g/0").unwrap());
+        assert!(matches!(l1.lookup("/g/0", cache.generation()), L1Lookup::Hit(_)));
+    }
+
+    #[test]
+    fn l1_probe_window_evicts_lru_under_pressure() {
+        let cache = ShardedCache::new(None);
+        let mut l1 = L1Cache::new(L1_PROBE); // one window total
+        for i in 0..(L1_PROBE as u64 + 4) {
+            let path = format!("/p/{i}");
+            cache.insert(&path, entry(i));
+            l1.insert(&path, cache.get_versioned(&path).unwrap());
+        }
+        assert!(l1.len() <= L1_PROBE);
+        assert_eq!(l1.evictions(), 4, "a full window evicts its LRU slot");
+        // The most recent insert is resident.
+        let last = format!("/p/{}", L1_PROBE as u64 + 3);
+        assert!(matches!(l1.lookup(&last, cache.generation()), L1Lookup::Hit(_)));
+    }
+
+    #[test]
+    fn l1_replaces_in_place_without_eviction() {
+        let cache = ShardedCache::new(None);
+        let mut l1 = L1Cache::new(32);
+        cache.insert("/a", entry(1));
+        l1.insert("/a", cache.get_versioned("/a").unwrap());
+        cache.insert("/a", entry(2));
+        l1.insert("/a", cache.get_versioned("/a").unwrap());
+        assert_eq!(l1.len(), 1);
+        assert_eq!(l1.evictions(), 0);
+        let L1Lookup::Hit(hit) = l1.lookup("/a", cache.generation()) else {
+            panic!("replaced entry must hit");
+        };
+        assert_eq!(&hit.entry.body()[..], b"v2");
     }
 
     #[test]

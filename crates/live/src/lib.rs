@@ -78,6 +78,7 @@
 //!     reactors: None,
 //!     max_conns: None,
 //!     backend: None,
+//!     l1_objects: None,
 //! })?;
 //! println!("proxy listening on {}", proxy.local_addr());
 //! # Ok(())

@@ -137,6 +137,12 @@ pub struct ProxyConfig {
     /// kernel refuses rings — see `/admin/stats`'s `wire.backends` for
     /// what each reactor actually runs.
     pub backend: Option<BackendKind>,
+    /// Per-reactor L1 hot-object cache capacity in objects (`None` = the
+    /// `MUTCON_LIVE_L1` / [`crate::server::DEFAULT_L1_OBJECTS`] default;
+    /// `Some(0)` disables the L1 entirely). A validated L1 hit is served
+    /// without touching any shared shard lock; coherence comes from the
+    /// per-path version stamps in [`crate::cache::ShardedCache`].
+    pub l1_objects: Option<usize>,
 }
 
 impl ProxyConfig {
@@ -151,6 +157,7 @@ impl ProxyConfig {
             reactors: None,
             max_conns: None,
             backend: None,
+            l1_objects: None,
         }
     }
 }
@@ -230,6 +237,7 @@ impl LiveProxy {
                 shared: Arc::clone(&shared),
                 metrics: Arc::clone(&metrics),
                 overload: Arc::clone(&overload),
+                l1_objects: config.l1_objects.unwrap_or_else(crate::server::l1_objects),
             }),
             config.max_conns.unwrap_or_else(crate::server::max_conns),
             config.reactors.unwrap_or_else(crate::server::num_reactors),
@@ -266,6 +274,14 @@ impl LiveProxy {
                             // touch the HTTP handler.
                             |removed| {
                                 shared.cache.remove(removed);
+                            },
+                            // Every adopted swap — HTTP PUT or direct
+                            // install — bulk-invalidates the reactors'
+                            // L1s. (The PUT handler also bumps at
+                            // install time; the double bump is harmless
+                            // and closes the adoption lag.)
+                            |_version| {
+                                shared.cache.bump_generation();
                             },
                         );
                     })?,
@@ -354,6 +370,9 @@ struct ProxyService {
     shared: Arc<Shared>,
     metrics: Arc<EngineMetrics>,
     overload: Arc<OverloadControl>,
+    /// Per-reactor L1 capacity (resolved from config/environment at
+    /// start; 0 disables).
+    l1_objects: usize,
 }
 
 impl Service for ProxyService {
@@ -385,10 +404,14 @@ impl Service for ProxyService {
         }
 
         // Cache hit: the entry's pre-rendered head and shared body go
-        // out as-is — no serialization, no body copy, one writev.
-        if let Some(entry) = self.shared.cache.get(path) {
+        // out as-is — no serialization, no body copy, one writev. The
+        // versioned capture rides along so the reactor refills its L1
+        // and the *next* request for this path skips the shard lock
+        // entirely.
+        if let Some(hit) = self.shared.cache.get_versioned(path) {
             self.shared.counters.hits.fetch_add(1, Ordering::SeqCst);
-            return ServiceResult::RespondPrepared(prepared(&entry, true));
+            let response = prepared(&hit.entry, true);
+            return ServiceResult::RespondCacheable(response, hit);
         }
 
         // Miss: fetch from the origin through the reactor (its own
@@ -433,6 +456,39 @@ impl Service for ProxyService {
                 ),
             }),
         }
+    }
+
+    fn l1_capacity(&self) -> usize {
+        self.l1_objects
+    }
+
+    fn l1_generation(&self) -> u64 {
+        self.shared.cache.generation()
+    }
+
+    /// Only plain `GET`s for cacheable paths may be answered from a
+    /// reactor's L1; the admin plane and the stats endpoints always run
+    /// their handlers.
+    fn l1_key<'r>(&self, request: &'r Request) -> Option<&'r str> {
+        let path = request.target();
+        if request.method() != &Method::Get
+            || path.starts_with("/admin/")
+            || path == "/__stats"
+        {
+            return None;
+        }
+        Some(path)
+    }
+
+    /// An L1-validated hit serves the same zero-copy way an L2 hit
+    /// does, and counts as a cache hit.
+    fn l1_serve(
+        &self,
+        _request: &Request,
+        hit: &crate::cache::VersionedEntry,
+    ) -> Option<PreparedResponse> {
+        self.shared.counters.hits.fetch_add(1, Ordering::SeqCst);
+        Some(prepared(&hit.entry, true))
     }
 }
 
@@ -576,6 +632,12 @@ impl ProxyService {
                     for path in &report.removed {
                         self.shared.cache.remove(path);
                     }
+                    // Bulk-invalidate every reactor's L1: the rule swap
+                    // may change what a path's bytes *mean* (Δ, group
+                    // membership), so reactor-local copies are cleared
+                    // wholesale on their next lookup rather than
+                    // trusting per-path stamps alone.
+                    self.shared.cache.bump_generation();
                     self.shared.counters.reloads.fetch_add(1, Ordering::SeqCst);
                     let doc = obj([
                         ("epoch", Json::Number(report.version as f64)),
@@ -614,6 +676,7 @@ impl ProxyService {
                 obj([
                     ("len", Json::Number(s.len as f64)),
                     ("evictions", Json::Number(s.evictions as f64)),
+                    ("version_bumps", Json::Number(s.version_bumps as f64)),
                 ])
             })
             .collect();
@@ -636,6 +699,32 @@ impl ProxyService {
                 obj([
                     ("objects", Json::Number(self.shared.cache.len() as f64)),
                     ("evictions", Json::Number(self.shared.cache.evictions() as f64)),
+                    ("generation", Json::Number(self.shared.cache.generation() as f64)),
+                    (
+                        "version_bumps",
+                        Json::Number(self.shared.cache.version_bumps() as f64),
+                    ),
+                    // Hit-path touches skipped because the entry was
+                    // already most-recent — reads that never queued on
+                    // a shard write lock.
+                    ("touch_skips", Json::Number(self.shared.cache.touch_skips() as f64)),
+                    (
+                        "l1",
+                        obj([
+                            ("capacity", Json::Number(self.l1_objects as f64)),
+                            ("hits", Json::Number(self.metrics.l1_hits() as f64)),
+                            (
+                                "stale_rejects",
+                                Json::Number(self.metrics.l1_stale_rejects() as f64),
+                            ),
+                            (
+                                "stale_serves",
+                                Json::Number(self.metrics.l1_stale_serves() as f64),
+                            ),
+                            ("refills", Json::Number(self.metrics.l1_refills() as f64)),
+                            ("evictions", Json::Number(self.metrics.l1_evictions() as f64)),
+                        ]),
+                    ),
                     ("shards", Json::Array(shards)),
                 ]),
             ),
@@ -677,6 +766,19 @@ impl ProxyService {
                     (
                         "cqe_completed",
                         Json::Number(self.metrics.cqe_completed() as f64),
+                    ),
+                    ("l1_hits", Json::Number(self.metrics.l1_hits() as f64)),
+                    (
+                        "l1_stale_rejects",
+                        Json::Number(self.metrics.l1_stale_rejects() as f64),
+                    ),
+                    (
+                        "l1_stale_serves",
+                        Json::Number(self.metrics.l1_stale_serves() as f64),
+                    ),
+                    (
+                        "write_stalls",
+                        Json::Number(self.metrics.write_stalls() as f64),
                     ),
                     // What each reactor actually runs after any
                     // io_uring → epoll construction fallback.

@@ -302,12 +302,16 @@ impl ConsistencyRuntime {
     /// the scheduler adopts the new epoch — the proxy evicts the path's
     /// cache entry there, so the eviction happens for *every* install
     /// (HTTP PUT or a direct [`ConsistencyRuntime::install`] caller),
-    /// not just the admin handler's.
+    /// not just the admin handler's. `on_adopted` fires once per epoch
+    /// the scheduler adopts, with the new version — the proxy bumps its
+    /// cache generation there, wholesale-invalidating every reactor's
+    /// L1 for the same "every install" guarantee.
     pub fn run(
         &self,
         shutdown: &AtomicBool,
         mut poll: impl FnMut(PollKind, &str) -> Option<PollResult>,
         mut on_removed: impl FnMut(&str),
+        mut on_adopted: impl FnMut(u64),
     ) {
         let mut sched = Scheduler::new(self.current(), Instant::now());
         self.publish(&sched);
@@ -317,6 +321,7 @@ impl ConsistencyRuntime {
                 for path in sched.reconcile(current, Instant::now()) {
                     on_removed(&path);
                 }
+                on_adopted(sched.epoch.version);
                 self.publish(&sched);
             }
             let Some((path, at)) = sched.next_due() else {
@@ -342,6 +347,7 @@ impl ConsistencyRuntime {
                 for path in sched.reconcile(current, Instant::now()) {
                     on_removed(&path);
                 }
+                on_adopted(sched.epoch.version);
                 self.publish(&sched);
             }
             match outcome {
@@ -673,6 +679,7 @@ mod tests {
                 Some(PollResult::NotModified)
             },
             |removed| panic!("nothing was removed, got {removed}"),
+            |version| panic!("no swap happened, got adoption of epoch {version}"),
         );
         assert_eq!(polls.load(Ordering::SeqCst), 5);
         let status = runtime.status();
@@ -690,6 +697,7 @@ mod tests {
         let shutdown = AtomicBool::new(false);
         let seen = RwLock::new(Vec::<String>::new());
         let removed = RwLock::new(Vec::<String>::new());
+        let adopted = RwLock::new(Vec::<u64>::new());
         runtime.run(
             &shutdown,
             |_, path| {
@@ -706,7 +714,11 @@ mod tests {
                 Some(PollResult::NotModified)
             },
             |path| removed.write().push(path.to_owned()),
+            |version| adopted.write().push(version),
         );
+        // The adoption hook fired exactly once, with the new epoch — the
+        // proxy's L1 bulk invalidation rides on it.
+        assert_eq!(adopted.into_inner(), vec![2]);
         let seen = seen.into_inner();
         assert_eq!(&seen[..2], &["/old", "/old"]);
         // Everything after the swap polls the new path only — including

@@ -78,6 +78,7 @@ use mutcon_sim::reactor::{
     connect_nonblocking, listen_reuseport, raise_nofile_limit, Event, Interest, Waker,
 };
 
+use crate::cache::{L1Cache, L1Lookup, VersionedEntry};
 use crate::overload::{
     partition_of, OverloadConfig, OverloadControl, PartitionSnap, ReactorOverloadSnap,
 };
@@ -98,6 +99,17 @@ pub const DEFAULT_MAX_CONNS: usize = 1024;
 /// Environment variable choosing how many reactor threads an event loop
 /// runs (default: one per core, capped at [`MAX_REACTORS`]).
 pub const REACTORS_ENV: &str = "MUTCON_LIVE_REACTORS";
+
+/// Environment variable sizing the per-reactor L1 hot-object cache in
+/// objects (`0` disables it). Services that opt into an L1 (the live
+/// proxy) read it through [`l1_objects`]; an explicit configuration
+/// value wins over the environment.
+pub const L1_ENV: &str = "MUTCON_LIVE_L1";
+
+/// Default per-reactor L1 capacity in objects: big enough to hold the
+/// hot head of a Zipf(≈1.0) catalog, small enough that N reactors'
+/// copies stay a footnote next to the shared cache.
+pub const DEFAULT_L1_OBJECTS: usize = 128;
 
 /// Ceiling on the reactor-count default (and on oversized overrides) —
 /// beyond this the listeners outnumber any plausible load.
@@ -179,6 +191,21 @@ pub fn num_reactors() -> usize {
     reactors_from(std::env::var(REACTORS_ENV).ok().as_deref())
 }
 
+/// Parses a `MUTCON_LIVE_L1`-style override. Unlike the other knobs,
+/// an explicit `0` is honored: it means "no L1".
+fn l1_objects_from(raw: Option<&str>) -> usize {
+    match raw.map(str::trim).and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) => n,
+        None => DEFAULT_L1_OBJECTS,
+    }
+}
+
+/// The per-reactor L1 capacity: `MUTCON_LIVE_L1` if set to an integer
+/// (`0` disables), otherwise [`DEFAULT_L1_OBJECTS`].
+pub fn l1_objects() -> usize {
+    l1_objects_from(std::env::var(L1_ENV).ok().as_deref())
+}
+
 /// Completion callback for an upstream fetch: receives the origin's
 /// response (or the I/O error) and produces the reply for the waiting
 /// client — either a full [`Response`] or a pre-serialized
@@ -218,6 +245,13 @@ pub enum ServiceResult {
     /// Write this pre-serialized response now, sharing its body bytes
     /// (the cache-hit fast path: no serialization, no body copy).
     RespondPrepared(PreparedResponse),
+    /// Write this pre-serialized response now *and* refill the reactor's
+    /// L1 with the versioned copy it was built from — the shared-cache
+    /// hit path when a reactor-local L1 is configured
+    /// ([`Service::l1_capacity`]). Subsequent requests for the same key
+    /// are served from the L1 without touching any shard lock, until a
+    /// version bump invalidates the copy.
+    RespondCacheable(PreparedResponse, VersionedEntry),
     /// Write this response after a delay, without blocking the reactor
     /// (fault injection: the origin's `Stall` mode).
     RespondAfter(Response, Duration),
@@ -241,6 +275,7 @@ impl std::fmt::Debug for ServiceResult {
         let name = match self {
             ServiceResult::Respond(_) => "Respond",
             ServiceResult::RespondPrepared(_) => "RespondPrepared",
+            ServiceResult::RespondCacheable(..) => "RespondCacheable",
             ServiceResult::RespondAfter(..) => "RespondAfter",
             ServiceResult::Upstream { .. } => "Upstream",
             ServiceResult::Close => "Close",
@@ -262,6 +297,38 @@ pub trait Service: Send + Sync + 'static {
 
     /// Handles one parsed request.
     fn respond(&self, request: &Request) -> ServiceResult;
+
+    /// Per-reactor L1 capacity in objects. `0` (the default) disables
+    /// the reactor-local cache entirely: the engine never consults or
+    /// constructs an L1 and every request reaches [`Service::respond`].
+    fn l1_capacity(&self) -> usize {
+        0
+    }
+
+    /// The shared cache's bulk-invalidation generation (see
+    /// [`crate::cache::ShardedCache::generation`]). Loaded once per L1
+    /// lookup; a change wholesale-invalidates every reactor's L1 on its
+    /// next lookup (admin rule swaps, consistency-epoch adoptions).
+    fn l1_generation(&self) -> u64 {
+        0
+    }
+
+    /// The L1 cache key for `request`, or `None` when the request must
+    /// never be served from the reactor-local cache (non-GET methods,
+    /// admin paths, cache-bypass headers — the service owns the policy).
+    fn l1_key<'r>(&self, request: &'r Request) -> Option<&'r str> {
+        let _ = request;
+        None
+    }
+
+    /// Builds the wire response for an L1-validated entry. Returning
+    /// `None` declines the hit and falls through to
+    /// [`Service::respond`]. Only called for requests [`Service::l1_key`]
+    /// accepted, on entries that just passed version revalidation.
+    fn l1_serve(&self, request: &Request, hit: &VersionedEntry) -> Option<PreparedResponse> {
+        let _ = (request, hit);
+        None
+    }
 }
 
 /// Lightweight always-on counters an event loop's reactors maintain, for
@@ -289,6 +356,12 @@ pub struct EngineMetrics {
     interest_coalesced: AtomicU64,
     sqe_submitted: AtomicU64,
     cqe_completed: AtomicU64,
+    l1_hits: AtomicU64,
+    l1_stale_rejects: AtomicU64,
+    l1_stale_serves: AtomicU64,
+    l1_refills: AtomicU64,
+    l1_evictions: AtomicU64,
+    write_stalls: AtomicU64,
     /// Active backend per reactor: 0 = unknown, 1 = epoll, 2 = io_uring
     /// (set after any construction fallback, so it reports what actually
     /// runs).
@@ -316,6 +389,12 @@ impl Default for EngineMetrics {
             interest_coalesced: AtomicU64::new(0),
             sqe_submitted: AtomicU64::new(0),
             cqe_completed: AtomicU64::new(0),
+            l1_hits: AtomicU64::new(0),
+            l1_stale_rejects: AtomicU64::new(0),
+            l1_stale_serves: AtomicU64::new(0),
+            l1_refills: AtomicU64::new(0),
+            l1_evictions: AtomicU64::new(0),
+            write_stalls: AtomicU64::new(0),
             backends: (0..MAX_REACTORS).map(|_| AtomicUsize::new(0)).collect(),
         }
     }
@@ -437,6 +516,47 @@ impl EngineMetrics {
         self.cqe_completed.load(Ordering::Relaxed)
     }
 
+    /// Requests served straight from a reactor-local L1 — validated by
+    /// one version-handle load, no shard lock touched.
+    pub fn l1_hits(&self) -> u64 {
+        self.l1_hits.load(Ordering::Relaxed)
+    }
+
+    /// L1 lookups that found the key but failed version revalidation
+    /// (the copy was invalidated by a store/eviction/removal); the slot
+    /// is dropped and the request falls through to the shared cache.
+    pub fn l1_stale_rejects(&self) -> u64 {
+        self.l1_stale_rejects.load(Ordering::Relaxed)
+    }
+
+    /// L1 hits whose version handle had already moved by the time the
+    /// response was queued — the measured stale-serve count. A serve
+    /// that raced an invalidation is still within the paper's Δ bound,
+    /// but the counter makes the window observable; it must read 0 in
+    /// every steady-state run.
+    pub fn l1_stale_serves(&self) -> u64 {
+        self.l1_stale_serves.load(Ordering::Relaxed)
+    }
+
+    /// L1 slots (re)filled from shared-cache hits.
+    pub fn l1_refills(&self) -> u64 {
+        self.l1_refills.load(Ordering::Relaxed)
+    }
+
+    /// L1 slots evicted by probe-window pressure (not invalidation).
+    pub fn l1_evictions(&self) -> u64 {
+        self.l1_evictions.load(Ordering::Relaxed)
+    }
+
+    /// Flush passes that ended with the socket still unwritable — the
+    /// client write-stall count. Stall time is part of the request's
+    /// latency sample: admission tickets release at flush completion,
+    /// so a stalling client inflates the partition's observed latency
+    /// and the adaptive limiter backs off.
+    pub fn write_stalls(&self) -> u64 {
+        self.write_stalls.load(Ordering::Relaxed)
+    }
+
     /// Active backend label per reactor (`"epoll"` / `"io_uring"`),
     /// after any io_uring→epoll construction fallback.
     pub fn reactor_backends(&self) -> Vec<&'static str> {
@@ -487,6 +607,9 @@ impl EngineMetrics {
         }
         if stats.writev_calls > 0 {
             self.writev_calls.fetch_add(stats.writev_calls, Ordering::Relaxed);
+        }
+        if stats.blocked > 0 {
+            self.write_stalls.fetch_add(stats.blocked, Ordering::Relaxed);
         }
     }
 
@@ -687,6 +810,10 @@ impl EventLoop {
                 admission: HashMap::new(),
                 overload_dirty: true,
                 paused_since: None,
+                l1: match service.l1_capacity() {
+                    0 => None,
+                    capacity => Some(L1Cache::new(capacity)),
+                },
             };
             let thread = std::thread::Builder::new()
                 .name(format!("{name}-r{i}"))
@@ -774,12 +901,27 @@ struct ClientState {
     /// The peer asked for `Connection: close`; serve the current
     /// request, flush, then close (later pipelined bytes are ignored).
     close_after_write: bool,
-    /// The admission ticket for the request in flight: the path
-    /// partition it was charged against and when it was admitted, so
-    /// completion can release the slot and feed the limiter a latency
-    /// sample. `None` when admission control is off or no request is
-    /// in flight.
-    admitted: Option<(Arc<str>, Instant)>,
+    /// The admission ticket for the request in flight. `None` when
+    /// admission control is off or no request is in flight.
+    admitted: Option<AdmissionTicket>,
+}
+
+/// An admission slot charged to a path partition for one in-flight
+/// request. The ticket is released — and the limiter fed a latency
+/// sample — only once the response is **fully flushed**, not when it is
+/// queued: client write-stall time thereby joins the latency sample, so
+/// slow-reading clients push the partition's adaptive limit down like
+/// any other service-time inflation.
+struct AdmissionTicket {
+    /// The path partition the slot was charged against.
+    partition: Arc<str>,
+    /// When the request was admitted.
+    started: Instant,
+    /// The queued response's status, recorded at queue time; `None`
+    /// until a response is queued (e.g. while an upstream fetch is in
+    /// flight). The flush-completion path only samples the limiter once
+    /// this is set.
+    status: Option<u16>,
 }
 
 /// A connection to an upstream origin, owned by the reactor's pool.
@@ -882,6 +1024,13 @@ struct Reactor {
     /// `park_deadline` the backlog is drained with `503`s instead of
     /// making parked clients wait forever.
     paused_since: Option<Instant>,
+    /// The reactor-local hot-object cache, consulted before the service
+    /// (and hence before any shared shard lock). `None` when the
+    /// service's [`Service::l1_capacity`] is 0. Thread-local `&mut`
+    /// access: lookups, refills and evictions take no lock of any kind;
+    /// correctness against concurrent shared-cache mutation comes from
+    /// the per-path version stamps (see [`crate::cache::L1Cache`]).
+    l1: Option<L1Cache>,
 }
 
 /// Admission state for one path partition.
@@ -1240,6 +1389,15 @@ impl Reactor {
                 }
                 continue;
             }
+            // The reactor-local L1 is consulted first: a validated hit
+            // serves without calling the service or touching any shared
+            // shard lock.
+            if self.l1_try_serve(idx, &request) {
+                if !self.flush_client(idx) {
+                    return false;
+                }
+                continue;
+            }
             match self.service.respond(&request) {
                 ServiceResult::Respond(response) => {
                     self.queue_response(idx, response);
@@ -1248,6 +1406,13 @@ impl Reactor {
                     }
                 }
                 ServiceResult::RespondPrepared(prepared) => {
+                    self.queue_prepared(idx, prepared);
+                    if !self.flush_client(idx) {
+                        return false;
+                    }
+                }
+                ServiceResult::RespondCacheable(prepared, versioned) => {
+                    self.l1_refill(&request, versioned);
                     self.queue_prepared(idx, prepared);
                     if !self.flush_client(idx) {
                         return false;
@@ -1304,7 +1469,7 @@ impl Reactor {
     /// copy; live responses go through [`Reactor::queue_response`] /
     /// [`Reactor::queue_prepared`].
     fn response_bytes(&mut self, idx: usize, mut response: Response) -> Vec<u8> {
-        self.finish_admission(idx, response.status().as_u16());
+        self.note_response_status(idx, response.status().as_u16());
         let closing = matches!(
             self.conns.get(idx).and_then(Option::as_ref),
             Some(Conn {
@@ -1354,6 +1519,13 @@ impl Reactor {
         };
         self.metrics.note_flush(&stats);
         match outcome {
+            Ok(FlushOutcome::Done) => {
+                // The response reached the kernel in full: release the
+                // admission ticket now, so any write-stall time the
+                // flush accumulated is inside the latency sample.
+                self.finish_admission(idx);
+                true
+            }
             Ok(_) => true,
             Err(_) => {
                 self.close_client(idx);
@@ -1405,7 +1577,7 @@ impl Reactor {
     /// contiguous `write`, counted as a body copy), larger ones ride as
     /// a shared slice gathered by `writev` — zero copies.
     fn queue_response(&mut self, idx: usize, mut response: Response) {
-        self.finish_admission(idx, response.status().as_u16());
+        self.note_response_status(idx, response.status().as_u16());
         let Some(conn) = self.conns[idx].as_mut() else { return };
         let Kind::Client(client) = &mut conn.kind else { return };
         if client.close_after_write {
@@ -1432,7 +1604,7 @@ impl Reactor {
     /// the shared body is attached untouched. This path never copies
     /// body bytes, whatever their size — the zero-copy cache hit.
     fn queue_prepared(&mut self, idx: usize, prepared: PreparedResponse) {
-        self.finish_admission(idx, StatusCode::OK.as_u16());
+        self.note_response_status(idx, StatusCode::OK.as_u16());
         let Some(conn) = self.conns[idx].as_mut() else { return };
         let Kind::Client(client) = &mut conn.kind else { return };
         client.pending = Pending::None;
@@ -1445,6 +1617,65 @@ impl Reactor {
         }
         buf.extend_from_slice(b"\r\n");
         client.write.set_body(prepared.body);
+    }
+
+    /// Consults the reactor-local L1 for `request`. On a validated hit
+    /// the prepared response is queued and `true` is returned — the
+    /// service was never called and no shard lock was touched. A stale
+    /// slot (version moved) is dropped, counted, and falls through to
+    /// the service, which refills via
+    /// [`ServiceResult::RespondCacheable`].
+    fn l1_try_serve(&mut self, idx: usize, request: &Request) -> bool {
+        if self.l1.is_none() {
+            return false;
+        }
+        let Some(key) = self.service.l1_key(request) else {
+            return false;
+        };
+        let generation = self.service.l1_generation();
+        let Some(l1) = self.l1.as_mut() else {
+            return false;
+        };
+        let versioned = match l1.lookup(key, generation) {
+            L1Lookup::Hit(versioned) => versioned,
+            L1Lookup::Stale => {
+                self.metrics.l1_stale_rejects.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            L1Lookup::Miss => return false,
+        };
+        let Some(prepared) = self.service.l1_serve(request, &versioned) else {
+            return false;
+        };
+        self.queue_prepared(idx, prepared);
+        self.metrics.l1_hits.fetch_add(1, Ordering::Relaxed);
+        // Post-serve audit: a bump that landed between revalidation and
+        // the queue is a response that raced an invalidation out the
+        // door. The protocol tolerates it (it is exactly the Δ window
+        // the paper trades on) but the count makes the window
+        // measurable — and it must be 0 in every steady-state run.
+        if versioned.handle.load(Ordering::Acquire) != versioned.stamp {
+            self.metrics.l1_stale_serves.fetch_add(1, Ordering::Relaxed);
+        }
+        true
+    }
+
+    /// Installs a shared-cache hit's versioned copy into the L1 so the
+    /// next request for the key short-circuits. Keyed by the service's
+    /// [`Service::l1_key`]; probe-window evictions are folded into the
+    /// shared counters.
+    fn l1_refill(&mut self, request: &Request, versioned: VersionedEntry) {
+        let Some(key) = self.service.l1_key(request) else {
+            return;
+        };
+        let Some(l1) = self.l1.as_mut() else { return };
+        let before = l1.evictions();
+        l1.insert(key, versioned);
+        let evicted = l1.evictions() - before;
+        self.metrics.l1_refills.fetch_add(1, Ordering::Relaxed);
+        if evicted > 0 {
+            self.metrics.l1_evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
     }
 
     /// Files a cache miss with the pool: coalesces onto an identical
@@ -1882,10 +2113,11 @@ impl Reactor {
         if let Kind::Client(client) = &mut conn.kind {
             self.clients -= 1;
             self.metrics.conns[self.reactor_index].store(self.clients, Ordering::Relaxed);
-            if let Some((key, _)) = client.admitted.take() {
-                // Abandoned mid-request: release the slot without
-                // feeding the limiter (no completion to measure).
-                if let Some(part) = self.admission.get_mut(&key) {
+            if let Some(ticket) = client.admitted.take() {
+                // Abandoned mid-request (or mid-flush): release the
+                // slot without feeding the limiter (no clean completion
+                // to measure).
+                if let Some(part) = self.admission.get_mut(&ticket.partition) {
                     part.in_flight = part.in_flight.saturating_sub(1);
                     self.overload_dirty = true;
                 }
@@ -1973,7 +2205,11 @@ impl Reactor {
             part.in_flight += 1;
             if let Some(conn) = self.conns[idx].as_mut() {
                 if let Kind::Client(client) = &mut conn.kind {
-                    client.admitted = Some((key_arc, Instant::now()));
+                    client.admitted = Some(AdmissionTicket {
+                        partition: key_arc,
+                        started: Instant::now(),
+                        status: None,
+                    });
                 }
             }
             return true;
@@ -2006,18 +2242,42 @@ impl Reactor {
         false
     }
 
-    /// Releases a client's admission ticket when its response is queued:
-    /// the partition's in-flight count drops and the limiter is fed the
-    /// request's service time (5xx count as overload signals).
-    fn finish_admission(&mut self, idx: usize, status: u16) {
+    /// Records the queued response's status on the client's admission
+    /// ticket. The ticket itself is *not* released here: release (and
+    /// the limiter's latency sample) happens at flush completion
+    /// ([`Reactor::finish_admission`]), so the time spent stalled on an
+    /// unwritable client socket is part of the measured latency.
+    fn note_response_status(&mut self, idx: usize, status: u16) {
         let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
             return;
         };
         let Kind::Client(client) = &mut conn.kind else { return };
-        let Some((key, started)) = client.admitted.take() else {
+        if let Some(ticket) = client.admitted.as_mut() {
+            ticket.status = Some(status);
+        }
+    }
+
+    /// Releases a client's admission ticket once its response is fully
+    /// flushed: the partition's in-flight count drops and the limiter
+    /// is fed the request's end-to-end service time — queue, service,
+    /// upstream *and* client write stalls (5xx count as overload
+    /// signals). A ticket whose response is not yet queued (upstream
+    /// still in flight) is left alone.
+    fn finish_admission(&mut self, idx: usize) {
+        let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
             return;
         };
-        let Some(part) = self.admission.get_mut(&key) else {
+        let Kind::Client(client) = &mut conn.kind else { return };
+        let Some(ticket) = client.admitted.as_ref() else {
+            return;
+        };
+        let Some(status) = ticket.status else {
+            return; // no response queued yet; the ticket stays charged
+        };
+        let Some(AdmissionTicket { partition, started, .. }) = client.admitted.take() else {
+            return;
+        };
+        let Some(part) = self.admission.get_mut(&partition) else {
             return; // partition cleared by a config swap mid-request
         };
         let in_flight = part.in_flight;
@@ -2326,6 +2586,16 @@ mod tests {
     }
 
     #[test]
+    fn l1_env_parsing() {
+        assert_eq!(l1_objects_from(None), DEFAULT_L1_OBJECTS);
+        assert_eq!(l1_objects_from(Some("64")), 64);
+        assert_eq!(l1_objects_from(Some(" 256 ")), 256);
+        // An explicit 0 disables the L1 — it is not a parse error.
+        assert_eq!(l1_objects_from(Some("0")), 0);
+        assert_eq!(l1_objects_from(Some("junk")), DEFAULT_L1_OBJECTS);
+    }
+
+    #[test]
     fn small_connection_bounds_cap_the_reactor_count() {
         // A bound of 2 must mean 2 connections total, not 2 per shard:
         // the reactor count collapses to the bound.
@@ -2430,6 +2700,153 @@ mod tests {
             );
             std::thread::sleep(Duration::from_millis(5));
         }
+    }
+
+    /// An echo service with a shared cache and a reactor-local L1: the
+    /// first GET for a path stores + refills, later GETs must be L1
+    /// hits, and a store invalidates every reactor's copy.
+    struct CachedEcho {
+        cache: crate::cache::ShardedCache,
+    }
+
+    impl CachedEcho {
+        fn prepared(hit: &crate::cache::VersionedEntry) -> PreparedResponse {
+            PreparedResponse {
+                head: hit.entry.head().clone(),
+                extra: b"x-cache: l1\r\n",
+                body: hit.entry.body().clone(),
+            }
+        }
+    }
+
+    impl Service for CachedEcho {
+        fn respond(&self, request: &Request) -> ServiceResult {
+            let path = request.target();
+            if let Some(hit) = self.cache.get_versioned(path) {
+                return ServiceResult::RespondCacheable(CachedEcho::prepared(&hit), hit);
+            }
+            let entry = crate::cache::CacheEntry::new(
+                Bytes::from(format!("body:{path}").into_bytes()),
+                mutcon_core::time::Timestamp::from_millis(1),
+                None,
+                None,
+            );
+            self.cache.insert(path, entry);
+            let hit = self.cache.get_versioned(path).expect("just stored");
+            ServiceResult::RespondCacheable(CachedEcho::prepared(&hit), hit)
+        }
+
+        fn l1_capacity(&self) -> usize {
+            32
+        }
+
+        fn l1_generation(&self) -> u64 {
+            self.cache.generation()
+        }
+
+        fn l1_key<'r>(&self, request: &'r Request) -> Option<&'r str> {
+            Some(request.target())
+        }
+
+        fn l1_serve(
+            &self,
+            _request: &Request,
+            hit: &crate::cache::VersionedEntry,
+        ) -> Option<PreparedResponse> {
+            Some(CachedEcho::prepared(hit))
+        }
+    }
+
+    #[test]
+    fn l1_serves_validated_hits_and_invalidates_on_store() {
+        let metrics = Arc::new(EngineMetrics::new());
+        let service = Arc::new(CachedEcho {
+            cache: crate::cache::ShardedCache::new(None),
+        });
+        let server = EventLoop::with_metrics(
+            "test-l1",
+            Arc::clone(&service) as Arc<dyn Service>,
+            64,
+            1,
+            Arc::clone(&metrics),
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut buf = BytesMut::new();
+        // First GET: shared-cache path, refills the reactor's L1.
+        write_request(&mut stream, &Request::get("/obj").build()).unwrap();
+        let first = read_response(&mut stream, &mut buf).unwrap();
+        assert_eq!(&first.body()[..], b"body:/obj");
+        assert_eq!(metrics.l1_hits(), 0);
+        assert!(metrics.l1_refills() >= 1);
+        // Second GET on the same (only) reactor: must be an L1 hit with
+        // identical bytes, and no stale serve.
+        write_request(&mut stream, &Request::get("/obj").build()).unwrap();
+        let second = read_response(&mut stream, &mut buf).unwrap();
+        assert_eq!(&second.body()[..], b"body:/obj");
+        assert_eq!(second.headers().get("x-cache"), Some("l1"));
+        assert_eq!(metrics.l1_hits(), 1);
+        assert_eq!(metrics.l1_stale_serves(), 0);
+        // A store bumps the path's version: the L1 copy must be
+        // rejected and the fresh body served.
+        service.cache.insert(
+            "/obj",
+            crate::cache::CacheEntry::new(
+                Bytes::from_static(b"fresh"),
+                mutcon_core::time::Timestamp::from_millis(2),
+                None,
+                None,
+            ),
+        );
+        write_request(&mut stream, &Request::get("/obj").build()).unwrap();
+        let third = read_response(&mut stream, &mut buf).unwrap();
+        assert_eq!(&third.body()[..], b"fresh");
+        assert_eq!(metrics.l1_hits(), 1, "stale copy must not count as a hit");
+        assert_eq!(metrics.l1_stale_rejects(), 1);
+        // The refill from the fresh store serves the next request.
+        write_request(&mut stream, &Request::get("/obj").build()).unwrap();
+        let fourth = read_response(&mut stream, &mut buf).unwrap();
+        assert_eq!(&fourth.body()[..], b"fresh");
+        assert_eq!(metrics.l1_hits(), 2);
+        assert_eq!(metrics.l1_stale_serves(), 0);
+    }
+
+    #[test]
+    fn generation_bump_clears_the_l1() {
+        let metrics = Arc::new(EngineMetrics::new());
+        let service = Arc::new(CachedEcho {
+            cache: crate::cache::ShardedCache::new(None),
+        });
+        let server = EventLoop::with_metrics(
+            "test-l1-gen",
+            Arc::clone(&service) as Arc<dyn Service>,
+            64,
+            1,
+            Arc::clone(&metrics),
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut buf = BytesMut::new();
+        for _ in 0..2 {
+            write_request(&mut stream, &Request::get("/gen").build()).unwrap();
+            read_response(&mut stream, &mut buf).unwrap();
+        }
+        assert_eq!(metrics.l1_hits(), 1);
+        // A bulk invalidation (rule swap / epoch adoption) empties the
+        // L1 wholesale: the next request goes back to the shared cache
+        // (a refill, not a hit, and not a stale reject either — the
+        // whole map was dropped).
+        service.cache.bump_generation();
+        write_request(&mut stream, &Request::get("/gen").build()).unwrap();
+        read_response(&mut stream, &mut buf).unwrap();
+        assert_eq!(metrics.l1_hits(), 1);
+        assert!(metrics.l1_refills() >= 2);
     }
 
     #[test]

@@ -82,6 +82,12 @@ pub struct FlushStats {
     pub write_calls: u64,
     /// `writev(2)` calls issued.
     pub writev_calls: u64,
+    /// Flush passes that ended [`FlushOutcome::Blocked`] — the client
+    /// socket back-pressured mid-response. The engine counts these as
+    /// write stalls; the stall *duration* reaches the admission limiter
+    /// through the deferred latency sample (the ticket releases only
+    /// once the response is fully flushed).
+    pub blocked: u64,
 }
 
 /// What a flush ended on.
@@ -232,6 +238,7 @@ impl WritePlan {
                 }
                 Ok(n) => self.written += n,
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    stats.blocked += 1;
                     return Ok(FlushOutcome::Blocked)
                 }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
@@ -408,6 +415,20 @@ mod tests {
         assert_eq!(sink.out, b"just a head");
         assert_eq!(stats.writev_calls, 0);
         assert!(stats.write_calls >= 1);
+    }
+
+    #[test]
+    fn blocked_passes_are_counted() {
+        let mut plan = plan_with(b"0123456789", b"abcdefghij");
+        let mut sink = TrickleSink::new(4, true);
+        let stats = drain(&mut plan, &mut sink);
+        assert!(stats.blocked >= 1, "alternating sink must block");
+        assert!(plan.is_idle());
+        // An unobstructed drain records no stalls.
+        let mut plan = plan_with(b"head", b"body");
+        let mut sink = TrickleSink::new(usize::MAX, false);
+        let stats = drain(&mut plan, &mut sink);
+        assert_eq!(stats.blocked, 0);
     }
 
     #[test]

@@ -38,6 +38,7 @@ fn proxy_with(origin: &ScriptedOrigin, rules: Vec<RefreshRule>, reactors: usize)
         reactors: Some(reactors),
         max_conns: None,
         backend: None,
+        l1_objects: None,
     })
     .expect("start proxy")
 }
@@ -323,6 +324,7 @@ fn bad_rules_are_rejected_by_put_and_by_start() {
         reactors: Some(1),
         max_conns: None,
         backend: None,
+        l1_objects: None,
     })
     .expect_err("duplicate paths must be rejected at start");
     assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);

@@ -1,0 +1,272 @@
+//! L1 coherence scenarios for the per-reactor hot-object cache, driven
+//! by the deterministic harness (fake clock + scripted origin + seeded
+//! schedules; see `harness/`).
+//!
+//! The L1 serves validated copies with no locks on the read path; its
+//! only correctness obligation is the version-stamp protocol — an L1
+//! entry is served iff one atomic compare against the L2's per-path
+//! version still passes. These scenarios attack that protocol from the
+//! outside: readers hammer the L1 while the refresher stores newer
+//! bodies, seeded runs must replay bit-identically, and an L1-disabled
+//! proxy must be byte-indistinguishable from an L1-enabled one.
+//!
+//! Reactor counts and L1 capacities are pinned explicitly — the
+//! `MUTCON_LIVE_REACTORS` / `MUTCON_LIVE_L1` environment knobs must not
+//! change what these tests assert.
+
+mod harness;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration as StdDuration;
+
+use harness::{stamp_of, FakeClock, ScriptedOrigin, CLOCK_BASE_MS};
+use mutcon_core::time::Duration;
+use mutcon_live::client::HttpClient;
+use mutcon_live::proxy::{LiveProxy, ProxyConfig, RefreshRule};
+use mutcon_http::types::StatusCode;
+use mutcon_sim::reactor::BackendKind;
+use mutcon_sim::rng::SimRng;
+use mutcon_traces::json::{self, Json};
+
+/// A proxy with the L1 capacity pinned explicitly (`0` disables) and an
+/// optional refresher rule set.
+fn l1_proxy(
+    origin: &ScriptedOrigin,
+    reactors: usize,
+    l1_objects: usize,
+    rules: Vec<RefreshRule>,
+    backend: Option<BackendKind>,
+) -> LiveProxy {
+    LiveProxy::start(ProxyConfig {
+        origin_addr: origin.addr(),
+        rules,
+        group: None,
+        cache_objects: None,
+        reactors: Some(reactors),
+        max_conns: None,
+        backend,
+        l1_objects: Some(l1_objects),
+    })
+    .expect("start proxy")
+}
+
+/// Reads one `u64` counter out of `GET /admin/stats` by key path.
+fn stats_counter(proxy: &LiveProxy, path: &[&str]) -> u64 {
+    let client = HttpClient::new();
+    let resp = client.get(proxy.local_addr(), "/admin/stats", None).expect("stats");
+    assert_eq!(resp.status(), StatusCode::OK);
+    let doc: Json = json::parse(std::str::from_utf8(resp.body()).unwrap()).expect("stats JSON");
+    let mut node = &doc;
+    for key in path {
+        node = node.get(key).unwrap_or_else(|| panic!("stats key {path:?}"));
+    }
+    node.as_u64().unwrap_or_else(|| panic!("stats key {path:?} not a number"))
+}
+
+/// The backends to exercise: always epoll, plus io_uring when the
+/// kernel grants rings.
+fn backends() -> Vec<BackendKind> {
+    let mut kinds = vec![BackendKind::Epoll];
+    if mutcon_sim::reactor::backend::io_uring_available() {
+        kinds.push(BackendKind::IoUring);
+    } else {
+        println!("NOTICE: kernel refuses io_uring rings; epoll only");
+    }
+    kinds
+}
+
+/// The tentpole coherence scenario: the refresher keeps storing newer
+/// bodies for the hot object (every store a version bump that must
+/// invalidate each reactor's L1 copy) while seeded readers hammer it
+/// through the L1 from several reactors. Every reader must observe
+/// complete copies whose body bytes match the version header, with
+/// stamps monotonically nondecreasing and bounded by the logical clock
+/// — and the engine's own post-serve stale audit must count zero.
+#[test]
+fn l1_readers_never_see_old_bytes_after_a_version_bump() {
+    for backend in backends() {
+        let clock = FakeClock::new();
+        let origin = ScriptedOrigin::start(clock.clone());
+        let proxy = l1_proxy(
+            &origin,
+            2,
+            128,
+            vec![RefreshRule::new("/hot", Duration::from_millis(20))],
+            Some(backend),
+        );
+        let addr = proxy.local_addr();
+
+        // Warm so readers start from a cached (and L1-refillable) copy.
+        let warm = HttpClient::new();
+        assert_eq!(warm.get(addr, "/hot", None).unwrap().status(), StatusCode::OK);
+
+        let stop = Arc::new(AtomicU64::new(0));
+        let readers: Vec<_> = (0..4)
+            .map(|r| {
+                let stop = Arc::clone(&stop);
+                let clock = clock.clone();
+                std::thread::spawn(move || {
+                    let mut rng = SimRng::seed_from_u64(0x11AC + r);
+                    let client = HttpClient::with_timeout(StdDuration::from_secs(10));
+                    let mut last = 0u64;
+                    let mut served = 0u32;
+                    while stop.load(Ordering::SeqCst) == 0 {
+                        let resp = client
+                            .get(addr, "/hot", None)
+                            .unwrap_or_else(|e| panic!("reader {r}: {e}"));
+                        assert_eq!(resp.status(), StatusCode::OK, "reader {r}");
+                        let stamp = stamp_of(&resp);
+                        // The body is stamped by the origin at fetch
+                        // time; header and bytes must be the same
+                        // version — a reader holding a newer header
+                        // over older bytes caught a torn L1 serve.
+                        assert_eq!(
+                            resp.body().as_ref(),
+                            format!("path=/hot stamp={stamp}\n").as_bytes(),
+                            "reader {r}: body bytes disagree with the version header"
+                        );
+                        assert!(
+                            stamp >= last,
+                            "reader {r}: stamp went backwards ({last} → {stamp})"
+                        );
+                        assert!(
+                            stamp >= CLOCK_BASE_MS && stamp <= CLOCK_BASE_MS + clock.now_ms(),
+                            "reader {r}: stamp {stamp} outside the logical timeline"
+                        );
+                        last = stamp;
+                        served += 1;
+                        if rng.chance(0.2) {
+                            std::thread::sleep(StdDuration::from_micros(rng.uniform_u64(0, 500)));
+                        }
+                    }
+                    served
+                })
+            })
+            .collect();
+
+        // The seeded schedule drives logical time; each advance lets the
+        // refresher fetch a newer stamp and bump the path's version.
+        let mut rng = SimRng::seed_from_u64(0xC0DE_11AC);
+        for _ in 0..60 {
+            clock.advance(rng.uniform_u64(1, 40));
+            std::thread::sleep(StdDuration::from_millis(5));
+        }
+        stop.store(1, Ordering::SeqCst);
+        let total: u32 = readers.into_iter().map(|r| r.join().expect("reader")).sum();
+        assert!(total > 100, "{backend:?}: readers made little progress: {total}");
+
+        // The readers must actually have exercised the L1, and the
+        // engine's post-serve version audit must have counted nothing.
+        let hits = stats_counter(&proxy, &["cache", "l1", "hits"]);
+        assert!(hits > 0, "{backend:?}: the run never served from the L1");
+        assert_eq!(
+            stats_counter(&proxy, &["cache", "l1", "stale_serves"]),
+            0,
+            "{backend:?}: the engine counted a stale L1 serve"
+        );
+        let bumps = stats_counter(&proxy, &["cache", "version_bumps"]);
+        assert!(bumps > 1, "{backend:?}: the refresher never bumped a version");
+    }
+}
+
+/// One seeded scenario transcript: client-visible (path, status, stamp,
+/// cache marker) per request plus the origin's event log.
+fn seeded_transcript(seed: u64, l1_objects: usize) -> (Vec<String>, Vec<String>) {
+    let clock = FakeClock::new();
+    let origin = ScriptedOrigin::start(clock.clone());
+    let proxy = l1_proxy(&origin, 1, l1_objects, vec![], None);
+    let client = HttpClient::new();
+    let mut rng = SimRng::seed_from_u64(seed);
+    let paths = ["/a", "/b", "/c", "/d", "/e", "/f"];
+    let mut transcript = Vec::new();
+    for _ in 0..60 {
+        if rng.chance(0.3) {
+            clock.advance(rng.uniform_u64(1, 100));
+            continue;
+        }
+        let path = *rng.pick(&paths);
+        let resp = client.get(proxy.local_addr(), path, None).expect("get");
+        transcript.push(format!(
+            "{path} {} {} {}",
+            resp.status(),
+            stamp_of(&resp),
+            resp.headers().get("x-cache").unwrap_or("?"),
+        ));
+    }
+    (origin.log(), transcript)
+}
+
+/// With the L1 in the serving path, a seeded scenario must still replay
+/// bit-identically — run to run, for every seed.
+#[test]
+fn l1_scenarios_replay_bit_identically_across_seeds() {
+    for seed in [7u64, 42, 0xFEED] {
+        let first = seeded_transcript(seed, 128);
+        let second = seeded_transcript(seed, 128);
+        assert_eq!(first.0, second.0, "seed {seed}: origin logs must replay identically");
+        assert_eq!(first.1, second.1, "seed {seed}: transcripts must replay identically");
+    }
+}
+
+/// The L1 is a cache of a cache: disabling it must not change a single
+/// client-visible byte of a seeded scenario — same statuses, same
+/// stamps, same hit markers, same origin fetch sequence.
+#[test]
+fn l1_on_and_off_are_client_indistinguishable() {
+    for seed in [3u64, 0xD15C] {
+        let enabled = seeded_transcript(seed, 128);
+        let disabled = seeded_transcript(seed, 0);
+        assert_eq!(
+            enabled.0, disabled.0,
+            "seed {seed}: L1 must not change the origin fetch sequence"
+        );
+        assert_eq!(
+            enabled.1, disabled.1,
+            "seed {seed}: L1 must not change client-visible responses"
+        );
+    }
+}
+
+/// Parity under load, both backends: the refresher-vs-readers scenario
+/// with the L1 disabled — the L1-enabled variant above must not be the
+/// only configuration whose invariants hold. (The CI zipf stage also
+/// re-runs the whole suite with `MUTCON_LIVE_L1=0`; this test keeps the
+/// disabled path exercised even standalone.)
+#[test]
+fn disabled_l1_keeps_the_same_invariants() {
+    for backend in backends() {
+        let clock = FakeClock::new();
+        let origin = ScriptedOrigin::start(clock.clone());
+        let proxy = l1_proxy(
+            &origin,
+            2,
+            0,
+            vec![RefreshRule::new("/hot", Duration::from_millis(20))],
+            Some(backend),
+        );
+        let addr = proxy.local_addr();
+        let client = HttpClient::with_timeout(StdDuration::from_secs(10));
+        assert_eq!(client.get(addr, "/hot", None).unwrap().status(), StatusCode::OK);
+
+        let mut rng = SimRng::seed_from_u64(0x0FF);
+        let mut last = 0u64;
+        for _ in 0..40 {
+            clock.advance(rng.uniform_u64(1, 40));
+            let resp = client.get(addr, "/hot", None).expect("get");
+            assert_eq!(resp.status(), StatusCode::OK);
+            let stamp = stamp_of(&resp);
+            assert!(stamp >= last, "stamp went backwards ({last} → {stamp})");
+            last = stamp;
+        }
+
+        assert_eq!(
+            stats_counter(&proxy, &["cache", "l1", "capacity"]),
+            0,
+            "{backend:?}: capacity 0 must disable the L1"
+        );
+        assert_eq!(stats_counter(&proxy, &["cache", "l1", "hits"]), 0);
+        assert_eq!(stats_counter(&proxy, &["cache", "l1", "refills"]), 0);
+        assert_eq!(stats_counter(&proxy, &["cache", "l1", "stale_serves"]), 0);
+    }
+}

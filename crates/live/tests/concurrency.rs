@@ -32,6 +32,7 @@ fn plain_proxy(origin: &ScriptedOrigin, reactors: usize) -> LiveProxy {
         reactors: Some(reactors),
         max_conns: None,
         backend: None,
+        l1_objects: None,
     })
     .expect("start proxy")
 }
@@ -269,6 +270,7 @@ fn refresh_vs_read_interleavings_stay_monotonic() {
         reactors: Some(2),
         max_conns: None,
         backend: None,
+        l1_objects: None,
     })
     .expect("start proxy");
     let addr = proxy.local_addr();

@@ -50,6 +50,7 @@ fn proxy_keeps_cached_object_fresh() {
         reactors: None,
         max_conns: None,
         backend: None,
+        l1_objects: None,
     })
     .unwrap();
 
@@ -95,6 +96,7 @@ fn limd_backs_off_for_static_objects() {
         reactors: None,
         max_conns: None,
         backend: None,
+        l1_objects: None,
     })
     .unwrap();
 
@@ -130,6 +132,7 @@ fn triggered_polls_keep_related_objects_in_step() {
         reactors: None,
         max_conns: None,
         backend: None,
+        l1_objects: None,
     })
     .unwrap();
 
@@ -167,6 +170,7 @@ fn proxy_survives_origin_faults() {
         reactors: None,
         max_conns: None,
         backend: None,
+        l1_objects: None,
     })
     .unwrap();
     let client = HttpClient::new();
@@ -213,6 +217,7 @@ fn stats_endpoint_and_miss_path() {
         reactors: None,
         max_conns: None,
         backend: None,
+        l1_objects: None,
     })
     .unwrap();
     let client = HttpClient::new();

@@ -26,6 +26,7 @@ fn plain_proxy(origin: &ScriptedOrigin, reactors: usize) -> LiveProxy {
         reactors: Some(reactors),
         max_conns: None,
         backend: None,
+        l1_objects: None,
     })
     .expect("start proxy")
 }

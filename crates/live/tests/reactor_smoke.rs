@@ -50,6 +50,7 @@ fn five_hundred_concurrent_connections_through_one_reactor() {
         reactors: None,
         max_conns: None,
         backend: None,
+        l1_objects: None,
     })
     .unwrap();
 
@@ -140,6 +141,7 @@ fn refreshes_during_reads_stay_consistent() {
         reactors: None,
         max_conns: None,
         backend: None,
+        l1_objects: None,
     })
     .unwrap();
     let addr = proxy.local_addr();
@@ -214,6 +216,7 @@ fn pipelined_miss_burst_against_dead_origin_is_iterative() {
         reactors: None,
         max_conns: None,
         backend: None,
+        l1_objects: None,
     })
     .unwrap();
 
@@ -256,6 +259,7 @@ fn bounded_cache_misses_fetch_through_reactor() {
         reactors: None,
         max_conns: None,
         backend: None,
+        l1_objects: None,
     })
     .unwrap();
 

@@ -56,6 +56,7 @@ fn backend_proxy(
         reactors,
         max_conns: None,
         backend,
+        l1_objects: None,
     })
     .expect("start proxy")
 }
@@ -333,6 +334,10 @@ fn admin_stats_exposes_wire_counters() {
         "interest_coalesced",
         "sqe_submitted",
         "cqe_completed",
+        "l1_hits",
+        "l1_stale_rejects",
+        "l1_stale_serves",
+        "write_stalls",
     ] {
         assert!(
             wire.get(key).and_then(Json::as_u64).is_some(),
@@ -355,6 +360,69 @@ fn admin_stats_exposes_wire_counters() {
             "unexpected backend label {label:?}"
         );
     }
+}
+
+/// `/admin/stats` surfaces the L1 hierarchy counters — capacity, the
+/// hit/stale/refill story, and the must-be-zero stale-serve audit. The
+/// proxy pins its L1 explicitly so the `MUTCON_LIVE_L1=0` parity leg in
+/// CI cannot change what this test asserts.
+#[test]
+fn admin_stats_exposes_l1_and_cache_counters() {
+    let clock = FakeClock::new();
+    let origin = ScriptedOrigin::start(clock);
+    let proxy = LiveProxy::start(ProxyConfig {
+        origin_addr: origin.addr(),
+        rules: vec![],
+        group: None,
+        cache_objects: None,
+        reactors: Some(1),
+        max_conns: None,
+        backend: None,
+        l1_objects: Some(64),
+    })
+    .expect("start proxy");
+    let client = HttpClient::new();
+
+    // A miss (stores to L2), an L2 hit (refills the L1), then two L1
+    // hits — the refill protocol only promotes on a validated L2 hit.
+    client.get(proxy.local_addr(), "/obj", None).unwrap();
+    for _ in 0..3 {
+        let hit = client.get(proxy.local_addr(), "/obj", None).unwrap();
+        assert_eq!(hit.headers().get("x-cache"), Some("hit"));
+    }
+
+    let resp = client.get(proxy.local_addr(), "/admin/stats", None).unwrap();
+    let doc: Json =
+        json::parse(std::str::from_utf8(resp.body()).unwrap()).expect("stats JSON");
+    let cache = doc.get("cache").expect("cache section");
+    for key in ["objects", "evictions", "generation", "version_bumps", "touch_skips"] {
+        assert!(
+            cache.get(key).and_then(Json::as_u64).is_some(),
+            "cache.{key} missing from /admin/stats"
+        );
+    }
+    let l1 = cache.get("l1").expect("cache.l1 section");
+    let counter = |key: &str| l1.get(key).and_then(Json::as_u64).unwrap_or_else(|| {
+        panic!("cache.l1.{key} missing from /admin/stats")
+    });
+    assert_eq!(counter("capacity"), 64);
+    assert!(counter("hits") >= 2, "both repeat reads must be L1 hits");
+    assert!(counter("refills") >= 1, "the miss must refill the L1");
+    assert_eq!(counter("stale_serves"), 0, "the stale audit must count zero");
+    let _ = (counter("stale_rejects"), counter("evictions"));
+    // The wire section mirrors the serve-path counters.
+    let wire = doc.get("wire").expect("wire section");
+    assert_eq!(
+        wire.get("l1_hits").and_then(Json::as_u64),
+        l1.get("hits").and_then(Json::as_u64),
+        "wire.l1_hits and cache.l1.hits are the same counter"
+    );
+    assert_eq!(wire.get("l1_stale_serves").and_then(Json::as_u64), Some(0));
+    // Per-shard version bumps are itemized too.
+    let shards = cache.get("shards").and_then(Json::as_array).expect("shards");
+    assert!(shards
+        .iter()
+        .all(|s| s.get("version_bumps").and_then(Json::as_u64).is_some()));
 }
 
 /// The interest-coalescing acceptance: over a burst of keep-alive

@@ -111,6 +111,29 @@ where
         self.entries.get(key).map(|slot| &slot.value)
     }
 
+    /// Whether `key` is resident and already the most recently used
+    /// entry, i.e. a `touch` would not change the eviction order. On an
+    /// unbounded map no recency is maintained, so every resident key
+    /// trivially qualifies. Lets read paths skip the write lock a
+    /// recency refresh would need (see `ShardedCache::get` in
+    /// `mutcon-live`).
+    pub fn is_most_recent<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let Some((stored_key, slot)) = self.entries.get_key_value(key) else {
+            return false;
+        };
+        if self.capacity.is_none() {
+            return true;
+        }
+        match self.recency.last() {
+            Some((used, key)) => *used == slot.used && key == stored_key,
+            None => false,
+        }
+    }
+
     /// Looks up and marks the entry as used at `now`.
     pub fn touch<Q>(&mut self, key: &Q, now: U) -> Option<&V>
     where
@@ -441,6 +464,27 @@ mod tests {
         assert_eq!(m.remove("/a"), Some(1));
         assert_eq!(m.remove("/a"), None);
         assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn lru_map_reports_most_recent_entries() {
+        let mut m: LruMap<String, u32, u64> = LruMap::with_capacity(3);
+        assert!(!m.is_most_recent("/a"), "absent keys are never most recent");
+        m.insert("/a".to_owned(), 1, 0);
+        assert!(m.is_most_recent("/a"));
+        m.insert("/b".to_owned(), 2, 1);
+        assert!(!m.is_most_recent("/a"));
+        assert!(m.is_most_recent("/b"));
+        m.touch("/a", 2);
+        assert!(m.is_most_recent("/a"));
+        assert!(!m.is_most_recent("/b"));
+        // Unbounded maps keep no recency: every resident key qualifies.
+        let mut u: LruMap<String, u32, u64> = LruMap::unbounded();
+        u.insert("/x".to_owned(), 1, 0);
+        u.insert("/y".to_owned(), 2, 1);
+        assert!(u.is_most_recent("/x"));
+        assert!(u.is_most_recent("/y"));
+        assert!(!u.is_most_recent("/z"));
     }
 
     #[test]

@@ -10,9 +10,14 @@
 //! * [`stock`] — update instants at jittered quasi-regular ticks, values
 //!   from a mean-reverting bounded random walk (prices wander but stay in
 //!   a band, giving the temporal locality the adaptive TTR exploits).
+//! * [`zipf`] — a ranked object catalog with power-law popularity, the
+//!   request-side companion to the update-side generators (shared by the
+//!   `live-zipf` cache-pressure bench and the trace layer).
 
 pub mod news;
 pub mod stock;
+pub mod zipf;
 
 pub use news::{DiurnalProfile, NewsTraceBuilder};
 pub use stock::StockTraceBuilder;
+pub use zipf::{ZipfCatalog, ZipfCatalogBuilder};

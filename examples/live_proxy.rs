@@ -52,6 +52,7 @@ fn main() -> std::io::Result<()> {
         reactors: None,
         max_conns: None,
         backend: None,
+        l1_objects: None,
     })?;
     println!("proxy   listening on {}\n", proxy.local_addr());
 

@@ -83,6 +83,22 @@ target/release/repro live-wire --wire-conns 10000 > /dev/null
 # (epoll leg only when the kernel refuses rings).
 target/release/repro live-backend --wire-conns 2000 > /dev/null
 
+# Zipf / L1 coherence: the per-reactor hot-object cache under four
+# reactors — readers hammering the L1 while the refresher bumps
+# versions, bit-identical seeded replay, and L1-on/L1-off parity. The
+# whole live suite then re-runs with the L1 force-disabled
+# (MUTCON_LIVE_L1=0): the L1 must be a pure cache of a cache, invisible
+# to every behavioral assertion in the suite.
+MUTCON_LIVE_REACTORS=4 cargo test -q -p mutcon-live --test coherence
+MUTCON_LIVE_L1=0 MUTCON_LIVE_REACTORS=4 cargo test -q -p mutcon-live \
+  --test coherence --test concurrency --test wire --test admin
+# The cache-pressure snapshot: a Zipf catalog overflowing the L2,
+# identical request sequences with the L1 on and off, spliced into
+# BENCH_repro.json as live_zipf. repro exits non-zero if ANY stale
+# serve is counted (engine post-serve audit or client-side stamp
+# monotonicity), if the L2 never evicted, or if the L1 served no hits.
+target/release/repro live-zipf > /dev/null
+
 # Overload control: the LIMD admission/pool limiters end to end — the
 # flash-crowd shed with preserved miss coalescing and partition
 # isolation, the double-death stale-retry regression, and the admin
