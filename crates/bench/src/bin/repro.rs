@@ -4,7 +4,7 @@
 //! repro [--threads N | --serial] [--repeats R] [--compare-serial]
 //!       [--conns C] [--rounds R] [--reactors N] [--reload-every N]
 //!       [--wire-conns C] [--bench-json PATH]
-//!       table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|ablation|bench|live-bench|live-wire|live-backend|live-overload|live-zipf|all
+//!       table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|ablation|bench|live-bench|live-wire|live-backend|live-overload|live-zipf|live-refresh|all
 //! ```
 //!
 //! Output is plain text, one section per experiment, matching the layout
@@ -69,6 +69,14 @@
 //! serve is counted (by the engine's post-serve version audit or the
 //! client-side stamp-monotonicity check), if the catalog never forced
 //! an L2 eviction, or if the L1 leg served no L1 hits.
+//!
+//! `live-refresh` is the refresh-plane drift bench
+//! ([`mutcon_bench::livebench::refresh`]): a 50 000-rule backlog, all
+//! due at once, drained through a scripted-latency origin by one poll
+//! worker and then by the pool, spliced into the report as the
+//! `live_refresh` section. The run *fails* unless the concurrent leg
+//! cuts p99 scheduled-vs-actual drift at least 5× at equal poll counts
+//! (±5%) with zero stale serves observed by the hot-path reader.
 
 use std::time::Instant;
 
@@ -405,6 +413,44 @@ fn main() {
                 std::process::exit(1);
             }
         },
+        "live-refresh" => match mutcon_bench::livebench::refresh(Default::default()) {
+            Ok(report) => {
+                print!("{}", mutcon_bench::livebench::render_refresh(&report));
+                let fragment = mutcon_bench::livebench::json_refresh_fragment(&report);
+                if let Err(e) = splice_section(&bench_json, "live_refresh", &fragment) {
+                    eprintln!("[repro] cannot record live_refresh in {bench_json}: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!(
+                    "[repro] recorded the {}-path refresh drain in {bench_json}",
+                    report.paths
+                );
+                if !report.coherent {
+                    // A stale serve traded for drift is a correctness
+                    // failure of the worker pool, not a perf data point.
+                    eprintln!("[repro] live-refresh counted a STALE SERVE");
+                    std::process::exit(1);
+                }
+                if !report.polls_matched {
+                    eprintln!(
+                        "[repro] live-refresh legs diverged in poll count ({} vs {})",
+                        report.serial.polls, report.concurrent.polls
+                    );
+                    std::process::exit(1);
+                }
+                if !report.scaled {
+                    eprintln!(
+                        "[repro] live-refresh pool cut p99 drift only {:.1}x (gate: 5x)",
+                        report.p99_ratio
+                    );
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("[repro] live-refresh failed: {e}");
+                std::process::exit(1);
+            }
+        },
         "live-bench" if reactors_sweep.is_some() && live.reload_every.is_some() => {
             // A sweep point perturbed by mid-run reloads would record a
             // misleading scaling curve, and the reload section would be
@@ -479,7 +525,7 @@ fn main() {
 fn usage_error(message: &str) -> ! {
     eprintln!("repro: {message}");
     eprintln!(
-        "usage: repro [--threads N | --serial] [--repeats R] [--compare-serial] [--conns C] [--rounds R] [--reactors N] [--reload-every N] [--wire-conns C] [--bench-json PATH] <experiment|live-bench|live-wire|live-backend|live-overload|live-zipf|all>"
+        "usage: repro [--threads N | --serial] [--repeats R] [--compare-serial] [--conns C] [--rounds R] [--reactors N] [--reload-every N] [--wire-conns C] [--bench-json PATH] <experiment|live-bench|live-wire|live-backend|live-overload|live-zipf|live-refresh|all>"
     );
     std::process::exit(2);
 }
@@ -586,6 +632,7 @@ fn bench_report(
     out.push_str("  \"live_backend\": null,\n");
     out.push_str("  \"live_overload\": null,\n");
     out.push_str("  \"live_zipf\": null,\n");
+    out.push_str("  \"live_refresh\": null,\n");
     out.push_str("  \"sections\": [\n");
     for (i, t) in sections.iter().enumerate() {
         let serial = match t.serial_wall {

@@ -42,20 +42,31 @@
 //! coherence story: the engine's post-serve stale audit and a
 //! client-side `x-last-modified-ms` monotonicity check must both count
 //! exactly zero while the refresher churns the hottest ranks.
+//!
+//! [`refresh`] is the refresh-plane drift bench: a 50 000-path rule
+//! catalog, all due at once, drained through a scripted-latency origin
+//! twice over identical per-path latencies — one poll worker, then a
+//! pool — recorded as the `live_refresh` section. The headline number
+//! is p99 *fidelity lag* (scheduled-due vs actual-send drift from the
+//! refresh plane's own histogram); the verdict fails unless the
+//! concurrent leg cuts it at least 5× at equal poll counts with zero
+//! stale serves observed by a reader hammering the hot paths.
 
 use std::io::{self, Write};
-use std::net::TcpStream;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration as StdDuration, Instant};
 
 use bytes::BytesMut;
 use mutcon_core::time::{Duration, Timestamp};
 use mutcon_core::value::Value;
-use mutcon_http::message::Request;
+use mutcon_http::message::{Request, Response};
 use mutcon_http::types::StatusCode;
-use mutcon_live::client::HttpClient;
+use mutcon_live::client::{HttpClient, X_LAST_MODIFIED_MS};
 use mutcon_live::origin::LiveOrigin;
 use mutcon_live::proxy::{LiveProxy, ProxyConfig, RefreshRule};
-use mutcon_live::wire::read_response;
+use mutcon_live::wire::{read_request, read_response, write_response};
 use mutcon_sim::reactor::BackendKind;
 use mutcon_traces::{UpdateEvent, UpdateTrace};
 
@@ -201,16 +212,14 @@ fn run_inner(
 
     let origin = LiveOrigin::builder().object("/obj", bench_trace()).start()?;
     let proxy = LiveProxy::start(ProxyConfig {
-        origin_addr: origin.local_addr(),
         rules: vec![RefreshRule::new("/obj", Duration::from_millis(50))],
-        group: None,
-        cache_objects: None,
         reactors: config.reactors,
         // Room for every bench socket plus the warm/admin side clients,
         // whatever the MUTCON_LIVE_CONNS default would have allowed.
         max_conns: Some(mutcon_live::server::max_conns().max(conns + 8)),
         backend: config.backend,
         l1_objects: config.l1_objects,
+        ..ProxyConfig::new(origin.local_addr())
     })?;
     // What each reactor actually runs (io_uring may have fallen back).
     let active_backends: Vec<String> = proxy
@@ -804,14 +813,9 @@ pub fn overload(config: OverloadBenchConfig) -> io::Result<OverloadReport> {
     // the close), so bound by the whole ramp plus headroom.
     let total: usize = (0..stages).map(|s| base << s).sum();
     let proxy = LiveProxy::start(ProxyConfig {
-        origin_addr: origin.local_addr(),
-        rules: Vec::new(),
-        group: None,
-        cache_objects: None,
         reactors: config.reactors,
         max_conns: Some(mutcon_live::server::max_conns().max(total + 64)),
-        backend: None,
-        l1_objects: None,
+        ..ProxyConfig::new(origin.local_addr())
     })?;
     let addr = proxy.local_addr();
 
@@ -1101,14 +1105,12 @@ fn zipf_leg(
         .map(|p| RefreshRule::new(p.clone(), Duration::from_millis(50)))
         .collect();
     let proxy = LiveProxy::start(ProxyConfig {
-        origin_addr: origin.local_addr(),
         rules,
-        group: None,
         cache_objects: Some(cache_objects),
         reactors: config.reactors,
         max_conns: Some(mutcon_live::server::max_conns().max(conns + 8)),
-        backend: None,
         l1_objects: Some(l1_objects),
+        ..ProxyConfig::new(origin.local_addr())
     })?;
     let addr = proxy.local_addr();
 
@@ -1348,6 +1350,372 @@ pub fn json_zipf_fragment(report: &ZipfReport) -> String {
     )
 }
 
+/// Load shape for the [`refresh`] drift bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefreshBenchConfig {
+    /// Rule-catalog size — every path gets a refresh rule, all due the
+    /// instant the proxy starts, so the bench measures how fast the
+    /// refresh plane drains a deep backlog.
+    pub paths: usize,
+    /// Polls after which a leg's drift histogram is snapshotted; both
+    /// legs stop at the same count so their quantiles compare
+    /// poll-for-poll.
+    pub target_polls: u64,
+    /// Poll workers for the serial leg.
+    pub serial_workers: usize,
+    /// Poll workers for the concurrent leg.
+    pub concurrent_workers: usize,
+    /// Seed mixed into each path's scripted origin latency: both legs
+    /// see identical per-path service times.
+    pub seed: u64,
+}
+
+impl Default for RefreshBenchConfig {
+    fn default() -> Self {
+        // 50k paths is ISSUE-sized: enough backlog that the serial
+        // worker's drain visibly lags, small enough to start in
+        // milliseconds. 2 000 polls keeps the serial leg a few seconds.
+        RefreshBenchConfig {
+            paths: 50_000,
+            target_polls: 2_000,
+            serial_workers: 1,
+            concurrent_workers: 8,
+            seed: 42,
+        }
+    }
+}
+
+/// One leg of the [`refresh`] bench.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefreshLegReport {
+    /// Poll workers this leg ran.
+    pub workers: usize,
+    /// Polls recorded when the drift histogram was snapshotted.
+    pub polls: u64,
+    /// Wall-clock from proxy start to the snapshot, milliseconds.
+    pub elapsed_ms: f64,
+    /// Sustained poll throughput.
+    pub polls_per_sec: f64,
+    /// Median scheduled-due vs actual-send drift, milliseconds.
+    pub drift_p50_ms: f64,
+    /// 99th-percentile drift — the fidelity-lag headline.
+    pub drift_p99_ms: f64,
+    /// Worst recorded drift, milliseconds.
+    pub drift_max_ms: f64,
+    /// Reads the hot-path client completed during the drain.
+    pub reads: u64,
+    /// Reads whose `x-last-modified-ms` regressed below a stamp already
+    /// seen for the same path — must be 0.
+    pub stale_responses: u64,
+}
+
+/// Measured outcome of a [`refresh`] run: the identical backlog drained
+/// twice, serial then concurrent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefreshReport {
+    /// Rule-catalog size.
+    pub paths: usize,
+    /// Poll count both legs were snapshotted at.
+    pub target_polls: u64,
+    /// Latency seed.
+    pub seed: u64,
+    /// The single-worker leg.
+    pub serial: RefreshLegReport,
+    /// The worker-pool leg.
+    pub concurrent: RefreshLegReport,
+    /// `serial.drift_p99_ms / concurrent.drift_p99_ms`.
+    pub p99_ratio: f64,
+    /// Both legs snapshotted within 5% of the same poll count, so the
+    /// drift quantiles compare like for like.
+    pub polls_matched: bool,
+    /// Neither leg's reader saw a stamp regress.
+    pub coherent: bool,
+    /// The concurrent leg cut p99 drift at least 5× — the gate the
+    /// `repro live-refresh` target enforces.
+    pub scaled: bool,
+}
+
+/// FNV-1a over the path, mixed with the seed: a per-path origin service
+/// time in [400 µs, 2 ms] that is identical across legs.
+fn scripted_latency_us(path: &str, seed: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+    for b in path.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    400 + h % 1_601
+}
+
+fn refresh_path(rank: usize) -> String {
+    format!("/obj/{rank:05}")
+}
+
+/// A blocking thread-per-connection origin whose only behavior is a
+/// scripted per-path delay before a stamped `200` — the deliberately
+/// boring dependency that makes drift attributable to the refresh
+/// plane's scheduling, not to origin jitter.
+struct LatencyOrigin {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+}
+
+impl LatencyOrigin {
+    fn start(seed: u64) -> io::Result<LatencyOrigin> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { break };
+                std::thread::spawn(move || latency_serve(stream, seed));
+            }
+        });
+        Ok(LatencyOrigin { addr, stop })
+    }
+}
+
+impl Drop for LatencyOrigin {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr); // unblock the accept loop
+    }
+}
+
+fn latency_serve(mut stream: TcpStream, seed: u64) {
+    let _ = stream.set_nodelay(true);
+    let mut buf = BytesMut::new();
+    loop {
+        let request = match read_request(&mut stream, &mut buf) {
+            Ok(Some(request)) => request,
+            Ok(None) | Err(_) => return,
+        };
+        std::thread::sleep(StdDuration::from_micros(scripted_latency_us(
+            request.target(),
+            seed,
+        )));
+        let stamp = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let response = Response::ok()
+            .header(X_LAST_MODIFIED_MS, stamp.to_string())
+            .body(b"refresh-bench".to_vec())
+            .keep_alive()
+            .build();
+        if write_response(&mut stream, &response).is_err() {
+            return;
+        }
+    }
+}
+
+/// Hot paths the coherence reader hammers while the backlog drains.
+const REFRESH_READ_PATHS: usize = 8;
+
+fn refresh_leg(config: &RefreshBenchConfig, workers: usize) -> io::Result<RefreshLegReport> {
+    let paths = config.paths.max(64);
+    let target = config.target_polls.max(50);
+    let origin = LatencyOrigin::start(config.seed)?;
+    // Δ = 30 s: every path is due once at start and not again within the
+    // bench window, so the drift histogram holds exactly the backlog
+    // drain both legs share.
+    let rules: Vec<RefreshRule> = (0..paths)
+        .map(|rank| RefreshRule::new(refresh_path(rank), Duration::from_secs(30)))
+        .collect();
+    let started = Instant::now();
+    let proxy = LiveProxy::start(ProxyConfig {
+        rules,
+        reactors: Some(1),
+        refresh_workers: Some(workers),
+        cache_objects: Some(target as usize * 2 + 64),
+        ..ProxyConfig::new(origin.addr)
+    })?;
+    let addr = proxy.local_addr();
+
+    // The coherence reader: hammer the hot paths, fail on any stamp
+    // regression — concurrency must never trade staleness for drift.
+    let stop = Arc::new(AtomicBool::new(false));
+    let stale = Arc::new(AtomicU64::new(0));
+    let reads = Arc::new(AtomicU64::new(0));
+    let reader = {
+        let (stop, stale, reads) = (Arc::clone(&stop), Arc::clone(&stale), Arc::clone(&reads));
+        std::thread::spawn(move || {
+            let client = HttpClient::with_timeout(StdDuration::from_secs(10));
+            let mut newest: std::collections::HashMap<String, Timestamp> =
+                std::collections::HashMap::new();
+            let mut turn = 0usize;
+            while !stop.load(Ordering::SeqCst) {
+                let path = refresh_path(turn % REFRESH_READ_PATHS);
+                turn += 1;
+                if let Ok(resp) = client.get(addr, &path, None) {
+                    if resp.status() == StatusCode::OK {
+                        if let Some(stamp) = mutcon_live::client::last_modified_ms(&resp) {
+                            match newest.get(&path) {
+                                Some(&seen) if stamp < seen => {
+                                    stale.fetch_add(1, Ordering::SeqCst);
+                                }
+                                _ => {
+                                    newest.insert(path, stamp);
+                                }
+                            }
+                            reads.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                }
+                std::thread::sleep(StdDuration::from_millis(1));
+            }
+        })
+    };
+
+    let deadline = Instant::now() + StdDuration::from_secs(120);
+    while proxy.runtime().refresh_metrics().polls() < target {
+        if Instant::now() > deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!(
+                    "refresh leg ({workers} workers) stuck at {} / {target} polls",
+                    proxy.runtime().refresh_metrics().polls()
+                ),
+            ));
+        }
+        std::thread::sleep(StdDuration::from_millis(1));
+    }
+    let elapsed = started.elapsed();
+    let polls = proxy.runtime().refresh_metrics().polls();
+    let drift = proxy.runtime().refresh_metrics().drift();
+
+    stop.store(true, Ordering::SeqCst);
+    let _ = reader.join();
+    drop(proxy);
+    Ok(RefreshLegReport {
+        workers,
+        polls,
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+        polls_per_sec: polls as f64 / elapsed.as_secs_f64().max(1e-9),
+        drift_p50_ms: drift.p50_ms,
+        drift_p99_ms: drift.p99_ms,
+        drift_max_ms: drift.max_ms,
+        reads: reads.load(Ordering::SeqCst),
+        stale_responses: stale.load(Ordering::SeqCst),
+    })
+}
+
+/// Runs the refresh-plane drift bench: the same all-due-at-once rule
+/// backlog drained twice over identical scripted per-path origin
+/// latencies — `serial_workers` first, then `concurrent_workers` — each
+/// leg snapshotted at `target_polls`. Records both legs' drift
+/// quantiles plus the verdicts the `repro live-refresh` gate enforces:
+/// equal poll counts (±5%), zero stale serves, and a ≥5× p99 cut.
+///
+/// # Errors
+///
+/// Propagates socket failures; a leg that cannot reach `target_polls`
+/// within two minutes reports `TimedOut`.
+pub fn refresh(config: RefreshBenchConfig) -> io::Result<RefreshReport> {
+    let serial = refresh_leg(&config, config.serial_workers.max(1))?;
+    let concurrent = refresh_leg(&config, config.concurrent_workers.max(1))?;
+
+    let p99_ratio = serial.drift_p99_ms / concurrent.drift_p99_ms.max(1e-3);
+    let widest = serial.polls.max(concurrent.polls) as f64;
+    let polls_matched = (serial.polls.abs_diff(concurrent.polls) as f64) / widest <= 0.05;
+    let coherent = serial.stale_responses == 0 && concurrent.stale_responses == 0;
+    let scaled = p99_ratio >= 5.0;
+    Ok(RefreshReport {
+        paths: config.paths.max(64),
+        target_polls: config.target_polls.max(50),
+        seed: config.seed,
+        serial,
+        concurrent,
+        p99_ratio,
+        polls_matched,
+        coherent,
+        scaled,
+    })
+}
+
+/// Renders the refresh report as aligned text, one row per leg.
+pub fn render_refresh(report: &RefreshReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!(
+        "Refresh-plane drift — {} paths all due at once, snapshotted at \
+         {} polls, seed {}\n\
+         {:>8} {:>8} {:>10} {:>9} {:>11} {:>11} {:>11} {:>7} {:>6}\n",
+        report.paths,
+        report.target_polls,
+        report.seed,
+        "workers",
+        "polls",
+        "elapsed",
+        "polls/s",
+        "p50 drift",
+        "p99 drift",
+        "max drift",
+        "reads",
+        "stale",
+    );
+    for leg in [&report.serial, &report.concurrent] {
+        let _ = writeln!(
+            out,
+            "{:>8} {:>8} {:>8.0}ms {:>9.0} {:>9.1}ms {:>9.1}ms {:>9.1}ms {:>7} {:>6}",
+            leg.workers,
+            leg.polls,
+            leg.elapsed_ms,
+            leg.polls_per_sec,
+            leg.drift_p50_ms,
+            leg.drift_p99_ms,
+            leg.drift_max_ms,
+            leg.reads,
+            leg.stale_responses,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "p99 ratio: {:.1}x (gate: >= 5x), polls matched: {}, coherent: {}, scaled: {}",
+        report.p99_ratio, report.polls_matched, report.coherent, report.scaled
+    );
+    out
+}
+
+fn json_refresh_leg(leg: &RefreshLegReport) -> String {
+    format!(
+        "{{\"workers\": {}, \"polls\": {}, \"elapsed_ms\": {:.3}, \
+         \"polls_per_sec\": {:.1}, \"drift_p50_ms\": {:.3}, \
+         \"drift_p99_ms\": {:.3}, \"drift_max_ms\": {:.3}, \"reads\": {}, \
+         \"stale_responses\": {}}}",
+        leg.workers,
+        leg.polls,
+        leg.elapsed_ms,
+        leg.polls_per_sec,
+        leg.drift_p50_ms,
+        leg.drift_p99_ms,
+        leg.drift_max_ms,
+        leg.reads,
+        leg.stale_responses,
+    )
+}
+
+/// The refresh report as a JSON object fragment for `BENCH_repro.json`'s
+/// `live_refresh` section.
+pub fn json_refresh_fragment(report: &RefreshReport) -> String {
+    format!(
+        "{{\"paths\": {}, \"target_polls\": {}, \"seed\": {}, \
+         \"p99_ratio\": {:.2}, \"polls_matched\": {}, \"coherent\": {}, \
+         \"scaled\": {}, \"serial\": {}, \"concurrent\": {}}}",
+        report.paths,
+        report.target_polls,
+        report.seed,
+        report.p99_ratio,
+        report.polls_matched,
+        report.coherent,
+        report.scaled,
+        json_refresh_leg(&report.serial),
+        json_refresh_leg(&report.concurrent),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1513,6 +1881,38 @@ mod tests {
         let json = json_zipf_fragment(&report);
         assert!(json.contains("\"coherent\": true"));
         assert!(json.contains("\"l1_on\": {"));
+        assert!(json.contains("\"stale_responses\": 0"));
+    }
+
+    #[test]
+    fn refresh_legs_drain_the_same_backlog_coherently() {
+        // CI-sized: a 512-path backlog snapshotted at 120 polls. The
+        // ≥5× gate belongs to the full-scale repro target; here the
+        // pool must merely beat the single worker while staying
+        // coherent at equal poll counts.
+        let report = refresh(RefreshBenchConfig {
+            paths: 512,
+            target_polls: 120,
+            serial_workers: 1,
+            concurrent_workers: 4,
+            seed: 7,
+        })
+        .expect("refresh run");
+        assert!(report.serial.polls >= 120 && report.concurrent.polls >= 120);
+        assert!(report.polls_matched, "legs must stop together: {report:?}");
+        assert!(report.coherent, "no stale serve may be counted: {report:?}");
+        assert!(
+            report.p99_ratio > 1.5,
+            "4 workers must visibly cut drift: {report:?}"
+        );
+        assert_eq!(report.serial.workers, 1);
+        assert_eq!(report.concurrent.workers, 4);
+        let text = render_refresh(&report);
+        assert!(text.contains("coherent: true"));
+        assert!(text.contains("512 paths"));
+        let json = json_refresh_fragment(&report);
+        assert!(json.contains("\"coherent\": true"));
+        assert!(json.contains("\"serial\": {"));
         assert!(json.contains("\"stale_responses\": 0"));
     }
 

@@ -87,6 +87,8 @@ impl StatusCode {
     pub const NOT_MODIFIED: StatusCode = StatusCode(304);
     /// `400 Bad Request`.
     pub const BAD_REQUEST: StatusCode = StatusCode(400);
+    /// `401 Unauthorized` — the admin plane's bearer-token gate.
+    pub const UNAUTHORIZED: StatusCode = StatusCode(401);
     /// `404 Not Found`.
     pub const NOT_FOUND: StatusCode = StatusCode(404);
     /// `405 Method Not Allowed`.
@@ -119,6 +121,7 @@ impl StatusCode {
             200 => "OK",
             304 => "Not Modified",
             400 => "Bad Request",
+            401 => "Unauthorized",
             404 => "Not Found",
             405 => "Method Not Allowed",
             429 => "Too Many Requests",

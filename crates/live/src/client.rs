@@ -120,6 +120,10 @@ impl HttpClient {
 #[derive(Debug)]
 pub struct PersistentClient {
     addr: SocketAddr,
+    /// `addr` rendered once at construction: every request carries a
+    /// `Host` header, and the refresh plane issues requests at poll
+    /// rate — no reason to re-format the address each time.
+    host: String,
     timeout: StdDuration,
     stream: Option<TcpStream>,
     buf: BytesMut,
@@ -133,6 +137,7 @@ impl PersistentClient {
     pub fn new(addr: SocketAddr, timeout: StdDuration) -> PersistentClient {
         PersistentClient {
             addr,
+            host: addr.to_string(),
             timeout,
             stream: None,
             buf: BytesMut::new(),
@@ -220,7 +225,7 @@ impl PersistentClient {
     /// See [`PersistentClient::send`].
     pub fn put(&mut self, path: &str, body: impl Into<bytes::Bytes>) -> io::Result<Response> {
         let request = Request::builder(mutcon_http::types::Method::Put, path)
-            .host(self.addr.to_string())
+            .host(self.host.as_str())
             .body(body)
             .build();
         self.send(&request)
@@ -232,7 +237,7 @@ impl PersistentClient {
     ///
     /// See [`PersistentClient::send`].
     pub fn get(&mut self, path: &str, validator_ms: Option<Timestamp>) -> io::Result<Response> {
-        let mut builder: RequestBuilder = Request::get(path).host(self.addr.to_string());
+        let mut builder: RequestBuilder = Request::get(path).host(self.host.as_str());
         if let Some(v) = validator_ms {
             builder = builder
                 .if_modified_since(v)

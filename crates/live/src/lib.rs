@@ -71,14 +71,8 @@
 //!     .start()?;
 //!
 //! let proxy = LiveProxy::start(ProxyConfig {
-//!     origin_addr: origin.local_addr(),
 //!     rules: vec![RefreshRule::new("/news/cnn-fn.html", Duration::from_millis(50))],
-//!     group: None,
-//!     cache_objects: None,
-//!     reactors: None,
-//!     max_conns: None,
-//!     backend: None,
-//!     l1_objects: None,
+//!     ..ProxyConfig::new(origin.local_addr())
 //! })?;
 //! println!("proxy listening on {}", proxy.local_addr());
 //! # Ok(())

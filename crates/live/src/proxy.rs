@@ -1,12 +1,14 @@
 //! The live caching proxy daemon.
 //!
-//! Serves client `GET`s from its cache while a background *refresher*
-//! thread keeps configured objects Δt-consistent with the origin by
-//! LIMD-scheduled `If-Modified-Since` polls — and, when a group rule is
-//! set, Mt-consistent with one another via triggered polls, exactly as in
-//! the simulator. One binary-ready struct, ephemeral ports, clean
-//! shutdown on drop: the "implement it in a real proxy" future work of
-//! §7, in miniature.
+//! Serves client `GET`s from its cache while a background *refresh
+//! plane* — one scheduler thread dispatching due paths to a pool of
+//! poll workers ([`ProxyConfig::refresh_workers`], each with its own
+//! keep-alive origin connection) — keeps configured objects
+//! Δt-consistent with the origin by LIMD-scheduled `If-Modified-Since`
+//! polls, and, when a group rule is set, Mt-consistent with one another
+//! via triggered polls, exactly as in the simulator. One binary-ready
+//! struct, ephemeral ports, clean shutdown on drop: the "implement it
+//! in a real proxy" future work of §7, in miniature.
 //!
 //! Connections are served by the shared readiness-driven engine
 //! ([`crate::server`]): one reactor per core (`MUTCON_LIVE_REACTORS`,
@@ -44,13 +46,21 @@
 //!   counters, wire-path syscall/copy counters (`writev` vs `write`
 //!   calls, accept batches, body copies, buffer-pool traffic, interest
 //!   coalescing and ring submissions, plus the per-reactor active
-//!   backend), and the proxy's poll/hit/miss counters.
+//!   backend), the refresh plane's worker/in-flight/drift figures, and
+//!   the proxy's poll/hit/miss counters.
+//!
+//! When a bearer token is configured ([`ProxyConfig::admin_token`] or
+//! `MUTCON_ADMIN_TOKEN`), every `/admin/*` request must carry
+//! `Authorization: Bearer <token>` or it is refused with `401`. A
+//! configured [`ProxyConfig::rules_file`] is re-read on `SIGHUP`,
+//! feeding the same install path as `PUT /admin/rules`.
 //!
 //! The legacy plain-text `/__stats` endpoint remains for scripts.
 
 use std::collections::HashMap;
 use std::io;
 use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -68,7 +78,7 @@ use mutcon_traces::json::Json;
 use crate::cache::{CacheEntry, ShardedCache};
 use crate::client::{last_modified_ms, object_value, PersistentClient};
 use crate::overload::{parse_overload_body, render_overload, OverloadControl};
-use crate::runtime::{ConsistencyRuntime, PollKind};
+use crate::runtime::{ConsistencyRuntime, InstallReport, PollKind};
 use crate::server::{
     EngineMetrics, EventLoop, PreparedResponse, Reply, Service, ServiceResult,
 };
@@ -143,6 +153,24 @@ pub struct ProxyConfig {
     /// without touching any shared shard lock; coherence comes from the
     /// per-path version stamps in [`crate::cache::ShardedCache`].
     pub l1_objects: Option<usize>,
+    /// Poll workers for the refresh plane (`None` = the
+    /// `MUTCON_LIVE_REFRESH_WORKERS` /
+    /// [`crate::server::DEFAULT_REFRESH_WORKERS`] default). Each worker
+    /// owns one persistent keep-alive origin connection; the scheduler
+    /// thread dispatches due paths to them over a bounded queue so
+    /// in-flight polls overlap origin latency.
+    pub refresh_workers: Option<usize>,
+    /// Bearer token gating the `/admin/*` plane (`None` = the
+    /// `MUTCON_ADMIN_TOKEN` environment value, or no auth when that is
+    /// unset/empty). When set, admin requests without
+    /// `Authorization: Bearer <token>` get `401`.
+    pub admin_token: Option<String>,
+    /// Rules file re-read on `SIGHUP` (`None` = no signal hook). The
+    /// file holds the same JSON body `PUT /admin/rules` accepts; a
+    /// successful re-read feeds [`ConsistencyRuntime::install`] exactly
+    /// as the HTTP handler does, a failed one bumps `reload_errors` and
+    /// changes nothing.
+    pub rules_file: Option<PathBuf>,
 }
 
 impl ProxyConfig {
@@ -158,6 +186,9 @@ impl ProxyConfig {
             max_conns: None,
             backend: None,
             l1_objects: None,
+            refresh_workers: None,
+            admin_token: None,
+            rules_file: None,
         }
     }
 }
@@ -177,8 +208,11 @@ pub struct ProxyStats {
     pub misses: u64,
     /// Failed origin polls (timeouts, resets).
     pub errors: u64,
-    /// Rule reloads applied through `PUT /admin/rules`.
+    /// Rule reloads applied through `PUT /admin/rules` or `SIGHUP`.
     pub reloads: u64,
+    /// `SIGHUP` re-reads that failed (unreadable file, bad JSON,
+    /// invalid rules) and therefore changed nothing.
+    pub reload_errors: u64,
 }
 
 #[derive(Debug, Default)]
@@ -190,6 +224,7 @@ struct Counters {
     misses: AtomicU64,
     errors: AtomicU64,
     reloads: AtomicU64,
+    reload_errors: AtomicU64,
 }
 
 struct Shared {
@@ -197,6 +232,8 @@ struct Shared {
     cache: ShardedCache,
     counters: Counters,
     runtime: Arc<ConsistencyRuntime>,
+    /// Bearer token gating `/admin/*`; `None` leaves the plane open.
+    admin_token: Option<String>,
 }
 
 /// The running proxy; shuts down (and joins its threads) on drop.
@@ -205,6 +242,9 @@ pub struct LiveProxy {
     shared: Arc<Shared>,
     shutdown: Arc<AtomicBool>,
     refresher: Option<JoinHandle<()>>,
+    /// Keeps the `SIGHUP` → rules-file reload listener registered for
+    /// the proxy's lifetime (dropped, and thus unregistered, with it).
+    _sighup: Option<mutcon_sim::signal::SighupGuard>,
 }
 
 impl LiveProxy {
@@ -226,6 +266,11 @@ impl LiveProxy {
             cache: ShardedCache::new(config.cache_objects),
             counters: Counters::default(),
             runtime: Arc::clone(&runtime),
+            admin_token: config
+                .admin_token
+                .clone()
+                .filter(|t| !t.is_empty())
+                .or_else(crate::server::admin_token),
         });
         let shutdown = Arc::new(AtomicBool::new(false));
 
@@ -249,23 +294,36 @@ impl LiveProxy {
         let refresher = {
             let shared = Arc::clone(&shared);
             let shutdown = Arc::clone(&shutdown);
+            let workers = config
+                .refresh_workers
+                .unwrap_or_else(crate::server::refresh_workers);
             Some(
                 std::thread::Builder::new()
-                    .name("mutcon-live-proxy-refresher".into())
+                    .name("mutcon-live-refresh-scheduler".into())
                     .spawn(move || {
-                        // One persistent keep-alive connection carries
-                        // every poll; a stale socket reconnects
-                        // transparently inside the client.
-                        let mut client =
-                            PersistentClient::new(shared.origin, StdDuration::from_secs(2));
                         let runtime = Arc::clone(&shared.runtime);
+                        let shared = &shared;
                         runtime.run(
                             &shutdown,
-                            |kind, path| {
-                                if kind == PollKind::Triggered {
-                                    shared.counters.triggered.fetch_add(1, Ordering::SeqCst);
+                            workers,
+                            // Each poll worker owns one persistent
+                            // keep-alive origin connection; a stale
+                            // socket reconnects transparently inside
+                            // the client.
+                            |_worker| {
+                                let mut client = PersistentClient::new(
+                                    shared.origin,
+                                    StdDuration::from_secs(2),
+                                );
+                                move |kind: PollKind, path: &str| {
+                                    if kind == PollKind::Triggered {
+                                        shared
+                                            .counters
+                                            .triggered
+                                            .fetch_add(1, Ordering::SeqCst);
+                                    }
+                                    poll_origin(shared, &mut client, path)
                                 }
-                                poll_origin(&shared, &mut client, path)
                             },
                             // Un-ruled paths lose their cached copy when
                             // the scheduler adopts the swap — this fires
@@ -288,11 +346,28 @@ impl LiveProxy {
             )
         };
 
+        // SIGHUP → re-read the rules file, when one is configured. The
+        // guard unregisters on drop, so the listener dies with the
+        // proxy; the reload itself is the same validate → install →
+        // evict/bump path `PUT /admin/rules` takes.
+        let sighup = match config.rules_file {
+            Some(path) => {
+                let shared = Arc::clone(&shared);
+                Some(
+                    mutcon_sim::signal::on_sighup(move || {
+                        reload_rules_file(&shared, &path);
+                    })?,
+                )
+            }
+            None => None,
+        };
+
         Ok(LiveProxy {
             server,
             shared,
             shutdown,
             refresher,
+            _sighup: sighup,
         })
     }
 
@@ -312,6 +387,7 @@ impl LiveProxy {
             misses: c.misses.load(Ordering::SeqCst),
             errors: c.errors.load(Ordering::SeqCst),
             reloads: c.reloads.load(Ordering::SeqCst),
+            reload_errors: c.reload_errors.load(Ordering::SeqCst),
         }
     }
 
@@ -349,6 +425,10 @@ impl LiveProxy {
 impl Drop for LiveProxy {
     fn drop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        // The scheduler may be parked on its condvar with nothing due;
+        // the wake makes it observe the flag now instead of at the next
+        // poll deadline.
+        self.shared.runtime.wake();
         if let Some(handle) = self.refresher.take() {
             let _ = handle.join();
         }
@@ -379,8 +459,12 @@ impl Service for ProxyService {
     fn respond(&self, request: &Request) -> ServiceResult {
         let path = request.target();
         // The admin prefix is dispatched locally on the reactor — it
-        // never touches the cache-miss/upstream machinery.
+        // never touches the cache-miss/upstream machinery. When a
+        // bearer token is configured, it gates every admin endpoint.
         if path.starts_with("/admin/") {
+            if let Some(denied) = self.check_admin_auth(request) {
+                return ServiceResult::Respond(denied);
+            }
             return ServiceResult::Respond(self.admin(request));
         }
         if request.method() != &Method::Get {
@@ -515,6 +599,29 @@ fn obj(entries: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
 }
 
 impl ProxyService {
+    /// Returns the `401` response when a bearer token is configured and
+    /// the request doesn't carry it; `None` admits the request. Uses
+    /// the standard `Authorization: Bearer <token>` scheme
+    /// (case-sensitive token, scheme per RFC 6750).
+    fn check_admin_auth(&self, request: &Request) -> Option<Response> {
+        let expected = self.shared.admin_token.as_deref()?;
+        let authorized = request
+            .headers()
+            .get("authorization")
+            .and_then(|value| value.trim().strip_prefix("Bearer "))
+            .is_some_and(|token| token.trim() == expected);
+        if authorized {
+            None
+        } else {
+            let mut response =
+                error_response(StatusCode::UNAUTHORIZED, "missing or invalid bearer token");
+            response
+                .headers_mut()
+                .insert("www-authenticate", "Bearer");
+            Some(response)
+        }
+    }
+
     /// Dispatches one `/admin/…` request locally.
     fn admin(&self, request: &Request) -> Response {
         match (request.method(), request.target()) {
@@ -620,25 +727,7 @@ impl ProxyService {
             Ok((rules, group)) => match self.shared.runtime.install(rules, group) {
                 Err(reason) => error_response(StatusCode::BAD_REQUEST, &reason),
                 Ok(report) => {
-                    // Paths whose rule is gone lose their cached copy:
-                    // nothing refreshes it anymore, and the refresher's
-                    // epoch gate keeps an in-flight poll from putting it
-                    // back. (The refresher also evicts on adoption — see
-                    // the `on_removed` hook — but that lags by up to one
-                    // scheduler slice; evicting here too makes the PUT's
-                    // effect immediate. A later client miss may re-cache
-                    // the path like any unruled object: a fresh copy at
-                    // fetch time, just never refreshed thereafter.)
-                    for path in &report.removed {
-                        self.shared.cache.remove(path);
-                    }
-                    // Bulk-invalidate every reactor's L1: the rule swap
-                    // may change what a path's bytes *mean* (Δ, group
-                    // membership), so reactor-local copies are cleared
-                    // wholesale on their next lookup rather than
-                    // trusting per-path stamps alone.
-                    self.shared.cache.bump_generation();
-                    self.shared.counters.reloads.fetch_add(1, Ordering::SeqCst);
+                    apply_install_effects(&self.shared, &report);
                     let doc = obj([
                         ("epoch", Json::Number(report.version as f64)),
                         (
@@ -795,6 +884,7 @@ impl ProxyService {
                 ]),
             ),
             ("overload", self.overload_json()),
+            ("refresh", self.refresh_json()),
             (
                 "proxy",
                 obj([
@@ -805,10 +895,41 @@ impl ProxyService {
                     ("misses", Json::Number(c.misses.load(Ordering::SeqCst) as f64)),
                     ("errors", Json::Number(c.errors.load(Ordering::SeqCst) as f64)),
                     ("reloads", Json::Number(c.reloads.load(Ordering::SeqCst) as f64)),
+                    (
+                        "reload_errors",
+                        Json::Number(c.reload_errors.load(Ordering::SeqCst) as f64),
+                    ),
                 ]),
             ),
         ]);
         json_response(StatusCode::OK, &doc)
+    }
+
+    /// The `refresh` section of `GET /admin/stats`: the refresh plane's
+    /// worker count, in-flight polls, totals, trigger coalescing, and
+    /// the scheduled-due-vs-actual-send drift histogram's quantiles.
+    fn refresh_json(&self) -> Json {
+        let m = self.shared.runtime.refresh_metrics();
+        let drift = m.drift();
+        obj([
+            ("workers", Json::Number(m.workers() as f64)),
+            ("in_flight", Json::Number(m.in_flight() as f64)),
+            ("polls", Json::Number(m.polls() as f64)),
+            ("errors", Json::Number(m.errors() as f64)),
+            (
+                "triggered_coalesced",
+                Json::Number(m.triggered_coalesced() as f64),
+            ),
+            (
+                "drift",
+                obj([
+                    ("count", Json::Number(drift.count as f64)),
+                    ("p50_ms", Json::Number(drift.p50_ms)),
+                    ("p99_ms", Json::Number(drift.p99_ms)),
+                    ("max_ms", Json::Number(drift.max_ms)),
+                ]),
+            ),
+        ])
     }
 
     /// The `overload` section of `GET /admin/stats`: installed config,
@@ -967,6 +1088,46 @@ fn parse_rules_body(body: &[u8]) -> Result<(Vec<RefreshRule>, Option<GroupRule>)
         }
     };
     Ok((rules, group))
+}
+
+/// The cache-and-counter side effects of an adopted rules install,
+/// shared by the `PUT /admin/rules` handler and the `SIGHUP` file
+/// reload.
+///
+/// Paths whose rule is gone lose their cached copy: nothing refreshes
+/// them anymore, and the refresher's epoch gate keeps an in-flight poll
+/// from putting one back. (The refresher also evicts on adoption — see
+/// the `on_removed` hook — but that lags by up to one scheduler wake;
+/// evicting here too makes the install's effect immediate. A later
+/// client miss may re-cache the path like any unruled object: a fresh
+/// copy at fetch time, just never refreshed thereafter.) The
+/// generation bump bulk-invalidates every reactor's L1: the rule swap
+/// may change what a path's bytes *mean* (Δ, group membership), so
+/// reactor-local copies are cleared wholesale on their next lookup
+/// rather than trusting per-path stamps alone.
+fn apply_install_effects(shared: &Shared, report: &InstallReport) {
+    for path in &report.removed {
+        shared.cache.remove(path);
+    }
+    shared.cache.bump_generation();
+    shared.counters.reloads.fetch_add(1, Ordering::SeqCst);
+}
+
+/// One `SIGHUP`-triggered re-read of the configured rules file: read →
+/// parse → validate → install → the same effects as an admin `PUT`. Any
+/// failure (unreadable file, bad JSON, invalid rules) bumps
+/// `reload_errors` and leaves the running epoch untouched.
+fn reload_rules_file(shared: &Shared, path: &Path) {
+    let outcome = std::fs::read(path)
+        .map_err(|e| e.to_string())
+        .and_then(|body| parse_rules_body(&body))
+        .and_then(|(rules, group)| shared.runtime.install(rules, group));
+    match outcome {
+        Ok(report) => apply_install_effects(shared, &report),
+        Err(_) => {
+            shared.counters.reload_errors.fetch_add(1, Ordering::SeqCst);
+        }
+    }
 }
 
 /// Stores a 200 response in the cache; returns the entry now resident —

@@ -1,14 +1,35 @@
 //! The hot-swappable consistency runtime behind the live proxy's
-//! refresher.
+//! refresh plane.
 //!
-//! PR 3's refresher built its per-path [`Limd`] map once, privately,
-//! inside the thread closure: changing a single Δ meant restarting the
-//! proxy — dropping the sharded cache and every keep-alive connection
-//! with it. This module extracts that scheduling state into
+//! PR 4 extracted the refresher's scheduling state into
 //! [`ConsistencyRuntime`], which owns a **versioned rules epoch**
 //! ([`RulesEpoch`], an immutable snapshot behind an atomically swapped
-//! `Arc`). The refresher thread runs [`ConsistencyRuntime::run`] and
-//! reconciles against the current epoch at every step:
+//! `Arc`). This PR rebuilds the *execution* side of that plane for
+//! throughput. The old loop picked each next path with an O(P) scan
+//! over the whole rule map, issued one blocking poll at a time over a
+//! single keep-alive connection, and woke every 20 ms even when idle —
+//! so scheduled-vs-actual poll drift grew with both catalog size and
+//! origin latency. The refresh plane is now three cooperating pieces:
+//!
+//! * **Due queue** — a binary heap keyed by `(due, path)`, handing out
+//!   `Arc<str>` paths so the hot scheduling path allocates nothing.
+//!   Reconciles are lazy: stale heap entries (rescheduled, changed, or
+//!   removed paths) carry an out-of-date generation stamp and are
+//!   discarded when they surface. Pop is O(log P) against the old
+//!   O(P) scan, with the exact same `(due, path)` tiebreak order.
+//! * **Poll workers** — [`ConsistencyRuntime::run`] spawns M workers
+//!   (each given its own poller, i.e. its own origin connection) fed
+//!   due paths over a bounded queue, so in-flight polls overlap origin
+//!   latency while the scheduler thread keeps reconciling epochs and
+//!   applying completions. A path is never handed to two workers at
+//!   once, and Mt-triggered polls dedupe per target and ride the same
+//!   workers instead of running inline.
+//! * **Condvar parking** — the scheduler parks until the next due time,
+//!   a worker completion, or [`ConsistencyRuntime::install`] (which
+//!   notifies the runtime's wake signal), so an idle refresher burns no
+//!   wakeups yet still adopts a fresh epoch immediately.
+//!
+//! Reconcile semantics are unchanged from PR 4:
 //!
 //! * **unchanged paths** keep their accumulated adaptive-TTR state (a
 //!   grown TTR is exactly the state worth preserving across a reload);
@@ -17,7 +38,14 @@
 //! * **removed paths** stop polling, and a poll already in flight when
 //!   the swap lands is discarded — it can neither panic the scheduler
 //!   nor resurrect the path's (since-evicted) cache entry;
-//! * **added paths** start polling within one scheduler slice.
+//! * **added paths** start polling immediately on adoption.
+//!
+//! Every poll records its **drift** — the gap between the scheduled due
+//! time and the moment a worker actually started sending — into a
+//! fixed-bucket histogram ([`DriftHistogram`]), published with the rest
+//! of [`RefreshMetrics`] under the `refresh` section of
+//! `GET /admin/stats`. Drift is the measurable form of the fidelity
+//! erosion the paper's Δ guarantees suffer when polls fire late.
 //!
 //! The swap itself ([`ConsistencyRuntime::install`]) validates first
 //! (duplicate paths, zero tolerances, inverted TTR bounds — the same
@@ -30,9 +58,11 @@
 //! ([`ConsistencyRuntime::status`]) after every poll, which is what
 //! `GET /admin/rules` serves.
 
-use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex, PoisonError};
 use std::time::{Duration as StdDuration, Instant, SystemTime, UNIX_EPOCH};
 
 use parking_lot::RwLock;
@@ -44,11 +74,6 @@ use mutcon_core::object::ObjectId;
 use mutcon_core::time::{Duration, Timestamp};
 
 use crate::proxy::{GroupRule, RefreshRule};
-
-/// How finely the scheduler slices its sleeps: the bound on how long a
-/// freshly installed epoch waits before the refresher notices it (and on
-/// shutdown latency).
-const SLICE: StdDuration = StdDuration::from_millis(20);
 
 /// Current wall-clock time on the millisecond Unix timeline the
 /// consistency algorithms run on.
@@ -78,17 +103,36 @@ pub struct RulesEpoch {
     pub rules: Vec<RefreshRule>,
     /// Optional Mt coordination across all rule paths.
     pub group: Option<GroupRule>,
+    /// Path → index into `rules`, so `rule()` is O(1): the scheduler
+    /// reconciles 50k-path catalogs, and a linear lookup would make
+    /// that O(P²).
+    by_path: HashMap<String, usize>,
 }
 
 impl RulesEpoch {
+    /// Builds an epoch, indexing the (validated-unique) paths.
+    pub fn new(version: u64, rules: Vec<RefreshRule>, group: Option<GroupRule>) -> RulesEpoch {
+        let by_path = rules
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.path.clone(), i))
+            .collect();
+        RulesEpoch {
+            version,
+            rules,
+            group,
+            by_path,
+        }
+    }
+
     /// The rule for `path`, if this epoch has one.
     pub fn rule(&self, path: &str) -> Option<&RefreshRule> {
-        self.rules.iter().find(|r| r.path == path)
+        self.by_path.get(path).map(|&i| &self.rules[i])
     }
 
     /// Whether `path` is ruled in this epoch.
     pub fn contains(&self, path: &str) -> bool {
-        self.rule(path).is_some()
+        self.by_path.contains_key(path)
     }
 }
 
@@ -179,12 +223,237 @@ pub struct PathStatus {
     pub rule_epoch: u64,
 }
 
+/// Upper bounds (µs) of the fixed drift-histogram buckets; the last
+/// bucket is open-ended. Roughly logarithmic from 100 µs to 10 s —
+/// fine where a healthy refresh plane lives, coarse where it is
+/// already on fire.
+const DRIFT_BUCKET_BOUNDS_US: [u64; 16] = [
+    100,
+    200,
+    500,
+    1_000,
+    2_000,
+    5_000,
+    10_000,
+    20_000,
+    50_000,
+    100_000,
+    200_000,
+    500_000,
+    1_000_000,
+    2_000_000,
+    5_000_000,
+    10_000_000,
+];
+
+/// Lock-free fixed-bucket histogram of per-poll drift (scheduled due
+/// time vs the instant a worker actually started the poll). Bucket
+/// bounds are [`DRIFT_BUCKET_BOUNDS_US`]; the recorded maximum caps the
+/// top occupied bucket, so interpolated quantiles stay honest even for
+/// the open-ended tail.
+#[derive(Debug, Default)]
+pub struct DriftHistogram {
+    buckets: [AtomicU64; DRIFT_BUCKET_BOUNDS_US.len() + 1],
+    max_us: AtomicU64,
+}
+
+impl DriftHistogram {
+    fn record(&self, drift: StdDuration) {
+        let us = drift.as_micros().min(u64::MAX as u128) as u64;
+        let at = DRIFT_BUCKET_BOUNDS_US.partition_point(|&bound| us > bound);
+        self.buckets[at].fetch_add(1, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// A point-in-time snapshot with interpolated quantiles.
+    pub fn snapshot(&self) -> DriftSnapshot {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let max_us = self.max_us.load(Ordering::Relaxed);
+        DriftSnapshot {
+            count: counts.iter().sum(),
+            p50_ms: quantile_ms(&counts, max_us, 0.50),
+            p99_ms: quantile_ms(&counts, max_us, 0.99),
+            max_ms: max_us as f64 / 1000.0,
+        }
+    }
+}
+
+/// Linear interpolation within the bucket holding the requested rank;
+/// the highest occupied bucket's upper bound is clamped to the recorded
+/// maximum (the open-ended tail would otherwise invent drift).
+fn quantile_ms(counts: &[u64], max_us: u64, q: f64) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let last = counts.iter().rposition(|&c| c > 0).unwrap_or(0);
+    let rank = q * total as f64;
+    let mut cum = 0.0;
+    for (i, &c) in counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let next = cum + c as f64;
+        if next >= rank {
+            let lower = if i == 0 {
+                0.0
+            } else {
+                DRIFT_BUCKET_BOUNDS_US[i - 1] as f64
+            };
+            let mut upper = if i < DRIFT_BUCKET_BOUNDS_US.len() {
+                DRIFT_BUCKET_BOUNDS_US[i] as f64
+            } else {
+                max_us as f64
+            };
+            if i == last {
+                upper = upper.min(max_us as f64).max(lower);
+            }
+            let frac = ((rank - cum) / c as f64).clamp(0.0, 1.0);
+            return (lower + frac * (upper - lower)) / 1000.0;
+        }
+        cum = next;
+    }
+    max_us as f64 / 1000.0
+}
+
+/// Interpolated drift quantiles, as served under `refresh.drift` in
+/// `GET /admin/stats` (milliseconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftSnapshot {
+    /// Polls recorded.
+    pub count: u64,
+    /// Median drift, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile drift, milliseconds.
+    pub p99_ms: f64,
+    /// Worst recorded drift, milliseconds.
+    pub max_ms: f64,
+}
+
+/// Shared refresh-plane counters, updated by the poll workers and read
+/// by the stats plane (and the drift bench) without any lock.
+#[derive(Debug, Default)]
+pub struct RefreshMetrics {
+    workers: AtomicU64,
+    in_flight: AtomicU64,
+    polls: AtomicU64,
+    errors: AtomicU64,
+    triggered_coalesced: AtomicU64,
+    drift: DriftHistogram,
+}
+
+impl RefreshMetrics {
+    /// Poll workers the running refresh plane was started with.
+    pub fn workers(&self) -> u64 {
+        self.workers.load(Ordering::Relaxed)
+    }
+
+    /// Polls currently on the wire.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Polls started (scheduled and triggered).
+    pub fn polls(&self) -> u64 {
+        self.polls.load(Ordering::Relaxed)
+    }
+
+    /// Polls that ended in a network error.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Mt triggers satisfied by a poll already in flight or queued for
+    /// the same target, instead of an extra origin round trip.
+    pub fn triggered_coalesced(&self) -> u64 {
+        self.triggered_coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Drift histogram snapshot (scheduled-due vs actual-send gap).
+    pub fn drift(&self) -> DriftSnapshot {
+        self.drift.snapshot()
+    }
+
+    fn set_workers(&self, n: u64) {
+        self.workers.store(n, Ordering::Relaxed);
+    }
+
+    fn poll_started(&self, drift: StdDuration) {
+        self.polls.fetch_add(1, Ordering::Relaxed);
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        self.drift.record(drift);
+    }
+
+    fn poll_finished(&self, errored: bool) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        if errored {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn note_triggered_coalesced(&self) {
+        self.triggered_coalesced.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The scheduler's parking spot. A `notify` that lands between a drain
+/// and the following `park` is latched in the flag, so wakeups are
+/// never lost to that gap.
+#[derive(Debug, Default)]
+struct WakeSignal {
+    pending: StdMutex<bool>,
+    cv: Condvar,
+}
+
+impl WakeSignal {
+    fn notify(&self) {
+        let mut pending = self.pending.lock().unwrap_or_else(PoisonError::into_inner);
+        *pending = true;
+        self.cv.notify_all();
+    }
+
+    /// Parks until notified, or until `timeout` elapses (`None` parks
+    /// indefinitely — safe only when some future event is guaranteed to
+    /// notify: a worker completion, an install, or shutdown's wake).
+    fn park(&self, timeout: Option<StdDuration>) {
+        let mut pending = self.pending.lock().unwrap_or_else(PoisonError::into_inner);
+        match timeout {
+            Some(t) => {
+                let deadline = Instant::now() + t;
+                while !*pending {
+                    let left = deadline.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        break;
+                    }
+                    pending = self
+                        .cv
+                        .wait_timeout(pending, left)
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .0;
+                }
+            }
+            None => {
+                while !*pending {
+                    pending = self.cv.wait(pending).unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+        }
+        *pending = false;
+    }
+}
+
 /// The versioned, hot-swappable rules store plus the refresher's
 /// scheduling engine. See the module docs.
 #[derive(Debug)]
 pub struct ConsistencyRuntime {
     epoch: RwLock<Arc<RulesEpoch>>,
     status: RwLock<Vec<PathStatus>>,
+    metrics: RefreshMetrics,
+    wake: WakeSignal,
 }
 
 impl ConsistencyRuntime {
@@ -196,12 +465,10 @@ impl ConsistencyRuntime {
     pub fn new(rules: Vec<RefreshRule>, group: Option<GroupRule>) -> Result<Arc<Self>, String> {
         validate(&rules, group.as_ref())?;
         Ok(Arc::new(ConsistencyRuntime {
-            epoch: RwLock::new(Arc::new(RulesEpoch {
-                version: 1,
-                rules,
-                group,
-            })),
+            epoch: RwLock::new(Arc::new(RulesEpoch::new(1, rules, group))),
             status: RwLock::new(Vec::new()),
+            metrics: RefreshMetrics::default(),
+            wake: WakeSignal::default(),
         }))
     }
 
@@ -215,9 +482,22 @@ impl ConsistencyRuntime {
         self.epoch.read().contains(path)
     }
 
-    /// Validates and atomically installs a new epoch. The swap is the
-    /// whole reload: no thread restarts, no cache drop, no connection
-    /// churn — the running scheduler reconciles within one slice.
+    /// The refresh plane's shared counters and drift histogram.
+    pub fn refresh_metrics(&self) -> &RefreshMetrics {
+        &self.metrics
+    }
+
+    /// Wakes a parked [`ConsistencyRuntime::run`] scheduler. Installs
+    /// and worker completions call this internally; a shutdown caller
+    /// must call it after storing the flag, or the scheduler keeps
+    /// parking until its next natural wakeup.
+    pub fn wake(&self) {
+        self.wake.notify();
+    }
+
+    /// Validates and atomically installs a new epoch, then wakes the
+    /// scheduler so adoption is immediate. The swap is the whole
+    /// reload: no thread restarts, no cache drop, no connection churn.
     ///
     /// # Errors
     ///
@@ -250,16 +530,15 @@ impl ConsistencyRuntime {
                 .map(|r| r.path.clone())
                 .collect(),
         };
-        *slot = Arc::new(RulesEpoch {
-            version,
-            rules,
-            group,
-        });
+        *slot = Arc::new(RulesEpoch::new(version, rules, group));
+        drop(slot);
+        self.wake.notify();
         Ok(report)
     }
 
     /// The per-path live state last published by the scheduler, sorted
-    /// by path. May lag the current epoch by up to one scheduler slice.
+    /// by path. May lag the current epoch by the time it takes the
+    /// scheduler to wake and reconcile (one notify, no polling slice).
     pub fn status(&self) -> Vec<PathStatus> {
         self.status.read().clone()
     }
@@ -292,80 +571,143 @@ impl ConsistencyRuntime {
         }
     }
 
-    /// The refresher loop: runs until `shutdown`, driving `poll` for
-    /// every due path and feeding the outcomes back into the adaptive
-    /// state. `poll` performs the actual origin round trip (and the
-    /// cache store, gated on [`ConsistencyRuntime::contains`] so a
-    /// removed path's in-flight poll cannot resurrect its entry);
-    /// returning `None` marks a network error and backs the path off
-    /// briefly. `on_removed` fires once per path a swap un-rules, as
-    /// the scheduler adopts the new epoch — the proxy evicts the path's
-    /// cache entry there, so the eviction happens for *every* install
-    /// (HTTP PUT or a direct [`ConsistencyRuntime::install`] caller),
-    /// not just the admin handler's. `on_adopted` fires once per epoch
-    /// the scheduler adopts, with the new version — the proxy bumps its
+    /// The refresh plane: runs until `shutdown`, spawning `workers`
+    /// scoped poll workers (each owning the poller `make_poller` builds
+    /// for it — in the proxy, a dedicated origin connection) and
+    /// feeding them due paths over a bounded queue while this thread
+    /// keeps reconciling epochs and applying completions.
+    ///
+    /// A poller performs the actual origin round trip (and the cache
+    /// store, gated on [`ConsistencyRuntime::contains`] so a removed
+    /// path's in-flight poll cannot resurrect its entry); returning
+    /// `None` marks a network error and backs the path off briefly. A
+    /// path is never handed to two workers at once; Mt-triggered polls
+    /// dedupe per target and ride the same workers. `on_removed` fires
+    /// once per path a swap un-rules, as the scheduler adopts the new
+    /// epoch — the proxy evicts the path's cache entry there, so the
+    /// eviction happens for *every* install (HTTP PUT, SIGHUP reload,
+    /// or a direct [`ConsistencyRuntime::install`] caller), not just
+    /// the admin handler's. `on_adopted` fires once per epoch the
+    /// scheduler adopts, with the new version — the proxy bumps its
     /// cache generation there, wholesale-invalidating every reactor's
     /// L1 for the same "every install" guarantee.
-    pub fn run(
+    ///
+    /// Shutdown: store the flag, then call [`ConsistencyRuntime::wake`].
+    /// Workers finish the polls already on the wire (their outcomes are
+    /// applied, not dropped) and queued-but-unstarted jobs are
+    /// discarded.
+    pub fn run<P>(
         &self,
         shutdown: &AtomicBool,
-        mut poll: impl FnMut(PollKind, &str) -> Option<PollResult>,
+        workers: usize,
+        mut make_poller: impl FnMut(usize) -> P,
         mut on_removed: impl FnMut(&str),
         mut on_adopted: impl FnMut(u64),
-    ) {
-        let mut sched = Scheduler::new(self.current(), Instant::now());
-        self.publish(&sched);
-        while !shutdown.load(Ordering::SeqCst) {
-            let current = self.current();
-            if current.version != sched.epoch.version {
-                for path in sched.reconcile(current, Instant::now()) {
-                    on_removed(&path);
-                }
-                on_adopted(sched.epoch.version);
-                self.publish(&sched);
-            }
-            let Some((path, at)) = sched.next_due() else {
-                // No rules in force; idle until an install adds some.
-                std::thread::sleep(SLICE);
-                continue;
-            };
-            let now = Instant::now();
-            if at > now {
-                // Sleep in short slices so shutdown and epoch swaps stay
-                // responsive.
-                std::thread::sleep((at - now).min(SLICE));
-                continue;
-            }
+    ) where
+        P: FnMut(PollKind, &str) -> Option<PollResult> + Send,
+    {
+        let workers = workers.max(1);
+        self.metrics.set_workers(workers as u64);
+        // Twice the worker count keeps every worker busy without
+        // hoarding due paths in a queue where their drift only grows.
+        let queue = JobQueue::new(workers * 2);
+        let (done_tx, done_rx) = mpsc::channel::<Completion>();
+        let mut d = Dispatcher::new(Scheduler::new(self.current(), Instant::now()), &self.metrics);
+        self.publish(&d.sched);
 
-            let now_ts = unix_now();
-            let outcome = poll(PollKind::Scheduled, &path);
-            // The epoch may have been swapped while the poll was on the
-            // wire; reconcile *before* touching per-path state so a
-            // since-removed path's outcome is discarded.
-            let current = self.current();
-            if current.version != sched.epoch.version {
-                for path in sched.reconcile(current, Instant::now()) {
-                    on_removed(&path);
+        // Adopt any epoch installed since the last look, before
+        // dispatching or applying a completion against stale rules.
+        macro_rules! sync_epoch {
+            () => {{
+                let current = self.current();
+                if current.version != d.sched.epoch.version {
+                    for path in d.sched.reconcile(current, Instant::now()) {
+                        on_removed(&path);
+                    }
+                    on_adopted(d.sched.epoch.version);
+                    self.publish(&d.sched);
                 }
-                on_adopted(sched.epoch.version);
-                self.publish(&sched);
-            }
-            match outcome {
-                Some(result) => {
-                    let triggers = sched.on_poll(&path, now_ts, &result);
-                    for target in triggers {
-                        // Triggered polls are additional: refresh the
-                        // cache and tell the coordinator, but leave the
-                        // target's LIMD schedule alone.
-                        if let Some(result) = poll(PollKind::Triggered, target.as_str()) {
-                            sched.on_triggered(&target, unix_now(), &result);
+            }};
+        }
+
+        std::thread::scope(|scope| {
+            for worker in 0..workers {
+                let mut poller = make_poller(worker);
+                let queue = &queue;
+                let done_tx = done_tx.clone();
+                let metrics = &self.metrics;
+                let wake = &self.wake;
+                scope.spawn(move || {
+                    while let Some(job) = queue.pop() {
+                        let drift = Instant::now().saturating_duration_since(job.due);
+                        metrics.poll_started(drift);
+                        let ts = unix_now();
+                        let result = poller(job.kind, &job.path);
+                        metrics.poll_finished(result.is_none());
+                        let delivered = done_tx
+                            .send(Completion {
+                                kind: job.kind,
+                                path: job.path,
+                                ts,
+                                result,
+                            })
+                            .is_ok();
+                        wake.notify();
+                        if !delivered {
+                            break;
                         }
                     }
-                }
-                None => sched.on_error(&path, Instant::now()),
+                });
             }
-            self.publish_one(&sched, &path);
-        }
+            drop(done_tx);
+
+            loop {
+                sync_epoch!();
+                while let Ok(done) = done_rx.try_recv() {
+                    // The epoch may have been swapped while this poll
+                    // was on the wire; reconcile *before* touching
+                    // per-path state so a since-removed path's outcome
+                    // is discarded.
+                    sync_epoch!();
+                    d.complete(&done);
+                    self.publish_one(&d.sched, &done.path);
+                }
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let blocked = d.dispatch(&queue);
+                let wait = if blocked {
+                    // The queue is full or a due path is still on the
+                    // wire — either way a completion is owed and will
+                    // wake us; anything sooner is a spin.
+                    None
+                } else {
+                    match d.sched.next_due_at() {
+                        Some(at) => {
+                            let now = Instant::now();
+                            if at <= now {
+                                continue; // became due since dispatch
+                            }
+                            Some(at - now)
+                        }
+                        // Nothing scheduled at all: park until an
+                        // install (or shutdown) notifies.
+                        None => None,
+                    }
+                };
+                self.wake.park(wait);
+            }
+
+            // Unstarted jobs die here; polls already on the wire finish
+            // and their outcomes are applied below, so a completed poll
+            // is never silently dropped.
+            queue.close();
+            while let Ok(done) = done_rx.recv() {
+                sync_epoch!();
+                d.complete(&done);
+                self.publish_one(&d.sched, &done.path);
+            }
+        });
     }
 }
 
@@ -381,34 +723,293 @@ fn status_row(path: &str, s: &PathSched) -> PathStatus {
     }
 }
 
+/// One unit of work handed to a poll worker.
+#[derive(Debug)]
+struct Job {
+    kind: PollKind,
+    path: Arc<str>,
+    /// When the poll was supposed to start — drift is measured against
+    /// this the instant a worker picks the job up.
+    due: Instant,
+}
+
+/// A finished poll, reported back to the scheduler thread.
+#[derive(Debug)]
+struct Completion {
+    kind: PollKind,
+    path: Arc<str>,
+    /// Unix timestamp taken just before the poll hit the wire (the
+    /// timeline the LIMD/Mt state machines run on).
+    ts: Timestamp,
+    result: Option<PollResult>,
+}
+
+/// Bounded MPMC job queue between the scheduler and the poll workers.
+/// `try_push` never blocks (the scheduler must stay responsive);
+/// workers block in `pop` until a job or close arrives. Closing drops
+/// queued-but-unstarted jobs.
+#[derive(Debug)]
+struct JobQueue {
+    state: StdMutex<(VecDeque<Job>, bool)>,
+    ready: Condvar,
+    cap: usize,
+}
+
+impl JobQueue {
+    fn new(cap: usize) -> JobQueue {
+        JobQueue {
+            state: StdMutex::new((VecDeque::with_capacity(cap.max(1)), false)),
+            ready: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    fn try_push(&self, job: Job) -> Result<(), Job> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if state.1 || state.0.len() >= self.cap {
+            return Err(job);
+        }
+        state.0.push_back(job);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    fn pop(&self) -> Option<Job> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if state.1 {
+                return None;
+            }
+            if let Some(job) = state.0.pop_front() {
+                return Some(job);
+            }
+            state = self
+                .ready
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn close(&self) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.1 = true;
+        state.0.clear();
+        self.ready.notify_all();
+    }
+}
+
+/// The scheduler thread's dispatch state: which paths are on the wire,
+/// which Mt triggers are waiting for a worker, and the due-queue
+/// scheduler itself. Split from the I/O loop so dedupe/coalescing
+/// semantics are unit-testable without threads.
+struct Dispatcher<'a> {
+    sched: Scheduler,
+    /// Paths currently handed to a worker — never dispatch a second
+    /// poll for any of these.
+    in_flight: HashSet<Arc<str>>,
+    /// Mt-triggered targets waiting for queue space, FIFO.
+    trig_queue: VecDeque<(Arc<str>, Instant)>,
+    /// The set view of `trig_queue`, for O(1) dedupe.
+    trig_pending: HashSet<Arc<str>>,
+    metrics: &'a RefreshMetrics,
+}
+
+impl<'a> Dispatcher<'a> {
+    fn new(sched: Scheduler, metrics: &'a RefreshMetrics) -> Dispatcher<'a> {
+        Dispatcher {
+            sched,
+            in_flight: HashSet::new(),
+            trig_queue: VecDeque::new(),
+            trig_pending: HashSet::new(),
+            metrics,
+        }
+    }
+
+    /// Applies one finished poll to the scheduling state.
+    fn complete(&mut self, done: &Completion) {
+        self.in_flight.remove(&*done.path);
+        match done.kind {
+            PollKind::Scheduled => match &done.result {
+                Some(result) => {
+                    let triggers = self.sched.on_poll(&done.path, done.ts, result);
+                    for target in triggers {
+                        self.enqueue_trigger(target.as_str());
+                    }
+                }
+                None => self.sched.on_error(&done.path, Instant::now()),
+            },
+            PollKind::Triggered => {
+                // A failed triggered poll is simply dropped: the
+                // target's own LIMD schedule still governs it.
+                if let Some(result) = &done.result {
+                    self.sched
+                        .on_triggered(&ObjectId::new(&done.path), done.ts, result);
+                }
+            }
+        }
+    }
+
+    /// Queues an Mt-triggered poll for `target`, deduping per target: a
+    /// poll already on the wire or already queued satisfies every
+    /// trigger that races in behind it.
+    fn enqueue_trigger(&mut self, target: &str) {
+        if self.in_flight.contains(target) || self.trig_pending.contains(target) {
+            self.metrics.note_triggered_coalesced();
+            return;
+        }
+        // Reuse the scheduler's Arc for the path — no allocation, and
+        // a target un-ruled since the coordinator learned of it is
+        // silently dropped.
+        let Some((key, _)) = self.sched.scheds.get_key_value(target) else {
+            return;
+        };
+        let key = Arc::clone(key);
+        self.trig_pending.insert(Arc::clone(&key));
+        self.trig_queue.push_back((key, Instant::now()));
+    }
+
+    /// Hands every dispatchable poll to the workers: queued triggers
+    /// first (they exist to restore mutual consistency *now*), then
+    /// every due scheduled path. Returns whether dispatch stalled on a
+    /// full queue or an in-flight path — in which case a completion is
+    /// owed and the caller should park until woken rather than spin.
+    fn dispatch(&mut self, queue: &JobQueue) -> bool {
+        let mut blocked = false;
+        while let Some((path, due)) = self.trig_queue.pop_front() {
+            if !self.sched.epoch.contains(&path) {
+                self.trig_pending.remove(&path);
+                continue; // target un-ruled since the trigger fired
+            }
+            if self.in_flight.contains(&path) {
+                // A poll for the target went on the wire after this
+                // trigger was queued; it satisfies the trigger.
+                self.trig_pending.remove(&path);
+                self.metrics.note_triggered_coalesced();
+                continue;
+            }
+            let job = Job {
+                kind: PollKind::Triggered,
+                path: Arc::clone(&path),
+                due,
+            };
+            match queue.try_push(job) {
+                Ok(()) => {
+                    self.trig_pending.remove(&path);
+                    self.in_flight.insert(path);
+                }
+                Err(_) => {
+                    self.trig_queue.push_front((path, due));
+                    blocked = true;
+                    break;
+                }
+            }
+        }
+        let now = Instant::now();
+        let mut deferred: Vec<DueEntry> = Vec::new();
+        while let Some(entry) = self.sched.pop_due(now) {
+            if self.in_flight.contains(&entry.path) {
+                // Still on the wire (a slow origin outlasted the TTR,
+                // or a triggered poll covers it): park this entry
+                // behind the completion, which re-evaluates it.
+                deferred.push(entry);
+                blocked = true;
+                continue;
+            }
+            let job = Job {
+                kind: PollKind::Scheduled,
+                path: Arc::clone(&entry.path),
+                due: entry.due,
+            };
+            match queue.try_push(job) {
+                Ok(()) => {
+                    self.in_flight.insert(Arc::clone(&entry.path));
+                }
+                Err(_) => {
+                    deferred.push(entry);
+                    blocked = true;
+                    break;
+                }
+            }
+        }
+        for entry in deferred {
+            self.sched.requeue(entry);
+        }
+        blocked
+    }
+}
+
 /// One path's scheduling state.
 #[derive(Debug)]
 struct PathSched {
     limd: Limd,
     due: Instant,
+    /// Generation of this path's live due-queue entry; heap entries
+    /// with any other stamp are stale and discarded when they surface.
+    gen: u64,
     polls: u64,
     rule_epoch: u64,
 }
 
-/// The refresher's scheduling engine, owned by the refresher thread and
+/// One due-queue entry. Ordered so [`BinaryHeap`] (a max-heap) surfaces
+/// the *earliest* `(due, path)` first — the exact tiebreak order the
+/// old O(P) scan used, which the 10k-path parity test pins down.
+#[derive(Debug, Clone)]
+struct DueEntry {
+    due: Instant,
+    path: Arc<str>,
+    gen: u64,
+}
+
+impl PartialEq for DueEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == CmpOrdering::Equal
+    }
+}
+
+impl Eq for DueEntry {}
+
+impl PartialOrd for DueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for DueEntry {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        other
+            .due
+            .cmp(&self.due)
+            .then_with(|| other.path.cmp(&self.path))
+            .then_with(|| other.gen.cmp(&self.gen))
+    }
+}
+
+/// The refresher's scheduling engine, owned by the scheduler thread and
 /// reconciled against the shared epoch. Separated from the I/O loop so
 /// epoch semantics are unit-testable without sockets or sleeps.
+///
+/// The due queue is a binary heap with **lazy invalidation**: a
+/// reschedule pushes a fresh entry with a bumped generation instead of
+/// finding and fixing the old one; stale entries are discarded as they
+/// reach the top. Pop and peek are amortised O(log P), and popped
+/// entries hand out `Arc<str>` — the hot scheduling path allocates
+/// nothing.
 #[derive(Debug)]
 struct Scheduler {
     epoch: Arc<RulesEpoch>,
-    scheds: HashMap<String, PathSched>,
+    scheds: HashMap<Arc<str>, PathSched>,
+    due_queue: BinaryHeap<DueEntry>,
+    next_gen: u64,
     coordinator: Option<MtCoordinator>,
 }
 
 impl Scheduler {
     fn new(epoch: Arc<RulesEpoch>, now: Instant) -> Scheduler {
         let mut sched = Scheduler {
-            epoch: Arc::new(RulesEpoch {
-                version: 0,
-                rules: Vec::new(),
-                group: None,
-            }),
+            epoch: Arc::new(RulesEpoch::new(0, Vec::new(), None)),
             scheds: HashMap::new(),
+            due_queue: BinaryHeap::new(),
+            next_gen: 0,
             coordinator: None,
         };
         sched.reconcile(epoch, now);
@@ -422,27 +1023,42 @@ impl Scheduler {
     /// membership are unchanged (its per-member rate estimators remain
     /// valid then, and only then). Returns the paths that stopped being
     /// ruled, for the caller's `on_removed` side effects.
-    fn reconcile(&mut self, new: Arc<RulesEpoch>, now: Instant) -> Vec<String> {
+    ///
+    /// Heap entries for removed/changed paths are left behind and
+    /// invalidated by generation; O(changed) work here, not O(heap).
+    fn reconcile(&mut self, new: Arc<RulesEpoch>, now: Instant) -> Vec<Arc<str>> {
         if new.version == self.epoch.version {
             return Vec::new();
         }
-        let mut next: HashMap<String, PathSched> = HashMap::with_capacity(new.rules.len());
+        let mut next: HashMap<Arc<str>, PathSched> = HashMap::with_capacity(new.rules.len());
+        let mut fresh: Vec<Arc<str>> = Vec::new();
         for rule in &new.rules {
             let unchanged = self.epoch.rule(&rule.path) == Some(rule);
-            let entry = match self.scheds.remove(&rule.path) {
-                Some(existing) if unchanged => existing,
-                _ => PathSched {
-                    limd: Limd::new(limd_config(rule).expect("epoch validated on install")),
-                    due: now,
-                    polls: 0,
-                    rule_epoch: new.version,
-                },
-            };
-            next.insert(rule.path.clone(), entry);
+            match self.scheds.remove_entry(rule.path.as_str()) {
+                Some((key, existing)) if unchanged => {
+                    next.insert(key, existing);
+                }
+                prior => {
+                    let key: Arc<str> = prior
+                        .map(|(key, _)| key)
+                        .unwrap_or_else(|| Arc::from(rule.path.as_str()));
+                    next.insert(
+                        Arc::clone(&key),
+                        PathSched {
+                            limd: Limd::new(limd_config(rule).expect("epoch validated on install")),
+                            due: now,
+                            gen: 0,
+                            polls: 0,
+                            rule_epoch: new.version,
+                        },
+                    );
+                    fresh.push(key);
+                }
+            }
         }
         // Whatever the keep/rebuild loop did not claim has no rule in
         // the new epoch.
-        let mut removed: Vec<String> = self.scheds.drain().map(|(path, _)| path).collect();
+        let mut removed: Vec<Arc<str>> = self.scheds.drain().map(|(path, _)| path).collect();
         removed.sort();
         let members_changed = new.rules.len() != self.epoch.rules.len()
             || new.rules.iter().any(|r| !self.epoch.contains(&r.path));
@@ -453,15 +1069,65 @@ impl Scheduler {
         }
         self.scheds = next;
         self.epoch = new;
+        for path in fresh {
+            self.reschedule(&path, now);
+        }
         removed
     }
 
-    /// The path due soonest (ties broken by path for determinism).
-    fn next_due(&self) -> Option<(String, Instant)> {
-        self.scheds
-            .iter()
-            .min_by(|a, b| a.1.due.cmp(&b.1.due).then_with(|| a.0.cmp(b.0)))
-            .map(|(path, s)| (path.clone(), s.due))
+    /// Moves `path`'s next scheduled poll to `due`: bumps its
+    /// generation (invalidating any older heap entry) and pushes a
+    /// fresh one. No-op for unruled paths.
+    fn reschedule(&mut self, path: &str, due: Instant) {
+        let Some((key, _)) = self.scheds.get_key_value(path) else {
+            return;
+        };
+        let key = Arc::clone(key);
+        self.next_gen += 1;
+        let gen = self.next_gen;
+        let sched = self.scheds.get_mut(path).expect("key just seen");
+        sched.due = due;
+        sched.gen = gen;
+        self.due_queue.push(DueEntry { due, path: key, gen });
+    }
+
+    /// Puts a still-valid popped entry back (dispatch deferred it).
+    fn requeue(&mut self, entry: DueEntry) {
+        self.due_queue.push(entry);
+    }
+
+    /// When the earliest live entry is due, discarding stale tops.
+    fn next_due_at(&mut self) -> Option<Instant> {
+        loop {
+            let entry = self.due_queue.peek()?;
+            if self
+                .scheds
+                .get(&*entry.path)
+                .is_some_and(|s| s.gen == entry.gen)
+            {
+                return Some(entry.due);
+            }
+            self.due_queue.pop();
+        }
+    }
+
+    /// Pops the earliest live entry if it is due by `now`; `(due,
+    /// path)` order, stale entries discarded along the way.
+    fn pop_due(&mut self, now: Instant) -> Option<DueEntry> {
+        loop {
+            let head = self.due_queue.peek()?;
+            if head.due > now {
+                return None;
+            }
+            let entry = self.due_queue.pop().expect("peeked just above");
+            if self
+                .scheds
+                .get(&*entry.path)
+                .is_some_and(|s| s.gen == entry.gen)
+            {
+                return Some(entry);
+            }
+        }
     }
 
     /// Feeds a scheduled poll's outcome; returns the Mt-triggered
@@ -472,7 +1138,7 @@ impl Scheduler {
         };
         let decision = sched.limd.on_poll(now_ts, result);
         sched.polls += 1;
-        sched.due = Instant::now() + std_duration(decision.ttr);
+        self.reschedule(path, Instant::now() + std_duration(decision.ttr));
         match self.coordinator.as_mut() {
             Some(coord) => {
                 let id = ObjectId::new(path);
@@ -494,9 +1160,9 @@ impl Scheduler {
     /// Backs a path off after a network error; the rule's Δ governs how
     /// aggressive a retry is sensible.
     fn on_error(&mut self, path: &str, now: Instant) {
-        if let Some(sched) = self.scheds.get_mut(path) {
+        if let Some(sched) = self.scheds.get(path) {
             let retry = std_duration(sched.limd.config().delta().min(Duration::from_millis(200)));
-            sched.due = now + retry.max(StdDuration::from_millis(20));
+            self.reschedule(path, now + retry.max(StdDuration::from_millis(20)));
         }
     }
 }
@@ -509,6 +1175,10 @@ mod tests {
 
     fn rule(path: &str, delta_ms: u64) -> RefreshRule {
         RefreshRule::new(path, Duration::from_millis(delta_ms))
+    }
+
+    fn epoch(version: u64, rules: Vec<RefreshRule>, group: Option<GroupRule>) -> Arc<RulesEpoch> {
+        Arc::new(RulesEpoch::new(version, rules, group))
     }
 
     #[test]
@@ -568,14 +1238,6 @@ mod tests {
         assert!(!runtime.contains("/drop"));
     }
 
-    fn epoch(version: u64, rules: Vec<RefreshRule>, group: Option<GroupRule>) -> Arc<RulesEpoch> {
-        Arc::new(RulesEpoch {
-            version,
-            rules,
-            group,
-        })
-    }
-
     #[test]
     fn reconcile_preserves_unchanged_paths_and_rebuilds_changed_ones() {
         let now = Instant::now();
@@ -621,11 +1283,12 @@ mod tests {
         let mut sched = Scheduler::new(epoch(1, vec![rule("/gone", 10)], None), now);
         sched.reconcile(epoch(2, vec![], None), now);
         // The in-flight poll's outcome arrives after the swap: no panic,
-        // no state, no triggers.
+        // no state, no triggers — and the stale heap entry is discarded.
         let triggers = sched.on_poll("/gone", unix_now(), &PollResult::NotModified);
         assert!(triggers.is_empty());
         assert!(sched.scheds.is_empty());
-        assert_eq!(sched.next_due(), None);
+        assert_eq!(sched.next_due_at(), None);
+        assert!(sched.pop_due(Instant::now() + StdDuration::from_secs(1)).is_none());
     }
 
     #[test]
@@ -670,13 +1333,16 @@ mod tests {
         let polls = AtomicU64::new(0);
         runtime.run(
             &shutdown,
-            |kind, path| {
-                assert_eq!(kind, PollKind::Scheduled);
-                assert_eq!(path, "/obj");
-                if polls.fetch_add(1, Ordering::SeqCst) + 1 >= 5 {
-                    shutdown.store(true, Ordering::SeqCst);
+            1,
+            |_| {
+                |kind: PollKind, path: &str| {
+                    assert_eq!(kind, PollKind::Scheduled);
+                    assert_eq!(path, "/obj");
+                    if polls.fetch_add(1, Ordering::SeqCst) + 1 >= 5 {
+                        shutdown.store(true, Ordering::SeqCst);
+                    }
+                    Some(PollResult::NotModified)
                 }
-                Some(PollResult::NotModified)
             },
             |removed| panic!("nothing was removed, got {removed}"),
             |version| panic!("no swap happened, got adoption of epoch {version}"),
@@ -689,6 +1355,12 @@ mod tests {
         assert_eq!(status[0].rule_epoch, 1);
         assert!(status[0].last_poll_unix_ms.is_some());
         assert!(status[0].ttr >= status[0].delta);
+        let metrics = runtime.refresh_metrics();
+        assert_eq!(metrics.workers(), 1);
+        assert_eq!(metrics.polls(), 5);
+        assert_eq!(metrics.in_flight(), 0);
+        assert_eq!(metrics.errors(), 0);
+        assert_eq!(metrics.drift().count, 5);
     }
 
     #[test]
@@ -700,18 +1372,21 @@ mod tests {
         let adopted = RwLock::new(Vec::<u64>::new());
         runtime.run(
             &shutdown,
-            |_, path| {
-                seen.write().push(path.to_owned());
-                let count = seen.read().len();
-                if count == 2 {
-                    // Swap mid-run: /old out, /new in — a *direct*
-                    // install, no HTTP handler involved.
-                    runtime.install(vec![rule("/new", 1)], None).unwrap();
+            1,
+            |_| {
+                |_: PollKind, path: &str| {
+                    seen.write().push(path.to_owned());
+                    let count = seen.read().len();
+                    if count == 2 {
+                        // Swap mid-run: /old out, /new in — a *direct*
+                        // install, no HTTP handler involved.
+                        runtime.install(vec![rule("/new", 1)], None).unwrap();
+                    }
+                    if count >= 5 {
+                        shutdown.store(true, Ordering::SeqCst);
+                    }
+                    Some(PollResult::NotModified)
                 }
-                if count >= 5 {
-                    shutdown.store(true, Ordering::SeqCst);
-                }
-                Some(PollResult::NotModified)
             },
             |path| removed.write().push(path.to_owned()),
             |version| adopted.write().push(version),
@@ -731,5 +1406,273 @@ mod tests {
         assert_eq!(status.len(), 1);
         assert_eq!(status[0].path, "/new");
         assert_eq!(status[0].rule_epoch, 2);
+    }
+
+    #[test]
+    fn due_queue_matches_the_linear_scan_order_at_10k_paths() {
+        // Insertion order is a permutation (7 is coprime with 10k), so
+        // nothing about the heap order can ride on insertion order.
+        let paths: Vec<String> = (0..10_000u64).map(|i| format!("/obj/{:05}", i * 7 % 10_000)).collect();
+        let now = Instant::now();
+        let mut sched = Scheduler::new(
+            epoch(1, paths.iter().map(|p| rule(p, 10)).collect(), None),
+            now,
+        );
+        // Re-stamp every path with a clustered pseudo-random due — ~20
+        // paths share each of 500 distinct µs stamps, so the (due, path)
+        // tiebreak is exercised hard, and each reschedule leaves a stale
+        // entry (the reconcile-time one) behind for lazy invalidation.
+        for (i, path) in paths.iter().enumerate() {
+            let due = now + StdDuration::from_micros((i as u64).wrapping_mul(2_654_435_761) % 500);
+            sched.reschedule(path, due);
+        }
+        // Oracle: exactly what the old O(P) full-map scan returned —
+        // min by (due, path).
+        let mut expected: Vec<(Instant, String)> = sched
+            .scheds
+            .iter()
+            .map(|(p, s)| (s.due, p.to_string()))
+            .collect();
+        expected.sort();
+        let horizon = now + StdDuration::from_secs(5);
+        let mut order: Vec<(Instant, String)> = Vec::with_capacity(expected.len());
+        while let Some(entry) = sched.pop_due(horizon) {
+            order.push((entry.due, entry.path.to_string()));
+        }
+        assert_eq!(order.len(), 10_000, "each path pops exactly once");
+        assert_eq!(order, expected);
+    }
+
+    #[test]
+    fn due_queue_stays_consistent_under_reconcile_churn() {
+        let all: Vec<String> = (0..2_000).map(|i| format!("/p/{i:04}")).collect();
+        let mut sched = Scheduler::new(
+            epoch(1, all.iter().map(|p| rule(p, 10)).collect(), None),
+            Instant::now(),
+        );
+        let mut drained: HashSet<String> = HashSet::new();
+        for round in 2..6u64 {
+            // Each round keeps a shifting half of the catalog, changes
+            // every third survivor's Δ, and drops the rest.
+            let rules: Vec<RefreshRule> = all
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| (*i as u64 + round) % 2 == 0)
+                .map(|(i, p)| rule(p, if i % 3 == 0 { 10 + round } else { 10 }))
+                .collect();
+            let live: HashSet<String> = rules.iter().map(|r| r.path.clone()).collect();
+            let removed = sched.reconcile(epoch(round, rules, None), Instant::now());
+            for gone in &removed {
+                assert!(!live.contains(&**gone), "{gone} reported removed but still ruled");
+            }
+            // Drain: every live path exactly once, no ghosts from the
+            // stale entries the previous rounds left in the heap.
+            let horizon = Instant::now() + StdDuration::from_secs(5);
+            drained.clear();
+            while let Some(entry) = sched.pop_due(horizon) {
+                assert!(drained.insert(entry.path.to_string()), "double pop of {}", entry.path);
+            }
+            assert_eq!(drained, live, "round {round} drained set != ruled set");
+            // Put everything back on the schedule for the next round.
+            for path in &drained {
+                sched.reschedule(path, Instant::now());
+            }
+        }
+    }
+
+    #[test]
+    fn drift_histogram_interpolates_quantiles_and_caps_the_tail() {
+        let h = DriftHistogram::default();
+        assert_eq!(h.snapshot().count, 0);
+        for ms in 1..=100u64 {
+            h.record(StdDuration::from_millis(ms));
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 100);
+        assert!((snap.max_ms - 100.0).abs() < 1e-9, "max {}", snap.max_ms);
+        assert!((40.0..=60.0).contains(&snap.p50_ms), "p50 {}", snap.p50_ms);
+        // The ramp's true p99 is 99 ms; interpolation against the
+        // max-capped top bucket must land close, not at a bucket edge.
+        assert!((90.0..=100.0).contains(&snap.p99_ms), "p99 {}", snap.p99_ms);
+        assert!(snap.p50_ms <= snap.p99_ms && snap.p99_ms <= snap.max_ms);
+    }
+
+    #[test]
+    fn job_queue_bounds_pushes_and_close_wakes_poppers() {
+        let job = |p: &str| Job {
+            kind: PollKind::Scheduled,
+            path: Arc::from(p),
+            due: Instant::now(),
+        };
+        let q = JobQueue::new(2);
+        assert!(q.try_push(job("/a")).is_ok());
+        assert!(q.try_push(job("/b")).is_ok());
+        assert!(q.try_push(job("/c")).is_err(), "cap 2 rejects the third job");
+        assert_eq!(&*q.pop().unwrap().path, "/a");
+        std::thread::scope(|scope| {
+            let popper = scope.spawn(|| {
+                let first = q.pop().map(|j| j.path.to_string());
+                // The second pop blocks on an empty queue until close.
+                (first, q.pop().is_none())
+            });
+            std::thread::sleep(StdDuration::from_millis(20));
+            q.close();
+            let (first, closed) = popper.join().unwrap();
+            assert_eq!(first.as_deref(), Some("/b"));
+            assert!(closed, "close must wake and release a blocked pop");
+        });
+        assert!(q.try_push(job("/d")).is_err(), "closed queue rejects pushes");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn dispatcher_dedupes_triggered_polls_per_target() {
+        let metrics = RefreshMetrics::default();
+        let mut d = Dispatcher::new(
+            Scheduler::new(epoch(1, vec![rule("/a", 10), rule("/b", 10)], None), Instant::now()),
+            &metrics,
+        );
+        d.enqueue_trigger("/b");
+        d.enqueue_trigger("/b"); // already queued: coalesced
+        assert_eq!(metrics.triggered_coalesced(), 1);
+        assert_eq!(d.trig_queue.len(), 1);
+        d.in_flight.insert(Arc::from("/a"));
+        d.enqueue_trigger("/a"); // already on the wire: coalesced
+        assert_eq!(metrics.triggered_coalesced(), 2);
+        d.enqueue_trigger("/zzz"); // un-ruled target: dropped, not counted
+        assert_eq!(metrics.triggered_coalesced(), 2);
+        assert_eq!(d.trig_queue.len(), 1);
+
+        // Dispatch hands the trigger to a worker ahead of scheduled
+        // work, and an in-flight path defers rather than double-polls.
+        let q = JobQueue::new(8);
+        let blocked = d.dispatch(&q);
+        let first = q.pop().unwrap();
+        assert_eq!(first.kind, PollKind::Triggered);
+        assert_eq!(&*first.path, "/b");
+        // /a (in flight) and /b (just dispatched) both deferred their
+        // scheduled due entries — a completion is owed.
+        assert!(blocked);
+    }
+
+    #[test]
+    fn dispatcher_never_double_polls_and_respects_queue_capacity() {
+        let metrics = RefreshMetrics::default();
+        let q = JobQueue::new(1);
+        let mut d = Dispatcher::new(
+            Scheduler::new(epoch(1, vec![rule("/a", 10), rule("/b", 10)], None), Instant::now()),
+            &metrics,
+        );
+        // Cap 1: only /a (path tiebreak) fits; /b defers.
+        assert!(d.dispatch(&q));
+        assert_eq!(d.in_flight.len(), 1);
+        assert!(d.in_flight.contains("/a"));
+        let job = q.pop().unwrap();
+        assert_eq!((&*job.path, job.kind), ("/a", PollKind::Scheduled));
+
+        // Queue drained (but /a still on the wire): /b dispatches, /a
+        // must not be handed out a second time.
+        d.dispatch(&q);
+        assert_eq!(&*q.pop().unwrap().path, "/b");
+        assert_eq!(d.in_flight.len(), 2);
+
+        // Nothing due and both in flight: a no-op, no spin demanded.
+        assert!(!d.dispatch(&q));
+
+        // /a's completion clears it for future dispatch and reschedules
+        // it one TTR out.
+        d.complete(&Completion {
+            kind: PollKind::Scheduled,
+            path: Arc::from("/a"),
+            ts: unix_now(),
+            result: Some(PollResult::NotModified),
+        });
+        assert!(!d.in_flight.contains("/a"));
+        assert!(d.sched.next_due_at().is_some());
+    }
+
+    #[test]
+    fn worker_pool_overlaps_polls_without_double_polling() {
+        let rules: Vec<RefreshRule> = (0..8).map(|i| rule(&format!("/p{i}"), 1)).collect();
+        let runtime = ConsistencyRuntime::new(rules, None).unwrap();
+        let shutdown = AtomicBool::new(false);
+        let on_wire: StdMutex<HashSet<String>> = StdMutex::new(HashSet::new());
+        let cur = AtomicU64::new(0);
+        let max_overlap = AtomicU64::new(0);
+        let total = AtomicU64::new(0);
+        runtime.run(
+            &shutdown,
+            4,
+            |_| {
+                |_: PollKind, path: &str| {
+                    assert!(
+                        on_wire.lock().unwrap().insert(path.to_owned()),
+                        "double poll on {path}"
+                    );
+                    let now = cur.fetch_add(1, Ordering::SeqCst) + 1;
+                    max_overlap.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(StdDuration::from_millis(3));
+                    cur.fetch_sub(1, Ordering::SeqCst);
+                    on_wire.lock().unwrap().remove(path);
+                    if total.fetch_add(1, Ordering::SeqCst) + 1 >= 60 {
+                        shutdown.store(true, Ordering::SeqCst);
+                    }
+                    Some(PollResult::NotModified)
+                }
+            },
+            |_| {},
+            |_| {},
+        );
+        let total = total.load(Ordering::SeqCst);
+        assert!(total >= 60);
+        assert!(
+            max_overlap.load(Ordering::SeqCst) > 1,
+            "4 workers against a 3 ms origin must overlap polls"
+        );
+        let metrics = runtime.refresh_metrics();
+        assert_eq!(metrics.workers(), 4);
+        assert_eq!(metrics.polls(), total, "every started poll completed and was counted");
+        assert_eq!(metrics.in_flight(), 0);
+        let drift = metrics.drift();
+        assert_eq!(drift.count, total);
+        assert!(drift.p50_ms <= drift.p99_ms && drift.p99_ms <= drift.max_ms + 1e-9);
+    }
+
+    #[test]
+    fn install_wakes_an_idle_scheduler_promptly() {
+        let runtime = ConsistencyRuntime::new(Vec::new(), None).unwrap();
+        let shutdown = AtomicBool::new(false);
+        let polled_at: StdMutex<Option<Instant>> = StdMutex::new(None);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                runtime.run(
+                    &shutdown,
+                    1,
+                    |_| {
+                        |_: PollKind, path: &str| {
+                            assert_eq!(path, "/fresh");
+                            polled_at.lock().unwrap().get_or_insert_with(Instant::now);
+                            shutdown.store(true, Ordering::SeqCst);
+                            Some(PollResult::NotModified)
+                        }
+                    },
+                    |_| {},
+                    |_| {},
+                );
+            });
+            // Let the scheduler reach its idle (indefinite) park, then
+            // install: only the install's notify can end that park.
+            std::thread::sleep(StdDuration::from_millis(30));
+            let installed = Instant::now();
+            runtime.install(vec![rule("/fresh", 50)], None).unwrap();
+            while polled_at.lock().unwrap().is_none() {
+                assert!(
+                    installed.elapsed() < StdDuration::from_secs(5),
+                    "install never woke the idle scheduler"
+                );
+                std::thread::sleep(StdDuration::from_millis(1));
+            }
+        });
+        assert!(polled_at.lock().unwrap().unwrap() >= Instant::now() - StdDuration::from_secs(5));
     }
 }

@@ -206,6 +206,47 @@ pub fn l1_objects() -> usize {
     l1_objects_from(std::env::var(L1_ENV).ok().as_deref())
 }
 
+/// Environment variable sizing the refresh plane's poll-worker pool
+/// (the threads issuing origin polls concurrently; see
+/// [`crate::runtime::ConsistencyRuntime::run`]). An explicit
+/// [`crate::proxy::ProxyConfig::refresh_workers`] wins over it.
+pub const REFRESH_WORKERS_ENV: &str = "MUTCON_LIVE_REFRESH_WORKERS";
+
+/// Default refresh poll-worker count: enough overlap to hide origin
+/// latency on mid-sized catalogs without hoarding origin sockets.
+pub const DEFAULT_REFRESH_WORKERS: usize = 4;
+
+/// Parses a `MUTCON_LIVE_REFRESH_WORKERS`-style override.
+fn refresh_workers_from(raw: Option<&str>) -> usize {
+    raw.and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_REFRESH_WORKERS)
+}
+
+/// The refresh poll-worker count: `MUTCON_LIVE_REFRESH_WORKERS` if set
+/// to a positive integer, otherwise [`DEFAULT_REFRESH_WORKERS`].
+pub fn refresh_workers() -> usize {
+    refresh_workers_from(std::env::var(REFRESH_WORKERS_ENV).ok().as_deref())
+}
+
+/// Environment variable carrying the bearer token that gates the
+/// `/admin/*` plane. Unset (or empty) leaves the admin plane open, the
+/// pre-auth behaviour. An explicit
+/// [`crate::proxy::ProxyConfig::admin_token`] wins over it.
+pub const ADMIN_TOKEN_ENV: &str = "MUTCON_ADMIN_TOKEN";
+
+/// Normalizes a raw `MUTCON_ADMIN_TOKEN` value: empty means "no auth".
+fn admin_token_from(raw: Option<&str>) -> Option<String> {
+    raw.map(str::trim)
+        .filter(|t| !t.is_empty())
+        .map(str::to_owned)
+}
+
+/// The admin bearer token from the environment, if one is configured.
+pub fn admin_token() -> Option<String> {
+    admin_token_from(std::env::var(ADMIN_TOKEN_ENV).ok().as_deref())
+}
+
 /// Completion callback for an upstream fetch: receives the origin's
 /// response (or the I/O error) and produces the reply for the waiting
 /// client — either a full [`Response`] or a pre-serialized
@@ -2593,6 +2634,24 @@ mod tests {
         // An explicit 0 disables the L1 — it is not a parse error.
         assert_eq!(l1_objects_from(Some("0")), 0);
         assert_eq!(l1_objects_from(Some("junk")), DEFAULT_L1_OBJECTS);
+    }
+
+    #[test]
+    fn refresh_workers_env_parsing() {
+        assert_eq!(refresh_workers_from(None), DEFAULT_REFRESH_WORKERS);
+        assert_eq!(refresh_workers_from(Some("1")), 1);
+        assert_eq!(refresh_workers_from(Some(" 8 ")), 8);
+        assert_eq!(refresh_workers_from(Some("0")), DEFAULT_REFRESH_WORKERS);
+        assert_eq!(refresh_workers_from(Some("junk")), DEFAULT_REFRESH_WORKERS);
+    }
+
+    #[test]
+    fn admin_token_env_parsing() {
+        assert_eq!(admin_token_from(None), None);
+        assert_eq!(admin_token_from(Some("")), None);
+        assert_eq!(admin_token_from(Some("   ")), None);
+        assert_eq!(admin_token_from(Some("s3cret")), Some("s3cret".to_owned()));
+        assert_eq!(admin_token_from(Some(" s3cret ")), Some("s3cret".to_owned()));
     }
 
     #[test]

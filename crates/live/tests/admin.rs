@@ -31,14 +31,9 @@ use mutcon_traces::json::{self, Json};
 
 fn proxy_with(origin: &ScriptedOrigin, rules: Vec<RefreshRule>, reactors: usize) -> LiveProxy {
     LiveProxy::start(ProxyConfig {
-        origin_addr: origin.addr(),
         rules,
-        group: None,
-        cache_objects: None,
         reactors: Some(reactors),
-        max_conns: None,
-        backend: None,
-        l1_objects: None,
+        ..ProxyConfig::new(origin.addr())
     })
     .expect("start proxy")
 }
@@ -314,17 +309,12 @@ fn bad_rules_are_rejected_by_put_and_by_start() {
 
     // The same validator runs at startup: duplicates are a config error.
     let err = LiveProxy::start(ProxyConfig {
-        origin_addr: origin.addr(),
         rules: vec![
             RefreshRule::new("/dup", Duration::from_millis(5)),
             RefreshRule::new("/dup", Duration::from_millis(9)),
         ],
-        group: None,
-        cache_objects: None,
         reactors: Some(1),
-        max_conns: None,
-        backend: None,
-        l1_objects: None,
+        ..ProxyConfig::new(origin.addr())
     })
     .expect_err("duplicate paths must be rejected at start");
     assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
@@ -374,6 +364,124 @@ fn admin_stats_reports_shards_reactors_and_pool_counters() {
     let proxy_counters = doc.get("proxy").unwrap();
     assert_eq!(proxy_counters.get("misses").unwrap().as_u64(), Some(6));
     assert!(proxy_counters.get("hits").unwrap().as_u64().unwrap() >= 1);
+}
+
+/// With `admin_token` set, every `/admin/*` endpoint demands a matching
+/// bearer token; the data plane and `/__stats` stay open.
+#[test]
+fn admin_endpoints_demand_the_configured_bearer_token() {
+    let clock = FakeClock::new();
+    let origin = ScriptedOrigin::start(clock);
+    let proxy = LiveProxy::start(ProxyConfig {
+        rules: vec![RefreshRule::new("/obj", Duration::from_millis(500))],
+        reactors: Some(1),
+        admin_token: Some("s3cret".to_owned()),
+        ..ProxyConfig::new(origin.addr())
+    })
+    .expect("start proxy");
+    let addr = proxy.local_addr();
+
+    // A GET with an optional `authorization` header, over a raw socket
+    // (the convenience client never sends credentials).
+    let raw_get = |path: &str, auth: Option<&str>| {
+        let mut sock = TcpStream::connect(addr).expect("connect");
+        sock.set_read_timeout(Some(StdDuration::from_secs(5))).unwrap();
+        let mut builder = Request::get(path);
+        if let Some(credentials) = auth {
+            builder = builder.header("authorization", credentials);
+        }
+        sock.write_all(&builder.build().to_bytes()).unwrap();
+        let mut buf = BytesMut::new();
+        read_response(&mut sock, &mut buf).expect("response")
+    };
+
+    // No credentials, wrong scheme, wrong token: 401 with a challenge.
+    for auth in [None, Some("Basic s3cret"), Some("Bearer nope"), Some("Bearer")] {
+        let resp = raw_get("/admin/stats", auth);
+        assert_eq!(resp.status(), StatusCode::UNAUTHORIZED, "auth {auth:?}");
+        assert_eq!(
+            resp.headers().get("www-authenticate"),
+            Some("Bearer"),
+            "401 must carry the challenge (auth {auth:?})"
+        );
+    }
+
+    // The matching token opens every admin endpoint.
+    let resp = raw_get("/admin/stats", Some("Bearer s3cret"));
+    assert_eq!(resp.status(), StatusCode::OK);
+    let resp = raw_get("/admin/rules", Some("Bearer s3cret"));
+    assert_eq!(resp.status(), StatusCode::OK);
+
+    // Mutations are gated too: an unauthenticated PUT changes nothing.
+    let client = HttpClient::new();
+    let resp = client
+        .put(addr, "/admin/rules", &br#"{"rules": []}"#[..])
+        .unwrap();
+    assert_eq!(resp.status(), StatusCode::UNAUTHORIZED);
+    let doc = json::parse(
+        std::str::from_utf8(raw_get("/admin/rules", Some("Bearer s3cret")).body()).unwrap(),
+    )
+    .unwrap();
+    assert_eq!(doc.get("epoch").unwrap().as_u64(), Some(1), "PUT was rejected");
+
+    // The data plane and the plain-text stats page never ask for auth.
+    assert_eq!(client.get(addr, "/obj", None).unwrap().status(), StatusCode::OK);
+    assert_eq!(client.get(addr, "/__stats", None).unwrap().status(), StatusCode::OK);
+}
+
+/// SIGHUP re-reads the configured rules file through the same
+/// validated install path as `PUT /admin/rules`; a bad file is counted
+/// and changes nothing.
+#[test]
+fn sighup_rereads_the_rules_file() {
+    let clock = FakeClock::new();
+    let origin = ScriptedOrigin::start(clock);
+    let rules_path = std::env::temp_dir().join(format!(
+        "mutcon-sighup-{}-{:x}.json",
+        std::process::id(),
+        &origin as *const _ as usize
+    ));
+    std::fs::write(
+        &rules_path,
+        r#"{"rules": [{"path": "/hup", "delta_ms": 40}]}"#,
+    )
+    .expect("write rules file");
+
+    let proxy = LiveProxy::start(ProxyConfig {
+        rules: vec![RefreshRule::new("/initial", Duration::from_millis(500))],
+        reactors: Some(1),
+        rules_file: Some(rules_path.clone()),
+        ..ProxyConfig::new(origin.addr())
+    })
+    .expect("start proxy");
+
+    // The file is a reload source, not a startup source.
+    let doc = admin_get(&proxy, "/admin/rules");
+    assert_eq!(doc.get("epoch").unwrap().as_u64(), Some(1));
+
+    mutcon_sim::signal::raise_sighup();
+    wait_until("SIGHUP reload to land", || proxy.stats().reloads == 1);
+    let doc = admin_get(&proxy, "/admin/rules");
+    assert_eq!(doc.get("epoch").unwrap().as_u64(), Some(2));
+    let rule = &doc.get("rules").unwrap().as_array().unwrap()[0];
+    assert_eq!(rule.get("path").unwrap().as_str(), Some("/hup"));
+    assert_eq!(rule.get("delta_ms").unwrap().as_u64(), Some(40));
+    wait_until("the reloaded rule to start polling", || {
+        origin.fetches("/hup") >= 1
+    });
+
+    // A broken file: the reload is rejected, counted, and nothing moves.
+    std::fs::write(&rules_path, "not json at all").expect("write bad rules file");
+    mutcon_sim::signal::raise_sighup();
+    wait_until("bad reload to be counted", || {
+        proxy.stats().reload_errors == 1
+    });
+    let doc = admin_get(&proxy, "/admin/rules");
+    assert_eq!(doc.get("epoch").unwrap().as_u64(), Some(2), "bad file changed nothing");
+    assert_eq!(proxy.stats().reloads, 1);
+
+    drop(proxy);
+    let _ = std::fs::remove_file(&rules_path);
 }
 
 /// Refresh-vs-read monotonicity must hold *across epoch bumps*: seeded

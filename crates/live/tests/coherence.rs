@@ -39,14 +39,11 @@ fn l1_proxy(
     backend: Option<BackendKind>,
 ) -> LiveProxy {
     LiveProxy::start(ProxyConfig {
-        origin_addr: origin.addr(),
         rules,
-        group: None,
-        cache_objects: None,
         reactors: Some(reactors),
-        max_conns: None,
         backend,
         l1_objects: Some(l1_objects),
+        ..ProxyConfig::new(origin.addr())
     })
     .expect("start proxy")
 }

@@ -25,14 +25,8 @@ use mutcon_sim::rng::SimRng;
 /// and no refresher rules.
 fn plain_proxy(origin: &ScriptedOrigin, reactors: usize) -> LiveProxy {
     LiveProxy::start(ProxyConfig {
-        origin_addr: origin.addr(),
-        rules: vec![],
-        group: None,
-        cache_objects: None,
         reactors: Some(reactors),
-        max_conns: None,
-        backend: None,
-        l1_objects: None,
+        ..ProxyConfig::new(origin.addr())
     })
     .expect("start proxy")
 }
@@ -263,14 +257,9 @@ fn refresh_vs_read_interleavings_stay_monotonic() {
     let clock = FakeClock::new();
     let origin = ScriptedOrigin::start(clock.clone());
     let proxy = LiveProxy::start(ProxyConfig {
-        origin_addr: origin.addr(),
         rules: vec![RefreshRule::new("/obj", Duration::from_millis(20))],
-        group: None,
-        cache_objects: None,
         reactors: Some(2),
-        max_conns: None,
-        backend: None,
-        l1_objects: None,
+        ..ProxyConfig::new(origin.addr())
     })
     .expect("start proxy");
     let addr = proxy.local_addr();

@@ -107,6 +107,11 @@ struct Inner {
     /// path falls back to [`Behavior::Serve`].
     scripts: Mutex<HashMap<String, Vec<Behavior>>>,
     fetches: Mutex<HashMap<String, u64>>,
+    /// Requests currently being served (high-water mark in
+    /// `max_in_flight`) — the overlap gauge concurrency scenarios
+    /// assert against.
+    in_flight: AtomicU64,
+    max_in_flight: AtomicU64,
     /// How many requests are currently parked behind the gate.
     held: AtomicU64,
     log: Mutex<Vec<String>>,
@@ -132,6 +137,8 @@ impl ScriptedOrigin {
             clock,
             scripts: Mutex::new(HashMap::new()),
             fetches: Mutex::new(HashMap::new()),
+            in_flight: AtomicU64::new(0),
+            max_in_flight: AtomicU64::new(0),
             held: AtomicU64::new(0),
             log: Mutex::new(Vec::new()),
             gate: Gate {
@@ -217,6 +224,12 @@ impl ScriptedOrigin {
         self.inner.accepted.load(Ordering::SeqCst)
     }
 
+    /// The most requests this origin ever served simultaneously — the
+    /// proof (or refutation) that a client overlapped its requests.
+    pub fn max_concurrent(&self) -> u64 {
+        self.inner.max_in_flight.load(Ordering::SeqCst)
+    }
+
     /// The ordered event log ("fetch /x #1", "die /x", …).
     pub fn log(&self) -> Vec<String> {
         self.inner.log.lock().unwrap().clone()
@@ -279,6 +292,18 @@ fn serve_request(stream: &mut TcpStream, inner: &Inner, request: &Request) -> bo
         *n
     };
     inner.log.lock().unwrap().push(format!("fetch {path} #{fetch_no}"));
+
+    // Overlap gauge: count this request as in flight until the function
+    // returns, whichever exit path it takes.
+    struct InFlight<'a>(&'a AtomicU64);
+    impl Drop for InFlight<'_> {
+        fn drop(&mut self) {
+            self.0.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+    let now_in_flight = inner.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+    inner.max_in_flight.fetch_max(now_in_flight, Ordering::SeqCst);
+    let _in_flight = InFlight(&inner.in_flight);
 
     let behavior = {
         let mut scripts = inner.scripts.lock().unwrap();

@@ -43,14 +43,8 @@ fn proxy_keeps_cached_object_fresh() {
         .start()
         .unwrap();
     let proxy = LiveProxy::start(ProxyConfig {
-        origin_addr: origin.local_addr(),
         rules: vec![RefreshRule::new("/fast", Duration::from_millis(120))],
-        group: None,
-        cache_objects: None,
-        reactors: None,
-        max_conns: None,
-        backend: None,
-        l1_objects: None,
+        ..ProxyConfig::new(origin.local_addr())
     })
     .unwrap();
 
@@ -88,15 +82,9 @@ fn limd_backs_off_for_static_objects() {
         .start()
         .unwrap();
     let proxy = LiveProxy::start(ProxyConfig {
-        origin_addr: origin.local_addr(),
         rules: vec![RefreshRule::new("/static", Duration::from_millis(50))
             .ttr_max(Duration::from_millis(400))],
-        group: None,
-        cache_objects: None,
-        reactors: None,
-        max_conns: None,
-        backend: None,
-        l1_objects: None,
+        ..ProxyConfig::new(origin.local_addr())
     })
     .unwrap();
 
@@ -118,21 +106,20 @@ fn triggered_polls_keep_related_objects_in_step() {
         .object("/photo", ticking_trace("photo", 60, 60_000))
         .start()
         .unwrap();
+    // Asymmetric Δs: the story polls often, the photo rarely — so the
+    // photo's freshness between its own polls comes from Mt triggers.
+    // (With identical Δs the pool polls both members in lockstep and
+    // the coordinator rightly coalesces every would-be trigger.)
     let proxy = LiveProxy::start(ProxyConfig {
-        origin_addr: origin.local_addr(),
         rules: vec![
-            RefreshRule::new("/story", Duration::from_millis(150)),
-            RefreshRule::new("/photo", Duration::from_millis(150)),
+            RefreshRule::new("/story", Duration::from_millis(100)),
+            RefreshRule::new("/photo", Duration::from_millis(600)),
         ],
         group: Some(GroupRule {
             delta: Duration::from_millis(30),
             policy: MtPolicy::TriggeredPolls,
         }),
-        cache_objects: None,
-        reactors: None,
-        max_conns: None,
-        backend: None,
-        l1_objects: None,
+        ..ProxyConfig::new(origin.local_addr())
     })
     .unwrap();
 
@@ -163,14 +150,8 @@ fn proxy_survives_origin_faults() {
         .start()
         .unwrap();
     let proxy = LiveProxy::start(ProxyConfig {
-        origin_addr: origin.local_addr(),
         rules: vec![RefreshRule::new("/fast", Duration::from_millis(100))],
-        group: None,
-        cache_objects: None,
-        reactors: None,
-        max_conns: None,
-        backend: None,
-        l1_objects: None,
+        ..ProxyConfig::new(origin.local_addr())
     })
     .unwrap();
     let client = HttpClient::new();
@@ -210,14 +191,8 @@ fn stats_endpoint_and_miss_path() {
         .start()
         .unwrap();
     let proxy = LiveProxy::start(ProxyConfig {
-        origin_addr: origin.local_addr(),
         rules: vec![], // no refresher: every first access is a miss
-        group: None,
-        cache_objects: None,
-        reactors: None,
-        max_conns: None,
-        backend: None,
-        l1_objects: None,
+        ..ProxyConfig::new(origin.local_addr())
     })
     .unwrap();
     let client = HttpClient::new();

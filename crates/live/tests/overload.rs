@@ -11,7 +11,7 @@ use std::time::{Duration as StdDuration, Instant};
 
 use harness::{Behavior, FakeClock, ScriptedOrigin};
 use mutcon_live::client::HttpClient;
-use mutcon_live::proxy::{LiveProxy, ProxyConfig, RefreshRule};
+use mutcon_live::proxy::{LiveProxy, ProxyConfig};
 use mutcon_http::types::StatusCode;
 use mutcon_sim::rng::SimRng;
 
@@ -19,14 +19,8 @@ use mutcon_sim::rng::SimRng;
 /// and no refresher rules.
 fn plain_proxy(origin: &ScriptedOrigin, reactors: usize) -> LiveProxy {
     LiveProxy::start(ProxyConfig {
-        origin_addr: origin.addr(),
-        rules: Vec::<RefreshRule>::new(),
-        group: None,
-        cache_objects: None,
         reactors: Some(reactors),
-        max_conns: None,
-        backend: None,
-        l1_objects: None,
+        ..ProxyConfig::new(origin.addr())
     })
     .expect("start proxy")
 }

@@ -43,14 +43,8 @@ fn five_hundred_concurrent_connections_through_one_reactor() {
         .start()
         .unwrap();
     let proxy = LiveProxy::start(ProxyConfig {
-        origin_addr: origin.local_addr(),
         rules: vec![RefreshRule::new("/obj", Duration::from_millis(100))],
-        group: None,
-        cache_objects: None,
-        reactors: None,
-        max_conns: None,
-        backend: None,
-        l1_objects: None,
+        ..ProxyConfig::new(origin.local_addr())
     })
     .unwrap();
 
@@ -134,14 +128,9 @@ fn refreshes_during_reads_stay_consistent() {
         .start()
         .unwrap();
     let proxy = LiveProxy::start(ProxyConfig {
-        origin_addr: origin.local_addr(),
         rules: vec![RefreshRule::new("/hot", Duration::from_millis(40))],
-        group: None,
         cache_objects: Some(64),
-        reactors: None,
-        max_conns: None,
-        backend: None,
-        l1_objects: None,
+        ..ProxyConfig::new(origin.local_addr())
     })
     .unwrap();
     let addr = proxy.local_addr();
@@ -209,14 +198,7 @@ fn pipelined_miss_burst_against_dead_origin_is_iterative() {
         .local_addr()
         .unwrap();
     let proxy = LiveProxy::start(ProxyConfig {
-        origin_addr: dead_origin,
-        rules: vec![],
-        group: None,
-        cache_objects: None,
-        reactors: None,
-        max_conns: None,
-        backend: None,
-        l1_objects: None,
+        ..ProxyConfig::new(dead_origin)
     })
     .unwrap();
 
@@ -252,14 +234,9 @@ fn bounded_cache_misses_fetch_through_reactor() {
     }
     let origin = builder.start().unwrap();
     let proxy = LiveProxy::start(ProxyConfig {
-        origin_addr: origin.local_addr(),
         rules: vec![], // no refresher: every path exercises the miss path
-        group: None,
         cache_objects: Some(16), // far below the 64-object key space
-        reactors: None,
-        max_conns: None,
-        backend: None,
-        l1_objects: None,
+        ..ProxyConfig::new(origin.local_addr())
     })
     .unwrap();
 

@@ -1,0 +1,224 @@
+//! Concurrency scenarios for the refresh plane: the scheduler thread
+//! plus its pool of poll workers, driven by the in-process harness
+//! (fake clock + scripted origin; see `harness/`).
+//!
+//! Every scenario pins `refresh_workers` explicitly — the
+//! `MUTCON_LIVE_REFRESH_WORKERS` environment knob must not change what
+//! these tests assert.
+
+mod harness;
+
+use std::time::{Duration as StdDuration, Instant};
+
+use harness::{stamp_of, Behavior, FakeClock, ScriptedOrigin};
+use mutcon_core::time::Duration;
+use mutcon_live::client::HttpClient;
+use mutcon_live::proxy::{LiveProxy, ProxyConfig, RefreshRule};
+use mutcon_traces::json::{parse, Json};
+
+/// A proxy over a scripted origin with `workers` poll workers and one
+/// rule per `paths` entry (Δ = `delta_ms`).
+fn refresh_proxy(
+    origin: &ScriptedOrigin,
+    workers: usize,
+    paths: &[&str],
+    delta_ms: u64,
+) -> LiveProxy {
+    LiveProxy::start(ProxyConfig {
+        rules: paths
+            .iter()
+            .map(|p| RefreshRule::new(*p, Duration::from_millis(delta_ms)))
+            .collect(),
+        reactors: Some(1),
+        refresh_workers: Some(workers),
+        ..ProxyConfig::new(origin.addr())
+    })
+    .expect("start proxy")
+}
+
+/// Waits (5 s cap) until `pred` holds.
+fn wait_until(what: &str, mut pred: impl FnMut() -> bool) {
+    let deadline = Instant::now() + StdDuration::from_secs(5);
+    while !pred() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(StdDuration::from_millis(2));
+    }
+}
+
+/// With workers=4 and every path's first poll parked behind the gate,
+/// the origin must observe the polls *overlapping* — the whole point of
+/// the pool. With workers=1 the same scenario must never overlap.
+#[test]
+fn poll_workers_overlap_origin_latency_and_a_single_worker_does_not() {
+    let paths = ["/p0", "/p1", "/p2", "/p3"];
+
+    // Concurrent leg: 4 workers, 4 parked polls at once.
+    let origin = ScriptedOrigin::start(FakeClock::new());
+    for p in &paths {
+        origin.script(p, vec![Behavior::Hold]);
+    }
+    let proxy = refresh_proxy(&origin, 4, &paths, 20);
+    origin.wait_for_held(4);
+    origin.release_all();
+    assert!(
+        origin.max_concurrent() >= 4,
+        "4 workers with 4 due paths must overlap polls; max_concurrent = {}",
+        origin.max_concurrent()
+    );
+    drop(proxy);
+
+    // Serial leg: 1 worker can never have two polls on the wire.
+    let origin = ScriptedOrigin::start(FakeClock::new());
+    let proxy = refresh_proxy(&origin, 1, &paths, 5);
+    wait_until("20 polls through the single worker", || {
+        proxy.stats().polls >= 20
+    });
+    assert_eq!(
+        origin.max_concurrent(),
+        1,
+        "one worker must serialize every poll"
+    );
+    drop(proxy);
+}
+
+/// A path whose poll is parked at the origin must not be polled again —
+/// not by its own schedule, and not by a rule swap that marks it due
+/// immediately. The deferred due entry fires only after the in-flight
+/// poll completes.
+#[test]
+fn an_in_flight_path_is_never_double_polled() {
+    let clock = FakeClock::new();
+    let origin = ScriptedOrigin::start(clock.clone());
+    origin.script("/held", vec![Behavior::Hold]);
+    let proxy = refresh_proxy(&origin, 4, &["/held", "/free"], 10);
+    origin.wait_for_held(1);
+
+    // Swap in a changed rule for the held path: its state rebuilds and
+    // it becomes due immediately — while still on the wire.
+    proxy
+        .runtime()
+        .install(
+            vec![
+                RefreshRule::new("/held", Duration::from_millis(25)),
+                RefreshRule::new("/free", Duration::from_millis(10)),
+            ],
+            None,
+        )
+        .expect("valid rules");
+
+    // The free path keeps polling (the pool is not wedged) while the
+    // held path stays at exactly one origin fetch. Advance the clock so
+    // LIMD sees /free changing and keeps its TTR tight — the whole
+    // parked phase must finish well inside the poll client's timeout,
+    // or the held poll times out and legitimately retries.
+    let free_before = origin.fetches("/free");
+    wait_until("/free to keep polling past the held path", || {
+        clock.advance(5);
+        origin.fetches("/free") >= free_before + 3
+    });
+    assert_eq!(
+        origin.fetches("/held"),
+        1,
+        "an in-flight path must never be double-polled"
+    );
+
+    origin.release_all();
+    wait_until("the deferred due entry to fire after release", || {
+        origin.fetches("/held") >= 2
+    });
+    drop(proxy);
+}
+
+/// A rule removed while its poll is on the wire must not resurrect the
+/// path: the late response is discarded and the cache entry stays gone.
+#[test]
+fn a_removed_path_is_not_resurrected_by_its_in_flight_poll() {
+    let clock = FakeClock::new();
+    let origin = ScriptedOrigin::start(clock);
+    let proxy = refresh_proxy(&origin, 4, &["/keep", "/gone"], 10);
+
+    // Scheduled polls self-populate the cache.
+    wait_until("both ruled paths cached", || proxy.cached_objects() == 2);
+
+    // Park /gone's next poll, then remove its rule mid-flight.
+    origin.script("/gone", vec![Behavior::Hold]);
+    wait_until("/gone parked at the origin", || origin.held() >= 1);
+    proxy
+        .runtime()
+        .install(vec![RefreshRule::new("/keep", Duration::from_millis(10))], None)
+        .expect("valid rules");
+    wait_until("/gone evicted on rule removal", || {
+        proxy.cached_objects() == 1
+    });
+
+    origin.release_all();
+    // The released poll's 200 must be discarded, not stored; give the
+    // completion ample time to land before asserting.
+    std::thread::sleep(StdDuration::from_millis(100));
+    assert_eq!(
+        proxy.cached_objects(),
+        1,
+        "a dead rule's in-flight poll must not resurrect its entry"
+    );
+    assert!(
+        proxy.runtime().status().iter().all(|s| s.path != "/gone"),
+        "removed path must vanish from the live status"
+    );
+    drop(proxy);
+}
+
+/// Client reads racing the worker pool never observe time running
+/// backwards: the served stamp is monotone non-decreasing per path.
+#[test]
+fn refresh_vs_read_stamps_stay_monotone() {
+    let clock = FakeClock::new();
+    let origin = ScriptedOrigin::start(clock.clone());
+    let proxy = refresh_proxy(&origin, 4, &["/m"], 5);
+    wait_until("/m cached", || proxy.cached_objects() == 1);
+
+    let client = HttpClient::new();
+    let mut last = 0u64;
+    for round in 0..50 {
+        clock.advance(3);
+        let resp = client.get(proxy.local_addr(), "/m", None).expect("read /m");
+        let stamp = stamp_of(&resp);
+        assert!(
+            stamp >= last,
+            "round {round}: stamp went backwards ({stamp} < {last})"
+        );
+        last = stamp;
+    }
+    drop(proxy);
+}
+
+/// The `refresh` section of `GET /admin/stats` reflects the running
+/// pool: configured worker count, poll totals in step with the proxy
+/// counter, and a drift histogram that actually recorded the polls.
+#[test]
+fn admin_stats_exports_the_refresh_plane() {
+    let origin = ScriptedOrigin::start(FakeClock::new());
+    let proxy = refresh_proxy(&origin, 4, &["/a", "/b"], 10);
+    wait_until("a healthy batch of polls", || proxy.stats().polls >= 10);
+
+    let client = HttpClient::new();
+    let resp = client
+        .get(proxy.local_addr(), "/admin/stats", None)
+        .expect("admin stats");
+    let doc = parse(std::str::from_utf8(resp.body()).expect("utf8")).expect("json");
+    let refresh = doc.get("refresh").expect("refresh section");
+
+    let num = |v: &Json, key: &str| {
+        v.get(key)
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("refresh.{key} missing in {v}"))
+    };
+    assert_eq!(num(refresh, "workers"), 4);
+    assert!(num(refresh, "polls") >= 10);
+    let drift = refresh.get("drift").expect("drift histogram");
+    assert!(num(drift, "count") >= 10, "every poll records its drift");
+    assert!(
+        drift.get("p99_ms").and_then(Json::as_f64).expect("p99") >= 0.0
+            && drift.get("max_ms").and_then(Json::as_f64).expect("max") >= 0.0
+    );
+    drop(proxy);
+}

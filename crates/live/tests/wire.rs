@@ -49,14 +49,9 @@ fn backend_proxy(
     backend: Option<BackendKind>,
 ) -> LiveProxy {
     LiveProxy::start(ProxyConfig {
-        origin_addr,
-        rules: vec![],
-        group: None,
-        cache_objects: None,
         reactors,
-        max_conns: None,
         backend,
-        l1_objects: None,
+        ..ProxyConfig::new(origin_addr)
     })
     .expect("start proxy")
 }
@@ -371,14 +366,9 @@ fn admin_stats_exposes_l1_and_cache_counters() {
     let clock = FakeClock::new();
     let origin = ScriptedOrigin::start(clock);
     let proxy = LiveProxy::start(ProxyConfig {
-        origin_addr: origin.addr(),
-        rules: vec![],
-        group: None,
-        cache_objects: None,
         reactors: Some(1),
-        max_conns: None,
-        backend: None,
         l1_objects: Some(64),
+        ..ProxyConfig::new(origin.addr())
     })
     .expect("start proxy");
     let client = HttpClient::new();

@@ -14,6 +14,8 @@
 //!   latency, richer models support sensitivity experiments.
 //! * [`reactor`] — hand-rolled `epoll` readiness primitives driving the
 //!   live daemons' single-thread event loops.
+//! * [`signal`] — self-pipe `SIGHUP` dispatch, so the live daemons can
+//!   re-read configuration on the conventional reload signal.
 //!
 //! ```
 //! use mutcon_sim::queue::EventQueue;
@@ -27,8 +29,9 @@
 //! assert_eq!(q.now(), Timestamp::from_secs(2));
 //! ```
 
-// `deny` rather than `forbid`: the raw-syscall `reactor` module opts back
-// in with a module-level allow; everything else stays safe code.
+// `deny` rather than `forbid`: the raw-syscall `reactor` and `signal`
+// modules opt back in with a module-level allow; everything else stays
+// safe code.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -38,6 +41,7 @@ pub mod parallel;
 pub mod queue;
 pub mod reactor;
 pub mod rng;
+pub mod signal;
 
 pub use latency::LatencyModel;
 pub use parallel::{run_all, run_all_threads, ThreadPool};

@@ -39,7 +39,6 @@ fn main() -> std::io::Result<()> {
     // use a slightly larger wall-clock Δ so the refresher isn't saturated.
     let delta = Duration::from_millis(60);
     let proxy = LiveProxy::start(ProxyConfig {
-        origin_addr: origin.local_addr(),
         rules: vec![
             RefreshRule::new("/news/cnn-fn.html", delta),
             RefreshRule::new("/news/nyt-ap.html", delta),
@@ -48,11 +47,7 @@ fn main() -> std::io::Result<()> {
             delta: Duration::from_millis(30),
             policy: MtPolicy::TriggeredPolls,
         }),
-        cache_objects: None,
-        reactors: None,
-        max_conns: None,
-        backend: None,
-        l1_objects: None,
+        ..ProxyConfig::new(origin.local_addr())
     })?;
     println!("proxy   listening on {}\n", proxy.local_addr());
 

@@ -99,6 +99,22 @@ MUTCON_LIVE_L1=0 MUTCON_LIVE_REACTORS=4 cargo test -q -p mutcon-live \
 # monotonicity), if the L2 never evicted, or if the L1 served no hits.
 target/release/repro live-zipf > /dev/null
 
+# Refresh plane: the due-queue scheduler + poll-worker pool. The
+# refresh suite (never-double-poll, no resurrection, refresh-vs-read
+# monotonicity, worker overlap, /admin/stats drift figures) and the
+# coherence/admin suites run with the pool at its default width and
+# again forced serial (MUTCON_LIVE_REFRESH_WORKERS=1): worker count
+# must never change behavior, only drift. Then the drift bench — a
+# 50k-rule backlog drained serial vs pooled over identical scripted
+# origin latencies, spliced into BENCH_repro.json as live_refresh.
+# repro exits non-zero unless the pool cuts p99 drift >= 5x at equal
+# poll counts with zero stale serves.
+MUTCON_LIVE_REFRESH_WORKERS=4 MUTCON_LIVE_REACTORS=4 cargo test -q -p mutcon-live \
+  --test refresh --test coherence --test admin
+MUTCON_LIVE_REFRESH_WORKERS=1 MUTCON_LIVE_REACTORS=4 cargo test -q -p mutcon-live \
+  --test refresh --test coherence --test admin
+target/release/repro live-refresh > /dev/null
+
 # Overload control: the LIMD admission/pool limiters end to end — the
 # flash-crowd shed with preserved miss coalescing and partition
 # isolation, the double-death stale-retry regression, and the admin
